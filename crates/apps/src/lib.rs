@@ -1,0 +1,41 @@
+//! # `urb-apps`
+//!
+//! What do you *build* on anonymous Uniform Reliable Broadcast? Anything
+//! whose state is a deterministic function of the **set** of delivered
+//! messages. Anonymity rules out the classic sender-keyed abstractions
+//! (FIFO order, per-replica version vectors, total order via leader
+//! election — all need identities), but the commutative/idempotent corner
+//! of replicated data types survives intact, because URB's uniform
+//! agreement gives every correct replica the same delivery *set* and a
+//! set-function cannot care about order.
+//!
+//! This crate provides that corner, plus the glue:
+//!
+//! * [`UrbState`] — the trait: fold one delivered payload into local state,
+//!   with a digest for convergence checking;
+//! * [`GrowSet`] — a grow-only set of byte strings;
+//! * [`TallyCounter`] — a counter where each delivered message is one
+//!   increment (no replica ids needed — *messages* are the units, and URB
+//!   integrity guarantees each counts exactly once);
+//! * [`EventLog`] — all delivered payloads in a canonical (tag-sorted)
+//!   order: the strongest ID-free approximation of a replicated log. URB
+//!   alone cannot give *prefix* agreement (that is total-order broadcast,
+//!   impossible here without identities/consensus) but it does give
+//!   *eventual* agreement on the whole log, which the convergence checker
+//!   verifies;
+//! * [`Replicated`] — a replica wrapper binding a state to deliveries, and
+//!   [`converged`] — the cross-replica digest check used by tests and the
+//!   `sensor_mesh`-style examples.
+//!
+//! Every type is exercised end-to-end over the simulator in this crate's
+//! tests: lossy channels, crashes, and the assertion that all *correct*
+//! replicas converge to identical digests once the run quiesces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod replicated;
+pub mod state;
+
+pub use replicated::{converged, run_replicated, Replicated, ReplicatedOutcome};
+pub use state::{EventLog, GrowSet, TallyCounter, UrbState};

@@ -1,0 +1,284 @@
+//! Identifier-free replicated state machines over URB deliveries.
+//!
+//! The contract ([`UrbState`]) is deliberately narrow: state is a function
+//! of the delivery **set**. Implementations must be order-insensitive and
+//! duplicate-insensitive — URB integrity already deduplicates per replica,
+//! but order across replicas is arbitrary, so commutativity is what makes
+//! uniform agreement translate into state convergence.
+
+use std::collections::BTreeSet;
+use urb_types::{Delivery, Payload, Tag};
+
+/// A state machine folded over URB deliveries.
+pub trait UrbState: Default {
+    /// Folds one delivery in. Must be commutative across deliveries with
+    /// distinct tags (URB guarantees at-most-once per tag per replica).
+    fn apply(&mut self, delivery: &Delivery);
+
+    /// A collision-resistant-enough digest of the current state (FNV over
+    /// a canonical encoding). Two replicas converged iff digests are equal.
+    fn digest(&self) -> u64;
+
+    /// Human-readable name for reports.
+    fn state_name() -> &'static str;
+}
+
+fn fnv(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn payload_word(p: &Payload) -> u64 {
+    fnv(p.as_slice().iter().map(|&b| b as u64))
+}
+
+/// Grow-only set of byte strings: `add(x)` = URB-broadcast `x`; the set is
+/// the payloads delivered so far.
+#[derive(Debug, Default, Clone)]
+pub struct GrowSet {
+    members: BTreeSet<Vec<u8>>,
+}
+
+impl GrowSet {
+    /// Current membership test.
+    pub fn contains(&self, x: &[u8]) -> bool {
+        self.members.contains(x)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates elements in canonical (byte-wise) order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.members.iter().map(|v| v.as_slice())
+    }
+}
+
+impl UrbState for GrowSet {
+    fn apply(&mut self, delivery: &Delivery) {
+        self.members.insert(delivery.payload.as_slice().to_vec());
+    }
+
+    fn digest(&self) -> u64 {
+        fnv(self
+            .members
+            .iter()
+            .map(|m| fnv(m.iter().map(|&b| b as u64))))
+    }
+
+    fn state_name() -> &'static str {
+        "grow-set"
+    }
+}
+
+/// Counter where every delivered message is one increment.
+///
+/// No replica identities needed: the *message tags* are the increment
+/// identities, and URB integrity (at-most-once, only-if-broadcast) makes
+/// the count exact. Duplicate-broadcast semantics are the application's
+/// business: broadcasting twice is two increments, as it should be.
+#[derive(Debug, Default, Clone)]
+pub struct TallyCounter {
+    seen: BTreeSet<Tag>,
+}
+
+impl TallyCounter {
+    /// The current tally.
+    pub fn value(&self) -> u64 {
+        self.seen.len() as u64
+    }
+}
+
+impl UrbState for TallyCounter {
+    fn apply(&mut self, delivery: &Delivery) {
+        self.seen.insert(delivery.tag);
+    }
+
+    fn digest(&self) -> u64 {
+        fnv(self.seen.iter().map(|t| (t.0 >> 64) as u64 ^ t.0 as u64))
+    }
+
+    fn state_name() -> &'static str {
+        "tally-counter"
+    }
+}
+
+/// All delivered payloads in canonical order (sorted by tag).
+///
+/// Tags are uniform-random 128-bit values, so the canonical order is an
+/// arbitrary-but-agreed permutation: every converged replica shows the
+/// *same* log in the *same* order, which is what an auditor wants. It is
+/// **not** a total-order broadcast: replicas may disagree transiently on
+/// prefixes while deliveries race — only the eventual whole-log agreement
+/// is guaranteed (and machine-checked).
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    entries: std::collections::BTreeMap<Tag, Payload>,
+}
+
+impl EventLog {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in canonical (tag) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Tag, &Payload)> {
+        self.entries.iter()
+    }
+
+    /// Renders the log as lossy UTF-8 lines (for examples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (tag, payload) in &self.entries {
+            out.push_str(&format!("{tag:?}  {}\n", payload.as_text()));
+        }
+        out
+    }
+}
+
+impl UrbState for EventLog {
+    fn apply(&mut self, delivery: &Delivery) {
+        self.entries.insert(delivery.tag, delivery.payload.clone());
+    }
+
+    fn digest(&self) -> u64 {
+        fnv(self
+            .entries
+            .iter()
+            .map(|(t, p)| ((t.0 >> 64) as u64 ^ t.0 as u64) ^ payload_word(p)))
+    }
+
+    fn state_name() -> &'static str {
+        "event-log"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(tag: u128, body: &str) -> Delivery {
+        Delivery {
+            tag: Tag(tag),
+            payload: Payload::from(body),
+            fast: false,
+        }
+    }
+
+    #[test]
+    fn grow_set_semantics() {
+        let mut s = GrowSet::default();
+        assert!(s.is_empty());
+        s.apply(&d(1, "a"));
+        s.apply(&d(2, "b"));
+        s.apply(&d(3, "a")); // same content, different message: still one member
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(b"a"));
+        assert!(!s.contains(b"c"));
+    }
+
+    #[test]
+    fn tally_counts_distinct_tags() {
+        let mut c = TallyCounter::default();
+        c.apply(&d(1, "x"));
+        c.apply(&d(1, "x")); // URB would never do this, but idempotence holds
+        c.apply(&d(2, "x"));
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn event_log_canonical_order() {
+        let mut l = EventLog::default();
+        l.apply(&d(9, "late"));
+        l.apply(&d(1, "early"));
+        let tags: Vec<u128> = l.entries().map(|(t, _)| t.0).collect();
+        assert_eq!(tags, vec![1, 9], "sorted by tag regardless of arrival");
+        assert!(l.render().contains("early"));
+    }
+
+    #[test]
+    fn digests_are_order_insensitive() {
+        // The convergence property in miniature: any permutation of the
+        // same delivery set produces the same digest.
+        let deliveries = [d(1, "a"), d(2, "b"), d(3, "c")];
+        fn fold<S: UrbState>(ds: &[Delivery]) -> u64 {
+            let mut s = S::default();
+            for x in ds {
+                s.apply(x);
+            }
+            s.digest()
+        }
+        let mut rev = deliveries.clone();
+        rev.reverse();
+        assert_eq!(fold::<GrowSet>(&deliveries), fold::<GrowSet>(&rev));
+        assert_eq!(fold::<TallyCounter>(&deliveries), fold::<TallyCounter>(&rev));
+        assert_eq!(fold::<EventLog>(&deliveries), fold::<EventLog>(&rev));
+    }
+
+    #[test]
+    fn digests_distinguish_different_sets() {
+        let mut a = EventLog::default();
+        a.apply(&d(1, "x"));
+        let mut b = EventLog::default();
+        b.apply(&d(1, "y"));
+        assert_ne!(a.digest(), b.digest(), "same tag, different payload");
+        let mut c = EventLog::default();
+        c.apply(&d(2, "x"));
+        assert_ne!(a.digest(), c.digest(), "same payload, different tag");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Order-insensitivity over arbitrary delivery multisets.
+            /// (Payload is a function of the tag, as URB integrity
+            /// guarantees: a tag names exactly one message.)
+            #[test]
+            fn any_permutation_same_digest(
+                mut entries in proptest::collection::vec(0u8..32, 0..20),
+            ) {
+                let body = |t: u8| format!("payload-{t}");
+                let ds: Vec<Delivery> =
+                    entries.iter().map(|&t| d(t as u128, &body(t))).collect();
+                let mut log1 = EventLog::default();
+                let mut set1 = GrowSet::default();
+                for x in &ds {
+                    log1.apply(x);
+                    set1.apply(x);
+                }
+                entries.reverse();
+                let ds2: Vec<Delivery> =
+                    entries.iter().map(|&t| d(t as u128, &body(t))).collect();
+                let mut log2 = EventLog::default();
+                let mut set2 = GrowSet::default();
+                for x in &ds2 {
+                    log2.apply(x);
+                    set2.apply(x);
+                }
+                prop_assert_eq!(log1.digest(), log2.digest());
+                prop_assert_eq!(set1.digest(), set2.digest());
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! End-to-end simulation throughput: full runs (broadcast → everyone
+//! delivered) at several system sizes, for both algorithms. The metric that
+//! matters for experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urb_core::Algorithm;
+use urb_sim::{scenario, sim::run};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_full_delivery");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 16] {
+        for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &(n, alg),
+                |b, &(n, alg)| {
+                    b.iter(|| {
+                        let out = run(scenario::lossy_crashy(n, alg, 0.1, 0, 1, 42));
+                        assert!(out.report.all_ok());
+                        black_box(out.metrics.protocol_sends())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_quiescent_run(c: &mut Criterion) {
+    // Broadcast-to-quiescence: the full Algorithm-2 lifecycle.
+    c.bench_function("sim_quiescence_n8", |b| {
+        b.iter(|| {
+            let mut cfg = scenario::lossy_crashy(8, Algorithm::Quiescent, 0.1, 0, 1, 7);
+            cfg.stop_on_full_delivery = false;
+            cfg.stop_on_quiescence = true;
+            cfg.max_time = 300_000;
+            let out = run(cfg);
+            assert!(out.quiescent);
+            black_box(out.last_protocol_send)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_full_runs, bench_quiescent_run
+);
+criterion_main!(benches);

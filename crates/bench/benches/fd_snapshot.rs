@@ -1,0 +1,59 @@
+//! Failure-detector snapshot cost: the oracle builds views on demand; the
+//! heartbeat estimator filters its lease table. Both are on the per-event
+//! hot path of the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urb_fd::{FdService, HeartbeatConfig, HeartbeatService, OracleConfig, OracleFd};
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_snapshot");
+    for &n in &[8usize, 32, 128] {
+        let mut crashes = vec![None; n];
+        crashes[n / 2] = Some(500u64);
+        let fd = OracleFd::new(crashes, 7, OracleConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fd, |b, fd| {
+            b.iter(|| black_box(fd.snapshot(0, 10_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heartbeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heartbeat_snapshot");
+    for &n in &[8usize, 64] {
+        let (mut svc, _labels) = HeartbeatService::new(n, 3, HeartbeatConfig::default());
+        // Warm the lease tables: everyone heard everyone.
+        let mut out = Vec::new();
+        for pid in 0..n {
+            svc.on_tick(pid, 0, &mut out);
+        }
+        for msg in &out {
+            for pid in 0..n {
+                svc.on_receive(pid, 1, msg);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(svc.snapshot(0, 50)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    // The per-run axiom audit (runs once per simulated run in E3).
+    let mut crashes = vec![None; 16];
+    crashes[3] = Some(100);
+    crashes[9] = Some(700);
+    let fd = OracleFd::new(crashes, 11, OracleConfig::default());
+    c.bench_function("oracle_audit_n16", |b| {
+        b.iter(|| black_box(fd.audit(50_000).is_ok()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_oracle, bench_heartbeat, bench_audit
+);
+criterion_main!(benches);

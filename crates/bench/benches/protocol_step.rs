@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the protocol hot path: `on_receive` for MSG and ACK
+//! at various system sizes, for both algorithms.
+//!
+//! These are the per-event costs a deployment pays; the paper's algorithms
+//! differ mainly in ACK processing (Algorithm 2 reconciles label sets and
+//! counters), which these benches quantify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urb_core::harness::StepHarness;
+use urb_core::{MajorityUrb, QuiescentUrb};
+use urb_types::{
+    AnonProcess, FdPair, FdSnapshot, FdView, Label, LabelSet, Payload, Tag, TagAck, WireMessage,
+};
+
+fn theta(n: usize) -> FdView {
+    FdView::from_pairs((0..n).map(|i| FdPair {
+        label: Label(i as u64 + 1),
+        number: n as u32,
+    }))
+}
+
+fn labels(n: usize) -> LabelSet {
+    LabelSet::from_iter((0..n).map(|i| Label(i as u64 + 1)))
+}
+
+fn bench_ack_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_processing");
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("alg1", n), &n, |b, &n| {
+            b.iter_batched(
+                || (StepHarness::new(1), MajorityUrb::new(n)),
+                |(mut h, mut p)| {
+                    for i in 0..n as u128 {
+                        h.receive(
+                            &mut p,
+                            WireMessage::Ack {
+                                tag: Tag(7),
+                                tag_ack: TagAck(i),
+                                payload: Payload::from("m"),
+                                labels: None,
+                            },
+                        );
+                    }
+                    black_box(p.stats())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("alg2", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut h = StepHarness::new(1);
+                    h.fd = FdSnapshot::new(theta(n), theta(n));
+                    (h, QuiescentUrb::new(), labels(n))
+                },
+                |(mut h, mut p, ls)| {
+                    for i in 0..n as u128 {
+                        h.receive(
+                            &mut p,
+                            WireMessage::Ack {
+                                tag: Tag(7),
+                                tag_ack: TagAck(i),
+                                payload: Payload::from("m"),
+                                labels: Some(ls.clone()),
+                            },
+                        );
+                    }
+                    black_box(p.stats())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_msg_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msg_processing");
+    for &n in &[8usize, 128] {
+        group.bench_with_input(BenchmarkId::new("alg1_first_msg", n), &n, |b, &n| {
+            b.iter_batched(
+                || (StepHarness::new(1), MajorityUrb::new(n)),
+                |(mut h, mut p)| {
+                    black_box(h.receive(
+                        &mut p,
+                        WireMessage::Msg {
+                            tag: Tag(1),
+                            payload: Payload::from("m"),
+                        },
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_first_msg", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut h = StepHarness::new(1);
+                    h.fd = FdSnapshot::new(theta(n), theta(n));
+                    (h, QuiescentUrb::new())
+                },
+                |(mut h, mut p)| {
+                    black_box(h.receive(
+                        &mut p,
+                        WireMessage::Msg {
+                            tag: Tag(1),
+                            payload: Payload::from("m"),
+                        },
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_task1_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task1_sweep");
+    for &msgs in &[1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("alg1", msgs), &msgs, |b, &msgs| {
+            let mut h = StepHarness::new(1);
+            let mut p = MajorityUrb::new(8);
+            for i in 0..msgs as u128 {
+                h.receive(
+                    &mut p,
+                    WireMessage::Msg {
+                        tag: Tag(i),
+                        payload: Payload::from("m"),
+                    },
+                );
+            }
+            b.iter(|| black_box(h.tick(&mut p).broadcasts.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ack_processing, bench_msg_processing, bench_task1_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,850 @@
+//! The experiment suite E1–E14 (see DESIGN.md §5 for the index).
+//!
+//! The paper proves; we measure. Each function reproduces one claim as a
+//! table: the pass-rate grids for the two theorems about the algorithms
+//! (E1, E3), the executable impossibility proof (E2), the quiescence and
+//! cost characterizations the paper motivates but never quantifies
+//! (E4–E10), the baseline contrast from the introduction (E11), the
+//! ablation of our one substantive pseudocode repair (E12), the Task-1
+//! backoff extension (E13) and partition-heal recovery (E14).
+//!
+//! All experiments are deterministic: same build, same tables.
+
+use crate::table::{f3, pct, Table};
+use urb_core::Algorithm;
+use urb_fd::{HeartbeatConfig, OracleConfig};
+use urb_sim::sim::{run, FdKind, LinkOverride, SimConfig};
+use urb_sim::{scenario, CrashPlan, CrashRule, LossModel};
+
+/// Number of seeds per grid cell (kept moderate so the full suite runs in
+/// minutes; bump for tighter confidence).
+pub const SEEDS: u64 = 10;
+
+/// Runs one experiment by id (`"e1"`..`"e14"`), returning its tables.
+pub fn run_experiment(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e1_alg1_correctness(),
+        "e2" => e2_impossibility(),
+        "e3" => e3_alg2_correctness(),
+        "e4" => e4_quiescence(),
+        "e5" => e5_latency_vs_loss(),
+        "e6" => e6_message_complexity(),
+        "e7" => e7_fd_latency(),
+        "e8" => e8_heartbeat_realism(),
+        "e9" => e9_memory(),
+        "e10" => e10_fast_delivery(),
+        "e11" => e11_baselines(),
+        "e12" => e12_prune_ablation(),
+        "e13" => e13_backoff_extension(),
+        "e14" => e14_partition_heal(),
+        other => panic!("unknown experiment id {other:?} (use e1..e14)"),
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+// ---------------------------------------------------------------- E1 ----
+
+/// E1 — Theorem 1: Algorithm 1 implements URB in `AAS_F[t < n/2]`.
+///
+/// Grid over `n × loss × t` (with `t < n/2`), SEEDS seeds each; reports the
+/// URB pass rate (expected: 100%) and mean time to full delivery.
+pub fn e1_alg1_correctness() -> Vec<Table> {
+    let mut t = Table::new(
+        "E1 — Theorem 1: Algorithm 1 URB pass rate (t < n/2)",
+        &["n", "loss", "t", "runs", "URB ok", "mean full-delivery time"],
+    );
+    for &n in &[4usize, 8, 16] {
+        for &loss in &[0.0, 0.1, 0.3] {
+            for &tf in &[0usize, (n - 1) / 2] {
+                let mut ok = 0u64;
+                let mut total_time = 0u64;
+                for seed in 0..SEEDS {
+                    let out = run(scenario::lossy_crashy(
+                        n,
+                        Algorithm::Majority,
+                        loss,
+                        tf,
+                        2,
+                        seed * 7919 + 1,
+                    ));
+                    if out.report.all_ok() {
+                        ok += 1;
+                    }
+                    total_time += out.metrics.ended_at;
+                }
+                t.row(vec![
+                    n.to_string(),
+                    f3(loss),
+                    tf.to_string(),
+                    SEEDS.to_string(),
+                    pct(ok as f64 / SEEDS as f64),
+                    format!("{}", total_time / SEEDS),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+/// E2 — Theorem 2: URB is unsolvable with `t ≥ n/2` (executable proof).
+///
+/// The R2 partition adversary: the majority half `S1` delivers (it cannot
+/// distinguish R2 from R1), crashes, and its traffic to `S2` is lost.
+/// Expected: the threshold-⌈n/2⌉ algorithm **violates uniform agreement**
+/// in every run; the faithful strict-majority algorithm **blocks** (no
+/// delivery — safe but live-less). Both horns of the impossibility.
+pub fn e2_impossibility() -> Vec<Table> {
+    let mut t = Table::new(
+        "E2 — Theorem 2: the R1/R2 partition adversary",
+        &[
+            "n",
+            "arm",
+            "runs",
+            "S1 delivered",
+            "agreement violated",
+            "blocked (no delivery)",
+        ],
+    );
+    for &n in &[4usize, 6, 8] {
+        for (arm, control) in [("threshold ⌈n/2⌉", false), ("strict majority", true)] {
+            let mut s1_delivered = 0u64;
+            let mut violated = 0u64;
+            let mut blocked = 0u64;
+            for seed in 0..SEEDS {
+                let cfg = if control {
+                    scenario::theorem2_control(n, seed + 1)
+                } else {
+                    scenario::theorem2_partition(n, seed + 1)
+                };
+                let out = run(cfg);
+                if !out.metrics.deliveries.is_empty() {
+                    s1_delivered += 1;
+                }
+                if !out.report.agreement.ok() {
+                    violated += 1;
+                }
+                if out.metrics.deliveries.is_empty() {
+                    blocked += 1;
+                }
+            }
+            t.row(vec![
+                n.to_string(),
+                arm.to_string(),
+                SEEDS.to_string(),
+                s1_delivered.to_string(),
+                violated.to_string(),
+                blocked.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+/// E3 — Theorem 3 / Lemmas 1–3: Algorithm 2 implements URB with **any**
+/// number of crashes (`t ≤ n − 1`) under `AΘ`/`AP*`, oracle detectors
+/// audited on every run.
+pub fn e3_alg2_correctness() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 — Theorem 3: Algorithm 2 URB pass rate (any t ≤ n-1)",
+        &["n", "loss", "t", "runs", "URB ok", "FD audit ok"],
+    );
+    for &n in &[4usize, 8] {
+        for &loss in &[0.0, 0.1, 0.3] {
+            for &tf in &[0usize, n / 2, n - 1] {
+                let mut ok = 0u64;
+                let mut audit_ok = 0u64;
+                for seed in 0..SEEDS {
+                    let out = run(scenario::lossy_crashy(
+                        n,
+                        Algorithm::Quiescent,
+                        loss,
+                        tf,
+                        2,
+                        seed * 6151 + 3,
+                    ));
+                    if out.report.all_ok() {
+                        ok += 1;
+                    }
+                    match out.fd_audit {
+                        Some(Ok(())) | None => audit_ok += 1,
+                        Some(Err(_)) => {}
+                    }
+                }
+                t.row(vec![
+                    n.to_string(),
+                    f3(loss),
+                    tf.to_string(),
+                    SEEDS.to_string(),
+                    pct(ok as f64 / SEEDS as f64),
+                    pct(audit_ok as f64 / SEEDS as f64),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// E4 — Quiescence (Theorem 3 vs. Algorithm 1's forever-broadcast).
+///
+/// Same workload and horizon for both algorithms; the windowed send
+/// histogram shows Algorithm 1's traffic never reaching zero while
+/// Algorithm 2 goes silent. Reported: total protocol sends, the quiescence
+/// instant (last MSG/ACK), and residual traffic in the second half of the
+/// horizon.
+pub fn e4_quiescence() -> Vec<Table> {
+    let horizon = 60_000u64;
+    let mut t = Table::new(
+        "E4 — quiescence: traffic profile over a fixed horizon (n=8, loss=0.2, 5 msgs)",
+        &[
+            "algorithm",
+            "total MSG+ACK",
+            "last protocol send",
+            "sends in 2nd half",
+            "quiescent",
+        ],
+    );
+    let mut curve = Table::new(
+        "E4b — sends per 1000-tick window (first 20 windows)",
+        &["algorithm", "windows 0..19"],
+    );
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let mut total = 0u64;
+        let mut last = 0u64;
+        let mut residual = 0u64;
+        let mut quiescent = 0u64;
+        let mut windows_acc = [0u64; 20];
+        for seed in 0..SEEDS {
+            let out = run(scenario::quiescence_watch(8, alg, 0.2, 5, horizon, seed + 11));
+            total += out.metrics.protocol_sends();
+            last = last.max(out.last_protocol_send);
+            residual += out.metrics.sends_after(horizon / 2);
+            if out.quiescent {
+                quiescent += 1;
+            }
+            for (i, w) in out.metrics.sends_per_window.iter().take(20).enumerate() {
+                windows_acc[i] += w;
+            }
+        }
+        t.row(vec![
+            alg.name().to_string(),
+            (total / SEEDS).to_string(),
+            last.to_string(),
+            (residual / SEEDS).to_string(),
+            format!("{quiescent}/{SEEDS}"),
+        ]);
+        curve.row(vec![
+            alg.name().to_string(),
+            windows_acc
+                .iter()
+                .map(|w| (w / SEEDS).to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    vec![t, curve]
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// E5 — delivery latency vs. channel loss (both algorithms, n=8).
+pub fn e5_latency_vs_loss() -> Vec<Table> {
+    let mut t = Table::new(
+        "E5 — delivery latency vs. loss (n=8, ticks)",
+        &["loss", "algorithm", "median", "p99", "max"],
+    );
+    for &loss in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+            let mut lat = Vec::new();
+            for seed in 0..SEEDS {
+                let mut cfg = scenario::lossy_crashy(8, alg, loss, 0, 3, seed * 31 + 17);
+                cfg.max_time = 60_000;
+                let out = run(cfg);
+                lat.extend(out.metrics.latencies());
+            }
+            lat.sort_unstable();
+            let q = |p: f64| -> u64 {
+                if lat.is_empty() {
+                    return 0;
+                }
+                lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
+            };
+            t.row(vec![
+                f3(loss),
+                alg.name().to_string(),
+                q(0.5).to_string(),
+                q(0.99).to_string(),
+                lat.last().copied().unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// E6 — message complexity vs. system size (loss = 0.1).
+///
+/// Transmissions (per-link copies) until full delivery, per delivered
+/// message, plus Algorithm 2's cost to full quiescence. Expected shape:
+/// O(n²) per broadcast for both, with Algorithm 2 paying a constant-factor
+/// overhead in labels but a *bounded total* (it stops).
+pub fn e6_message_complexity() -> Vec<Table> {
+    let mut t = Table::new(
+        "E6 — transmissions vs. n (loss=0.1, 2 msgs)",
+        &[
+            "n",
+            "alg1: tx to delivery",
+            "alg1: tx/msg/n²",
+            "alg2: tx to delivery",
+            "alg2: tx to quiescence",
+        ],
+    );
+    for &n in &[4usize, 8, 16, 32] {
+        let seeds = if n >= 16 { 3 } else { SEEDS };
+        let mut a1 = 0u64;
+        let mut a2 = 0u64;
+        let mut a2q = 0u64;
+        for seed in 0..seeds {
+            let out = run(scenario::lossy_crashy(n, Algorithm::Majority, 0.1, 0, 2, seed + 5));
+            a1 += out.metrics.protocol_sends();
+            let out = run(scenario::lossy_crashy(n, Algorithm::Quiescent, 0.1, 0, 2, seed + 5));
+            a2 += out.metrics.protocol_sends();
+            let mut cfg = scenario::lossy_crashy(n, Algorithm::Quiescent, 0.1, 0, 2, seed + 5);
+            cfg.stop_on_full_delivery = false;
+            cfg.stop_on_quiescence = true;
+            cfg.max_time = 300_000;
+            let out = run(cfg);
+            a2q += out.metrics.protocol_sends();
+        }
+        let per = |x: u64| x / seeds;
+        t.row(vec![
+            n.to_string(),
+            per(a1).to_string(),
+            f3(per(a1) as f64 / 2.0 / (n * n) as f64),
+            per(a2).to_string(),
+            per(a2q).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// E7 — sensitivity to `AP*` detection latency (n=8, 3 crashes).
+///
+/// The prune condition waits for crashed labels to leave `a_p*`; quiescence
+/// time should track the removal delay roughly linearly, while correctness
+/// is unaffected.
+pub fn e7_fd_latency() -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 — AP* removal latency vs. quiescence (n=8, t=3, loss=0.2)",
+        &[
+            "AP* removal delay",
+            "runs",
+            "URB ok",
+            "quiescent",
+            "mean quiescence time",
+        ],
+    );
+    for &delay in &[0u64, 1_000, 5_000, 20_000] {
+        let mut ok = 0u64;
+        let mut quiescent = 0u64;
+        let mut qtime = 0u64;
+        for seed in 0..SEEDS {
+            let out = run(scenario::fd_latency(8, delay, 3, seed * 13 + 29));
+            if out.report.all_ok() {
+                ok += 1;
+            }
+            if out.quiescent {
+                quiescent += 1;
+                qtime += out.last_protocol_send;
+            }
+        }
+        t.row(vec![
+            delay.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{SEEDS}"),
+            format!("{quiescent}/{SEEDS}"),
+            if quiescent > 0 {
+                (qtime / quiescent).to_string()
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+/// E8 — the realistic heartbeat detector vs. the oracle (n=8, loss=0.2).
+///
+/// Sweeps the suspicion timeout (heartbeat period fixed at 20 ticks).
+/// Short timeouts cause false suspicions → safety/liveness failures;
+/// long timeouts delay quiescence. The oracle row is the reference.
+pub fn e8_heartbeat_realism() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 — heartbeat FD timeout sweep (n=8, t=2, loss=0.2, period=20)",
+        &[
+            "detector",
+            "timeout",
+            "URB ok",
+            "quiescent",
+            "mean quiescence time",
+        ],
+    );
+    let mk = |seed: u64| -> SimConfig {
+        let mut cfg = SimConfig::new(8, Algorithm::Quiescent)
+            .seed(seed)
+            // Bursty loss is what breaks heartbeat detectors: a burst longer
+            // than the timeout silences a perfectly alive process.
+            .loss(LossModel::Burst {
+                p_enter: 0.02,
+                p_exit: 0.05,
+                p_loss: 0.95,
+            })
+            .workload(3, 100)
+            .max_time(60_000);
+        cfg.crashes = CrashPlan::random(8, 2, 2_000, seed ^ 0xE8, Some(0));
+        cfg
+    };
+    for &timeout in &[25u64, 60, 120, 240, 480] {
+        let mut ok = 0u64;
+        let mut quiescent = 0u64;
+        let mut qtime = 0u64;
+        for seed in 0..SEEDS {
+            let mut cfg = mk(seed * 41 + 7);
+            cfg.fd = FdKind::Heartbeat(HeartbeatConfig {
+                period: 20,
+                timeout,
+            });
+            let out = run(cfg);
+            if out.report.all_ok() {
+                ok += 1;
+            }
+            if out.quiescent {
+                quiescent += 1;
+                qtime += out.last_protocol_send;
+            }
+        }
+        t.row(vec![
+            "heartbeat".into(),
+            timeout.to_string(),
+            format!("{ok}/{SEEDS}"),
+            format!("{quiescent}/{SEEDS}"),
+            if quiescent > 0 {
+                (qtime / quiescent).to_string()
+            } else {
+                "—".into()
+            },
+        ]);
+    }
+    // Oracle reference row.
+    let mut ok = 0u64;
+    let mut quiescent = 0u64;
+    let mut qtime = 0u64;
+    for seed in 0..SEEDS {
+        let mut cfg = mk(seed * 41 + 7);
+        cfg.fd = FdKind::Oracle(OracleConfig::default());
+        let out = run(cfg);
+        if out.report.all_ok() {
+            ok += 1;
+        }
+        if out.quiescent {
+            quiescent += 1;
+            qtime += out.last_protocol_send;
+        }
+    }
+    t.row(vec![
+        "oracle".into(),
+        "—".into(),
+        format!("{ok}/{SEEDS}"),
+        format!("{quiescent}/{SEEDS}"),
+        if quiescent > 0 {
+            (qtime / quiescent).to_string()
+        } else {
+            "—".into()
+        },
+    ]);
+    vec![t]
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+/// E9 — protocol memory over a broadcast stream (n=6, 30 msgs, loss=0.1).
+///
+/// Algorithm 1's `MSG` set grows with every message and never shrinks;
+/// Algorithm 2 prunes back to zero. Reported: peak and final state sizes.
+pub fn e9_memory() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 — state sizes over a 30-message stream (n=6, loss=0.1)",
+        &[
+            "algorithm",
+            "peak MSG set",
+            "final MSG set",
+            "peak total state",
+            "final total state",
+        ],
+    );
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let mut peak_msg = 0usize;
+        let mut final_msg = 0usize;
+        let mut peak_total = 0usize;
+        let mut final_total = 0usize;
+        for seed in 0..3 {
+            // 30k-tick horizon: the 30-message stream ends at ~t=6k, leaving
+            // Algorithm 2 ample time to prune everything (and bounding
+            // Algorithm 1's forever-rebroadcast cost).
+            let cfg = scenario::memory_stream(6, alg, 30, 30_000, seed + 3);
+            let out = run(cfg);
+            for s in &out.metrics.stats_samples {
+                for p in &s.per_process {
+                    peak_msg = peak_msg.max(p.msg_set);
+                    peak_total = peak_total.max(p.total());
+                }
+            }
+            for p in &out.final_stats {
+                final_msg = final_msg.max(p.msg_set);
+                final_total = final_total.max(p.total());
+            }
+        }
+        t.row(vec![
+            alg.name().to_string(),
+            peak_msg.to_string(),
+            final_msg.to_string(),
+            peak_total.to_string(),
+            final_total.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E10 ----
+
+/// E10 — the §III fast-delivery remark: deliveries that precede the MSG
+/// copy, under skewed delays and loss.
+pub fn e10_fast_delivery() -> Vec<Table> {
+    let mut t = Table::new(
+        "E10 — fast deliveries (ACK quorum before the MSG copy)",
+        &["n", "runs", "deliveries", "fast", "fast fraction"],
+    );
+    for &n in &[8usize, 16] {
+        let mut total = 0usize;
+        let mut fast = 0usize;
+        for seed in 0..SEEDS {
+            let out = run(scenario::fast_delivery(n, seed * 97 + 13));
+            total += out.metrics.deliveries.len();
+            fast += out.metrics.deliveries.iter().filter(|d| d.fast).count();
+        }
+        t.row(vec![
+            n.to_string(),
+            SEEDS.to_string(),
+            total.to_string(),
+            fast.to_string(),
+            pct(fast as f64 / total.max(1) as f64),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E11 ----
+
+/// E11 — the broadcast hierarchy (paper §I), quantified.
+///
+/// Arm A: plain 20% loss — best-effort broadcast loses messages while both
+/// URB algorithms deliver everywhere.
+/// Arm B: sender partitioned + crash-on-first-delivery — eager RB delivers
+/// at the doomed sender and violates uniform agreement; Algorithm 1 blocks
+/// (safe).
+pub fn e11_baselines() -> Vec<Table> {
+    let mut a = Table::new(
+        "E11a — delivery ratio under 20% loss (n=8, 4 msgs, no crashes)",
+        &["algorithm", "delivery ratio", "agreement violations"],
+    );
+    for alg in [
+        Algorithm::BestEffort,
+        Algorithm::EagerRb,
+        Algorithm::Majority,
+    ] {
+        let mut delivered = 0usize;
+        let mut expected = 0usize;
+        let mut violations = 0u64;
+        for seed in 0..SEEDS {
+            let mut cfg = SimConfig::new(8, alg)
+                .seed(seed * 53 + 9)
+                .loss(LossModel::Bernoulli { p: 0.2 })
+                .workload(4, 100)
+                .max_time(40_000);
+            cfg.stop_on_full_delivery = true;
+            let out = run(cfg);
+            delivered += out.metrics.deliveries.len();
+            expected += out.metrics.broadcasts.len() * 8;
+            if !out.report.agreement.ok() {
+                violations += 1;
+            }
+        }
+        a.row(vec![
+            alg.name().to_string(),
+            pct(delivered as f64 / expected.max(1) as f64),
+            violations.to_string(),
+        ]);
+    }
+
+    let mut b = Table::new(
+        "E11b — doomed sender (partitioned, crashes on first delivery)",
+        &["algorithm", "sender delivered", "agreement violated", "blocked"],
+    );
+    for alg in [Algorithm::EagerRb, Algorithm::Majority] {
+        let mut sender_delivered = 0u64;
+        let mut violated = 0u64;
+        let mut blocked = 0u64;
+        for seed in 0..SEEDS {
+            let mut cfg = SimConfig::new(8, alg).seed(seed * 59 + 3).max_time(30_000);
+            cfg.crashes = CrashPlan::from_rules(
+                (0..8)
+                    .map(|i| {
+                        if i == 0 {
+                            CrashRule::OnFirstDelivery { delay: 0 }
+                        } else {
+                            CrashRule::Never
+                        }
+                    })
+                    .collect(),
+            );
+            cfg.link_overrides = (1..8)
+                .map(|to| LinkOverride {
+                    from: 0,
+                    to,
+                    loss: LossModel::Always,
+                })
+                .collect();
+            cfg.stop_on_quiescence = false;
+            let out = run(cfg);
+            if out.metrics.deliveries.iter().any(|d| d.pid == 0) {
+                sender_delivered += 1;
+            }
+            if !out.report.agreement.ok() {
+                violated += 1;
+            }
+            if out.metrics.deliveries.is_empty() {
+                blocked += 1;
+            }
+        }
+        b.row(vec![
+            alg.name().to_string(),
+            sender_delivered.to_string(),
+            violated.to_string(),
+            blocked.to_string(),
+        ]);
+    }
+    vec![a, b]
+}
+
+// --------------------------------------------------------------- E12 ----
+
+/// E12 — ablation of the D4 dead-ACKer purge.
+///
+/// Adversary ([`scenario::stale_acker`]): a process ACKs the broadcast wave
+/// and crashes before `a_p*` becomes ready, leaving a never-refreshed label
+/// set in everyone's `all_labels`. The paper's literal line-55 condition
+/// blocks on it forever; the purge rule recovers. Both remain URB-correct
+/// (the purge affects only quiescence).
+pub fn e12_prune_ablation() -> Vec<Table> {
+    let mut t = Table::new(
+        "E12 — prune rule ablation (n=4, crash-after-ack adversary)",
+        &[
+            "prune rule",
+            "URB ok",
+            "quiescent",
+            "mean quiescence time",
+            "residual sends (tail 20%)",
+        ],
+    );
+    for (alg, name) in [
+        (Algorithm::Quiescent, "purge (D4, default)"),
+        (Algorithm::QuiescentLiteral, "literal line 55"),
+    ] {
+        let mut ok = 0u64;
+        let mut quiescent = 0u64;
+        let mut qtime = 0u64;
+        let mut residual = 0u64;
+        let horizon = 60_000u64;
+        for seed in 0..SEEDS {
+            let out = run(scenario::stale_acker(alg, horizon, seed * 67 + 31));
+            if out.report.all_ok() {
+                ok += 1;
+            }
+            if out.quiescent {
+                quiescent += 1;
+                qtime += out.last_protocol_send;
+            }
+            residual += out.metrics.sends_after(horizon * 4 / 5);
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{ok}/{SEEDS}"),
+            format!("{quiescent}/{SEEDS}"),
+            if quiescent > 0 {
+                (qtime / quiescent).to_string()
+            } else {
+                "— (never)".into()
+            },
+            (residual / SEEDS).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E13 ----
+
+/// E13 — extension ablation: exponential Task-1 backoff.
+///
+/// The paper's Task 1 retransmits every sweep; fairness only needs
+/// "infinitely often". Exponentially spacing retransmissions (cap in
+/// sweeps) preserves every URB property while cutting steady-state traffic;
+/// the price is tail latency under loss. Fixed 20 000-tick horizon, n=8,
+/// 20% loss, 3 messages.
+pub fn e13_backoff_extension() -> Vec<Table> {
+    let horizon = 20_000u64;
+    let mut t = Table::new(
+        "E13 — exponential backoff vs. faithful Task 1 (n=8, loss=0.2)",
+        &[
+            "variant",
+            "URB ok",
+            "total MSG+ACK",
+            "median latency",
+            "p99 latency",
+        ],
+    );
+    let variants: Vec<(Algorithm, String)> = std::iter::once((
+        Algorithm::Majority,
+        "faithful (every sweep)".to_string(),
+    ))
+    .chain(
+        [4u32, 16, 64]
+            .into_iter()
+            .map(|cap| (Algorithm::MajorityBackoff { cap }, format!("backoff cap={cap}"))),
+    )
+    .collect();
+    for (alg, name) in variants {
+        let mut ok = 0u64;
+        let mut sends = 0u64;
+        let mut lat = Vec::new();
+        for seed in 0..SEEDS {
+            let mut cfg = SimConfig::new(8, alg)
+                .seed(seed * 71 + 5)
+                .loss(LossModel::Bernoulli { p: 0.2 })
+                .workload(3, 100)
+                .max_time(horizon);
+            cfg.stop_on_quiescence = false; // fixed horizon: comparable traffic
+            let out = run(cfg);
+            if out.report.all_ok() {
+                ok += 1;
+            }
+            sends += out.metrics.protocol_sends();
+            lat.extend(out.metrics.latencies());
+        }
+        lat.sort_unstable();
+        let q = |p: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
+        };
+        t.row(vec![
+            name,
+            format!("{ok}/{SEEDS}"),
+            (sends / SEEDS).to_string(),
+            q(0.5).to_string(),
+            q(0.99).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E14 ----
+
+/// E14 — healing partitions: recovery time after a total cut.
+///
+/// Fair-lossy fairness is suspended during a network partition and resumes
+/// at the heal; URB must complete afterwards (the paper's model says
+/// nothing about *when*). Sweep the partition duration: time from
+/// broadcast to full delivery should track the cut end, and the post-heal
+/// recovery lag should be roughly constant (one retransmission round).
+pub fn e14_partition_heal() -> Vec<Table> {
+    use urb_sim::Blackout;
+    let mut t = Table::new(
+        "E14 — healing partition: {0,1,2,3} | {4,5,6,7} cut from t=0 (n=8, alg1)",
+        &[
+            "cut duration",
+            "runs",
+            "URB ok",
+            "mean full-delivery time",
+            "mean lag after heal",
+        ],
+    );
+    for &cut in &[0u64, 500, 2_000, 8_000] {
+        let mut ok = 0u64;
+        let mut total = Vec::new();
+        for seed in 0..SEEDS {
+            let mut cfg = SimConfig::new(8, Algorithm::Majority)
+                .seed(seed * 83 + 2)
+                .loss(LossModel::Bernoulli { p: 0.1 })
+                .workload(1, 50)
+                .max_time(cut + 60_000);
+            cfg.blackouts = Blackout::partition(&[0, 1, 2, 3], &[4, 5, 6, 7], 0, cut);
+            cfg.stop_on_full_delivery = true;
+            let out = run(cfg);
+            if out.report.all_ok() {
+                ok += 1;
+            }
+            total.push(out.metrics.ended_at);
+        }
+        let mean = total.iter().sum::<u64>() / total.len() as u64;
+        t.row(vec![
+            cut.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{SEEDS}"),
+            mean.to_string(),
+            mean.saturating_sub(cut).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_resolve() {
+        // Smoke-test the dispatcher without running the heavy grids.
+        assert_eq!(ALL_IDS.len(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = run_experiment("e99");
+    }
+
+    #[test]
+    fn e2_impossibility_small() {
+        // The impossibility table is cheap enough to regenerate in tests:
+        // the weakened arm must violate agreement, the control must block.
+        let tables = e2_impossibility();
+        let rendered = tables[0].render();
+        assert!(rendered.contains("E2"));
+        assert!(!tables[0].is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # `urb-bench`
+//!
+//! The experiment harness of the reproduction. The paper has no empirical
+//! evaluation; every experiment here validates one of its *claims*
+//! (theorems, lemmas, remarks — see `DESIGN.md` §5 for the index) and emits
+//! a markdown table. `EXPERIMENTS.md` archives a full run.
+//!
+//! Run everything: `cargo run -p urb-bench --release --bin experiments`
+//! Run one:        `cargo run -p urb-bench --release --bin experiments -- e4`
+//!
+//! The `benches/` directory adds Criterion micro-benchmarks (protocol step
+//! latency, codec throughput, detector snapshot cost, end-to-end runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::Table;

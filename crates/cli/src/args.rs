@@ -1,0 +1,306 @@
+//! Hand-rolled flag parsing (the workspace keeps its dependency set to the
+//! vetted offline crates; a CLI parser is 150 lines we can own).
+
+use urb_core::Algorithm;
+
+/// Usage text.
+pub const USAGE: &str = "\
+urb — anonymous Uniform Reliable Broadcast simulator (Tang et al., IPPS 2015)
+
+USAGE:
+    urb run   [flags]      simulate one run and report the URB verdict
+    urb sweep [flags]      loss-rate sweep, one row per loss value
+    urb theorem2 [--n N] [--seed S]
+                           execute the impossibility proof's adversary
+    urb help               this text
+
+FLAGS (run / sweep):
+    --n N             system size                         [default: 5]
+    --alg NAME        majority | quiescent | quiescent-literal |
+                      best-effort | eager-rb              [default: quiescent]
+    --loss P          per-transmission loss probability   [default: 0.2]
+    --burst           use bursty (Gilbert-Elliott) loss instead of Bernoulli
+    --crashes T       number of crashing processes        [default: 0]
+    --msgs K          number of URB broadcasts            [default: 2]
+    --seed S          RNG seed                            [default: 1]
+    --horizon T       max simulated ticks                 [default: 200000]
+    --fd KIND         oracle | heartbeat | none           [default: by algorithm]
+    --trace FILE      write a full JSON event trace to FILE
+    --json            print the outcome summary as JSON
+";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `urb run`.
+    Run(RunArgs),
+    /// `urb sweep`.
+    Sweep(RunArgs),
+    /// `urb theorem2`.
+    Theorem2 {
+        /// System size.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `urb help`.
+    Help,
+}
+
+/// Flags shared by `run` and `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// System size.
+    pub n: usize,
+    /// Protocol.
+    pub algorithm: Algorithm,
+    /// Loss probability.
+    pub loss: f64,
+    /// Bursty loss instead of Bernoulli.
+    pub burst: bool,
+    /// Crash count.
+    pub crashes: usize,
+    /// Broadcast count.
+    pub msgs: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Horizon.
+    pub horizon: u64,
+    /// Detector override (`None` = pick by algorithm).
+    pub fd: Option<FdChoice>,
+    /// Trace output path.
+    pub trace: Option<String>,
+    /// Machine-readable output.
+    pub json: bool,
+}
+
+/// Detector selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdChoice {
+    /// The audited oracle.
+    Oracle,
+    /// The heartbeat estimator.
+    Heartbeat,
+    /// No detector.
+    None,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            n: 5,
+            algorithm: Algorithm::Quiescent,
+            loss: 0.2,
+            burst: false,
+            crashes: 0,
+            msgs: 2,
+            seed: 1,
+            horizon: 200_000,
+            fd: None,
+            trace: None,
+            json: false,
+        }
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    Ok(match s {
+        "majority" | "alg1" => Algorithm::Majority,
+        "quiescent" | "alg2" => Algorithm::Quiescent,
+        "quiescent-literal" | "literal" => Algorithm::QuiescentLiteral,
+        "best-effort" | "beb" => Algorithm::BestEffort,
+        "eager-rb" | "rb" => Algorithm::EagerRb,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Parses an argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "theorem2" => {
+            let mut n = 6usize;
+            let mut seed = 1u64;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--n" => n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+                    "--seed" => {
+                        seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if n < 2 {
+                return Err("--n must be at least 2".into());
+            }
+            Ok(Command::Theorem2 { n, seed })
+        }
+        "run" | "sweep" => {
+            let mut args = RunArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+                    "--alg" => args.algorithm = parse_algorithm(&value("--alg")?)?,
+                    "--loss" => {
+                        args.loss = value("--loss")?.parse().map_err(|e| format!("--loss: {e}"))?
+                    }
+                    "--burst" => args.burst = true,
+                    "--crashes" => {
+                        args.crashes = value("--crashes")?
+                            .parse()
+                            .map_err(|e| format!("--crashes: {e}"))?
+                    }
+                    "--msgs" => {
+                        args.msgs = value("--msgs")?.parse().map_err(|e| format!("--msgs: {e}"))?
+                    }
+                    "--seed" => {
+                        args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--horizon" => {
+                        args.horizon = value("--horizon")?
+                            .parse()
+                            .map_err(|e| format!("--horizon: {e}"))?
+                    }
+                    "--fd" => {
+                        args.fd = Some(match value("--fd")?.as_str() {
+                            "oracle" => FdChoice::Oracle,
+                            "heartbeat" | "hb" => FdChoice::Heartbeat,
+                            "none" => FdChoice::None,
+                            other => return Err(format!("unknown detector {other:?}")),
+                        })
+                    }
+                    "--trace" => args.trace = Some(value("--trace")?),
+                    "--json" => args.json = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if args.n == 0 {
+                return Err("--n must be positive".into());
+            }
+            if args.crashes >= args.n {
+                return Err("--crashes must leave at least one correct process (t <= n-1)".into());
+            }
+            if !(0.0..=1.0).contains(&args.loss) {
+                return Err("--loss must be in [0, 1]".into());
+            }
+            if sub == "run" {
+                Ok(Command::Run(args))
+            } else {
+                Ok(Command::Sweep(args))
+            }
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        match parse(&argv("run")).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.n, 5);
+                assert_eq!(a.algorithm, Algorithm::Quiescent);
+                assert!(!a.json);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let cmd = parse(&argv(
+            "run --n 8 --alg majority --loss 0.35 --crashes 3 --msgs 4 --seed 99 \
+             --horizon 5000 --fd none --trace /tmp/t.json --json --burst",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.n, 8);
+                assert_eq!(a.algorithm, Algorithm::Majority);
+                assert_eq!(a.loss, 0.35);
+                assert_eq!(a.crashes, 3);
+                assert_eq!(a.msgs, 4);
+                assert_eq!(a.seed, 99);
+                assert_eq!(a.horizon, 5000);
+                assert_eq!(a.fd, Some(FdChoice::None));
+                assert_eq!(a.trace.as_deref(), Some("/tmp/t.json"));
+                assert!(a.json);
+                assert!(a.burst);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn algorithm_aliases() {
+        assert_eq!(parse_algorithm("alg1").unwrap(), Algorithm::Majority);
+        assert_eq!(parse_algorithm("alg2").unwrap(), Algorithm::Quiescent);
+        assert_eq!(
+            parse_algorithm("literal").unwrap(),
+            Algorithm::QuiescentLiteral
+        );
+        assert!(parse_algorithm("paxos").is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse(&argv("run --crashes 5 --n 5")).is_err(), "t <= n-1");
+        assert!(parse(&argv("run --loss 1.5")).is_err());
+        assert!(parse(&argv("run --n 0")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --alg")).is_err(), "missing value");
+        assert!(parse(&argv("run --wat 3")).is_err());
+    }
+
+    #[test]
+    fn theorem2_flags() {
+        match parse(&argv("theorem2 --n 8 --seed 4")).unwrap() {
+            Command::Theorem2 { n, seed } => {
+                assert_eq!(n, 8);
+                assert_eq!(seed, 4);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("theorem2 --n 1")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_like_run() {
+        match parse(&argv("sweep --n 6 --alg eager-rb")).unwrap() {
+            Command::Sweep(a) => {
+                assert_eq!(a.n, 6);
+                assert_eq!(a.algorithm, Algorithm::EagerRb);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Command implementations for the `urb` binary.
+
+use crate::args::{FdChoice, RunArgs};
+use crate::summary::RunSummary;
+use urb_fd::{HeartbeatConfig, OracleConfig};
+use urb_sim::{scenario, CrashPlan, FdKind, LossModel, SimConfig, TraceConfig};
+
+/// Builds a [`SimConfig`] from CLI flags.
+pub fn build_config(args: &RunArgs) -> SimConfig {
+    let mut cfg = SimConfig::new(args.n, args.algorithm)
+        .seed(args.seed)
+        .workload(args.msgs, 100)
+        .max_time(args.horizon);
+    cfg.loss = if args.loss <= 0.0 {
+        LossModel::None
+    } else if args.burst {
+        LossModel::Burst {
+            p_enter: args.loss / 4.0,
+            p_exit: 0.2,
+            p_loss: 0.9,
+        }
+    } else {
+        LossModel::Bernoulli { p: args.loss }
+    };
+    if args.crashes > 0 {
+        cfg.crashes = CrashPlan::random(args.n, args.crashes, 400, args.seed ^ 0xC11, Some(0));
+    }
+    match args.fd {
+        Some(FdChoice::Oracle) => cfg.fd = FdKind::Oracle(OracleConfig::default()),
+        Some(FdChoice::Heartbeat) => cfg.fd = FdKind::Heartbeat(HeartbeatConfig::default()),
+        Some(FdChoice::None) => cfg.fd = FdKind::None,
+        None => {} // SimConfig::new already picked by algorithm
+    }
+    if args.trace.is_some() {
+        cfg.trace = TraceConfig::full(1_000_000);
+    }
+    // Non-quiescent algorithms would run to the horizon; end once the URB
+    // verdict is decided (quiescent ones still get their quiescence flag
+    // because stop_on_quiescence remains on and is checked first).
+    cfg.stop_on_full_delivery = true;
+    cfg
+}
+
+/// `urb run`.
+pub fn run_cmd(args: RunArgs) {
+    let cfg = build_config(&args);
+    let out = urb_sim::run(cfg);
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, out.trace.to_json()) {
+            Ok(()) => eprintln!("trace: {} events written to {path}", out.trace.len()),
+            Err(e) => {
+                eprintln!("error writing trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let summary = RunSummary::from_outcome(&out);
+    if args.json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render_text());
+    }
+    if !out.all_ok() {
+        std::process::exit(1);
+    }
+}
+
+/// `urb sweep`: one row per loss rate, everything else from flags.
+pub fn sweep_cmd(args: RunArgs) {
+    println!(
+        "loss sweep: n={} alg={} crashes={} msgs={} (seed {})",
+        args.n,
+        args.algorithm.name(),
+        args.crashes,
+        args.msgs,
+        args.seed
+    );
+    println!("loss   ok     median  p99     transmissions");
+    for &loss in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut a = args.clone();
+        a.loss = loss;
+        a.trace = None;
+        let out = urb_sim::run(build_config(&a));
+        let s = RunSummary::from_outcome(&out);
+        println!(
+            "{:<6.2} {:<6} {:<7} {:<7} {}",
+            loss,
+            s.validity_ok && s.agreement_ok && s.integrity_ok,
+            s.median_latency.map_or("—".into(), |v| v.to_string()),
+            s.p99_latency.map_or("—".into(), |v| v.to_string()),
+            s.protocol_transmissions
+        );
+    }
+}
+
+/// `urb theorem2`: executes both horns of the impossibility proof.
+pub fn theorem2_cmd(n: usize, seed: u64) {
+    println!("Theorem 2 (impossibility of URB with t >= n/2), executable — n={n}\n");
+    let s1 = n.div_ceil(2);
+    println!(
+        "adversary: S1 = processes 0..{s1} (deliver then crash, outbound links severed), \
+         S2 = the rest\n"
+    );
+
+    let out = urb_sim::run(scenario::theorem2_partition(n, seed));
+    println!("arm 1: delivery threshold ⌈n/2⌉ = {s1} (what any t ≥ n/2 algorithm needs)");
+    println!(
+        "  deliveries: {} (all inside S1), uniform agreement: {}",
+        out.metrics.deliveries.len(),
+        if out.report.agreement.ok() {
+            "holds"
+        } else {
+            "VIOLATED — S2 never delivers"
+        }
+    );
+
+    let out = urb_sim::run(scenario::theorem2_control(n, seed));
+    println!("\narm 2: faithful Algorithm 1 (strict majority = {})", n / 2 + 1);
+    println!(
+        "  deliveries: {} — {}",
+        out.metrics.deliveries.len(),
+        if out.metrics.deliveries.is_empty() {
+            "blocked forever (safe, but URB's liveness is lost)"
+        } else {
+            "unexpected delivery!"
+        }
+    );
+    println!(
+        "\nboth horns observed: deliver-and-violate or block — hence URB needs t < n/2 \
+         (or the AΘ/AP* detectors of Algorithm 2)."
+    );
+}
+
+/// `urb run` used by tests: returns the summary instead of printing.
+pub fn run_for_test(args: &RunArgs) -> RunSummary {
+    let out = urb_sim::run(build_config(args));
+    RunSummary::from_outcome(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunArgs;
+
+    #[test]
+    fn build_config_maps_flags() {
+        let mut args = RunArgs::default();
+        args.n = 7;
+        args.loss = 0.0;
+        args.crashes = 2;
+        args.fd = Some(FdChoice::None);
+        let cfg = build_config(&args);
+        assert_eq!(cfg.n, 7);
+        assert!(matches!(cfg.loss, LossModel::None));
+        assert!(matches!(cfg.fd, FdKind::None));
+        assert_eq!(cfg.crashes.faulty_count(), 2);
+        assert!(cfg.stop_on_full_delivery);
+    }
+
+    #[test]
+    fn burst_flag_switches_model() {
+        let mut args = RunArgs::default();
+        args.burst = true;
+        args.loss = 0.2;
+        let cfg = build_config(&args);
+        assert!(matches!(cfg.loss, LossModel::Burst { .. }));
+    }
+
+    #[test]
+    fn trace_flag_enables_recording() {
+        let mut args = RunArgs::default();
+        args.trace = Some("/tmp/x.json".into());
+        let cfg = build_config(&args);
+        assert!(cfg.trace.enabled);
+    }
+
+    #[test]
+    fn run_for_test_produces_clean_verdict() {
+        let mut args = RunArgs::default();
+        args.n = 4;
+        args.msgs = 1;
+        args.loss = 0.1;
+        let s = run_for_test(&args);
+        assert!(s.validity_ok && s.agreement_ok && s.integrity_ok);
+        assert_eq!(s.deliveries, 4);
+    }
+
+    #[test]
+    fn quiescent_default_algorithm_reports_audit() {
+        let args = RunArgs::default(); // quiescent + oracle by default
+        let s = run_for_test(&args);
+        assert_eq!(s.fd_audit_ok, Some(true));
+    }
+}

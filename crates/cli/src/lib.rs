@@ -1,0 +1,10 @@
+//! Library side of the `urb` CLI — argument parsing and command
+//! implementations, split out so they are unit-testable without spawning
+//! the binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod summary;

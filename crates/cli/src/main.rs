@@ -1,0 +1,33 @@
+//! `urb` — command-line front end for the anon-urb simulator.
+//!
+//! ```text
+//! urb run --n 8 --alg quiescent --loss 0.3 --crashes 5 --msgs 3 --seed 7
+//! urb run --n 5 --alg majority --trace /tmp/run.json --json
+//! urb theorem2 --n 6
+//! urb sweep --n 8 --alg majority
+//! urb help
+//! ```
+//!
+//! Everything the CLI does goes through the same `urb_sim::run` entry point
+//! the tests and experiments use; the CLI only parses flags and formats
+//! output (human text by default, `--json` for machines).
+
+use urb_cli::args::{parse, Command};
+use urb_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(Command::Run(cfg)) => commands::run_cmd(cfg),
+        Ok(Command::Theorem2 { n, seed }) => commands::theorem2_cmd(n, seed),
+        Ok(Command::Sweep(cfg)) => commands::sweep_cmd(cfg),
+        Ok(Command::Help) => {
+            print!("{}", urb_cli::args::USAGE);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", urb_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

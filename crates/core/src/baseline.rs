@@ -1,0 +1,225 @@
+//! Baseline broadcast abstractions (paper §I).
+//!
+//! The introduction motivates URB by walking the broadcast hierarchy:
+//!
+//! * **Best-effort broadcast** — `send`/`receive` with no delivery guarantee
+//!   when the sender crashes: receivers deliver what arrives, nothing is
+//!   retransmitted. Under fair-lossy channels even a *correct* sender gives
+//!   no guarantee, since the single transmission can be lost.
+//! * **Reliable broadcast (RB)** — all *correct* processes deliver the same
+//!   set of messages, but a process may deliver and then crash, leaving a
+//!   message nobody else ever delivers — the inconsistency URB exists to
+//!   rule out.
+//!
+//! Both are implemented here as [`AnonProcess`] state machines so the
+//! experiment harness can put numbers on the hierarchy (experiment E11):
+//! delivery ratios and uniformity violations under crash/loss adversaries,
+//! side by side with the paper's two URB algorithms.
+
+use std::collections::{BTreeMap, BTreeSet};
+use urb_types::{
+    AnonProcess, Context, Payload, ProcessStats, Tag, WireMessage,
+};
+
+/// Best-effort broadcast: transmit once, deliver on first receipt.
+///
+/// Quiescent by construction, but offers no agreement: a lost transmission
+/// or a crashed sender simply loses the message for some receivers.
+#[derive(Debug, Default)]
+pub struct BestEffortBroadcast {
+    delivered: BTreeSet<Tag>,
+}
+
+impl BestEffortBroadcast {
+    /// New best-effort instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AnonProcess for BestEffortBroadcast {
+    fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
+        let tag = Tag::random(ctx.rng);
+        // One transmission, no bookkeeping, no retransmission.
+        ctx.broadcast(WireMessage::Msg { tag, payload });
+        tag
+    }
+
+    fn on_receive(&mut self, msg: WireMessage, ctx: &mut Context<'_>) {
+        if let WireMessage::Msg { tag, payload } = msg {
+            if self.delivered.insert(tag) {
+                ctx.deliver(tag, payload, false);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _ctx: &mut Context<'_>) {}
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            delivered: self.delivered.len(),
+            ..ProcessStats::default()
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "best-effort"
+    }
+}
+
+/// Eager (non-uniform) reliable broadcast with retransmission.
+///
+/// Delivers on *first receipt* — before any evidence that anyone else has
+/// the message — then joins the retransmission effort forever (it must:
+/// with fair-lossy channels a single relay can be lost, so RB needs the same
+/// forever-rebroadcast as Algorithm 1).
+///
+/// Correct processes eventually agree (same argument as Algorithm 1's
+/// Task 1), but **uniform** agreement fails: a process that delivers and
+/// immediately crashes may be the only process that ever saw the message.
+/// Experiment E11 counts exactly those violations.
+#[derive(Debug, Default)]
+pub struct EagerReliableBroadcast {
+    msgs: BTreeMap<Tag, Payload>,
+    delivered: BTreeSet<Tag>,
+}
+
+impl EagerReliableBroadcast {
+    /// New eager-RB instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when this process has RB-delivered `tag`.
+    pub fn has_delivered(&self, tag: Tag) -> bool {
+        self.delivered.contains(&tag)
+    }
+}
+
+impl AnonProcess for EagerReliableBroadcast {
+    fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
+        let tag = Tag::random(ctx.rng);
+        self.msgs.insert(tag, payload.clone());
+        // RB-deliver locally right away (validity is trivial here).
+        self.delivered.insert(tag);
+        ctx.deliver(tag, payload.clone(), false);
+        ctx.broadcast(WireMessage::Msg { tag, payload });
+        tag
+    }
+
+    fn on_receive(&mut self, msg: WireMessage, ctx: &mut Context<'_>) {
+        if let WireMessage::Msg { tag, payload } = msg {
+            if self.delivered.insert(tag) {
+                // Deliver first …
+                ctx.deliver(tag, payload.clone(), false);
+            }
+            // … then relay forever (fair-lossy channels force the forever).
+            self.msgs.entry(tag).or_insert(payload);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<'_>) {
+        for (tag, payload) in &self.msgs {
+            ctx.broadcast(WireMessage::Msg {
+                tag: *tag,
+                payload: payload.clone(),
+            });
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            msg_set: self.msgs.len(),
+            delivered: self.delivered.len(),
+            ..ProcessStats::default()
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "eager-rb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StepHarness;
+
+    fn msg(tag: u128, body: &str) -> WireMessage {
+        WireMessage::Msg {
+            tag: Tag(tag),
+            payload: Payload::from(body),
+        }
+    }
+
+    #[test]
+    fn best_effort_sends_once_and_never_retransmits() {
+        let mut h = StepHarness::new(1);
+        let mut p = BestEffortBroadcast::new();
+        let (_, out) = h.broadcast(&mut p, Payload::from("m"));
+        assert_eq!(out.broadcasts.len(), 1);
+        assert!(h.tick(&mut p).is_silent(), "no Task 1");
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn best_effort_delivers_once_per_tag() {
+        let mut h = StepHarness::new(2);
+        let mut p = BestEffortBroadcast::new();
+        assert_eq!(h.receive(&mut p, msg(7, "m")).deliveries.len(), 1);
+        assert!(h.receive(&mut p, msg(7, "m")).deliveries.is_empty());
+        assert_eq!(p.stats().delivered, 1);
+    }
+
+    #[test]
+    fn eager_rb_delivers_immediately_on_first_receipt() {
+        let mut h = StepHarness::new(3);
+        let mut p = EagerReliableBroadcast::new();
+        let out = h.receive(&mut p, msg(7, "m"));
+        assert_eq!(out.deliveries.len(), 1, "deliver before any agreement");
+        assert!(h.receive(&mut p, msg(7, "m")).deliveries.is_empty());
+    }
+
+    #[test]
+    fn eager_rb_sender_self_delivers() {
+        let mut h = StepHarness::new(4);
+        let mut p = EagerReliableBroadcast::new();
+        let (tag, out) = h.broadcast(&mut p, Payload::from("m"));
+        assert_eq!(out.deliveries.len(), 1);
+        assert!(p.has_delivered(tag));
+    }
+
+    #[test]
+    fn eager_rb_relays_forever() {
+        let mut h = StepHarness::new(5);
+        let mut p = EagerReliableBroadcast::new();
+        h.receive(&mut p, msg(7, "m"));
+        for _ in 0..3 {
+            assert_eq!(h.tick(&mut p).msgs().len(), 1);
+        }
+        assert!(!p.is_quiescent(), "eager RB is as non-quiescent as Alg. 1");
+    }
+
+    #[test]
+    fn baselines_ignore_acks_and_heartbeats() {
+        let mut h = StepHarness::new(6);
+        let mut be = BestEffortBroadcast::new();
+        let mut rb = EagerReliableBroadcast::new();
+        let stray_ack = WireMessage::Ack {
+            tag: Tag(1),
+            tag_ack: urb_types::TagAck(2),
+            payload: Payload::from("m"),
+            labels: None,
+        };
+        assert!(h.receive(&mut be, stray_ack.clone()).is_silent());
+        assert!(h.receive(&mut rb, stray_ack).is_silent());
+    }
+}

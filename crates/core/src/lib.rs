@@ -1,0 +1,135 @@
+//! # `urb-core`
+//!
+//! The broadcast algorithms of Tang, Larrea, Arévalo & Jiménez,
+//! *"Implementing Uniform Reliable Broadcast in Anonymous Distributed
+//! Systems with Fair Lossy Channels"* (IPPS 2015), as deterministic sans-io
+//! state machines:
+//!
+//! * [`majority::MajorityUrb`] — **Algorithm 1**: non-quiescent
+//!   URB for `AAS_F[t < n/2]` (anonymous, asynchronous, fair-lossy channels,
+//!   a majority of correct processes). Delivery happens on receipt of a
+//!   strict majority of distinct acknowledgment tags.
+//! * [`quiescent::QuiescentUrb`] — **Algorithm 2**: quiescent
+//!   URB for `AAS_F[AΘ, AP*]`, tolerating any number of crashes. The
+//!   anonymous failure detector `AΘ` replaces the majority quorum in the
+//!   delivery condition and `AP*` lets Task 1 stop retransmitting.
+//! * [`baseline`] — the weaker broadcast abstractions the paper's
+//!   introduction contrasts against (best-effort broadcast and an eager,
+//!   non-uniform reliable broadcast), used by the experiment harness to
+//!   demonstrate *why* uniformity needs the paper's machinery.
+//!
+//! Every state machine implements [`urb_types::AnonProcess`]; the
+//! discrete-event simulator (`urb-sim`) and the threaded runtime
+//! (`urb-runtime`) both drive the exact same code.
+//!
+//! The pseudocode line numbers quoted throughout refer to the paper's
+//! Algorithm 1 and Algorithm 2 listings; intentional deviations are the
+//! D1–D7 notes in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod baseline;
+pub mod harness;
+pub mod majority;
+pub mod quiescent;
+
+pub use backoff::BackoffUrb;
+pub use baseline::{BestEffortBroadcast, EagerReliableBroadcast};
+pub use majority::MajorityUrb;
+pub use quiescent::{PruneRule, QuiescentUrb};
+
+use urb_types::AnonProcess;
+
+/// Which algorithm a driver should instantiate. Used by the simulator's
+/// scenario builders and the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 — majority-based, non-quiescent URB.
+    Majority,
+    /// Algorithm 1 with a deliberately weakened delivery threshold
+    /// (`count >= threshold` instead of a strict majority). Exists solely to
+    /// demonstrate Theorem 2: below a majority, uniform agreement breaks.
+    WeakenedMajority {
+        /// The (sub-majority) number of distinct ACKs that triggers delivery.
+        threshold: u32,
+    },
+    /// Algorithm 2 — quiescent URB using `AΘ` and `AP*`.
+    Quiescent,
+    /// Algorithm 2 with the D4 dead-ACKer purge disabled (the paper's
+    /// literal line-55 condition). Exists for ablation E12.
+    QuiescentLiteral,
+    /// Extension: Algorithm 1 with exponential Task-1 backoff capped at
+    /// `cap` sweeps (ablation E13). `cap = 1` ≈ the faithful algorithm.
+    MajorityBackoff {
+        /// Maximum gap between retransmissions of one message, in sweeps.
+        cap: u32,
+    },
+    /// Best-effort broadcast baseline (send once, deliver on first receipt).
+    BestEffort,
+    /// Eager non-uniform reliable broadcast baseline.
+    EagerRb,
+}
+
+impl Algorithm {
+    /// Instantiates the protocol state machine for a system of `n` processes.
+    pub fn instantiate(self, n: usize) -> Box<dyn AnonProcess + Send> {
+        match self {
+            Algorithm::Majority => Box::new(MajorityUrb::new(n)),
+            Algorithm::WeakenedMajority { threshold } => {
+                Box::new(MajorityUrb::with_threshold(n, threshold as usize))
+            }
+            Algorithm::Quiescent => Box::new(QuiescentUrb::new()),
+            Algorithm::QuiescentLiteral => Box::new(QuiescentUrb::with_rule(PruneRule::Literal)),
+            Algorithm::MajorityBackoff { cap } => Box::new(BackoffUrb::new(n, cap)),
+            Algorithm::BestEffort => Box::new(BestEffortBroadcast::new()),
+            Algorithm::EagerRb => Box::new(EagerReliableBroadcast::new()),
+        }
+    }
+
+    /// Whether this algorithm consults the failure detectors.
+    pub fn needs_fd(self) -> bool {
+        matches!(self, Algorithm::Quiescent | Algorithm::QuiescentLiteral)
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Majority => "alg1-majority",
+            Algorithm::WeakenedMajority { .. } => "alg1-weakened",
+            Algorithm::Quiescent => "alg2-quiescent",
+            Algorithm::QuiescentLiteral => "alg2-literal",
+            Algorithm::MajorityBackoff { .. } => "alg1-backoff",
+            Algorithm::BestEffort => "best-effort",
+            Algorithm::EagerRb => "eager-rb",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_names_match() {
+        for (alg, name) in [
+            (Algorithm::Majority, "alg1-majority"),
+            (Algorithm::Quiescent, "alg2-quiescent"),
+            (Algorithm::BestEffort, "best-effort"),
+            (Algorithm::EagerRb, "eager-rb"),
+        ] {
+            assert_eq!(alg.name(), name);
+            let p = alg.instantiate(5);
+            assert!(!p.algorithm_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn fd_requirements() {
+        assert!(!Algorithm::Majority.needs_fd());
+        assert!(Algorithm::Quiescent.needs_fd());
+        assert!(Algorithm::QuiescentLiteral.needs_fd());
+        assert!(!Algorithm::BestEffort.needs_fd());
+    }
+}

@@ -1,0 +1,561 @@
+//! **Algorithm 1** — Uniform Reliable Broadcast in `AAS_F[t < n/2]`
+//! (paper §III).
+//!
+//! The idea: anonymity prevents processes from *naming* the correct process
+//! that is guaranteed to hold a copy of a message, so the algorithm counts
+//! *anonymous acknowledgments* instead. Each message gets a unique random
+//! `tag`; each acknowledgment a unique random `tag_ack`. Because a process
+//! re-uses the same `tag_ack` on every retransmission of its ACK for a given
+//! `(m, tag)` (the `MY_ACK` set enforces this, lines 11–16), receiving a
+//! strict majority of *distinct* `tag_ack`s proves a majority of processes
+//! hold `m` — and with `t < n/2`, at least one of them is correct, which is
+//! exactly the classic URB delivery condition.
+//!
+//! The algorithm is **not quiescent**: Task 1 (lines 28–32) rebroadcasts
+//! every message in `MSG` forever, because with fair-lossy channels and no
+//! failure detector a process can never learn that everyone has the message.
+//! Experiment E4 measures this directly.
+
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use urb_types::{
+    AnonProcess, Context, Payload, ProcessStats, Tag, TagAck, WireMessage,
+};
+
+/// Per-tag acknowledgment bookkeeping (the `ALL_ACK_i` slice for one tag).
+#[derive(Clone, Debug, Serialize)]
+struct AckRecord {
+    /// Distinct acknowledgment tags received for this message (line 19–21).
+    acks: BTreeSet<TagAck>,
+    /// Payload learned from the ACKs (they piggyback `m`; DESIGN.md D1).
+    payload: Payload,
+}
+
+/// Algorithm 1: majority-based, non-quiescent URB (code of `p_i`).
+///
+/// ```
+/// use urb_core::{harness::StepHarness, MajorityUrb};
+/// use urb_types::{AnonProcess, Payload, WireMessage, Tag, TagAck};
+///
+/// // A 3-process system: delivery needs 2 distinct anonymous ACKs.
+/// let mut h = StepHarness::new(7);
+/// let mut p = MajorityUrb::new(3);
+/// let ack = |ta: u128| WireMessage::Ack {
+///     tag: Tag(9), tag_ack: TagAck(ta),
+///     payload: Payload::from("m"), labels: None,
+/// };
+/// assert!(h.receive(&mut p, ack(1)).deliveries.is_empty());
+/// let out = h.receive(&mut p, ack(2));
+/// assert_eq!(out.deliveries.len(), 1);          // majority reached
+/// assert!(out.deliveries[0].fast);              // before any MSG copy!
+/// assert!(p.is_quiescent() == false || p.stats().msg_set == 0);
+/// ```
+///
+/// State maps one-to-one to the paper's four sets:
+///
+/// | paper              | field        |
+/// |--------------------|--------------|
+/// | `MSG_i`            | `msgs`       |
+/// | `MY_ACK_i`         | `my_acks`    |
+/// | `ALL_ACK_i`        | `all_acks`   |
+/// | `URB_DELIVERED_i`  | `delivered`  |
+///
+/// All collections are ordered (`BTreeMap`/`BTreeSet`) so iteration — and
+/// therefore the whole protocol — is deterministic for a given seed.
+#[derive(Debug)]
+pub struct MajorityUrb {
+    n: usize,
+    /// Deliver when `|distinct tag_acks| >= threshold`. For the faithful
+    /// algorithm this is the strict majority `⌊n/2⌋ + 1` (line 22); the
+    /// Theorem-2 demonstration weakens it below a majority.
+    threshold: usize,
+    msgs: BTreeMap<Tag, Payload>,
+    my_acks: BTreeMap<Tag, TagAck>,
+    all_acks: BTreeMap<Tag, AckRecord>,
+    delivered: BTreeSet<Tag>,
+    weakened: bool,
+}
+
+impl MajorityUrb {
+    /// Faithful Algorithm 1 for a system of `n` processes: delivery requires
+    /// a strict majority (`> n/2`) of distinct `tag_ack`s.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a system needs at least one process");
+        Self {
+            n,
+            threshold: n / 2 + 1,
+            msgs: BTreeMap::new(),
+            my_acks: BTreeMap::new(),
+            all_acks: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            weakened: false,
+        }
+    }
+
+    /// Algorithm 1 with an explicit delivery threshold.
+    ///
+    /// Only meaningful for the Theorem-2 impossibility demonstration (E2):
+    /// with `threshold <= n/2` the algorithm can URB-deliver a message held
+    /// exclusively by processes that then crash, violating uniform
+    /// agreement — exactly the run `R2` of the paper's proof.
+    pub fn with_threshold(n: usize, threshold: usize) -> Self {
+        assert!(threshold >= 1 && threshold <= n);
+        let mut p = Self::new(n);
+        p.weakened = threshold <= n / 2;
+        p.threshold = threshold;
+        p
+    }
+
+    /// The system size this instance was configured for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The delivery threshold in force.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of distinct acknowledgment tags seen for `tag`.
+    pub fn ack_count(&self, tag: Tag) -> usize {
+        self.all_acks.get(&tag).map_or(0, |r| r.acks.len())
+    }
+
+    /// True when this process has URB-delivered `tag`.
+    pub fn has_delivered(&self, tag: Tag) -> bool {
+        self.delivered.contains(&tag)
+    }
+
+    /// Lines 7–17: handle `(MSG, m, tag)`.
+    fn handle_msg(&mut self, tag: Tag, payload: Payload, ctx: &mut Context<'_>) {
+        // Lines 8–10: record the message for Task-1 retransmission.
+        self.msgs.entry(tag).or_insert_with(|| payload.clone());
+        // Lines 11–17: acknowledge with a *stable* tag_ack. First reception
+        // (from anyone, ourselves included) mints the tag_ack; every further
+        // reception re-broadcasts the identical ACK to beat message loss.
+        let tag_ack = match self.my_acks.get(&tag) {
+            Some(ta) => *ta, // lines 11–12
+            None => {
+                let ta = TagAck::random(ctx.rng); // line 14
+                self.my_acks.insert(tag, ta); // line 15
+                ta
+            }
+        };
+        ctx.broadcast(WireMessage::Ack {
+            tag,
+            tag_ack,
+            payload,
+            labels: None,
+        }); // lines 12 / 16
+    }
+
+    /// Lines 18–27: handle `(ACK, m, tag, tag_ack)`.
+    fn handle_ack(&mut self, tag: Tag, tag_ack: TagAck, payload: Payload, ctx: &mut Context<'_>) {
+        let rec = self.all_acks.entry(tag).or_insert_with(|| AckRecord {
+            acks: BTreeSet::new(),
+            payload,
+        });
+        rec.acks.insert(tag_ack); // lines 19–21
+        // Line 22: "a majority of (m, tag, −) in ALL_ACK" — strict majority
+        // of *distinct* tag_acks (or the configured threshold).
+        if rec.acks.len() >= self.threshold && !self.delivered.contains(&tag) {
+            // Lines 23–26.
+            self.delivered.insert(tag);
+            // The paper's fast-deliver remark: delivery may precede the
+            // reception of the MSG copy; we flag it for experiment E10.
+            let fast = !self.msgs.contains_key(&tag);
+            let body = rec.payload.clone();
+            ctx.deliver(tag, body, fast);
+        }
+    }
+}
+
+impl AnonProcess for MajorityUrb {
+    /// Lines 4–6, plus an immediate first Task-1 transmission (D7).
+    fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
+        let tag = Tag::random(ctx.rng); // line 5
+        self.msgs.insert(tag, payload.clone()); // line 6
+        // Task 1 would send this on its next sweep anyway; sending now just
+        // shifts phase, and matches how the loop-forever task behaves from
+        // the moment the message enters MSG.
+        ctx.broadcast(WireMessage::Msg { tag, payload });
+        tag
+    }
+
+    fn on_receive(&mut self, msg: WireMessage, ctx: &mut Context<'_>) {
+        match msg {
+            WireMessage::Msg { tag, payload } => self.handle_msg(tag, payload, ctx),
+            WireMessage::Ack {
+                tag,
+                tag_ack,
+                payload,
+                labels: _,
+            } => self.handle_ack(tag, tag_ack, payload, ctx),
+            // Algorithm 1 runs without failure detectors; stray heartbeats
+            // (e.g. mixed deployments) are ignored.
+            WireMessage::Heartbeat { .. } => {}
+        }
+    }
+
+    /// Task 1, lines 28–32: rebroadcast every message in `MSG_i`, forever.
+    fn on_tick(&mut self, ctx: &mut Context<'_>) {
+        for (tag, payload) in &self.msgs {
+            ctx.broadcast(WireMessage::Msg {
+                tag: *tag,
+                payload: payload.clone(),
+            });
+        }
+    }
+
+    /// Never quiescent once `MSG_i` is non-empty — the defining limitation
+    /// of Algorithm 1 (Theorem 3's motivation).
+    fn is_quiescent(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            msg_set: self.msgs.len(),
+            my_acks: self.my_acks.len(),
+            all_ack_entries: self.all_acks.values().map(|r| r.acks.len()).sum(),
+            delivered: self.delivered.len(),
+            label_counters: 0,
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        if self.weakened {
+            "alg1-weakened"
+        } else {
+            "alg1-majority"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StepHarness;
+    
+
+    fn msg(tag: u128, body: &str) -> WireMessage {
+        WireMessage::Msg {
+            tag: Tag(tag),
+            payload: Payload::from(body),
+        }
+    }
+
+    fn ack(tag: u128, ta: u128, body: &str) -> WireMessage {
+        WireMessage::Ack {
+            tag: Tag(tag),
+            tag_ack: TagAck(ta),
+            payload: Payload::from(body),
+            labels: None,
+        }
+    }
+
+    #[test]
+    fn broadcast_assigns_unique_tags_and_stores_message() {
+        let mut h = StepHarness::new(1);
+        let mut p = MajorityUrb::new(5);
+        let (t1, _) = h.broadcast(&mut p, Payload::from("a"));
+        let (t2, _) = h.broadcast(&mut p, Payload::from("b"));
+        assert_ne!(t1, t2);
+        assert_eq!(p.stats().msg_set, 2);
+    }
+
+    #[test]
+    fn first_msg_reception_mints_ack_and_stores() {
+        let mut h = StepHarness::new(2);
+        let mut p = MajorityUrb::new(3);
+        let out = h.receive(&mut p, msg(7, "hi"));
+        assert_eq!(out.acks().len(), 1, "exactly one ACK per reception");
+        assert_eq!(p.stats().msg_set, 1, "message entered MSG set");
+        assert_eq!(p.stats().my_acks, 1);
+        match out.acks()[0] {
+            WireMessage::Ack {
+                tag,
+                payload,
+                labels,
+                ..
+            } => {
+                assert_eq!(*tag, Tag(7));
+                assert_eq!(payload.as_slice(), b"hi");
+                assert!(labels.is_none(), "Algorithm 1 ACKs carry no labels");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn repeated_msg_reception_rebroadcasts_identical_ack() {
+        // Lines 11–12: the tag_ack must be stable across retransmissions —
+        // this is what makes distinct tag_acks count distinct processes.
+        let mut h = StepHarness::new(3);
+        let mut p = MajorityUrb::new(3);
+        let first = h.receive(&mut p, msg(7, "hi"));
+        let second = h.receive(&mut p, msg(7, "hi"));
+        let get_ta = |o: &crate::harness::StepOut| match o.acks()[0] {
+            WireMessage::Ack { tag_ack, .. } => *tag_ack,
+            _ => panic!(),
+        };
+        assert_eq!(get_ta(&first), get_ta(&second));
+        assert_eq!(p.stats().my_acks, 1, "MY_ACK holds one entry per tag");
+    }
+
+    #[test]
+    fn distinct_messages_get_distinct_tag_acks() {
+        let mut h = StepHarness::new(4);
+        let mut p = MajorityUrb::new(3);
+        let o1 = h.receive(&mut p, msg(1, "a"));
+        let o2 = h.receive(&mut p, msg(2, "b"));
+        let ta = |o: &crate::harness::StepOut| match o.acks()[0] {
+            WireMessage::Ack { tag_ack, .. } => *tag_ack,
+            _ => panic!(),
+        };
+        assert_ne!(ta(&o1), ta(&o2));
+    }
+
+    #[test]
+    fn delivery_at_exactly_strict_majority() {
+        // n = 5 ⇒ threshold 3. Two distinct ACKs: no delivery; third: deliver.
+        let mut h = StepHarness::new(5);
+        let mut p = MajorityUrb::new(5);
+        assert!(h.receive(&mut p, ack(9, 100, "m")).deliveries.is_empty());
+        assert!(h.receive(&mut p, ack(9, 101, "m")).deliveries.is_empty());
+        let out = h.receive(&mut p, ack(9, 102, "m"));
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].tag, Tag(9));
+        assert_eq!(out.deliveries[0].payload.as_slice(), b"m");
+    }
+
+    #[test]
+    fn duplicate_tag_acks_do_not_count_twice() {
+        let mut h = StepHarness::new(6);
+        let mut p = MajorityUrb::new(3); // threshold 2
+        assert!(h.receive(&mut p, ack(9, 100, "m")).deliveries.is_empty());
+        // Same tag_ack again (retransmission): still one distinct ACK.
+        assert!(h.receive(&mut p, ack(9, 100, "m")).deliveries.is_empty());
+        assert_eq!(p.ack_count(Tag(9)), 1);
+        assert_eq!(h.receive(&mut p, ack(9, 101, "m")).deliveries.len(), 1);
+    }
+
+    #[test]
+    fn no_duplicate_delivery() {
+        // Uniform Integrity: at most one delivery per message.
+        let mut h = StepHarness::new(7);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, ack(9, 1, "m"));
+        let out = h.receive(&mut p, ack(9, 2, "m"));
+        assert_eq!(out.deliveries.len(), 1);
+        // Further ACKs for the same tag change nothing.
+        let out = h.receive(&mut p, ack(9, 3, "m"));
+        assert!(out.deliveries.is_empty());
+        assert_eq!(h.all_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn fast_delivery_flag_set_when_msg_copy_never_arrived() {
+        // The §III remark: majority of ACKs can precede the MSG copy.
+        let mut h = StepHarness::new(8);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, ack(9, 1, "m"));
+        let out = h.receive(&mut p, ack(9, 2, "m"));
+        assert!(out.deliveries[0].fast, "delivered without the MSG copy");
+    }
+
+    #[test]
+    fn normal_delivery_flag_unset_when_msg_arrived_first() {
+        let mut h = StepHarness::new(9);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, msg(9, "m"));
+        h.receive(&mut p, ack(9, 1, "m"));
+        let out = h.receive(&mut p, ack(9, 2, "m"));
+        assert!(!out.deliveries[0].fast);
+    }
+
+    #[test]
+    fn task1_rebroadcasts_all_known_messages_forever() {
+        let mut h = StepHarness::new(10);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, msg(1, "a"));
+        h.receive(&mut p, msg(2, "b"));
+        for _ in 0..3 {
+            let out = h.tick(&mut p);
+            assert_eq!(out.msgs().len(), 2, "every MSG rebroadcast each sweep");
+        }
+        assert!(!p.is_quiescent(), "Algorithm 1 is non-quiescent");
+    }
+
+    #[test]
+    fn quiescent_only_before_any_message() {
+        let p = MajorityUrb::new(3);
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn own_broadcast_echo_generates_self_ack() {
+        // The broadcast primitive includes the sender; receiving our own MSG
+        // must produce our ACK (first case in the paper's description).
+        let mut h = StepHarness::new(11);
+        let mut p = MajorityUrb::new(3);
+        let (tag, _) = h.broadcast(&mut p, Payload::from("mine"));
+        let out = h.receive(
+            &mut p,
+            WireMessage::Msg {
+                tag,
+                payload: Payload::from("mine"),
+            },
+        );
+        assert_eq!(out.acks().len(), 1);
+        assert_eq!(p.stats().my_acks, 1);
+    }
+
+    #[test]
+    fn weakened_threshold_delivers_below_majority() {
+        let mut h = StepHarness::new(12);
+        let mut p = MajorityUrb::with_threshold(6, 2); // majority would be 4
+        assert_eq!(p.algorithm_name(), "alg1-weakened");
+        h.receive(&mut p, ack(9, 1, "m"));
+        let out = h.receive(&mut p, ack(9, 2, "m"));
+        assert_eq!(out.deliveries.len(), 1, "delivers on sub-majority quorum");
+    }
+
+    #[test]
+    fn threshold_accessors() {
+        let p = MajorityUrb::new(7);
+        assert_eq!(p.threshold(), 4);
+        assert_eq!(p.n(), 7);
+        let p = MajorityUrb::new(8);
+        assert_eq!(p.threshold(), 5, "strict majority for even n");
+    }
+
+    #[test]
+    fn heartbeats_are_ignored() {
+        let mut h = StepHarness::new(13);
+        let mut p = MajorityUrb::new(3);
+        let out = h.receive(
+            &mut p,
+            WireMessage::Heartbeat {
+                label: urb_types::Label(1),
+                seq: 0,
+            },
+        );
+        assert!(out.is_silent());
+    }
+
+    #[test]
+    fn ack_before_msg_then_msg_is_still_acked() {
+        // Interleaving: ACKs arrive first (fast path), then the MSG copy;
+        // the process must still acknowledge the MSG for others' quorums.
+        let mut h = StepHarness::new(14);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, ack(9, 1, "m"));
+        h.receive(&mut p, ack(9, 2, "m")); // delivers (fast)
+        let out = h.receive(&mut p, msg(9, "m"));
+        assert_eq!(out.acks().len(), 1);
+        assert_eq!(h.all_deliveries().len(), 1, "no re-delivery");
+    }
+
+    #[test]
+    fn stats_track_all_sets() {
+        let mut h = StepHarness::new(15);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, msg(1, "a"));
+        h.receive(&mut p, ack(1, 10, "a"));
+        h.receive(&mut p, ack(1, 11, "a"));
+        let s = p.stats();
+        assert_eq!(s.msg_set, 1);
+        assert_eq!(s.my_acks, 1);
+        assert_eq!(s.all_ack_entries, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.label_counters, 0);
+    }
+
+    // ---- property tests -------------------------------------------------
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary interleavings of MSG/ACK receptions never produce a
+        /// duplicate delivery, never deliver below the threshold, and always
+        /// deliver once the threshold is met (Uniform Integrity + the line-22
+        /// condition).
+        fn event_strategy() -> impl Strategy<Value = Vec<(bool, u8, u8)>> {
+            // (is_ack, tag 0..4, tag_ack 0..8)
+            proptest::collection::vec((any::<bool>(), 0u8..4, 0u8..8), 1..120)
+        }
+
+        proptest! {
+            #[test]
+            fn integrity_under_arbitrary_interleavings(events in event_strategy()) {
+                let mut h = StepHarness::new(99);
+                let mut p = MajorityUrb::new(5); // threshold 3
+                let mut delivered_tags: Vec<Tag> = Vec::new();
+                for (is_ack, tg, ta) in events {
+                    let out = if is_ack {
+                        h.receive(&mut p, ack(tg as u128, ta as u128, "m"))
+                    } else {
+                        h.receive(&mut p, msg(tg as u128, "m"))
+                    };
+                    for d in &out.deliveries {
+                        prop_assert!(
+                            !delivered_tags.contains(&d.tag),
+                            "duplicate delivery of {:?}", d.tag
+                        );
+                        delivered_tags.push(d.tag);
+                        prop_assert!(p.ack_count(d.tag) >= 3,
+                            "delivered below threshold");
+                    }
+                }
+                // Post-condition: every tag with >= threshold distinct acks
+                // was delivered.
+                for tg in 0u8..4 {
+                    let tag = Tag(tg as u128);
+                    if p.ack_count(tag) >= 3 {
+                        prop_assert!(p.has_delivered(tag));
+                    }
+                }
+            }
+
+            #[test]
+            fn tick_output_equals_msg_set(seeds in proptest::collection::vec(0u8..4, 0..10)) {
+                let mut h = StepHarness::new(7);
+                let mut p = MajorityUrb::new(5);
+                for s in &seeds {
+                    h.receive(&mut p, msg(*s as u128, "x"));
+                }
+                let distinct: std::collections::BTreeSet<_> = seeds.iter().collect();
+                let out = h.tick(&mut p);
+                prop_assert_eq!(out.msgs().len(), distinct.len());
+            }
+
+            #[test]
+            fn tag_acks_never_collide_across_tags(tags in proptest::collection::vec(0u8..20, 1..40)) {
+                let mut h = StepHarness::new(1234);
+                let mut p = MajorityUrb::new(5);
+                let mut seen = std::collections::BTreeSet::new();
+                for tg in tags {
+                    let out = h.receive(&mut p, msg(tg as u128, "x"));
+                    if let WireMessage::Ack { tag_ack, .. } = out.acks()[0] {
+                        seen.insert(*tag_ack);
+                    }
+                }
+                // one tag_ack per *distinct* tag, all unique
+                let distinct_tags = p.stats().my_acks;
+                prop_assert_eq!(seen.len(), distinct_tags);
+            }
+        }
+
+        #[test]
+        fn rng_is_actually_used_for_tags() {
+            // Two harnesses with different seeds produce different tags.
+            let mut h1 = StepHarness::new(1);
+            let mut h2 = StepHarness::new(2);
+            let t1 = Tag::random(h1.rng());
+            let t2 = Tag::random(h2.rng());
+            assert_ne!(t1, t2);
+        }
+    }
+}

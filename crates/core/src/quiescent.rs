@@ -1,0 +1,903 @@
+//! **Algorithm 2** — Quiescent Uniform Reliable Broadcast in
+//! `AAS_F[AΘ, AP*]` (paper §VI).
+//!
+//! Two problems with Algorithm 1 are fixed at once:
+//!
+//! 1. *Resilience.* Theorem 2 shows URB is unsolvable with `t ≥ n/2` in the
+//!    bare model. The anonymous failure detector `AΘ` circumvents it: an ACK
+//!    now carries the set of labels its sender currently sees in `a_theta`,
+//!    and a message is delivered once, for some `(label, number) ∈ a_theta`,
+//!    exactly `number` distinct ACKers have reported `label`
+//!    (line 46). `AΘ`-accuracy guarantees any such set of ACKers contains a
+//!    correct process — the URB delivery condition — with **any** number of
+//!    crashes.
+//! 2. *Quiescence.* `AP*` eventually outputs exactly the labels of the
+//!    correct processes. Once every pair `(label, number) ∈ a_p*` is matched
+//!    by the ACK counters for a delivered message (line 55), every correct
+//!    process provably has the message, so Task 1 can stop retransmitting it
+//!    (line 57) and the protocol goes silent — Theorem 3.
+//!
+//! ### Label-counter bookkeeping (lines 22–45)
+//!
+//! For each tracked message the process maintains
+//! `all_labels[tag_ack] = labels` (the label set most recently reported by
+//! that anonymous ACKer) and `label_counter[label] = |{tag_ack : label ∈
+//! all_labels[tag_ack]}|`. The paper's three reception cases (new ACK,
+//! repeated ACK with more labels, repeated ACK with fewer labels) are all
+//! instances of one *reconcile* operation that replaces the stored label set
+//! and repairs the counters — see DESIGN.md D3 for why we collapse the
+//! paper's (garbled) nested loops into this invariant-preserving form.
+//!
+//! ### The dead-ACKer purge (DESIGN.md D4)
+//!
+//! The literal line-55 equality can be blocked forever by the ACK of a
+//! process that crashed *after* acknowledging: its `all_labels` entry still
+//! contains the crashed process's own label, which `AP*` has removed, so the
+//! label sets never reconverge. [`PruneRule::Purge`] (the default) removes
+//! entries containing labels absent from `a_p*` before evaluating the
+//! condition; [`PruneRule::Literal`] keeps the paper's literal condition for
+//! the E12 ablation, which demonstrates the blockage empirically.
+
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use urb_types::{
+    AnonProcess, Context, FdView, Label, LabelSet, Payload, ProcessStats, Tag, TagAck,
+    WireMessage,
+};
+
+/// How the Task-1 prune condition (line 55) treats stale state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PruneRule {
+    /// Default: purge entries of dead ACKers (label sets containing labels
+    /// absent from `a_p*`) before testing the equality. Quiescent even when
+    /// processes crash after acknowledging.
+    Purge,
+    /// The paper's literal condition, no purge. Quiescent only when crashed
+    /// processes never acknowledged; used by ablation E12.
+    Literal,
+}
+
+/// Acknowledgment table for one `(m, tag)` — the per-tag slice of the
+/// paper's `ALL_ACK_i`, `all_labels_i[(m,tag), −]` and
+/// `label_counter_i[(m,tag), −]` structures (allocated at line 24–25).
+#[derive(Clone, Debug, Default, Serialize)]
+struct AckTable {
+    /// `all_labels[(m,tag), tag_ack]` — latest label set per distinct ACKer.
+    entries: BTreeMap<TagAck, LabelSet>,
+    /// `label_counter[(m,tag), label]` — how many ACKers currently report
+    /// `label`. Invariant: `counters[l] == |{ta : l ∈ entries[ta]}|`,
+    /// entries with count 0 removed.
+    counters: BTreeMap<Label, u32>,
+    /// Payload learned from ACKs (they piggyback `m`; DESIGN.md D1).
+    payload: Payload,
+}
+
+impl AckTable {
+    fn new(payload: Payload) -> Self {
+        AckTable {
+            entries: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            payload,
+        }
+    }
+
+    /// Current counter for `label` (0 when absent).
+    fn counter(&self, label: Label) -> u32 {
+        self.counters.get(&label).copied().unwrap_or(0)
+    }
+
+    /// The reconcile operation (lines 27–45 collapsed, DESIGN.md D3):
+    /// replace the label set stored for `tag_ack` with `labels`, repairing
+    /// the counters. Handles all three of the paper's cases (first ACK from
+    /// this ACKer, repeated ACK with more labels, repeated ACK with fewer).
+    fn reconcile(&mut self, tag_ack: TagAck, labels: LabelSet) {
+        let old = self.entries.insert(tag_ack, labels.clone());
+        if let Some(old) = old {
+            // Decrement labels that disappeared (lines 38–44).
+            for l in old.difference(&labels) {
+                self.dec(l);
+            }
+            // Increment labels that are new (lines 34–37).
+            for l in labels.difference(&old) {
+                self.inc(l);
+            }
+        } else {
+            // First ACK from this ACKer (lines 27–32).
+            for l in labels.iter() {
+                self.inc(l);
+            }
+        }
+    }
+
+    fn inc(&mut self, label: Label) {
+        *self.counters.entry(label).or_insert(0) += 1;
+    }
+
+    fn dec(&mut self, label: Label) {
+        match self.counters.get_mut(&label) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counters.remove(&label);
+            }
+            None => debug_assert!(false, "decrement of absent counter"),
+        }
+    }
+
+    /// Removes every entry whose label set contains a label outside `live`
+    /// (dead-ACKer purge, DESIGN.md D4). Returns how many entries went.
+    fn purge_dead(&mut self, live: &LabelSet) -> usize {
+        let dead: Vec<TagAck> = self
+            .entries
+            .iter()
+            .filter(|(_, ls)| !ls.is_subset(live))
+            .map(|(ta, _)| *ta)
+            .collect();
+        for ta in &dead {
+            if let Some(old) = self.entries.remove(ta) {
+                for l in old.iter() {
+                    self.dec(l);
+                }
+            }
+        }
+        dead.len()
+    }
+
+    /// Union of all stored label sets — the paper's
+    /// `all_labels_i[(m,tag), −]` as used on line 55.
+    fn label_union(&self) -> LabelSet {
+        let mut u = LabelSet::new();
+        for ls in self.entries.values() {
+            u.union_with(ls);
+        }
+        u
+    }
+
+    /// Re-derives the counters from the entries. Test/debug aid for the
+    /// counter invariant.
+    #[cfg(test)]
+    fn recomputed_counters(&self) -> BTreeMap<Label, u32> {
+        let mut m = BTreeMap::new();
+        for ls in self.entries.values() {
+            for l in ls.iter() {
+                *m.entry(l).or_insert(0u32) += 1;
+            }
+        }
+        m
+    }
+}
+
+/// Algorithm 2: quiescent URB with `AΘ` and `AP*` (code of `p_i`).
+///
+/// ```
+/// use urb_core::{harness::StepHarness, QuiescentUrb};
+/// use urb_types::{AnonProcess, FdPair, FdSnapshot, FdView, Label, LabelSet,
+///                 Payload, Tag, TagAck, WireMessage};
+///
+/// // One correct process knowing one label: a_theta = a_p* = {(ℓ, 1)}.
+/// let view = FdView::from_pairs([FdPair { label: Label(10), number: 1 }]);
+/// let mut h = StepHarness::new(3);
+/// h.fd = FdSnapshot::new(view.clone(), view);
+///
+/// let mut p = QuiescentUrb::new();
+/// // Receive the message, then its (self-)ACK carrying label 10.
+/// h.receive(&mut p, WireMessage::Msg { tag: Tag(7), payload: Payload::from("m") });
+/// let out = h.receive(&mut p, WireMessage::Ack {
+///     tag: Tag(7), tag_ack: TagAck(100), payload: Payload::from("m"),
+///     labels: Some(LabelSet::from_iter([Label(10)])),
+/// });
+/// assert_eq!(out.deliveries.len(), 1);  // counter(ℓ10) == number == 1
+///
+/// // One Task-1 sweep later the message is pruned: quiescence.
+/// h.tick(&mut p);
+/// assert!(p.is_quiescent());
+/// ```
+///
+/// State maps to the paper's structures:
+///
+/// | paper                          | field        |
+/// |--------------------------------|--------------|
+/// | `MSG_i`                        | `msgs`       |
+/// | `MY_ACK_i`                     | `my_acks`    |
+/// | `ALL_ACK_i` + `all_labels_i` + `label_counter_i` | `acks` (per-tag ACK tables) |
+/// | `URB_DELIVERED_i`              | `delivered`  |
+#[derive(Debug)]
+pub struct QuiescentUrb {
+    msgs: BTreeMap<Tag, Payload>,
+    my_acks: BTreeMap<Tag, TagAck>,
+    acks: BTreeMap<Tag, AckTable>,
+    delivered: BTreeSet<Tag>,
+    rule: PruneRule,
+    /// Count of prune events (messages removed from `MSG`), for diagnostics.
+    pruned: u64,
+}
+
+impl QuiescentUrb {
+    /// Faithful Algorithm 2 with the D4 purge enabled.
+    pub fn new() -> Self {
+        Self::with_rule(PruneRule::Purge)
+    }
+
+    /// Algorithm 2 with an explicit prune rule (E12 ablation uses
+    /// [`PruneRule::Literal`]).
+    pub fn with_rule(rule: PruneRule) -> Self {
+        QuiescentUrb {
+            msgs: BTreeMap::new(),
+            my_acks: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            rule,
+            pruned: 0,
+        }
+    }
+
+    /// True when this process has URB-delivered `tag`.
+    pub fn has_delivered(&self, tag: Tag) -> bool {
+        self.delivered.contains(&tag)
+    }
+
+    /// Number of messages this process has pruned from its `MSG` set.
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Current counter for (`tag`, `label`) — test/diagnostic accessor.
+    pub fn label_counter(&self, tag: Tag, label: Label) -> u32 {
+        self.acks.get(&tag).map_or(0, |t| t.counter(label))
+    }
+
+    /// Lines 7–21: handle `(MSG, m, tag)`.
+    fn handle_msg(&mut self, tag: Tag, payload: Payload, ctx: &mut Context<'_>) {
+        // Lines 8–12: enter MSG only if neither tracked nor already
+        // delivered (a pruned message must not re-enter the rebroadcast set,
+        // or quiescence would be lost).
+        if !self.msgs.contains_key(&tag) && !self.delivered.contains(&tag) {
+            self.msgs.insert(tag, payload.clone());
+        }
+        // Lines 13–21: acknowledge with the stable tag_ack and the *current*
+        // a_theta labels (the label set is re-read on every retransmission —
+        // that is what lets receivers reconcile stale label information).
+        let tag_ack = match self.my_acks.get(&tag) {
+            Some(ta) => *ta, // lines 13–15
+            None => {
+                let ta = TagAck::random(ctx.rng); // line 17
+                self.my_acks.insert(tag, ta); // line 18
+                ta
+            }
+        };
+        let labels = ctx.fd.a_theta.labels(); // lines 14 / 19
+        ctx.broadcast(WireMessage::Ack {
+            tag,
+            tag_ack,
+            payload,
+            labels: Some(labels),
+        }); // lines 15 / 20
+    }
+
+    /// Lines 22–51: handle `(ACK, m, tag, tag_ack, labels_j)`.
+    fn handle_ack(
+        &mut self,
+        tag: Tag,
+        tag_ack: TagAck,
+        payload: Payload,
+        labels: Option<LabelSet>,
+        ctx: &mut Context<'_>,
+    ) {
+        // Lines 23–26: lazily allocate the per-tag table.
+        let table = self
+            .acks
+            .entry(tag)
+            .or_insert_with(|| AckTable::new(payload));
+        // Lines 27–45: reconcile this ACKer's label set (DESIGN.md D3).
+        table.reconcile(tag_ack, labels.unwrap_or_default());
+        // D4 extension (see module docs): purge entries carrying labels the
+        // detector no longer outputs before evaluating the delivery
+        // equality. Without this, an ACKer that crashes after acknowledging
+        // permanently inflates the counters of *live* labels past `number`
+        // once `number` shrinks — the equality is then missed forever and
+        // the message is never delivered (observed under online detectors;
+        // the paper's Lemma 1 implicitly assumes counters pass through
+        // `number`, which only holds if dead entries are dropped). Removing
+        // entries only lowers counters, so the condition gets *harder*:
+        // safety is unaffected, and liveness is restored because live
+        // ACKers keep refreshing their entries.
+        if self.rule == PruneRule::Purge && !ctx.fd.a_theta.is_empty() {
+            table.purge_dead(&ctx.fd.a_theta.labels());
+        }
+        // Lines 46–51: the AΘ delivery condition.
+        if !self.delivered.contains(&tag) {
+            let matched = ctx
+                .fd
+                .a_theta
+                .iter()
+                // number == 0 never triggers delivery: a pair whose label no
+                // correct process knows carries no evidence (and 0 == empty
+                // counter would mis-fire). The paper implicitly has
+                // number >= 1 (accuracy forces a correct knower).
+                .any(|pair| pair.number > 0 && table.counter(pair.label) == pair.number);
+            if matched {
+                self.delivered.insert(tag);
+                let fast = !self.msgs.contains_key(&tag);
+                let body = table.payload.clone();
+                ctx.deliver(tag, body, fast);
+            }
+        }
+    }
+
+    /// Line 55 (plus D4): may `tag` stop being retransmitted?
+    fn prune_ready(&mut self, tag: Tag, a_p_star: &FdView) -> bool {
+        // No AP* information yet — keep retransmitting. (An empty a_p* would
+        // make the universally-quantified condition vacuously true and prune
+        // everything instantly, which is clearly not the intent: AP*
+        // completeness guarantees the correct processes' pairs eventually
+        // appear.)
+        if a_p_star.is_empty() {
+            return false;
+        }
+        let Some(table) = self.acks.get_mut(&tag) else {
+            return false;
+        };
+        let live = a_p_star.labels();
+        if self.rule == PruneRule::Purge {
+            table.purge_dead(&live);
+        }
+        // "each pair (label, number) ∈ a_p*: label_counter[(m,tag), label] =
+        // number" …
+        for pair in a_p_star.iter() {
+            if pair.number == 0 || table.counter(pair.label) != pair.number {
+                return false;
+            }
+        }
+        // … "∧ all_labels[(m,tag), −] = {label | (label, −) ∈ a_p*}".
+        table.label_union() == live
+    }
+
+    /// Testing hook used by the simulator's diagnostics: evaluates the prune
+    /// condition without mutating (clone-based; cheap at protocol scale).
+    pub fn would_prune(&self, tag: Tag, a_p_star: &FdView) -> bool {
+        let mut clone = QuiescentUrb {
+            msgs: self.msgs.clone(),
+            my_acks: self.my_acks.clone(),
+            acks: self.acks.clone(),
+            delivered: self.delivered.clone(),
+            rule: self.rule,
+            pruned: self.pruned,
+        };
+        clone.prune_ready(tag, a_p_star)
+    }
+}
+
+impl Default for QuiescentUrb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnonProcess for QuiescentUrb {
+    /// Lines 4–6 plus the immediate first transmission (D7).
+    fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
+        let tag = Tag::random(ctx.rng); // line 5
+        self.msgs.insert(tag, payload.clone()); // line 6
+        ctx.broadcast(WireMessage::Msg { tag, payload });
+        tag
+    }
+
+    fn on_receive(&mut self, msg: WireMessage, ctx: &mut Context<'_>) {
+        match msg {
+            WireMessage::Msg { tag, payload } => self.handle_msg(tag, payload, ctx),
+            WireMessage::Ack {
+                tag,
+                tag_ack,
+                payload,
+                labels,
+            } => self.handle_ack(tag, tag_ack, payload, labels, ctx),
+            WireMessage::Heartbeat { .. } => {}
+        }
+    }
+
+    /// Task 1, lines 52–61: rebroadcast everything still in `MSG`, then
+    /// prune the messages whose line-55 condition holds.
+    fn on_tick(&mut self, ctx: &mut Context<'_>) {
+        let tags: Vec<Tag> = self.msgs.keys().copied().collect();
+        let mut to_remove = Vec::new();
+        for tag in tags {
+            let payload = self.msgs[&tag].clone();
+            ctx.broadcast(WireMessage::Msg { tag, payload }); // line 54
+            // Lines 55–58: only a *delivered* message may be pruned.
+            if self.delivered.contains(&tag) && self.prune_ready(tag, &ctx.fd.a_p_star) {
+                to_remove.push(tag);
+            }
+        }
+        for tag in to_remove {
+            self.msgs.remove(&tag); // line 57
+            self.pruned += 1;
+        }
+    }
+
+    /// Quiescent once `MSG_i` is empty: Task 1 sends nothing, and ACKs are
+    /// only ever triggered by incoming MSGs.
+    fn is_quiescent(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            msg_set: self.msgs.len(),
+            my_acks: self.my_acks.len(),
+            all_ack_entries: self.acks.values().map(|t| t.entries.len()).sum(),
+            delivered: self.delivered.len(),
+            label_counters: self.acks.values().map(|t| t.counters.len()).sum(),
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        match self.rule {
+            PruneRule::Purge => "alg2-quiescent",
+            PruneRule::Literal => "alg2-literal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StepHarness;
+    use urb_types::{FdPair, FdSnapshot};
+
+    fn labels(ls: &[u64]) -> LabelSet {
+        LabelSet::from_iter(ls.iter().map(|&l| Label(l)))
+    }
+
+    fn theta(pairs: &[(u64, u32)]) -> FdView {
+        FdView::from_pairs(pairs.iter().map(|&(l, n)| FdPair {
+            label: Label(l),
+            number: n,
+        }))
+    }
+
+    fn msg(tag: u128, body: &str) -> WireMessage {
+        WireMessage::Msg {
+            tag: Tag(tag),
+            payload: Payload::from(body),
+        }
+    }
+
+    fn ack(tag: u128, ta: u128, body: &str, ls: &[u64]) -> WireMessage {
+        WireMessage::Ack {
+            tag: Tag(tag),
+            tag_ack: TagAck(ta),
+            payload: Payload::from(body),
+            labels: Some(labels(ls)),
+        }
+    }
+
+    /// Harness with `a_theta = a_p* = {(ℓ, n) for ℓ in ls}`.
+    fn fd_harness(seed: u64, ls: &[(u64, u32)]) -> StepHarness {
+        let mut h = StepHarness::new(seed);
+        h.fd = FdSnapshot::new(theta(ls), theta(ls));
+        h
+    }
+
+    // ---- reception of MSG (lines 7–21) ----------------------------------
+
+    #[test]
+    fn ack_carries_current_theta_labels() {
+        let mut h = fd_harness(1, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        let out = h.receive(&mut p, msg(7, "m"));
+        match out.acks()[0] {
+            WireMessage::Ack {
+                labels: Some(ls), ..
+            } => {
+                assert_eq!(*ls, labels(&[10, 20]));
+            }
+            _ => panic!("expected labelled ACK"),
+        }
+    }
+
+    #[test]
+    fn retransmitted_ack_has_same_tag_ack_but_fresh_labels() {
+        let mut h = fd_harness(2, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        let o1 = h.receive(&mut p, msg(7, "m"));
+        // Detector evolves: label 20's process crashed and was removed.
+        h.fd = FdSnapshot::new(theta(&[(10, 1)]), theta(&[(10, 1)]));
+        let o2 = h.receive(&mut p, msg(7, "m"));
+        let parse = |o: &crate::harness::StepOut| match o.acks()[0] {
+            WireMessage::Ack {
+                tag_ack,
+                labels: Some(ls),
+                ..
+            } => (*tag_ack, ls.clone()),
+            _ => panic!(),
+        };
+        let (ta1, ls1) = parse(&o1);
+        let (ta2, ls2) = parse(&o2);
+        assert_eq!(ta1, ta2, "tag_ack stable (MY_ACK)");
+        assert_eq!(ls1, labels(&[10, 20]));
+        assert_eq!(ls2, labels(&[10]), "labels re-read each time");
+    }
+
+    #[test]
+    fn delivered_and_pruned_message_does_not_reenter_msg_set() {
+        // Lines 8–12: URB_DELIVERED check prevents re-adding.
+        let mut h = fd_harness(3, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        // Get tag 7 delivered via an ACK from one ACKer knowing label 10.
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        assert!(p.has_delivered(Tag(7)));
+        assert_eq!(p.stats().msg_set, 0, "fast delivery: MSG never stored");
+        // Now the MSG copy arrives late.
+        let out = h.receive(&mut p, msg(7, "m"));
+        assert_eq!(
+            p.stats().msg_set,
+            0,
+            "delivered message must not enter MSG"
+        );
+        // … but it is still acknowledged (for other processes' progress).
+        assert_eq!(out.acks().len(), 1);
+    }
+
+    // ---- reception of ACK (lines 22–51) ----------------------------------
+
+    #[test]
+    fn delivery_when_counter_matches_theta_number() {
+        let mut h = fd_harness(4, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        assert!(h
+            .receive(&mut p, ack(7, 100, "m", &[10]))
+            .deliveries
+            .is_empty());
+        let out = h.receive(&mut p, ack(7, 101, "m", &[10]));
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].payload.as_slice(), b"m");
+        assert!(out.deliveries[0].fast);
+    }
+
+    #[test]
+    fn no_delivery_on_zero_number_pair() {
+        let mut h = fd_harness(5, &[(10, 0)]);
+        let mut p = QuiescentUrb::new();
+        let out = h.receive(&mut p, ack(7, 100, "m", &[]));
+        assert!(out.deliveries.is_empty(), "number=0 must never fire");
+    }
+
+    #[test]
+    fn repeated_ack_does_not_inflate_counters() {
+        let mut h = fd_harness(6, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        assert_eq!(p.label_counter(Tag(7), Label(10)), 1);
+    }
+
+    #[test]
+    fn repeated_ack_with_more_labels_increments_new_only() {
+        // Paper's case 1 of repeated ACKs (lines 34–37).
+        let mut h = fd_harness(7, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20]));
+        assert_eq!(p.label_counter(Tag(7), Label(10)), 1);
+        assert_eq!(p.label_counter(Tag(7), Label(20)), 1);
+    }
+
+    #[test]
+    fn repeated_ack_with_fewer_labels_decrements_removed() {
+        // Paper's case 2 of repeated ACKs (lines 38–44): a label vanished
+        // from the ACKer's detector (its process crashed).
+        let mut h = fd_harness(8, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20]));
+        h.receive(&mut p, ack(7, 101, "m", &[10, 20]));
+        assert_eq!(p.label_counter(Tag(7), Label(20)), 2);
+        // ACKer 100 refreshes with label 20 gone.
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        assert_eq!(p.label_counter(Tag(7), Label(10)), 2);
+        assert_eq!(p.label_counter(Tag(7), Label(20)), 1);
+    }
+
+    #[test]
+    fn delivery_condition_reevaluated_after_reconcile_shrink() {
+        // number drops to 1 after a crash; the remaining ACKer's refreshed
+        // ACK must still be able to trigger delivery.
+        let mut h = fd_harness(9, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20]));
+        // Crash: detector now says only label 10 with number 1.
+        h.fd = FdSnapshot::new(theta(&[(10, 1)]), theta(&[(10, 1)]));
+        let out = h.receive(&mut p, ack(7, 100, "m", &[10]));
+        assert_eq!(out.deliveries.len(), 1, "counter(10)=1 == number(10)=1");
+    }
+
+    #[test]
+    fn no_duplicate_delivery() {
+        let mut h = fd_harness(10, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        assert_eq!(h.receive(&mut p, ack(7, 100, "m", &[10])).deliveries.len(), 1);
+        assert!(h.receive(&mut p, ack(7, 101, "m", &[10])).deliveries.is_empty());
+        assert_eq!(h.all_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn unlabelled_ack_is_tolerated_as_empty_set() {
+        // Mixed deployments (an Algorithm-1 ACK) must not crash Algorithm 2.
+        let mut h = fd_harness(11, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        let out = h.receive(
+            &mut p,
+            WireMessage::Ack {
+                tag: Tag(7),
+                tag_ack: TagAck(100),
+                payload: Payload::from("m"),
+                labels: None,
+            },
+        );
+        assert!(out.deliveries.is_empty());
+        assert_eq!(p.stats().all_ack_entries, 1);
+        assert_eq!(p.stats().label_counters, 0);
+    }
+
+    // ---- Task 1 and quiescence (lines 52–61) -----------------------------
+
+    #[test]
+    fn tick_rebroadcasts_until_prune_condition() {
+        let mut h = fd_harness(12, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        assert_eq!(h.tick(&mut p).msgs().len(), 1);
+        assert!(!p.is_quiescent());
+    }
+
+    #[test]
+    fn prune_after_delivery_and_full_ack_coverage() {
+        // One correct process (us): a_theta = a_p* = {(10, 1)}. Our own ACK
+        // (tag_ack 100) covers label 10 once — counters match, union matches.
+        let mut h = fd_harness(13, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10])); // delivers
+        assert!(p.has_delivered(Tag(7)));
+        let out = h.tick(&mut p); // broadcasts once more, then prunes
+        assert_eq!(out.msgs().len(), 1, "line 54 broadcast precedes prune");
+        assert!(p.is_quiescent(), "line 57 removed the message");
+        assert_eq!(p.pruned_count(), 1);
+        // Subsequent ticks are silent.
+        assert!(h.tick(&mut p).is_silent());
+    }
+
+    #[test]
+    fn no_prune_before_delivery() {
+        // Line 56: only delivered messages leave MSG.
+        let mut h = fd_harness(14, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10])); // counter 1 < number 2
+        h.tick(&mut p);
+        assert!(!p.is_quiescent());
+    }
+
+    #[test]
+    fn no_prune_when_counter_below_number() {
+        let mut h = fd_harness(15, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.receive(&mut p, ack(7, 101, "m", &[10])); // delivers (counter==2)
+        // a_p* wants 3 ACKers per label now (simulate: number 3).
+        h.fd = FdSnapshot::new(theta(&[(10, 2)]), theta(&[(10, 3)]));
+        h.tick(&mut p);
+        assert!(!p.is_quiescent(), "a_p* coverage incomplete");
+    }
+
+    #[test]
+    fn no_prune_when_apstar_empty() {
+        let mut h = fd_harness(16, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        h.fd = FdSnapshot::new(theta(&[(10, 1)]), FdView::empty());
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.tick(&mut p);
+        assert!(!p.is_quiescent(), "empty a_p* must not prune");
+    }
+
+    #[test]
+    fn prune_survives_stale_acker() {
+        // DESIGN.md D4: an ACKer that reported {10, 20} and then crashed
+        // (label 20 removed from a_p*) must not block quiescence.
+        let mut h = fd_harness(17, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20])); // our own ACK, say
+        h.receive(&mut p, ack(7, 101, "m", &[10, 20])); // the doomed ACKer → delivery
+        assert!(p.has_delivered(Tag(7)));
+        // Process with label 20 crashes; detectors converge; the live ACKer
+        // (100) refreshes its ACK with the shrunk label set; the dead one
+        // (101) never will.
+        h.fd = FdSnapshot::new(theta(&[(10, 1)]), theta(&[(10, 1)]));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.tick(&mut p);
+        assert!(
+            p.is_quiescent(),
+            "purge removed the dead ACKer's stale entry"
+        );
+    }
+
+    #[test]
+    fn delivery_survives_counter_overshoot_from_dead_acker() {
+        // The second D4 finding (observed live in the runtime chaos test):
+        // a doomed process ACKs with the full label set and crashes; its
+        // entry inflates counter(ℓ) for every live label ℓ. Once the
+        // detector's `number` shrinks below the inflated counter, the
+        // line-46 equality can never hold again — unless dead entries are
+        // purged at delivery evaluation too.
+        let mut h = fd_harness(30, &[(1, 3), (2, 3), (3, 3)]);
+        let mut p = QuiescentUrb::new();
+        // Three ACKers (one is the doomed process with label 3), all
+        // reporting all three labels: counters hit 3, but number is 3 and
+        // the check at each step sees counter pass 1, 2, 3 — however we
+        // arrange the overshoot by having number shrink *before* the last
+        // live ACK arrives.
+        h.receive(&mut p, ack(7, 100, "m", &[1, 2, 3])); // live
+        h.receive(&mut p, ack(7, 101, "m", &[1, 2, 3])); // doomed, then crashes
+        // Crash detected: labels shrink to {1, 2}, number to 2. counter(1)
+        // is already 2 (entries 100, 101) — but entry 101 is dead and will
+        // never refresh, while entry 100 refreshes with the shrunk set.
+        h.fd = FdSnapshot::new(theta(&[(1, 2), (2, 2)]), theta(&[(1, 2), (2, 2)]));
+        h.receive(&mut p, ack(7, 100, "m", &[1, 2]));
+        // Live ACKer 102 completes the live quorum.
+        let out = h.receive(&mut p, ack(7, 102, "m", &[1, 2]));
+        assert_eq!(
+            out.deliveries.len(),
+            1,
+            "purge at delivery lets the live quorum fire (counter(1)=2==number)"
+        );
+    }
+
+    #[test]
+    fn literal_rule_misses_delivery_on_overshoot() {
+        // Same scenario under the literal rule: counter(1) is stuck at 3
+        // (two live + one dead entry) while number converged to 2 — the
+        // equality never holds and the message is never delivered. This is
+        // a genuine gap in the paper's Lemma 1 for crash-after-ACK
+        // patterns under detectors whose `number` shrinks after a crash.
+        let mut h = fd_harness(31, &[(1, 3), (2, 3), (3, 3)]);
+        let mut p = QuiescentUrb::with_rule(PruneRule::Literal);
+        h.receive(&mut p, ack(7, 100, "m", &[1, 2, 3]));
+        h.receive(&mut p, ack(7, 101, "m", &[1, 2, 3]));
+        h.fd = FdSnapshot::new(theta(&[(1, 2), (2, 2)]), theta(&[(1, 2), (2, 2)]));
+        h.receive(&mut p, ack(7, 100, "m", &[1, 2]));
+        let out = h.receive(&mut p, ack(7, 102, "m", &[1, 2]));
+        assert!(out.deliveries.is_empty(), "literal rule is stuck");
+        assert_eq!(p.label_counter(Tag(7), Label(1)), 3, "inflated forever");
+    }
+
+    #[test]
+    fn literal_rule_blocks_on_stale_acker() {
+        // Same scenario as above under PruneRule::Literal: the stale entry
+        // keeps label 20 in the union and counter(10) at 2 ≠ 1, so the
+        // paper's literal condition never fires — the E12 ablation.
+        let mut h = fd_harness(18, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::with_rule(PruneRule::Literal);
+        assert_eq!(p.algorithm_name(), "alg2-literal");
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20]));
+        h.receive(&mut p, ack(7, 101, "m", &[10, 20]));
+        h.fd = FdSnapshot::new(theta(&[(10, 1)]), theta(&[(10, 1)]));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        for _ in 0..5 {
+            h.tick(&mut p);
+        }
+        assert!(!p.is_quiescent(), "literal line 55 is blocked forever");
+    }
+
+    #[test]
+    fn two_correct_processes_scenario_from_theorem3_proof() {
+        // The proof of Theorem 3 walks p and q, both correct:
+        // label_counter[ℓp]=2, label_counter[ℓq]=2 with a_p* = [(ℓp,2),(ℓq,2)].
+        let mut h = fd_harness(19, &[(1, 2), (2, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[1, 2])); // own ACK
+        let out = h.receive(&mut p, ack(7, 101, "m", &[1, 2])); // q's ACK
+        assert_eq!(out.deliveries.len(), 1);
+        h.tick(&mut p);
+        assert!(p.is_quiescent(), "the proof's happy case prunes");
+    }
+
+    #[test]
+    fn would_prune_is_side_effect_free() {
+        let mut h = fd_harness(20, &[(10, 1)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        let view = theta(&[(10, 1)]);
+        assert!(p.would_prune(Tag(7), &view));
+        assert!(!p.is_quiescent(), "would_prune must not mutate");
+        assert_eq!(p.stats().msg_set, 1);
+    }
+
+    #[test]
+    fn stats_count_label_counters() {
+        let mut h = fd_harness(21, &[(10, 2), (20, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, ack(7, 100, "m", &[10, 20]));
+        h.receive(&mut p, ack(8, 101, "m", &[10]));
+        let s = p.stats();
+        assert_eq!(s.all_ack_entries, 2);
+        assert_eq!(s.label_counters, 3); // {10,20} for tag 7, {10} for tag 8
+    }
+
+    // ---- property tests ---------------------------------------------------
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary reconcile sequences preserve the counter invariant
+        /// `counters[l] == |{ta : l ∈ entries[ta]}|` (DESIGN.md D3).
+        proptest! {
+            #[test]
+            fn counter_invariant_under_reconcile(
+                ops in proptest::collection::vec(
+                    (0u8..6, proptest::collection::btree_set(0u64..8, 0..5)),
+                    0..60
+                )
+            ) {
+                let mut table = AckTable::new(Payload::from("m"));
+                for (ta, ls) in ops {
+                    let set = LabelSet::from_iter(ls.into_iter().map(Label));
+                    table.reconcile(TagAck(ta as u128), set);
+                    prop_assert_eq!(&table.counters, &table.recomputed_counters());
+                }
+            }
+
+            #[test]
+            fn counter_invariant_survives_purge(
+                ops in proptest::collection::vec(
+                    (0u8..6, proptest::collection::btree_set(0u64..8, 0..5)),
+                    0..40
+                ),
+                live in proptest::collection::btree_set(0u64..8, 0..8)
+            ) {
+                let mut table = AckTable::new(Payload::from("m"));
+                for (ta, ls) in ops {
+                    table.reconcile(
+                        TagAck(ta as u128),
+                        LabelSet::from_iter(ls.into_iter().map(Label)),
+                    );
+                }
+                let live = LabelSet::from_iter(live.into_iter().map(Label));
+                table.purge_dead(&live);
+                prop_assert_eq!(&table.counters, &table.recomputed_counters());
+                // And every surviving entry is within the live set.
+                for ls in table.entries.values() {
+                    prop_assert!(ls.is_subset(&live));
+                }
+            }
+
+            #[test]
+            fn integrity_under_arbitrary_ack_interleavings(
+                events in proptest::collection::vec(
+                    (0u8..3, 0u8..5, proptest::collection::btree_set(0u64..4, 0..4)),
+                    0..80
+                )
+            ) {
+                // a_theta fixed at {(0,2),(1,2),(2,2),(3,2)}.
+                let pairs: Vec<(u64, u32)> = (0..4).map(|l| (l, 2)).collect();
+                let mut h = fd_harness(999, &pairs);
+                let mut p = QuiescentUrb::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for (tg, ta, ls) in events {
+                    let set: Vec<u64> = ls.into_iter().collect();
+                    let out = h.receive(
+                        &mut p,
+                        ack(tg as u128, ta as u128, "m", &set),
+                    );
+                    for d in &out.deliveries {
+                        prop_assert!(seen.insert(d.tag), "duplicate delivery");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Heartbeat-based "realistic" implementation of `AΘ` / `AP*`.
+//!
+//! Each process periodically broadcasts `HEARTBEAT(label, seq)` over the
+//! same fair-lossy network the protocol uses, and considers a label *alive*
+//! if a heartbeat carrying it was heard within a timeout window. Both
+//! detector views are then estimated as
+//! `{(ℓ, |alive|) : ℓ ∈ alive}` — "every alive label is known by all alive
+//! processes".
+//!
+//! This is exactly what a practitioner would deploy, and it is **not** a
+//! sound implementation of the paper's classes: a loss burst longer than the
+//! timeout produces a false suspicion (an alive label vanishes), which can
+//! make Algorithm 2 prune too early (safety) or deliver late (liveness), and
+//! an over-long timeout delays quiescence. Experiment E8 sweeps the
+//! timeout/period ratio and measures both effects, quantifying the gap
+//! between the axiomatic detectors and their realistic approximation — the
+//! simulation-grade counterpart of the paper's remark that `AΘ`/`AP*` are
+//! oracles.
+
+use crate::FdService;
+use urb_types::{FdPair, FdSnapshot, FdView, Label, SplitMix64, WireMessage};
+
+/// Tuning for the heartbeat detector. Times in simulator ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Interval between heartbeat broadcasts.
+    pub period: u64,
+    /// A label is suspected when no heartbeat carrying it arrived for this
+    /// long. Must be ≥ `period` to have any chance of stability.
+    pub timeout: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: 20,
+            timeout: 120,
+        }
+    }
+}
+
+/// Per-process heartbeat detector state.
+#[derive(Clone, Debug)]
+pub struct HeartbeatFd {
+    my_label: Label,
+    config: HeartbeatConfig,
+    seq: u64,
+    next_beat: u64,
+    /// `label → last time a heartbeat carrying it was received`.
+    last_heard: std::collections::BTreeMap<Label, u64>,
+}
+
+impl HeartbeatFd {
+    /// New detector for a process whose label is `my_label`.
+    pub fn new(my_label: Label, config: HeartbeatConfig) -> Self {
+        HeartbeatFd {
+            my_label,
+            config,
+            seq: 0,
+            next_beat: 0,
+            last_heard: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Emits a heartbeat if one is due.
+    pub fn on_tick(&mut self, now: u64, out: &mut Vec<WireMessage>) {
+        if now >= self.next_beat {
+            out.push(WireMessage::Heartbeat {
+                label: self.my_label,
+                seq: self.seq,
+            });
+            self.seq += 1;
+            self.next_beat = now + self.config.period;
+        }
+    }
+
+    /// Observes a received message (only heartbeats matter).
+    pub fn on_receive(&mut self, now: u64, msg: &WireMessage) {
+        if let WireMessage::Heartbeat { label, .. } = msg {
+            let entry = self.last_heard.entry(*label).or_insert(now);
+            *entry = (*entry).max(now);
+        }
+    }
+
+    /// Labels currently considered alive (own label is always alive).
+    pub fn alive(&self, now: u64) -> Vec<Label> {
+        let mut v: Vec<Label> = self
+            .last_heard
+            .iter()
+            .filter(|&(_, &t)| now.saturating_sub(t) <= self.config.timeout)
+            .map(|(&l, _)| l)
+            .collect();
+        if !v.contains(&self.my_label) {
+            v.push(self.my_label);
+            v.sort_unstable();
+        }
+        v
+    }
+
+    /// The estimated detector snapshot at `now`.
+    pub fn snapshot(&self, now: u64) -> FdSnapshot {
+        let alive = self.alive(now);
+        let number = alive.len() as u32;
+        let view = FdView::from_pairs(alive.into_iter().map(|label| FdPair { label, number }));
+        FdSnapshot::new(view.clone(), view)
+    }
+}
+
+/// Driver-facing service bundling one [`HeartbeatFd`] per process.
+#[derive(Debug)]
+pub struct HeartbeatService {
+    fds: Vec<HeartbeatFd>,
+}
+
+impl HeartbeatService {
+    /// Creates detectors for `n` processes with random labels derived from
+    /// `seed`. Returns the service and the per-process labels (driver-side
+    /// knowledge only).
+    pub fn new(n: usize, seed: u64, config: HeartbeatConfig) -> (Self, Vec<Label>) {
+        let mut rng = SplitMix64::new(seed ^ 0x4EA2_7BEA_7000_0001);
+        let labels: Vec<Label> = (0..n).map(|_| Label::random(&mut rng)).collect();
+        let fds = labels
+            .iter()
+            .map(|&l| HeartbeatFd::new(l, config))
+            .collect();
+        (HeartbeatService { fds }, labels)
+    }
+}
+
+impl FdService for HeartbeatService {
+    fn on_tick(&mut self, pid: usize, now: u64, out: &mut Vec<WireMessage>) {
+        self.fds[pid].on_tick(now, out);
+    }
+
+    fn on_receive(&mut self, pid: usize, now: u64, msg: &WireMessage) {
+        self.fds[pid].on_receive(now, msg);
+    }
+
+    fn snapshot(&self, pid: usize, now: u64) -> FdSnapshot {
+        self.fds[pid].snapshot(now)
+    }
+
+    fn name(&self) -> &'static str {
+        "heartbeat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(label: u64, seq: u64) -> WireMessage {
+        WireMessage::Heartbeat {
+            label: Label(label),
+            seq,
+        }
+    }
+
+    #[test]
+    fn emits_heartbeats_on_schedule() {
+        let mut fd = HeartbeatFd::new(Label(1), HeartbeatConfig::default());
+        let mut out = Vec::new();
+        fd.on_tick(0, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        fd.on_tick(5, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        fd.on_tick(20, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            WireMessage::Heartbeat { label, seq } => {
+                assert_eq!(*label, Label(1));
+                assert_eq!(*seq, 1, "sequence advances");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn own_label_always_alive() {
+        let fd = HeartbeatFd::new(Label(9), HeartbeatConfig::default());
+        assert_eq!(fd.alive(1_000_000), vec![Label(9)]);
+    }
+
+    #[test]
+    fn heard_label_alive_until_timeout() {
+        let mut fd = HeartbeatFd::new(
+            Label(1),
+            HeartbeatConfig {
+                period: 10,
+                timeout: 50,
+            },
+        );
+        fd.on_receive(100, &hb(2, 0));
+        assert!(fd.alive(100).contains(&Label(2)));
+        assert!(fd.alive(150).contains(&Label(2)), "at the edge");
+        assert!(!fd.alive(151).contains(&Label(2)), "timed out");
+    }
+
+    #[test]
+    fn refreshed_heartbeat_extends_lease() {
+        let mut fd = HeartbeatFd::new(
+            Label(1),
+            HeartbeatConfig {
+                period: 10,
+                timeout: 50,
+            },
+        );
+        fd.on_receive(100, &hb(2, 0));
+        fd.on_receive(140, &hb(2, 4));
+        assert!(fd.alive(185).contains(&Label(2)));
+    }
+
+    #[test]
+    fn out_of_order_heartbeats_do_not_regress_lease() {
+        let mut fd = HeartbeatFd::new(Label(1), HeartbeatConfig::default());
+        fd.on_receive(200, &hb(2, 9));
+        fd.on_receive(150, &hb(2, 3)); // late, reordered delivery
+        assert!(fd.alive(200 + 120).contains(&Label(2)));
+    }
+
+    #[test]
+    fn snapshot_numbers_equal_alive_count() {
+        let mut fd = HeartbeatFd::new(Label(1), HeartbeatConfig::default());
+        fd.on_receive(10, &hb(2, 0));
+        fd.on_receive(10, &hb(3, 0));
+        let s = fd.snapshot(10);
+        assert_eq!(s.a_theta.len(), 3);
+        for p in s.a_theta.iter() {
+            assert_eq!(p.number, 3);
+        }
+        assert_eq!(s.a_theta, s.a_p_star);
+    }
+
+    #[test]
+    fn service_routes_per_process() {
+        let (mut svc, labels) = HeartbeatService::new(3, 7, HeartbeatConfig::default());
+        assert_eq!(labels.len(), 3);
+        let mut out = Vec::new();
+        svc.on_tick(0, 0, &mut out);
+        assert_eq!(out.len(), 1);
+        // Process 1 hears process 0's beat.
+        svc.on_receive(1, 1, &out[0]);
+        let s = svc.snapshot(1, 1);
+        assert_eq!(s.a_theta.len(), 2, "self + heard");
+        // Process 2 heard nothing.
+        assert_eq!(svc.snapshot(2, 1).a_theta.len(), 1);
+        assert_eq!(svc.name(), "heartbeat");
+    }
+
+    #[test]
+    fn false_suspicion_under_silence() {
+        // The unsoundness E8 quantifies: silence (loss burst) kills a label.
+        let (mut svc, labels) = HeartbeatService::new(2, 8, HeartbeatConfig::default());
+        let mut out = Vec::new();
+        svc.on_tick(0, 0, &mut out);
+        svc.on_receive(1, 0, &out[0]);
+        assert!(svc.snapshot(1, 0).a_theta.contains_label(labels[0]));
+        // No more heartbeats arrive; after the timeout the label is gone
+        // even though process 0 may be perfectly alive.
+        assert!(!svc.snapshot(1, 500).a_theta.contains_label(labels[0]));
+    }
+}

@@ -1,0 +1,325 @@
+//! # `urb-runtime`
+//!
+//! A real concurrent deployment of the paper's protocols: one OS thread per
+//! anonymous process, an in-process router that implements the lossy
+//! broadcast medium, explicit crash injection, and a registry-backed
+//! failure detector. The protocol code is byte-for-byte the same
+//! [`urb_core`] state machines the simulator drives — the sans-io split is
+//! what makes that possible.
+//!
+//! Where the simulator provides *provable* runs (deterministic, checked),
+//! the runtime provides *believable* ones: actual threads racing through
+//! `parking_lot` locks and `crossbeam` channels, wall-clock tick loops, and
+//! message loss injected on live traffic. The examples (`quickstart`,
+//! `crash_storm`) and the runtime integration tests use it.
+//!
+//! ```no_run
+//! use urb_runtime::{ClusterConfig, UrbCluster};
+//! use urb_core::Algorithm;
+//!
+//! let cluster = UrbCluster::spawn(ClusterConfig::new(5, Algorithm::Quiescent));
+//! let tag = cluster.broadcast(0, "hello, anonymous world".into()).unwrap();
+//! cluster.await_delivery_everywhere(tag, std::time::Duration::from_secs(5));
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod registry;
+mod router;
+
+pub use registry::MembershipRegistry;
+pub use router::TrafficStats;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urb_core::Algorithm;
+use urb_types::{Delivery, Payload, Tag};
+
+/// Configuration of a local cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of anonymous processes (each gets its own OS thread).
+    pub n: usize,
+    /// Protocol to run.
+    pub algorithm: Algorithm,
+    /// Bernoulli loss probability applied to every routed copy
+    /// (sender-to-self copies are never lost, mirroring the simulator).
+    pub loss: f64,
+    /// Task-1 sweep period.
+    pub tick_interval: Duration,
+    /// How long after `crash()` the victim's label disappears from detector
+    /// views (the `AP*` removal latency, in real time).
+    pub detection_delay: Duration,
+    /// Seed for the router's loss RNG and the label draws (tags still use
+    /// per-node seeded streams, so runs are loss-pattern-reproducible even
+    /// though thread interleaving is not).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Defaults: no loss, 20 ms ticks, 200 ms detection delay.
+    pub fn new(n: usize, algorithm: Algorithm) -> Self {
+        ClusterConfig {
+            n,
+            algorithm,
+            loss: 0.0,
+            tick_interval: Duration::from_millis(20),
+            detection_delay: Duration::from_millis(200),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the per-copy loss probability.
+    pub fn loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Commands a node thread accepts.
+pub(crate) enum Command {
+    /// Invoke `URB_broadcast(payload)`; reply with the assigned tag.
+    Broadcast(Payload, Sender<Tag>),
+    /// Crash-stop immediately.
+    Crash,
+    /// Graceful shutdown (test teardown; not a crash).
+    Shutdown,
+}
+
+/// A running cluster of anonymous processes.
+pub struct UrbCluster {
+    config: ClusterConfig,
+    cmd_txs: Vec<Sender<Command>>,
+    delivery_rxs: Vec<Receiver<Delivery>>,
+    /// Per-process delivery log: every delivery ever drained from a node's
+    /// stream lands here, so waiting for one tag never loses another.
+    delivery_log: Mutex<Vec<Vec<Delivery>>>,
+    registry: Arc<MembershipRegistry>,
+    traffic: Arc<router::TrafficCounters>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl UrbCluster {
+    /// Spawns `config.n` node threads plus the router.
+    pub fn spawn(config: ClusterConfig) -> Self {
+        let n = config.n;
+        assert!(n >= 1);
+        let registry = Arc::new(MembershipRegistry::new(n, config.seed, config.detection_delay));
+        let traffic = Arc::new(router::TrafficCounters::default());
+
+        // Router wiring: nodes → router (ingress), router → nodes (inboxes).
+        let (ingress_tx, ingress_rx) = unbounded::<(usize, urb_types::WireMessage)>();
+        let mut inbox_txs = Vec::with_capacity(n);
+        let mut inbox_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+
+        let mut threads = Vec::with_capacity(n + 1);
+        threads.push(router::spawn_router(
+            ingress_rx,
+            inbox_txs,
+            config.loss,
+            config.seed,
+            Arc::clone(&traffic),
+        ));
+
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut delivery_rxs = Vec::with_capacity(n);
+        for pid in 0..n {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (del_tx, del_rx) = unbounded();
+            cmd_txs.push(cmd_tx);
+            delivery_rxs.push(del_rx);
+            threads.push(node::spawn_node(node::NodeSetup {
+                pid,
+                algorithm: config.algorithm,
+                n,
+                seed: config.seed,
+                tick_interval: config.tick_interval,
+                inbox: inbox_rxs[pid].clone(),
+                commands: cmd_rx,
+                egress: ingress_tx.clone(),
+                deliveries: del_tx,
+                registry: Arc::clone(&registry),
+            }));
+        }
+        drop(ingress_tx); // router exits when every node sender is gone
+
+        UrbCluster {
+            delivery_log: Mutex::new(vec![Vec::new(); n]),
+            config,
+            cmd_txs,
+            delivery_rxs,
+            registry,
+            traffic,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Drains every node's delivery stream into the persistent log.
+    fn pump_deliveries(&self) {
+        let mut log = self.delivery_log.lock();
+        for (pid, rx) in self.delivery_rxs.iter().enumerate() {
+            while let Ok(d) = rx.try_recv() {
+                log[pid].push(d);
+            }
+        }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.config.n
+    }
+
+    /// Invokes `URB_broadcast(payload)` at process `pid`. Returns the tag,
+    /// or `None` if the process is crashed/shut down.
+    pub fn broadcast(&self, pid: usize, payload: Payload) -> Option<Tag> {
+        let (tx, rx) = bounded(1);
+        self.cmd_txs[pid].send(Command::Broadcast(payload, tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(10)).ok()
+    }
+
+    /// Everything process `pid` has URB-delivered so far, in order.
+    pub fn delivery_log(&self, pid: usize) -> Vec<Delivery> {
+        self.pump_deliveries();
+        self.delivery_log.lock()[pid].clone()
+    }
+
+    /// Crash-stops process `pid` (idempotent) and informs the membership
+    /// registry, which starts the detection-delay clock.
+    pub fn crash(&self, pid: usize) {
+        let _ = self.cmd_txs[pid].send(Command::Crash);
+        self.registry.mark_crashed(pid, Instant::now());
+    }
+
+    /// Aggregate router traffic so far.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic.snapshot()
+    }
+
+    /// Blocks until `tag` has been delivered by every non-crashed process
+    /// or `timeout` elapses. Returns the pids that delivered in time.
+    /// Deliveries of *other* tags observed while waiting are retained in
+    /// the log, so sequential waits for several tags all succeed.
+    pub fn await_delivery_everywhere(&self, tag: Tag, timeout: Duration) -> Vec<usize> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump_deliveries();
+            let log = self.delivery_log.lock();
+            let mut out: Vec<usize> = (0..self.config.n)
+                .filter(|&pid| log[pid].iter().any(|d| d.tag == tag))
+                .collect();
+            let done = (0..self.config.n)
+                .all(|p| out.contains(&p) || self.registry.is_crashed(p));
+            drop(log);
+            if done || Instant::now() >= deadline {
+                out.sort_unstable();
+                return out;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Blocks until no protocol message (MSG/ACK) has crossed the router
+    /// for `idle`, or until `timeout`. Returns `true` on quiescence.
+    pub fn await_quiescence(&self, idle: Duration, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let last = self.traffic.last_protocol_activity();
+            if let Some(t) = last {
+                if t.elapsed() >= idle {
+                    return true;
+                }
+            } else if self.traffic.snapshot().protocol_messages == 0 {
+                // Nothing ever sent: vacuously quiescent.
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Gracefully stops every thread. Call at the end of a test/example.
+    pub fn shutdown(&self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UrbCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_roundtrip_no_loss() {
+        let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Majority));
+        let tag = cluster.broadcast(0, Payload::from("hi")).expect("tag");
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(10));
+        assert_eq!(who, vec![0, 1, 2]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn quiescent_algorithm_goes_silent() {
+        let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Quiescent));
+        let tag = cluster.broadcast(1, Payload::from("silence after this")).unwrap();
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(10));
+        assert_eq!(who.len(), 3);
+        assert!(
+            cluster.await_quiescence(Duration::from_millis(400), Duration::from_secs(15)),
+            "Algorithm 2 must stop talking"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lossy_cluster_still_delivers() {
+        let cluster =
+            UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Majority).loss(0.3).seed(9));
+        let tag = cluster.broadcast(2, Payload::from("through the noise")).unwrap();
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(20));
+        assert_eq!(who.len(), 4, "fairness beats 30% loss");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_process_stops_accepting() {
+        let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Majority));
+        cluster.crash(1);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(cluster.broadcast(1, Payload::from("x")).is_none());
+        assert!(cluster.registry.is_crashed(1));
+        // The rest of the system keeps working (2 of 3 is a majority).
+        let tag = cluster.broadcast(0, Payload::from("still alive")).unwrap();
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(10));
+        assert_eq!(who, vec![0, 2]);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,104 @@
+//! The per-process node thread.
+//!
+//! Each node owns one protocol state machine and loops over three event
+//! sources: its network inbox, its command channel (broadcast / crash /
+//! shutdown), and a wall-clock tick deadline for Task-1 sweeps. The
+//! failure-detector snapshot is read from the shared
+//! [`MembershipRegistry`](crate::MembershipRegistry) immediately before
+//! every protocol step, matching the paper's read-only-variable semantics.
+
+use crate::registry::MembershipRegistry;
+use crate::Command;
+use crossbeam_channel::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urb_core::Algorithm;
+use urb_types::{Context, Delivery, SplitMix64, WireMessage};
+
+/// Everything a node thread needs at spawn time.
+pub(crate) struct NodeSetup {
+    pub pid: usize,
+    pub algorithm: Algorithm,
+    pub n: usize,
+    pub seed: u64,
+    pub tick_interval: Duration,
+    pub inbox: Receiver<WireMessage>,
+    pub commands: Receiver<Command>,
+    pub egress: Sender<(usize, WireMessage)>,
+    pub deliveries: Sender<Delivery>,
+    pub registry: Arc<MembershipRegistry>,
+}
+
+/// Spawns one node thread.
+pub(crate) fn spawn_node(setup: NodeSetup) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("urb-node-{}", setup.pid))
+        .spawn(move || node_main(setup))
+        .expect("spawn node thread")
+}
+
+fn node_main(setup: NodeSetup) {
+    let NodeSetup {
+        pid,
+        algorithm,
+        n,
+        seed,
+        tick_interval,
+        inbox,
+        commands,
+        egress,
+        deliveries,
+        registry,
+    } = setup;
+    let mut proc = algorithm.instantiate(n);
+    let mut rng = SplitMix64::new(seed ^ 0xB07B_0B00 ^ (pid as u64) << 32);
+    let mut next_tick = Instant::now() + tick_interval;
+
+    let mut outbox: Vec<WireMessage> = Vec::new();
+    let mut delivered: Vec<Delivery> = Vec::new();
+
+    loop {
+        // Flush whatever the last step produced.
+        for msg in outbox.drain(..) {
+            if egress.send((pid, msg)).is_err() {
+                return; // router gone — cluster shutting down
+            }
+        }
+        for d in delivered.drain(..) {
+            let _ = deliveries.send(d);
+        }
+
+        let now = Instant::now();
+        let timeout = next_tick.saturating_duration_since(now);
+
+        crossbeam_channel::select! {
+            recv(commands) -> cmd => match cmd {
+                Ok(Command::Broadcast(payload, reply)) => {
+                    let snapshot = registry.snapshot(pid, Instant::now());
+                    let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
+                    let tag = proc.urb_broadcast(payload, &mut ctx);
+                    let _ = reply.send(tag);
+                }
+                Ok(Command::Crash) | Ok(Command::Shutdown) | Err(_) => {
+                    // Crash-stop: drop everything on the floor and exit.
+                    // (The inbox sender side survives in the router, which
+                    // treats the closed channel as a dead destination.)
+                    return;
+                }
+            },
+            recv(inbox) -> msg => {
+                if let Ok(msg) = msg {
+                    let snapshot = registry.snapshot(pid, Instant::now());
+                    let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
+                    proc.on_receive(msg, &mut ctx);
+                }
+            },
+            default(timeout) => {
+                let snapshot = registry.snapshot(pid, Instant::now());
+                let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
+                proc.on_tick(&mut ctx);
+                next_tick = Instant::now() + tick_interval;
+            },
+        }
+    }
+}

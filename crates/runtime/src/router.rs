@@ -1,0 +1,173 @@
+//! The lossy broadcast medium of the threaded runtime.
+//!
+//! One router thread fans every node's outgoing message out to all `n`
+//! inboxes (sender included — the paper's `broadcast` primitive), dropping
+//! each *copy* independently with the configured probability. The
+//! sender-to-self copy is never dropped, mirroring the simulator's reliable
+//! self-channel. Traffic counters feed the cluster's quiescence observer.
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use urb_types::{RandomSource, WireKind, WireMessage, Xoshiro256};
+
+/// Aggregate router statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// MSG + ACK messages routed (broadcast invocations, not copies).
+    pub protocol_messages: u64,
+    /// Heartbeats routed.
+    pub heartbeats: u64,
+    /// Copies dropped by loss injection.
+    pub dropped_copies: u64,
+    /// Copies delivered into inboxes.
+    pub delivered_copies: u64,
+}
+
+/// Shared counters written by the router thread.
+#[derive(Default)]
+pub struct TrafficCounters {
+    protocol_messages: AtomicU64,
+    heartbeats: AtomicU64,
+    dropped_copies: AtomicU64,
+    delivered_copies: AtomicU64,
+    /// Instant of the last MSG/ACK routed (quiescence detection).
+    last_protocol: Mutex<Option<Instant>>,
+}
+
+impl TrafficCounters {
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            protocol_messages: self.protocol_messages.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            dropped_copies: self.dropped_copies.load(Ordering::Relaxed),
+            delivered_copies: self.delivered_copies.load(Ordering::Relaxed),
+        }
+    }
+
+    /// When the last protocol message crossed the router.
+    pub fn last_protocol_activity(&self) -> Option<Instant> {
+        *self.last_protocol.lock()
+    }
+}
+
+/// Spawns the router thread. It exits when every node-side sender is gone.
+pub fn spawn_router(
+    ingress: Receiver<(usize, WireMessage)>,
+    inboxes: Vec<Sender<WireMessage>>,
+    loss: f64,
+    seed: u64,
+    counters: Arc<TrafficCounters>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("urb-router".into())
+        .spawn(move || {
+            let mut rng = Xoshiro256::new(seed ^ 0x4007_E4B0_5555_0001);
+            while let Ok((from, msg)) = ingress.recv() {
+                match msg.kind() {
+                    WireKind::Heartbeat => {
+                        counters.heartbeats.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        counters.protocol_messages.fetch_add(1, Ordering::Relaxed);
+                        *counters.last_protocol.lock() = Some(Instant::now());
+                    }
+                }
+                for (to, inbox) in inboxes.iter().enumerate() {
+                    if to != from && loss > 0.0 && rng.gen_bool(loss) {
+                        counters.dropped_copies.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // A closed inbox = crashed/stopped node; copies to it
+                    // simply vanish, like messages to a dead process.
+                    if inbox.send(msg.clone()).is_ok() {
+                        counters.delivered_copies.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+        .expect("spawn router thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+    use urb_types::{Payload, Tag};
+
+    fn msg(tag: u128) -> WireMessage {
+        WireMessage::Msg {
+            tag: Tag(tag),
+            payload: Payload::from("m"),
+        }
+    }
+
+    #[test]
+    fn fans_out_to_all_including_sender() {
+        let (tx, rx) = unbounded();
+        let mut inbox_rx = Vec::new();
+        let mut inbox_tx = Vec::new();
+        for _ in 0..3 {
+            let (t, r) = unbounded();
+            inbox_tx.push(t);
+            inbox_rx.push(r);
+        }
+        let counters = Arc::new(TrafficCounters::default());
+        let h = spawn_router(rx, inbox_tx, 0.0, 1, Arc::clone(&counters));
+        tx.send((1, msg(7))).unwrap();
+        drop(tx);
+        h.join().unwrap();
+        for r in &inbox_rx {
+            assert_eq!(r.try_recv().unwrap().tag(), Some(Tag(7)));
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.protocol_messages, 1);
+        assert_eq!(s.delivered_copies, 3);
+        assert!(counters.last_protocol_activity().is_some());
+    }
+
+    #[test]
+    fn self_copy_survives_total_loss() {
+        let (tx, rx) = unbounded();
+        let mut inbox_rx = Vec::new();
+        let mut inbox_tx = Vec::new();
+        for _ in 0..2 {
+            let (t, r) = unbounded();
+            inbox_tx.push(t);
+            inbox_rx.push(r);
+        }
+        let counters = Arc::new(TrafficCounters::default());
+        let h = spawn_router(rx, inbox_tx, 1.0, 2, Arc::clone(&counters));
+        tx.send((0, msg(9))).unwrap();
+        drop(tx);
+        h.join().unwrap();
+        assert!(inbox_rx[0].try_recv().is_ok(), "self copy delivered");
+        assert!(inbox_rx[1].try_recv().is_err(), "peer copy lost");
+        assert_eq!(counters.snapshot().dropped_copies, 1);
+    }
+
+    #[test]
+    fn heartbeats_counted_separately() {
+        let (tx, rx) = unbounded();
+        let (t, _r) = unbounded();
+        let counters = Arc::new(TrafficCounters::default());
+        let h = spawn_router(rx, vec![t], 0.0, 3, Arc::clone(&counters));
+        tx.send((
+            0,
+            WireMessage::Heartbeat {
+                label: urb_types::Label(1),
+                seq: 0,
+            },
+        ))
+        .unwrap();
+        drop(tx);
+        h.join().unwrap();
+        let s = counters.snapshot();
+        assert_eq!(s.heartbeats, 1);
+        assert_eq!(s.protocol_messages, 0);
+        assert!(counters.last_protocol_activity().is_none());
+    }
+}

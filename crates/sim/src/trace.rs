@@ -1,0 +1,363 @@
+//! Structured event traces: optional, bounded recording of everything that
+//! happens in a run, with per-message timelines and JSON export.
+//!
+//! Metrics (`metrics.rs`) aggregate; traces *narrate*. They exist for three
+//! consumers:
+//!
+//! * debugging — when a property-checker verdict is surprising, the
+//!   per-tag [`timeline`](Trace::timeline) shows exactly which
+//!   transmissions were dropped and which ACKs arrived where;
+//! * the CLI (`urb-cli trace`), which exports runs as JSON for external
+//!   tooling;
+//! * the documentation examples, which quote real traces.
+//!
+//! Recording is off by default ([`TraceConfig::disabled`]) and bounded by
+//! `max_events` when on, so the hot path stays allocation-light.
+
+use crate::metrics::{BroadcastRecord, DeliveryRecord};
+use serde::Serialize;
+use urb_types::{Tag, WireKind};
+
+/// What kind of thing happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// A broadcast primitive invocation put copies on the wire.
+    Send,
+    /// A copy arrived and was processed.
+    Receive,
+    /// A copy was dropped by a lossy channel.
+    Drop,
+    /// A process crashed.
+    Crash,
+    /// `URB_broadcast` was invoked.
+    UrbBroadcast,
+    /// `URB_deliver` fired.
+    UrbDeliver,
+}
+
+/// One trace event. `from`/`to` are driver-side indices (the protocol never
+/// sees them); `tag` is present for MSG/ACK events.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceEvent {
+    /// Simulated time.
+    pub time: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Originating process, where meaningful.
+    pub from: Option<usize>,
+    /// Receiving process, where meaningful.
+    pub to: Option<usize>,
+    /// Message kind for wire events.
+    pub wire: Option<WireKind>,
+    /// Concerned message tag, if any.
+    pub tag: Option<Tag>,
+}
+
+/// Recording policy.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Hard cap on recorded events (oldest kept; recording stops at the
+    /// cap — a truncated flag is set instead of silently rotating, so
+    /// consumers can tell).
+    pub max_events: usize,
+    /// Record per-copy Send/Receive/Drop events (the chatty ones). URB
+    /// broadcasts/deliveries/crashes are always recorded when enabled.
+    pub record_wire: bool,
+}
+
+impl TraceConfig {
+    /// No recording (the default for experiments).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            max_events: 0,
+            record_wire: false,
+        }
+    }
+
+    /// Record everything, up to `max_events`.
+    pub fn full(max_events: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            max_events,
+            record_wire: true,
+        }
+    }
+
+    /// Record only protocol-level events (URB broadcast/deliver, crashes).
+    pub fn protocol_only(max_events: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            max_events,
+            record_wire: false,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// A recorded trace.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Trace {
+    /// The events, in execution order.
+    pub events: Vec<TraceEvent>,
+    /// True when the `max_events` cap was hit (events after the cap were
+    /// not recorded).
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events concerning `tag`, in order — the life of one message.
+    pub fn timeline(&self, tag: Tag) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.tag == Some(tag)).collect()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// JSON export (pretty-printed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization is infallible")
+    }
+
+    /// Human-oriented one-line-per-event rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = write!(out, "t={:<8} {:<12?}", e.time, e.kind);
+            if let Some(w) = e.wire {
+                let _ = write!(out, " {w}");
+            }
+            if let Some(f) = e.from {
+                let _ = write!(out, " from=#{f}");
+            }
+            if let Some(t) = e.to {
+                let _ = write!(out, " to=#{t}");
+            }
+            if let Some(tag) = e.tag {
+                let _ = write!(out, " {tag:?}");
+            }
+            out.push('\n');
+        }
+        if self.truncated {
+            out.push_str("… (truncated at cap)\n");
+        }
+        out
+    }
+}
+
+/// The recorder the driver writes into.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    config: TraceConfig,
+    trace: Trace,
+}
+
+impl TraceRecorder {
+    /// New recorder with the given policy.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceRecorder {
+            config,
+            trace: Trace::default(),
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if !self.config.enabled {
+            return;
+        }
+        if self.trace.events.len() >= self.config.max_events {
+            self.trace.truncated = true;
+            return;
+        }
+        self.trace.events.push(event);
+    }
+
+    /// Records a broadcast-primitive send (one per invocation, not per copy).
+    pub fn send(&mut self, time: u64, from: usize, wire: WireKind, tag: Option<Tag>) {
+        if self.config.record_wire {
+            self.push(TraceEvent {
+                time,
+                kind: TraceKind::Send,
+                from: Some(from),
+                to: None,
+                wire: Some(wire),
+                tag,
+            });
+        }
+    }
+
+    /// Records a processed reception.
+    pub fn receive(&mut self, time: u64, to: usize, wire: WireKind, tag: Option<Tag>) {
+        if self.config.record_wire {
+            self.push(TraceEvent {
+                time,
+                kind: TraceKind::Receive,
+                from: None,
+                to: Some(to),
+                wire: Some(wire),
+                tag,
+            });
+        }
+    }
+
+    /// Records a channel drop.
+    pub fn drop_copy(&mut self, time: u64, from: usize, to: usize, wire: WireKind, tag: Option<Tag>) {
+        if self.config.record_wire {
+            self.push(TraceEvent {
+                time,
+                kind: TraceKind::Drop,
+                from: Some(from),
+                to: Some(to),
+                wire: Some(wire),
+                tag,
+            });
+        }
+    }
+
+    /// Records a crash.
+    pub fn crash(&mut self, time: u64, pid: usize) {
+        self.push(TraceEvent {
+            time,
+            kind: TraceKind::Crash,
+            from: Some(pid),
+            to: None,
+            wire: None,
+            tag: None,
+        });
+    }
+
+    /// Records a `URB_broadcast` invocation.
+    pub fn urb_broadcast(&mut self, rec: &BroadcastRecord) {
+        self.push(TraceEvent {
+            time: rec.time,
+            kind: TraceKind::UrbBroadcast,
+            from: Some(rec.pid),
+            to: None,
+            wire: None,
+            tag: Some(rec.tag),
+        });
+    }
+
+    /// Records a `URB_deliver`.
+    pub fn urb_deliver(&mut self, rec: &DeliveryRecord) {
+        self.push(TraceEvent {
+            time: rec.time,
+            kind: TraceKind::UrbDeliver,
+            from: None,
+            to: Some(rec.pid),
+            wire: None,
+            tag: Some(rec.tag),
+        });
+    }
+
+    /// Finishes recording and yields the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Whether any recording is happening at all.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(cfg: TraceConfig) -> TraceRecorder {
+        TraceRecorder::new(cfg)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = recorder(TraceConfig::disabled());
+        r.crash(5, 1);
+        r.send(6, 0, WireKind::Msg, Some(Tag(1)));
+        let t = r.into_trace();
+        assert!(t.is_empty());
+        assert!(!t.truncated);
+    }
+
+    #[test]
+    fn protocol_only_skips_wire_events() {
+        let mut r = recorder(TraceConfig::protocol_only(100));
+        r.send(1, 0, WireKind::Msg, Some(Tag(1)));
+        r.receive(2, 1, WireKind::Ack, Some(Tag(1)));
+        r.crash(3, 2);
+        r.urb_deliver(&DeliveryRecord {
+            pid: 0,
+            tag: Tag(1),
+            time: 4,
+            fast: false,
+            payload: urb_types::Payload::empty(),
+        });
+        let t = r.into_trace();
+        assert_eq!(t.len(), 2, "only crash + deliver recorded");
+        assert_eq!(t.of_kind(TraceKind::Crash).len(), 1);
+        assert_eq!(t.of_kind(TraceKind::UrbDeliver).len(), 1);
+    }
+
+    #[test]
+    fn cap_sets_truncated_flag() {
+        let mut r = recorder(TraceConfig::full(2));
+        for i in 0..5 {
+            r.crash(i, 0);
+        }
+        let t = r.into_trace();
+        assert_eq!(t.len(), 2);
+        assert!(t.truncated);
+    }
+
+    #[test]
+    fn timeline_filters_by_tag() {
+        let mut r = recorder(TraceConfig::full(100));
+        r.send(1, 0, WireKind::Msg, Some(Tag(1)));
+        r.send(2, 0, WireKind::Msg, Some(Tag(2)));
+        r.receive(3, 1, WireKind::Msg, Some(Tag(1)));
+        let t = r.into_trace();
+        let tl = t.timeline(Tag(1));
+        assert_eq!(tl.len(), 2);
+        assert!(tl.iter().all(|e| e.tag == Some(Tag(1))));
+        assert!(tl[0].time <= tl[1].time);
+    }
+
+    #[test]
+    fn json_and_render_are_nonempty() {
+        let mut r = recorder(TraceConfig::full(10));
+        r.urb_broadcast(&BroadcastRecord {
+            pid: 2,
+            tag: Tag(9),
+            time: 7,
+            payload: urb_types::Payload::empty(),
+        });
+        r.drop_copy(8, 0, 1, WireKind::Ack, Some(Tag(9)));
+        let t = r.into_trace();
+        let json = t.to_json();
+        assert!(json.contains("UrbBroadcast"));
+        assert!(json.contains("\"time\": 7"));
+        let rendered = t.render();
+        assert!(rendered.contains("t=7"));
+        assert!(rendered.contains("from=#2"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the simulator substrate itself: the checker, the
+//! channel models and the crash plans. (Whole-run properties live in the
+//! workspace-level `tests/` directory.)
+
+use proptest::prelude::*;
+use urb_sim::channel::{Channel, DelayModel, Verdict};
+use urb_sim::metrics::{BroadcastRecord, DeliveryRecord};
+use urb_sim::{check_urb, CrashPlan, LossModel};
+use urb_types::{Payload, Tag, WireMessage, Xoshiro256};
+
+fn body() -> Payload {
+    Payload::from("m")
+}
+
+fn arb_history(
+    n: usize,
+) -> impl Strategy<Value = (Vec<bool>, Vec<BroadcastRecord>, Vec<DeliveryRecord>)> {
+    let correct = proptest::collection::vec(any::<bool>(), n);
+    let broadcasts = proptest::collection::vec((0..n, 0u8..6, 0u64..100), 0..6).prop_map(|v| {
+        v.into_iter()
+            .map(|(pid, tag, time)| BroadcastRecord {
+                pid,
+                tag: Tag(tag as u128),
+                time,
+                payload: body(),
+            })
+            .collect::<Vec<_>>()
+    });
+    let deliveries =
+        proptest::collection::vec((0..n, 0u8..6, 0u64..200), 0..20).prop_map(|v| {
+            v.into_iter()
+                .map(|(pid, tag, time)| DeliveryRecord {
+                    pid,
+                    tag: Tag(tag as u128),
+                    time,
+                    fast: false,
+                    payload: body(),
+                })
+                .collect::<Vec<_>>()
+        });
+    (correct, broadcasts, deliveries)
+}
+
+proptest! {
+    /// The checker agrees with an independent reference implementation of
+    /// the three URB predicates on arbitrary histories.
+    #[test]
+    fn checker_matches_reference((correct, broadcasts, deliveries) in arb_history(4)) {
+        let n = correct.len();
+        let report = check_urb(n, &correct, &broadcasts, &deliveries);
+
+        // Reference predicates, written independently (set-based).
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut per: Vec<BTreeMap<Tag, usize>> = vec![BTreeMap::new(); n];
+        for d in &deliveries {
+            *per[d.pid].entry(d.tag).or_insert(0) += 1;
+        }
+        let broadcast_tags: BTreeSet<Tag> = broadcasts.iter().map(|b| b.tag).collect();
+
+        let ref_validity = broadcasts
+            .iter()
+            .all(|b| !correct[b.pid] || per[b.pid].contains_key(&b.tag));
+        let delivered_any: BTreeSet<Tag> = deliveries.iter().map(|d| d.tag).collect();
+        let ref_agreement = delivered_any.iter().all(|t| {
+            (0..n).all(|p| !correct[p] || per[p].contains_key(t))
+        });
+        let ref_integrity = (0..n).all(|p| {
+            per[p]
+                .iter()
+                .all(|(t, &c)| c == 1 && broadcast_tags.contains(t))
+        });
+
+        prop_assert_eq!(report.validity.ok(), ref_validity);
+        prop_assert_eq!(report.agreement.ok(), ref_agreement);
+        prop_assert_eq!(report.integrity.ok(), ref_integrity);
+        prop_assert_eq!(report.all_ok(), ref_validity && ref_agreement && ref_integrity);
+    }
+
+    /// Bounded-consecutive-loss channels deterministically satisfy the
+    /// fairness axiom: any message transmitted `max_consecutive + 1` times
+    /// in a row is delivered at least once, at every loss probability.
+    #[test]
+    fn bounded_channel_fairness(p in 0.0f64..1.0, cap in 1u32..8, seed in any::<u64>()) {
+        let mut c = Channel::new(
+            LossModel::BoundedBernoulli { p, max_consecutive: cap },
+            DelayModel::Constant(1),
+            Xoshiro256::new(seed),
+        );
+        let m = WireMessage::Msg { tag: Tag(42), payload: Payload::from("m") };
+        for _round in 0..20 {
+            let delivered = (0..=cap).any(|_| {
+                matches!(c.transmit(&m), Verdict::Deliver { .. })
+            });
+            prop_assert!(delivered, "a window of cap+1 sends must deliver");
+        }
+    }
+
+    /// Delay models always produce strictly positive delays within their
+    /// declared bounds.
+    #[test]
+    fn delays_positive_and_bounded(
+        min in 0u64..5,
+        span in 0u64..10,
+        seed in any::<u64>(),
+    ) {
+        let mut c = Channel::new(
+            LossModel::None,
+            DelayModel::Uniform { min, max: min + span },
+            Xoshiro256::new(seed),
+        );
+        let m = WireMessage::Msg { tag: Tag(1), payload: Payload::from("x") };
+        for _ in 0..200 {
+            match c.transmit(&m) {
+                Verdict::Deliver { delay } => {
+                    prop_assert!(delay >= 1);
+                    prop_assert!(delay <= (min + span).max(1));
+                }
+                Verdict::Drop => prop_assert!(false, "reliable channel dropped"),
+            }
+        }
+    }
+
+    /// Random crash plans always leave at least one correct process, crash
+    /// exactly `t`, and are seed-deterministic.
+    #[test]
+    fn crash_plans_well_formed(n in 2usize..10, seed in any::<u64>()) {
+        let t = n - 1;
+        let a = CrashPlan::random(n, t, 1_000, seed, None);
+        let b = CrashPlan::random(n, t, 1_000, seed, None);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.faulty_count(), t);
+        prop_assert_eq!(a.correct_set().len(), 1);
+    }
+
+    /// Protecting a pid really protects it, for every (n, t, seed).
+    #[test]
+    fn crash_plan_protection(n in 2usize..8, seed in any::<u64>()) {
+        let protect = (seed as usize) % n;
+        let t = n - 1;
+        let plan = CrashPlan::random(n, t, 500, seed, Some(protect));
+        prop_assert!(plan.correct_set().contains(&protect));
+        prop_assert_eq!(plan.faulty_count(), t);
+    }
+}

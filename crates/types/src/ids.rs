@@ -1,0 +1,276 @@
+//! The random identifiers of the paper.
+//!
+//! The paper (§III) makes anonymity workable by replacing process identities
+//! with *randomly drawn* identifiers:
+//!
+//! * every URB-broadcast message `m` gets a unique random [`Tag`] assigned by
+//!   its sender (Algorithm 1/2, line 5);
+//! * every process that receives `(MSG, m, tag)` draws a unique random
+//!   [`TagAck`] for its acknowledgment of that message (line 14 / 17) —
+//!   distinct `tag_ack`s are the anonymous proxy for "distinct processes";
+//! * the anonymous failure detectors `AΘ` and `AP*` (§V) expose random
+//!   [`Label`]s as *temporary* process identifiers whose mapping to processes
+//!   is unknown to every process, including the labelled one.
+//!
+//! All three are plain newtypes over wide random integers. The paper assumes
+//! tags are unique; with 128-bit tags the collision probability over any
+//! realistic run is negligible (≈ `k²/2¹²⁹` for `k` draws), and the
+//! simulator's debug assertions additionally detect collisions outright.
+
+use crate::rng::RandomSource;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique random identifier of a URB-broadcast message (the paper's `tag`).
+///
+/// Drawn by the broadcasting process in `URB_broadcast` (Algorithm 1/2,
+/// line 5). The pair `(m, tag)` of the paper is keyed by `tag` alone here —
+/// see DESIGN.md D2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tag(pub u128);
+
+/// Unique random identifier of one process's acknowledgment of one message
+/// (the paper's `tag_ack`).
+///
+/// A process draws exactly one `tag_ack` per `(m, tag)` it ever acknowledges
+/// and re-uses it verbatim on retransmissions (the `MY_ACK` set enforces
+/// this), so counting *distinct* `TagAck`s for a tag counts distinct
+/// processes that received the message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TagAck(pub u128);
+
+/// Temporary anonymous process identifier exposed by `AΘ` / `AP*` (§V).
+///
+/// Labels are drawn by the failure-detector layer; no process (not even the
+/// labelled one) knows the label↔process mapping, which preserves anonymity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(pub u64);
+
+impl Tag {
+    /// Draws a fresh random tag (Algorithm 1/2, line 5: `tag ← random()`).
+    pub fn random(rng: &mut dyn RandomSource) -> Self {
+        Tag(rng.next_u128())
+    }
+}
+
+impl TagAck {
+    /// Draws a fresh random ack tag (line 14/17: `tag_ack ← random()`).
+    pub fn random(rng: &mut dyn RandomSource) -> Self {
+        TagAck(rng.next_u128())
+    }
+}
+
+impl Label {
+    /// Draws a fresh random label (used by the failure-detector layer).
+    pub fn random(rng: &mut dyn RandomSource) -> Self {
+        Label(rng.next_u64())
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tag({:08x})", (self.0 >> 96) as u32)
+    }
+}
+
+impl fmt::Debug for TagAck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagAck({:08x})", (self.0 >> 96) as u32)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({:08x})", (self.0 >> 32) as u32)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", (self.0 >> 32) as u32)
+    }
+}
+
+/// A small sorted set of [`Label`]s, as attached to Algorithm 2's `ACK`
+/// messages (`labels_i ← {label | (label, −) ∈ a_theta_i}`, lines 14/19).
+///
+/// Kept sorted and deduplicated so that set operations are `O(n)` merges and
+/// equality is structural. Label sets are tiny (≤ number of processes), so a
+/// sorted `Vec` beats hash sets on every path the protocol exercises.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LabelSet(Vec<Label>);
+
+impl LabelSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        LabelSet(Vec::new())
+    }
+
+    /// Builds a set from arbitrary (possibly unsorted / duplicated) labels.
+    #[allow(clippy::should_implement_trait)] // also impls FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        let mut v: Vec<Label> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        LabelSet(v)
+    }
+
+    /// Number of labels in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search over the sorted backing vector).
+    pub fn contains(&self, label: Label) -> bool {
+        self.0.binary_search(&label).is_ok()
+    }
+
+    /// Inserts a label; returns `true` if it was not already present.
+    pub fn insert(&mut self, label: Label) -> bool {
+        match self.0.binary_search(&label) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.0.insert(pos, label);
+                true
+            }
+        }
+    }
+
+    /// Removes a label; returns `true` if it was present.
+    pub fn remove(&mut self, label: Label) -> bool {
+        match self.0.binary_search(&label) {
+            Ok(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates the labels in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Labels present in `self` but not in `other` (ascending order).
+    pub fn difference<'a>(&'a self, other: &'a LabelSet) -> impl Iterator<Item = Label> + 'a {
+        self.0.iter().copied().filter(move |l| !other.contains(*l))
+    }
+
+    /// True when every label of `self` is in `other`.
+    pub fn is_subset(&self, other: &LabelSet) -> bool {
+        self.0.iter().all(|l| other.contains(*l))
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &LabelSet) {
+        for l in other.iter() {
+            self.insert(l);
+        }
+    }
+
+    /// Read-only view of the sorted backing slice.
+    pub fn as_slice(&self) -> &[Label] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        LabelSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a LabelSet {
+    type Item = Label;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Label>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn tags_are_distinct_across_draws() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(Tag::random(&mut rng)), "tag collision");
+        }
+    }
+
+    #[test]
+    fn tag_ack_and_tag_namespaces_are_independent_types() {
+        // The paper remarks one random value may be shared across the MSG and
+        // ACK namespaces; the type system keeps them apart regardless.
+        let t = Tag(42);
+        let a = TagAck(42);
+        assert_eq!(t.0, a.0); // same value, different types — compiles, fine.
+    }
+
+    #[test]
+    fn label_set_insert_remove_contains() {
+        let mut s = LabelSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Label(3)));
+        assert!(s.insert(Label(1)));
+        assert!(s.insert(Label(2)));
+        assert!(!s.insert(Label(2)), "duplicate insert must report false");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Label(1)));
+        assert!(!s.contains(Label(9)));
+        assert!(s.remove(Label(1)));
+        assert!(!s.remove(Label(1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn label_set_is_sorted_and_deduplicated() {
+        let s = LabelSet::from_iter([Label(5), Label(1), Label(5), Label(3)]);
+        let v: Vec<Label> = s.iter().collect();
+        assert_eq!(v, vec![Label(1), Label(3), Label(5)]);
+    }
+
+    #[test]
+    fn label_set_difference_and_subset() {
+        let a = LabelSet::from_iter([Label(1), Label(2), Label(3)]);
+        let b = LabelSet::from_iter([Label(2), Label(3), Label(4)]);
+        let d: Vec<Label> = a.difference(&b).collect();
+        assert_eq!(d, vec![Label(1)]);
+        assert!(!a.is_subset(&b));
+        let c = LabelSet::from_iter([Label(2), Label(3)]);
+        assert!(c.is_subset(&a));
+        assert!(c.is_subset(&b));
+    }
+
+    #[test]
+    fn label_set_union() {
+        let mut a = LabelSet::from_iter([Label(1), Label(2)]);
+        let b = LabelSet::from_iter([Label(2), Label(3)]);
+        a.union_with(&b);
+        let v: Vec<Label> = a.iter().collect();
+        assert_eq!(v, vec![Label(1), Label(2), Label(3)]);
+    }
+
+    #[test]
+    fn label_set_equality_is_order_insensitive() {
+        let a = LabelSet::from_iter([Label(9), Label(4)]);
+        let b = LabelSet::from_iter([Label(4), Label(9)]);
+        assert_eq!(a, b);
+    }
+}

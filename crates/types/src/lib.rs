@@ -1,0 +1,45 @@
+//! # `urb-types`
+//!
+//! Foundation crate of the `anon-urb` workspace — the Rust reproduction of
+//! Tang, Larrea, Arévalo and Jiménez, *"Implementing Uniform Reliable
+//! Broadcast in Anonymous Distributed Systems with Fair Lossy Channels"*
+//! (IPPS 2015).
+//!
+//! This crate defines everything the protocol layer, the failure detectors,
+//! the simulator and the threaded runtime need to agree on:
+//!
+//! * [`ids`] — the random identifiers of the paper: [`ids::Tag`] (one per
+//!   URB-broadcast message), [`ids::TagAck`] (one per acknowledgment, i.e.
+//!   the anonymous stand-in for a process identity) and [`ids::Label`]
+//!   (the temporary process identifier exposed by the anonymous failure
+//!   detectors `AΘ` and `AP*`).
+//! * [`payload`] — cheaply clonable application payloads.
+//! * [`wire`] — the wire messages `MSG`, `ACK` and `HEARTBEAT`, with a
+//!   compact hand-rolled binary codec (plus `serde` for trace export).
+//! * [`fd`] — the read-only `(label, number)` views output by `AΘ`/`AP*`.
+//! * [`protocol`] — the sans-io [`protocol::AnonProcess`] trait implemented
+//!   by every algorithm in `urb-core`, plus the [`protocol::Context`]
+//!   handed to each protocol step.
+//! * [`rng`] — a small deterministic PRNG family (SplitMix64 and
+//!   xoshiro256++) so that simulations are bit-reproducible.
+//!
+//! None of the protocol-facing types expose process identities or global
+//! time: anonymity is enforced by construction, exactly as in the paper's
+//! model (§II).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fd;
+pub mod ids;
+pub mod payload;
+pub mod protocol;
+pub mod rng;
+pub mod wire;
+
+pub use fd::{FdPair, FdSnapshot, FdView};
+pub use ids::{Label, LabelSet, Tag, TagAck};
+pub use payload::Payload;
+pub use protocol::{AnonProcess, Context, Delivery, ProcessStats};
+pub use rng::{RandomSource, SplitMix64, Xoshiro256};
+pub use wire::{CodecError, WireKind, WireMessage};

@@ -1,0 +1,509 @@
+//! Wire messages and their binary codec.
+//!
+//! Three message kinds cross the network:
+//!
+//! * [`WireMessage::Msg`] — the paper's `(MSG, m, tag)`;
+//! * [`WireMessage::Ack`] — the paper's `(ACK, m, tag, tag_ack)`
+//!   (Algorithm 1) or `(ACK, m, tag, tag_ack, labels)` (Algorithm 2). Note
+//!   the ACK carries the payload `m`, exactly as written in the paper —
+//!   this is what enables the "fast deliver" behaviour of §III's remark
+//!   (DESIGN.md D1).
+//! * [`WireMessage::Heartbeat`] — used only by the *heartbeat-based*
+//!   realistic failure-detector implementation in `urb-fd`; the oracle
+//!   detectors send nothing.
+//!
+//! The codec is a hand-rolled length-prefixed binary format (via `bytes`),
+//! because the simulator and runtime move millions of messages per run and
+//! the format doubles as the unit the channel-loss layer hashes for its
+//! fairness bookkeeping. `serde` derives exist as well, for trace export.
+
+use crate::ids::{Label, LabelSet, Tag, TagAck};
+use crate::payload::Payload;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discriminant of a wire message, used by metrics and loss bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireKind {
+    /// An application message retransmission (`MSG`).
+    Msg,
+    /// An acknowledgment (`ACK`).
+    Ack,
+    /// A failure-detector heartbeat.
+    Heartbeat,
+}
+
+impl WireKind {
+    /// All kinds, in codec-tag order.
+    pub const ALL: [WireKind; 3] = [WireKind::Msg, WireKind::Ack, WireKind::Heartbeat];
+
+    /// Stable index for array-backed per-kind counters.
+    pub fn index(self) -> usize {
+        match self {
+            WireKind::Msg => 0,
+            WireKind::Ack => 1,
+            WireKind::Heartbeat => 2,
+        }
+    }
+}
+
+impl fmt::Display for WireKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireKind::Msg => "MSG",
+            WireKind::Ack => "ACK",
+            WireKind::Heartbeat => "HB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A message as it crosses the anonymous broadcast network.
+///
+/// Deliberately contains **no sender field**: receivers in the paper's model
+/// cannot determine who sent a message, and the type system enforces that
+/// here. (The simulator tracks provenance out-of-band, for metrics and the
+/// fairness bookkeeping only — protocol code never sees it.)
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// `(MSG, m, tag)` — a message to be URB-delivered (Algorithm 1/2,
+    /// Task 1 line 30/54).
+    Msg {
+        /// The sender-assigned unique random tag.
+        tag: Tag,
+        /// The application message `m`.
+        payload: Payload,
+    },
+    /// `(ACK, m, tag, tag_ack[, labels])` — reception acknowledgment
+    /// (Algorithm 1 lines 12/16, Algorithm 2 lines 15/20).
+    Ack {
+        /// Tag of the acknowledged message.
+        tag: Tag,
+        /// The acknowledger's unique random tag for this `(m, tag)`.
+        tag_ack: TagAck,
+        /// The acknowledged application message (piggybacked, per the paper).
+        payload: Payload,
+        /// Algorithm 2 only: the labels currently in the acknowledger's
+        /// `a_theta`. `None` for Algorithm 1 ACKs.
+        labels: Option<LabelSet>,
+    },
+    /// Failure-detector heartbeat (heartbeat implementation only).
+    Heartbeat {
+        /// The heartbeating process's current label.
+        label: Label,
+        /// Monotone sequence number (lets receivers ignore stale reordering).
+        seq: u64,
+    },
+}
+
+impl WireMessage {
+    /// The message's kind discriminant.
+    pub fn kind(&self) -> WireKind {
+        match self {
+            WireMessage::Msg { .. } => WireKind::Msg,
+            WireMessage::Ack { .. } => WireKind::Ack,
+            WireMessage::Heartbeat { .. } => WireKind::Heartbeat,
+        }
+    }
+
+    /// The `tag` this message concerns, if any.
+    pub fn tag(&self) -> Option<Tag> {
+        match self {
+            WireMessage::Msg { tag, .. } | WireMessage::Ack { tag, .. } => Some(*tag),
+            WireMessage::Heartbeat { .. } => None,
+        }
+    }
+
+    /// Serialized size in bytes (what [`encode`](Self::encode) will produce).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            WireMessage::Msg { payload, .. } => 1 + 16 + 4 + payload.len(),
+            WireMessage::Ack {
+                payload, labels, ..
+            } => {
+                1 + 16
+                    + 16
+                    + 4
+                    + payload.len()
+                    + 1
+                    + labels.as_ref().map_or(0, |l| 4 + 8 * l.len())
+            }
+            WireMessage::Heartbeat { .. } => 1 + 8 + 8,
+        }
+    }
+
+    /// Encodes into a freshly allocated buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into an existing buffer (appends).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            WireMessage::Msg { tag, payload } => {
+                buf.put_u8(0);
+                buf.put_u128(tag.0);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload.as_slice());
+            }
+            WireMessage::Ack {
+                tag,
+                tag_ack,
+                payload,
+                labels,
+            } => {
+                buf.put_u8(1);
+                buf.put_u128(tag.0);
+                buf.put_u128(tag_ack.0);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload.as_slice());
+                match labels {
+                    None => buf.put_u8(0),
+                    Some(set) => {
+                        buf.put_u8(1);
+                        buf.put_u32(set.len() as u32);
+                        for l in set.iter() {
+                            buf.put_u64(l.0);
+                        }
+                    }
+                }
+            }
+            WireMessage::Heartbeat { label, seq } => {
+                buf.put_u8(2);
+                buf.put_u64(label.0);
+                buf.put_u64(*seq);
+            }
+        }
+    }
+
+    /// Decodes a message from a complete frame.
+    pub fn decode(mut data: &[u8]) -> Result<WireMessage, CodecError> {
+        let msg = Self::decode_buf(&mut data)?;
+        if !data.is_empty() {
+            return Err(CodecError::TrailingBytes(data.len()));
+        }
+        Ok(msg)
+    }
+
+    fn decode_buf(buf: &mut &[u8]) -> Result<WireMessage, CodecError> {
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let kind = buf.get_u8();
+        match kind {
+            0 => {
+                if buf.remaining() < 16 + 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let tag = Tag(buf.get_u128());
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(CodecError::Truncated);
+                }
+                let payload = Payload::copy_from_slice(&buf[..len]);
+                buf.advance(len);
+                Ok(WireMessage::Msg { tag, payload })
+            }
+            1 => {
+                if buf.remaining() < 16 + 16 + 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let tag = Tag(buf.get_u128());
+                let tag_ack = TagAck(buf.get_u128());
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(CodecError::Truncated);
+                }
+                let payload = Payload::copy_from_slice(&buf[..len]);
+                buf.advance(len);
+                if buf.remaining() < 1 {
+                    return Err(CodecError::Truncated);
+                }
+                let labels = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 4 {
+                            return Err(CodecError::Truncated);
+                        }
+                        let n = buf.get_u32() as usize;
+                        if buf.remaining() < 8 * n {
+                            return Err(CodecError::Truncated);
+                        }
+                        let mut labels = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            labels.push(Label(buf.get_u64()));
+                        }
+                        Some(LabelSet::from_iter(labels))
+                    }
+                    b => return Err(CodecError::BadDiscriminant(b)),
+                };
+                Ok(WireMessage::Ack {
+                    tag,
+                    tag_ack,
+                    payload,
+                    labels,
+                })
+            }
+            2 => {
+                if buf.remaining() < 16 {
+                    return Err(CodecError::Truncated);
+                }
+                let label = Label(buf.get_u64());
+                let seq = buf.get_u64();
+                Ok(WireMessage::Heartbeat { label, seq })
+            }
+            b => Err(CodecError::BadDiscriminant(b)),
+        }
+    }
+
+    /// A 64-bit content fingerprint, used by the bounded-loss channel mode to
+    /// recognise retransmissions of "the same message" (the unit over which
+    /// the fair-lossy Fairness axiom quantifies).
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a over the encoded form: stable, fast, good enough for
+        // bookkeeping (not adversarial input).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        match self {
+            WireMessage::Msg { tag, payload } => {
+                feed(&[0]);
+                feed(&tag.0.to_le_bytes());
+                feed(payload.as_slice());
+            }
+            WireMessage::Ack {
+                tag,
+                tag_ack,
+                payload,
+                labels,
+            } => {
+                feed(&[1]);
+                feed(&tag.0.to_le_bytes());
+                feed(&tag_ack.0.to_le_bytes());
+                feed(payload.as_slice());
+                if let Some(set) = labels {
+                    for l in set.iter() {
+                        feed(&l.0.to_le_bytes());
+                    }
+                }
+            }
+            WireMessage::Heartbeat { label, seq } => {
+                feed(&[2]);
+                feed(&label.0.to_le_bytes());
+                feed(&seq.to_le_bytes());
+            }
+        }
+        hash
+    }
+
+    /// Retransmission identity: two sends count as retransmissions of the
+    /// same message for the fairness axiom if they have the same
+    /// [`retransmit_key`](Self::retransmit_key).
+    ///
+    /// For ACKs in Algorithm 2 the attached label set evolves between
+    /// retransmissions while the paper still treats them as "the identical
+    /// acknowledgment message"; the key therefore ignores labels (and
+    /// heartbeat sequence numbers) and hashes only the stable identity.
+    pub fn retransmit_key(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        match self {
+            WireMessage::Msg { tag, .. } => {
+                feed(&[0]);
+                feed(&tag.0.to_le_bytes());
+            }
+            WireMessage::Ack { tag, tag_ack, .. } => {
+                feed(&[1]);
+                feed(&tag.0.to_le_bytes());
+                feed(&tag_ack.0.to_le_bytes());
+            }
+            WireMessage::Heartbeat { label, .. } => {
+                feed(&[2]);
+                feed(&label.0.to_le_bytes());
+            }
+        }
+        hash
+    }
+}
+
+impl fmt::Debug for WireMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireMessage::Msg { tag, payload } => write!(f, "MSG{{{tag:?}, {payload:?}}}"),
+            WireMessage::Ack {
+                tag,
+                tag_ack,
+                labels,
+                ..
+            } => match labels {
+                Some(set) => write!(f, "ACK{{{tag:?}, {tag_ack:?}, labels={set:?}}}"),
+                None => write!(f, "ACK{{{tag:?}, {tag_ack:?}}}"),
+            },
+            WireMessage::Heartbeat { label, seq } => write!(f, "HB{{{label:?}, seq={seq}}}"),
+        }
+    }
+}
+
+/// Errors produced by [`WireMessage::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame ended before the message was complete.
+    Truncated,
+    /// An enum discriminant byte had an unknown value.
+    BadDiscriminant(u8),
+    /// The frame contained bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadDiscriminant(b) => write!(f, "unknown discriminant byte {b:#x}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(tag: u128, body: &str) -> WireMessage {
+        WireMessage::Msg {
+            tag: Tag(tag),
+            payload: Payload::from(body),
+        }
+    }
+
+    fn ack(tag: u128, ta: u128, body: &str, labels: Option<&[u64]>) -> WireMessage {
+        WireMessage::Ack {
+            tag: Tag(tag),
+            tag_ack: TagAck(ta),
+            payload: Payload::from(body),
+            labels: labels.map(|ls| LabelSet::from_iter(ls.iter().map(|&l| Label(l)))),
+        }
+    }
+
+    #[test]
+    fn roundtrip_msg() {
+        let m = msg(0xDEAD_BEEF, "payload!");
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.encoded_len());
+        assert_eq!(WireMessage::decode(&enc).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_ack_without_labels() {
+        let m = ack(1, 2, "m", None);
+        assert_eq!(WireMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_ack_with_labels() {
+        let m = ack(u128::MAX, 7, "", Some(&[3, 1, 2]));
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.encoded_len());
+        let back = WireMessage::decode(&enc).unwrap();
+        assert_eq!(back, m);
+        if let WireMessage::Ack {
+            labels: Some(set), ..
+        } = back
+        {
+            let v: Vec<Label> = set.iter().collect();
+            assert_eq!(v, vec![Label(1), Label(2), Label(3)], "labels sorted");
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn roundtrip_heartbeat() {
+        let m = WireMessage::Heartbeat {
+            label: Label(99),
+            seq: u64::MAX,
+        };
+        assert_eq!(WireMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_prefix() {
+        let m = ack(11, 22, "hello world", Some(&[5, 6]));
+        let enc = m.encode();
+        for cut in 0..enc.len() {
+            let err = WireMessage::decode(&enc[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated),
+                "prefix {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = msg(1, "x").encode().to_vec();
+        enc.push(0);
+        assert!(matches!(
+            WireMessage::decode(&enc),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_discriminant() {
+        assert!(matches!(
+            WireMessage::decode(&[9]),
+            Err(CodecError::BadDiscriminant(9))
+        ));
+    }
+
+    #[test]
+    fn kind_and_tag_accessors() {
+        assert_eq!(msg(5, "a").kind(), WireKind::Msg);
+        assert_eq!(msg(5, "a").tag(), Some(Tag(5)));
+        let hb = WireMessage::Heartbeat {
+            label: Label(1),
+            seq: 0,
+        };
+        assert_eq!(hb.kind(), WireKind::Heartbeat);
+        assert_eq!(hb.tag(), None);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_label_sets_but_retransmit_key_does_not() {
+        let a = ack(1, 2, "m", Some(&[1]));
+        let b = ack(1, 2, "m", Some(&[1, 2]));
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(
+            a.retransmit_key(),
+            b.retransmit_key(),
+            "retransmissions of the same ACK with evolved labels share identity"
+        );
+        let c = ack(1, 3, "m", Some(&[1]));
+        assert_ne!(a.retransmit_key(), c.retransmit_key());
+    }
+
+    #[test]
+    fn wire_kind_indices_are_distinct_and_dense() {
+        let mut seen = [false; 3];
+        for k in WireKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,53 @@
+//! Crash storm: the paper's headline claim, live.
+//!
+//! ```text
+//! cargo run --release --example crash_storm
+//! ```
+//!
+//! Theorem 2 says URB is unsolvable once half the processes can crash —
+//! unless the system is enriched with `AΘ`/`AP*` (Algorithm 2). This
+//! example kills 4 of 6 *threads* (a strict majority) in a live cluster and
+//! shows Algorithm 2 still delivering everywhere that matters, while
+//! Algorithm 1, run under the same storm, simply blocks (its majority
+//! quorum is unreachable — safe, but stuck).
+
+use anon_urb::prelude::*;
+use std::time::Duration;
+
+fn storm(algorithm: Algorithm) -> (usize, Vec<usize>) {
+    let n = 6;
+    let cluster = UrbCluster::spawn(ClusterConfig::new(n, algorithm).loss(0.15).seed(4242));
+
+    // Kill a strict majority before the broadcast: 4 of 6.
+    for pid in [1usize, 2, 4, 5] {
+        cluster.crash(pid);
+    }
+    // Give the membership registry time to converge (AP* detection delay).
+    std::thread::sleep(Duration::from_millis(400));
+
+    let tag = cluster
+        .broadcast(0, Payload::from("survivors only"))
+        .expect("process 0 alive");
+    let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(8));
+    cluster.shutdown();
+    (n, who)
+}
+
+fn main() {
+    println!("== crash storm: 4 of 6 processes crash before the broadcast ==\n");
+
+    let (_, who) = storm(Algorithm::Quiescent);
+    println!("Algorithm 2 (AΘ + AP*): delivered at {who:?}");
+    assert_eq!(who, vec![0, 3], "both survivors must deliver");
+    println!("  → both survivors delivered. URB with a crashed majority ✓\n");
+
+    let (_, who) = storm(Algorithm::Majority);
+    println!("Algorithm 1 (needs t < n/2): delivered at {who:?}");
+    assert!(
+        who.is_empty(),
+        "2 of 6 distinct ACKs can never reach the majority threshold of 4"
+    );
+    println!("  → nobody delivered: the majority quorum is unreachable.");
+    println!("    Safe but blocked — exactly the impossibility (Theorem 2)");
+    println!("    that AΘ/AP* circumvent.");
+}

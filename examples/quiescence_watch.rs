@@ -1,0 +1,52 @@
+//! Quiescence watch: visualize the defining difference between the paper's
+//! two algorithms — Algorithm 1 retransmits forever, Algorithm 2 stops.
+//!
+//! ```text
+//! cargo run --release --example quiescence_watch
+//! ```
+//!
+//! Runs both algorithms in the simulator over the same lossy workload and
+//! prints an ASCII sparkline of MSG/ACK traffic per time window.
+
+use anon_urb::prelude::*;
+use urb_sim::scenario;
+
+fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                '·'
+            } else {
+                BARS[((v * 7) / max) as usize]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== quiescence watch: protocol traffic per 1000-tick window ==\n");
+    println!("workload: n=8, 5 broadcasts, 20% loss, horizon 60k ticks\n");
+
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let out = urb_sim::run(scenario::quiescence_watch(8, alg, 0.2, 5, 60_000, 31));
+        assert!(out.report.all_ok(), "{:?}", out.report.violations());
+        let windows = &out.metrics.sends_per_window;
+        println!("{:<16} {}", alg.name(), sparkline(windows));
+        println!(
+            "{:<16} total MSG+ACK: {:>7}   last transmission: t={}   quiescent: {}",
+            "",
+            out.metrics.protocol_sends(),
+            out.last_protocol_send,
+            out.quiescent
+        );
+        println!();
+    }
+
+    println!("reading: Algorithm 1's bar never reaches '·' (it rebroadcasts its");
+    println!("MSG set forever — fair-lossy channels give it no way to stop);");
+    println!("Algorithm 2 uses AP* to prove every correct process has each");
+    println!("message, prunes it, and the lane goes silent (Theorem 3).");
+}

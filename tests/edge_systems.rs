@@ -1,0 +1,174 @@
+//! Edge-of-the-model systems: the smallest sizes, degenerate workloads and
+//! extreme parameter corners. These are where off-by-one quorum bugs and
+//! "at least one correct process" assumptions go to die.
+
+use anon_urb::prelude::*;
+use urb_sim::{scenario, Blackout, DelayModel};
+
+/// n = 1: the broadcast primitive includes the sender, so a singleton
+/// system self-ACKs (1 > 1/2) and must URB-deliver its own message.
+#[test]
+fn singleton_system_delivers_to_itself() {
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let mut cfg = SimConfig::new(1, alg).seed(1);
+        cfg.max_time = 50_000;
+        let out = urb_sim::run(cfg);
+        assert!(out.all_ok(), "{alg:?}: {:?}", out.report.violations());
+        assert_eq!(out.delivered_set(0).len(), 1, "{alg:?}");
+    }
+}
+
+/// n = 2, both correct: majority threshold is 2, so delivery needs both
+/// ACKs — still reachable under loss thanks to retransmission.
+#[test]
+fn two_process_system() {
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let out = urb_sim::run(scenario::lossy_crashy(2, alg, 0.3, 0, 2, 5));
+        assert!(out.all_ok(), "{alg:?}: {:?}", out.report.violations());
+        for pid in 0..2 {
+            assert_eq!(out.delivered_set(pid).len(), 2, "{alg:?} pid {pid}");
+        }
+    }
+}
+
+/// n = 2 with one crash: Algorithm 1's precondition (t < n/2 ⇒ t = 0) is
+/// violated — it must block, not lie. Algorithm 2 (t ≤ n−1) must deliver
+/// at the survivor.
+#[test]
+fn two_process_one_crash_contrast() {
+    // Crash pid 1 before anything happens.
+    let mk = |alg| {
+        let mut cfg = SimConfig::new(2, alg).seed(9);
+        cfg.crashes = CrashPlan::from_rules(vec![
+            urb_sim::CrashRule::Never,
+            urb_sim::CrashRule::At(1),
+        ]);
+        cfg.max_time = 30_000;
+        urb_sim::run(cfg)
+    };
+    let a1 = mk(Algorithm::Majority);
+    assert!(a1.metrics.deliveries.is_empty(), "no majority of 2 exists");
+    assert!(a1.report.agreement.ok() && a1.report.integrity.ok());
+
+    let a2 = mk(Algorithm::Quiescent);
+    assert!(a2.all_ok(), "{:?}", a2.report.violations());
+    assert_eq!(a2.delivered_set(0).len(), 1, "survivor delivers");
+    assert!(a2.quiescent, "and then goes silent");
+}
+
+/// Zero-byte and large payloads travel unharmed.
+#[test]
+fn payload_size_extremes() {
+    let mut cfg = SimConfig::new(3, Algorithm::Quiescent).seed(11);
+    cfg.broadcasts = vec![
+        urb_sim::PlannedBroadcast {
+            time: 10,
+            pid: 0,
+            payload: Payload::empty(),
+        },
+        urb_sim::PlannedBroadcast {
+            time: 20,
+            pid: 1,
+            payload: Payload::from(vec![0xAB; 64 * 1024]),
+        },
+    ];
+    cfg.max_time = 100_000;
+    let out = urb_sim::run(cfg);
+    assert!(out.all_ok(), "{:?}", out.report.violations());
+    assert_eq!(out.metrics.deliveries.len(), 6);
+}
+
+/// An empty workload is trivially quiescent and clean.
+#[test]
+fn empty_workload() {
+    for alg in [Algorithm::Majority, Algorithm::Quiescent, Algorithm::EagerRb] {
+        let mut cfg = SimConfig::new(4, alg).seed(13);
+        cfg.broadcasts.clear();
+        let out = urb_sim::run(cfg);
+        assert!(out.all_ok());
+        assert!(out.metrics.deliveries.is_empty());
+        assert!(out.quiescent, "{alg:?}: nothing to say = quiescent");
+        assert_eq!(out.metrics.protocol_sends(), 0);
+    }
+}
+
+/// Extreme delays (heavy geometric tail) reorder aggressively; URB and
+/// quiescence survive.
+#[test]
+fn heavy_reordering() {
+    let mut cfg = SimConfig::new(4, Algorithm::Quiescent).seed(17);
+    cfg.delay = DelayModel::GeometricTail {
+        base: 1,
+        p_more: 0.9,
+        cap: 300,
+    };
+    cfg.max_time = 400_000;
+    let out = urb_sim::run(cfg);
+    assert!(out.all_ok(), "{:?}", out.report.violations());
+    assert!(out.quiescent);
+}
+
+/// Repeated short partitions (flapping network): each outage suspends
+/// fairness only temporarily, so URB must still complete.
+#[test]
+fn flapping_partitions() {
+    let mut cfg = SimConfig::new(4, Algorithm::Majority).seed(19);
+    cfg.stop_on_full_delivery = true;
+    cfg.max_time = 100_000;
+    let mut blackouts = Vec::new();
+    for k in 0..5 {
+        blackouts.extend(Blackout::partition(
+            &[0, 1],
+            &[2, 3],
+            k * 400,
+            k * 400 + 200,
+        ));
+    }
+    cfg.blackouts = blackouts;
+    let out = urb_sim::run(cfg);
+    assert!(out.report.all_ok(), "{:?}", out.report.violations());
+    for pid in 0..4 {
+        assert_eq!(out.delivered_set(pid).len(), 1);
+    }
+}
+
+/// Everyone broadcasts simultaneously (contention burst).
+#[test]
+fn simultaneous_broadcast_burst() {
+    let n = 6;
+    let mut cfg = SimConfig::new(n, Algorithm::Quiescent).seed(23);
+    cfg.broadcasts = (0..n)
+        .map(|pid| urb_sim::PlannedBroadcast {
+            time: 10, // all at once
+            pid,
+            payload: Payload::from(format!("burst-{pid}").as_str()),
+        })
+        .collect();
+    cfg.max_time = 200_000;
+    let out = urb_sim::run(cfg);
+    assert!(out.all_ok(), "{:?}", out.report.violations());
+    assert_eq!(out.metrics.deliveries.len(), n * n);
+    assert!(out.quiescent);
+}
+
+/// The backoff extension passes the same grid as the faithful algorithm.
+#[test]
+fn backoff_variant_urb_grid() {
+    for cap in [4u32, 64] {
+        for seed in 0..3 {
+            let out = urb_sim::run(scenario::lossy_crashy(
+                5,
+                Algorithm::MajorityBackoff { cap },
+                0.25,
+                2,
+                2,
+                seed * 37 + 1,
+            ));
+            assert!(
+                out.report.all_ok(),
+                "cap={cap} seed={seed}: {:?}",
+                out.report.violations()
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Metamorphic tests: relations that must hold *between* runs.
+//!
+//! Instead of asserting absolute facts about one run, these compare pairs
+//! of runs whose configurations are related in a way with a known expected
+//! effect — a class of bugs (silent mis-wiring of a parameter, loss model
+//! applied to the wrong link, seeds leaking across components) that
+//! single-run assertions cannot see.
+
+use anon_urb::prelude::*;
+use urb_sim::scenario;
+
+fn protocol_sends(alg: Algorithm, loss: f64, seed: u64) -> u64 {
+    let mut cfg = scenario::quiescence_watch(5, alg, loss, 2, 20_000, seed);
+    cfg.max_time = 20_000;
+    urb_sim::run(cfg).metrics.protocol_sends()
+}
+
+/// More loss ⇒ (weakly) more drops and never *more* receptions, same seed.
+#[test]
+fn loss_monotonicity() {
+    for seed in [3u64, 17] {
+        let lo = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.05, 0, 2, seed));
+        let hi = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.45, 0, 2, seed));
+        let drops = |o: &RunOutcome| o.metrics.dropped.iter().sum::<u64>();
+        let drop_rate = |o: &RunOutcome| {
+            drops(o) as f64 / o.metrics.sent.iter().sum::<u64>().max(1) as f64
+        };
+        assert!(
+            drop_rate(&hi) > drop_rate(&lo),
+            "45% loss must drop a larger fraction than 5% ({} vs {})",
+            drop_rate(&hi),
+            drop_rate(&lo)
+        );
+        // Both still deliver everywhere.
+        assert!(lo.report.all_ok() && hi.report.all_ok());
+    }
+}
+
+/// A backoff cap can only reduce fixed-horizon traffic, and a larger cap
+/// reduces it further (same seed, same workload).
+#[test]
+fn backoff_traffic_monotonicity() {
+    let faithful = protocol_sends(Algorithm::Majority, 0.2, 7);
+    let cap4 = protocol_sends(Algorithm::MajorityBackoff { cap: 4 }, 0.2, 7);
+    let cap64 = protocol_sends(Algorithm::MajorityBackoff { cap: 64 }, 0.2, 7);
+    assert!(cap4 < faithful, "{cap4} !< {faithful}");
+    assert!(cap64 < cap4, "{cap64} !< {cap4}");
+}
+
+/// Adding crashes to a run can only reduce total traffic (dead processes
+/// stop transmitting), never break URB within the resilience bound.
+#[test]
+fn crash_traffic_monotonicity() {
+    let no_crash = urb_sim::run(scenario::quiescence_watch(6, Algorithm::Majority, 0.1, 2, 15_000, 9));
+    let mut crashy_cfg = scenario::quiescence_watch(6, Algorithm::Majority, 0.1, 2, 15_000, 9);
+    crashy_cfg.crashes = CrashPlan::from_rules(
+        (0..6)
+            .map(|i| {
+                if i >= 4 {
+                    urb_sim::CrashRule::At(1_000)
+                } else {
+                    urb_sim::CrashRule::Never
+                }
+            })
+            .collect(),
+    );
+    let crashy = urb_sim::run(crashy_cfg);
+    assert!(
+        crashy.metrics.protocol_sends() < no_crash.metrics.protocol_sends(),
+        "two dead processes must lower fixed-horizon traffic"
+    );
+    assert!(no_crash.report.all_ok());
+    assert!(crashy.report.all_ok(), "{:?}", crashy.report.violations());
+}
+
+/// The tick interval scales time, not correctness: halving the Task-1
+/// period must not change the delivery *set*, only (weakly) the times.
+#[test]
+fn tick_interval_scales_time_not_outcome() {
+    let mk = |interval: u64| {
+        let mut cfg = SimConfig::new(4, Algorithm::Quiescent).seed(21);
+        cfg.tick_interval = interval;
+        cfg.tick_jitter = 0;
+        cfg.loss = LossModel::Bernoulli { p: 0.2 };
+        cfg.max_time = 200_000;
+        urb_sim::run(cfg)
+    };
+    let fast = mk(5);
+    let slow = mk(50);
+    assert!(fast.all_ok() && slow.all_ok());
+    assert_eq!(
+        fast.metrics.deliveries.len(),
+        slow.metrics.deliveries.len(),
+        "same delivery set size"
+    );
+    let med = |o: &RunOutcome| o.metrics.latency_percentile(50.0).unwrap();
+    assert!(
+        med(&slow) > med(&fast),
+        "10× slower sweeps must raise median latency ({} vs {})",
+        med(&slow),
+        med(&fast)
+    );
+}
+
+/// Two algorithms, identical environment seed: Algorithm 2 must send no
+/// *more* MSG traffic than Algorithm 1 over a quiescence-bounded run
+/// (it stops; Algorithm 1 never does).
+#[test]
+fn quiescent_total_traffic_bounded_by_majority() {
+    let a1 = protocol_sends(Algorithm::Majority, 0.2, 5);
+    let a2 = protocol_sends(Algorithm::Quiescent, 0.2, 5);
+    assert!(
+        a2 < a1 / 10,
+        "quiescent algorithm should send far less over a long horizon ({a2} vs {a1})"
+    );
+}
+
+/// Seeds are genuinely load-bearing: different seeds produce different
+/// traffic patterns (if they did not, the "randomness" would be fake).
+#[test]
+fn seeds_change_runs() {
+    let a = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.3, 2, 2, 1));
+    let b = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.3, 2, 2, 2));
+    assert_ne!(a.metrics.trace_hash, b.metrics.trace_hash);
+}

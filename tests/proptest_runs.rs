@@ -1,0 +1,105 @@
+//! Property-based integration tests: random configurations within the
+//! paper's preconditions must always satisfy URB.
+//!
+//! These fuzz the *whole stack* — workload, loss, crash schedule, detector
+//! latencies — not just individual modules. Case counts are modest because
+//! each case is a full simulated run in debug mode.
+
+use anon_urb::prelude::*;
+use proptest::prelude::*;
+use urb_sim::scenario;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Algorithm 1 within its precondition (t < n/2): URB always holds.
+    #[test]
+    fn alg1_urb_holds_under_random_configs(
+        n in 3usize..7,
+        loss in 0.0f64..0.4,
+        seed in 0u64..10_000,
+        k in 1usize..4,
+    ) {
+        let t_max = (n - 1) / 2;
+        let t = (seed as usize) % (t_max + 1);
+        let out = urb_sim::run(scenario::lossy_crashy(
+            n, Algorithm::Majority, loss, t, k, seed,
+        ));
+        prop_assert!(
+            out.report.all_ok(),
+            "n={n} t={t} loss={loss} seed={seed}: {:?}",
+            out.report.violations()
+        );
+    }
+
+    /// Algorithm 2 with ANY resilience (t ≤ n−1): URB always holds and the
+    /// oracle audit passes.
+    #[test]
+    fn alg2_urb_holds_under_random_configs(
+        n in 3usize..6,
+        loss in 0.0f64..0.4,
+        seed in 0u64..10_000,
+        t_frac in 0usize..3,
+    ) {
+        let t = match t_frac {
+            0 => 0,
+            1 => n / 2,
+            _ => n - 1,
+        };
+        let out = urb_sim::run(scenario::lossy_crashy(
+            n, Algorithm::Quiescent, loss, t, 2, seed,
+        ));
+        prop_assert!(
+            out.all_ok(),
+            "n={n} t={t} loss={loss} seed={seed}: {:?} audit={:?}",
+            out.report.violations(),
+            out.fd_audit
+        );
+    }
+
+    /// Determinism as a property: any configuration, run twice, produces
+    /// the same trace hash.
+    #[test]
+    fn any_config_is_reproducible(
+        n in 2usize..6,
+        loss in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let mk = || urb_sim::run(scenario::lossy_crashy(
+            n, Algorithm::Majority, loss, 0, 1, seed,
+        ));
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
+        prop_assert_eq!(a.metrics.deliveries.len(), b.metrics.deliveries.len());
+    }
+
+    /// Integrity is unconditional: even *outside* every precondition
+    /// (weakened thresholds, majority crashes), no process ever delivers a
+    /// message twice or a message that was never broadcast.
+    #[test]
+    fn integrity_is_unconditional(
+        n in 3usize..7,
+        seed in 0u64..10_000,
+        threshold in 1u32..4,
+    ) {
+        let mut cfg = SimConfig::new(
+            n,
+            Algorithm::WeakenedMajority { threshold: threshold.min(n as u32) },
+        )
+        .seed(seed)
+        .loss(LossModel::Bernoulli { p: 0.3 })
+        .max_time(10_000);
+        cfg.crashes = CrashPlan::random(n, n - 1, 2_000, seed, Some(0));
+        cfg.stop_on_quiescence = false;
+        let out = urb_sim::run(cfg);
+        prop_assert!(
+            out.report.integrity.ok(),
+            "integrity must never break: {:?}",
+            out.report.violations()
+        );
+    }
+}

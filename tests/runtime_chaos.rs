@@ -1,0 +1,102 @@
+//! Chaos test for the threaded runtime: concurrent broadcasters, random
+//! crash injection, message loss — then assert the URB obligations that
+//! remain decidable from outside (agreement among survivors, integrity).
+//!
+//! Thread scheduling makes runtime runs non-reproducible, so this test
+//! checks *properties*, not trajectories.
+
+use anon_urb::prelude::*;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+#[test]
+fn chaos_survivors_agree() {
+    let n = 6;
+    let cluster = UrbCluster::spawn(
+        ClusterConfig::new(n, Algorithm::Quiescent)
+            .loss(0.15)
+            .seed(0xC4A05),
+    );
+
+    // Phase 1: everyone broadcasts. Tags from the processes we are about
+    // to kill carry only *conditional* URB obligations (deliver-anywhere ⇒
+    // deliver-at-every-survivor); tags from survivors are owed everywhere.
+    let mut tags = Vec::new();
+    let mut survivor_tags = Vec::new();
+    for pid in 0..n {
+        if let Some(tag) = cluster.broadcast(pid, Payload::from(format!("c{pid}").as_str())) {
+            tags.push(tag);
+            if pid != 1 && pid != 4 {
+                survivor_tags.push(tag);
+            }
+        }
+    }
+
+    // Phase 2: kill two processes while their broadcasts are in flight.
+    cluster.crash(1);
+    cluster.crash(4);
+
+    // Phase 3: one more broadcast from a survivor after the storm.
+    std::thread::sleep(Duration::from_millis(300)); // let detection settle
+    if let Some(tag) = cluster.broadcast(0, Payload::from("post-crash")) {
+        tags.push(tag);
+        survivor_tags.push(tag);
+    }
+
+    // Survivors owe delivery of every survivor-broadcast tag.
+    for &tag in &survivor_tags {
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
+        for pid in [0usize, 2, 3, 5] {
+            assert!(
+                who.contains(&pid),
+                "survivor {pid} missed {tag:?} (delivered at {who:?})"
+            );
+        }
+    }
+
+    // Let any in-flight deliveries of the doomed processes' tags settle:
+    // once the system is quiescent no further deliveries can occur.
+    assert!(
+        cluster.await_quiescence(Duration::from_millis(500), Duration::from_secs(30)),
+        "quiescence after chaos"
+    );
+
+    // Agreement + integrity over the final logs (uniform agreement: even a
+    // crashed process's deliveries obligate every survivor — checked via
+    // the union of all logs, crashed included).
+    let logs: Vec<BTreeSet<Tag>> = (0..n)
+        .map(|pid| cluster.delivery_log(pid).iter().map(|d| d.tag).collect())
+        .collect();
+    let delivered_anywhere: BTreeSet<Tag> = logs.iter().flatten().copied().collect();
+    for pid in [0usize, 2, 3, 5] {
+        assert_eq!(
+            logs[pid], delivered_anywhere,
+            "survivor {pid}'s log must contain everything delivered anywhere"
+        );
+    }
+    // Integrity: no duplicates (sets were built from vectors; compare sizes).
+    for pid in [0usize, 2, 3, 5] {
+        let v = cluster.delivery_log(pid);
+        assert_eq!(v.len(), logs[pid].len(), "pid {pid} delivered a tag twice");
+        // Only broadcast tags are delivered.
+        for d in &v {
+            assert!(tags.contains(&d.tag), "phantom delivery {:?}", d.tag);
+        }
+    }
+
+    cluster.shutdown();
+}
+
+#[test]
+fn delivery_log_is_stable_and_cumulative() {
+    let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Majority).seed(7));
+    let t1 = cluster.broadcast(0, Payload::from("one")).unwrap();
+    cluster.await_delivery_everywhere(t1, Duration::from_secs(10));
+    let log1 = cluster.delivery_log(1);
+    let t2 = cluster.broadcast(2, Payload::from("two")).unwrap();
+    cluster.await_delivery_everywhere(t2, Duration::from_secs(10));
+    let log2 = cluster.delivery_log(1);
+    assert!(log2.len() > log1.len(), "log grows, never shrinks");
+    assert_eq!(&log2[..log1.len()], &log1[..], "prefix is stable");
+    cluster.shutdown();
+}

@@ -1,0 +1,82 @@
+//! Integration tests for the threaded runtime: the same protocol state
+//! machines under real concurrency.
+//!
+//! These are smoke-level by design (thread scheduling is nondeterministic);
+//! the exhaustive property checking lives in the simulator tests.
+
+use anon_urb::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn cluster_delivers_everywhere_with_loss() {
+    let cluster = UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Majority).loss(0.2).seed(1));
+    let tag = cluster.broadcast(0, Payload::from("integration")).unwrap();
+    let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
+    assert_eq!(who, vec![0, 1, 2, 3]);
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_quiesces_with_algorithm2() {
+    let cluster = UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Quiescent).loss(0.1).seed(2));
+    let tag = cluster.broadcast(3, Payload::from("then silence")).unwrap();
+    let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
+    assert_eq!(who.len(), 4);
+    assert!(
+        cluster.await_quiescence(Duration::from_millis(500), Duration::from_secs(30)),
+        "no MSG/ACK should cross the router once pruning completes"
+    );
+    let t1 = cluster.traffic().protocol_messages;
+    std::thread::sleep(Duration::from_millis(300));
+    let t2 = cluster.traffic().protocol_messages;
+    assert_eq!(t1, t2, "traffic counter frozen after quiescence");
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_survives_majority_crash_with_algorithm2() {
+    // The paper's headline: URB despite t >= n/2, thanks to AΘ/AP*.
+    let cluster = UrbCluster::spawn(ClusterConfig::new(5, Algorithm::Quiescent).seed(3));
+    for pid in [1usize, 2, 3] {
+        cluster.crash(pid);
+    }
+    // Let the registry's detection delay elapse so views converge.
+    std::thread::sleep(Duration::from_millis(400));
+    let tag = cluster.broadcast(0, Payload::from("minority rules")).unwrap();
+    let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
+    assert_eq!(who, vec![0, 4], "both survivors deliver");
+    cluster.shutdown();
+}
+
+#[test]
+fn algorithm1_blocks_under_majority_crash() {
+    let cluster = UrbCluster::spawn(ClusterConfig::new(5, Algorithm::Majority).seed(4));
+    for pid in [1usize, 2, 3] {
+        cluster.crash(pid);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let tag = cluster.broadcast(0, Payload::from("stuck")).unwrap();
+    let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(2));
+    assert!(
+        who.is_empty(),
+        "2 distinct ACKs can never meet the majority threshold of 3"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn multiple_concurrent_broadcasters() {
+    let cluster = UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Quiescent).loss(0.1).seed(5));
+    let tags: Vec<Tag> = (0..4)
+        .map(|pid| {
+            cluster
+                .broadcast(pid, Payload::from(format!("from {pid}").as_str()))
+                .unwrap()
+        })
+        .collect();
+    for tag in tags {
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
+        assert_eq!(who.len(), 4, "every message delivered everywhere");
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,285 @@
+//! Cross-crate integration tests: the paper's theorems as machine-checked
+//! facts over full simulated runs.
+//!
+//! Debug-mode grids are kept small; the release-mode experiment harness
+//! (`urb-bench`) runs the big ones.
+
+use anon_urb::prelude::*;
+use urb_sim::{scenario, CrashRule, FdKind};
+
+/// Theorem 1: Algorithm 1 implements URB for t < n/2, across loss rates and
+/// minority crash counts.
+#[test]
+fn theorem1_algorithm1_urb_grid() {
+    for n in [3usize, 5] {
+        for loss in [0.0, 0.2] {
+            for t in [0, (n - 1) / 2] {
+                for seed in 0..3 {
+                    let out = urb_sim::run(scenario::lossy_crashy(
+                        n,
+                        Algorithm::Majority,
+                        loss,
+                        t,
+                        2,
+                        seed * 101 + 7,
+                    ));
+                    assert!(
+                        out.report.all_ok(),
+                        "n={n} loss={loss} t={t} seed={seed}: {:?}",
+                        out.report.violations()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3 / Lemmas 1–3: Algorithm 2 implements URB with ANY number of
+/// crashes (up to n-1), and the oracle detector passes its axiom audit.
+#[test]
+fn theorem3_algorithm2_urb_grid() {
+    for n in [3usize, 5] {
+        for loss in [0.0, 0.2] {
+            for t in [0, n / 2, n - 1] {
+                for seed in 0..3 {
+                    let out = urb_sim::run(scenario::lossy_crashy(
+                        n,
+                        Algorithm::Quiescent,
+                        loss,
+                        t,
+                        2,
+                        seed * 103 + 11,
+                    ));
+                    assert!(
+                        out.all_ok(),
+                        "n={n} loss={loss} t={t} seed={seed}: {:?} / audit {:?}",
+                        out.report.violations(),
+                        out.fd_audit
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 2 (impossibility), executable: with t >= n/2, the partition
+/// adversary forces either an agreement violation (threshold-⌈n/2⌉ arm) or
+/// a permanent block (strict-majority arm).
+#[test]
+fn theorem2_partition_both_horns() {
+    for seed in 0..3 {
+        let violated = urb_sim::run(scenario::theorem2_partition(6, seed + 1));
+        assert!(!violated.metrics.deliveries.is_empty(), "S1 must deliver");
+        assert!(!violated.report.agreement.ok(), "agreement must break");
+
+        let blocked = urb_sim::run(scenario::theorem2_control(6, seed + 1));
+        assert!(blocked.metrics.deliveries.is_empty(), "must block");
+        assert!(blocked.report.all_ok(), "blocking violates nothing");
+    }
+}
+
+/// Theorem 3 (quiescence): Algorithm 2 goes silent; Algorithm 1 never does.
+#[test]
+fn quiescence_contrast() {
+    let a2 = urb_sim::run(scenario::quiescence_watch(
+        5,
+        Algorithm::Quiescent,
+        0.15,
+        3,
+        40_000,
+        21,
+    ));
+    assert!(a2.report.all_ok());
+    assert!(a2.quiescent, "Algorithm 2 must reach quiescence");
+    // sends_after has window granularity: skip the window containing the
+    // quiescence instant itself.
+    assert!(
+        a2.metrics
+            .sends_after(a2.last_protocol_send + a2.metrics.window)
+            == 0,
+        "no traffic after the quiescence window"
+    );
+
+    let a1 = urb_sim::run(scenario::quiescence_watch(
+        5,
+        Algorithm::Majority,
+        0.15,
+        3,
+        40_000,
+        21,
+    ));
+    assert!(a1.report.all_ok());
+    assert!(!a1.quiescent, "Algorithm 1 must keep rebroadcasting");
+    assert!(
+        a1.metrics.sends_after(30_000) > 0,
+        "Algorithm 1 still chatters in the last quarter of the horizon"
+    );
+}
+
+/// Quiescence survives a process crashing *after* it acknowledged but
+/// *before* pruning was possible — the stale-ACKer case the D4 purge
+/// exists for.
+#[test]
+fn quiescence_with_crash_after_ack() {
+    let out = urb_sim::run(scenario::stale_acker(Algorithm::Quiescent, 200_000, 31));
+    assert!(out.all_ok(), "{:?}", out.report.violations());
+    assert!(out.quiescent, "purge must unblock the prune condition");
+}
+
+/// The literal line-55 condition (no purge) blocks on the same scenario —
+/// the executable justification for DESIGN.md D4.
+#[test]
+fn literal_prune_rule_blocks_on_stale_acker() {
+    let out = urb_sim::run(scenario::stale_acker(
+        Algorithm::QuiescentLiteral,
+        30_000,
+        31,
+    ));
+    // Still URB-correct (the purge only affects quiescence) …
+    assert!(out.report.all_ok(), "{:?}", out.report.violations());
+    // … but never quiescent within the horizon.
+    assert!(!out.quiescent, "literal rule must stay blocked");
+}
+
+/// Determinism: identical configs (including seed) give identical traces;
+/// different seeds diverge.
+#[test]
+fn simulation_is_deterministic() {
+    let mk = |seed| {
+        urb_sim::run(scenario::lossy_crashy(
+            4,
+            Algorithm::Quiescent,
+            0.25,
+            2,
+            2,
+            seed,
+        ))
+    };
+    let a = mk(5);
+    let b = mk(5);
+    assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
+    assert_eq!(a.metrics.sent, b.metrics.sent);
+    assert_eq!(a.metrics.deliveries.len(), b.metrics.deliveries.len());
+    let c = mk(6);
+    assert_ne!(a.metrics.trace_hash, c.metrics.trace_hash);
+}
+
+/// The fast-delivery remark (§III): under skewed delays some deliveries
+/// precede the MSG copy, and they are still URB-correct.
+#[test]
+fn fast_delivery_occurs_and_is_safe() {
+    let mut fast_seen = false;
+    for seed in 0..5 {
+        let out = urb_sim::run(scenario::fast_delivery(8, seed * 17 + 3));
+        assert!(out.report.all_ok(), "{:?}", out.report.violations());
+        fast_seen |= out.metrics.deliveries.iter().any(|d| d.fast);
+    }
+    assert!(fast_seen, "skewed delays should produce fast deliveries");
+}
+
+/// Baseline contrast (E11 in miniature): best-effort loses messages under
+/// loss where URB delivers everything.
+#[test]
+fn best_effort_loses_where_urb_does_not() {
+    let mut cfg = SimConfig::new(6, Algorithm::BestEffort)
+        .seed(77)
+        .loss(LossModel::Bernoulli { p: 0.4 })
+        .max_time(20_000);
+    cfg.workload_replace(4);
+    let be = urb_sim::run(cfg);
+    let be_ratio = be.metrics.deliveries.len() as f64 / (4.0 * 6.0);
+
+    let mut cfg = SimConfig::new(6, Algorithm::Majority)
+        .seed(77)
+        .loss(LossModel::Bernoulli { p: 0.4 })
+        .max_time(60_000);
+    cfg.workload_replace(4);
+    cfg.stop_on_full_delivery = true;
+    let urb = urb_sim::run(cfg);
+    let urb_ratio = urb.metrics.deliveries.len() as f64 / (4.0 * 6.0);
+
+    assert!(be_ratio < 1.0, "best effort must drop something at 40% loss");
+    assert!((urb_ratio - 1.0).abs() < 1e-9, "URB delivers everything");
+}
+
+/// Eager RB violates uniform agreement when the deliverer crashes; URB
+/// blocks instead.
+#[test]
+fn eager_rb_uniformity_violation() {
+    use urb_sim::LinkOverride;
+    let mk = |alg| {
+        let mut cfg = SimConfig::new(5, alg).seed(91).max_time(20_000);
+        cfg.crashes = CrashPlan::from_rules(
+            (0..5)
+                .map(|i| {
+                    if i == 0 {
+                        CrashRule::OnFirstDelivery { delay: 0 }
+                    } else {
+                        CrashRule::Never
+                    }
+                })
+                .collect(),
+        );
+        cfg.link_overrides = (1..5)
+            .map(|to| LinkOverride {
+                from: 0,
+                to,
+                loss: LossModel::Always,
+            })
+            .collect();
+        cfg.stop_on_quiescence = false;
+        urb_sim::run(cfg)
+    };
+    let rb = mk(Algorithm::EagerRb);
+    assert!(!rb.report.agreement.ok(), "eager RB must violate uniformity");
+    let urb = mk(Algorithm::Majority);
+    assert!(urb.metrics.deliveries.is_empty(), "URB blocks instead");
+    assert!(urb.report.agreement.ok());
+}
+
+/// Heartbeat-detector runs: with generous timeouts and mild loss the
+/// realistic detector is good enough for full URB + quiescence.
+#[test]
+fn heartbeat_detector_with_generous_timeout() {
+    let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+        .seed(13)
+        .loss(LossModel::Bernoulli { p: 0.1 })
+        .max_time(100_000);
+    cfg.fd = FdKind::Heartbeat(urb_fd_heartbeat_config(20, 400));
+    let out = urb_sim::run(cfg);
+    assert!(out.report.all_ok(), "{:?}", out.report.violations());
+    assert!(out.quiescent);
+}
+
+fn urb_fd_heartbeat_config(period: u64, timeout: u64) -> anon_urb::fd::HeartbeatConfig {
+    anon_urb::fd::HeartbeatConfig { period, timeout }
+}
+
+/// Bounded-drop channels give deterministic fairness: even at 90% loss the
+/// protocol converges within a bounded horizon.
+#[test]
+fn bounded_loss_guarantees_progress() {
+    let mut cfg = SimConfig::new(4, Algorithm::Majority)
+        .seed(3)
+        .loss(LossModel::BoundedBernoulli {
+            p: 0.9,
+            max_consecutive: 5,
+        })
+        .max_time(120_000);
+    cfg.stop_on_full_delivery = true;
+    let out = urb_sim::run(cfg);
+    assert!(out.report.all_ok(), "{:?}", out.report.violations());
+    for pid in 0..4 {
+        assert_eq!(out.delivered_set(pid).len(), 1);
+    }
+}
+
+// Small helper so tests read naturally.
+trait WorkloadExt {
+    fn workload_replace(&mut self, k: usize);
+}
+impl WorkloadExt for SimConfig {
+    fn workload_replace(&mut self, k: usize) {
+        *self = self.clone().workload(k, 100);
+    }
+}
