@@ -68,7 +68,9 @@ impl<S: UrbState> ReplicatedOutcome<S> {
 /// Runs `config`, folding deliveries into one `S` replica per process.
 pub fn run_replicated<S: UrbState>(config: SimConfig) -> ReplicatedOutcome<S> {
     let out = urb_sim::run(config);
-    let replicas = (0..out.n).map(|pid| Replicated::from_run(&out, pid)).collect();
+    let replicas = (0..out.n)
+        .map(|pid| Replicated::from_run(&out, pid))
+        .collect();
     ReplicatedOutcome { run: out, replicas }
 }
 
@@ -87,8 +89,14 @@ mod tests {
 
     #[test]
     fn grow_set_converges_over_lossy_run() {
-        let out: ReplicatedOutcome<GrowSet> =
-            run_replicated(scenario::lossy_crashy(5, Algorithm::Quiescent, 0.2, 0, 4, 3));
+        let out: ReplicatedOutcome<GrowSet> = run_replicated(scenario::lossy_crashy(
+            5,
+            Algorithm::Quiescent,
+            0.2,
+            0,
+            4,
+            3,
+        ));
         assert!(out.run.all_ok());
         assert!(converged(&out));
         for pid in 0..5 {
@@ -111,8 +119,14 @@ mod tests {
     fn event_log_converges_despite_majority_crash() {
         // The paper's headline, at the application layer: 3 of 5 replicas
         // die, the survivors still agree on the whole log.
-        let out: ReplicatedOutcome<EventLog> =
-            run_replicated(scenario::lossy_crashy(5, Algorithm::Quiescent, 0.2, 3, 3, 11));
+        let out: ReplicatedOutcome<EventLog> = run_replicated(scenario::lossy_crashy(
+            5,
+            Algorithm::Quiescent,
+            0.2,
+            3,
+            3,
+            11,
+        ));
         assert!(out.run.all_ok(), "{:?}", out.run.report.violations());
         assert!(converged(&out), "survivor logs must be identical");
         let digests = out.correct_digests();
@@ -128,8 +142,7 @@ mod tests {
         // partition scenario delivers only at *faulty* S1 members, so the
         // correct replicas all stay empty and converge vacuously. Use the
         // digests of ALL replicas to see the divergence.
-        let out: ReplicatedOutcome<EventLog> =
-            run_replicated(scenario::theorem2_partition(6, 5));
+        let out: ReplicatedOutcome<EventLog> = run_replicated(scenario::theorem2_partition(6, 5));
         assert!(!out.run.report.agreement.ok());
         let all: Vec<u64> = (0..6).map(|i| out.replica(i).state.digest()).collect();
         assert!(

@@ -230,7 +230,10 @@ mod tests {
         let mut rev = deliveries.clone();
         rev.reverse();
         assert_eq!(fold::<GrowSet>(&deliveries), fold::<GrowSet>(&rev));
-        assert_eq!(fold::<TallyCounter>(&deliveries), fold::<TallyCounter>(&rev));
+        assert_eq!(
+            fold::<TallyCounter>(&deliveries),
+            fold::<TallyCounter>(&rev)
+        );
         assert_eq!(fold::<EventLog>(&deliveries), fold::<EventLog>(&rev));
     }
 

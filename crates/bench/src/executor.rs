@@ -1,0 +1,83 @@
+//! Fan-out helpers over [`urb_sim::parallel`] for the experiment suite.
+//!
+//! Every experiment is a grid of independent simulated runs aggregated
+//! into table rows. These helpers build the whole grid of [`SimConfig`]s
+//! up front — per-run seeding stays a pure function of the cell and the
+//! seed index, so results are identical to the old serial loops — and fan
+//! it across all cores, returning outcomes grouped the way the
+//! aggregation code wants them.
+
+use urb_sim::{parallel, RunOutcome, SimConfig};
+
+/// Runs `seeds` configurations of one experiment cell concurrently.
+/// `build(seed_index)` must derive the run's RNG seed deterministically
+/// from the index (exactly as the serial loops did), so the table is
+/// reproducible regardless of scheduling.
+pub fn run_seeds(seeds: u64, build: impl Fn(u64) -> SimConfig) -> Vec<RunOutcome> {
+    parallel::run_many((0..seeds).map(build).collect())
+}
+
+/// Runs a whole grid — every `(cell, seed)` pair — across the thread
+/// pool at once, returning one `(cell, outcomes)` group per cell in input
+/// order. Grid-level fanning beats per-cell fanning when cells are small
+/// (a 10-seed cell cannot occupy 16 cores; a 180-run grid can).
+pub fn run_grid<C: Clone>(
+    cells: &[C],
+    seeds: u64,
+    build: impl Fn(&C, u64) -> SimConfig,
+) -> Vec<(C, Vec<RunOutcome>)> {
+    let mut configs = Vec::with_capacity(cells.len() * seeds as usize);
+    for cell in cells {
+        for seed in 0..seeds {
+            configs.push(build(cell, seed));
+        }
+    }
+    let mut outcomes = parallel::run_many(configs).into_iter();
+    cells
+        .iter()
+        .map(|cell| {
+            let group: Vec<RunOutcome> = (0..seeds)
+                .map(|_| outcomes.next().expect("one outcome per config"))
+                .collect();
+            (cell.clone(), group)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_core::Algorithm;
+    use urb_sim::scenario;
+
+    #[test]
+    fn grid_groups_match_cells() {
+        let cells = [(3usize, 0.0f64), (4, 0.1)];
+        let grouped = run_grid(&cells, 3, |&(n, loss), seed| {
+            scenario::lossy_crashy(n, Algorithm::Majority, loss, 0, 1, seed + 1)
+        });
+        assert_eq!(grouped.len(), 2);
+        for ((cell, outcomes), expected) in grouped.iter().zip(&cells) {
+            assert_eq!(cell, expected);
+            assert_eq!(outcomes.len(), 3);
+            for o in outcomes {
+                assert_eq!(o.n, cell.0);
+                assert!(o.report.all_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn run_seeds_is_seed_deterministic() {
+        let mk = || {
+            run_seeds(4, |seed| {
+                scenario::lossy_crashy(3, Algorithm::Majority, 0.2, 0, 1, seed * 7 + 1)
+            })
+        };
+        let a = mk();
+        let b = mk();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics.trace_hash, y.metrics.trace_hash);
+        }
+    }
+}

@@ -8,13 +8,17 @@
 //! ablation of our one substantive pseudocode repair (E12), the Task-1
 //! backoff extension (E13) and partition-heal recovery (E14).
 //!
-//! All experiments are deterministic: same build, same tables.
+//! All experiments are deterministic: same build, same tables. Every run's
+//! seed is a pure function of its grid cell and seed index, so the
+//! [`crate::executor`] fan-out (which executes the grids on all cores)
+//! produces bit-identical tables to the old serial loops.
 
+use crate::executor::{run_grid, run_seeds};
 use crate::table::{f3, pct, Table};
 use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
-use urb_sim::sim::{run, FdKind, LinkOverride, SimConfig};
-use urb_sim::{scenario, CrashPlan, CrashRule, LossModel};
+use urb_sim::sim::{FdKind, LinkOverride, SimConfig};
+use urb_sim::{scenario, CrashPlan, CrashRule, LossModel, RunOutcome};
 
 /// Number of seeds per grid cell (kept moderate so the full suite runs in
 /// minutes; bump for tighter confidence).
@@ -46,6 +50,13 @@ pub const ALL_IDS: [&str; 14] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+}
+
 // ---------------------------------------------------------------- E1 ----
 
 /// E1 — Theorem 1: Algorithm 1 implements URB in `AAS_F[t < n/2]`.
@@ -55,37 +66,36 @@ pub const ALL_IDS: [&str; 14] = [
 pub fn e1_alg1_correctness() -> Vec<Table> {
     let mut t = Table::new(
         "E1 — Theorem 1: Algorithm 1 URB pass rate (t < n/2)",
-        &["n", "loss", "t", "runs", "URB ok", "mean full-delivery time"],
+        &[
+            "n",
+            "loss",
+            "t",
+            "runs",
+            "URB ok",
+            "mean full-delivery time",
+        ],
     );
+    let mut cells: Vec<(usize, f64, usize)> = Vec::new();
     for &n in &[4usize, 8, 16] {
         for &loss in &[0.0, 0.1, 0.3] {
             for &tf in &[0usize, (n - 1) / 2] {
-                let mut ok = 0u64;
-                let mut total_time = 0u64;
-                for seed in 0..SEEDS {
-                    let out = run(scenario::lossy_crashy(
-                        n,
-                        Algorithm::Majority,
-                        loss,
-                        tf,
-                        2,
-                        seed * 7919 + 1,
-                    ));
-                    if out.report.all_ok() {
-                        ok += 1;
-                    }
-                    total_time += out.metrics.ended_at;
-                }
-                t.row(vec![
-                    n.to_string(),
-                    f3(loss),
-                    tf.to_string(),
-                    SEEDS.to_string(),
-                    pct(ok as f64 / SEEDS as f64),
-                    format!("{}", total_time / SEEDS),
-                ]);
+                cells.push((n, loss, tf));
             }
         }
+    }
+    for ((n, loss, tf), outcomes) in run_grid(&cells, SEEDS, |&(n, loss, tf), seed| {
+        scenario::lossy_crashy(n, Algorithm::Majority, loss, tf, 2, seed * 7919 + 1)
+    }) {
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count() as u64;
+        let total_time: u64 = outcomes.iter().map(|o| o.metrics.ended_at).sum();
+        t.row(vec![
+            n.to_string(),
+            f3(loss),
+            tf.to_string(),
+            SEEDS.to_string(),
+            pct(ok as f64 / SEEDS as f64),
+            format!("{}", total_time / SEEDS),
+        ]);
     }
     vec![t]
 }
@@ -111,37 +121,36 @@ pub fn e2_impossibility() -> Vec<Table> {
             "blocked (no delivery)",
         ],
     );
+    let mut cells: Vec<(usize, &str, bool)> = Vec::new();
     for &n in &[4usize, 6, 8] {
         for (arm, control) in [("threshold ⌈n/2⌉", false), ("strict majority", true)] {
-            let mut s1_delivered = 0u64;
-            let mut violated = 0u64;
-            let mut blocked = 0u64;
-            for seed in 0..SEEDS {
-                let cfg = if control {
-                    scenario::theorem2_control(n, seed + 1)
-                } else {
-                    scenario::theorem2_partition(n, seed + 1)
-                };
-                let out = run(cfg);
-                if !out.metrics.deliveries.is_empty() {
-                    s1_delivered += 1;
-                }
-                if !out.report.agreement.ok() {
-                    violated += 1;
-                }
-                if out.metrics.deliveries.is_empty() {
-                    blocked += 1;
-                }
-            }
-            t.row(vec![
-                n.to_string(),
-                arm.to_string(),
-                SEEDS.to_string(),
-                s1_delivered.to_string(),
-                violated.to_string(),
-                blocked.to_string(),
-            ]);
+            cells.push((n, arm, control));
         }
+    }
+    for ((n, arm, _control), outcomes) in run_grid(&cells, SEEDS, |&(n, _, control), seed| {
+        if control {
+            scenario::theorem2_control(n, seed + 1)
+        } else {
+            scenario::theorem2_partition(n, seed + 1)
+        }
+    }) {
+        let s1_delivered = outcomes
+            .iter()
+            .filter(|o| !o.metrics.deliveries.is_empty())
+            .count();
+        let violated = outcomes.iter().filter(|o| !o.report.agreement.ok()).count();
+        let blocked = outcomes
+            .iter()
+            .filter(|o| o.metrics.deliveries.is_empty())
+            .count();
+        t.row(vec![
+            n.to_string(),
+            arm.to_string(),
+            SEEDS.to_string(),
+            s1_delivered.to_string(),
+            violated.to_string(),
+            blocked.to_string(),
+        ]);
     }
     vec![t]
 }
@@ -156,38 +165,30 @@ pub fn e3_alg2_correctness() -> Vec<Table> {
         "E3 — Theorem 3: Algorithm 2 URB pass rate (any t ≤ n-1)",
         &["n", "loss", "t", "runs", "URB ok", "FD audit ok"],
     );
+    let mut cells: Vec<(usize, f64, usize)> = Vec::new();
     for &n in &[4usize, 8] {
         for &loss in &[0.0, 0.1, 0.3] {
             for &tf in &[0usize, n / 2, n - 1] {
-                let mut ok = 0u64;
-                let mut audit_ok = 0u64;
-                for seed in 0..SEEDS {
-                    let out = run(scenario::lossy_crashy(
-                        n,
-                        Algorithm::Quiescent,
-                        loss,
-                        tf,
-                        2,
-                        seed * 6151 + 3,
-                    ));
-                    if out.report.all_ok() {
-                        ok += 1;
-                    }
-                    match out.fd_audit {
-                        Some(Ok(())) | None => audit_ok += 1,
-                        Some(Err(_)) => {}
-                    }
-                }
-                t.row(vec![
-                    n.to_string(),
-                    f3(loss),
-                    tf.to_string(),
-                    SEEDS.to_string(),
-                    pct(ok as f64 / SEEDS as f64),
-                    pct(audit_ok as f64 / SEEDS as f64),
-                ]);
+                cells.push((n, loss, tf));
             }
         }
+    }
+    for ((n, loss, tf), outcomes) in run_grid(&cells, SEEDS, |&(n, loss, tf), seed| {
+        scenario::lossy_crashy(n, Algorithm::Quiescent, loss, tf, 2, seed * 6151 + 3)
+    }) {
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count() as u64;
+        let audit_ok = outcomes
+            .iter()
+            .filter(|o| !matches!(o.fd_audit, Some(Err(_))))
+            .count() as u64;
+        t.row(vec![
+            n.to_string(),
+            f3(loss),
+            tf.to_string(),
+            SEEDS.to_string(),
+            pct(ok as f64 / SEEDS as f64),
+            pct(audit_ok as f64 / SEEDS as f64),
+        ]);
     }
     vec![t]
 }
@@ -218,13 +219,15 @@ pub fn e4_quiescence() -> Vec<Table> {
         &["algorithm", "windows 0..19"],
     );
     for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        let outcomes = run_seeds(SEEDS, |seed| {
+            scenario::quiescence_watch(8, alg, 0.2, 5, horizon, seed + 11)
+        });
         let mut total = 0u64;
         let mut last = 0u64;
         let mut residual = 0u64;
         let mut quiescent = 0u64;
         let mut windows_acc = [0u64; 20];
-        for seed in 0..SEEDS {
-            let out = run(scenario::quiescence_watch(8, alg, 0.2, 5, horizon, seed + 11));
+        for out in &outcomes {
             total += out.metrics.protocol_sends();
             last = last.max(out.last_protocol_send);
             residual += out.metrics.sends_after(horizon / 2);
@@ -262,30 +265,29 @@ pub fn e5_latency_vs_loss() -> Vec<Table> {
         "E5 — delivery latency vs. loss (n=8, ticks)",
         &["loss", "algorithm", "median", "p99", "max"],
     );
+    let mut cells: Vec<(f64, Algorithm)> = Vec::new();
     for &loss in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
         for alg in [Algorithm::Majority, Algorithm::Quiescent] {
-            let mut lat = Vec::new();
-            for seed in 0..SEEDS {
-                let mut cfg = scenario::lossy_crashy(8, alg, loss, 0, 3, seed * 31 + 17);
-                cfg.max_time = 60_000;
-                let out = run(cfg);
-                lat.extend(out.metrics.latencies());
-            }
-            lat.sort_unstable();
-            let q = |p: f64| -> u64 {
-                if lat.is_empty() {
-                    return 0;
-                }
-                lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
-            };
-            t.row(vec![
-                f3(loss),
-                alg.name().to_string(),
-                q(0.5).to_string(),
-                q(0.99).to_string(),
-                lat.last().copied().unwrap_or(0).to_string(),
-            ]);
+            cells.push((loss, alg));
         }
+    }
+    for ((loss, alg), outcomes) in run_grid(&cells, SEEDS, |&(loss, alg), seed| {
+        let mut cfg = scenario::lossy_crashy(8, alg, loss, 0, 3, seed * 31 + 17);
+        cfg.max_time = 60_000;
+        cfg
+    }) {
+        let mut lat: Vec<u64> = outcomes
+            .iter()
+            .flat_map(|o| o.metrics.latencies())
+            .collect();
+        lat.sort_unstable();
+        t.row(vec![
+            f3(loss),
+            alg.name().to_string(),
+            percentile(&lat, 0.5).to_string(),
+            percentile(&lat, 0.99).to_string(),
+            lat.last().copied().unwrap_or(0).to_string(),
+        ]);
     }
     vec![t]
 }
@@ -311,21 +313,21 @@ pub fn e6_message_complexity() -> Vec<Table> {
     );
     for &n in &[4usize, 8, 16, 32] {
         let seeds = if n >= 16 { 3 } else { SEEDS };
-        let mut a1 = 0u64;
-        let mut a2 = 0u64;
-        let mut a2q = 0u64;
-        for seed in 0..seeds {
-            let out = run(scenario::lossy_crashy(n, Algorithm::Majority, 0.1, 0, 2, seed + 5));
-            a1 += out.metrics.protocol_sends();
-            let out = run(scenario::lossy_crashy(n, Algorithm::Quiescent, 0.1, 0, 2, seed + 5));
-            a2 += out.metrics.protocol_sends();
+        let sends =
+            |outs: &[RunOutcome]| -> u64 { outs.iter().map(|o| o.metrics.protocol_sends()).sum() };
+        let a1 = sends(&run_seeds(seeds, |seed| {
+            scenario::lossy_crashy(n, Algorithm::Majority, 0.1, 0, 2, seed + 5)
+        }));
+        let a2 = sends(&run_seeds(seeds, |seed| {
+            scenario::lossy_crashy(n, Algorithm::Quiescent, 0.1, 0, 2, seed + 5)
+        }));
+        let a2q = sends(&run_seeds(seeds, |seed| {
             let mut cfg = scenario::lossy_crashy(n, Algorithm::Quiescent, 0.1, 0, 2, seed + 5);
             cfg.stop_on_full_delivery = false;
             cfg.stop_on_quiescence = true;
             cfg.max_time = 300_000;
-            let out = run(cfg);
-            a2q += out.metrics.protocol_sends();
-        }
+            cfg
+        }));
         let per = |x: u64| x / seeds;
         t.row(vec![
             n.to_string(),
@@ -357,29 +359,24 @@ pub fn e7_fd_latency() -> Vec<Table> {
         ],
     );
     for &delay in &[0u64, 1_000, 5_000, 20_000] {
-        let mut ok = 0u64;
-        let mut quiescent = 0u64;
-        let mut qtime = 0u64;
-        for seed in 0..SEEDS {
-            let out = run(scenario::fd_latency(8, delay, 3, seed * 13 + 29));
-            if out.report.all_ok() {
-                ok += 1;
-            }
-            if out.quiescent {
-                quiescent += 1;
-                qtime += out.last_protocol_send;
-            }
-        }
+        let outcomes = run_seeds(SEEDS, |seed| {
+            scenario::fd_latency(8, delay, 3, seed * 13 + 29)
+        });
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let quiescent = outcomes.iter().filter(|o| o.quiescent).count() as u64;
+        let qtime: u64 = outcomes
+            .iter()
+            .filter(|o| o.quiescent)
+            .map(|o| o.last_protocol_send)
+            .sum();
         t.row(vec![
             delay.to_string(),
             SEEDS.to_string(),
             format!("{ok}/{SEEDS}"),
             format!("{quiescent}/{SEEDS}"),
-            if quiescent > 0 {
-                (qtime / quiescent).to_string()
-            } else {
-                "—".to_string()
-            },
+            qtime
+                .checked_div(quiescent)
+                .map_or("—".to_string(), |v| v.to_string()),
         ]);
     }
     vec![t]
@@ -418,64 +415,42 @@ pub fn e8_heartbeat_realism() -> Vec<Table> {
         cfg.crashes = CrashPlan::random(8, 2, 2_000, seed ^ 0xE8, Some(0));
         cfg
     };
+    let mut row = |label: String, timeout_label: String, outcomes: &[RunOutcome]| {
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let quiescent = outcomes.iter().filter(|o| o.quiescent).count() as u64;
+        let qtime: u64 = outcomes
+            .iter()
+            .filter(|o| o.quiescent)
+            .map(|o| o.last_protocol_send)
+            .sum();
+        t.row(vec![
+            label,
+            timeout_label,
+            format!("{ok}/{SEEDS}"),
+            format!("{quiescent}/{SEEDS}"),
+            qtime
+                .checked_div(quiescent)
+                .map_or("—".to_string(), |v| v.to_string()),
+        ]);
+    };
     for &timeout in &[25u64, 60, 120, 240, 480] {
-        let mut ok = 0u64;
-        let mut quiescent = 0u64;
-        let mut qtime = 0u64;
-        for seed in 0..SEEDS {
+        let outcomes = run_seeds(SEEDS, |seed| {
             let mut cfg = mk(seed * 41 + 7);
             cfg.fd = FdKind::Heartbeat(HeartbeatConfig {
                 period: 20,
                 timeout,
             });
-            let out = run(cfg);
-            if out.report.all_ok() {
-                ok += 1;
-            }
-            if out.quiescent {
-                quiescent += 1;
-                qtime += out.last_protocol_send;
-            }
-        }
-        t.row(vec![
-            "heartbeat".into(),
-            timeout.to_string(),
-            format!("{ok}/{SEEDS}"),
-            format!("{quiescent}/{SEEDS}"),
-            if quiescent > 0 {
-                (qtime / quiescent).to_string()
-            } else {
-                "—".into()
-            },
-        ]);
+            cfg
+        });
+        row("heartbeat".into(), timeout.to_string(), &outcomes);
     }
     // Oracle reference row.
-    let mut ok = 0u64;
-    let mut quiescent = 0u64;
-    let mut qtime = 0u64;
-    for seed in 0..SEEDS {
+    let outcomes = run_seeds(SEEDS, |seed| {
         let mut cfg = mk(seed * 41 + 7);
         cfg.fd = FdKind::Oracle(OracleConfig::default());
-        let out = run(cfg);
-        if out.report.all_ok() {
-            ok += 1;
-        }
-        if out.quiescent {
-            quiescent += 1;
-            qtime += out.last_protocol_send;
-        }
-    }
-    t.row(vec![
-        "oracle".into(),
-        "—".into(),
-        format!("{ok}/{SEEDS}"),
-        format!("{quiescent}/{SEEDS}"),
-        if quiescent > 0 {
-            (qtime / quiescent).to_string()
-        } else {
-            "—".into()
-        },
-    ]);
+        cfg
+    });
+    row("oracle".into(), "—".into(), &outcomes);
     vec![t]
 }
 
@@ -497,16 +472,17 @@ pub fn e9_memory() -> Vec<Table> {
         ],
     );
     for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        // 30k-tick horizon: the 30-message stream ends at ~t=6k, leaving
+        // Algorithm 2 ample time to prune everything (and bounding
+        // Algorithm 1's forever-rebroadcast cost).
+        let outcomes = run_seeds(3, |seed| {
+            scenario::memory_stream(6, alg, 30, 30_000, seed + 3)
+        });
         let mut peak_msg = 0usize;
         let mut final_msg = 0usize;
         let mut peak_total = 0usize;
         let mut final_total = 0usize;
-        for seed in 0..3 {
-            // 30k-tick horizon: the 30-message stream ends at ~t=6k, leaving
-            // Algorithm 2 ample time to prune everything (and bounding
-            // Algorithm 1's forever-rebroadcast cost).
-            let cfg = scenario::memory_stream(6, alg, 30, 30_000, seed + 3);
-            let out = run(cfg);
+        for out in &outcomes {
             for s in &out.metrics.stats_samples {
                 for p in &s.per_process {
                     peak_msg = peak_msg.max(p.msg_set);
@@ -539,13 +515,12 @@ pub fn e10_fast_delivery() -> Vec<Table> {
         &["n", "runs", "deliveries", "fast", "fast fraction"],
     );
     for &n in &[8usize, 16] {
-        let mut total = 0usize;
-        let mut fast = 0usize;
-        for seed in 0..SEEDS {
-            let out = run(scenario::fast_delivery(n, seed * 97 + 13));
-            total += out.metrics.deliveries.len();
-            fast += out.metrics.deliveries.iter().filter(|d| d.fast).count();
-        }
+        let outcomes = run_seeds(SEEDS, |seed| scenario::fast_delivery(n, seed * 97 + 13));
+        let total: usize = outcomes.iter().map(|o| o.metrics.deliveries.len()).sum();
+        let fast: usize = outcomes
+            .iter()
+            .map(|o| o.metrics.deliveries.iter().filter(|d| d.fast).count())
+            .sum();
         t.row(vec![
             n.to_string(),
             SEEDS.to_string(),
@@ -576,23 +551,21 @@ pub fn e11_baselines() -> Vec<Table> {
         Algorithm::EagerRb,
         Algorithm::Majority,
     ] {
-        let mut delivered = 0usize;
-        let mut expected = 0usize;
-        let mut violations = 0u64;
-        for seed in 0..SEEDS {
+        let outcomes = run_seeds(SEEDS, |seed| {
             let mut cfg = SimConfig::new(8, alg)
                 .seed(seed * 53 + 9)
                 .loss(LossModel::Bernoulli { p: 0.2 })
                 .workload(4, 100)
                 .max_time(40_000);
             cfg.stop_on_full_delivery = true;
-            let out = run(cfg);
-            delivered += out.metrics.deliveries.len();
-            expected += out.metrics.broadcasts.len() * 8;
-            if !out.report.agreement.ok() {
-                violations += 1;
-            }
-        }
+            cfg
+        });
+        let delivered: usize = outcomes.iter().map(|o| o.metrics.deliveries.len()).sum();
+        let expected: usize = outcomes
+            .iter()
+            .map(|o| o.metrics.broadcasts.len() * 8)
+            .sum();
+        let violations = outcomes.iter().filter(|o| !o.report.agreement.ok()).count();
         a.row(vec![
             alg.name().to_string(),
             pct(delivered as f64 / expected.max(1) as f64),
@@ -602,13 +575,15 @@ pub fn e11_baselines() -> Vec<Table> {
 
     let mut b = Table::new(
         "E11b — doomed sender (partitioned, crashes on first delivery)",
-        &["algorithm", "sender delivered", "agreement violated", "blocked"],
+        &[
+            "algorithm",
+            "sender delivered",
+            "agreement violated",
+            "blocked",
+        ],
     );
     for alg in [Algorithm::EagerRb, Algorithm::Majority] {
-        let mut sender_delivered = 0u64;
-        let mut violated = 0u64;
-        let mut blocked = 0u64;
-        for seed in 0..SEEDS {
+        let outcomes = run_seeds(SEEDS, |seed| {
             let mut cfg = SimConfig::new(8, alg).seed(seed * 59 + 3).max_time(30_000);
             cfg.crashes = CrashPlan::from_rules(
                 (0..8)
@@ -629,17 +604,17 @@ pub fn e11_baselines() -> Vec<Table> {
                 })
                 .collect();
             cfg.stop_on_quiescence = false;
-            let out = run(cfg);
-            if out.metrics.deliveries.iter().any(|d| d.pid == 0) {
-                sender_delivered += 1;
-            }
-            if !out.report.agreement.ok() {
-                violated += 1;
-            }
-            if out.metrics.deliveries.is_empty() {
-                blocked += 1;
-            }
-        }
+            cfg
+        });
+        let sender_delivered = outcomes
+            .iter()
+            .filter(|o| o.metrics.deliveries.iter().any(|d| d.pid == 0))
+            .count();
+        let violated = outcomes.iter().filter(|o| !o.report.agreement.ok()).count();
+        let blocked = outcomes
+            .iter()
+            .filter(|o| o.metrics.deliveries.is_empty())
+            .count();
         b.row(vec![
             alg.name().to_string(),
             sender_delivered.to_string(),
@@ -670,35 +645,32 @@ pub fn e12_prune_ablation() -> Vec<Table> {
             "residual sends (tail 20%)",
         ],
     );
+    let horizon = 60_000u64;
     for (alg, name) in [
         (Algorithm::Quiescent, "purge (D4, default)"),
         (Algorithm::QuiescentLiteral, "literal line 55"),
     ] {
-        let mut ok = 0u64;
-        let mut quiescent = 0u64;
-        let mut qtime = 0u64;
-        let mut residual = 0u64;
-        let horizon = 60_000u64;
-        for seed in 0..SEEDS {
-            let out = run(scenario::stale_acker(alg, horizon, seed * 67 + 31));
-            if out.report.all_ok() {
-                ok += 1;
-            }
-            if out.quiescent {
-                quiescent += 1;
-                qtime += out.last_protocol_send;
-            }
-            residual += out.metrics.sends_after(horizon * 4 / 5);
-        }
+        let outcomes = run_seeds(SEEDS, |seed| {
+            scenario::stale_acker(alg, horizon, seed * 67 + 31)
+        });
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let quiescent = outcomes.iter().filter(|o| o.quiescent).count() as u64;
+        let qtime: u64 = outcomes
+            .iter()
+            .filter(|o| o.quiescent)
+            .map(|o| o.last_protocol_send)
+            .sum();
+        let residual: u64 = outcomes
+            .iter()
+            .map(|o| o.metrics.sends_after(horizon * 4 / 5))
+            .sum();
         t.row(vec![
             name.to_string(),
             format!("{ok}/{SEEDS}"),
             format!("{quiescent}/{SEEDS}"),
-            if quiescent > 0 {
-                (qtime / quiescent).to_string()
-            } else {
-                "— (never)".into()
-            },
+            qtime
+                .checked_div(quiescent)
+                .map_or("— (never)".to_string(), |v| v.to_string()),
             (residual / SEEDS).to_string(),
         ]);
     }
@@ -726,47 +698,38 @@ pub fn e13_backoff_extension() -> Vec<Table> {
             "p99 latency",
         ],
     );
-    let variants: Vec<(Algorithm, String)> = std::iter::once((
-        Algorithm::Majority,
-        "faithful (every sweep)".to_string(),
-    ))
-    .chain(
-        [4u32, 16, 64]
-            .into_iter()
-            .map(|cap| (Algorithm::MajorityBackoff { cap }, format!("backoff cap={cap}"))),
-    )
-    .collect();
+    let variants: Vec<(Algorithm, String)> =
+        std::iter::once((Algorithm::Majority, "faithful (every sweep)".to_string()))
+            .chain([4u32, 16, 64].into_iter().map(|cap| {
+                (
+                    Algorithm::MajorityBackoff { cap },
+                    format!("backoff cap={cap}"),
+                )
+            }))
+            .collect();
     for (alg, name) in variants {
-        let mut ok = 0u64;
-        let mut sends = 0u64;
-        let mut lat = Vec::new();
-        for seed in 0..SEEDS {
+        let outcomes = run_seeds(SEEDS, |seed| {
             let mut cfg = SimConfig::new(8, alg)
                 .seed(seed * 71 + 5)
                 .loss(LossModel::Bernoulli { p: 0.2 })
                 .workload(3, 100)
                 .max_time(horizon);
             cfg.stop_on_quiescence = false; // fixed horizon: comparable traffic
-            let out = run(cfg);
-            if out.report.all_ok() {
-                ok += 1;
-            }
-            sends += out.metrics.protocol_sends();
-            lat.extend(out.metrics.latencies());
-        }
+            cfg
+        });
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let sends: u64 = outcomes.iter().map(|o| o.metrics.protocol_sends()).sum();
+        let mut lat: Vec<u64> = outcomes
+            .iter()
+            .flat_map(|o| o.metrics.latencies())
+            .collect();
         lat.sort_unstable();
-        let q = |p: f64| -> u64 {
-            if lat.is_empty() {
-                return 0;
-            }
-            lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
-        };
         t.row(vec![
             name,
             format!("{ok}/{SEEDS}"),
             (sends / SEEDS).to_string(),
-            q(0.5).to_string(),
-            q(0.99).to_string(),
+            percentile(&lat, 0.5).to_string(),
+            percentile(&lat, 0.99).to_string(),
         ]);
     }
     vec![t]
@@ -794,9 +757,7 @@ pub fn e14_partition_heal() -> Vec<Table> {
         ],
     );
     for &cut in &[0u64, 500, 2_000, 8_000] {
-        let mut ok = 0u64;
-        let mut total = Vec::new();
-        for seed in 0..SEEDS {
+        let outcomes = run_seeds(SEEDS, |seed| {
             let mut cfg = SimConfig::new(8, Algorithm::Majority)
                 .seed(seed * 83 + 2)
                 .loss(LossModel::Bernoulli { p: 0.1 })
@@ -804,12 +765,10 @@ pub fn e14_partition_heal() -> Vec<Table> {
                 .max_time(cut + 60_000);
             cfg.blackouts = Blackout::partition(&[0, 1, 2, 3], &[4, 5, 6, 7], 0, cut);
             cfg.stop_on_full_delivery = true;
-            let out = run(cfg);
-            if out.report.all_ok() {
-                ok += 1;
-            }
-            total.push(out.metrics.ended_at);
-        }
+            cfg
+        });
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let total: Vec<u64> = outcomes.iter().map(|o| o.metrics.ended_at).collect();
         let mean = total.iter().sum::<u64>() / total.len() as u64;
         t.row(vec![
             cut.to_string(),
@@ -846,5 +805,14 @@ mod tests {
         let rendered = tables[0].render();
         assert!(rendered.contains("E2"));
         assert!(!tables[0].is_empty());
+    }
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v = [10u64, 20, 30, 40, 50];
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&v, 0.5), 30);
+        assert_eq!(percentile(&v, 0.99), 50);
+        assert_eq!(percentile(&[], 0.5), 0);
     }
 }

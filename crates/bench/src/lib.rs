@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod experiments;
 pub mod stats;
 pub mod table;

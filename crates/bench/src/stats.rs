@@ -37,8 +37,8 @@ impl Summary {
         let stddev = if count < 2 {
             0.0
         } else {
-            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / (count - 1) as f64;
+            let var =
+                sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count - 1) as f64;
             var.sqrt()
         };
         let pct = |p: f64| -> f64 {

@@ -135,7 +135,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--n" => n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
                     "--seed" => {
-                        seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
@@ -157,7 +159,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
                     "--alg" => args.algorithm = parse_algorithm(&value("--alg")?)?,
                     "--loss" => {
-                        args.loss = value("--loss")?.parse().map_err(|e| format!("--loss: {e}"))?
+                        args.loss = value("--loss")?
+                            .parse()
+                            .map_err(|e| format!("--loss: {e}"))?
                     }
                     "--burst" => args.burst = true,
                     "--crashes" => {
@@ -166,10 +170,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--crashes: {e}"))?
                     }
                     "--msgs" => {
-                        args.msgs = value("--msgs")?.parse().map_err(|e| format!("--msgs: {e}"))?
+                        args.msgs = value("--msgs")?
+                            .parse()
+                            .map_err(|e| format!("--msgs: {e}"))?
                     }
                     "--seed" => {
-                        args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                        args.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
                     }
                     "--horizon" => {
                         args.horizon = value("--horizon")?

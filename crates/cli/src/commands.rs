@@ -65,7 +65,12 @@ pub fn run_cmd(args: RunArgs) {
     }
 }
 
-/// `urb sweep`: one row per loss rate, everything else from flags.
+/// The loss rates `urb sweep` visits.
+pub const SWEEP_LOSSES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// `urb sweep`: one row per loss rate, everything else from flags. The
+/// rows are independent simulated runs, so they are fanned across all
+/// cores via `urb_sim::parallel` and printed in order afterwards.
 pub fn sweep_cmd(args: RunArgs) {
     println!(
         "loss sweep: n={} alg={} crashes={} msgs={} (seed {})",
@@ -76,11 +81,16 @@ pub fn sweep_cmd(args: RunArgs) {
         args.seed
     );
     println!("loss   ok     median  p99     transmissions");
-    for &loss in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let mut a = args.clone();
-        a.loss = loss;
-        a.trace = None;
-        let out = urb_sim::run(build_config(&a));
+    let configs = SWEEP_LOSSES
+        .iter()
+        .map(|&loss| {
+            let mut a = args.clone();
+            a.loss = loss;
+            a.trace = None;
+            build_config(&a)
+        })
+        .collect();
+    for (loss, out) in SWEEP_LOSSES.iter().zip(urb_sim::run_many(configs)) {
         let s = RunSummary::from_outcome(&out);
         println!(
             "{:<6.2} {:<6} {:<7} {:<7} {}",
@@ -115,7 +125,10 @@ pub fn theorem2_cmd(n: usize, seed: u64) {
     );
 
     let out = urb_sim::run(scenario::theorem2_control(n, seed));
-    println!("\narm 2: faithful Algorithm 1 (strict majority = {})", n / 2 + 1);
+    println!(
+        "\narm 2: faithful Algorithm 1 (strict majority = {})",
+        n / 2 + 1
+    );
     println!(
         "  deliveries: {} — {}",
         out.metrics.deliveries.len(),
@@ -144,11 +157,13 @@ mod tests {
 
     #[test]
     fn build_config_maps_flags() {
-        let mut args = RunArgs::default();
-        args.n = 7;
-        args.loss = 0.0;
-        args.crashes = 2;
-        args.fd = Some(FdChoice::None);
+        let args = RunArgs {
+            n: 7,
+            loss: 0.0,
+            crashes: 2,
+            fd: Some(FdChoice::None),
+            ..RunArgs::default()
+        };
         let cfg = build_config(&args);
         assert_eq!(cfg.n, 7);
         assert!(matches!(cfg.loss, LossModel::None));
@@ -159,27 +174,33 @@ mod tests {
 
     #[test]
     fn burst_flag_switches_model() {
-        let mut args = RunArgs::default();
-        args.burst = true;
-        args.loss = 0.2;
+        let args = RunArgs {
+            burst: true,
+            loss: 0.2,
+            ..RunArgs::default()
+        };
         let cfg = build_config(&args);
         assert!(matches!(cfg.loss, LossModel::Burst { .. }));
     }
 
     #[test]
     fn trace_flag_enables_recording() {
-        let mut args = RunArgs::default();
-        args.trace = Some("/tmp/x.json".into());
+        let args = RunArgs {
+            trace: Some("/tmp/x.json".into()),
+            ..RunArgs::default()
+        };
         let cfg = build_config(&args);
         assert!(cfg.trace.enabled);
     }
 
     #[test]
     fn run_for_test_produces_clean_verdict() {
-        let mut args = RunArgs::default();
-        args.n = 4;
-        args.msgs = 1;
-        args.loss = 0.1;
+        let args = RunArgs {
+            n: 4,
+            msgs: 1,
+            loss: 0.1,
+            ..RunArgs::default()
+        };
         let s = run_for_test(&args);
         assert!(s.validity_ok && s.agreement_ok && s.integrity_ok);
         assert_eq!(s.deliveries, 4);

@@ -78,8 +78,68 @@ impl RunSummary {
     }
 
     /// Pretty JSON rendering.
+    ///
+    /// Hand-rolled emitter (the offline `serde` shim's derives generate
+    /// nothing — see `vendor/README.md`); field names and layout match
+    /// what `serde_json::to_string_pretty` would produce.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serialization is infallible")
+        use std::fmt::Write as _;
+        fn num_list(v: &[usize]) -> String {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        }
+        fn opt_u64(v: Option<u64>) -> String {
+            v.map_or("null".to_string(), |x| x.to_string())
+        }
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", serde_json::escape(v)))
+            .collect();
+        let mut out = String::with_capacity(640);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"n\": {},", self.n);
+        let _ = writeln!(
+            out,
+            "  \"algorithm\": \"{}\",",
+            serde_json::escape(&self.algorithm)
+        );
+        let _ = writeln!(out, "  \"correct\": {},", num_list(&self.correct));
+        let _ = writeln!(out, "  \"broadcasts\": {},", self.broadcasts);
+        let _ = writeln!(out, "  \"deliveries\": {},", self.deliveries);
+        let _ = writeln!(out, "  \"fast_fraction\": {:?},", self.fast_fraction);
+        let _ = writeln!(out, "  \"validity_ok\": {},", self.validity_ok);
+        let _ = writeln!(out, "  \"agreement_ok\": {},", self.agreement_ok);
+        let _ = writeln!(out, "  \"integrity_ok\": {},", self.integrity_ok);
+        let _ = writeln!(out, "  \"violations\": [{}],", violations.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"fd_audit_ok\": {},",
+            self.fd_audit_ok
+                .map_or("null".to_string(), |b| b.to_string())
+        );
+        let _ = writeln!(
+            out,
+            "  \"protocol_transmissions\": {},",
+            self.protocol_transmissions
+        );
+        let _ = writeln!(out, "  \"dropped\": {},", self.dropped);
+        let _ = writeln!(
+            out,
+            "  \"median_latency\": {},",
+            opt_u64(self.median_latency)
+        );
+        let _ = writeln!(out, "  \"p99_latency\": {},", opt_u64(self.p99_latency));
+        let _ = writeln!(out, "  \"quiescent\": {},", self.quiescent);
+        let _ = writeln!(
+            out,
+            "  \"last_protocol_send\": {},",
+            self.last_protocol_send
+        );
+        let _ = writeln!(out, "  \"ended_at\": {},", self.ended_at);
+        let _ = writeln!(out, "  \"trace_hash\": {}", self.trace_hash);
+        out.push('}');
+        out
     }
 
     /// Human rendering (the default CLI output).

@@ -253,7 +253,10 @@ mod tests {
         let mut h = StepHarness::new(5);
         let mut p = BackoffUrb::new(3, 4);
         h.receive(&mut p, msg(1));
-        assert!(!p.is_quiescent(), "backoff thins traffic, it does not stop it");
+        assert!(
+            !p.is_quiescent(),
+            "backoff thins traffic, it does not stop it"
+        );
         // Over any long window there are still sends (fairness preserved).
         let mut sends = 0;
         for _ in 0..50 {

@@ -17,9 +17,7 @@
 //! side by side with the paper's two URB algorithms.
 
 use std::collections::{BTreeMap, BTreeSet};
-use urb_types::{
-    AnonProcess, Context, Payload, ProcessStats, Tag, WireMessage,
-};
+use urb_types::{AnonProcess, Context, Payload, ProcessStats, Tag, WireMessage};
 
 /// Best-effort broadcast: transmit once, deliver on first receipt.
 ///

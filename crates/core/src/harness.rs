@@ -1,25 +1,29 @@
 //! A tiny single-process driving harness for unit tests, doctests and
-//! examples.
+//! examples — the third adapter over the shared engine.
 //!
-//! [`StepHarness`] owns the buffers a [`Context`] borrows, so a test can
-//! feed a state machine one event at a time and inspect exactly what it
-//! broadcast and delivered — no network, no scheduler. The full multi-process
-//! drivers live in `urb-sim` (discrete-event) and `urb-runtime` (threads);
-//! this harness is deliberately minimal.
+//! [`StepHarness`] owns the RNG, the scripted failure-detector snapshot and
+//! the reusable [`StepBuffers`] a [`urb_types::Context`] borrows, so a test
+//! can feed a state machine one event at a time and inspect exactly what it
+//! broadcast and delivered — no network, no scheduler. Every step goes
+//! through [`urb_engine::drive_step`], the *same* code path the
+//! discrete-event simulator (`urb-sim`) and the threaded runtime
+//! (`urb-runtime`) execute, so what a unit test observes is what a
+//! deployment does.
 
+use urb_engine::{drive_step, StepBuffers, StepInput};
 use urb_types::{
-    AnonProcess, Context, Delivery, FdSnapshot, Payload, RandomSource, SplitMix64, Tag,
-    WireMessage,
+    AnonProcess, Delivery, FdSnapshot, Payload, RandomSource, SplitMix64, Tag, WireMessage,
 };
 
-/// Owns everything a [`Context`] needs, for driving one process by hand.
+/// Owns everything a protocol step needs, for driving one process by hand.
 pub struct StepHarness {
     rng: SplitMix64,
     /// The failure-detector snapshot handed to the next step. Mutate freely
     /// between steps to script detector behaviour.
     pub fd: FdSnapshot,
-    outbox: Vec<WireMessage>,
-    deliveries: Vec<Delivery>,
+    buf: StepBuffers,
+    outbox_history: Vec<WireMessage>,
+    delivery_history: Vec<Delivery>,
 }
 
 impl StepHarness {
@@ -28,68 +32,55 @@ impl StepHarness {
         StepHarness {
             rng: SplitMix64::new(seed),
             fd: FdSnapshot::none(),
-            outbox: Vec::new(),
-            deliveries: Vec::new(),
+            buf: StepBuffers::new(),
+            outbox_history: Vec::new(),
+            delivery_history: Vec::new(),
         }
     }
 
     /// Calls `URB_broadcast(payload)` on `proc` and returns the assigned tag
     /// together with everything the step emitted.
     pub fn broadcast(&mut self, proc: &mut dyn AnonProcess, payload: Payload) -> (Tag, StepOut) {
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        let tag = {
-            let mut ctx = Context::new(&mut self.rng, &self.fd, &mut outbox, &mut deliveries);
-            proc.urb_broadcast(payload, &mut ctx)
-        };
-        self.collect(&mut outbox, &mut deliveries);
-        (tag, self.last_step(outbox, deliveries))
+        let tag = self
+            .step(proc, StepInput::Broadcast(payload))
+            .expect("urb_broadcast assigns a tag");
+        (tag, self.collect())
     }
 
     /// Feeds one received wire message to `proc`.
     pub fn receive(&mut self, proc: &mut dyn AnonProcess, msg: WireMessage) -> StepOut {
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        {
-            let mut ctx = Context::new(&mut self.rng, &self.fd, &mut outbox, &mut deliveries);
-            proc.on_receive(msg, &mut ctx);
-        }
-        self.collect(&mut outbox, &mut deliveries);
-        self.last_step(outbox, deliveries)
+        self.step(proc, StepInput::Receive(msg));
+        self.collect()
     }
 
     /// Runs one Task-1 sweep on `proc`.
     pub fn tick(&mut self, proc: &mut dyn AnonProcess) -> StepOut {
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        {
-            let mut ctx = Context::new(&mut self.rng, &self.fd, &mut outbox, &mut deliveries);
-            proc.on_tick(&mut ctx);
-        }
-        self.collect(&mut outbox, &mut deliveries);
-        self.last_step(outbox, deliveries)
+        self.step(proc, StepInput::Tick);
+        self.collect()
     }
 
-    fn collect(&mut self, outbox: &[WireMessage], deliveries: &[Delivery]) {
-        self.outbox.extend(outbox.iter().cloned());
-        self.deliveries.extend(deliveries.iter().cloned());
+    fn step(&mut self, proc: &mut dyn AnonProcess, input: StepInput) -> Option<Tag> {
+        drive_step(proc, input, &self.fd, &mut self.rng, &mut self.buf)
     }
 
-    fn last_step(&self, outbox: Vec<WireMessage>, deliveries: Vec<Delivery>) -> StepOut {
+    fn collect(&mut self) -> StepOut {
+        self.outbox_history.extend(self.buf.outbox.iter().cloned());
+        self.delivery_history
+            .extend(self.buf.deliveries.iter().cloned());
         StepOut {
-            broadcasts: outbox,
-            deliveries,
+            broadcasts: self.buf.outbox.clone(),
+            deliveries: self.buf.deliveries.clone(),
         }
     }
 
     /// Every message broadcast since the harness was created.
     pub fn all_broadcasts(&self) -> &[WireMessage] {
-        &self.outbox
+        &self.outbox_history
     }
 
     /// Every delivery since the harness was created.
     pub fn all_deliveries(&self) -> &[Delivery] {
-        &self.deliveries
+        &self.delivery_history
     }
 
     /// Direct access to the deterministic RNG (e.g. to mint tags for

@@ -18,9 +18,7 @@
 
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use urb_types::{
-    AnonProcess, Context, Payload, ProcessStats, Tag, TagAck, WireMessage,
-};
+use urb_types::{AnonProcess, Context, Payload, ProcessStats, Tag, TagAck, WireMessage};
 
 /// Per-tag acknowledgment bookkeeping (the `ALL_ACK_i` slice for one tag).
 #[derive(Clone, Debug, Serialize)]
@@ -156,6 +154,7 @@ impl MajorityUrb {
             payload,
         });
         rec.acks.insert(tag_ack); // lines 19–21
+
         // Line 22: "a majority of (m, tag, −) in ALL_ACK" — strict majority
         // of *distinct* tag_acks (or the configured threshold).
         if rec.acks.len() >= self.threshold && !self.delivered.contains(&tag) {
@@ -175,9 +174,9 @@ impl AnonProcess for MajorityUrb {
     fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
         let tag = Tag::random(ctx.rng); // line 5
         self.msgs.insert(tag, payload.clone()); // line 6
-        // Task 1 would send this on its next sweep anyway; sending now just
-        // shifts phase, and matches how the loop-forever task behaves from
-        // the moment the message enters MSG.
+                                                // Task 1 would send this on its next sweep anyway; sending now just
+                                                // shifts phase, and matches how the loop-forever task behaves from
+                                                // the moment the message enters MSG.
         ctx.broadcast(WireMessage::Msg { tag, payload });
         tag
     }
@@ -236,7 +235,6 @@ impl AnonProcess for MajorityUrb {
 mod tests {
     use super::*;
     use crate::harness::StepHarness;
-    
 
     fn msg(tag: u128, body: &str) -> WireMessage {
         WireMessage::Msg {

@@ -41,8 +41,7 @@
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use urb_types::{
-    AnonProcess, Context, FdView, Label, LabelSet, Payload, ProcessStats, Tag, TagAck,
-    WireMessage,
+    AnonProcess, Context, FdView, Label, LabelSet, Payload, ProcessStats, Tag, TagAck, WireMessage,
 };
 
 /// How the Task-1 prune condition (line 55) treats stale state.
@@ -402,6 +401,7 @@ impl AnonProcess for QuiescentUrb {
         for tag in tags {
             let payload = self.msgs[&tag].clone();
             ctx.broadcast(WireMessage::Msg { tag, payload }); // line 54
+
             // Lines 55–58: only a *delivered* message may be pruned.
             if self.delivered.contains(&tag) && self.prune_ready(tag, &ctx.fd.a_p_star) {
                 to_remove.push(tag);
@@ -528,11 +528,7 @@ mod tests {
         assert_eq!(p.stats().msg_set, 0, "fast delivery: MSG never stored");
         // Now the MSG copy arrives late.
         let out = h.receive(&mut p, msg(7, "m"));
-        assert_eq!(
-            p.stats().msg_set,
-            0,
-            "delivered message must not enter MSG"
-        );
+        assert_eq!(p.stats().msg_set, 0, "delivered message must not enter MSG");
         // … but it is still acknowledged (for other processes' progress).
         assert_eq!(out.acks().len(), 1);
     }
@@ -613,8 +609,14 @@ mod tests {
     fn no_duplicate_delivery() {
         let mut h = fd_harness(10, &[(10, 1)]);
         let mut p = QuiescentUrb::new();
-        assert_eq!(h.receive(&mut p, ack(7, 100, "m", &[10])).deliveries.len(), 1);
-        assert!(h.receive(&mut p, ack(7, 101, "m", &[10])).deliveries.is_empty());
+        assert_eq!(
+            h.receive(&mut p, ack(7, 100, "m", &[10])).deliveries.len(),
+            1
+        );
+        assert!(h
+            .receive(&mut p, ack(7, 101, "m", &[10]))
+            .deliveries
+            .is_empty());
         assert_eq!(h.all_deliveries().len(), 1);
     }
 
@@ -683,6 +685,7 @@ mod tests {
         h.receive(&mut p, msg(7, "m"));
         h.receive(&mut p, ack(7, 100, "m", &[10]));
         h.receive(&mut p, ack(7, 101, "m", &[10])); // delivers (counter==2)
+
         // a_p* wants 3 ACKers per label now (simulate: number 3).
         h.fd = FdSnapshot::new(theta(&[(10, 2)]), theta(&[(10, 3)]));
         h.tick(&mut p);
@@ -739,6 +742,7 @@ mod tests {
         // live ACK arrives.
         h.receive(&mut p, ack(7, 100, "m", &[1, 2, 3])); // live
         h.receive(&mut p, ack(7, 101, "m", &[1, 2, 3])); // doomed, then crashes
+
         // Crash detected: labels shrink to {1, 2}, number to 2. counter(1)
         // is already 2 (entries 100, 101) — but entry 101 is dead and will
         // never refresh, while entry 100 refreshes with the shrunk set.
@@ -833,8 +837,8 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        /// Arbitrary reconcile sequences preserve the counter invariant
-        /// `counters[l] == |{ta : l ∈ entries[ta]}|` (DESIGN.md D3).
+        // Arbitrary reconcile sequences preserve the counter invariant
+        // `counters[l] == |{ta : l ∈ entries[ta]}|` (DESIGN.md D3).
         proptest! {
             #[test]
             fn counter_invariant_under_reconcile(

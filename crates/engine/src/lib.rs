@@ -1,0 +1,411 @@
+//! # `urb-engine`
+//!
+//! The backend-agnostic per-node driving engine of the `anon-urb`
+//! workspace.
+//!
+//! Three drivers execute the paper's protocols: the discrete-event
+//! simulator (`urb-sim`), the threaded runtime (`urb-runtime`) and the
+//! single-process test harness (`urb_core::harness`). Before this crate
+//! existed each of them re-implemented the same cycle — take a
+//! failure-detector snapshot, run one protocol step through the sans-io
+//! [`AnonProcess`] trait, collect the URB deliveries, drain the outbox
+//! toward the network. The engine owns that cycle once:
+//!
+//! * [`drive_step`] — the single implementation of "one protocol step":
+//!   every backend funnels through this function, so a step is *provably
+//!   identical* across the simulator, the runtime and the harness;
+//! * [`StepBuffers`] — the reusable outbox/delivery buffers a step fills
+//!   (drivers keep one per node or one per loop and reuse it, so the hot
+//!   path performs no steady-state allocation);
+//! * [`NodeEngine`] — the owning wrapper used by the multi-node drivers:
+//!   protocol instance + deterministic RNG stream + cumulative
+//!   [`EngineCounters`] + [`ProcessStats`] access;
+//! * the **batched message plane**: [`StepBuffers::take_batch`] drains a
+//!   step's whole outbox into one [`urb_types::Batch`] frame, so routing
+//!   cost scales with steps, not messages, while per-message
+//!   `retransmit_key` identity (the fair-lossy bookkeeping unit) is
+//!   preserved.
+//!
+//! What stays backend-specific is exactly what *differs* between backends:
+//! where the [`FdSnapshot`] comes from (oracle/heartbeat service keyed by
+//! simulated time, membership registry keyed by wall-clock time, or a
+//! scripted snapshot in tests) and what happens to the drained batch
+//! (event-queue scheduling, channel send, or test inspection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use urb_types::{
+    AnonProcess, Batch, Context, Delivery, FdSnapshot, Payload, ProcessStats, RandomSource,
+    SplitMix64, Tag, WireMessage,
+};
+
+/// One input to a protocol step — the three entry points of the paper's
+/// pseudocode.
+#[derive(Clone, Debug)]
+pub enum StepInput {
+    /// One Task-1 sweep (the `repeat forever` body).
+    Tick,
+    /// One incoming wire message (`receive_i`).
+    Receive(WireMessage),
+    /// An application-level `URB_broadcast(payload)` invocation.
+    Broadcast(Payload),
+}
+
+/// Reusable buffers one protocol step fills.
+///
+/// Drivers allocate one of these per node (or per loop) and reuse it for
+/// every step; [`drive_step`] clears it first, so after the call it holds
+/// exactly what *this* step emitted.
+#[derive(Debug, Default)]
+pub struct StepBuffers {
+    /// Messages the step broadcast (the paper's `broadcast_i`), in order.
+    pub outbox: Vec<WireMessage>,
+    /// URB-deliveries the step produced, in order.
+    pub deliveries: Vec<Delivery>,
+}
+
+impl StepBuffers {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        StepBuffers::default()
+    }
+
+    /// Drains the outbox into one [`Batch`] frame — the batched message
+    /// plane. Returns `None` when the step broadcast nothing (no frame,
+    /// no routing work). The outbox keeps its allocation.
+    pub fn take_batch(&mut self) -> Option<Batch> {
+        if self.outbox.is_empty() {
+            None
+        } else {
+            Some(Batch::drain_from(&mut self.outbox))
+        }
+    }
+
+    /// True when the step neither broadcast nor delivered anything.
+    pub fn is_silent(&self) -> bool {
+        self.outbox.is_empty() && self.deliveries.is_empty()
+    }
+}
+
+/// Executes one protocol step. **The** shared implementation: every
+/// backend's step goes through this function.
+///
+/// Clears `buf`, builds the paper-shaped [`Context`] over it, dispatches
+/// `input` to the matching [`AnonProcess`] entry point and returns the
+/// assigned [`Tag`] for broadcast inputs (`None` otherwise). The caller
+/// supplies the [`FdSnapshot`] taken immediately before the step — the
+/// paper's read-only detector variable semantics — because *where* the
+/// snapshot comes from is the one genuinely backend-specific part of the
+/// cycle.
+pub fn drive_step(
+    proc: &mut dyn AnonProcess,
+    input: StepInput,
+    fd: &FdSnapshot,
+    rng: &mut dyn RandomSource,
+    buf: &mut StepBuffers,
+) -> Option<Tag> {
+    buf.outbox.clear();
+    buf.deliveries.clear();
+    let mut ctx = Context::new(rng, fd, &mut buf.outbox, &mut buf.deliveries);
+    match input {
+        StepInput::Tick => {
+            proc.on_tick(&mut ctx);
+            None
+        }
+        StepInput::Receive(msg) => {
+            proc.on_receive(msg, &mut ctx);
+            None
+        }
+        StepInput::Broadcast(payload) => Some(proc.urb_broadcast(payload, &mut ctx)),
+    }
+}
+
+/// Cumulative per-node activity counters maintained by [`NodeEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Total protocol steps executed.
+    pub steps: u64,
+    /// Task-1 sweeps among them.
+    pub ticks: u64,
+    /// Messages received and processed.
+    pub receives: u64,
+    /// `URB_broadcast` invocations.
+    pub broadcasts: u64,
+    /// Messages emitted to the outbox across all steps.
+    pub messages_out: u64,
+    /// URB-deliveries produced across all steps.
+    pub deliveries: u64,
+}
+
+/// The owning per-node engine used by the simulator and the runtime: one
+/// protocol instance, its deterministic RNG stream, and counters.
+pub struct NodeEngine {
+    proc: Box<dyn AnonProcess + Send>,
+    rng: SplitMix64,
+    counters: EngineCounters,
+    /// Persistent per-message scratch for [`NodeEngine::receive_batch`],
+    /// so batch processing allocates nothing in steady state.
+    batch_scratch: StepBuffers,
+}
+
+impl NodeEngine {
+    /// Wraps a protocol instance with its own seeded RNG stream.
+    pub fn new(proc: Box<dyn AnonProcess + Send>, rng: SplitMix64) -> Self {
+        NodeEngine {
+            proc,
+            rng,
+            counters: EngineCounters::default(),
+            batch_scratch: StepBuffers::new(),
+        }
+    }
+
+    /// Runs one step (see [`drive_step`]) and updates the counters.
+    pub fn step(
+        &mut self,
+        input: StepInput,
+        fd: &FdSnapshot,
+        buf: &mut StepBuffers,
+    ) -> Option<Tag> {
+        self.counters.steps += 1;
+        match &input {
+            StepInput::Tick => self.counters.ticks += 1,
+            StepInput::Receive(_) => self.counters.receives += 1,
+            StepInput::Broadcast(_) => self.counters.broadcasts += 1,
+        }
+        let tag = drive_step(self.proc.as_mut(), input, fd, &mut self.rng, buf);
+        self.counters.messages_out += buf.outbox.len() as u64;
+        self.counters.deliveries += buf.deliveries.len() as u64;
+        tag
+    }
+
+    /// Feeds every message of a received batch through the engine,
+    /// accumulating all emissions into `buf` (which is cleared once, up
+    /// front). `before_each` runs before each message's step — backends
+    /// use it to update their failure-detector service and return the
+    /// fresh snapshot the step must observe.
+    pub fn receive_batch(
+        &mut self,
+        batch: Batch,
+        buf: &mut StepBuffers,
+        mut before_each: impl FnMut(&WireMessage) -> FdSnapshot,
+    ) {
+        buf.outbox.clear();
+        buf.deliveries.clear();
+        // Reuse the engine-owned scratch (moved out for the loop so `step`
+        // can borrow `self` mutably, moved back after — capacity is kept).
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        for msg in batch {
+            let fd = before_each(&msg);
+            self.step(StepInput::Receive(msg), &fd, &mut scratch);
+            buf.outbox.append(&mut scratch.outbox);
+            buf.deliveries.append(&mut scratch.deliveries);
+        }
+        self.batch_scratch = scratch;
+    }
+
+    /// The wrapped protocol's quiescence predicate.
+    pub fn is_quiescent(&self) -> bool {
+        self.proc.is_quiescent()
+    }
+
+    /// The wrapped protocol's state-size snapshot (experiment E9).
+    pub fn stats(&self) -> ProcessStats {
+        self.proc.stats()
+    }
+
+    /// The wrapped protocol's short name.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.proc.algorithm_name()
+    }
+
+    /// Cumulative activity counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Direct access to the protocol instance (diagnostics only; stepping
+    /// must go through [`NodeEngine::step`]).
+    pub fn protocol(&self) -> &dyn AnonProcess {
+        self.proc.as_ref()
+    }
+}
+
+impl std::fmt::Debug for NodeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeEngine")
+            .field("algorithm", &self.proc.algorithm_name())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_types::{Label, LabelSet, TagAck, WireKind};
+
+    /// A scripted protocol: acks every MSG, re-broadcasts on tick.
+    struct Scripted {
+        pending: Vec<WireMessage>,
+    }
+
+    impl AnonProcess for Scripted {
+        fn urb_broadcast(&mut self, payload: Payload, ctx: &mut Context<'_>) -> Tag {
+            let tag = Tag::random(ctx.rng);
+            let msg = WireMessage::Msg { tag, payload };
+            self.pending.push(msg.clone());
+            ctx.broadcast(msg);
+            tag
+        }
+
+        fn on_receive(&mut self, msg: WireMessage, ctx: &mut Context<'_>) {
+            if let WireMessage::Msg { tag, payload } = msg {
+                let tag_ack = TagAck::random(ctx.rng);
+                ctx.broadcast(WireMessage::Ack {
+                    tag,
+                    tag_ack,
+                    payload: payload.clone(),
+                    labels: Some(LabelSet::from_iter([Label(1)])),
+                });
+                ctx.deliver(tag, payload, false);
+            }
+        }
+
+        fn on_tick(&mut self, ctx: &mut Context<'_>) {
+            for m in &self.pending {
+                ctx.broadcast(m.clone());
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            self.pending.is_empty()
+        }
+
+        fn stats(&self) -> ProcessStats {
+            ProcessStats {
+                msg_set: self.pending.len(),
+                ..ProcessStats::default()
+            }
+        }
+
+        fn algorithm_name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    fn engine() -> NodeEngine {
+        NodeEngine::new(
+            Box::new(Scripted {
+                pending: Vec::new(),
+            }),
+            SplitMix64::new(7),
+        )
+    }
+
+    #[test]
+    fn drive_step_clears_buffers_between_steps() {
+        let mut e = engine();
+        let fd = FdSnapshot::none();
+        let mut buf = StepBuffers::new();
+        let tag = e.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut buf);
+        assert!(tag.is_some());
+        assert_eq!(buf.outbox.len(), 1);
+        // A silent step leaves empty buffers, not the previous contents.
+        let mut silent = NodeEngine::new(
+            Box::new(Scripted {
+                pending: Vec::new(),
+            }),
+            SplitMix64::new(8),
+        );
+        silent.step(StepInput::Tick, &fd, &mut buf);
+        assert!(buf.is_silent());
+    }
+
+    #[test]
+    fn identical_input_sequences_produce_identical_output() {
+        // The cross-backend guarantee in miniature: same seed, same inputs
+        // => byte-identical emissions, whichever driver calls drive_step.
+        let fd = FdSnapshot::none();
+        let run = || {
+            let mut e = engine();
+            let mut buf = StepBuffers::new();
+            let mut log: Vec<WireMessage> = Vec::new();
+            e.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut buf);
+            log.extend(buf.outbox.iter().cloned());
+            e.step(
+                StepInput::Receive(WireMessage::Msg {
+                    tag: Tag(9),
+                    payload: Payload::from("x"),
+                }),
+                &fd,
+                &mut buf,
+            );
+            log.extend(buf.outbox.iter().cloned());
+            e.step(StepInput::Tick, &fd, &mut buf);
+            log.extend(buf.outbox.iter().cloned());
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn take_batch_moves_the_whole_outbox() {
+        let mut e = engine();
+        let fd = FdSnapshot::none();
+        let mut buf = StepBuffers::new();
+        e.step(StepInput::Broadcast(Payload::from("a")), &fd, &mut buf);
+        e.step(StepInput::Tick, &fd, &mut buf);
+        let batch = buf.take_batch().expect("tick re-broadcasts");
+        assert_eq!(batch.len(), 1);
+        assert!(buf.take_batch().is_none(), "outbox drained");
+    }
+
+    #[test]
+    fn receive_batch_accumulates_across_members() {
+        let mut e = engine();
+        let mut buf = StepBuffers::new();
+        let batch: Batch = (0..3u128)
+            .map(|i| WireMessage::Msg {
+                tag: Tag(i),
+                payload: Payload::from("p"),
+            })
+            .collect();
+        let mut snapshots = 0;
+        e.receive_batch(batch, &mut buf, |_| {
+            snapshots += 1;
+            FdSnapshot::none()
+        });
+        assert_eq!(snapshots, 3, "one snapshot per member, as unbatched");
+        assert_eq!(buf.deliveries.len(), 3);
+        assert_eq!(buf.outbox.len(), 3);
+        assert!(buf.outbox.iter().all(|m| m.kind() == WireKind::Ack));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut e = engine();
+        let fd = FdSnapshot::none();
+        let mut buf = StepBuffers::new();
+        e.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut buf);
+        e.step(StepInput::Tick, &fd, &mut buf);
+        e.step(
+            StepInput::Receive(WireMessage::Msg {
+                tag: Tag(1),
+                payload: Payload::from("z"),
+            }),
+            &fd,
+            &mut buf,
+        );
+        let c = e.counters();
+        assert_eq!(c.steps, 3);
+        assert_eq!(c.ticks, 1);
+        assert_eq!(c.broadcasts, 1);
+        assert_eq!(c.receives, 1);
+        assert_eq!(c.deliveries, 1);
+        assert_eq!(c.messages_out, 3, "MSG + tick re-send + ACK");
+        assert!(!e.is_quiescent());
+        assert_eq!(e.stats().msg_set, 1);
+        assert_eq!(e.algorithm_name(), "scripted");
+    }
+}

@@ -159,8 +159,8 @@ impl OracleFd {
             if crash_time[i].is_some() {
                 continue;
             }
-            for j in 0..n {
-                appear[i][j] = if config.appearance_spread == 0 {
+            for slot in appear[i].iter_mut() {
+                *slot = if config.appearance_spread == 0 {
                     0
                 } else {
                     rng.gen_range(config.appearance_spread + 1)
@@ -208,9 +208,9 @@ impl OracleFd {
                     break;
                 }
                 eligible += 1;
-                for j in 0..n {
+                for (j, know) in faulty_know[q].iter_mut().enumerate() {
                     if j != first_correct {
-                        faulty_know[q][j] = true;
+                        *know = true;
                     }
                 }
             }
@@ -371,9 +371,7 @@ impl OracleFd {
                             .position(|&l| l == pair.label)
                             .expect("output label must belong to a process");
                         if pair.number == 0 {
-                            return Err(format!(
-                                "accuracy: zero number for label of {j} at t={t}"
-                            ));
+                            return Err(format!("accuracy: zero number for label of {j} at t={t}"));
                         }
                         if faulty_in_s(j) >= pair.number {
                             return Err(format!(

@@ -2,10 +2,11 @@
 //!
 //! A real concurrent deployment of the paper's protocols: one OS thread per
 //! anonymous process, an in-process router that implements the lossy
-//! broadcast medium, explicit crash injection, and a registry-backed
-//! failure detector. The protocol code is byte-for-byte the same
-//! [`urb_core`] state machines the simulator drives — the sans-io split is
-//! what makes that possible.
+//! broadcast medium over the batched message plane, explicit crash
+//! injection, and a registry-backed failure detector. Every protocol step
+//! runs through the shared `urb-engine` layer — the *same* code path the
+//! discrete-event simulator executes — so the runtime deploys byte-for-byte
+//! the state machines the simulator proves things about.
 //!
 //! Where the simulator provides *provable* runs (deterministic, checked),
 //! the runtime provides *believable* ones: actual threads racing through
@@ -97,10 +98,26 @@ pub(crate) enum Command {
     Shutdown,
 }
 
+/// Everything a node thread consumes, funnelled through one FIFO so the
+/// node loop blocks on a single receive with a tick deadline (network
+/// batches from the router, commands from the cluster handle).
+pub(crate) enum NodeInput {
+    /// A surviving sub-batch of wire messages from the router.
+    Net(urb_types::Batch),
+    /// A control command from the cluster handle.
+    Cmd(Command),
+}
+
 /// A running cluster of anonymous processes.
 pub struct UrbCluster {
     config: ClusterConfig,
-    cmd_txs: Vec<Sender<Command>>,
+    input_txs: Vec<Sender<NodeInput>>,
+    /// Per-node crash-stop flags. Set *before* the wake-up command is
+    /// enqueued and checked by the node on every loop iteration, so a
+    /// crash takes effect within one protocol step even when the node's
+    /// input FIFO holds a deep network backlog (a queued `Cmd` alone
+    /// would only fire after the backlog drained).
+    stop_flags: Vec<Arc<std::sync::atomic::AtomicBool>>,
     delivery_rxs: Vec<Receiver<Delivery>>,
     /// Per-process delivery log: every delivery ever drained from a node's
     /// stream lands here, so waiting for one tag never loses another.
@@ -115,43 +132,49 @@ impl UrbCluster {
     pub fn spawn(config: ClusterConfig) -> Self {
         let n = config.n;
         assert!(n >= 1);
-        let registry = Arc::new(MembershipRegistry::new(n, config.seed, config.detection_delay));
+        let registry = Arc::new(MembershipRegistry::new(
+            n,
+            config.seed,
+            config.detection_delay,
+        ));
         let traffic = Arc::new(router::TrafficCounters::default());
 
-        // Router wiring: nodes → router (ingress), router → nodes (inboxes).
-        let (ingress_tx, ingress_rx) = unbounded::<(usize, urb_types::WireMessage)>();
-        let mut inbox_txs = Vec::with_capacity(n);
-        let mut inbox_rxs = Vec::with_capacity(n);
+        // Wiring: nodes → router (ingress, batch frames), router → nodes
+        // (the same funnelled input channel the cluster handle commands
+        // through).
+        let (ingress_tx, ingress_rx) = unbounded::<(usize, urb_types::Batch)>();
+        let mut input_txs = Vec::with_capacity(n);
+        let mut input_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
-            inbox_txs.push(tx);
-            inbox_rxs.push(rx);
+            let (tx, rx) = unbounded::<NodeInput>();
+            input_txs.push(tx);
+            input_rxs.push(rx);
         }
 
         let mut threads = Vec::with_capacity(n + 1);
         threads.push(router::spawn_router(
             ingress_rx,
-            inbox_txs,
+            input_txs.clone(),
             config.loss,
             config.seed,
             Arc::clone(&traffic),
         ));
 
-        let mut cmd_txs = Vec::with_capacity(n);
         let mut delivery_rxs = Vec::with_capacity(n);
-        for pid in 0..n {
-            let (cmd_tx, cmd_rx) = unbounded();
+        let mut stop_flags = Vec::with_capacity(n);
+        for (pid, inputs) in input_rxs.into_iter().enumerate() {
             let (del_tx, del_rx) = unbounded();
-            cmd_txs.push(cmd_tx);
             delivery_rxs.push(del_rx);
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            stop_flags.push(Arc::clone(&stop));
             threads.push(node::spawn_node(node::NodeSetup {
                 pid,
                 algorithm: config.algorithm,
                 n,
                 seed: config.seed,
                 tick_interval: config.tick_interval,
-                inbox: inbox_rxs[pid].clone(),
-                commands: cmd_rx,
+                inputs,
+                stop,
                 egress: ingress_tx.clone(),
                 deliveries: del_tx,
                 registry: Arc::clone(&registry),
@@ -162,7 +185,8 @@ impl UrbCluster {
         UrbCluster {
             delivery_log: Mutex::new(vec![Vec::new(); n]),
             config,
-            cmd_txs,
+            input_txs,
+            stop_flags,
             delivery_rxs,
             registry,
             traffic,
@@ -188,8 +212,16 @@ impl UrbCluster {
     /// Invokes `URB_broadcast(payload)` at process `pid`. Returns the tag,
     /// or `None` if the process is crashed/shut down.
     pub fn broadcast(&self, pid: usize, payload: Payload) -> Option<Tag> {
+        // A crashed/stopped process refuses immediately. Without this check
+        // a broadcast racing the node's exit would sit in the dead input
+        // queue and only fail via the reply timeout below.
+        if self.stop_flags[pid].load(std::sync::atomic::Ordering::Acquire) {
+            return None;
+        }
         let (tx, rx) = bounded(1);
-        self.cmd_txs[pid].send(Command::Broadcast(payload, tx)).ok()?;
+        self.input_txs[pid]
+            .send(NodeInput::Cmd(Command::Broadcast(payload, tx)))
+            .ok()?;
         rx.recv_timeout(Duration::from_secs(10)).ok()
     }
 
@@ -200,9 +232,12 @@ impl UrbCluster {
     }
 
     /// Crash-stops process `pid` (idempotent) and informs the membership
-    /// registry, which starts the detection-delay clock.
+    /// registry, which starts the detection-delay clock. The stop flag is
+    /// raised first so the victim halts within one step even with a deep
+    /// input backlog; the command only wakes it if it was idle.
     pub fn crash(&self, pid: usize) {
-        let _ = self.cmd_txs[pid].send(Command::Crash);
+        self.stop_flags[pid].store(true, std::sync::atomic::Ordering::Release);
+        let _ = self.input_txs[pid].send(NodeInput::Cmd(Command::Crash));
         self.registry.mark_crashed(pid, Instant::now());
     }
 
@@ -223,8 +258,7 @@ impl UrbCluster {
             let mut out: Vec<usize> = (0..self.config.n)
                 .filter(|&pid| log[pid].iter().any(|d| d.tag == tag))
                 .collect();
-            let done = (0..self.config.n)
-                .all(|p| out.contains(&p) || self.registry.is_crashed(p));
+            let done = (0..self.config.n).all(|p| out.contains(&p) || self.registry.is_crashed(p));
             drop(log);
             if done || Instant::now() >= deadline {
                 out.sort_unstable();
@@ -257,8 +291,9 @@ impl UrbCluster {
 
     /// Gracefully stops every thread. Call at the end of a test/example.
     pub fn shutdown(&self) {
-        for tx in &self.cmd_txs {
-            let _ = tx.send(Command::Shutdown);
+        for (flag, tx) in self.stop_flags.iter().zip(&self.input_txs) {
+            flag.store(true, std::sync::atomic::Ordering::Release);
+            let _ = tx.send(NodeInput::Cmd(Command::Shutdown));
         }
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
@@ -289,7 +324,9 @@ mod tests {
     #[test]
     fn quiescent_algorithm_goes_silent() {
         let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Quiescent));
-        let tag = cluster.broadcast(1, Payload::from("silence after this")).unwrap();
+        let tag = cluster
+            .broadcast(1, Payload::from("silence after this"))
+            .unwrap();
         let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(10));
         assert_eq!(who.len(), 3);
         assert!(
@@ -303,7 +340,9 @@ mod tests {
     fn lossy_cluster_still_delivers() {
         let cluster =
             UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Majority).loss(0.3).seed(9));
-        let tag = cluster.broadcast(2, Payload::from("through the noise")).unwrap();
+        let tag = cluster
+            .broadcast(2, Payload::from("through the noise"))
+            .unwrap();
         let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(20));
         assert_eq!(who.len(), 4, "fairness beats 30% loss");
         cluster.shutdown();

@@ -1,19 +1,27 @@
-//! The per-process node thread.
+//! The per-process node thread — a thin adapter over [`urb_engine`].
 //!
-//! Each node owns one protocol state machine and loops over three event
-//! sources: its network inbox, its command channel (broadcast / crash /
-//! shutdown), and a wall-clock tick deadline for Task-1 sweeps. The
-//! failure-detector snapshot is read from the shared
-//! [`MembershipRegistry`](crate::MembershipRegistry) immediately before
-//! every protocol step, matching the paper's read-only-variable semantics.
+//! Each node owns one [`NodeEngine`] (protocol state machine + RNG +
+//! counters) and loops over a single funnelled input channel carrying both
+//! network batches and control commands, plus a wall-clock tick deadline
+//! for Task-1 sweeps. The failure-detector snapshot is read from the
+//! shared [`MembershipRegistry`](crate::MembershipRegistry) immediately
+//! before every protocol step, matching the paper's read-only-variable
+//! semantics; the step itself is `urb_engine::drive_step` — the same code
+//! path the simulator and the test harness execute.
+//!
+//! Outbound traffic uses the batched message plane: everything one step
+//! emitted leaves as a single [`Batch`] frame, so router and channel costs
+//! scale with protocol steps rather than messages.
 
 use crate::registry::MembershipRegistry;
-use crate::Command;
-use crossbeam_channel::{Receiver, Sender};
+use crate::{Command, NodeInput};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
-use urb_types::{Context, Delivery, SplitMix64, WireMessage};
+use urb_engine::{NodeEngine, StepBuffers, StepInput};
+use urb_types::{Batch, Delivery, SplitMix64};
 
 /// Everything a node thread needs at spawn time.
 pub(crate) struct NodeSetup {
@@ -22,9 +30,16 @@ pub(crate) struct NodeSetup {
     pub n: usize,
     pub seed: u64,
     pub tick_interval: Duration,
-    pub inbox: Receiver<WireMessage>,
-    pub commands: Receiver<Command>,
-    pub egress: Sender<(usize, WireMessage)>,
+    /// Funnelled inputs: network batches from the router and commands from
+    /// the cluster handle share one FIFO (this is also what lets the node
+    /// block on a single receive with a tick deadline).
+    pub inputs: Receiver<NodeInput>,
+    /// Crash-stop flag, raised by the cluster handle *before* it enqueues
+    /// the wake-up command. Checked on every loop iteration so a crash
+    /// halts the node within one step even when `inputs` holds a deep
+    /// network backlog.
+    pub stop: Arc<AtomicBool>,
+    pub egress: Sender<(usize, Batch)>,
     pub deliveries: Sender<Delivery>,
     pub registry: Arc<MembershipRegistry>,
 }
@@ -44,61 +59,58 @@ fn node_main(setup: NodeSetup) {
         n,
         seed,
         tick_interval,
-        inbox,
-        commands,
+        inputs,
+        stop,
         egress,
         deliveries,
         registry,
     } = setup;
-    let mut proc = algorithm.instantiate(n);
-    let mut rng = SplitMix64::new(seed ^ 0xB07B_0B00 ^ (pid as u64) << 32);
+    let mut engine = NodeEngine::new(
+        algorithm.instantiate(n),
+        SplitMix64::new(seed ^ 0xB07B_0B00 ^ (pid as u64) << 32),
+    );
+    let mut buf = StepBuffers::new();
     let mut next_tick = Instant::now() + tick_interval;
 
-    let mut outbox: Vec<WireMessage> = Vec::new();
-    let mut delivered: Vec<Delivery> = Vec::new();
-
     loop {
-        // Flush whatever the last step produced.
-        for msg in outbox.drain(..) {
-            if egress.send((pid, msg)).is_err() {
+        // Crash-stop beats anything still queued: a crashed process
+        // executes nothing further, regardless of input backlog.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        match inputs.recv_timeout(timeout) {
+            Ok(NodeInput::Cmd(Command::Broadcast(payload, reply))) => {
+                let snapshot = registry.snapshot(pid, Instant::now());
+                let tag = engine.step(StepInput::Broadcast(payload), &snapshot, &mut buf);
+                let _ = reply.send(tag.expect("urb_broadcast assigns a tag"));
+            }
+            Ok(NodeInput::Cmd(Command::Crash | Command::Shutdown)) => {
+                // Crash-stop: drop everything on the floor and exit. (The
+                // input sender side survives in the router/cluster, which
+                // treat the closed channel as a dead destination.)
+                return;
+            }
+            Ok(NodeInput::Net(batch)) => {
+                let registry = &registry;
+                engine.receive_batch(batch, &mut buf, |_| registry.snapshot(pid, Instant::now()));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let snapshot = registry.snapshot(pid, Instant::now());
+                engine.step(StepInput::Tick, &snapshot, &mut buf);
+                next_tick = Instant::now() + tick_interval;
+            }
+            Err(RecvTimeoutError::Disconnected) => return, // cluster gone
+        }
+
+        // Flush what the step produced: one batch frame out, deliveries up.
+        if let Some(batch) = buf.take_batch() {
+            if egress.send((pid, batch)).is_err() {
                 return; // router gone — cluster shutting down
             }
         }
-        for d in delivered.drain(..) {
+        for d in buf.deliveries.drain(..) {
             let _ = deliveries.send(d);
-        }
-
-        let now = Instant::now();
-        let timeout = next_tick.saturating_duration_since(now);
-
-        crossbeam_channel::select! {
-            recv(commands) -> cmd => match cmd {
-                Ok(Command::Broadcast(payload, reply)) => {
-                    let snapshot = registry.snapshot(pid, Instant::now());
-                    let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
-                    let tag = proc.urb_broadcast(payload, &mut ctx);
-                    let _ = reply.send(tag);
-                }
-                Ok(Command::Crash) | Ok(Command::Shutdown) | Err(_) => {
-                    // Crash-stop: drop everything on the floor and exit.
-                    // (The inbox sender side survives in the router, which
-                    // treats the closed channel as a dead destination.)
-                    return;
-                }
-            },
-            recv(inbox) -> msg => {
-                if let Ok(msg) = msg {
-                    let snapshot = registry.snapshot(pid, Instant::now());
-                    let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
-                    proc.on_receive(msg, &mut ctx);
-                }
-            },
-            default(timeout) => {
-                let snapshot = registry.snapshot(pid, Instant::now());
-                let mut ctx = Context::new(&mut rng, &snapshot, &mut outbox, &mut delivered);
-                proc.on_tick(&mut ctx);
-                next_tick = Instant::now() + tick_interval;
-            },
         }
     }
 }

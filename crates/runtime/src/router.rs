@@ -1,17 +1,23 @@
-//! The lossy broadcast medium of the threaded runtime.
+//! The lossy broadcast medium of the threaded runtime — batched plane.
 //!
-//! One router thread fans every node's outgoing message out to all `n`
-//! inboxes (sender included — the paper's `broadcast` primitive), dropping
-//! each *copy* independently with the configured probability. The
-//! sender-to-self copy is never dropped, mirroring the simulator's reliable
-//! self-channel. Traffic counters feed the cluster's quiescence observer.
+//! One router thread fans every node's outgoing [`Batch`] out to all `n`
+//! inboxes (sender included — the paper's `broadcast` primitive). Loss is
+//! applied **per message copy**, exactly as in the unbatched design: each
+//! message inside the batch is dropped independently with the configured
+//! probability for each destination, and the surviving subset travels on
+//! as one sub-batch (one channel send per destination per step, instead of
+//! one per message). The sender-to-self copy is never dropped, mirroring
+//! the simulator's reliable self-channel. Traffic counters count
+//! *messages*, not frames, so quiescence observation and statistics are
+//! unchanged by batching.
 
+use crate::NodeInput;
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use urb_types::{RandomSource, WireKind, WireMessage, Xoshiro256};
+use urb_types::{Batch, RandomSource, WireKind, Xoshiro256};
 
 /// Aggregate router statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,9 +26,11 @@ pub struct TrafficStats {
     pub protocol_messages: u64,
     /// Heartbeats routed.
     pub heartbeats: u64,
-    /// Copies dropped by loss injection.
+    /// Batch frames routed (one per producing protocol step).
+    pub batches: u64,
+    /// Message copies dropped by loss injection.
     pub dropped_copies: u64,
-    /// Copies delivered into inboxes.
+    /// Message copies delivered into inboxes.
     pub delivered_copies: u64,
 }
 
@@ -31,6 +39,7 @@ pub struct TrafficStats {
 pub struct TrafficCounters {
     protocol_messages: AtomicU64,
     heartbeats: AtomicU64,
+    batches: AtomicU64,
     dropped_copies: AtomicU64,
     delivered_copies: AtomicU64,
     /// Instant of the last MSG/ACK routed (quiescence detection).
@@ -43,6 +52,7 @@ impl TrafficCounters {
         TrafficStats {
             protocol_messages: self.protocol_messages.load(Ordering::Relaxed),
             heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
             dropped_copies: self.dropped_copies.load(Ordering::Relaxed),
             delivered_copies: self.delivered_copies.load(Ordering::Relaxed),
         }
@@ -56,8 +66,8 @@ impl TrafficCounters {
 
 /// Spawns the router thread. It exits when every node-side sender is gone.
 pub fn spawn_router(
-    ingress: Receiver<(usize, WireMessage)>,
-    inboxes: Vec<Sender<WireMessage>>,
+    ingress: Receiver<(usize, Batch)>,
+    inboxes: Vec<Sender<NodeInput>>,
     loss: f64,
     seed: u64,
     counters: Arc<TrafficCounters>,
@@ -66,25 +76,49 @@ pub fn spawn_router(
         .name("urb-router".into())
         .spawn(move || {
             let mut rng = Xoshiro256::new(seed ^ 0x4007_E4B0_5555_0001);
-            while let Ok((from, msg)) = ingress.recv() {
-                match msg.kind() {
-                    WireKind::Heartbeat => {
-                        counters.heartbeats.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        counters.protocol_messages.fetch_add(1, Ordering::Relaxed);
-                        *counters.last_protocol.lock() = Some(Instant::now());
+            while let Ok((from, batch)) = ingress.recv() {
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                let mut protocol = 0u64;
+                let mut heartbeats = 0u64;
+                for msg in batch.messages() {
+                    match msg.kind() {
+                        WireKind::Heartbeat => heartbeats += 1,
+                        _ => protocol += 1,
                     }
                 }
+                counters.heartbeats.fetch_add(heartbeats, Ordering::Relaxed);
+                if protocol > 0 {
+                    counters
+                        .protocol_messages
+                        .fetch_add(protocol, Ordering::Relaxed);
+                    *counters.last_protocol.lock() = Some(Instant::now());
+                }
                 for (to, inbox) in inboxes.iter().enumerate() {
-                    if to != from && loss > 0.0 && rng.gen_bool(loss) {
-                        counters.dropped_copies.fetch_add(1, Ordering::Relaxed);
+                    // Per-copy loss, per message inside the batch; the
+                    // sender-to-self sub-batch is never thinned.
+                    let survivors: Batch = if to == from || loss <= 0.0 {
+                        batch.clone()
+                    } else {
+                        batch
+                            .messages()
+                            .iter()
+                            .filter(|_| !rng.gen_bool(loss))
+                            .cloned()
+                            .collect()
+                    };
+                    counters
+                        .dropped_copies
+                        .fetch_add((batch.len() - survivors.len()) as u64, Ordering::Relaxed);
+                    if survivors.is_empty() {
                         continue;
                     }
+                    let count = survivors.len() as u64;
                     // A closed inbox = crashed/stopped node; copies to it
                     // simply vanish, like messages to a dead process.
-                    if inbox.send(msg.clone()).is_ok() {
-                        counters.delivered_copies.fetch_add(1, Ordering::Relaxed);
+                    if inbox.send(NodeInput::Net(survivors)).is_ok() {
+                        counters
+                            .delivered_copies
+                            .fetch_add(count, Ordering::Relaxed);
                     }
                 }
             }
@@ -96,12 +130,21 @@ pub fn spawn_router(
 mod tests {
     use super::*;
     use crossbeam_channel::unbounded;
-    use urb_types::{Payload, Tag};
+    use urb_types::{Payload, Tag, WireMessage};
 
-    fn msg(tag: u128) -> WireMessage {
-        WireMessage::Msg {
-            tag: Tag(tag),
-            payload: Payload::from("m"),
+    fn batch_of(tags: &[u128]) -> Batch {
+        tags.iter()
+            .map(|&t| WireMessage::Msg {
+                tag: Tag(t),
+                payload: Payload::from("m"),
+            })
+            .collect()
+    }
+
+    fn recv_batch(rx: &crossbeam_channel::Receiver<NodeInput>) -> Batch {
+        match rx.try_recv().expect("an input") {
+            NodeInput::Net(b) => b,
+            NodeInput::Cmd(_) => panic!("router never sends commands"),
         }
     }
 
@@ -117,14 +160,15 @@ mod tests {
         }
         let counters = Arc::new(TrafficCounters::default());
         let h = spawn_router(rx, inbox_tx, 0.0, 1, Arc::clone(&counters));
-        tx.send((1, msg(7))).unwrap();
+        tx.send((1, batch_of(&[7]))).unwrap();
         drop(tx);
         h.join().unwrap();
         for r in &inbox_rx {
-            assert_eq!(r.try_recv().unwrap().tag(), Some(Tag(7)));
+            assert_eq!(recv_batch(r).messages()[0].tag(), Some(Tag(7)));
         }
         let s = counters.snapshot();
         assert_eq!(s.protocol_messages, 1);
+        assert_eq!(s.batches, 1);
         assert_eq!(s.delivered_copies, 3);
         assert!(counters.last_protocol_activity().is_some());
     }
@@ -141,12 +185,34 @@ mod tests {
         }
         let counters = Arc::new(TrafficCounters::default());
         let h = spawn_router(rx, inbox_tx, 1.0, 2, Arc::clone(&counters));
-        tx.send((0, msg(9))).unwrap();
+        tx.send((0, batch_of(&[9]))).unwrap();
         drop(tx);
         h.join().unwrap();
-        assert!(inbox_rx[0].try_recv().is_ok(), "self copy delivered");
+        assert_eq!(recv_batch(&inbox_rx[0]).len(), 1, "self copy delivered");
         assert!(inbox_rx[1].try_recv().is_err(), "peer copy lost");
         assert_eq!(counters.snapshot().dropped_copies, 1);
+    }
+
+    #[test]
+    fn batch_members_are_dropped_independently() {
+        // With 50% loss over a 64-message batch, the surviving sub-batch is
+        // (with overwhelming probability) neither empty nor complete —
+        // i.e. loss applies per message, not per frame.
+        let (tx, rx) = unbounded();
+        let (peer_tx, peer_rx) = unbounded();
+        let (self_tx, self_rx) = unbounded();
+        let counters = Arc::new(TrafficCounters::default());
+        let h = spawn_router(rx, vec![self_tx, peer_tx], 0.5, 3, Arc::clone(&counters));
+        let tags: Vec<u128> = (0..64).collect();
+        tx.send((0, batch_of(&tags))).unwrap();
+        drop(tx);
+        h.join().unwrap();
+        assert_eq!(recv_batch(&self_rx).len(), 64, "self sub-batch intact");
+        let survived = recv_batch(&peer_rx).len();
+        assert!(survived > 0 && survived < 64, "got {survived}/64");
+        let s = counters.snapshot();
+        assert_eq!(s.delivered_copies as usize, 64 + survived);
+        assert_eq!(s.dropped_copies as usize, 64 - survived);
     }
 
     #[test]
@@ -155,14 +221,12 @@ mod tests {
         let (t, _r) = unbounded();
         let counters = Arc::new(TrafficCounters::default());
         let h = spawn_router(rx, vec![t], 0.0, 3, Arc::clone(&counters));
-        tx.send((
-            0,
-            WireMessage::Heartbeat {
-                label: urb_types::Label(1),
-                seq: 0,
-            },
-        ))
-        .unwrap();
+        let hb: Batch = std::iter::once(WireMessage::Heartbeat {
+            label: urb_types::Label(1),
+            seq: 0,
+        })
+        .collect();
+        tx.send((0, hb)).unwrap();
         drop(tx);
         h.join().unwrap();
         let s = counters.snapshot();

@@ -156,7 +156,49 @@ impl Channel {
     /// Decides the fate of one transmission of `msg`.
     pub fn transmit(&mut self, msg: &WireMessage) -> Verdict {
         self.sent += 1;
-        let lost = match self.loss {
+        if self.decide_loss(msg) {
+            self.dropped += 1;
+            return Verdict::Drop;
+        }
+        Verdict::Deliver {
+            delay: self.draw_delay(),
+        }
+    }
+
+    /// Decides the fates of every message in one batch transmission:
+    /// `verdicts[i]` is `true` when `msgs[i]` survives this channel. Loss
+    /// is decided **per message** against each message's own
+    /// [`WireMessage::retransmit_key`], so the fairness bookkeeping (and
+    /// the `BoundedBernoulli` hard cap) are identical to sending the
+    /// messages one by one. Returns the single arrival delay shared by the
+    /// surviving sub-batch (`None` when nothing survived) — the batch
+    /// travels as one frame, so its members arrive together.
+    pub fn transmit_batch(
+        &mut self,
+        msgs: &[WireMessage],
+        verdicts: &mut Vec<bool>,
+    ) -> Option<u64> {
+        verdicts.clear();
+        let mut any = false;
+        for msg in msgs {
+            self.sent += 1;
+            let lost = self.decide_loss(msg);
+            if lost {
+                self.dropped += 1;
+            } else {
+                any = true;
+            }
+            verdicts.push(!lost);
+        }
+        if any {
+            Some(self.draw_delay())
+        } else {
+            None
+        }
+    }
+
+    fn decide_loss(&mut self, msg: &WireMessage) -> bool {
+        match self.loss {
             LossModel::None => false,
             LossModel::Bernoulli { p } => self.rng.gen_bool(p),
             LossModel::BoundedBernoulli { p, max_consecutive } => {
@@ -188,12 +230,11 @@ impl Channel {
                 self.in_burst && self.rng.gen_bool(p_loss)
             }
             LossModel::Always => true,
-        };
-        if lost {
-            self.dropped += 1;
-            return Verdict::Drop;
         }
-        let delay = match self.delay {
+    }
+
+    fn draw_delay(&mut self) -> u64 {
+        match self.delay {
             DelayModel::Constant(d) => d.max(1),
             DelayModel::Uniform { min, max } => {
                 let lo = min.max(1);
@@ -207,8 +248,7 @@ impl Channel {
                 }
                 d
             }
-        };
-        Verdict::Deliver { delay }
+        }
     }
 
     /// Transmissions attempted on this channel.
@@ -371,6 +411,59 @@ mod tests {
         }
         assert_eq!(delivered_a, 2, "every 3rd transmission forced through");
         assert_eq!(delivered_b, 2);
+    }
+
+    #[test]
+    fn transmit_batch_decides_per_message_and_shares_delay() {
+        let mut c = channel(LossModel::Bernoulli { p: 0.5 });
+        let msgs: Vec<WireMessage> = (0..64).map(msg).collect();
+        let mut verdicts = Vec::new();
+        let delay = c.transmit_batch(&msgs, &mut verdicts);
+        assert_eq!(verdicts.len(), 64);
+        let survived = verdicts.iter().filter(|&&v| v).count();
+        assert!(
+            survived > 0 && survived < 64,
+            "per-message loss: {survived}/64"
+        );
+        assert_eq!(delay, Some(3), "one shared delay for the sub-batch");
+        assert_eq!(c.sent(), 64);
+        assert_eq!(c.dropped(), 64 - survived as u64);
+    }
+
+    #[test]
+    fn transmit_batch_respects_bounded_fairness_per_message() {
+        // Under p=1.0 with cap 2, each message is forced through on its own
+        // 3rd transmission even when always sent inside batches.
+        let mut c = channel(LossModel::BoundedBernoulli {
+            p: 1.0,
+            max_consecutive: 2,
+        });
+        let msgs = vec![msg(1), msg(2)];
+        let mut verdicts = Vec::new();
+        let mut per_msg_deliveries = [0u32; 2];
+        for _ in 0..6 {
+            let delay = c.transmit_batch(&msgs, &mut verdicts);
+            for (i, &ok) in verdicts.iter().enumerate() {
+                if ok {
+                    per_msg_deliveries[i] += 1;
+                }
+            }
+            if verdicts.iter().any(|&v| v) {
+                assert!(delay.is_some());
+            } else {
+                assert_eq!(delay, None);
+            }
+        }
+        assert_eq!(per_msg_deliveries, [2, 2], "every 3rd transmission forced");
+    }
+
+    #[test]
+    fn transmit_batch_total_loss_returns_no_delay() {
+        let mut c = channel(LossModel::Always);
+        let mut verdicts = Vec::new();
+        assert_eq!(c.transmit_batch(&[msg(1), msg(2)], &mut verdicts), None);
+        assert_eq!(verdicts, vec![false, false]);
+        assert_eq!(c.dropped(), 2);
     }
 
     #[test]

@@ -172,10 +172,7 @@ mod tests {
     fn first_k_on_delivery_shape() {
         let p = CrashPlan::first_k_on_delivery(6, 3, 2);
         assert_eq!(p.faulty_count(), 3);
-        assert!(matches!(
-            p.rule(0),
-            CrashRule::OnFirstDelivery { delay: 2 }
-        ));
+        assert!(matches!(p.rule(0), CrashRule::OnFirstDelivery { delay: 2 }));
         assert!(matches!(p.rule(5), CrashRule::Never));
         assert_eq!(p.static_times()[0], Some(u64::MAX));
         assert_eq!(p.static_times()[5], None);

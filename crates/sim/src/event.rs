@@ -7,21 +7,24 @@
 //! broken by insertion sequence number, so two runs with the same seed
 //! produce byte-identical traces (verified by the determinism tests).
 
-use urb_types::{Payload, WireMessage};
+use urb_types::{Batch, Payload};
 
 /// What can happen in a simulated run.
 #[derive(Clone, Debug)]
 pub enum Event {
-    /// A wire message arrives at process `to`. `from` is simulator-side
-    /// provenance (metrics/fairness only — never exposed to protocol code).
+    /// A batch of wire messages arrives at process `to` (the batched
+    /// message plane: everything one step emitted toward this destination
+    /// that survived the channel, arriving together). `from` is
+    /// simulator-side provenance (metrics/fairness only — never exposed to
+    /// protocol code).
     Deliver {
         /// Destination process index.
         to: usize,
         /// Origin process index (bookkeeping only; anonymity is preserved
         /// because the protocol never sees this field).
         from: usize,
-        /// The message.
-        msg: WireMessage,
+        /// The surviving messages, in emission order.
+        batch: Batch,
     },
     /// Process `pid` runs one Task-1 sweep (and its failure detector ticks).
     Tick {

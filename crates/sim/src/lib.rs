@@ -19,7 +19,10 @@
 //! * [`checker`] — machine verdicts for the three URB properties on every
 //!   run;
 //! * [`scenario`] — pre-built configurations for each experiment, including
-//!   the executable reconstruction of the impossibility proof.
+//!   the executable reconstruction of the impossibility proof;
+//! * [`parallel`] — the multi-run executor: fan independent configurations
+//!   across all cores with results in input order (runs are pure functions
+//!   of their config, so parallel == serial, bit for bit).
 //!
 //! ## Example
 //!
@@ -41,6 +44,7 @@ pub mod checker;
 pub mod crash;
 pub mod event;
 pub mod metrics;
+pub mod parallel;
 pub mod scenario;
 pub mod sim;
 pub mod trace;
@@ -49,5 +53,6 @@ pub use channel::{DelayModel, LossModel};
 pub use checker::{check_urb, CheckReport, PropertyVerdict};
 pub use crash::{CrashPlan, CrashRule};
 pub use metrics::{BroadcastRecord, DeliveryRecord, Metrics};
+pub use parallel::{run_many, run_many_on};
 pub use sim::{run, Blackout, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceKind};

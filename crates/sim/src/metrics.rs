@@ -162,11 +162,7 @@ impl Metrics {
     /// E4/E7 to show Algorithm 1 keeps chattering while Algorithm 2 stops.
     pub fn sends_after(&self, time: u64) -> u64 {
         let first = (time / self.window) as usize;
-        self.sends_per_window
-            .iter()
-            .skip(first)
-            .copied()
-            .sum()
+        self.sends_per_window.iter().skip(first).copied().sum()
     }
 }
 

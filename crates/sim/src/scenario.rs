@@ -70,12 +70,9 @@ pub fn theorem2_partition(n: usize, seed: u64) -> SimConfig {
     assert!(n >= 2);
     let s1 = n.div_ceil(2);
     let threshold = s1 as u32;
-    let mut cfg = SimConfig::new(
-        n,
-        Algorithm::WeakenedMajority { threshold },
-    )
-    .seed(seed)
-    .max_time(60_000);
+    let mut cfg = SimConfig::new(n, Algorithm::WeakenedMajority { threshold })
+        .seed(seed)
+        .max_time(60_000);
     cfg.broadcasts = vec![PlannedBroadcast {
         time: 10,
         pid: 0,
@@ -216,7 +213,13 @@ pub fn stale_acker(algorithm: Algorithm, horizon: u64, seed: u64) -> SimConfig {
     });
     cfg.crashes = CrashPlan::from_rules(
         (0..n)
-            .map(|i| if i == n - 1 { CrashRule::At(200) } else { CrashRule::Never })
+            .map(|i| {
+                if i == n - 1 {
+                    CrashRule::At(200)
+                } else {
+                    CrashRule::Never
+                }
+            })
             .collect(),
     );
     cfg

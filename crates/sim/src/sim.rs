@@ -9,21 +9,30 @@
 //! only ever sees [`WireMessage`]s and [`urb_types::FdSnapshot`]s, never process
 //! indices or the global clock.
 //!
+//! Protocol stepping itself lives in `urb-engine` ([`NodeEngine`] /
+//! `drive_step`): the simulator is an *adapter* that owns scheduling, the
+//! channel mesh, crash injection and measurement, and funnels every step
+//! through the same engine code the threaded runtime and the unit-test
+//! harness execute. Outbound traffic moves on the batched message plane:
+//! everything one step emits travels as a single [`Batch`] per
+//! destination, with loss still decided per message (DESIGN.md D8).
+//!
 //! The outcome bundles the raw metrics, the URB property-checker report,
 //! the failure-detector audit (oracle runs) and quiescence information, so
 //! every experiment gets its full verdict from a single call to [`run`].
 
-use crate::channel::{ChannelMatrix, DelayModel, LossModel, Verdict};
+use crate::channel::{ChannelMatrix, DelayModel, LossModel};
 use crate::checker::{check_urb, CheckReport};
 use crate::crash::{CrashPlan, CrashRule};
 use crate::event::{Event, EventQueue};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics, StatsSample};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use urb_core::Algorithm;
+use urb_engine::{NodeEngine, StepBuffers, StepInput};
 use urb_fd::{FdService, HeartbeatConfig, HeartbeatService, NoFd, OracleConfig, OracleFd};
 use urb_types::{
-    AnonProcess, Context, Delivery, Payload, ProcessStats, RandomSource, SplitMix64, Tag,
-    WireKind, WireMessage, Xoshiro256,
+    Batch, Delivery, Payload, ProcessStats, RandomSource, SplitMix64, Tag, WireKind, WireMessage,
+    Xoshiro256,
 };
 
 /// Which failure-detector implementation a run uses.
@@ -83,8 +92,18 @@ impl Blackout {
         let mut v = Vec::with_capacity(a.len() * b.len() * 2);
         for &x in a {
             for &y in b {
-                v.push(Blackout { from: x, to: y, start, end });
-                v.push(Blackout { from: y, to: x, start, end });
+                v.push(Blackout {
+                    from: x,
+                    to: y,
+                    start,
+                    end,
+                });
+                v.push(Blackout {
+                    from: y,
+                    to: x,
+                    start,
+                    end,
+                });
             }
         }
         v
@@ -263,8 +282,14 @@ impl RunOutcome {
 
 struct Runner {
     config: SimConfig,
-    procs: Vec<Box<dyn AnonProcess + Send>>,
-    proc_rngs: Vec<SplitMix64>,
+    /// One engine per process: the shared per-node driving layer
+    /// (`urb-engine`) that the runtime and the harness also step through.
+    engines: Vec<NodeEngine>,
+    /// Reusable step buffers (cleared by every step; zero steady-state
+    /// allocation on the hot path).
+    scratch: StepBuffers,
+    /// Reusable per-link batch verdicts.
+    verdicts: Vec<bool>,
     tick_rng: SplitMix64,
     channels: ChannelMatrix,
     fd: Box<dyn FdService>,
@@ -296,10 +321,10 @@ pub fn run(config: SimConfig) -> RunOutcome {
         channels.override_links(&[(ov.from, ov.to)], ov.loss);
     }
 
-    let procs: Vec<Box<dyn AnonProcess + Send>> =
-        (0..n).map(|_| config.algorithm.instantiate(n)).collect();
     let seed_mix = SplitMix64::new(config.seed ^ 0x5EED_0F00_D000_0001);
-    let proc_rngs: Vec<SplitMix64> = (0..n).map(|i| seed_mix.split(i as u64)).collect();
+    let engines: Vec<NodeEngine> = (0..n)
+        .map(|i| NodeEngine::new(config.algorithm.instantiate(n), seed_mix.split(i as u64)))
+        .collect();
     let tick_rng = seed_mix.split(0xFFFF);
 
     let (fd, oracle_audit_handle): (Box<dyn FdService>, bool) = match config.fd {
@@ -319,8 +344,9 @@ pub fn run(config: SimConfig) -> RunOutcome {
     };
 
     let mut runner = Runner {
-        procs,
-        proc_rngs,
+        engines,
+        scratch: StepBuffers::new(),
+        verdicts: Vec::new(),
         tick_rng,
         channels,
         fd,
@@ -363,7 +389,8 @@ impl Runner {
             );
         }
         if self.config.stats_interval > 0 {
-            self.queue.push(self.config.stats_interval, Event::SampleStats);
+            self.queue
+                .push(self.config.stats_interval, Event::SampleStats);
         }
     }
 
@@ -375,7 +402,7 @@ impl Runner {
             self.now = t;
             match ev {
                 Event::Tick { pid } => self.on_tick(pid),
-                Event::Deliver { to, from, msg } => self.on_deliver(to, from, msg),
+                Event::Deliver { to, from, batch } => self.on_deliver(to, from, batch),
                 Event::Crash { pid } => self.on_crash(pid),
                 Event::ClientBroadcast { pid, payload } => self.on_client_broadcast(pid, payload),
                 Event::SampleStats => self.on_sample(),
@@ -402,10 +429,10 @@ impl Runner {
         self.pending_broadcasts == 0
             && self.inflight_protocol == 0
             && self
-                .procs
+                .engines
                 .iter()
                 .enumerate()
-                .all(|(i, p)| self.crashed[i] || p.is_quiescent())
+                .all(|(i, e)| self.crashed[i] || e.is_quiescent())
     }
 
     /// Full delivery: every plan-correct process has delivered one distinct
@@ -422,6 +449,18 @@ impl Runner {
         })
     }
 
+    /// Runs one engine step for `pid` (the shared `urb-engine` code path),
+    /// records its deliveries, and returns leaving the step's emissions in
+    /// `self.scratch.outbox` for the caller to transmit.
+    fn engine_step(&mut self, pid: usize, input: StepInput) -> Option<Tag> {
+        let snapshot = self.fd.snapshot(pid, self.now);
+        let tag = self.engines[pid].step(input, &snapshot, &mut self.scratch);
+        let deliveries = std::mem::take(&mut self.scratch.deliveries);
+        self.handle_deliveries(pid, &deliveries);
+        self.scratch.deliveries = deliveries;
+        tag
+    }
+
     fn on_tick(&mut self, pid: usize) {
         if self.crashed[pid] {
             return; // crash-stop: no further steps, no re-scheduling
@@ -429,21 +468,12 @@ impl Runner {
         self.metrics.hash_event(self.now, 1, pid as u64);
         let mut fd_out = Vec::new();
         self.fd.on_tick(pid, self.now, &mut fd_out);
-        let snapshot = self.fd.snapshot(pid, self.now);
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        {
-            let mut ctx = Context::new(
-                &mut self.proc_rngs[pid],
-                &snapshot,
-                &mut outbox,
-                &mut deliveries,
-            );
-            self.procs[pid].on_tick(&mut ctx);
-        }
-        self.handle_deliveries(pid, &deliveries);
-        for msg in fd_out.into_iter().chain(outbox) {
-            self.transmit(pid, msg);
+        self.engine_step(pid, StepInput::Tick);
+        // Batched plane: detector traffic and the sweep's outbox leave as
+        // one frame (fd messages first, preserving the unbatched order).
+        fd_out.append(&mut self.scratch.outbox);
+        if !fd_out.is_empty() {
+            self.transmit(pid, Batch::drain_from(&mut fd_out));
         }
         // Schedule the next sweep.
         let jitter = if self.config.tick_jitter == 0 {
@@ -455,32 +485,29 @@ impl Runner {
         self.queue.push(next, Event::Tick { pid });
     }
 
-    fn on_deliver(&mut self, to: usize, _from: usize, msg: WireMessage) {
-        if msg.kind() != WireKind::Heartbeat {
-            self.inflight_protocol -= 1;
-        }
+    fn on_deliver(&mut self, to: usize, _from: usize, batch: Batch) {
+        self.inflight_protocol -= batch
+            .messages()
+            .iter()
+            .filter(|m| m.kind() != WireKind::Heartbeat)
+            .count();
         if self.crashed[to] {
             return; // arrived at a dead process: silently gone
         }
-        self.metrics.hash_event(self.now, 2, msg.content_hash() ^ to as u64);
-        self.metrics.on_receive(msg.kind());
-        self.tracer.receive(self.now, to, msg.kind(), msg.tag());
-        self.fd.on_receive(to, self.now, &msg);
-        let snapshot = self.fd.snapshot(to, self.now);
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        {
-            let mut ctx = Context::new(
-                &mut self.proc_rngs[to],
-                &snapshot,
-                &mut outbox,
-                &mut deliveries,
-            );
-            self.procs[to].on_receive(msg, &mut ctx);
+        // Everything this batch's steps emit leaves as one frame again.
+        let mut emitted: Vec<WireMessage> = Vec::new();
+        for msg in batch {
+            self.metrics
+                .hash_event(self.now, 2, msg.content_hash() ^ to as u64);
+            self.metrics.on_receive(msg.kind());
+            self.tracer.receive(self.now, to, msg.kind(), msg.tag());
+            self.fd.on_receive(to, self.now, &msg);
+            // Snapshot taken per message, exactly as in unbatched delivery.
+            self.engine_step(to, StepInput::Receive(msg));
+            emitted.append(&mut self.scratch.outbox);
         }
-        self.handle_deliveries(to, &deliveries);
-        for m in outbox {
-            self.transmit(to, m);
+        if !emitted.is_empty() {
+            self.transmit(to, Batch::drain_from(&mut emitted));
         }
     }
 
@@ -501,18 +528,9 @@ impl Runner {
             return; // invoking a crashed process is a no-op
         }
         self.metrics.hash_event(self.now, 4, pid as u64);
-        let snapshot = self.fd.snapshot(pid, self.now);
-        let mut outbox = Vec::new();
-        let mut deliveries = Vec::new();
-        let tag = {
-            let mut ctx = Context::new(
-                &mut self.proc_rngs[pid],
-                &snapshot,
-                &mut outbox,
-                &mut deliveries,
-            );
-            self.procs[pid].urb_broadcast(payload.clone(), &mut ctx)
-        };
+        let tag = self
+            .engine_step(pid, StepInput::Broadcast(payload.clone()))
+            .expect("urb_broadcast assigns a tag");
         let rec = BroadcastRecord {
             pid,
             tag,
@@ -521,14 +539,14 @@ impl Runner {
         };
         self.tracer.urb_broadcast(&rec);
         self.metrics.broadcasts.push(rec);
-        self.handle_deliveries(pid, &deliveries);
-        for m in outbox {
-            self.transmit(pid, m);
+        let batch = self.scratch.take_batch();
+        if let Some(batch) = batch {
+            self.transmit(pid, batch);
         }
     }
 
     fn on_sample(&mut self) {
-        let per_process = self.procs.iter().map(|p| p.stats()).collect();
+        let per_process = self.engines.iter().map(|e| e.stats()).collect();
         self.metrics.stats_samples.push(StatsSample {
             time: self.now,
             per_process,
@@ -561,42 +579,66 @@ impl Runner {
         }
     }
 
-    /// The paper's `broadcast` primitive: one send per process, self
-    /// included, each through its own lossy channel.
-    fn transmit(&mut self, from: usize, msg: WireMessage) {
-        let kind = msg.kind();
-        self.tracer.send(self.now, from, kind, msg.tag());
+    /// The paper's `broadcast` primitive over the batched plane: one frame
+    /// per destination (self included), each member's fate decided by that
+    /// destination's own lossy channel, per message. One delivery event is
+    /// scheduled per destination instead of one per message, which is where
+    /// the routing overhead saving comes from; loss and metrics accounting
+    /// remain per message.
+    fn transmit(&mut self, from: usize, batch: Batch) {
+        for m in batch.messages() {
+            self.tracer.send(self.now, from, m.kind(), m.tag());
+        }
         for to in 0..self.config.n {
-            self.metrics.on_send(kind, self.now);
+            for m in batch.messages() {
+                self.metrics.on_send(m.kind(), self.now);
+            }
             if self
                 .config
                 .blackouts
                 .iter()
                 .any(|b| b.covers(from, to, self.now))
             {
-                self.metrics.on_drop(kind);
-                self.tracer.drop_copy(self.now, from, to, kind, msg.tag());
+                for m in batch.messages() {
+                    self.metrics.on_drop(m.kind());
+                    self.tracer.drop_copy(self.now, from, to, m.kind(), m.tag());
+                }
                 continue;
             }
-            match self.channels.link_mut(from, to).transmit(&msg) {
-                Verdict::Deliver { delay } => {
-                    if kind != WireKind::Heartbeat {
-                        self.inflight_protocol += 1;
-                    }
-                    self.queue.push(
-                        self.now + delay,
-                        Event::Deliver {
-                            to,
-                            from,
-                            msg: msg.clone(),
-                        },
-                    );
-                }
-                Verdict::Drop => {
-                    self.metrics.on_drop(kind);
-                    self.tracer.drop_copy(self.now, from, to, kind, msg.tag());
+            let mut verdicts = std::mem::take(&mut self.verdicts);
+            let delay = self
+                .channels
+                .link_mut(from, to)
+                .transmit_batch(batch.messages(), &mut verdicts);
+            for (m, ok) in batch.messages().iter().zip(&verdicts) {
+                if !ok {
+                    self.metrics.on_drop(m.kind());
+                    self.tracer.drop_copy(self.now, from, to, m.kind(), m.tag());
                 }
             }
+            if let Some(delay) = delay {
+                let survivors: Batch = batch
+                    .messages()
+                    .iter()
+                    .zip(&verdicts)
+                    .filter(|&(_, ok)| *ok)
+                    .map(|(m, _)| m.clone())
+                    .collect();
+                self.inflight_protocol += survivors
+                    .messages()
+                    .iter()
+                    .filter(|m| m.kind() != WireKind::Heartbeat)
+                    .count();
+                self.queue.push(
+                    self.now + delay,
+                    Event::Deliver {
+                        to,
+                        from,
+                        batch: survivors,
+                    },
+                );
+            }
+            self.verdicts = verdicts;
         }
     }
 
@@ -605,8 +647,13 @@ impl Runner {
         let correct: Vec<bool> = (0..n)
             .map(|i| matches!(self.config.crashes.rule(i), CrashRule::Never))
             .collect();
-        let report = check_urb(n, &correct, &self.metrics.broadcasts, &self.metrics.deliveries);
-        let final_stats = self.procs.iter().map(|p| p.stats()).collect();
+        let report = check_urb(
+            n,
+            &correct,
+            &self.metrics.broadcasts,
+            &self.metrics.deliveries,
+        );
+        let final_stats = self.engines.iter().map(|e| e.stats()).collect();
 
         // Oracle audit: reconstruct a reference oracle with the *actual*
         // crash times (dynamic triggers resolved during the run), then
@@ -617,10 +664,10 @@ impl Runner {
             FdKind::Oracle(cfg) if self.oracle_audit_handle => {
                 let mut actual = self.config.crashes.static_times();
                 let mut resolvable = true;
-                for i in 0..n {
-                    if actual[i] == Some(u64::MAX) {
-                        match self.crash_times[i] {
-                            Some(t) => actual[i] = Some(t),
+                for (slot, resolved) in actual.iter_mut().zip(&self.crash_times) {
+                    if *slot == Some(u64::MAX) {
+                        match resolved {
+                            Some(t) => *slot = Some(*t),
                             None => resolvable = false,
                         }
                     }
@@ -688,7 +735,9 @@ mod tests {
 
     #[test]
     fn clean_run_alg2_delivers_and_quiesces() {
-        let out = run(SimConfig::new(5, Algorithm::Quiescent).seed(8).max_time(500_000));
+        let out = run(SimConfig::new(5, Algorithm::Quiescent)
+            .seed(8)
+            .max_time(500_000));
         assert!(out.all_ok(), "{:?}", out.report.violations());
         for pid in 0..5 {
             assert_eq!(out.delivered_set(pid).len(), 1, "pid {pid}");
@@ -759,7 +808,9 @@ mod tests {
 
     #[test]
     fn stats_sampling_collects() {
-        let mut cfg = SimConfig::new(3, Algorithm::Majority).seed(13).max_time(5_000);
+        let mut cfg = SimConfig::new(3, Algorithm::Majority)
+            .seed(13)
+            .max_time(5_000);
         cfg.stats_interval = 500;
         cfg.stop_on_quiescence = false;
         let out = run(cfg);
@@ -769,7 +820,9 @@ mod tests {
 
     #[test]
     fn heartbeat_fd_runs_alg2() {
-        let mut cfg = SimConfig::new(4, Algorithm::Quiescent).seed(14).max_time(100_000);
+        let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+            .seed(14)
+            .max_time(100_000);
         cfg.fd = FdKind::Heartbeat(HeartbeatConfig::default());
         let out = run(cfg);
         // With no loss and no crashes the heartbeat estimator is exact
@@ -784,7 +837,9 @@ mod tests {
         // Processes {0,1} and {2,3} are fully cut from each other for the
         // first 2000 ticks — longer than any normal convergence. Fairness
         // resumes at the heal, so Algorithm 1 must still finish URB.
-        let mut cfg = SimConfig::new(4, Algorithm::Majority).seed(33).max_time(50_000);
+        let mut cfg = SimConfig::new(4, Algorithm::Majority)
+            .seed(33)
+            .max_time(50_000);
         cfg.blackouts = Blackout::partition(&[0, 1], &[2, 3], 0, 2_000);
         cfg.stop_on_full_delivery = true;
         let out = run(cfg);
@@ -795,13 +850,22 @@ mod tests {
         // No delivery can cross the cut before the heal: with {0,1} alone,
         // only 2 distinct ACKs exist < majority 3.
         for d in &out.metrics.deliveries {
-            assert!(d.time >= 2_000, "delivery at t={} predates the heal", d.time);
+            assert!(
+                d.time >= 2_000,
+                "delivery at t={} predates the heal",
+                d.time
+            );
         }
     }
 
     #[test]
     fn blackout_covers_window_edges() {
-        let b = Blackout { from: 0, to: 1, start: 10, end: 20 };
+        let b = Blackout {
+            from: 0,
+            to: 1,
+            start: 10,
+            end: 20,
+        };
         assert!(!b.covers(0, 1, 9));
         assert!(b.covers(0, 1, 10));
         assert!(b.covers(0, 1, 19));
@@ -823,7 +887,9 @@ mod tests {
         assert!(tl.iter().any(|e| e.kind == TraceKind::Send));
         assert!(tl.iter().any(|e| e.kind == TraceKind::Receive));
         assert_eq!(
-            tl.iter().filter(|e| e.kind == TraceKind::UrbDeliver).count(),
+            tl.iter()
+                .filter(|e| e.kind == TraceKind::UrbDeliver)
+                .count(),
             3,
             "every process delivers exactly once"
         );
@@ -844,7 +910,9 @@ mod tests {
     fn partition_override_blocks_links() {
         // Sever every link out of process 0; its broadcast reaches nobody,
         // Algorithm 1 cannot gather a quorum anywhere — nobody delivers.
-        let mut cfg = SimConfig::new(4, Algorithm::Majority).seed(15).max_time(20_000);
+        let mut cfg = SimConfig::new(4, Algorithm::Majority)
+            .seed(15)
+            .max_time(20_000);
         cfg.link_overrides = (1..4)
             .map(|to| LinkOverride {
                 from: 0,

@@ -134,8 +134,42 @@ impl Trace {
     }
 
     /// JSON export (pretty-printed).
+    ///
+    /// Hand-rolled emitter (the offline `serde` shim's derives generate
+    /// nothing — see `vendor/README.md`); the layout matches what
+    /// `serde_json::to_string_pretty` produces for these types, so external
+    /// tooling is unaffected by the shim.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization is infallible")
+        use std::fmt::Write as _;
+        fn opt_num(v: Option<impl std::fmt::Display>) -> String {
+            v.map_or("null".to_string(), |x| x.to_string())
+        }
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str("{\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\n      \"time\": {},\n      \"kind\": \"{:?}\",\n      \
+                 \"from\": {},\n      \"to\": {},\n      \"wire\": {},\n      \
+                 \"tag\": {}\n    }}",
+                e.time,
+                e.kind,
+                opt_num(e.from),
+                opt_num(e.to),
+                e.wire.map_or("null".to_string(), |w| format!("\"{w:?}\"")),
+                opt_num(e.tag.map(|t| t.0)),
+            );
+        }
+        if self.events.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n  ]");
+        }
+        let _ = write!(out, ",\n  \"truncated\": {}\n}}", self.truncated);
+        out
     }
 
     /// Human-oriented one-line-per-event rendering.
@@ -221,7 +255,14 @@ impl TraceRecorder {
     }
 
     /// Records a channel drop.
-    pub fn drop_copy(&mut self, time: u64, from: usize, to: usize, wire: WireKind, tag: Option<Tag>) {
+    pub fn drop_copy(
+        &mut self,
+        time: u64,
+        from: usize,
+        to: usize,
+        wire: WireKind,
+        tag: Option<Tag>,
+    ) {
         if self.config.record_wire {
             self.push(TraceEvent {
                 time,

@@ -26,18 +26,17 @@ fn arb_history(
             })
             .collect::<Vec<_>>()
     });
-    let deliveries =
-        proptest::collection::vec((0..n, 0u8..6, 0u64..200), 0..20).prop_map(|v| {
-            v.into_iter()
-                .map(|(pid, tag, time)| DeliveryRecord {
-                    pid,
-                    tag: Tag(tag as u128),
-                    time,
-                    fast: false,
-                    payload: body(),
-                })
-                .collect::<Vec<_>>()
-        });
+    let deliveries = proptest::collection::vec((0..n, 0u8..6, 0u64..200), 0..20).prop_map(|v| {
+        v.into_iter()
+            .map(|(pid, tag, time)| DeliveryRecord {
+                pid,
+                tag: Tag(tag as u128),
+                time,
+                fast: false,
+                payload: body(),
+            })
+            .collect::<Vec<_>>()
+    });
     (correct, broadcasts, deliveries)
 }
 

@@ -42,4 +42,4 @@ pub use ids::{Label, LabelSet, Tag, TagAck};
 pub use payload::Payload;
 pub use protocol::{AnonProcess, Context, Delivery, ProcessStats};
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
-pub use wire::{CodecError, WireKind, WireMessage};
+pub use wire::{Batch, CodecError, WireKind, WireMessage};

@@ -132,9 +132,7 @@ impl Xoshiro256 {
     /// Derives an independent child generator for component `index`.
     pub fn split(&self, index: u64) -> Xoshiro256 {
         Xoshiro256::new(
-            self.s[0]
-                ^ self.s[1].rotate_left(17)
-                ^ index.wrapping_mul(0xD605_BBB5_8C8A_BC2D),
+            self.s[0] ^ self.s[1].rotate_left(17) ^ index.wrapping_mul(0xD605_BBB5_8C8A_BC2D),
         )
     }
 }

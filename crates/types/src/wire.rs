@@ -12,6 +12,13 @@
 //!   realistic failure-detector implementation in `urb-fd`; the oracle
 //!   detectors send nothing.
 //!
+//! One protocol step often emits several messages at once (a MSG plus the
+//! ACKs a Task-1 sweep re-broadcasts); the batched message plane moves them
+//! as a single [`Batch`] frame — a length-prefixed sequence of messages
+//! that preserves every member's [`WireMessage::retransmit_key`] identity,
+//! so the channel layer's per-message fairness bookkeeping is unaffected by
+//! batching (DESIGN.md D8).
+//!
 //! The codec is a hand-rolled length-prefixed binary format (via `bytes`),
 //! because the simulator and runtime move millions of messages per run and
 //! the format doubles as the unit the channel-loss layer hashes for its
@@ -122,12 +129,7 @@ impl WireMessage {
             WireMessage::Ack {
                 payload, labels, ..
             } => {
-                1 + 16
-                    + 16
-                    + 4
-                    + payload.len()
-                    + 1
-                    + labels.as_ref().map_or(0, |l| 4 + 8 * l.len())
+                1 + 16 + 16 + 4 + payload.len() + 1 + labels.as_ref().map_or(0, |l| 4 + 8 * l.len())
             }
             WireMessage::Heartbeat { .. } => 1 + 8 + 8,
         }
@@ -356,6 +358,155 @@ impl fmt::Debug for WireMessage {
     }
 }
 
+/// A batch frame: several wire messages moved as one unit of routing.
+///
+/// The engine drains a step's whole outbox into one `Batch`, so the
+/// simulator schedules one delivery event (and the runtime performs one
+/// channel send) per *step* instead of per message. Loss stays
+/// per-message: the channel layer iterates [`Batch::messages`] and applies
+/// its verdicts against each member's own
+/// [`retransmit_key`](WireMessage::retransmit_key), which keeps the
+/// fair-lossy Fairness axiom's unit of account unchanged.
+///
+/// Frame layout: `0x03` (frame tag, disjoint from the message
+/// discriminants 0–2), a `u32` message count, then per message a `u32`
+/// byte length followed by the message's own encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    messages: Vec<WireMessage>,
+}
+
+impl Batch {
+    /// Frame-tag byte distinguishing a batch from a bare message frame.
+    pub const FRAME_TAG: u8 = 3;
+
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch {
+            messages: Vec::new(),
+        }
+    }
+
+    /// Builds a batch by draining `outbox` (leaves it empty, capacity
+    /// retained — the engine's hot path).
+    pub fn drain_from(outbox: &mut Vec<WireMessage>) -> Self {
+        Batch {
+            messages: std::mem::take(outbox),
+        }
+    }
+
+    /// Appends one message.
+    pub fn push(&mut self, msg: WireMessage) {
+        self.messages.push(msg);
+    }
+
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The batched messages, in emission order.
+    pub fn messages(&self) -> &[WireMessage] {
+        &self.messages
+    }
+
+    /// Consumes the batch, yielding its messages.
+    pub fn into_messages(self) -> Vec<WireMessage> {
+        self.messages
+    }
+
+    /// Per-message retransmission identities, in order — the fairness
+    /// bookkeeping unit is unchanged by batching.
+    pub fn retransmit_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.messages.iter().map(|m| m.retransmit_key())
+    }
+
+    /// Serialized size in bytes (what [`encode`](Self::encode) produces).
+    pub fn encoded_len(&self) -> usize {
+        1 + 4
+            + self
+                .messages
+                .iter()
+                .map(|m| 4 + m.encoded_len())
+                .sum::<usize>()
+    }
+
+    /// Encodes the frame into a freshly allocated buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(Self::FRAME_TAG);
+        buf.put_u32(self.messages.len() as u32);
+        for m in &self.messages {
+            buf.put_u32(m.encoded_len() as u32);
+            m.encode_into(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a complete batch frame.
+    pub fn decode(data: &[u8]) -> Result<Batch, CodecError> {
+        let mut buf = data;
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let tag = buf.get_u8();
+        if tag != Self::FRAME_TAG {
+            return Err(CodecError::BadDiscriminant(tag));
+        }
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let count = buf.get_u32() as usize;
+        let mut messages = Vec::new();
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            // Each member must occupy exactly its declared length;
+            // `WireMessage::decode` enforces the exactness.
+            messages.push(WireMessage::decode(&buf[..len])?);
+            buf.advance(len);
+        }
+        if !buf.is_empty() {
+            return Err(CodecError::TrailingBytes(buf.len()));
+        }
+        Ok(Batch { messages })
+    }
+}
+
+impl FromIterator<WireMessage> for Batch {
+    fn from_iter<I: IntoIterator<Item = WireMessage>>(iter: I) -> Self {
+        Batch {
+            messages: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = WireMessage;
+    type IntoIter = std::vec::IntoIter<WireMessage>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a WireMessage;
+    type IntoIter = std::slice::Iter<'a, WireMessage>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.iter()
+    }
+}
+
 /// Errors produced by [`WireMessage::decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodecError {
@@ -495,6 +646,80 @@ mod tests {
         );
         let c = ack(1, 3, "m", Some(&[1]));
         assert_ne!(a.retransmit_key(), c.retransmit_key());
+    }
+
+    #[test]
+    fn batch_roundtrip_empty_single_many() {
+        for msgs in [
+            vec![],
+            vec![msg(1, "solo")],
+            vec![
+                msg(1, "a"),
+                ack(1, 2, "a", None),
+                ack(1, 3, "a", Some(&[9, 7])),
+                WireMessage::Heartbeat {
+                    label: Label(4),
+                    seq: 5,
+                },
+                msg(2, ""),
+            ],
+        ] {
+            let batch: Batch = msgs.iter().cloned().collect();
+            let enc = batch.encode();
+            assert_eq!(enc.len(), batch.encoded_len());
+            let back = Batch::decode(&enc).unwrap();
+            assert_eq!(back, batch);
+            assert_eq!(back.messages(), &msgs[..]);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_per_message_retransmit_keys() {
+        let msgs = [msg(1, "a"), ack(1, 2, "a", Some(&[1])), msg(3, "b")];
+        let batch: Batch = msgs.iter().cloned().collect();
+        let keys: Vec<u64> = batch.retransmit_keys().collect();
+        let direct: Vec<u64> = msgs.iter().map(|m| m.retransmit_key()).collect();
+        assert_eq!(keys, direct, "batching must not launder message identity");
+    }
+
+    #[test]
+    fn batch_drain_from_empties_and_keeps_capacity() {
+        let mut outbox = Vec::with_capacity(16);
+        outbox.push(msg(1, "x"));
+        outbox.push(msg(2, "y"));
+        let batch = Batch::drain_from(&mut outbox);
+        assert_eq!(batch.len(), 2);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn batch_decode_rejects_malformed_frames() {
+        let batch: Batch = vec![msg(7, "hello")].into_iter().collect();
+        let enc = batch.encode();
+        // Every strict prefix is truncated.
+        for cut in 0..enc.len() {
+            assert!(
+                matches!(Batch::decode(&enc[..cut]), Err(CodecError::Truncated)),
+                "prefix {cut}"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert!(matches!(
+            Batch::decode(&long),
+            Err(CodecError::TrailingBytes(1))
+        ));
+        // A bare-message frame is not a batch.
+        assert!(matches!(
+            Batch::decode(&msg(1, "m").encode()),
+            Err(CodecError::BadDiscriminant(0))
+        ));
+        // A member whose length prefix over-claims is truncated, and one
+        // whose member bytes disagree with the length is rejected too.
+        let mut frame = vec![Batch::FRAME_TAG, 0, 0, 0, 1];
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(Batch::decode(&frame), Err(CodecError::Truncated)));
     }
 
     #[test]

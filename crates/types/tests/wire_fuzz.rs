@@ -5,7 +5,7 @@
 //! every valid message bit-exactly.
 
 use proptest::prelude::*;
-use urb_types::{CodecError, Label, LabelSet, Payload, Tag, TagAck, WireMessage};
+use urb_types::{Batch, CodecError, Label, LabelSet, Payload, Tag, TagAck, WireMessage};
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
     proptest::collection::vec(any::<u8>(), 0..512).prop_map(Payload::from)
@@ -24,14 +24,14 @@ fn arb_message() -> impl Strategy<Value = WireMessage> {
             tag: Tag(t),
             payload: p,
         }),
-        (any::<u128>(), any::<u128>(), arb_payload(), arb_labels()).prop_map(
-            |(t, ta, p, ls)| WireMessage::Ack {
+        (any::<u128>(), any::<u128>(), arb_payload(), arb_labels()).prop_map(|(t, ta, p, ls)| {
+            WireMessage::Ack {
                 tag: Tag(t),
                 tag_ack: TagAck(ta),
                 payload: p,
                 labels: ls,
             }
-        ),
+        }),
         (any::<u64>(), any::<u64>()).prop_map(|(l, s)| WireMessage::Heartbeat {
             label: Label(l),
             seq: s,
@@ -88,6 +88,47 @@ proptest! {
         if a != b {
             prop_assert_ne!(a.encode(), b.encode());
         }
+    }
+
+    /// Batch frames round-trip bit-exactly for any member set (including
+    /// empty), report their encoded length correctly, and preserve every
+    /// member's retransmission identity in order.
+    #[test]
+    fn batch_roundtrip_any_members(msgs in proptest::collection::vec(arb_message(), 0..24)) {
+        let batch: Batch = msgs.iter().cloned().collect();
+        let enc = batch.encode();
+        prop_assert_eq!(enc.len(), batch.encoded_len());
+        let back = Batch::decode(&enc).unwrap();
+        prop_assert_eq!(back.messages(), &msgs[..]);
+        let keys: Vec<u64> = back.retransmit_keys().collect();
+        let direct: Vec<u64> = msgs.iter().map(|m| m.retransmit_key()).collect();
+        prop_assert_eq!(keys, direct);
+    }
+
+    /// Decoding arbitrary bytes as a batch never panics.
+    #[test]
+    fn batch_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Batch::decode(&bytes); // must not panic
+    }
+
+    /// Every strict prefix of a valid batch frame is rejected (with
+    /// `Truncated`, or `BadDiscriminant` for the zero-length prefix path
+    /// that exposes a member's first byte — never accepted).
+    #[test]
+    fn batch_prefixes_are_rejected(msgs in proptest::collection::vec(arb_message(), 1..8), cut_frac in 0.0f64..1.0) {
+        let batch: Batch = msgs.into_iter().collect();
+        let enc = batch.encode();
+        let cut = ((enc.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(Batch::decode(&enc[..cut]).is_err());
+    }
+
+    /// A batch frame with trailing garbage is rejected.
+    #[test]
+    fn batch_trailing_garbage_rejected(msgs in proptest::collection::vec(arb_message(), 0..8), junk in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let batch: Batch = msgs.into_iter().collect();
+        let mut enc = batch.encode().to_vec();
+        enc.extend_from_slice(&junk);
+        prop_assert!(Batch::decode(&enc).is_err());
     }
 
     /// The retransmission key is stable across label-set evolution for

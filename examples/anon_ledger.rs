@@ -69,5 +69,8 @@ fn main() {
     println!("\nall surviving replicas converged ✓ — the ledger (canonical order):\n");
     print!("{}", out.replica(survivors[0]).state.render());
     assert!(out.run.all_ok());
-    println!("\nquiescent: {} — the network is silent now.", out.run.quiescent);
+    println!(
+        "\nquiescent: {} — the network is silent now.",
+        out.run.quiescent
+    );
 }

@@ -46,7 +46,14 @@ fn main() {
 
     print!("\nwaiting for quiescence (Algorithm 2 must stop retransmitting) … ");
     let quiet = cluster.await_quiescence(Duration::from_millis(500), Duration::from_secs(30));
-    println!("{}", if quiet { "quiescent ✓" } else { "still chatty ✗" });
+    println!(
+        "{}",
+        if quiet {
+            "quiescent ✓"
+        } else {
+            "still chatty ✗"
+        }
+    );
 
     let t = cluster.traffic();
     println!(

@@ -34,7 +34,9 @@ fn main() {
         .map(|pid| urb_sim::PlannedBroadcast {
             time: 10 + 40 * pid as u64,
             pid,
-            payload: Payload::from(format!("reading: sensor-slot={pid} value={}", 20 + pid).as_str()),
+            payload: Payload::from(
+                format!("reading: sensor-slot={pid} value={}", 20 + pid).as_str(),
+            ),
         })
         .collect();
     // Three sensors die mid-run (batteries, weather, bad luck).
@@ -54,7 +56,10 @@ fn main() {
     println!("surviving sensors: {correct:?}");
     for &pid in &correct {
         let got = out.delivered_set(pid).len();
-        println!("  sensor #{pid}: {got}/{} readings in its log", out.metrics.broadcasts.len());
+        println!(
+            "  sensor #{pid}: {got}/{} readings in its log",
+            out.metrics.broadcasts.len()
+        );
     }
     println!(
         "\nchecker: validity={} agreement={} integrity={}",

@@ -39,10 +39,8 @@ fn two_process_one_crash_contrast() {
     // Crash pid 1 before anything happens.
     let mk = |alg| {
         let mut cfg = SimConfig::new(2, alg).seed(9);
-        cfg.crashes = CrashPlan::from_rules(vec![
-            urb_sim::CrashRule::Never,
-            urb_sim::CrashRule::At(1),
-        ]);
+        cfg.crashes =
+            CrashPlan::from_rules(vec![urb_sim::CrashRule::Never, urb_sim::CrashRule::At(1)]);
         cfg.max_time = 30_000;
         urb_sim::run(cfg)
     };
@@ -81,7 +79,11 @@ fn payload_size_extremes() {
 /// An empty workload is trivially quiescent and clean.
 #[test]
 fn empty_workload() {
-    for alg in [Algorithm::Majority, Algorithm::Quiescent, Algorithm::EagerRb] {
+    for alg in [
+        Algorithm::Majority,
+        Algorithm::Quiescent,
+        Algorithm::EagerRb,
+    ] {
         let mut cfg = SimConfig::new(4, alg).seed(13);
         cfg.broadcasts.clear();
         let out = urb_sim::run(cfg);

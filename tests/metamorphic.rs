@@ -19,12 +19,25 @@ fn protocol_sends(alg: Algorithm, loss: f64, seed: u64) -> u64 {
 #[test]
 fn loss_monotonicity() {
     for seed in [3u64, 17] {
-        let lo = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.05, 0, 2, seed));
-        let hi = urb_sim::run(scenario::lossy_crashy(5, Algorithm::Majority, 0.45, 0, 2, seed));
+        let lo = urb_sim::run(scenario::lossy_crashy(
+            5,
+            Algorithm::Majority,
+            0.05,
+            0,
+            2,
+            seed,
+        ));
+        let hi = urb_sim::run(scenario::lossy_crashy(
+            5,
+            Algorithm::Majority,
+            0.45,
+            0,
+            2,
+            seed,
+        ));
         let drops = |o: &RunOutcome| o.metrics.dropped.iter().sum::<u64>();
-        let drop_rate = |o: &RunOutcome| {
-            drops(o) as f64 / o.metrics.sent.iter().sum::<u64>().max(1) as f64
-        };
+        let drop_rate =
+            |o: &RunOutcome| drops(o) as f64 / o.metrics.sent.iter().sum::<u64>().max(1) as f64;
         assert!(
             drop_rate(&hi) > drop_rate(&lo),
             "45% loss must drop a larger fraction than 5% ({} vs {})",
@@ -51,7 +64,14 @@ fn backoff_traffic_monotonicity() {
 /// stop transmitting), never break URB within the resilience bound.
 #[test]
 fn crash_traffic_monotonicity() {
-    let no_crash = urb_sim::run(scenario::quiescence_watch(6, Algorithm::Majority, 0.1, 2, 15_000, 9));
+    let no_crash = urb_sim::run(scenario::quiescence_watch(
+        6,
+        Algorithm::Majority,
+        0.1,
+        2,
+        15_000,
+        9,
+    ));
     let mut crashy_cfg = scenario::quiescence_watch(6, Algorithm::Majority, 0.1, 2, 15_000, 9);
     crashy_cfg.crashes = CrashPlan::from_rules(
         (0..6)

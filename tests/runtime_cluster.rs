@@ -18,7 +18,11 @@ fn cluster_delivers_everywhere_with_loss() {
 
 #[test]
 fn cluster_quiesces_with_algorithm2() {
-    let cluster = UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Quiescent).loss(0.1).seed(2));
+    let cluster = UrbCluster::spawn(
+        ClusterConfig::new(4, Algorithm::Quiescent)
+            .loss(0.1)
+            .seed(2),
+    );
     let tag = cluster.broadcast(3, Payload::from("then silence")).unwrap();
     let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
     assert_eq!(who.len(), 4);
@@ -42,7 +46,9 @@ fn cluster_survives_majority_crash_with_algorithm2() {
     }
     // Let the registry's detection delay elapse so views converge.
     std::thread::sleep(Duration::from_millis(400));
-    let tag = cluster.broadcast(0, Payload::from("minority rules")).unwrap();
+    let tag = cluster
+        .broadcast(0, Payload::from("minority rules"))
+        .unwrap();
     let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(30));
     assert_eq!(who, vec![0, 4], "both survivors deliver");
     cluster.shutdown();
@@ -64,9 +70,100 @@ fn algorithm1_blocks_under_majority_crash() {
     cluster.shutdown();
 }
 
+/// Cross-backend parity: the same scenario driven through the shared
+/// `urb-engine` layer under the simulator adapter and the runtime adapter
+/// produces the same URB deliveries.
+///
+/// Tags are backend-local randomness, so parity is stated over what URB
+/// actually guarantees: the per-process *sets of delivered payloads* (and
+/// exactly-once delivery of each). Any divergence in protocol stepping
+/// between the two adapters — ordering of outbox drains, missed ACK
+/// processing, double delivery — would surface here.
+#[test]
+fn engine_parity_sim_and_runtime_agree_on_deliveries() {
+    use std::collections::BTreeSet;
+
+    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
+        // Simulator backend: 3 processes, 3 broadcasts ("m0".."m2" from
+        // round-robin senders), no loss, no crashes.
+        let mut cfg = SimConfig::new(3, alg).seed(11).workload(3, 100);
+        cfg.stop_on_full_delivery = true;
+        let out = urb_sim::run(cfg);
+        let sim_delivered: Vec<BTreeSet<String>> = (0..3)
+            .map(|pid| {
+                out.metrics
+                    .deliveries
+                    .iter()
+                    .filter(|d| d.pid == pid)
+                    .map(|d| d.payload.as_text())
+                    .collect()
+            })
+            .collect();
+        for pid in 0..3 {
+            assert_eq!(
+                out.metrics
+                    .deliveries
+                    .iter()
+                    .filter(|d| d.pid == pid)
+                    .count(),
+                3,
+                "sim/{}: process {pid} delivers each payload exactly once",
+                alg.name()
+            );
+        }
+
+        // Runtime backend: the same workload through real threads.
+        let cluster = UrbCluster::spawn(ClusterConfig::new(3, alg).seed(12));
+        let tags: Vec<Tag> = (0..3)
+            .map(|i| {
+                cluster
+                    .broadcast(i % 3, Payload::from(format!("m{i}").as_str()))
+                    .expect("broadcast accepted")
+            })
+            .collect();
+        for tag in &tags {
+            let who = cluster.await_delivery_everywhere(*tag, Duration::from_secs(30));
+            assert_eq!(who.len(), 3, "runtime/{}: delivered everywhere", alg.name());
+        }
+        let runtime_delivered: Vec<BTreeSet<String>> = (0..3)
+            .map(|pid| {
+                cluster
+                    .delivery_log(pid)
+                    .iter()
+                    .map(|d| d.payload.as_text())
+                    .collect()
+            })
+            .collect();
+        for pid in 0..3 {
+            assert_eq!(
+                cluster.delivery_log(pid).len(),
+                3,
+                "runtime/{}: process {pid} delivers each payload exactly once",
+                alg.name()
+            );
+        }
+        assert!(
+            cluster.traffic().batches > 0,
+            "runtime traffic moved on the batched plane"
+        );
+        cluster.shutdown();
+
+        assert_eq!(
+            sim_delivered,
+            runtime_delivered,
+            "backends disagree on URB delivery sets for {}",
+            alg.name()
+        );
+    }
+}
+
 #[test]
 fn multiple_concurrent_broadcasters() {
-    let cluster = UrbCluster::spawn(ClusterConfig::new(4, Algorithm::Quiescent).loss(0.1).seed(5));
+    let cluster = UrbCluster::spawn(
+        ClusterConfig::new(4, Algorithm::Quiescent)
+            .loss(0.1)
+            .seed(5),
+    );
     let tags: Vec<Tag> = (0..4)
         .map(|pid| {
             cluster

@@ -198,7 +198,10 @@ fn best_effort_loses_where_urb_does_not() {
     let urb = urb_sim::run(cfg);
     let urb_ratio = urb.metrics.deliveries.len() as f64 / (4.0 * 6.0);
 
-    assert!(be_ratio < 1.0, "best effort must drop something at 40% loss");
+    assert!(
+        be_ratio < 1.0,
+        "best effort must drop something at 40% loss"
+    );
     assert!((urb_ratio - 1.0).abs() < 1e-9, "URB delivers everything");
 }
 
@@ -231,7 +234,10 @@ fn eager_rb_uniformity_violation() {
         urb_sim::run(cfg)
     };
     let rb = mk(Algorithm::EagerRb);
-    assert!(!rb.report.agreement.ok(), "eager RB must violate uniformity");
+    assert!(
+        !rb.report.agreement.ok(),
+        "eager RB must violate uniformity"
+    );
     let urb = mk(Algorithm::Majority);
     assert!(urb.metrics.deliveries.is_empty(), "URB blocks instead");
     assert!(urb.report.agreement.ok());

@@ -1,0 +1,333 @@
+//! Offline API-subset shim of the [`bytes`](https://crates.io/crates/bytes)
+//! crate.
+//!
+//! The build environment of this workspace has no access to a crates
+//! registry, so the handful of external dependencies are vendored as
+//! first-party subsets exposing exactly the API surface the workspace uses
+//! (see `vendor/README.md`). This shim provides:
+//!
+//! * [`Bytes`] — cheaply clonable, immutable, reference-counted byte
+//!   storage;
+//! * [`BytesMut`] — an append-only growable buffer that freezes into
+//!   [`Bytes`];
+//! * [`Buf`] / [`BufMut`] — the cursor traits, implemented for `&[u8]` and
+//!   [`BytesMut`] respectively, with the big-endian accessors the wire
+//!   codec uses.
+//!
+//! Semantics (byte order, panics on underflow, content equality) match the
+//! real crate for this subset, so swapping the real dependency back in is a
+//! one-line manifest change.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable reference-counted bytes. Cloning is `O(1)`.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Copies a slice into new storage.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Converts into immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.data).fmt(f)
+    }
+}
+
+/// Read cursor over a byte source. Big-endian accessors, as in the real
+/// crate. All getters panic on underflow (matching `bytes`' contract);
+/// callers bound-check with [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read-only view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u128`.
+    fn get_u128(&mut self) -> u128 {
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(&self.chunk()[..16]);
+        self.advance(16);
+        u128::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor. Big-endian writers, as in the real crate.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u128`.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_u128(u128::MAX - 1);
+        buf.put_slice(b"tail");
+        let frozen = buf.freeze();
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(rd.get_u128(), u128::MAX - 1);
+        assert_eq!(rd.remaining(), 4);
+        assert_eq!(rd.chunk(), b"tail");
+        rd.advance(4);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_equality_and_clone_are_by_content() {
+        let a = Bytes::copy_from_slice(b"xyz");
+        let b = Bytes::from(b"xyz".to_vec());
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c.len(), 3);
+        assert_eq!(&*c, b"xyz");
+    }
+
+    #[test]
+    fn big_endian_layout_matches_to_be_bytes() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert_eq!(&*buf, &[0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline API-subset shim of
+//! [`criterion`](https://crates.io/crates/criterion)
+//! (see `vendor/README.md`).
+//!
+//! A plain wall-clock timing harness behind criterion's API names, so the
+//! workspace's `benches/` files compile and run under `cargo bench`
+//! (`harness = false`) without the real dependency. Per benchmark it runs
+//! a warm-up, then `sample_size` samples of an adaptively chosen iteration
+//! count, and prints `min / mean / max` nanoseconds per iteration plus a
+//! throughput line when one was declared.
+//!
+//! No statistical analysis, outlier rejection, or HTML reports — the
+//! numbers are comparative evidence, not publication-grade measurements.
+//! Swap the real criterion back in (same manifest line, same bench code)
+//! when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (configuration only, in the shim).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measuring time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            &mut f,
+        );
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared units of work per iteration, for derived throughput output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its setup batches. Accepted and ignored: the
+/// shim sets up one input per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group, id.label);
+        run_benchmark(
+            &name,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id.label);
+        run_benchmark(
+            &name,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records what to measure.
+pub struct Bencher {
+    /// Iterations per timed sample (chosen by calibration).
+    iters_per_sample: u64,
+    /// Collected per-sample durations.
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        match self.mode {
+            Mode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration: time single iterations until the warm-up budget is spent.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: Mode::Calibrate,
+    };
+    let warm_start = Instant::now();
+    let mut one_iter = Duration::from_nanos(0);
+    let mut calibration_runs = 0u64;
+    while warm_start.elapsed() < warm_up || calibration_runs < 3 {
+        bencher.samples.clear();
+        f(&mut bencher);
+        if let Some(d) = bencher.samples.last() {
+            one_iter = *d;
+        }
+        calibration_runs += 1;
+        if calibration_runs >= 1000 {
+            break;
+        }
+    }
+    // Pick iterations per sample so one sample is ≥ ~1/(2·samples) of the
+    // measurement budget but at least 1.
+    let per_sample_budget = measurement.as_nanos() / (sample_size as u128).max(1) / 2;
+    let iters = if one_iter.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample_budget / one_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+        mode: Mode::Measure,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+
+    println!(
+        "{name:<44} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        sample_size,
+        iters
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Bytes(b) => (b as f64, "MiB/s"),
+            Throughput::Elements(e) => (e as f64, "Melem/s"),
+        };
+        if mean > 0.0 {
+            let per_sec = amount * 1e9 / mean;
+            let scaled = match t {
+                Throughput::Bytes(_) => per_sec / (1024.0 * 1024.0),
+                Throughput::Elements(_) => per_sec / 1e6,
+            };
+            println!("{:<44} thrpt: {scaled:.1} {unit}", "");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the shim
+            // runs everything unconditionally and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        tiny_bench(&mut c);
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline API-subset shim of
+//! [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel)
+//! (see `vendor/README.md`).
+//!
+//! A multi-producer multi-consumer FIFO channel built on
+//! `Mutex<VecDeque>` + `Condvar`. The subset covers what the workspace
+//! uses: [`unbounded`], [`bounded`], clonable [`Sender`]/[`Receiver`],
+//! blocking `recv`, `try_recv`, `recv_timeout`, and disconnection
+//! semantics (recv fails once all senders are gone *and* the queue is
+//! drained; send fails once all receivers are gone). The `select!` macro
+//! is deliberately not provided — the runtime's node loop multiplexes by
+//! funnelling its event sources into one channel instead.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: Mutex<Shared<T>>,
+    /// Signalled when a message is pushed or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when a message is popped or the last receiver leaves
+    /// (bounded channels: senders block on this).
+    writable: Condvar,
+    capacity: Option<usize>,
+}
+
+struct Shared<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Sending half of a channel. Clonable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half of a channel. Clonable; clones *share* the queue (each
+/// message is consumed by exactly one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone. The
+/// unsent message is returned inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message ready right now.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// Creates a channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; sends block
+/// while full. `cap = 0` is treated as capacity 1 (the shim does not
+/// implement rendezvous channels; the workspace never uses `bounded(0)`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(Shared {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, Shared<T>> {
+    // The shim holds the lock only for queue operations that cannot panic,
+    // so poisoning is unreachable; recover defensively anyway.
+    inner.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full. Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut shared = lock(&self.inner);
+        loop {
+            if shared.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if shared.items.len() >= cap => {
+                    shared = self
+                        .inner
+                        .writable
+                        .wait(shared)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        shared.items.push_back(value);
+        drop(shared);
+        self.inner.readable.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.inner).senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut shared = lock(&self.inner);
+        shared.senders -= 1;
+        let last = shared.senders == 0;
+        drop(shared);
+        if last {
+            self.inner.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut shared = lock(&self.inner);
+        loop {
+            if let Some(v) = shared.items.pop_front() {
+                drop(shared);
+                self.inner.writable.notify_one();
+                return Ok(v);
+            }
+            if shared.senders == 0 {
+                return Err(RecvError);
+            }
+            shared = self
+                .inner
+                .readable
+                .wait(shared)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns a ready message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut shared = lock(&self.inner);
+        if let Some(v) = shared.items.pop_front() {
+            drop(shared);
+            self.inner.writable.notify_one();
+            return Ok(v);
+        }
+        if shared.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut shared = lock(&self.inner);
+        loop {
+            if let Some(v) = shared.items.pop_front() {
+                drop(shared);
+                self.inner.writable.notify_one();
+                return Ok(v);
+            }
+            if shared.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .readable
+                .wait_timeout(shared, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            shared = guard;
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.inner).receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut shared = lock(&self.inner);
+        shared.receivers -= 1;
+        let last = shared.receivers == 0;
+        drop(shared);
+        if last {
+            self.inner.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_compete_for_messages() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_pop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_fanout() {
+        let (tx, rx) = unbounded::<usize>();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for j in 0..100 {
+                    tx.send(i * 100 + j).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.recv() {
+            seen.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen.len(), 400);
+    }
+}

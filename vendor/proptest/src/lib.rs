@@ -1,0 +1,514 @@
+//! Offline API-subset shim of
+//! [`proptest`](https://crates.io/crates/proptest)
+//! (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`option::of`],
+//! [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the values the test's
+//!   own assertion message interpolates; it is not minimized.
+//! * **Deterministic.** Case generation is seeded from the test's name, so
+//!   every run and every CI machine explores the same inputs. Set
+//!   `PROPTEST_CASES` to change the per-test case count (default 64).
+//!
+//! Both trade-offs keep the tests reproducible and the shim small; the
+//! real crate can be swapped back in without touching the test files.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Runner internals used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// SplitMix64 — the shim's only RNG. Self-contained so the shim has no
+    /// dependencies (not even on the workspace).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test-name string.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            let m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+            (m >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration (the shim honours `cases`; other fields exist so
+/// `..ProptestConfig::default()` update syntax compiles).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted and ignored (no shrinking in the shim).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`], for boxing.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the [`prop_oneof!`] backend).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        // Rejection-free: modulo bias is irrelevant for test generation.
+        self.start + (u128::arbitrary(rng) % span)
+    }
+}
+
+macro_rules! impl_strategy_sint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_sint_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection-size specification: an exact size or a half-open range (the
+/// real crate's `SizeRange`, minus the inclusive-range forms).
+#[derive(Clone, Debug)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.0.clone().generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, length in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            sizes: sizes.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        sizes: SizeRange,
+    }
+
+    /// `BTreeSet` of values from `element`; up to `sizes` draws (duplicates
+    /// collapse, as in the real crate's best-effort size handling).
+    pub fn btree_set<S>(element: S, sizes: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            sizes: sizes.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.sizes.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` roughly four times out of five, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(5) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Shim semantics: each function body runs `config.cases` times with
+/// deterministically seeded inputs; assertion failures panic immediately
+/// (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$attr:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// `assert!` under the proptest name (the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 10u64..20, z in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..20).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn collections_and_tuples(v in crate::collection::vec((any::<bool>(), 0u8..4), 0..10)) {
+            prop_assert!(v.len() < 10);
+            for (_, small) in v {
+                prop_assert!(small < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0u32..10).prop_map(|v| v as u64),
+            (100u32..110).prop_map(|v| v as u64),
+        ]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn option_produces_both(samples in crate::collection::vec(crate::option::of(0u8..5), 40..41)) {
+            // With 40 draws at 1-in-5 None odds, both variants appear with
+            // overwhelming probability under the deterministic seed.
+            prop_assert!(samples.iter().any(|s| s.is_none()));
+            prop_assert!(samples.iter().any(|s| s.is_some()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_cases_is_honoured(_x in 0u8..2) {
+            // Body runs; the case count itself is exercised by compiling
+            // the config path. Nothing to assert per-case.
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

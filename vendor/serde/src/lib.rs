@@ -1,0 +1,13 @@
+//! Offline shim of the `serde` facade (see `vendor/README.md`).
+//!
+//! Exposes the `Serialize` / `Deserialize` derive names so that the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without the real dependency. The derives expand to nothing; actual JSON
+//! I/O in this workspace goes through hand-rolled emitters and the
+//! first-party parser in the `serde_json` shim. Swap this crate for the
+//! real `serde` (same name, same import paths) once a registry is
+//! available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline `serde` shim.
+//!
+//! The workspace annotates its data types with serde derives so that the
+//! real `serde` can be dropped in the moment the build environment gains
+//! registry access. Until then these derives expand to nothing: the
+//! annotations compile, and every place that actually needs JSON emits or
+//! parses it through the first-party code in the `serde_json` shim and the
+//! hand-rolled `to_json` methods. Nothing in the workspace relies on a
+//! generated `Serialize`/`Deserialize` implementation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (placeholder for serde's `Serialize` derive).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (placeholder for serde's `Deserialize` derive).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
