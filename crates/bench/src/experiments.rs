@@ -1,4 +1,4 @@
-//! The experiment suite E1–E14 (see DESIGN.md §5 for the index).
+//! The experiment suite E1–E17 (see DESIGN.md §5 for the index).
 //!
 //! The paper proves; we measure. Each function reproduces one claim as a
 //! table: the pass-rate grids for the two theorems about the algorithms
@@ -6,7 +6,9 @@
 //! cost characterizations the paper motivates but never quantifies
 //! (E4–E10), the baseline contrast from the introduction (E11), the
 //! ablation of our one substantive pseudocode repair (E12), the Task-1
-//! backoff extension (E13) and partition-heal recovery (E14).
+//! backoff extension (E13), partition-heal recovery (E14), and the
+//! scenario plane's own guarantees (E15 corpus replay, E16 adversarial
+//! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9).
 //!
 //! All experiments are deterministic: same build, same tables. Every run's
 //! seed is a pure function of its grid cell and seed index, so the
@@ -18,13 +20,14 @@ use crate::table::{f3, pct, Table};
 use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::sim::{FdKind, LinkOverride, SimConfig};
-use urb_sim::{scenario, CrashPlan, CrashRule, LossModel, RunOutcome};
+use urb_sim::spec::{self, ScenarioSpec, StopRule};
+use urb_sim::{scenario, CrashPlan, CrashRule, LossModel, RunOutcome, Schedule};
 
 /// Number of seeds per grid cell (kept moderate so the full suite runs in
 /// minutes; bump for tighter confidence).
 pub const SEEDS: u64 = 10;
 
-/// Runs one experiment by id (`"e1"`..`"e14"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e17"`), returning its tables.
 pub fn run_experiment(id: &str) -> Vec<Table> {
     match id {
         "e1" => e1_alg1_correctness(),
@@ -41,13 +44,17 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e12" => e12_prune_ablation(),
         "e13" => e13_backoff_extension(),
         "e14" => e14_partition_heal(),
-        other => panic!("unknown experiment id {other:?} (use e1..e14)"),
+        "e15" => e15_scenario_corpus(),
+        "e16" => e16_ack_starvation_sweep(),
+        "e17" => e17_spec_parity(),
+        other => panic!("unknown experiment id {other:?} (use e1..e17)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_IDS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -781,6 +788,177 @@ pub fn e14_partition_heal() -> Vec<Table> {
     vec![t]
 }
 
+// --------------------------------------------------------------- E15 ----
+
+/// E15 — the scenario corpus, replayed (DESIGN.md §9).
+///
+/// Every `scenarios/*.toml` file is parsed, compiled and executed over
+/// SEEDS derived seeds via the parallel executor; a run counts only when
+/// the spec's `[expect]` verdict holds on top of the per-run URB checker.
+/// Expected: every cell at 100% — scenario diversity is data, and the
+/// data keeps its promises under seed variation.
+pub fn e15_scenario_corpus() -> Vec<Table> {
+    let mut t = Table::new(
+        "E15 — scenario corpus replay (expectations checked per run)",
+        &[
+            "scenario",
+            "n",
+            "algorithm",
+            "runs",
+            "expectations met",
+            "mean end time",
+        ],
+    );
+    for (name, text) in spec::corpus() {
+        let base =
+            ScenarioSpec::from_toml_str(text).unwrap_or_else(|e| panic!("corpus {name}: {e}"));
+        let outcomes = run_seeds(SEEDS, |seed| {
+            let mut s = base.clone();
+            s.seed = base.seed + seed * 9973;
+            s.compile().unwrap_or_else(|e| panic!("corpus {name}: {e}"))
+        });
+        let met = outcomes
+            .iter()
+            .filter(|o| base.expect.check(o).is_empty())
+            .count() as u64;
+        let mean_end: u64 = outcomes.iter().map(|o| o.metrics.ended_at).sum::<u64>() / SEEDS;
+        t.row(vec![
+            name.to_string(),
+            base.n.to_string(),
+            base.algorithm.name().to_string(),
+            SEEDS.to_string(),
+            pct(met as f64 / SEEDS as f64),
+            mean_end.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E16 ----
+
+/// E16 — the ack-starvation schedule, swept (DESIGN.md §9).
+///
+/// Specs are built *programmatically* here (the same [`Schedule`] values
+/// the TOML loader produces), demonstrating the scheduler library as an
+/// API. An inbound blockade on one process should pin exactly that
+/// process's first delivery to the blockade end while the rest of the
+/// mesh delivers on schedule — the victim's lag is the adversary's knob.
+pub fn e16_ack_starvation_sweep() -> Vec<Table> {
+    let mut t = Table::new(
+        "E16 — ack-starvation window vs. victim delivery (n=5, alg1, loss=0.1)",
+        &[
+            "blockade end",
+            "runs",
+            "URB ok",
+            "mean victim first delivery",
+            "mean others first delivery",
+        ],
+    );
+    for &end in &[0u64, 500, 2_000, 8_000] {
+        let outcomes = run_seeds(SEEDS, |seed| {
+            let mut s = ScenarioSpec::new("e16", 5, Algorithm::Majority);
+            s.seed = seed * 127 + 3;
+            s.loss = LossModel::Bernoulli { p: 0.1 };
+            s.stop = StopRule::FullDelivery;
+            s.horizon = end + 60_000;
+            s.workload = urb_sim::spec::WorkloadSpec::Generated {
+                count: 2,
+                spacing: 100,
+                start: 10,
+            };
+            if end > 0 {
+                s.schedules.push(Schedule::AckStarvation {
+                    victim: 4,
+                    start: 0,
+                    end,
+                });
+            }
+            s.compile().expect("e16 spec compiles")
+        });
+        let ok = outcomes.iter().filter(|o| o.report.all_ok()).count();
+        let first = |o: &RunOutcome, victim: bool| -> u64 {
+            o.metrics
+                .deliveries
+                .iter()
+                .filter(|d| (d.pid == 4) == victim)
+                .map(|d| d.time)
+                .min()
+                .unwrap_or(0)
+        };
+        let victim_mean: u64 = outcomes.iter().map(|o| first(o, true)).sum::<u64>() / SEEDS;
+        let others_mean: u64 = outcomes.iter().map(|o| first(o, false)).sum::<u64>() / SEEDS;
+        t.row(vec![
+            end.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{SEEDS}"),
+            victim_mean.to_string(),
+            others_mean.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E17 ----
+
+/// E17 — scenario-plane invariants: spec round-trip and executor parity
+/// (DESIGN.md §9).
+///
+/// For every corpus entry: (a) `spec → TOML → spec` is the identity, so
+/// files survive re-emission; (b) the run the serial driver produces and
+/// the run the parallel executor produces are bit-identical (same event
+/// hash, same delivery trace) — replaying a corpus under `run_many` is
+/// exactly replaying it under `run`.
+pub fn e17_spec_parity() -> Vec<Table> {
+    let mut t = Table::new(
+        "E17 — spec round-trip + serial/parallel executor parity",
+        &[
+            "scenario",
+            "TOML round-trip",
+            "serial == parallel",
+            "deliveries",
+            "trace hash",
+        ],
+    );
+    let specs: Vec<(&str, ScenarioSpec)> = spec::corpus()
+        .into_iter()
+        .map(|(name, text)| {
+            (
+                name,
+                ScenarioSpec::from_toml_str(text).unwrap_or_else(|e| panic!("{name}: {e}")),
+            )
+        })
+        .collect();
+    let serial: Vec<RunOutcome> = specs
+        .iter()
+        .map(|(_, s)| urb_sim::run(s.compile().expect("corpus compiles")))
+        .collect();
+    let parallel = urb_sim::run_many(
+        specs
+            .iter()
+            .map(|(_, s)| s.compile().expect("corpus compiles"))
+            .collect(),
+    );
+    for (((name, spec), ser), par) in specs.iter().zip(&serial).zip(&parallel) {
+        let roundtrip = ScenarioSpec::from_toml_str(&spec.to_toml()).as_ref() == Ok(spec);
+        let same_trace = ser.metrics.trace_hash == par.metrics.trace_hash
+            && ser.metrics.deliveries.len() == par.metrics.deliveries.len()
+            && ser
+                .metrics
+                .deliveries
+                .iter()
+                .zip(&par.metrics.deliveries)
+                .all(|(a, b)| a.pid == b.pid && a.time == b.time && a.tag == b.tag);
+        t.row(vec![
+            name.to_string(),
+            roundtrip.to_string(),
+            same_trace.to_string(),
+            ser.metrics.deliveries.len().to_string(),
+            format!("{:#018x}", ser.metrics.trace_hash),
+        ]);
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,7 +966,18 @@ mod tests {
     #[test]
     fn all_ids_resolve() {
         // Smoke-test the dispatcher without running the heavy grids.
-        assert_eq!(ALL_IDS.len(), 14);
+        assert_eq!(ALL_IDS.len(), 17);
+    }
+
+    #[test]
+    fn e17_parity_holds_for_the_whole_corpus() {
+        // Cheap enough to regenerate in tests, and it is the acceptance
+        // gate for the scenario plane: every corpus row must read
+        // `true true`.
+        let tables = e17_spec_parity();
+        let rendered = tables[0].render();
+        assert!(!rendered.contains("false"), "{rendered}");
+        assert!(rendered.contains("partition_heal"));
     }
 
     #[test]

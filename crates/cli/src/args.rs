@@ -10,9 +10,18 @@ urb — anonymous Uniform Reliable Broadcast simulator (Tang et al., IPPS 2015)
 USAGE:
     urb run   [flags]      simulate one run and report the URB verdict
     urb sweep [flags]      loss-rate sweep, one row per loss value
+    urb scenario FILE [--seed S] [--trace FILE] [--json]
+                           replay a declarative scenario file (.toml/.json)
+                           and check its [expect] verdict
     urb theorem2 [--n N] [--seed S]
                            execute the impossibility proof's adversary
     urb help               this text
+
+FLAGS (scenario):
+    FILE              scenario spec (see DESIGN.md §9 and scenarios/*.toml)
+    --seed S          override the spec's RNG seed
+    --trace FILE      write a full JSON event trace to FILE
+    --json            print the outcome summary as JSON
 
 FLAGS (run / sweep):
     --n N             system size                         [default: 5]
@@ -36,6 +45,8 @@ pub enum Command {
     Run(RunArgs),
     /// `urb sweep`.
     Sweep(RunArgs),
+    /// `urb scenario <file>`.
+    Scenario(ScenarioArgs),
     /// `urb theorem2`.
     Theorem2 {
         /// System size.
@@ -45,6 +56,19 @@ pub enum Command {
     },
     /// `urb help`.
     Help,
+}
+
+/// Flags of `urb scenario`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioArgs {
+    /// Path of the scenario spec file.
+    pub path: String,
+    /// Seed override (`None` = use the spec's seed).
+    pub seed: Option<u64>,
+    /// Trace output path.
+    pub trace: Option<String>,
+    /// Machine-readable output.
+    pub json: bool,
 }
 
 /// Flags shared by `run` and `sweep`.
@@ -146,6 +170,43 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--n must be at least 2".into());
             }
             Ok(Command::Theorem2 { n, seed })
+        }
+        "scenario" => {
+            let mut path: Option<String> = None;
+            let mut args = ScenarioArgs {
+                path: String::new(),
+                seed: None,
+                trace: None,
+                json: false,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--seed" => {
+                        args.seed = Some(
+                            value("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?,
+                        )
+                    }
+                    "--trace" => args.trace = Some(value("--trace")?),
+                    "--json" => args.json = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag {other:?}"))
+                    }
+                    file => {
+                        if path.replace(file.to_string()).is_some() {
+                            return Err("scenario takes exactly one FILE".into());
+                        }
+                    }
+                }
+            }
+            args.path = path.ok_or("scenario needs a FILE argument")?;
+            Ok(Command::Scenario(args))
         }
         "run" | "sweep" => {
             let mut args = RunArgs::default();
@@ -299,6 +360,26 @@ mod tests {
             _ => panic!(),
         }
         assert!(parse(&argv("theorem2 --n 1")).is_err());
+    }
+
+    #[test]
+    fn scenario_parses_path_and_flags() {
+        match parse(&argv(
+            "scenario scenarios/partition_heal.toml --seed 9 --json",
+        ))
+        .unwrap()
+        {
+            Command::Scenario(a) => {
+                assert_eq!(a.path, "scenarios/partition_heal.toml");
+                assert_eq!(a.seed, Some(9));
+                assert!(a.json);
+                assert!(a.trace.is_none());
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("scenario")).is_err(), "FILE required");
+        assert!(parse(&argv("scenario a.toml b.toml")).is_err(), "one FILE");
+        assert!(parse(&argv("scenario a.toml --wat")).is_err());
     }
 
     #[test]

@@ -20,11 +20,11 @@
 //! * [`NodeEngine`] — the owning wrapper used by the multi-node drivers:
 //!   protocol instance + deterministic RNG stream + cumulative
 //!   [`EngineCounters`] + [`ProcessStats`] access;
-//! * the **batched message plane**: [`StepBuffers::take_batch`] drains a
-//!   step's whole outbox into one [`urb_types::Batch`] frame, so routing
-//!   cost scales with steps, not messages, while per-message
-//!   `retransmit_key` identity (the fair-lossy bookkeeping unit) is
-//!   preserved.
+//! * the **batched message plane** (DESIGN.md D8):
+//!   [`StepBuffers::take_batch`] drains a step's whole outbox into one
+//!   [`urb_types::Batch`] frame, so routing cost scales with steps, not
+//!   messages, while per-message `retransmit_key` identity (the
+//!   fair-lossy bookkeeping unit) is preserved.
 //!
 //! What stays backend-specific is exactly what *differs* between backends:
 //! where the [`FdSnapshot`] comes from (oracle/heartbeat service keyed by
@@ -33,7 +33,7 @@
 //! (event-queue scheduling, channel send, or test inspection).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use urb_types::{
     AnonProcess, Batch, Context, Delivery, FdSnapshot, Payload, ProcessStats, RandomSource,

@@ -21,7 +21,7 @@ use crate::FdService;
 use urb_types::{FdPair, FdSnapshot, FdView, Label, SplitMix64, WireMessage};
 
 /// Tuning for the heartbeat detector. Times in simulator ticks.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeartbeatConfig {
     /// Interval between heartbeat broadcasts.
     pub period: u64,

@@ -48,7 +48,7 @@ use crate::FdService;
 use urb_types::{FdPair, FdSnapshot, FdView, Label, RandomSource, SplitMix64, WireMessage};
 
 /// Tuning knobs for the oracle. All times are in simulator ticks.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OracleConfig {
     /// Labels appear at each correct process at a uniformly random time in
     /// `[0, appearance_spread]`. 0 = everything known from the start.

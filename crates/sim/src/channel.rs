@@ -301,6 +301,13 @@ impl ChannelMatrix {
         }
     }
 
+    /// Overrides the delay model of one directed link (used by the
+    /// `targeted-delay` adversary of the scenario plane: straggler links
+    /// whose copies arrive long after the rest of the mesh).
+    pub fn override_delay(&mut self, from: usize, to: usize, delay: DelayModel) {
+        self.channels[from * self.n + to].delay = delay;
+    }
+
     /// The channel `from → to`.
     pub fn link_mut(&mut self, from: usize, to: usize) -> &mut Channel {
         &mut self.channels[from * self.n + to]
@@ -550,6 +557,22 @@ mod tests {
             m.link_mut(1, 0).transmit(&msg(1)),
             Verdict::Deliver { .. }
         ));
+    }
+
+    #[test]
+    fn matrix_override_delay_is_per_link() {
+        let rng = Xoshiro256::new(4);
+        let mut m = ChannelMatrix::uniform(3, LossModel::None, DelayModel::Constant(2), &rng);
+        m.override_delay(0, 1, DelayModel::Constant(40));
+        assert_eq!(
+            m.link_mut(0, 1).transmit(&msg(1)),
+            Verdict::Deliver { delay: 40 }
+        );
+        assert_eq!(
+            m.link_mut(1, 0).transmit(&msg(1)),
+            Verdict::Deliver { delay: 2 },
+            "reverse direction keeps the mesh delay"
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //!   run;
 //! * [`scenario`] — pre-built configurations for each experiment, including
 //!   the executable reconstruction of the impossibility proof;
+//! * [`spec`] — the **declarative scenario plane**: TOML/JSON scenario
+//!   files ([`spec::ScenarioSpec`]) compiled onto the event-queue
+//!   machinery, with scenario-level [`spec::Expectations`] and the
+//!   embedded `scenarios/` corpus;
+//! * [`adversary`] — the named adversarial schedule library
+//!   (partition-heal, ack-starvation, targeted-delay, crash-storm, churn)
+//!   specs draw from;
+//! * [`minitoml`] — the first-party TOML-subset parser the spec loader
+//!   uses (no registry access, no `toml` crate — see `vendor/README.md`);
 //! * [`parallel`] — the multi-run executor: fan independent configurations
 //!   across all cores with results in input order (runs are pure functions
 //!   of their config, so parallel == serial, bit for bit).
@@ -39,20 +48,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod channel;
 pub mod checker;
 pub mod crash;
 pub mod event;
 pub mod metrics;
+pub mod minitoml;
 pub mod parallel;
 pub mod scenario;
 pub mod sim;
+pub mod spec;
 pub mod trace;
 
+pub use adversary::Schedule;
 pub use channel::{DelayModel, LossModel};
 pub use checker::{check_urb, CheckReport, PropertyVerdict};
 pub use crash::{CrashPlan, CrashRule};
 pub use metrics::{BroadcastRecord, DeliveryRecord, Metrics};
 pub use parallel::{run_many, run_many_on};
-pub use sim::{run, Blackout, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig};
+pub use sim::{
+    run, Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
+};
+pub use spec::{Expectations, ScenarioSpec, SpecError};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceKind};

@@ -68,12 +68,26 @@ pub struct LinkOverride {
     pub loss: LossModel,
 }
 
+/// A directed-link delay override (targeted-delay adversaries): the link
+/// keeps its loss model but draws arrival delays from its own
+/// [`DelayModel`] instead of the mesh-wide one. The scenario plane's
+/// `targeted-delay` schedule compiles to these.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayOverride {
+    /// Sender side of the link.
+    pub from: usize,
+    /// Receiver side of the link.
+    pub to: usize,
+    /// Replacement delay model.
+    pub delay: DelayModel,
+}
+
 /// A temporary total outage of one directed link: every copy sent on
 /// `from → to` during `[start, end)` is lost. Unlike [`LinkOverride`] this
 /// is time-bounded, which makes *healing* partitions expressible — the
 /// fairness axiom is suspended only during the window, so URB must still
 /// complete after the heal (tested in `partition_heals_and_urb_completes`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Blackout {
     /// Sender side of the link.
     pub from: usize,
@@ -130,6 +144,8 @@ pub struct SimConfig {
     pub delay: DelayModel,
     /// Per-link loss overrides.
     pub link_overrides: Vec<LinkOverride>,
+    /// Per-link delay overrides (straggler links).
+    pub delay_overrides: Vec<DelayOverride>,
     /// Time-windowed total outages (healing partitions).
     pub blackouts: Vec<Blackout>,
     /// Task-1 sweep period, in ticks.
@@ -172,6 +188,7 @@ impl SimConfig {
             loss: LossModel::None,
             delay: DelayModel::default(),
             link_overrides: Vec::new(),
+            delay_overrides: Vec::new(),
             blackouts: Vec::new(),
             tick_interval: 10,
             tick_jitter: 3,
@@ -319,6 +336,9 @@ pub fn run(config: SimConfig) -> RunOutcome {
     let mut channels = ChannelMatrix::uniform(n, config.loss, config.delay, &root);
     for ov in &config.link_overrides {
         channels.override_links(&[(ov.from, ov.to)], ov.loss);
+    }
+    for ov in &config.delay_overrides {
+        channels.override_delay(ov.from, ov.to, ov.delay);
     }
 
     let seed_mix = SplitMix64::new(config.seed ^ 0x5EED_0F00_D000_0001);

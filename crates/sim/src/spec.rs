@@ -1,0 +1,1660 @@
+//! The declarative scenario plane: serde-backed scenario specs, loadable
+//! from TOML or JSON, compiled onto the event-queue machinery.
+//!
+//! A [`ScenarioSpec`] is a complete, self-contained description of one
+//! adversarial run — topology, workload, per-link loss and delay models,
+//! crash plans, partition/churn windows and the named adversary shapes of
+//! the [`crate::adversary`] scheduler library. Specs exist so that
+//! scenario diversity is *data*, not Rust: users, CI and fuzzers author
+//! `scenarios/*.toml` files and replay them with `urb scenario <file>`,
+//! without recompiling anything.
+//!
+//! The pipeline:
+//!
+//! ```text
+//! .toml ── minitoml::parse ──┐
+//!                            ├──► serde_json::Value ──► ScenarioSpec::from_value
+//! .json ── serde_json ───────┘            │
+//!                                         ▼
+//!            ScenarioSpec::compile ──► SimConfig ──► sim::run ──► RunOutcome
+//!                                         ▲                          │
+//!            Schedule::apply (adversary library)      Expectations::check
+//! ```
+//!
+//! Everything is checked: decoding rejects unknown keys (typos fail loudly,
+//! not silently), [`ScenarioSpec::compile`] validates ranges and resilience
+//! bounds, and [`Expectations`] turn the run's machine-checked URB verdict
+//! into a scenario-level pass/fail — a spec can legitimately *expect* a
+//! violation (the Theorem-2 corpus entry does).
+//!
+//! The schema is documented in DESIGN.md §9; the shipped corpus lives in
+//! `scenarios/` and is embedded here via [`corpus`] so tests, benches and
+//! examples replay it regardless of working directory.
+
+use crate::adversary::Schedule;
+use crate::channel::{DelayModel, LossModel};
+use crate::crash::{CrashPlan, CrashRule};
+use crate::minitoml;
+use crate::sim::{
+    Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
+};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use urb_core::Algorithm;
+use urb_fd::{HeartbeatConfig, OracleConfig};
+use urb_types::Payload;
+
+/// A scenario-file error: what went wrong, in words a spec author acts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// When a compiled run should end (beyond the hard horizon).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StopRule {
+    /// Stop once the system is quiescent (the default; right for
+    /// Algorithm 2, which provably stops).
+    #[default]
+    Quiescence,
+    /// Stop at quiescence *or* once every plan-correct process delivered
+    /// everything — the bound for Algorithm-1 runs, which never quiesce.
+    FullDelivery,
+    /// Run to the horizon regardless (quiescence-curve measurements,
+    /// impossibility adversaries that must observe continued silence).
+    Horizon,
+}
+
+impl StopRule {
+    fn as_str(self) -> &'static str {
+        match self {
+            StopRule::Quiescence => "quiescence",
+            StopRule::FullDelivery => "full-delivery",
+            StopRule::Horizon => "horizon",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        Ok(match s {
+            "quiescence" => StopRule::Quiescence,
+            "full-delivery" => StopRule::FullDelivery,
+            "horizon" => StopRule::Horizon,
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown stop rule {other:?} (quiescence | full-delivery | horizon)"
+                )))
+            }
+        })
+    }
+}
+
+/// Failure-detector selection in a spec. Absent = pick by algorithm
+/// (exactly what [`SimConfig::new`] does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FdSpec {
+    /// No detector.
+    None,
+    /// The audited `AΘ`/`AP*` oracle (DESIGN.md D5/D6).
+    Oracle(OracleConfig),
+    /// The realistic heartbeat estimator.
+    Heartbeat(HeartbeatConfig),
+}
+
+/// The application workload of a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// `count` broadcasts from round-robin senders, `spacing` ticks apart,
+    /// starting at `start`.
+    Generated {
+        /// Number of URB broadcasts.
+        count: usize,
+        /// Ticks between consecutive broadcasts.
+        spacing: u64,
+        /// Invocation time of the first broadcast.
+        start: u64,
+    },
+    /// Explicit `[[workload.explicit]]` entries.
+    Explicit(Vec<BroadcastSpec>),
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::Generated {
+            count: 1,
+            spacing: 100,
+            start: 10,
+        }
+    }
+}
+
+/// One explicit `URB_broadcast` invocation in a spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastSpec {
+    /// Invocation time.
+    pub time: u64,
+    /// Invoking process.
+    pub pid: usize,
+    /// The application message (UTF-8).
+    pub payload: String,
+}
+
+/// One explicit `[[crash]]` entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashRuleSpec {
+    /// The crashing process.
+    pub pid: usize,
+    /// When it crashes.
+    pub rule: CrashRule,
+}
+
+/// The `[crash_random]` table: `count` random victims with crash times in
+/// `[0, horizon]`, derived deterministically from the scenario seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomCrashSpec {
+    /// Number of crashing processes.
+    pub count: usize,
+    /// Crash times are drawn in `[0, horizon]`.
+    pub horizon: u64,
+    /// A process index never selected (usually the broadcaster).
+    pub protect: Option<usize>,
+}
+
+/// One `[[link]]` entry: a directed link with its own loss and/or delay
+/// model (the mesh-wide models apply where a field is absent).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Sender side of the link.
+    pub from: usize,
+    /// Receiver side of the link.
+    pub to: usize,
+    /// Replacement loss model, if any.
+    pub loss: Option<LossModel>,
+    /// Replacement delay model, if any.
+    pub delay: Option<DelayModel>,
+}
+
+/// The `[expect]` table: the scenario-level verdict, checked against the
+/// run's machine-checked [`RunOutcome`]. An empty table (or an absent one)
+/// means "everything must hold" (`all_ok = true`); a spec can instead
+/// *expect a violation* — the executable-impossibility corpus entry
+/// expects `agreement = false`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Expectations {
+    /// All URB properties and (oracle runs) the FD audit.
+    pub all_ok: Option<bool>,
+    /// The validity verdict.
+    pub validity: Option<bool>,
+    /// The uniform-agreement verdict.
+    pub agreement: Option<bool>,
+    /// The uniform-integrity verdict.
+    pub integrity: Option<bool>,
+    /// Whether the run must end quiescent.
+    pub quiescent: Option<bool>,
+    /// Minimum number of URB deliveries across all processes.
+    pub min_deliveries: Option<usize>,
+}
+
+impl Expectations {
+    /// True when no expectation is spelled out (→ `all_ok` is implied).
+    pub fn is_unconstrained(&self) -> bool {
+        *self == Expectations::default()
+    }
+
+    /// Checks a finished run against these expectations. Empty vector =
+    /// the scenario passed.
+    pub fn check(&self, out: &RunOutcome) -> Vec<String> {
+        let eff = if self.is_unconstrained() {
+            Expectations {
+                all_ok: Some(true),
+                ..Expectations::default()
+            }
+        } else {
+            *self
+        };
+        let mut fails = Vec::new();
+        let mut want = |name: &str, expected: Option<bool>, got: bool| {
+            if let Some(w) = expected {
+                if got != w {
+                    fails.push(format!("expected {name} = {w}, run produced {got}"));
+                }
+            }
+        };
+        want("all_ok", eff.all_ok, out.all_ok());
+        want("validity", eff.validity, out.report.validity.ok());
+        want("agreement", eff.agreement, out.report.agreement.ok());
+        want("integrity", eff.integrity, out.report.integrity.ok());
+        want("quiescent", eff.quiescent, out.quiescent);
+        if let Some(min) = eff.min_deliveries {
+            let got = out.metrics.deliveries.len();
+            if got < min {
+                fails.push(format!(
+                    "expected at least {min} deliveries, run produced {got}"
+                ));
+            }
+        }
+        fails
+    }
+}
+
+/// A complete declarative scenario. See the module docs for the pipeline
+/// and DESIGN.md §9 for the file schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and experiment tables).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// System size `n`.
+    pub n: usize,
+    /// Protocol under test.
+    pub algorithm: Algorithm,
+    /// Hard horizon in ticks.
+    pub horizon: u64,
+    /// Task-1 sweep period.
+    pub tick_interval: u64,
+    /// Uniform jitter added to each sweep period.
+    pub tick_jitter: u64,
+    /// State-size sampling period (0 = off).
+    pub stats_interval: u64,
+    /// Histogram window for the quiescence curve.
+    pub window: u64,
+    /// Early-stop policy.
+    pub stop: StopRule,
+    /// Mesh-wide loss model.
+    pub loss: LossModel,
+    /// Mesh-wide delay model.
+    pub delay: DelayModel,
+    /// Failure-detector selection (absent = by algorithm).
+    pub fd: Option<FdSpec>,
+    /// Per-link loss/delay overrides.
+    pub links: Vec<LinkSpec>,
+    /// Raw time-windowed link outages.
+    pub blackouts: Vec<Blackout>,
+    /// The application workload.
+    pub workload: WorkloadSpec,
+    /// Explicit per-process crash rules.
+    pub crashes: Vec<CrashRuleSpec>,
+    /// Random crash adversary (composes with explicit rules; explicit
+    /// rules win on conflict).
+    pub crash_random: Option<RandomCrashSpec>,
+    /// Named adversary shapes, applied in order.
+    pub schedules: Vec<Schedule>,
+    /// The scenario-level verdict.
+    pub expect: Expectations,
+}
+
+impl ScenarioSpec {
+    /// A minimal spec with library defaults: one broadcast, reliable
+    /// links, no crashes, stop on quiescence.
+    pub fn new(name: &str, n: usize, algorithm: Algorithm) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            description: String::new(),
+            seed: 1,
+            n,
+            algorithm,
+            horizon: 100_000,
+            tick_interval: 10,
+            tick_jitter: 3,
+            stats_interval: 0,
+            window: 1_000,
+            stop: StopRule::default(),
+            loss: LossModel::None,
+            delay: DelayModel::default(),
+            fd: None,
+            links: Vec::new(),
+            blackouts: Vec::new(),
+            workload: WorkloadSpec::default(),
+            crashes: Vec::new(),
+            crash_random: None,
+            schedules: Vec::new(),
+            expect: Expectations::default(),
+        }
+    }
+
+    /// Parses a TOML scenario file (see [`crate::minitoml`] for the
+    /// supported subset).
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        let value = minitoml::parse(input).map_err(|e| SpecError::new(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a JSON scenario file (same schema, JSON syntax).
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        let value = serde_json::from_str(input).map_err(|e| SpecError::new(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses scenario text, choosing the format from the file name
+    /// (`.json` → JSON, anything else → TOML).
+    pub fn from_named_str(path: &str, input: &str) -> Result<Self, SpecError> {
+        if path.ends_with(".json") {
+            Self::from_json_str(input)
+        } else {
+            Self::from_toml_str(input)
+        }
+    }
+
+    /// Decodes a spec from the shared [`Value`] tree. Unknown keys are
+    /// rejected at every level.
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let map = as_table(value, "scenario")?;
+        check_keys(
+            map,
+            &[
+                "name",
+                "description",
+                "seed",
+                "n",
+                "algorithm",
+                "horizon",
+                "tick_interval",
+                "tick_jitter",
+                "stats_interval",
+                "window",
+                "stop",
+                "loss",
+                "delay",
+                "fd",
+                "link",
+                "blackout",
+                "workload",
+                "crash",
+                "crash_random",
+                "schedule",
+                "expect",
+            ],
+            "scenario",
+        )?;
+        let n = req_usize(map, "n")?;
+        let mut spec = ScenarioSpec::new(&req_str(map, "name")?, n, Algorithm::Quiescent);
+        spec.algorithm = match map.get("algorithm") {
+            Some(v) => parse_algorithm(as_str(v, "algorithm")?)?,
+            None => Algorithm::Quiescent,
+        };
+        spec.description = opt_str(map, "description", "")?;
+        spec.seed = opt_u64(map, "seed", spec.seed)?;
+        spec.horizon = opt_u64(map, "horizon", spec.horizon)?;
+        spec.tick_interval = opt_u64(map, "tick_interval", spec.tick_interval)?;
+        spec.tick_jitter = opt_u64(map, "tick_jitter", spec.tick_jitter)?;
+        spec.stats_interval = opt_u64(map, "stats_interval", spec.stats_interval)?;
+        spec.window = opt_u64(map, "window", spec.window)?;
+        if let Some(v) = map.get("stop") {
+            spec.stop = StopRule::from_str(as_str(v, "stop")?)?;
+        }
+        if let Some(v) = map.get("loss") {
+            spec.loss = decode_loss(v)?;
+        }
+        if let Some(v) = map.get("delay") {
+            spec.delay = decode_delay(v)?;
+        }
+        if let Some(v) = map.get("fd") {
+            spec.fd = Some(decode_fd(v)?);
+        }
+        if let Some(v) = map.get("link") {
+            for item in as_array(v, "link")? {
+                spec.links.push(decode_link(item)?);
+            }
+        }
+        if let Some(v) = map.get("blackout") {
+            for item in as_array(v, "blackout")? {
+                spec.blackouts.push(decode_blackout(item)?);
+            }
+        }
+        if let Some(v) = map.get("workload") {
+            spec.workload = decode_workload(v)?;
+        }
+        if let Some(v) = map.get("crash") {
+            for item in as_array(v, "crash")? {
+                spec.crashes.push(decode_crash(item)?);
+            }
+        }
+        if let Some(v) = map.get("crash_random") {
+            spec.crash_random = Some(decode_crash_random(v)?);
+        }
+        if let Some(v) = map.get("schedule") {
+            for item in as_array(v, "schedule")? {
+                spec.schedules.push(decode_schedule(item)?);
+            }
+        }
+        if let Some(v) = map.get("expect") {
+            spec.expect = decode_expect(v)?;
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec as canonical TOML. The guarantee the round-trip
+    /// property test enforces: `from_toml_str(spec.to_toml()) == spec`.
+    pub fn to_toml(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = writeln!(s, "name = {}", toml_str(&self.name));
+        if !self.description.is_empty() {
+            let _ = writeln!(s, "description = {}", toml_str(&self.description));
+        }
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "n = {}", self.n);
+        let _ = writeln!(
+            s,
+            "algorithm = {}",
+            toml_str(&format_algorithm(self.algorithm))
+        );
+        let _ = writeln!(s, "horizon = {}", self.horizon);
+        let _ = writeln!(s, "tick_interval = {}", self.tick_interval);
+        let _ = writeln!(s, "tick_jitter = {}", self.tick_jitter);
+        if self.stats_interval != 0 {
+            let _ = writeln!(s, "stats_interval = {}", self.stats_interval);
+        }
+        let _ = writeln!(s, "window = {}", self.window);
+        let _ = writeln!(s, "stop = {}", toml_str(self.stop.as_str()));
+        let _ = writeln!(s, "loss = {}", encode_loss(&self.loss));
+        let _ = writeln!(s, "delay = {}", encode_delay(&self.delay));
+        if let Some(fd) = &self.fd {
+            s.push_str(&encode_fd(fd));
+        }
+        match &self.workload {
+            WorkloadSpec::Generated {
+                count,
+                spacing,
+                start,
+            } => {
+                let _ = writeln!(s, "\n[workload]");
+                let _ = writeln!(s, "count = {count}");
+                let _ = writeln!(s, "spacing = {spacing}");
+                let _ = writeln!(s, "start = {start}");
+            }
+            WorkloadSpec::Explicit(list) => {
+                for b in list {
+                    let _ = writeln!(s, "\n[[workload.explicit]]");
+                    let _ = writeln!(s, "time = {}", b.time);
+                    let _ = writeln!(s, "pid = {}", b.pid);
+                    let _ = writeln!(s, "payload = {}", toml_str(&b.payload));
+                }
+            }
+        }
+        for c in &self.crashes {
+            let _ = writeln!(s, "\n[[crash]]");
+            let _ = writeln!(s, "pid = {}", c.pid);
+            match c.rule {
+                CrashRule::At(t) => {
+                    let _ = writeln!(s, "at = {t}");
+                }
+                CrashRule::OnFirstDelivery { delay } => {
+                    let _ = writeln!(s, "on_first_delivery = true");
+                    let _ = writeln!(s, "delay = {delay}");
+                }
+                // `never` exempts the pid from a [crash_random] draw.
+                CrashRule::Never => {
+                    let _ = writeln!(s, "never = true");
+                }
+            }
+        }
+        if let Some(r) = &self.crash_random {
+            let _ = writeln!(s, "\n[crash_random]");
+            let _ = writeln!(s, "count = {}", r.count);
+            let _ = writeln!(s, "horizon = {}", r.horizon);
+            if let Some(p) = r.protect {
+                let _ = writeln!(s, "protect = {p}");
+            }
+        }
+        for l in &self.links {
+            let _ = writeln!(s, "\n[[link]]");
+            let _ = writeln!(s, "from = {}", l.from);
+            let _ = writeln!(s, "to = {}", l.to);
+            if let Some(loss) = &l.loss {
+                let _ = writeln!(s, "loss = {}", encode_loss(loss));
+            }
+            if let Some(delay) = &l.delay {
+                let _ = writeln!(s, "delay = {}", encode_delay(delay));
+            }
+        }
+        for b in &self.blackouts {
+            let _ = writeln!(s, "\n[[blackout]]");
+            let _ = writeln!(s, "from = {}", b.from);
+            let _ = writeln!(s, "to = {}", b.to);
+            let _ = writeln!(s, "start = {}", b.start);
+            let _ = writeln!(s, "end = {}", b.end);
+        }
+        for sched in &self.schedules {
+            s.push_str(&encode_schedule(sched));
+        }
+        if !self.expect.is_unconstrained() {
+            let _ = writeln!(s, "\n[expect]");
+            let mut bool_line = |key: &str, v: Option<bool>| {
+                if let Some(b) = v {
+                    let _ = writeln!(s, "{key} = {b}");
+                }
+            };
+            bool_line("all_ok", self.expect.all_ok);
+            bool_line("validity", self.expect.validity);
+            bool_line("agreement", self.expect.agreement);
+            bool_line("integrity", self.expect.integrity);
+            bool_line("quiescent", self.expect.quiescent);
+            if let Some(m) = self.expect.min_deliveries {
+                let _ = writeln!(s, "min_deliveries = {m}");
+            }
+        }
+        s
+    }
+
+    /// Compiles the spec into a runnable [`SimConfig`], validating every
+    /// cross-field constraint on the way (pid ranges, resilience bounds,
+    /// probability ranges, window sanity).
+    pub fn compile(&self) -> Result<SimConfig, SpecError> {
+        let n = self.n;
+        if n == 0 {
+            return Err(SpecError::new("n must be positive"));
+        }
+        let mut cfg = SimConfig::new(n, self.algorithm)
+            .seed(self.seed)
+            .max_time(self.horizon);
+        cfg.tick_interval = self.tick_interval;
+        cfg.tick_jitter = self.tick_jitter;
+        cfg.stats_interval = self.stats_interval;
+        cfg.window = self.window.max(1);
+        cfg.loss = self.loss;
+        cfg.delay = self.delay;
+        check_loss(&self.loss)?;
+        (cfg.stop_on_quiescence, cfg.stop_on_full_delivery) = match self.stop {
+            StopRule::Quiescence => (true, false),
+            StopRule::FullDelivery => (true, true),
+            StopRule::Horizon => (false, false),
+        };
+        if let Some(fd) = &self.fd {
+            cfg.fd = match fd {
+                FdSpec::None => FdKind::None,
+                FdSpec::Oracle(c) => FdKind::Oracle(*c),
+                FdSpec::Heartbeat(c) => FdKind::Heartbeat(*c),
+            };
+        }
+
+        cfg.broadcasts = match &self.workload {
+            WorkloadSpec::Generated {
+                count,
+                spacing,
+                start,
+            } => (0..*count)
+                .map(|i| PlannedBroadcast {
+                    time: start + i as u64 * spacing,
+                    pid: i % n,
+                    payload: Payload::from(format!("m{i}").as_str()),
+                })
+                .collect(),
+            WorkloadSpec::Explicit(list) => list
+                .iter()
+                .map(|b| {
+                    check_pid(n, b.pid, "workload pid")?;
+                    Ok(PlannedBroadcast {
+                        time: b.time,
+                        pid: b.pid,
+                        payload: Payload::from(b.payload.as_str()),
+                    })
+                })
+                .collect::<Result<_, SpecError>>()?,
+        };
+
+        // Crash plan: random base first, explicit rules on top.
+        let mut rules: Vec<CrashRule> = match &self.crash_random {
+            Some(r) => {
+                if r.count >= n {
+                    return Err(SpecError::new(format!(
+                        "crash_random.count {} leaves no correct process (n = {n})",
+                        r.count
+                    )));
+                }
+                if let Some(p) = r.protect {
+                    check_pid(n, p, "crash_random.protect")?;
+                }
+                let plan =
+                    CrashPlan::random(n, r.count, r.horizon, self.seed ^ 0xAD7E_C5A1, r.protect);
+                (0..n).map(|i| plan.rule(i)).collect()
+            }
+            None => vec![CrashRule::Never; n],
+        };
+        for c in &self.crashes {
+            check_pid(n, c.pid, "crash pid")?;
+            rules[c.pid] = c.rule;
+        }
+        cfg.crashes = CrashPlan::from_rules(rules);
+        if cfg.crashes.faulty_count() >= n {
+            return Err(SpecError::new(
+                "crash plan leaves no correct process (the model requires one)",
+            ));
+        }
+
+        for l in &self.links {
+            check_pid(n, l.from, "link.from")?;
+            check_pid(n, l.to, "link.to")?;
+            if l.loss.is_none() && l.delay.is_none() {
+                return Err(SpecError::new(format!(
+                    "link {} → {} overrides neither loss nor delay",
+                    l.from, l.to
+                )));
+            }
+            if let Some(loss) = l.loss {
+                check_loss(&loss)?;
+                cfg.link_overrides.push(LinkOverride {
+                    from: l.from,
+                    to: l.to,
+                    loss,
+                });
+            }
+            if let Some(delay) = l.delay {
+                cfg.delay_overrides.push(DelayOverride {
+                    from: l.from,
+                    to: l.to,
+                    delay,
+                });
+            }
+        }
+        for b in &self.blackouts {
+            check_pid(n, b.from, "blackout.from")?;
+            check_pid(n, b.to, "blackout.to")?;
+            if b.start >= b.end {
+                return Err(SpecError::new(format!(
+                    "blackout window [{}, {}) never opens",
+                    b.start, b.end
+                )));
+            }
+            cfg.blackouts.push(*b);
+        }
+        for sched in &self.schedules {
+            sched
+                .apply(&mut cfg)
+                .map_err(|e| SpecError::new(format!("schedule {:?}: {e}", sched.kind())))?;
+        }
+        Ok(cfg)
+    }
+
+    /// Compiles and runs the scenario, returning the outcome and the list
+    /// of violated expectations (empty = the scenario passed).
+    pub fn run(&self) -> Result<(RunOutcome, Vec<String>), SpecError> {
+        let out = crate::sim::run(self.compile()?);
+        let fails = self.expect.check(&out);
+        Ok((out, fails))
+    }
+}
+
+// ------------------------------------------------------------------
+// The embedded corpus.
+
+/// The shipped scenario corpus (`scenarios/*.toml`), embedded so tests,
+/// benches and examples replay it regardless of working directory. Pairs
+/// of `(file stem, TOML text)`.
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "clean_smoke",
+            include_str!("../../../scenarios/clean_smoke.toml"),
+        ),
+        (
+            "lossy_crashes",
+            include_str!("../../../scenarios/lossy_crashes.toml"),
+        ),
+        (
+            "partition_heal",
+            include_str!("../../../scenarios/partition_heal.toml"),
+        ),
+        (
+            "ack_starvation",
+            include_str!("../../../scenarios/ack_starvation.toml"),
+        ),
+        ("churn", include_str!("../../../scenarios/churn.toml")),
+        (
+            "crash_storm",
+            include_str!("../../../scenarios/crash_storm.toml"),
+        ),
+        (
+            "targeted_delay",
+            include_str!("../../../scenarios/targeted_delay.toml"),
+        ),
+        (
+            "theorem2_violation",
+            include_str!("../../../scenarios/theorem2_violation.toml"),
+        ),
+    ]
+}
+
+// ------------------------------------------------------------------
+// Algorithm names.
+
+/// Parses the spec-file algorithm string (`"majority"`, `"quiescent"`,
+/// `"quiescent-literal"`, `"best-effort"`, `"eager-rb"`, `"backoff:<cap>"`,
+/// `"weakened:<threshold>"`).
+pub fn parse_algorithm(s: &str) -> Result<Algorithm, SpecError> {
+    if let Some(cap) = s.strip_prefix("backoff:") {
+        let cap: u32 = cap
+            .parse()
+            .map_err(|_| SpecError::new(format!("bad backoff cap in {s:?}")))?;
+        return Ok(Algorithm::MajorityBackoff { cap });
+    }
+    if let Some(th) = s.strip_prefix("weakened:") {
+        let threshold: u32 = th
+            .parse()
+            .map_err(|_| SpecError::new(format!("bad weakened threshold in {s:?}")))?;
+        return Ok(Algorithm::WeakenedMajority { threshold });
+    }
+    Ok(match s {
+        "majority" => Algorithm::Majority,
+        "quiescent" => Algorithm::Quiescent,
+        "quiescent-literal" => Algorithm::QuiescentLiteral,
+        "best-effort" => Algorithm::BestEffort,
+        "eager-rb" => Algorithm::EagerRb,
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown algorithm {other:?} (majority | quiescent | quiescent-literal | \
+                 best-effort | eager-rb | backoff:<cap> | weakened:<threshold>)"
+            )))
+        }
+    })
+}
+
+/// Inverse of [`parse_algorithm`].
+pub fn format_algorithm(alg: Algorithm) -> String {
+    match alg {
+        Algorithm::Majority => "majority".into(),
+        Algorithm::Quiescent => "quiescent".into(),
+        Algorithm::QuiescentLiteral => "quiescent-literal".into(),
+        Algorithm::BestEffort => "best-effort".into(),
+        Algorithm::EagerRb => "eager-rb".into(),
+        Algorithm::MajorityBackoff { cap } => format!("backoff:{cap}"),
+        Algorithm::WeakenedMajority { threshold } => format!("weakened:{threshold}"),
+    }
+}
+
+// ------------------------------------------------------------------
+// Value-tree decoding helpers.
+
+fn as_table<'a>(v: &'a Value, what: &str) -> Result<&'a BTreeMap<String, Value>, SpecError> {
+    match v {
+        Value::Object(map) => Ok(map),
+        _ => Err(SpecError::new(format!("{what} must be a table"))),
+    }
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a Vec<Value>, SpecError> {
+    v.as_array()
+        .ok_or_else(|| SpecError::new(format!("{what} must be an array")))
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, SpecError> {
+    v.as_str()
+        .ok_or_else(|| SpecError::new(format!("{what} must be a string")))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, SpecError> {
+    v.as_u64()
+        .ok_or_else(|| SpecError::new(format!("{what} must be a non-negative integer")))
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, SpecError> {
+    v.as_f64()
+        .ok_or_else(|| SpecError::new(format!("{what} must be a number")))
+}
+
+fn as_bool(v: &Value, what: &str) -> Result<bool, SpecError> {
+    v.as_bool()
+        .ok_or_else(|| SpecError::new(format!("{what} must be a boolean")))
+}
+
+fn check_keys(
+    map: &BTreeMap<String, Value>,
+    allowed: &[&str],
+    what: &str,
+) -> Result<(), SpecError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SpecError::new(format!(
+                "unknown key `{key}` in {what} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn req_str(map: &BTreeMap<String, Value>, key: &str) -> Result<String, SpecError> {
+    match map.get(key) {
+        Some(v) => Ok(as_str(v, key)?.to_string()),
+        None => Err(SpecError::new(format!("missing required key `{key}`"))),
+    }
+}
+
+fn opt_str(map: &BTreeMap<String, Value>, key: &str, default: &str) -> Result<String, SpecError> {
+    match map.get(key) {
+        Some(v) => Ok(as_str(v, key)?.to_string()),
+        None => Ok(default.to_string()),
+    }
+}
+
+fn req_u64(map: &BTreeMap<String, Value>, key: &str) -> Result<u64, SpecError> {
+    match map.get(key) {
+        Some(v) => as_u64(v, key),
+        None => Err(SpecError::new(format!("missing required key `{key}`"))),
+    }
+}
+
+fn opt_u64(map: &BTreeMap<String, Value>, key: &str, default: u64) -> Result<u64, SpecError> {
+    match map.get(key) {
+        Some(v) => as_u64(v, key),
+        None => Ok(default),
+    }
+}
+
+fn req_usize(map: &BTreeMap<String, Value>, key: &str) -> Result<usize, SpecError> {
+    Ok(req_u64(map, key)? as usize)
+}
+
+fn opt_f64(map: &BTreeMap<String, Value>, key: &str, default: f64) -> Result<f64, SpecError> {
+    match map.get(key) {
+        Some(v) => as_f64(v, key),
+        None => Ok(default),
+    }
+}
+
+fn pid_list(v: &Value, what: &str) -> Result<Vec<usize>, SpecError> {
+    as_array(v, what)?
+        .iter()
+        .map(|item| Ok(as_u64(item, what)? as usize))
+        .collect()
+}
+
+fn check_pid(n: usize, pid: usize, what: &str) -> Result<(), SpecError> {
+    if pid >= n {
+        Err(SpecError::new(format!(
+            "{what} {pid} out of range for n = {n}"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_probability(p: f64, what: &str) -> Result<(), SpecError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(SpecError::new(format!("{what} {p} not in [0, 1]")))
+    }
+}
+
+fn check_loss(loss: &LossModel) -> Result<(), SpecError> {
+    match loss {
+        LossModel::None | LossModel::Always => Ok(()),
+        LossModel::Bernoulli { p } | LossModel::BoundedBernoulli { p, .. } => {
+            check_probability(*p, "loss probability")
+        }
+        LossModel::Burst {
+            p_enter,
+            p_exit,
+            p_loss,
+        } => {
+            check_probability(*p_enter, "burst p_enter")?;
+            check_probability(*p_exit, "burst p_exit")?;
+            check_probability(*p_loss, "burst p_loss")
+        }
+    }
+}
+
+fn decode_loss(v: &Value) -> Result<LossModel, SpecError> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "none" => Ok(LossModel::None),
+            "always" => Ok(LossModel::Always),
+            other => Err(SpecError::new(format!(
+                "loss {other:?} needs a table form (only \"none\" and \"always\" are bare)"
+            ))),
+        };
+    }
+    let map = as_table(v, "loss")?;
+    let model = req_str(map, "model")?;
+    match model.as_str() {
+        "none" => {
+            check_keys(map, &["model"], "loss")?;
+            Ok(LossModel::None)
+        }
+        "always" => {
+            check_keys(map, &["model"], "loss")?;
+            Ok(LossModel::Always)
+        }
+        "bernoulli" => {
+            check_keys(map, &["model", "p"], "loss")?;
+            Ok(LossModel::Bernoulli {
+                p: as_f64(
+                    map.get("p")
+                        .ok_or_else(|| SpecError::new("bernoulli loss needs `p`"))?,
+                    "p",
+                )?,
+            })
+        }
+        "bounded-bernoulli" => {
+            check_keys(map, &["model", "p", "max_consecutive"], "loss")?;
+            Ok(LossModel::BoundedBernoulli {
+                p: opt_f64(map, "p", 0.0)?,
+                max_consecutive: req_u64(map, "max_consecutive")? as u32,
+            })
+        }
+        "burst" => {
+            check_keys(map, &["model", "p_enter", "p_exit", "p_loss"], "loss")?;
+            Ok(LossModel::Burst {
+                p_enter: opt_f64(map, "p_enter", 0.0)?,
+                p_exit: opt_f64(map, "p_exit", 1.0)?,
+                p_loss: opt_f64(map, "p_loss", 0.0)?,
+            })
+        }
+        other => Err(SpecError::new(format!(
+            "unknown loss model {other:?} (none | bernoulli | bounded-bernoulli | burst | always)"
+        ))),
+    }
+}
+
+fn encode_loss(loss: &LossModel) -> String {
+    match loss {
+        LossModel::None => "{ model = \"none\" }".into(),
+        LossModel::Always => "{ model = \"always\" }".into(),
+        LossModel::Bernoulli { p } => format!("{{ model = \"bernoulli\", p = {p:?} }}"),
+        LossModel::BoundedBernoulli { p, max_consecutive } => format!(
+            "{{ model = \"bounded-bernoulli\", p = {p:?}, max_consecutive = {max_consecutive} }}"
+        ),
+        LossModel::Burst {
+            p_enter,
+            p_exit,
+            p_loss,
+        } => format!(
+            "{{ model = \"burst\", p_enter = {p_enter:?}, p_exit = {p_exit:?}, p_loss = {p_loss:?} }}"
+        ),
+    }
+}
+
+fn decode_delay(v: &Value) -> Result<DelayModel, SpecError> {
+    let map = as_table(v, "delay")?;
+    let model = req_str(map, "model")?;
+    match model.as_str() {
+        "constant" => {
+            check_keys(map, &["model", "ticks"], "delay")?;
+            Ok(DelayModel::Constant(req_u64(map, "ticks")?))
+        }
+        "uniform" => {
+            check_keys(map, &["model", "min", "max"], "delay")?;
+            let min = req_u64(map, "min")?;
+            let max = req_u64(map, "max")?;
+            if max < min {
+                return Err(SpecError::new(format!(
+                    "uniform delay max {max} below min {min}"
+                )));
+            }
+            Ok(DelayModel::Uniform { min, max })
+        }
+        "geometric" => {
+            check_keys(map, &["model", "base", "p_more", "cap"], "delay")?;
+            let p_more = opt_f64(map, "p_more", 0.0)?;
+            if !(0.0..1.0).contains(&p_more) {
+                return Err(SpecError::new(format!(
+                    "geometric delay p_more {p_more} not in [0, 1)"
+                )));
+            }
+            Ok(DelayModel::GeometricTail {
+                base: opt_u64(map, "base", 1)?,
+                p_more,
+                cap: req_u64(map, "cap")?,
+            })
+        }
+        other => Err(SpecError::new(format!(
+            "unknown delay model {other:?} (constant | uniform | geometric)"
+        ))),
+    }
+}
+
+fn encode_delay(delay: &DelayModel) -> String {
+    match delay {
+        DelayModel::Constant(t) => format!("{{ model = \"constant\", ticks = {t} }}"),
+        DelayModel::Uniform { min, max } => {
+            format!("{{ model = \"uniform\", min = {min}, max = {max} }}")
+        }
+        DelayModel::GeometricTail { base, p_more, cap } => {
+            format!("{{ model = \"geometric\", base = {base}, p_more = {p_more:?}, cap = {cap} }}")
+        }
+    }
+}
+
+fn decode_fd(v: &Value) -> Result<FdSpec, SpecError> {
+    let map = as_table(v, "fd")?;
+    let kind = req_str(map, "kind")?;
+    match kind.as_str() {
+        "none" => {
+            check_keys(map, &["kind"], "fd")?;
+            Ok(FdSpec::None)
+        }
+        "oracle" => {
+            check_keys(
+                map,
+                &[
+                    "kind",
+                    "appearance_spread",
+                    "theta_removal_delay",
+                    "pstar_removal_delay",
+                    "pstar_ready_slack",
+                    "faulty_knowledge",
+                ],
+                "fd",
+            )?;
+            let d = OracleConfig::default();
+            Ok(FdSpec::Oracle(OracleConfig {
+                appearance_spread: opt_u64(map, "appearance_spread", d.appearance_spread)?,
+                theta_removal_delay: opt_u64(map, "theta_removal_delay", d.theta_removal_delay)?,
+                pstar_removal_delay: opt_u64(map, "pstar_removal_delay", d.pstar_removal_delay)?,
+                pstar_ready_slack: opt_u64(map, "pstar_ready_slack", d.pstar_ready_slack)?,
+                faulty_knowledge: match map.get("faulty_knowledge") {
+                    Some(v) => as_bool(v, "faulty_knowledge")?,
+                    None => d.faulty_knowledge,
+                },
+            }))
+        }
+        "heartbeat" => {
+            check_keys(map, &["kind", "period", "timeout"], "fd")?;
+            let d = HeartbeatConfig::default();
+            Ok(FdSpec::Heartbeat(HeartbeatConfig {
+                period: opt_u64(map, "period", d.period)?,
+                timeout: opt_u64(map, "timeout", d.timeout)?,
+            }))
+        }
+        other => Err(SpecError::new(format!(
+            "unknown fd kind {other:?} (none | oracle | heartbeat)"
+        ))),
+    }
+}
+
+fn encode_fd(fd: &FdSpec) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\n[fd]");
+    match fd {
+        FdSpec::None => {
+            let _ = writeln!(s, "kind = \"none\"");
+        }
+        FdSpec::Oracle(c) => {
+            let _ = writeln!(s, "kind = \"oracle\"");
+            let _ = writeln!(s, "appearance_spread = {}", c.appearance_spread);
+            let _ = writeln!(s, "theta_removal_delay = {}", c.theta_removal_delay);
+            let _ = writeln!(s, "pstar_removal_delay = {}", c.pstar_removal_delay);
+            let _ = writeln!(s, "pstar_ready_slack = {}", c.pstar_ready_slack);
+            let _ = writeln!(s, "faulty_knowledge = {}", c.faulty_knowledge);
+        }
+        FdSpec::Heartbeat(c) => {
+            let _ = writeln!(s, "kind = \"heartbeat\"");
+            let _ = writeln!(s, "period = {}", c.period);
+            let _ = writeln!(s, "timeout = {}", c.timeout);
+        }
+    }
+    s
+}
+
+fn decode_link(v: &Value) -> Result<LinkSpec, SpecError> {
+    let map = as_table(v, "link")?;
+    check_keys(map, &["from", "to", "loss", "delay"], "link")?;
+    Ok(LinkSpec {
+        from: req_usize(map, "from")?,
+        to: req_usize(map, "to")?,
+        loss: map.get("loss").map(decode_loss).transpose()?,
+        delay: map.get("delay").map(decode_delay).transpose()?,
+    })
+}
+
+fn decode_blackout(v: &Value) -> Result<Blackout, SpecError> {
+    let map = as_table(v, "blackout")?;
+    check_keys(map, &["from", "to", "start", "end"], "blackout")?;
+    Ok(Blackout {
+        from: req_usize(map, "from")?,
+        to: req_usize(map, "to")?,
+        start: req_u64(map, "start")?,
+        end: req_u64(map, "end")?,
+    })
+}
+
+fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
+    let map = as_table(v, "workload")?;
+    check_keys(map, &["count", "spacing", "start", "explicit"], "workload")?;
+    if let Some(list) = map.get("explicit") {
+        if map.contains_key("count") {
+            return Err(SpecError::new(
+                "workload has both `count` and `explicit` — pick one form",
+            ));
+        }
+        let list = as_array(list, "workload.explicit")?
+            .iter()
+            .map(|item| {
+                let map = as_table(item, "workload.explicit")?;
+                check_keys(map, &["time", "pid", "payload"], "workload.explicit")?;
+                Ok(BroadcastSpec {
+                    time: req_u64(map, "time")?,
+                    pid: req_usize(map, "pid")?,
+                    payload: req_str(map, "payload")?,
+                })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        if list.is_empty() {
+            return Err(SpecError::new("workload.explicit must not be empty"));
+        }
+        return Ok(WorkloadSpec::Explicit(list));
+    }
+    Ok(WorkloadSpec::Generated {
+        count: req_usize(map, "count")?,
+        spacing: opt_u64(map, "spacing", 100)?,
+        start: opt_u64(map, "start", 10)?,
+    })
+}
+
+fn decode_crash(v: &Value) -> Result<CrashRuleSpec, SpecError> {
+    let map = as_table(v, "crash")?;
+    check_keys(
+        map,
+        &["pid", "at", "on_first_delivery", "delay", "never"],
+        "crash",
+    )?;
+    let pid = req_usize(map, "pid")?;
+    let on_first = match map.get("on_first_delivery") {
+        Some(v) => as_bool(v, "on_first_delivery")?,
+        None => false,
+    };
+    let never = match map.get("never") {
+        Some(v) => as_bool(v, "never")?,
+        None => false,
+    };
+    // The three forms are mutually exclusive: a spec that says both would
+    // otherwise run a *different* adversary than one of its lines claims.
+    let forms = usize::from(on_first) + usize::from(never) + usize::from(map.contains_key("at"));
+    if forms != 1 {
+        return Err(SpecError::new(format!(
+            "crash entry for pid {pid} needs exactly one of `at`, \
+             `on_first_delivery = true` or `never = true`"
+        )));
+    }
+    if map.contains_key("delay") && !on_first {
+        return Err(SpecError::new(format!(
+            "crash entry for pid {pid}: `delay` only applies to `on_first_delivery`"
+        )));
+    }
+    let rule = if on_first {
+        CrashRule::OnFirstDelivery {
+            delay: opt_u64(map, "delay", 0)?,
+        }
+    } else if never {
+        CrashRule::Never
+    } else {
+        CrashRule::At(req_u64(map, "at")?)
+    };
+    Ok(CrashRuleSpec { pid, rule })
+}
+
+fn decode_crash_random(v: &Value) -> Result<RandomCrashSpec, SpecError> {
+    let map = as_table(v, "crash_random")?;
+    check_keys(map, &["count", "horizon", "protect"], "crash_random")?;
+    Ok(RandomCrashSpec {
+        count: req_usize(map, "count")?,
+        horizon: opt_u64(map, "horizon", 400)?,
+        protect: map
+            .get("protect")
+            .map(|v| Ok::<usize, SpecError>(as_u64(v, "protect")? as usize))
+            .transpose()?,
+    })
+}
+
+fn decode_schedule(v: &Value) -> Result<Schedule, SpecError> {
+    let map = as_table(v, "schedule")?;
+    let kind = req_str(map, "kind")?;
+    match kind.as_str() {
+        "partition-heal" => {
+            check_keys(map, &["kind", "a", "b", "start", "end"], "schedule")?;
+            Ok(Schedule::PartitionHeal {
+                a: pid_list(
+                    map.get("a")
+                        .ok_or_else(|| SpecError::new("partition-heal needs `a`"))?,
+                    "a",
+                )?,
+                b: pid_list(
+                    map.get("b")
+                        .ok_or_else(|| SpecError::new("partition-heal needs `b`"))?,
+                    "b",
+                )?,
+                start: opt_u64(map, "start", 0)?,
+                end: req_u64(map, "end")?,
+            })
+        }
+        "ack-starvation" => {
+            check_keys(map, &["kind", "victim", "start", "end"], "schedule")?;
+            Ok(Schedule::AckStarvation {
+                victim: req_usize(map, "victim")?,
+                start: opt_u64(map, "start", 0)?,
+                end: req_u64(map, "end")?,
+            })
+        }
+        "targeted-delay" => {
+            check_keys(map, &["kind", "links", "base", "p_more", "cap"], "schedule")?;
+            let links = as_array(
+                map.get("links")
+                    .ok_or_else(|| SpecError::new("targeted-delay needs `links`"))?,
+                "links",
+            )?
+            .iter()
+            .map(|pair| {
+                let pair = as_array(pair, "links entry")?;
+                if pair.len() != 2 {
+                    return Err(SpecError::new("each links entry must be [from, to]"));
+                }
+                Ok((
+                    as_u64(&pair[0], "links.from")? as usize,
+                    as_u64(&pair[1], "links.to")? as usize,
+                ))
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+            Ok(Schedule::TargetedDelay {
+                links,
+                base: opt_u64(map, "base", 1)?,
+                p_more: opt_f64(map, "p_more", 0.5)?,
+                cap: req_u64(map, "cap")?,
+            })
+        }
+        "crash-storm" => {
+            check_keys(
+                map,
+                &["kind", "count", "start", "width", "protect"],
+                "schedule",
+            )?;
+            Ok(Schedule::CrashStorm {
+                count: req_usize(map, "count")?,
+                start: opt_u64(map, "start", 0)?,
+                width: opt_u64(map, "width", 0)?,
+                protect: map
+                    .get("protect")
+                    .map(|v| Ok::<usize, SpecError>(as_u64(v, "protect")? as usize))
+                    .transpose()?,
+            })
+        }
+        "churn" => {
+            check_keys(
+                map,
+                &["kind", "a", "b", "start", "cut", "heal", "cycles"],
+                "schedule",
+            )?;
+            Ok(Schedule::Churn {
+                a: pid_list(
+                    map.get("a")
+                        .ok_or_else(|| SpecError::new("churn needs `a`"))?,
+                    "a",
+                )?,
+                b: pid_list(
+                    map.get("b")
+                        .ok_or_else(|| SpecError::new("churn needs `b`"))?,
+                    "b",
+                )?,
+                start: opt_u64(map, "start", 0)?,
+                cut: req_u64(map, "cut")?,
+                heal: req_u64(map, "heal")?,
+                cycles: req_u64(map, "cycles")? as u32,
+            })
+        }
+        other => Err(SpecError::new(format!(
+            "unknown schedule kind {other:?} (partition-heal | ack-starvation | \
+             targeted-delay | crash-storm | churn)"
+        ))),
+    }
+}
+
+fn encode_schedule(s: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n[[schedule]]");
+    let _ = writeln!(out, "kind = {}", toml_str(s.kind()));
+    let list = |v: &[usize]| -> String {
+        let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        format!("[{}]", items.join(", "))
+    };
+    match s {
+        Schedule::PartitionHeal { a, b, start, end } => {
+            let _ = writeln!(out, "a = {}", list(a));
+            let _ = writeln!(out, "b = {}", list(b));
+            let _ = writeln!(out, "start = {start}");
+            let _ = writeln!(out, "end = {end}");
+        }
+        Schedule::AckStarvation { victim, start, end } => {
+            let _ = writeln!(out, "victim = {victim}");
+            let _ = writeln!(out, "start = {start}");
+            let _ = writeln!(out, "end = {end}");
+        }
+        Schedule::TargetedDelay {
+            links,
+            base,
+            p_more,
+            cap,
+        } => {
+            let pairs: Vec<String> = links.iter().map(|(f, t)| format!("[{f}, {t}]")).collect();
+            let _ = writeln!(out, "links = [{}]", pairs.join(", "));
+            let _ = writeln!(out, "base = {base}");
+            let _ = writeln!(out, "p_more = {p_more:?}");
+            let _ = writeln!(out, "cap = {cap}");
+        }
+        Schedule::CrashStorm {
+            count,
+            start,
+            width,
+            protect,
+        } => {
+            let _ = writeln!(out, "count = {count}");
+            let _ = writeln!(out, "start = {start}");
+            let _ = writeln!(out, "width = {width}");
+            if let Some(p) = protect {
+                let _ = writeln!(out, "protect = {p}");
+            }
+        }
+        Schedule::Churn {
+            a,
+            b,
+            start,
+            cut,
+            heal,
+            cycles,
+        } => {
+            let _ = writeln!(out, "a = {}", list(a));
+            let _ = writeln!(out, "b = {}", list(b));
+            let _ = writeln!(out, "start = {start}");
+            let _ = writeln!(out, "cut = {cut}");
+            let _ = writeln!(out, "heal = {heal}");
+            let _ = writeln!(out, "cycles = {cycles}");
+        }
+    }
+    out
+}
+
+fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
+    let map = as_table(v, "expect")?;
+    check_keys(
+        map,
+        &[
+            "all_ok",
+            "validity",
+            "agreement",
+            "integrity",
+            "quiescent",
+            "min_deliveries",
+        ],
+        "expect",
+    )?;
+    let get_bool = |key: &str| -> Result<Option<bool>, SpecError> {
+        map.get(key).map(|v| as_bool(v, key)).transpose()
+    };
+    Ok(Expectations {
+        all_ok: get_bool("all_ok")?,
+        validity: get_bool("validity")?,
+        agreement: get_bool("agreement")?,
+        integrity: get_bool("integrity")?,
+        quiescent: get_bool("quiescent")?,
+        min_deliveries: map
+            .get("min_deliveries")
+            .map(|v| Ok::<usize, SpecError>(as_u64(v, "min_deliveries")? as usize))
+            .transpose()?,
+    })
+}
+
+fn toml_str(s: &str) -> String {
+    format!("\"{}\"", serde_json::escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run;
+
+    #[test]
+    fn minimal_toml_spec_gets_defaults() {
+        let spec = ScenarioSpec::from_toml_str("name = \"tiny\"\nn = 4\n").unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.n, 4);
+        assert_eq!(spec.algorithm, Algorithm::Quiescent);
+        assert_eq!(spec.stop, StopRule::Quiescence);
+        assert_eq!(spec.loss, LossModel::None);
+        assert!(spec.expect.is_unconstrained());
+        let (out, fails) = spec.run().unwrap();
+        assert!(fails.is_empty(), "{fails:?}");
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_everywhere() {
+        for bad in [
+            "name = \"x\"\nn = 4\ntypo = 1\n",
+            "name = \"x\"\nn = 4\nloss = { model = \"bernoulli\", prob = 0.2 }\n",
+            "name = \"x\"\nn = 4\n[expect]\nall_okay = true\n",
+            "name = \"x\"\nn = 4\n[[schedule]]\nkind = \"churn\"\na = [0]\nb = [1]\ncut = 5\nheal = 5\ncycles = 1\nwat = 2\n",
+        ] {
+            let err = ScenarioSpec::from_toml_str(bad).unwrap_err();
+            assert!(err.message.contains("unknown key"), "{err}");
+        }
+    }
+
+    #[test]
+    fn json_and_toml_decode_identically() {
+        let toml = "name = \"pair\"\nn = 5\nalgorithm = \"majority\"\n\
+                    loss = { model = \"bernoulli\", p = 0.25 }\nstop = \"full-delivery\"\n";
+        let json = r#"{
+            "name": "pair", "n": 5, "algorithm": "majority",
+            "loss": {"model": "bernoulli", "p": 0.25}, "stop": "full-delivery"
+        }"#;
+        assert_eq!(
+            ScenarioSpec::from_toml_str(toml).unwrap(),
+            ScenarioSpec::from_json_str(json).unwrap()
+        );
+        assert_eq!(
+            ScenarioSpec::from_named_str("x.json", json).unwrap(),
+            ScenarioSpec::from_named_str("x.toml", toml).unwrap()
+        );
+    }
+
+    #[test]
+    fn to_toml_round_trips_a_kitchen_sink_spec() {
+        let mut spec = ScenarioSpec::new("sink", 8, Algorithm::MajorityBackoff { cap: 16 });
+        spec.description = "every field exercised \"quoted\"\nsecond line".into();
+        spec.seed = 77;
+        spec.horizon = 44_000;
+        spec.stats_interval = 250;
+        spec.stop = StopRule::FullDelivery;
+        spec.loss = LossModel::Burst {
+            p_enter: 0.02,
+            p_exit: 0.2,
+            p_loss: 0.9,
+        };
+        spec.delay = DelayModel::GeometricTail {
+            base: 2,
+            p_more: 0.5,
+            cap: 30,
+        };
+        spec.fd = Some(FdSpec::Heartbeat(HeartbeatConfig {
+            period: 25,
+            timeout: 150,
+        }));
+        spec.links = vec![LinkSpec {
+            from: 0,
+            to: 3,
+            loss: Some(LossModel::Always),
+            delay: Some(DelayModel::Constant(9)),
+        }];
+        spec.blackouts = vec![Blackout {
+            from: 1,
+            to: 2,
+            start: 5,
+            end: 500,
+        }];
+        spec.workload = WorkloadSpec::Explicit(vec![BroadcastSpec {
+            time: 10,
+            pid: 1,
+            payload: "hello \"world\"".into(),
+        }]);
+        spec.crashes = vec![
+            CrashRuleSpec {
+                pid: 6,
+                rule: CrashRule::At(900),
+            },
+            CrashRuleSpec {
+                pid: 7,
+                rule: CrashRule::OnFirstDelivery { delay: 3 },
+            },
+            CrashRuleSpec {
+                pid: 5,
+                rule: CrashRule::Never,
+            },
+        ];
+        spec.crash_random = Some(RandomCrashSpec {
+            count: 1,
+            horizon: 300,
+            protect: Some(1),
+        });
+        spec.schedules = vec![
+            Schedule::Churn {
+                a: vec![0, 1, 2, 3],
+                b: vec![4, 5, 6, 7],
+                start: 50,
+                cut: 200,
+                heal: 400,
+                cycles: 2,
+            },
+            Schedule::TargetedDelay {
+                links: vec![(0, 4), (0, 5)],
+                base: 1,
+                p_more: 0.7,
+                cap: 60,
+            },
+        ];
+        spec.expect = Expectations {
+            all_ok: Some(true),
+            min_deliveries: Some(4),
+            ..Expectations::default()
+        };
+        let toml = spec.to_toml();
+        let parsed = ScenarioSpec::from_toml_str(&toml).unwrap();
+        assert_eq!(parsed, spec, "round trip through:\n{toml}");
+    }
+
+    #[test]
+    fn compile_validates_cross_field_constraints() {
+        let base = "name = \"v\"\nn = 4\n";
+        for (snippet, needle) in [
+            ("[[crash]]\npid = 9\nat = 5\n", "out of range"),
+            (
+                "[[crash]]\npid = 0\nat = 1\n[[crash]]\npid = 1\nat = 1\n\
+                 [[crash]]\npid = 2\nat = 1\n[[crash]]\npid = 3\nat = 1\n",
+                "no correct process",
+            ),
+            ("[crash_random]\ncount = 4\n", "no correct process"),
+            ("[[link]]\nfrom = 0\nto = 1\n", "neither loss nor delay"),
+            (
+                "[[blackout]]\nfrom = 0\nto = 1\nstart = 9\nend = 9\n",
+                "never opens",
+            ),
+            (
+                "[[schedule]]\nkind = \"ack-starvation\"\nvictim = 8\nend = 10\n",
+                "out of range",
+            ),
+            (
+                "loss = { model = \"bernoulli\", p = 1.5 }\n",
+                "not in [0, 1]",
+            ),
+        ] {
+            let spec = ScenarioSpec::from_toml_str(&format!("{base}{snippet}")).unwrap();
+            let err = spec.compile().unwrap_err();
+            assert!(err.message.contains(needle), "{snippet:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn crash_entry_forms_are_mutually_exclusive() {
+        let base = "name = \"x\"\nn = 4\n";
+        for bad in [
+            "[[crash]]\npid = 1\non_first_delivery = true\nat = 5\n",
+            "[[crash]]\npid = 1\nnever = true\nat = 5\n",
+            "[[crash]]\npid = 1\n",
+            "[[crash]]\npid = 1\nat = 5\ndelay = 2\n",
+        ] {
+            let err = ScenarioSpec::from_toml_str(&format!("{base}{bad}")).unwrap_err();
+            assert!(err.message.contains("crash entry"), "{bad:?} → {err}");
+        }
+        // `never = true` exempts a pid from the random adversary's draw.
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"x\"\nn = 4\n[crash_random]\ncount = 3\nhorizon = 100\n\
+             [[crash]]\npid = 2\nnever = true\n",
+        )
+        .unwrap();
+        let cfg = spec.compile().unwrap();
+        assert_eq!(cfg.crashes.rule(2), CrashRule::Never);
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in [
+            Algorithm::Majority,
+            Algorithm::Quiescent,
+            Algorithm::QuiescentLiteral,
+            Algorithm::BestEffort,
+            Algorithm::EagerRb,
+            Algorithm::MajorityBackoff { cap: 8 },
+            Algorithm::WeakenedMajority { threshold: 3 },
+        ] {
+            assert_eq!(parse_algorithm(&format_algorithm(alg)).unwrap(), alg);
+        }
+        assert!(parse_algorithm("paxos").is_err());
+        assert!(parse_algorithm("backoff:x").is_err());
+    }
+
+    #[test]
+    fn expectations_can_demand_a_violation() {
+        // The Theorem-2 adversary as a spec: agreement must break.
+        let (name, text) = corpus()
+            .into_iter()
+            .find(|(name, _)| *name == "theorem2_violation")
+            .unwrap();
+        let spec = ScenarioSpec::from_toml_str(text).unwrap();
+        assert_eq!(spec.expect.agreement, Some(false), "{name}");
+        let (out, fails) = spec.run().unwrap();
+        assert!(!out.report.agreement.ok(), "agreement must be violated");
+        assert!(fails.is_empty(), "{fails:?}");
+        // Flip the expectation: the same run now fails the scenario.
+        let mut flipped = spec.clone();
+        flipped.expect.agreement = Some(true);
+        let (_, fails) = flipped.run().unwrap();
+        assert!(!fails.is_empty());
+    }
+
+    #[test]
+    fn whole_corpus_parses_compiles_and_passes() {
+        for (name, text) in corpus() {
+            let spec = ScenarioSpec::from_toml_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, name, "file stem matches spec name");
+            let (_, fails) = spec.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(fails.is_empty(), "{name}: {fails:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_runs_are_deterministic_per_spec() {
+        let (_, text) = corpus()[2];
+        let spec = ScenarioSpec::from_toml_str(text).unwrap();
+        let a = run(spec.compile().unwrap());
+        let b = run(spec.compile().unwrap());
+        assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
+    }
+}

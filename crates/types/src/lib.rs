@@ -28,7 +28,7 @@
 //! model (§II).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fd;
 pub mod ids;

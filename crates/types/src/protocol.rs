@@ -36,7 +36,8 @@ pub struct Delivery {
     pub payload: Payload,
     /// True when the deliverer had *not yet received* the `(MSG, m, tag)`
     /// copy at delivery time — the paper's "fast URB_deliver" case (§III,
-    /// Remark). Measured by experiment E10.
+    /// Remark), possible because ACKs piggyback the payload (DESIGN.md
+    /// D1). Measured by experiment E10.
     pub fast: bool,
 }
 

@@ -307,7 +307,8 @@ impl WireMessage {
 
     /// Retransmission identity: two sends count as retransmissions of the
     /// same message for the fairness axiom if they have the same
-    /// [`retransmit_key`](Self::retransmit_key).
+    /// [`retransmit_key`](Self::retransmit_key). This is the per-message
+    /// unit of account the batched message plane preserves (DESIGN.md D8).
     ///
     /// For ACKs in Algorithm 2 the attached label set evolves between
     /// retransmissions while the paper still treats them as "the identical

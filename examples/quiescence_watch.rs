@@ -5,11 +5,31 @@
 //! cargo run --release --example quiescence_watch
 //! ```
 //!
-//! Runs both algorithms in the simulator over the same lossy workload and
-//! prints an ASCII sparkline of MSG/ACK traffic per time window.
+//! Runs both algorithms over the same lossy workload and prints an ASCII
+//! sparkline of MSG/ACK traffic per time window. The workload is a
+//! declarative scenario spec (the same TOML the `urb scenario` subcommand
+//! loads from disk) — only the algorithm line differs between the two
+//! runs, so the contrast is pure protocol.
 
 use anon_urb::prelude::*;
-use urb_sim::scenario;
+use urb_sim::spec::ScenarioSpec;
+
+/// The shared shape, as scenario TOML. `stop = "horizon"` keeps both runs
+/// on the same fixed horizon so the traffic histograms are comparable.
+const WATCH_SPEC: &str = r#"
+name = "quiescence_watch"
+seed = 31
+n = 8
+algorithm = "ALG"
+horizon = 60_000
+stop = "horizon"
+window = 1_000
+loss = { model = "bernoulli", p = 0.2 }
+
+[workload]
+count = 5
+spacing = 100
+"#;
 
 fn sparkline(values: &[u64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -30,11 +50,13 @@ fn main() {
     println!("== quiescence watch: protocol traffic per 1000-tick window ==\n");
     println!("workload: n=8, 5 broadcasts, 20% loss, horizon 60k ticks\n");
 
-    for alg in [Algorithm::Majority, Algorithm::Quiescent] {
-        let out = urb_sim::run(scenario::quiescence_watch(8, alg, 0.2, 5, 60_000, 31));
+    for alg in ["majority", "quiescent"] {
+        let spec =
+            ScenarioSpec::from_toml_str(&WATCH_SPEC.replace("ALG", alg)).expect("valid spec");
+        let out = urb_sim::run(spec.compile().expect("spec compiles"));
         assert!(out.report.all_ok(), "{:?}", out.report.violations());
         let windows = &out.metrics.sends_per_window;
-        println!("{:<16} {}", alg.name(), sparkline(windows));
+        println!("{:<16} {}", out.algorithm, sparkline(windows));
         println!(
             "{:<16} total MSG+ACK: {:>7}   last transmission: t={}   quiescent: {}",
             "",

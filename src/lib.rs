@@ -11,7 +11,9 @@
 //! * [`fd`] ([`urb_fd`]) — the anonymous failure detectors (audited oracle
 //!   and realistic heartbeat implementations);
 //! * [`sim`] ([`urb_sim`]) — the discrete-event simulator, fair-lossy
-//!   channels, crash adversaries, URB property checker and scenarios;
+//!   channels, crash adversaries, URB property checker, scenarios and the
+//!   declarative scenario plane (`spec` + the adversarial schedule
+//!   library);
 //! * [`runtime`] ([`urb_runtime`]) — a threaded deployment of the same
 //!   state machines;
 //! * [`types`] ([`urb_types`]) — shared identifiers, wire format and the
@@ -47,9 +49,16 @@ pub use urb_types as types;
 pub mod prelude {
     pub use urb_core::{self, Algorithm, MajorityUrb, QuiescentUrb};
     pub use urb_runtime::{self, ClusterConfig, UrbCluster};
-    pub use urb_sim::{self, CrashPlan, LossModel, RunOutcome, SimConfig};
+    pub use urb_sim::{self, CrashPlan, LossModel, RunOutcome, ScenarioSpec, Schedule, SimConfig};
     pub use urb_types::{AnonProcess, Delivery, Payload, Tag};
 }
+
+// Compile and run the README's code blocks as doctests (`cargo test
+// --doc`), so the quick-start and library-taste snippets can never drift
+// from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
 
 #[cfg(test)]
 mod tests {
