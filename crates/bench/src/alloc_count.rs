@@ -1,0 +1,91 @@
+//! Heap-allocation counting for the benchmark suite.
+//!
+//! Behind the `count-allocs` feature this module installs a global
+//! allocator that wraps the system allocator and counts every
+//! allocation, letting the A/B harness and the trajectory report
+//! **allocations per operation** — the honest way to verify the
+//! zero-copy codec's "no per-message heap allocation in steady state"
+//! claim (DESIGN.md §10). Without the feature the module compiles to a
+//! no-op whose probes report `None`, so callers need no `cfg` of their
+//! own and the default build keeps the workspace-wide `unsafe` ban.
+//!
+//! ```text
+//! cargo test -p urb-bench --features count-allocs
+//! ```
+
+/// Number of heap allocations observed so far by the counting allocator,
+/// or `None` when the `count-allocs` feature is off.
+pub fn allocation_count() -> Option<u64> {
+    imp::current()
+}
+
+/// Runs `f` and returns `(result, allocations performed by f)`; the
+/// count is `None` when the `count-allocs` feature is off.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    let before = allocation_count();
+    let out = f();
+    let after = allocation_count();
+    (out, before.zip(after).map(|(b, a)| a - b))
+}
+
+#[cfg(feature = "count-allocs")]
+#[allow(unsafe_code)]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator with an allocation counter bolted on. Only
+    /// `alloc`-family calls count (frees do not), since the claim under
+    /// test is about *creating* heap blocks on the hot path.
+    struct CountingAllocator;
+
+    // SAFETY: defers verbatim to `System`, which upholds the GlobalAlloc
+    // contract; the counter side effect does not touch the memory.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub(super) fn current() -> Option<u64> {
+        Some(ALLOCATIONS.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(not(feature = "count-allocs"))]
+mod imp {
+    pub(super) fn current() -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matches_feature_state() {
+        let (value, counted) = count_allocations(|| std::hint::black_box(vec![1u8; 64]));
+        assert_eq!(value.len(), 64);
+        if cfg!(feature = "count-allocs") {
+            assert!(counted.expect("feature on") >= 1, "the Vec allocation");
+        } else {
+            assert!(counted.is_none());
+        }
+    }
+}

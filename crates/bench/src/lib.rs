@@ -10,14 +10,34 @@
 //!
 //! The `benches/` directory adds Criterion micro-benchmarks (protocol step
 //! latency, codec throughput, detector snapshot cost, end-to-end runs).
+//!
+//! Beyond the experiment tables, this crate is the **performance plane**
+//! (DESIGN.md §10):
+//!
+//! * [`trajectory`] — reduced deterministic grids over E1–E17 emitting the
+//!   schema-versioned `BENCH_*.json` perf history (`urb bench --json`);
+//! * [`compare`] — the in-tree A/B harness replaying one seeded corpus
+//!   through the legacy and zero-copy codec paths;
+//! * [`report`] — the shared JSON envelope every tool output wears;
+//! * [`alloc_count`] — allocations-per-operation probes (enable the
+//!   `count-allocs` feature to install the counting global allocator).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// `count-allocs` installs a counting global allocator, which requires an
+// `unsafe impl GlobalAlloc` (confined to `alloc_count::imp`); the default
+// build keeps the workspace-wide ban.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_code))]
+#![deny(missing_docs)]
 
+pub mod alloc_count;
+pub mod compare;
 pub mod executor;
 pub mod experiments;
+pub mod report;
 pub mod stats;
 pub mod table;
+pub mod trajectory;
 
 pub use stats::Summary;
 pub use table::Table;
+pub use trajectory::{Trajectory, TrajectoryConfig};

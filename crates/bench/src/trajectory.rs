@@ -1,0 +1,709 @@
+//! The benchmark-trajectory subsystem: machine-readable perf history.
+//!
+//! `urb bench --json BENCH_PR<k>.json` runs a **reduced, fixed grid** for
+//! every experiment id (E1–E17) and emits one schema-versioned JSON file
+//! — the repo's perf trajectory. Each PR archives one such file; diffing
+//! two of them answers "what did this PR do to throughput, latency and
+//! allocation behaviour?" without re-running anything (DESIGN.md §10
+//! documents the schema and how to read a diff).
+//!
+//! Everything in the file is **deterministic for a fixed seed**: the
+//! grids are pure functions of `(id, seed)`, every reported number is
+//! derived from simulated time (ticks), counts, or trace hashes — never
+//! from the wall clock — and the serial and parallel collectors produce
+//! byte-identical files (asserted in tests; the executor guarantees
+//! run-level parity). The one exception is `allocs_per_run`, which is
+//! `null` unless the `count-allocs` feature is enabled.
+
+use crate::alloc_count::count_allocations;
+use crate::report;
+use crate::table::{f3, Table};
+use std::fmt::Write as _;
+use urb_core::Algorithm;
+use urb_fd::HeartbeatConfig;
+use urb_sim::sim::FdKind;
+use urb_sim::spec::{self, ScenarioSpec};
+use urb_sim::{scenario, Blackout, LossModel, RunOutcome, SimConfig};
+
+/// Envelope `kind` of a trajectory file.
+pub const KIND: &str = "bench-trajectory";
+
+/// What to collect. [`TrajectoryConfig::full`] is what `urb bench` runs
+/// by default; CI's smoke job narrows `ids` and `seeds_per_cell`.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Root seed; every run's seed derives from it and the grid cell.
+    pub seed: u64,
+    /// Seeds per grid cell (3 keeps the full trajectory under a minute
+    /// in release builds; bump for tighter numbers).
+    pub seeds_per_cell: u64,
+    /// Experiment ids to cover (subset of `e1..e17`).
+    pub ids: Vec<String>,
+}
+
+impl TrajectoryConfig {
+    /// The full trajectory: every experiment id, 3 seeds per cell.
+    pub fn full(seed: u64) -> Self {
+        TrajectoryConfig {
+            seed,
+            seeds_per_cell: 3,
+            ids: crate::experiments::ALL_IDS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// One experiment's aggregated, deterministic measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentPoint {
+    /// Experiment id (`"e1"`…`"e17"`).
+    pub id: String,
+    /// Simulated runs aggregated into this point.
+    pub runs: u64,
+    /// Runs on which every applicable URB property (and FD audit) held.
+    pub urb_ok: u64,
+    /// URB deliveries across all runs.
+    pub deliveries: u64,
+    /// MSG+ACK transmissions across all runs.
+    pub transmissions: u64,
+    /// Transmission copies dropped by channels.
+    pub dropped: u64,
+    /// Delivery-latency percentiles in simulated ticks (0 when no
+    /// deliveries, e.g. the blocking arm of E2).
+    pub latency_p50: u64,
+    /// 90th percentile.
+    pub latency_p90: u64,
+    /// 99th percentile.
+    pub latency_p99: u64,
+    /// Mean simulated end time per run, ticks.
+    pub mean_end_time: u64,
+    /// Protocol transmissions per 1000 simulated ticks — the
+    /// wall-clock-free throughput figure.
+    pub throughput_per_ktick: f64,
+    /// Batch-pool hit rate across the runs (routed sub-batches served
+    /// without allocating — the pooled-buffer claim, per experiment).
+    pub pool_hit_rate: f64,
+    /// Heap allocations per run (`None` without `count-allocs`).
+    pub allocs_per_run: Option<f64>,
+    /// Order-sensitive fold of the runs' determinism hashes: two
+    /// trajectories with equal fingerprints replayed identical events.
+    pub trace_fingerprint: u64,
+}
+
+/// A full trajectory: one [`ExperimentPoint`] per requested id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Root seed the grids derived from.
+    pub seed: u64,
+    /// Seeds per cell used.
+    pub seeds_per_cell: u64,
+    /// The measurements, in request order.
+    pub points: Vec<ExperimentPoint>,
+}
+
+/// How to execute the grid runs. The two modes must produce identical
+/// trajectories (runs are pure functions of their config); the parity
+/// test pins it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One run at a time through [`urb_sim::run`].
+    Serial,
+    /// All of a cell's runs fanned across cores via [`urb_sim::run_many`].
+    Parallel,
+}
+
+/// Collects the trajectory, fanning each experiment's grid across all
+/// cores.
+pub fn collect(cfg: &TrajectoryConfig) -> Trajectory {
+    collect_with(cfg, ExecMode::Parallel)
+}
+
+/// Collects with an explicit execution mode (parity testing; the CLI
+/// always uses [`collect`]).
+pub fn collect_with(cfg: &TrajectoryConfig, mode: ExecMode) -> Trajectory {
+    let points = cfg
+        .ids
+        .iter()
+        .map(|id| {
+            let configs = grid(id, cfg.seed, cfg.seeds_per_cell);
+            let runs = configs.len() as u64;
+            let (outcomes, allocs) = count_allocations(|| match mode {
+                ExecMode::Serial => configs.into_iter().map(urb_sim::run).collect::<Vec<_>>(),
+                ExecMode::Parallel => urb_sim::run_many(configs),
+            });
+            aggregate(id, runs, &outcomes, allocs.map(|a| a as f64 / runs as f64))
+        })
+        .collect();
+    Trajectory {
+        seed: cfg.seed,
+        seeds_per_cell: cfg.seeds_per_cell,
+        points,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+}
+
+fn aggregate(
+    id: &str,
+    runs: u64,
+    outcomes: &[RunOutcome],
+    allocs_per_run: Option<f64>,
+) -> ExperimentPoint {
+    let urb_ok = outcomes.iter().filter(|o| o.all_ok()).count() as u64;
+    let deliveries: u64 = outcomes
+        .iter()
+        .map(|o| o.metrics.deliveries.len() as u64)
+        .sum();
+    let transmissions: u64 = outcomes.iter().map(|o| o.metrics.protocol_sends()).sum();
+    let dropped: u64 = outcomes
+        .iter()
+        .map(|o| o.metrics.dropped.iter().sum::<u64>())
+        .sum();
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.metrics.latencies())
+        .collect();
+    latencies.sort_unstable();
+    let total_ticks: u64 = outcomes.iter().map(|o| o.metrics.ended_at).sum();
+    let (acquired, recycled) = outcomes.iter().fold((0u64, 0u64), |(a, r), o| {
+        (a + o.batch_pool.acquired, r + o.batch_pool.recycled)
+    });
+    let mut fingerprint = 0u64;
+    for o in outcomes {
+        fingerprint = fingerprint.rotate_left(7) ^ o.metrics.trace_hash;
+    }
+    ExperimentPoint {
+        id: id.to_string(),
+        runs,
+        urb_ok,
+        deliveries,
+        transmissions,
+        dropped,
+        latency_p50: percentile(&latencies, 0.50),
+        latency_p90: percentile(&latencies, 0.90),
+        latency_p99: percentile(&latencies, 0.99),
+        mean_end_time: total_ticks / runs.max(1),
+        throughput_per_ktick: transmissions as f64 * 1000.0 / total_ticks.max(1) as f64,
+        pool_hit_rate: recycled as f64 / acquired.max(1) as f64,
+        allocs_per_run,
+        trace_fingerprint: fingerprint,
+    }
+}
+
+/// The reduced, fixed grid for one experiment id — a pure function of
+/// `(id, seed, seeds)`, deliberately smaller than the full E-suite grids
+/// (this is a *trajectory* sample, not the paper-validation run).
+pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
+    let mut cfgs: Vec<SimConfig> = Vec::new();
+    // Fully wrapping: user-supplied seeds may sit anywhere in u64, and
+    // debug builds must derive the same runs release builds do.
+    let derive = |cell: u64, s: u64| {
+        seed.wrapping_mul(9973)
+            .wrapping_add(cell.wrapping_mul(131))
+            .wrapping_add(s)
+    };
+    match id {
+        "e1" => {
+            for (cell, &(n, loss)) in [(4usize, 0.0f64), (4, 0.2), (8, 0.0), (8, 0.2)]
+                .iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(scenario::lossy_crashy(
+                        n,
+                        Algorithm::Majority,
+                        loss,
+                        1,
+                        2,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        "e2" => {
+            for s in 0..seeds {
+                let mut a = scenario::theorem2_partition(4, derive(0, s));
+                a.max_time = 15_000;
+                cfgs.push(a);
+                let mut b = scenario::theorem2_control(4, derive(1, s));
+                b.max_time = 15_000;
+                cfgs.push(b);
+            }
+        }
+        "e3" => {
+            for (cell, &t) in [0usize, 4].iter().enumerate() {
+                for s in 0..seeds {
+                    cfgs.push(scenario::lossy_crashy(
+                        5,
+                        Algorithm::Quiescent,
+                        0.2,
+                        t,
+                        2,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        "e4" => {
+            for (cell, alg) in [Algorithm::Majority, Algorithm::Quiescent]
+                .into_iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(scenario::quiescence_watch(
+                        6,
+                        alg,
+                        0.2,
+                        3,
+                        20_000,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        "e5" => {
+            for (cell, &(alg, loss)) in [
+                (Algorithm::Majority, 0.1f64),
+                (Algorithm::Majority, 0.3),
+                (Algorithm::Quiescent, 0.1),
+                (Algorithm::Quiescent, 0.3),
+            ]
+            .iter()
+            .enumerate()
+            {
+                for s in 0..seeds {
+                    let mut cfg =
+                        scenario::lossy_crashy(8, alg, loss, 0, 2, derive(cell as u64, s));
+                    cfg.max_time = 40_000;
+                    cfgs.push(cfg);
+                }
+            }
+        }
+        "e6" => {
+            for (cell, &(n, alg)) in [
+                (4usize, Algorithm::Majority),
+                (8, Algorithm::Majority),
+                (4, Algorithm::Quiescent),
+                (8, Algorithm::Quiescent),
+            ]
+            .iter()
+            .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(scenario::lossy_crashy(
+                        n,
+                        alg,
+                        0.1,
+                        0,
+                        2,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        "e7" => {
+            for (cell, &delay) in [0u64, 5_000].iter().enumerate() {
+                for s in 0..seeds {
+                    cfgs.push(scenario::fd_latency(6, delay, 2, derive(cell as u64, s)));
+                }
+            }
+        }
+        "e8" => {
+            for s in 0..seeds {
+                let mut cfg = SimConfig::new(6, Algorithm::Quiescent)
+                    .seed(derive(0, s))
+                    .loss(LossModel::Bernoulli { p: 0.1 })
+                    .workload(2, 100)
+                    .max_time(40_000);
+                cfg.fd = FdKind::Heartbeat(HeartbeatConfig {
+                    period: 20,
+                    timeout: 120,
+                });
+                cfgs.push(cfg);
+            }
+        }
+        "e9" => {
+            for (cell, alg) in [Algorithm::Majority, Algorithm::Quiescent]
+                .into_iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(scenario::memory_stream(
+                        4,
+                        alg,
+                        10,
+                        15_000,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        "e10" => {
+            for s in 0..seeds {
+                cfgs.push(scenario::fast_delivery(6, derive(0, s)));
+            }
+        }
+        "e11" => {
+            for (cell, alg) in [
+                Algorithm::BestEffort,
+                Algorithm::EagerRb,
+                Algorithm::Majority,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                for s in 0..seeds {
+                    let mut cfg = SimConfig::new(6, alg)
+                        .seed(derive(cell as u64, s))
+                        .loss(LossModel::Bernoulli { p: 0.2 })
+                        .workload(2, 100)
+                        .max_time(30_000);
+                    cfg.stop_on_full_delivery = true;
+                    cfgs.push(cfg);
+                }
+            }
+        }
+        "e12" => {
+            for (cell, alg) in [Algorithm::Quiescent, Algorithm::QuiescentLiteral]
+                .into_iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(scenario::stale_acker(alg, 30_000, derive(cell as u64, s)));
+                }
+            }
+        }
+        "e13" => {
+            for (cell, alg) in [Algorithm::Majority, Algorithm::MajorityBackoff { cap: 16 }]
+                .into_iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    let mut cfg = SimConfig::new(6, alg)
+                        .seed(derive(cell as u64, s))
+                        .loss(LossModel::Bernoulli { p: 0.2 })
+                        .workload(2, 100)
+                        .max_time(15_000);
+                    cfg.stop_on_quiescence = false;
+                    cfgs.push(cfg);
+                }
+            }
+        }
+        "e14" => {
+            for s in 0..seeds {
+                let mut cfg = SimConfig::new(6, Algorithm::Majority)
+                    .seed(derive(0, s))
+                    .loss(LossModel::Bernoulli { p: 0.1 })
+                    .workload(1, 50)
+                    .max_time(40_000);
+                cfg.blackouts = Blackout::partition(&[0, 1, 2], &[3, 4, 5], 0, 1_000);
+                cfg.stop_on_full_delivery = true;
+                cfgs.push(cfg);
+            }
+        }
+        "e15" | "e17" => {
+            // The scenario corpus; e15 varies seeds, e17 replays each spec
+            // at its own seed (the parity/fingerprint sample).
+            for (cell, (name, text)) in spec::corpus().into_iter().enumerate() {
+                let base = ScenarioSpec::from_toml_str(text)
+                    .unwrap_or_else(|e| panic!("corpus {name}: {e}"));
+                let reps = if id == "e15" { seeds } else { 1 };
+                for s in 0..reps {
+                    let mut sp = base.clone();
+                    if id == "e15" {
+                        sp.seed = base.seed.wrapping_add(derive(cell as u64, s));
+                    }
+                    cfgs.push(
+                        sp.compile()
+                            .unwrap_or_else(|e| panic!("corpus {name}: {e}")),
+                    );
+                }
+            }
+        }
+        "e16" => {
+            for s in 0..seeds {
+                let mut sp = ScenarioSpec::new("bench-e16", 5, Algorithm::Majority);
+                sp.seed = derive(0, s);
+                sp.loss = LossModel::Bernoulli { p: 0.1 };
+                sp.stop = spec::StopRule::FullDelivery;
+                sp.horizon = 40_000;
+                sp.workload = spec::WorkloadSpec::Generated {
+                    count: 2,
+                    spacing: 100,
+                    start: 10,
+                };
+                sp.schedules.push(urb_sim::Schedule::AckStarvation {
+                    victim: 4,
+                    start: 0,
+                    end: 1_000,
+                });
+                cfgs.push(sp.compile().expect("bench e16 spec compiles"));
+            }
+        }
+        other => panic!("unknown experiment id {other:?} (use e1..e17)"),
+    }
+    cfgs
+}
+
+impl Trajectory {
+    /// The complete trajectory file: body wrapped in the shared envelope
+    /// (`schema_version`, `kind`, `seed`, `git_rev` — see
+    /// [`crate::report`]).
+    pub fn to_json(&self) -> String {
+        report::envelope(KIND, self.seed, &self.body_json())
+    }
+
+    /// The `data` body alone.
+    fn body_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.points.len() * 384);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"seeds_per_cell\": {},", self.seeds_per_cell);
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"id\": \"{}\",", serde_json::escape(&p.id));
+            let _ = writeln!(out, "      \"runs\": {},", p.runs);
+            let _ = writeln!(out, "      \"urb_ok\": {},", p.urb_ok);
+            let _ = writeln!(out, "      \"deliveries\": {},", p.deliveries);
+            let _ = writeln!(out, "      \"transmissions\": {},", p.transmissions);
+            let _ = writeln!(out, "      \"dropped\": {},", p.dropped);
+            let _ = writeln!(out, "      \"latency_p50\": {},", p.latency_p50);
+            let _ = writeln!(out, "      \"latency_p90\": {},", p.latency_p90);
+            let _ = writeln!(out, "      \"latency_p99\": {},", p.latency_p99);
+            let _ = writeln!(out, "      \"mean_end_time\": {},", p.mean_end_time);
+            let _ = writeln!(
+                out,
+                "      \"throughput_per_ktick\": {:?},",
+                p.throughput_per_ktick
+            );
+            let _ = writeln!(out, "      \"pool_hit_rate\": {:?},", p.pool_hit_rate);
+            let _ = writeln!(
+                out,
+                "      \"allocs_per_run\": {},",
+                p.allocs_per_run
+                    .map_or("null".to_string(), |a| format!("{a:?}"))
+            );
+            let _ = writeln!(out, "      \"trace_fingerprint\": {}", p.trace_fingerprint);
+            let _ = write!(
+                out,
+                "    }}{}",
+                if i + 1 < self.points.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Human summary (the default `urb bench` stdout).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "bench trajectory — reduced grids, deterministic per seed",
+            &[
+                "id",
+                "runs",
+                "URB ok",
+                "tx/ktick",
+                "p50",
+                "p99",
+                "pool hits",
+                "fingerprint",
+            ],
+        );
+        for p in &self.points {
+            t.row(vec![
+                p.id.clone(),
+                p.runs.to_string(),
+                format!("{}/{}", p.urb_ok, p.runs),
+                f3(p.throughput_per_ktick),
+                p.latency_p50.to_string(),
+                p.latency_p99.to_string(),
+                f3(p.pool_hit_rate),
+                format!("{:#018x}", p.trace_fingerprint),
+            ]);
+        }
+        t
+    }
+}
+
+/// Validates a trajectory file against the documented schema
+/// (DESIGN.md §10). Returns every violation found, so CI output names
+/// all problems at once; an empty `Ok(())` means the file conforms.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let mut errors: Vec<String> = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+    check(
+        v["schema_version"].as_u64() == Some(report::SCHEMA_VERSION as u64),
+        "schema_version must be 1",
+    );
+    check(
+        v["kind"].as_str() == Some(KIND),
+        "kind must be \"bench-trajectory\"",
+    );
+    check(
+        v["seed"].as_u64().is_some(),
+        "seed must be an unsigned integer",
+    );
+    check(
+        v["git_rev"].as_str().is_some_and(|s| !s.is_empty()),
+        "git_rev must be a non-empty string",
+    );
+    let data = &v["data"];
+    check(
+        data["seeds_per_cell"].as_u64().is_some(),
+        "data.seeds_per_cell must be an unsigned integer",
+    );
+    match data["points"].as_array() {
+        None => errors.push("data.points must be an array".to_string()),
+        Some(points) => {
+            if points.is_empty() {
+                errors.push("data.points must not be empty".to_string());
+            }
+            for (i, p) in points.iter().enumerate() {
+                let mut field = |name: &str, ok: bool| {
+                    if !ok {
+                        errors.push(format!("points[{i}].{name} missing or mistyped"));
+                    }
+                };
+                field("id", p["id"].as_str().is_some_and(|s| s.starts_with('e')));
+                for key in [
+                    "runs",
+                    "urb_ok",
+                    "deliveries",
+                    "transmissions",
+                    "dropped",
+                    "latency_p50",
+                    "latency_p90",
+                    "latency_p99",
+                    "mean_end_time",
+                    "trace_fingerprint",
+                ] {
+                    field(key, p[key].as_u64().is_some());
+                }
+                for key in ["throughput_per_ktick", "pool_hit_rate"] {
+                    field(key, p[key].as_f64().is_some());
+                }
+                field(
+                    "allocs_per_run",
+                    p["allocs_per_run"].is_null() || p["allocs_per_run"].as_f64().is_some(),
+                );
+                field("runs > 0", p["runs"].as_u64().is_some_and(|r| r > 0));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TrajectoryConfig {
+        TrajectoryConfig {
+            seed: 5,
+            seeds_per_cell: 1,
+            ids: vec!["e1".into(), "e11".into()],
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = collect(&tiny());
+        let b = collect(&tiny());
+        assert_eq!(a, b);
+        std::env::set_var("URB_GIT_REV", "test-rev-0001");
+        assert_eq!(a.to_json(), b.to_json(), "byte-identical files");
+        std::env::remove_var("URB_GIT_REV");
+        let mut other = tiny();
+        other.seed = 6;
+        assert_ne!(
+            collect(&other).points[0].trace_fingerprint,
+            a.points[0].trace_fingerprint
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_collectors_agree() {
+        let cfg = tiny();
+        let serial = collect_with(&cfg, ExecMode::Serial);
+        let parallel = collect_with(&cfg, ExecMode::Parallel);
+        // `allocs_per_run` is exec-mode-sensitive when counting is on
+        // (the thread pool allocates); everything *measured from the
+        // runs* must be identical.
+        let scrub = |mut t: Trajectory| {
+            for p in &mut t.points {
+                p.allocs_per_run = None;
+            }
+            t
+        };
+        assert_eq!(scrub(serial), scrub(parallel));
+    }
+
+    #[test]
+    fn emitted_json_validates_and_carries_the_envelope() {
+        let t = collect(&tiny());
+        let json = t.to_json();
+        validate_json(&json).expect("fresh trajectory conforms to its own schema");
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["kind"], KIND);
+        assert_eq!(v["seed"], 5);
+        assert_eq!(v["data"]["points"].as_array().unwrap().len(), 2);
+        assert_eq!(v["data"]["points"][0]["id"], "e1");
+        assert!(v["data"]["points"][0]["urb_ok"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn validator_rejects_broken_files() {
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json("{}").unwrap_err().contains("schema_version"));
+        let t = collect(&tiny());
+        let good = t.to_json();
+        let bad = good.replace("\"kind\": \"bench-trajectory\"", "\"kind\": \"nonsense\"");
+        assert!(validate_json(&bad).unwrap_err().contains("kind"));
+        let bad = good.replace("\"runs\":", "\"runs_gone\":");
+        assert!(validate_json(&bad).unwrap_err().contains("runs"));
+    }
+
+    #[test]
+    fn every_experiment_id_has_a_grid() {
+        for id in crate::experiments::ALL_IDS {
+            let g = grid(id, 1, 1);
+            assert!(!g.is_empty(), "{id} grid empty");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = grid("e99", 1, 1);
+    }
+
+    #[test]
+    fn summary_table_renders_every_point() {
+        let t = collect(&tiny());
+        let rendered = t.summary_table().render();
+        assert!(rendered.contains("e1"));
+        assert!(rendered.contains("e11"));
+        assert!(rendered.contains("fingerprint"));
+    }
+}

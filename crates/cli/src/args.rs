@@ -13,6 +13,11 @@ USAGE:
     urb scenario FILE [--seed S] [--trace FILE] [--json]
                            replay a declarative scenario file (.toml/.json)
                            and check its [expect] verdict
+    urb bench [--json FILE] [--seed S] [--seeds K] [--experiments e1,e4,...]
+                           run the reduced experiment grids and emit the
+                           machine-readable bench trajectory (DESIGN.md §10)
+    urb bench --validate FILE
+                           schema-check an existing BENCH_*.json file
     urb theorem2 [--n N] [--seed S]
                            execute the impossibility proof's adversary
     urb help               this text
@@ -22,6 +27,13 @@ FLAGS (scenario):
     --seed S          override the spec's RNG seed
     --trace FILE      write a full JSON event trace to FILE
     --json            print the outcome summary as JSON
+
+FLAGS (bench):
+    --json FILE       write the trajectory (enveloped JSON) to FILE
+    --validate FILE   validate FILE against the trajectory schema and exit
+    --seed S          root seed for the grids                [default: 1]
+    --seeds K         seeds per grid cell                    [default: 3]
+    --experiments IDS comma-separated subset of e1..e17      [default: all]
 
 FLAGS (run / sweep):
     --n N             system size                         [default: 5]
@@ -47,6 +59,8 @@ pub enum Command {
     Sweep(RunArgs),
     /// `urb scenario <file>`.
     Scenario(ScenarioArgs),
+    /// `urb bench`.
+    Bench(BenchArgs),
     /// `urb theorem2`.
     Theorem2 {
         /// System size.
@@ -69,6 +83,33 @@ pub struct ScenarioArgs {
     pub trace: Option<String>,
     /// Machine-readable output.
     pub json: bool,
+}
+
+/// Flags of `urb bench`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Trajectory output path (`None` = human table only).
+    pub json: Option<String>,
+    /// Validate this existing file instead of collecting.
+    pub validate: Option<String>,
+    /// Root seed for the grids.
+    pub seed: u64,
+    /// Seeds per grid cell.
+    pub seeds: u64,
+    /// Experiment ids to cover (`None` = all of e1..e17).
+    pub experiments: Option<Vec<String>>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            json: None,
+            validate: None,
+            seed: 1,
+            seeds: 3,
+            experiments: None,
+        }
+    }
 }
 
 /// Flags shared by `run` and `sweep`.
@@ -170,6 +211,62 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--n must be at least 2".into());
             }
             Ok(Command::Theorem2 { n, seed })
+        }
+        "bench" => {
+            let mut args = BenchArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--json" => args.json = Some(value("--json")?),
+                    "--validate" => args.validate = Some(value("--validate")?),
+                    "--seed" => {
+                        args.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--seeds" => {
+                        args.seeds = value("--seeds")?
+                            .parse()
+                            .map_err(|e| format!("--seeds: {e}"))?
+                    }
+                    "--experiments" => {
+                        // Canonicalize each id to exactly "e<n>": the
+                        // trajectory grids match these strings literally.
+                        let ids: Vec<String> = value("--experiments")?
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(|id| {
+                                let lower = id.to_lowercase();
+                                match lower.strip_prefix('e') {
+                                    Some(digits) if digits.bytes().all(|b| b.is_ascii_digit()) => {
+                                        match digits.parse::<u32>() {
+                                            Ok(n @ 1..=17) => Ok(format!("e{n}")),
+                                            _ => Err(format!(
+                                                "unknown experiment id {id:?} (use e1..e17)"
+                                            )),
+                                        }
+                                    }
+                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e17)")),
+                                }
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if ids.is_empty() {
+                            return Err("--experiments needs at least one id".into());
+                        }
+                        args.experiments = Some(ids);
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if args.seeds == 0 {
+                return Err("--seeds must be positive".into());
+            }
+            Ok(Command::Bench(args))
         }
         "scenario" => {
             let mut path: Option<String> = None;
@@ -380,6 +477,48 @@ mod tests {
         assert!(parse(&argv("scenario")).is_err(), "FILE required");
         assert!(parse(&argv("scenario a.toml b.toml")).is_err(), "one FILE");
         assert!(parse(&argv("scenario a.toml --wat")).is_err());
+    }
+
+    #[test]
+    fn bench_parses_flags_and_validates_ids() {
+        match parse(&argv("bench")).unwrap() {
+            Command::Bench(a) => assert_eq!(a, BenchArgs::default()),
+            _ => panic!(),
+        }
+        match parse(&argv(
+            "bench --json BENCH_PR3.json --seed 9 --seeds 2 --experiments e1,E4,e17",
+        ))
+        .unwrap()
+        {
+            Command::Bench(a) => {
+                assert_eq!(a.json.as_deref(), Some("BENCH_PR3.json"));
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.seeds, 2);
+                assert_eq!(
+                    a.experiments,
+                    Some(vec!["e1".into(), "e4".into(), "e17".into()]),
+                    "ids normalized to lowercase"
+                );
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("bench --validate out.json")).unwrap() {
+            Command::Bench(a) => assert_eq!(a.validate.as_deref(), Some("out.json")),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("bench --experiments e99")).is_err());
+        assert!(parse(&argv("bench --experiments e0")).is_err());
+        assert!(parse(&argv("bench --experiments e+1")).is_err(), "no sign");
+        match parse(&argv("bench --experiments e01")).unwrap() {
+            Command::Bench(a) => assert_eq!(
+                a.experiments,
+                Some(vec!["e1".into()]),
+                "leading zeros canonicalized to the grid's literal ids"
+            ),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("bench --seeds 0")).is_err());
+        assert!(parse(&argv("bench --wat")).is_err());
     }
 
     #[test]

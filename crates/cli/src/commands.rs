@@ -1,9 +1,19 @@
 //! Command implementations for the `urb` binary.
+//!
+//! Every `--json` output — `run`, `scenario` and `bench` alike — wears
+//! the shared envelope from [`urb_bench::report`]
+//! (`schema_version`/`kind`/`seed`/`git_rev` around a kind-specific
+//! `data` body), so scripts consume one shape (DESIGN.md §10).
 
-use crate::args::{FdChoice, RunArgs, ScenarioArgs};
+use crate::args::{BenchArgs, FdChoice, RunArgs, ScenarioArgs};
 use crate::summary::RunSummary;
+use urb_bench::report;
+use urb_bench::trajectory::{self, TrajectoryConfig};
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::{scenario, CrashPlan, FdKind, LossModel, ScenarioSpec, SimConfig, TraceConfig};
+
+/// Envelope kind of `urb run --json` / `urb scenario --json` bodies.
+pub const RUN_SUMMARY_KIND: &str = "run-summary";
 
 /// Builds a [`SimConfig`] from CLI flags.
 pub fn build_config(args: &RunArgs) -> SimConfig {
@@ -56,7 +66,10 @@ pub fn run_cmd(args: RunArgs) {
     }
     let summary = RunSummary::from_outcome(&out);
     if args.json {
-        println!("{}", summary.to_json());
+        println!(
+            "{}",
+            report::envelope(RUN_SUMMARY_KIND, args.seed, &summary.to_json())
+        );
     } else {
         print!("{}", summary.render_text());
     }
@@ -104,7 +117,10 @@ pub fn scenario_cmd(args: ScenarioArgs) {
     }
     let summary = RunSummary::from_outcome(&out);
     if args.json {
-        println!("{}", summary.to_json());
+        println!(
+            "{}",
+            report::envelope(RUN_SUMMARY_KIND, spec.seed, &summary.to_json())
+        );
     } else {
         println!(
             "scenario: {} ({}){}",
@@ -129,6 +145,71 @@ pub fn scenario_cmd(args: ScenarioArgs) {
         }
         eprintln!("scenario verdict: FAIL ({})", spec.name);
         std::process::exit(1);
+    }
+}
+
+/// Builds the trajectory configuration from CLI flags (split out for
+/// tests).
+pub fn build_trajectory_config(args: &BenchArgs) -> TrajectoryConfig {
+    let mut cfg = TrajectoryConfig::full(args.seed);
+    cfg.seeds_per_cell = args.seeds;
+    if let Some(ids) = &args.experiments {
+        cfg.ids = ids.clone();
+    }
+    cfg
+}
+
+/// `urb bench`: either validates an existing trajectory file
+/// (`--validate`) or runs the reduced experiment grids, prints the human
+/// summary plus the codec A/B footer, and — with `--json` — writes the
+/// schema-versioned trajectory file (DESIGN.md §10).
+pub fn bench_cmd(args: BenchArgs) {
+    if let Some(path) = &args.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match trajectory::validate_json(&text) {
+            Ok(()) => {
+                println!(
+                    "{path}: valid bench trajectory (schema v{})",
+                    report::SCHEMA_VERSION
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violations: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let cfg = build_trajectory_config(&args);
+    eprintln!(
+        "bench: collecting {} experiment grids, {} seeds/cell, seed {} …",
+        cfg.ids.len(),
+        cfg.seeds_per_cell,
+        cfg.seed
+    );
+    let traj = trajectory::collect(&cfg);
+    traj.summary_table().print();
+    println!();
+    print!("{}", urb_bench::compare::run(args.seed, 5).render_text());
+    if let Some(path) = &args.json {
+        let json = traj.to_json();
+        trajectory::validate_json(&json).expect("fresh trajectory conforms to its schema");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "bench: trajectory ({} experiments) written to {path}",
+                traj.points.len()
+            ),
+            Err(e) => {
+                eprintln!("error writing trajectory to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -318,6 +399,39 @@ mod tests {
         };
         assert!(load_scenario(&args).unwrap_err().contains("unknown key"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bench_config_maps_flags() {
+        let cfg = build_trajectory_config(&BenchArgs::default());
+        assert_eq!(cfg.ids.len(), 17, "all experiments by default");
+        assert_eq!(cfg.seeds_per_cell, 3);
+        let cfg = build_trajectory_config(&BenchArgs {
+            seed: 9,
+            seeds: 2,
+            experiments: Some(vec!["e1".into(), "e4".into()]),
+            ..BenchArgs::default()
+        });
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.seeds_per_cell, 2);
+        assert_eq!(cfg.ids, vec!["e1".to_string(), "e4".to_string()]);
+    }
+
+    #[test]
+    fn json_outputs_share_one_envelope() {
+        // `urb run --json`, `urb scenario --json` and `urb bench --json`
+        // all wrap their bodies in the same envelope; this pins the run/
+        // scenario side (the trajectory side is pinned in urb-bench).
+        let out = urb_sim::run(scenario::clean(3, urb_core::Algorithm::Majority, 1, 7));
+        let summary = RunSummary::from_outcome(&out);
+        let json = report::envelope(RUN_SUMMARY_KIND, 7, &summary.to_json());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        assert_eq!(v["kind"], RUN_SUMMARY_KIND);
+        assert_eq!(v["seed"], 7u64);
+        assert!(v["git_rev"].as_str().is_some());
+        assert_eq!(v["data"]["n"], 3u64);
+        assert_eq!(v["data"]["agreement_ok"], true);
     }
 
     #[test]

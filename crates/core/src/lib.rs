@@ -27,7 +27,7 @@
 //! D1–D7 notes in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backoff;
 pub mod baseline;

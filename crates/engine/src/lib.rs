@@ -24,7 +24,12 @@
 //!   [`StepBuffers::take_batch`] drains a step's whole outbox into one
 //!   [`urb_types::Batch`] frame, so routing cost scales with steps, not
 //!   messages, while per-message `retransmit_key` identity (the
-//!   fair-lossy bookkeeping unit) is preserved.
+//!   fair-lossy bookkeeping unit) is preserved;
+//! * the **wire-frame plane** (DESIGN.md §10): for backends that cross a
+//!   real serialization boundary, [`StepBuffers::take_wire_frame`]
+//!   encodes the outbox straight into a pooled buffer (zero per-message
+//!   allocation) and [`NodeEngine::receive_frame`] decodes incoming
+//!   frames with shared payloads into persistent scratch.
 //!
 //! What stays backend-specific is exactly what *differs* between backends:
 //! where the [`FdSnapshot`] comes from (oracle/heartbeat service keyed by
@@ -35,9 +40,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use bytes::Bytes;
 use urb_types::{
-    AnonProcess, Batch, Context, Delivery, FdSnapshot, Payload, ProcessStats, RandomSource,
-    SplitMix64, Tag, WireMessage,
+    encode_frame_into, AnonProcess, Batch, BufPool, CodecError, Context, Delivery, FdSnapshot,
+    Payload, PooledBuf, ProcessStats, RandomSource, SplitMix64, Tag, WireMessage,
 };
 
 /// One input to a protocol step — the three entry points of the paper's
@@ -80,6 +86,24 @@ impl StepBuffers {
         } else {
             Some(Batch::drain_from(&mut self.outbox))
         }
+    }
+
+    /// Encodes and drains the outbox as one **wire frame** through the
+    /// zero-copy codec (DESIGN.md §10): acquires a recycled buffer from
+    /// `pool`, writes the length-prefixed batch frame with no per-message
+    /// allocation, and clears the outbox in place (capacity retained).
+    /// Returns `None` when the step broadcast nothing. This is the
+    /// serialization-boundary twin of [`StepBuffers::take_batch`], used by
+    /// backends that move bytes (the runtime's router) rather than
+    /// in-memory batches (the simulator's event queue).
+    pub fn take_wire_frame(&mut self, pool: &BufPool) -> Option<PooledBuf> {
+        if self.outbox.is_empty() {
+            return None;
+        }
+        let mut frame = pool.acquire();
+        encode_frame_into(&self.outbox, &mut frame);
+        self.outbox.clear();
+        Some(frame)
     }
 
     /// True when the step neither broadcast nor delivered anything.
@@ -147,6 +171,10 @@ pub struct NodeEngine {
     /// Persistent per-message scratch for [`NodeEngine::receive_batch`],
     /// so batch processing allocates nothing in steady state.
     batch_scratch: StepBuffers,
+    /// Persistent decoded-message scratch for
+    /// [`NodeEngine::receive_frame`] (same steady-state-zero-allocation
+    /// goal, for the wire-frame ingress path).
+    frame_scratch: Vec<WireMessage>,
 }
 
 impl NodeEngine {
@@ -157,6 +185,7 @@ impl NodeEngine {
             rng,
             counters: EngineCounters::default(),
             batch_scratch: StepBuffers::new(),
+            frame_scratch: Vec::new(),
         }
     }
 
@@ -202,6 +231,43 @@ impl NodeEngine {
             buf.deliveries.append(&mut scratch.deliveries);
         }
         self.batch_scratch = scratch;
+    }
+
+    /// Feeds every message of a received **wire frame** through the
+    /// engine: decodes the frame with shared payloads (zero copies — each
+    /// decoded payload is a refcounted view of `frame`, see
+    /// [`Batch::decode_shared_into`]) into a persistent scratch vector,
+    /// then steps exactly like [`NodeEngine::receive_batch`]. The
+    /// serialization-boundary ingress twin of
+    /// [`StepBuffers::take_wire_frame`]; in steady state the whole
+    /// decode-and-step loop allocates only what the protocol itself
+    /// retains.
+    ///
+    /// Errors only on a malformed frame, which in-process backends treat
+    /// as a bug (their frames come from [`StepBuffers::take_wire_frame`]).
+    pub fn receive_frame(
+        &mut self,
+        frame: &Bytes,
+        buf: &mut StepBuffers,
+        mut before_each: impl FnMut(&WireMessage) -> FdSnapshot,
+    ) -> Result<(), CodecError> {
+        let mut msgs = std::mem::take(&mut self.frame_scratch);
+        if let Err(e) = Batch::decode_shared_into(frame, &mut msgs) {
+            self.frame_scratch = msgs;
+            return Err(e);
+        }
+        buf.outbox.clear();
+        buf.deliveries.clear();
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        for msg in msgs.drain(..) {
+            let fd = before_each(&msg);
+            self.step(StepInput::Receive(msg), &fd, &mut scratch);
+            buf.outbox.append(&mut scratch.outbox);
+            buf.deliveries.append(&mut scratch.deliveries);
+        }
+        self.batch_scratch = scratch;
+        self.frame_scratch = msgs;
+        Ok(())
     }
 
     /// The wrapped protocol's quiescence predicate.
@@ -380,6 +446,68 @@ mod tests {
         assert_eq!(buf.deliveries.len(), 3);
         assert_eq!(buf.outbox.len(), 3);
         assert!(buf.outbox.iter().all(|m| m.kind() == WireKind::Ack));
+    }
+
+    #[test]
+    fn wire_frame_round_trip_matches_in_memory_plane() {
+        // Drive two identical engines, one over the in-memory batch plane
+        // and one over the wire-frame plane: same emissions, same
+        // deliveries, and the frame path's pool stops allocating.
+        let fd = FdSnapshot::none();
+        let pool = BufPool::new(4);
+        let mut sender = engine();
+        let mut mem_rx = engine();
+        let mut wire_rx = NodeEngine::new(
+            Box::new(Scripted {
+                pending: Vec::new(),
+            }),
+            SplitMix64::new(7),
+        );
+        let mut buf = StepBuffers::new();
+        let mut mem_out = StepBuffers::new();
+        let mut wire_out = StepBuffers::new();
+        for round in 0..8u32 {
+            sender.step(
+                StepInput::Broadcast(Payload::from(format!("m{round}").as_str())),
+                &fd,
+                &mut buf,
+            );
+            let batch = Batch::drain_from(&mut buf.outbox.clone());
+            let frame = buf.take_wire_frame(&pool).expect("broadcast emits");
+            assert!(buf.outbox.is_empty(), "frame drained the outbox");
+            let bytes = Bytes::copy_from_slice(&frame);
+            drop(frame); // back to the pool
+            mem_rx.receive_batch(batch, &mut mem_out, |_| FdSnapshot::none());
+            wire_rx
+                .receive_frame(&bytes, &mut wire_out, |_| FdSnapshot::none())
+                .expect("well-formed frame");
+            assert_eq!(mem_out.outbox, wire_out.outbox, "round {round}");
+            assert_eq!(mem_out.deliveries.len(), wire_out.deliveries.len());
+        }
+        let s = pool.stats();
+        assert_eq!(s.created, 1, "one pooled frame buffer serves every step");
+        assert_eq!(s.recycled, 7);
+        assert_eq!(mem_rx.counters().receives, wire_rx.counters().receives);
+    }
+
+    #[test]
+    fn receive_frame_rejects_garbage_and_keeps_scratch() {
+        let mut e = engine();
+        let mut buf = StepBuffers::new();
+        let garbage = Bytes::copy_from_slice(&[0x42, 0, 1]);
+        assert!(e
+            .receive_frame(&garbage, &mut buf, |_| FdSnapshot::none())
+            .is_err());
+        // The engine remains usable after a bad frame.
+        let ok: Batch = std::iter::once(WireMessage::Msg {
+            tag: Tag(5),
+            payload: Payload::from("x"),
+        })
+        .collect();
+        let frame = ok.encode();
+        e.receive_frame(&frame, &mut buf, |_| FdSnapshot::none())
+            .unwrap();
+        assert_eq!(buf.deliveries.len(), 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! runs with [`NoFd`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod heartbeat;
 pub mod oracle;

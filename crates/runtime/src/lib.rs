@@ -25,7 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod node;
 mod registry;
@@ -100,10 +100,11 @@ pub(crate) enum Command {
 
 /// Everything a node thread consumes, funnelled through one FIFO so the
 /// node loop blocks on a single receive with a tick deadline (network
-/// batches from the router, commands from the cluster handle).
+/// frames from the router, commands from the cluster handle).
 pub(crate) enum NodeInput {
-    /// A surviving sub-batch of wire messages from the router.
-    Net(urb_types::Batch),
+    /// A surviving sub-batch from the router, as an encoded wire frame
+    /// (decoded by the node with shared payloads — DESIGN.md §10).
+    Net(bytes::Bytes),
     /// A control command from the cluster handle.
     Cmd(Command),
 }
@@ -139,10 +140,11 @@ impl UrbCluster {
         ));
         let traffic = Arc::new(router::TrafficCounters::default());
 
-        // Wiring: nodes → router (ingress, batch frames), router → nodes
-        // (the same funnelled input channel the cluster handle commands
-        // through).
-        let (ingress_tx, ingress_rx) = unbounded::<(usize, urb_types::Batch)>();
+        // Wiring: nodes → router (ingress, encoded wire frames), router →
+        // nodes (the same funnelled input channel the cluster handle
+        // commands through). One frame-buffer pool serves every thread.
+        let pool = urb_types::BufPool::default();
+        let (ingress_tx, ingress_rx) = unbounded::<(usize, bytes::Bytes)>();
         let mut input_txs = Vec::with_capacity(n);
         let mut input_rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -158,6 +160,7 @@ impl UrbCluster {
             config.loss,
             config.seed,
             Arc::clone(&traffic),
+            pool.clone(),
         ));
 
         let mut delivery_rxs = Vec::with_capacity(n);
@@ -178,6 +181,7 @@ impl UrbCluster {
                 egress: ingress_tx.clone(),
                 deliveries: del_tx,
                 registry: Arc::clone(&registry),
+                pool: pool.clone(),
             }));
         }
         drop(ingress_tx); // router exits when every node sender is gone

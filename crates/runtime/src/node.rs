@@ -9,19 +9,26 @@
 //! semantics; the step itself is `urb_engine::drive_step` — the same code
 //! path the simulator and the test harness execute.
 //!
-//! Outbound traffic uses the batched message plane: everything one step
-//! emitted leaves as a single [`Batch`] frame, so router and channel costs
-//! scale with protocol steps rather than messages.
+//! Outbound traffic uses the **wire plane** (DESIGN.md §10): everything
+//! one step emitted leaves as a single encoded batch frame, produced
+//! through the zero-copy codec into a pooled buffer
+//! (`StepBuffers::take_wire_frame`) and decoded on arrival with shared
+//! payloads (`NodeEngine::receive_frame`). Router and channel costs scale
+//! with protocol steps rather than messages; encoding into the pooled
+//! scratch allocates nothing, and the one remaining allocation is
+//! per-*frame*, never per-message: sealing the scratch into the
+//! refcounted `Bytes` the frame must travel as (the copy below).
 
 use crate::registry::MembershipRegistry;
 use crate::{Command, NodeInput};
+use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
 use urb_engine::{NodeEngine, StepBuffers, StepInput};
-use urb_types::{Batch, Delivery, SplitMix64};
+use urb_types::{BufPool, Delivery, SplitMix64};
 
 /// Everything a node thread needs at spawn time.
 pub(crate) struct NodeSetup {
@@ -39,9 +46,11 @@ pub(crate) struct NodeSetup {
     /// halts the node within one step even when `inputs` holds a deep
     /// network backlog.
     pub stop: Arc<AtomicBool>,
-    pub egress: Sender<(usize, Batch)>,
+    pub egress: Sender<(usize, Bytes)>,
     pub deliveries: Sender<Delivery>,
     pub registry: Arc<MembershipRegistry>,
+    /// Cluster-shared frame-buffer pool (encode scratch returns here).
+    pub pool: BufPool,
 }
 
 /// Spawns one node thread.
@@ -64,6 +73,7 @@ fn node_main(setup: NodeSetup) {
         egress,
         deliveries,
         registry,
+        pool,
     } = setup;
     let mut engine = NodeEngine::new(
         algorithm.instantiate(n),
@@ -91,9 +101,11 @@ fn node_main(setup: NodeSetup) {
                 // treat the closed channel as a dead destination.)
                 return;
             }
-            Ok(NodeInput::Net(batch)) => {
+            Ok(NodeInput::Net(frame)) => {
                 let registry = &registry;
-                engine.receive_batch(batch, &mut buf, |_| registry.snapshot(pid, Instant::now()));
+                engine
+                    .receive_frame(&frame, &mut buf, |_| registry.snapshot(pid, Instant::now()))
+                    .expect("malformed frame from router — codec bug");
             }
             Err(RecvTimeoutError::Timeout) => {
                 let snapshot = registry.snapshot(pid, Instant::now());
@@ -103,9 +115,12 @@ fn node_main(setup: NodeSetup) {
             Err(RecvTimeoutError::Disconnected) => return, // cluster gone
         }
 
-        // Flush what the step produced: one batch frame out, deliveries up.
-        if let Some(batch) = buf.take_batch() {
-            if egress.send((pid, batch)).is_err() {
+        // Flush what the step produced: one encoded wire frame out
+        // (pooled scratch, sealed into refcounted bytes), deliveries up.
+        if let Some(scratch) = buf.take_wire_frame(&pool) {
+            let frame = Bytes::copy_from_slice(&scratch);
+            drop(scratch); // encode buffer back to the pool
+            if egress.send((pid, frame)).is_err() {
                 return; // router gone — cluster shutting down
             }
         }

@@ -1,23 +1,38 @@
-//! The lossy broadcast medium of the threaded runtime — batched plane.
+//! The lossy broadcast medium of the threaded runtime — the wire plane.
 //!
-//! One router thread fans every node's outgoing [`Batch`] out to all `n`
-//! inboxes (sender included — the paper's `broadcast` primitive). Loss is
-//! applied **per message copy**, exactly as in the unbatched design: each
-//! message inside the batch is dropped independently with the configured
-//! probability for each destination, and the surviving subset travels on
-//! as one sub-batch (one channel send per destination per step, instead of
-//! one per message). The sender-to-self copy is never dropped, mirroring
-//! the simulator's reliable self-channel. Traffic counters count
-//! *messages*, not frames, so quiescence observation and statistics are
-//! unchanged by batching.
+//! One router thread fans every node's outgoing **encoded frame** out to
+//! all `n` inboxes (sender included — the paper's `broadcast` primitive).
+//! Nodes and router exchange real wire bytes, not in-memory structs: a
+//! node encodes its step's outbox through the zero-copy batch codec
+//! (`StepBuffers::take_wire_frame`, DESIGN.md §10) and decodes incoming
+//! frames with shared payloads (`NodeEngine::receive_frame`), so the
+//! runtime exercises the exact serialization boundary a networked
+//! deployment would.
+//!
+//! Loss is applied **per message copy**, exactly as in the unbatched
+//! design: the router decodes each ingress frame once (zero-copy — the
+//! decoded payloads are refcounted views of the frame), drops each
+//! message independently per destination, and forwards
+//!
+//! * the **original frame** (a refcount bump, no bytes touched) to every
+//!   destination whose sub-batch survived intact — the self copy and the
+//!   whole mesh in lossless clusters;
+//! * a **re-encoded sub-batch** (built in a pooled buffer, no
+//!   per-message allocation) when loss thinned the batch.
+//!
+//! Traffic counters count *messages*, not frames, so quiescence
+//! observation and statistics are unchanged by batching or encoding.
 
 use crate::NodeInput;
+use bytes::Bytes;
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use urb_types::{Batch, RandomSource, WireKind, Xoshiro256};
+use urb_types::{
+    encode_frame_into, Batch, BufPool, RandomSource, WireKind, WireMessage, Xoshiro256,
+};
 
 /// Aggregate router statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,6 +47,12 @@ pub struct TrafficStats {
     pub dropped_copies: u64,
     /// Message copies delivered into inboxes.
     pub delivered_copies: u64,
+    /// Destination fan-outs served by forwarding the original frame
+    /// (refcount bump — no re-encode, no copy).
+    pub forwarded_frames: u64,
+    /// Destination fan-outs that required re-encoding a thinned
+    /// sub-batch.
+    pub reencoded_frames: u64,
 }
 
 /// Shared counters written by the router thread.
@@ -42,6 +63,8 @@ pub struct TrafficCounters {
     batches: AtomicU64,
     dropped_copies: AtomicU64,
     delivered_copies: AtomicU64,
+    forwarded_frames: AtomicU64,
+    reencoded_frames: AtomicU64,
     /// Instant of the last MSG/ACK routed (quiescence detection).
     last_protocol: Mutex<Option<Instant>>,
 }
@@ -55,6 +78,8 @@ impl TrafficCounters {
             batches: self.batches.load(Ordering::Relaxed),
             dropped_copies: self.dropped_copies.load(Ordering::Relaxed),
             delivered_copies: self.delivered_copies.load(Ordering::Relaxed),
+            forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed),
+            reencoded_frames: self.reencoded_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -65,22 +90,33 @@ impl TrafficCounters {
 }
 
 /// Spawns the router thread. It exits when every node-side sender is gone.
+/// Frame buffers for thinned sub-batches come from `pool` (shared with
+/// the nodes), so the router allocates nothing per message.
 pub fn spawn_router(
-    ingress: Receiver<(usize, Batch)>,
+    ingress: Receiver<(usize, Bytes)>,
     inboxes: Vec<Sender<NodeInput>>,
     loss: f64,
     seed: u64,
     counters: Arc<TrafficCounters>,
+    pool: BufPool,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("urb-router".into())
         .spawn(move || {
             let mut rng = Xoshiro256::new(seed ^ 0x4007_E4B0_5555_0001);
-            while let Ok((from, batch)) = ingress.recv() {
+            // Reusable scratch: the decoded ingress batch and the
+            // per-destination survivor list.
+            let mut decoded: Vec<WireMessage> = Vec::new();
+            let mut survivors: Vec<WireMessage> = Vec::new();
+            while let Ok((from, frame)) = ingress.recv() {
+                // In-process frames come from `take_wire_frame`; a decode
+                // failure is a codec bug, not a network condition.
+                Batch::decode_shared_into(&frame, &mut decoded)
+                    .expect("malformed frame from node — codec bug");
                 counters.batches.fetch_add(1, Ordering::Relaxed);
                 let mut protocol = 0u64;
                 let mut heartbeats = 0u64;
-                for msg in batch.messages() {
+                for msg in &decoded {
                     match msg.kind() {
                         WireKind::Heartbeat => heartbeats += 1,
                         _ => protocol += 1,
@@ -96,26 +132,35 @@ pub fn spawn_router(
                 for (to, inbox) in inboxes.iter().enumerate() {
                     // Per-copy loss, per message inside the batch; the
                     // sender-to-self sub-batch is never thinned.
-                    let survivors: Batch = if to == from || loss <= 0.0 {
-                        batch.clone()
+                    let thin = to != from && loss > 0.0;
+                    let outgoing: Bytes = if thin {
+                        survivors.clear();
+                        survivors.extend(decoded.iter().filter(|_| !rng.gen_bool(loss)).cloned());
+                        counters
+                            .dropped_copies
+                            .fetch_add((decoded.len() - survivors.len()) as u64, Ordering::Relaxed);
+                        if survivors.is_empty() {
+                            continue;
+                        }
+                        if survivors.len() == decoded.len() {
+                            // Nothing dropped: the original frame is the
+                            // sub-batch — forward it untouched.
+                            counters.forwarded_frames.fetch_add(1, Ordering::Relaxed);
+                            frame.clone()
+                        } else {
+                            let mut buf = pool.acquire();
+                            encode_frame_into(&survivors, &mut buf);
+                            counters.reencoded_frames.fetch_add(1, Ordering::Relaxed);
+                            Bytes::copy_from_slice(&buf)
+                        }
                     } else {
-                        batch
-                            .messages()
-                            .iter()
-                            .filter(|_| !rng.gen_bool(loss))
-                            .cloned()
-                            .collect()
+                        counters.forwarded_frames.fetch_add(1, Ordering::Relaxed);
+                        frame.clone()
                     };
-                    counters
-                        .dropped_copies
-                        .fetch_add((batch.len() - survivors.len()) as u64, Ordering::Relaxed);
-                    if survivors.is_empty() {
-                        continue;
-                    }
-                    let count = survivors.len() as u64;
+                    let count = if thin { survivors.len() } else { decoded.len() } as u64;
                     // A closed inbox = crashed/stopped node; copies to it
                     // simply vanish, like messages to a dead process.
-                    if inbox.send(NodeInput::Net(survivors)).is_ok() {
+                    if inbox.send(NodeInput::Net(outgoing)).is_ok() {
                         counters
                             .delivered_copies
                             .fetch_add(count, Ordering::Relaxed);
@@ -130,20 +175,22 @@ pub fn spawn_router(
 mod tests {
     use super::*;
     use crossbeam_channel::unbounded;
-    use urb_types::{Payload, Tag, WireMessage};
+    use urb_types::{Payload, Tag};
 
-    fn batch_of(tags: &[u128]) -> Batch {
-        tags.iter()
+    fn frame_of(tags: &[u128]) -> Bytes {
+        let batch: Batch = tags
+            .iter()
             .map(|&t| WireMessage::Msg {
                 tag: Tag(t),
                 payload: Payload::from("m"),
             })
-            .collect()
+            .collect();
+        batch.encode()
     }
 
     fn recv_batch(rx: &crossbeam_channel::Receiver<NodeInput>) -> Batch {
         match rx.try_recv().expect("an input") {
-            NodeInput::Net(b) => b,
+            NodeInput::Net(frame) => Batch::decode_shared(&frame).expect("valid frame"),
             NodeInput::Cmd(_) => panic!("router never sends commands"),
         }
     }
@@ -159,8 +206,15 @@ mod tests {
             inbox_rx.push(r);
         }
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(rx, inbox_tx, 0.0, 1, Arc::clone(&counters));
-        tx.send((1, batch_of(&[7]))).unwrap();
+        let h = spawn_router(
+            rx,
+            inbox_tx,
+            0.0,
+            1,
+            Arc::clone(&counters),
+            BufPool::default(),
+        );
+        tx.send((1, frame_of(&[7]))).unwrap();
         drop(tx);
         h.join().unwrap();
         for r in &inbox_rx {
@@ -170,6 +224,11 @@ mod tests {
         assert_eq!(s.protocol_messages, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.delivered_copies, 3);
+        assert_eq!(
+            s.forwarded_frames, 3,
+            "lossless fan-out is pure refcount forwarding"
+        );
+        assert_eq!(s.reencoded_frames, 0);
         assert!(counters.last_protocol_activity().is_some());
     }
 
@@ -184,8 +243,15 @@ mod tests {
             inbox_rx.push(r);
         }
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(rx, inbox_tx, 1.0, 2, Arc::clone(&counters));
-        tx.send((0, batch_of(&[9]))).unwrap();
+        let h = spawn_router(
+            rx,
+            inbox_tx,
+            1.0,
+            2,
+            Arc::clone(&counters),
+            BufPool::default(),
+        );
+        tx.send((0, frame_of(&[9]))).unwrap();
         drop(tx);
         h.join().unwrap();
         assert_eq!(recv_batch(&inbox_rx[0]).len(), 1, "self copy delivered");
@@ -197,14 +263,23 @@ mod tests {
     fn batch_members_are_dropped_independently() {
         // With 50% loss over a 64-message batch, the surviving sub-batch is
         // (with overwhelming probability) neither empty nor complete —
-        // i.e. loss applies per message, not per frame.
+        // i.e. loss applies per message, not per frame — and the thinned
+        // destination receives a re-encoded frame.
         let (tx, rx) = unbounded();
         let (peer_tx, peer_rx) = unbounded();
         let (self_tx, self_rx) = unbounded();
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(rx, vec![self_tx, peer_tx], 0.5, 3, Arc::clone(&counters));
+        let pool = BufPool::default();
+        let h = spawn_router(
+            rx,
+            vec![self_tx, peer_tx],
+            0.5,
+            3,
+            Arc::clone(&counters),
+            pool.clone(),
+        );
         let tags: Vec<u128> = (0..64).collect();
-        tx.send((0, batch_of(&tags))).unwrap();
+        tx.send((0, frame_of(&tags))).unwrap();
         drop(tx);
         h.join().unwrap();
         assert_eq!(recv_batch(&self_rx).len(), 64, "self sub-batch intact");
@@ -213,6 +288,8 @@ mod tests {
         let s = counters.snapshot();
         assert_eq!(s.delivered_copies as usize, 64 + survived);
         assert_eq!(s.dropped_copies as usize, 64 - survived);
+        assert_eq!(s.reencoded_frames, 1, "thinned sub-batch re-encoded");
+        assert_eq!(pool.stats().acquired, 1, "re-encode used the pool");
     }
 
     #[test]
@@ -220,13 +297,20 @@ mod tests {
         let (tx, rx) = unbounded();
         let (t, _r) = unbounded();
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(rx, vec![t], 0.0, 3, Arc::clone(&counters));
+        let h = spawn_router(
+            rx,
+            vec![t],
+            0.0,
+            3,
+            Arc::clone(&counters),
+            BufPool::default(),
+        );
         let hb: Batch = std::iter::once(WireMessage::Heartbeat {
             label: urb_types::Label(1),
             seq: 0,
         })
         .collect();
-        tx.send((0, hb)).unwrap();
+        tx.send((0, hb.encode())).unwrap();
         drop(tx);
         h.join().unwrap();
         let s = counters.snapshot();

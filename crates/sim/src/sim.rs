@@ -6,8 +6,8 @@
 //! delay from the channel models, crashes fire per the [`CrashPlan`], and
 //! the failure-detector service is consulted before every protocol step.
 //! The driver enforces the anonymity contract structurally — the protocol
-//! only ever sees [`WireMessage`]s and [`urb_types::FdSnapshot`]s, never process
-//! indices or the global clock.
+//! only ever sees [`urb_types::WireMessage`]s and [`urb_types::FdSnapshot`]s,
+//! never process indices or the global clock.
 //!
 //! Protocol stepping itself lives in `urb-engine` ([`NodeEngine`] /
 //! `drive_step`): the simulator is an *adapter* that owns scheduling, the
@@ -31,7 +31,7 @@ use urb_core::Algorithm;
 use urb_engine::{NodeEngine, StepBuffers, StepInput};
 use urb_fd::{FdService, HeartbeatConfig, HeartbeatService, NoFd, OracleConfig, OracleFd};
 use urb_types::{
-    Batch, Delivery, Payload, ProcessStats, RandomSource, SplitMix64, Tag, WireKind, WireMessage,
+    Batch, BatchPool, Delivery, Payload, ProcessStats, RandomSource, SplitMix64, Tag, WireKind,
     Xoshiro256,
 };
 
@@ -277,6 +277,10 @@ pub struct RunOutcome {
     pub last_protocol_send: u64,
     /// Recorded event trace (empty unless [`SimConfig::trace`] enabled it).
     pub trace: Trace,
+    /// Counters of the routed-sub-batch vector pool (DESIGN.md §10): in
+    /// steady state `created` plateaus while `recycled` tracks routing
+    /// volume — the no-allocation claim, observable per run.
+    pub batch_pool: urb_types::PoolStats,
 }
 
 impl RunOutcome {
@@ -307,6 +311,10 @@ struct Runner {
     scratch: StepBuffers,
     /// Reusable per-link batch verdicts.
     verdicts: Vec<bool>,
+    /// Recycled message vectors for routed sub-batches (DESIGN.md §10):
+    /// every `Deliver` event's batch is drawn from and returned to this
+    /// pool, so steady-state routing allocates no vectors.
+    batches: BatchPool,
     tick_rng: SplitMix64,
     channels: ChannelMatrix,
     fd: Box<dyn FdService>,
@@ -367,6 +375,11 @@ pub fn run(config: SimConfig) -> RunOutcome {
         engines,
         scratch: StepBuffers::new(),
         verdicts: Vec::new(),
+        // Retention sized to in-flight peaks: every scheduled Deliver event
+        // holds one pooled vector, and a lossy long-horizon run keeps
+        // thousands of them in flight at once. (The default bound of 64
+        // suits per-node pools, not a whole event queue.)
+        batches: BatchPool::new(1 << 16),
         tick_rng,
         channels,
         fd,
@@ -486,14 +499,16 @@ impl Runner {
             return; // crash-stop: no further steps, no re-scheduling
         }
         self.metrics.hash_event(self.now, 1, pid as u64);
-        let mut fd_out = Vec::new();
+        let mut fd_out = self.batches.acquire();
         self.fd.on_tick(pid, self.now, &mut fd_out);
         self.engine_step(pid, StepInput::Tick);
         // Batched plane: detector traffic and the sweep's outbox leave as
         // one frame (fd messages first, preserving the unbatched order).
         fd_out.append(&mut self.scratch.outbox);
-        if !fd_out.is_empty() {
-            self.transmit(pid, Batch::drain_from(&mut fd_out));
+        if fd_out.is_empty() {
+            self.batches.release(fd_out);
+        } else {
+            self.transmit(pid, Batch::from_vec(fd_out));
         }
         // Schedule the next sweep.
         let jitter = if self.config.tick_jitter == 0 {
@@ -511,12 +526,15 @@ impl Runner {
             .iter()
             .filter(|m| m.kind() != WireKind::Heartbeat)
             .count();
+        let mut arrived = batch.into_messages();
         if self.crashed[to] {
-            return; // arrived at a dead process: silently gone
+            // Arrived at a dead process: silently gone (vector recycled).
+            self.batches.release(arrived);
+            return;
         }
         // Everything this batch's steps emit leaves as one frame again.
-        let mut emitted: Vec<WireMessage> = Vec::new();
-        for msg in batch {
+        let mut emitted = self.batches.acquire();
+        for msg in arrived.drain(..) {
             self.metrics
                 .hash_event(self.now, 2, msg.content_hash() ^ to as u64);
             self.metrics.on_receive(msg.kind());
@@ -526,8 +544,11 @@ impl Runner {
             self.engine_step(to, StepInput::Receive(msg));
             emitted.append(&mut self.scratch.outbox);
         }
-        if !emitted.is_empty() {
-            self.transmit(to, Batch::drain_from(&mut emitted));
+        self.batches.release(arrived);
+        if emitted.is_empty() {
+            self.batches.release(emitted);
+        } else {
+            self.transmit(to, Batch::from_vec(emitted));
         }
     }
 
@@ -559,9 +580,10 @@ impl Runner {
         };
         self.tracer.urb_broadcast(&rec);
         self.metrics.broadcasts.push(rec);
-        let batch = self.scratch.take_batch();
-        if let Some(batch) = batch {
-            self.transmit(pid, batch);
+        if !self.scratch.outbox.is_empty() {
+            let mut out = self.batches.acquire();
+            out.append(&mut self.scratch.outbox);
+            self.transmit(pid, Batch::from_vec(out));
         }
     }
 
@@ -604,7 +626,9 @@ impl Runner {
     /// destination's own lossy channel, per message. One delivery event is
     /// scheduled per destination instead of one per message, which is where
     /// the routing overhead saving comes from; loss and metrics accounting
-    /// remain per message.
+    /// remain per message. Survivor sub-batches draw their vectors from
+    /// the batch pool, and the consumed input batch's vector returns to it
+    /// — steady-state routing allocates nothing (DESIGN.md §10).
     fn transmit(&mut self, from: usize, batch: Batch) {
         for m in batch.messages() {
             self.tracer.send(self.now, from, m.kind(), m.tag());
@@ -637,15 +661,16 @@ impl Runner {
                 }
             }
             if let Some(delay) = delay {
-                let survivors: Batch = batch
-                    .messages()
-                    .iter()
-                    .zip(&verdicts)
-                    .filter(|&(_, ok)| *ok)
-                    .map(|(m, _)| m.clone())
-                    .collect();
+                let mut survivors = self.batches.acquire();
+                survivors.extend(
+                    batch
+                        .messages()
+                        .iter()
+                        .zip(&verdicts)
+                        .filter(|&(_, ok)| *ok)
+                        .map(|(m, _)| m.clone()),
+                );
                 self.inflight_protocol += survivors
-                    .messages()
                     .iter()
                     .filter(|m| m.kind() != WireKind::Heartbeat)
                     .count();
@@ -654,12 +679,13 @@ impl Runner {
                     Event::Deliver {
                         to,
                         from,
-                        batch: survivors,
+                        batch: Batch::from_vec(survivors),
                     },
                 );
             }
             self.verdicts = verdicts;
         }
+        self.batches.release(batch.into_messages());
     }
 
     fn finish(self) -> RunOutcome {
@@ -735,6 +761,7 @@ impl Runner {
             report,
             final_stats,
             fd_audit,
+            batch_pool: self.batches.stats(),
         }
     }
 }
@@ -774,6 +801,29 @@ mod tests {
         assert_eq!(a.metrics.sent, b.metrics.sent);
         let c = run(SimConfig::new(4, Algorithm::Majority).seed(43));
         assert_ne!(a.metrics.trace_hash, c.metrics.trace_hash);
+    }
+
+    #[test]
+    fn batch_pool_reaches_steady_state_over_a_long_run() {
+        // The pooled-message-buffer claim, end to end: a lossy multi-message
+        // run schedules thousands of sub-batch deliveries, yet the pool
+        // stops allocating vectors almost immediately.
+        let cfg = SimConfig::new(6, Algorithm::Majority)
+            .seed(17)
+            .loss(LossModel::Bernoulli { p: 0.2 })
+            .workload(5, 100)
+            .max_time(30_000);
+        let out = run(cfg);
+        let s = out.batch_pool;
+        assert!(s.acquired > 100_000, "routing volume: {s:?}");
+        // `created` tracks the peak number of simultaneously in-flight
+        // sub-batches (a few hundred), not routing volume (a million+).
+        assert!(
+            s.created <= 1_024,
+            "steady-state routing must recycle, not allocate: {s:?}"
+        );
+        assert_eq!(s.discarded, 0, "retention bound must cover in-flight peaks");
+        assert!(s.hit_rate() > 0.99, "{s:?}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`payload`] — cheaply clonable application payloads.
 //! * [`wire`] — the wire messages `MSG`, `ACK` and `HEARTBEAT`, with a
 //!   compact hand-rolled binary codec (plus `serde` for trace export).
+//! * [`pool`] — recycled frame buffers and message vectors
+//!   ([`pool::BufPool`], [`pool::BatchPool`]) for the zero-copy batch
+//!   plane (DESIGN.md §10).
 //! * [`fd`] — the read-only `(label, number)` views output by `AΘ`/`AP*`.
 //! * [`protocol`] — the sans-io [`protocol::AnonProcess`] trait implemented
 //!   by every algorithm in `urb-core`, plus the [`protocol::Context`]
@@ -33,6 +36,7 @@
 pub mod fd;
 pub mod ids;
 pub mod payload;
+pub mod pool;
 pub mod protocol;
 pub mod rng;
 pub mod wire;
@@ -40,6 +44,7 @@ pub mod wire;
 pub use fd::{FdPair, FdSnapshot, FdView};
 pub use ids::{Label, LabelSet, Tag, TagAck};
 pub use payload::Payload;
+pub use pool::{BatchPool, BufPool, PoolStats, PooledBuf};
 pub use protocol::{AnonProcess, Context, Delivery, ProcessStats};
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
-pub use wire::{Batch, CodecError, WireKind, WireMessage};
+pub use wire::{encode_frame_into, Batch, CodecError, WireKind, WireMessage};

@@ -23,10 +23,20 @@
 //! because the simulator and runtime move millions of messages per run and
 //! the format doubles as the unit the channel-loss layer hashes for its
 //! fairness bookkeeping. `serde` derives exist as well, for trace export.
+//!
+//! Two codec paths exist (DESIGN.md §10). The **legacy** path allocates a
+//! fresh buffer per frame ([`Batch::encode`]) and copies every payload out
+//! on decode ([`Batch::decode`]). The **zero-copy** path encodes into a
+//! reusable buffer — typically from a [`crate::BufPool`] — with no
+//! per-message or per-frame allocation ([`Batch::encode_into`] /
+//! [`encode_frame_into`]) and decodes payloads as refcounted slice views
+//! of the frame itself ([`Batch::decode_shared`]). Both produce and accept
+//! byte-identical frames; `urb_bench::compare` replays the same seeded
+//! corpus through both and asserts it.
 
 use crate::ids::{Label, LabelSet, Tag, TagAck};
 use crate::payload::Payload;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -181,84 +191,16 @@ impl WireMessage {
         }
     }
 
-    /// Decodes a message from a complete frame.
-    pub fn decode(mut data: &[u8]) -> Result<WireMessage, CodecError> {
-        let msg = Self::decode_buf(&mut data)?;
-        if !data.is_empty() {
-            return Err(CodecError::TrailingBytes(data.len()));
+    /// Decodes a message from a complete frame (copying the payload into
+    /// fresh storage — the legacy path; [`Batch::decode_shared`] is the
+    /// zero-copy one).
+    pub fn decode(data: &[u8]) -> Result<WireMessage, CodecError> {
+        let mut pos = 0usize;
+        let msg = decode_message_at(data, &mut pos, &mut copy_payload)?;
+        if pos != data.len() {
+            return Err(CodecError::TrailingBytes(data.len() - pos));
         }
         Ok(msg)
-    }
-
-    fn decode_buf(buf: &mut &[u8]) -> Result<WireMessage, CodecError> {
-        if buf.remaining() < 1 {
-            return Err(CodecError::Truncated);
-        }
-        let kind = buf.get_u8();
-        match kind {
-            0 => {
-                if buf.remaining() < 16 + 4 {
-                    return Err(CodecError::Truncated);
-                }
-                let tag = Tag(buf.get_u128());
-                let len = buf.get_u32() as usize;
-                if buf.remaining() < len {
-                    return Err(CodecError::Truncated);
-                }
-                let payload = Payload::copy_from_slice(&buf[..len]);
-                buf.advance(len);
-                Ok(WireMessage::Msg { tag, payload })
-            }
-            1 => {
-                if buf.remaining() < 16 + 16 + 4 {
-                    return Err(CodecError::Truncated);
-                }
-                let tag = Tag(buf.get_u128());
-                let tag_ack = TagAck(buf.get_u128());
-                let len = buf.get_u32() as usize;
-                if buf.remaining() < len {
-                    return Err(CodecError::Truncated);
-                }
-                let payload = Payload::copy_from_slice(&buf[..len]);
-                buf.advance(len);
-                if buf.remaining() < 1 {
-                    return Err(CodecError::Truncated);
-                }
-                let labels = match buf.get_u8() {
-                    0 => None,
-                    1 => {
-                        if buf.remaining() < 4 {
-                            return Err(CodecError::Truncated);
-                        }
-                        let n = buf.get_u32() as usize;
-                        if buf.remaining() < 8 * n {
-                            return Err(CodecError::Truncated);
-                        }
-                        let mut labels = Vec::with_capacity(n);
-                        for _ in 0..n {
-                            labels.push(Label(buf.get_u64()));
-                        }
-                        Some(LabelSet::from_iter(labels))
-                    }
-                    b => return Err(CodecError::BadDiscriminant(b)),
-                };
-                Ok(WireMessage::Ack {
-                    tag,
-                    tag_ack,
-                    payload,
-                    labels,
-                })
-            }
-            2 => {
-                if buf.remaining() < 16 {
-                    return Err(CodecError::Truncated);
-                }
-                let label = Label(buf.get_u64());
-                let seq = buf.get_u64();
-                Ok(WireMessage::Heartbeat { label, seq })
-            }
-            b => Err(CodecError::BadDiscriminant(b)),
-        }
     }
 
     /// A 64-bit content fingerprint, used by the bounded-loss channel mode to
@@ -341,6 +283,168 @@ impl WireMessage {
     }
 }
 
+// ---------------------------------------------------------------------
+// Decode internals, shared by the copying and the zero-copy paths.
+//
+// Decoding walks the frame with an explicit cursor (`pos`) instead of a
+// shrinking slice so that payload *offsets* survive: the zero-copy path
+// turns `(offset, len)` into a refcounted [`bytes::Bytes::slice`] view of
+// the frame, the legacy path copies the same range. Everything else —
+// bounds checks, error taxonomy, field order — is one implementation.
+
+/// Builds a payload from `data[off..off + len]`. The copying maker; the
+/// zero-copy maker is a closure over the shared frame in
+/// [`Batch::decode_shared`].
+fn copy_payload(data: &[u8], off: usize, len: usize) -> Payload {
+    Payload::copy_from_slice(&data[off..off + len])
+}
+
+fn need(data: &[u8], pos: usize, n: usize) -> Result<(), CodecError> {
+    if data.len().saturating_sub(pos) < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn read_u8(data: &[u8], pos: &mut usize) -> u8 {
+    let v = data[*pos];
+    *pos += 1;
+    v
+}
+
+fn read_u32(data: &[u8], pos: &mut usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&data[*pos..*pos + 4]);
+    *pos += 4;
+    u32::from_be_bytes(raw)
+}
+
+fn read_u64(data: &[u8], pos: &mut usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&data[*pos..*pos + 8]);
+    *pos += 8;
+    u64::from_be_bytes(raw)
+}
+
+fn read_u128(data: &[u8], pos: &mut usize) -> u128 {
+    let mut raw = [0u8; 16];
+    raw.copy_from_slice(&data[*pos..*pos + 16]);
+    *pos += 16;
+    u128::from_be_bytes(raw)
+}
+
+/// Decodes one message starting at `pos`, advancing the cursor.
+/// `payload` materializes each payload range (copy or shared slice).
+fn decode_message_at(
+    data: &[u8],
+    pos: &mut usize,
+    payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
+) -> Result<WireMessage, CodecError> {
+    need(data, *pos, 1)?;
+    let kind = read_u8(data, pos);
+    match kind {
+        0 => {
+            need(data, *pos, 16 + 4)?;
+            let tag = Tag(read_u128(data, pos));
+            let len = read_u32(data, pos) as usize;
+            need(data, *pos, len)?;
+            let body = payload(data, *pos, len);
+            *pos += len;
+            Ok(WireMessage::Msg { tag, payload: body })
+        }
+        1 => {
+            need(data, *pos, 16 + 16 + 4)?;
+            let tag = Tag(read_u128(data, pos));
+            let tag_ack = TagAck(read_u128(data, pos));
+            let len = read_u32(data, pos) as usize;
+            need(data, *pos, len)?;
+            let body = payload(data, *pos, len);
+            *pos += len;
+            need(data, *pos, 1)?;
+            let labels = match read_u8(data, pos) {
+                0 => None,
+                1 => {
+                    need(data, *pos, 4)?;
+                    let n = read_u32(data, pos) as usize;
+                    need(data, *pos, 8 * n)?;
+                    let mut labels = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        labels.push(Label(read_u64(data, pos)));
+                    }
+                    Some(LabelSet::from_iter(labels))
+                }
+                b => return Err(CodecError::BadDiscriminant(b)),
+            };
+            Ok(WireMessage::Ack {
+                tag,
+                tag_ack,
+                payload: body,
+                labels,
+            })
+        }
+        2 => {
+            need(data, *pos, 16)?;
+            let label = Label(read_u64(data, pos));
+            let seq = read_u64(data, pos);
+            Ok(WireMessage::Heartbeat { label, seq })
+        }
+        b => Err(CodecError::BadDiscriminant(b)),
+    }
+}
+
+/// Appends a complete batch frame for `msgs` to `buf` — the zero-copy
+/// encode path's workhorse. Writes straight into the caller's buffer
+/// (typically a [`crate::BufPool`] frame or a reused scratch), so a warm
+/// buffer makes encoding allocate **nothing**: not per message, not per
+/// frame. Byte-for-byte identical to [`Batch::encode`] over the same
+/// messages (pinned by the codec-equivalence property tests).
+pub fn encode_frame_into(msgs: &[WireMessage], buf: &mut BytesMut) {
+    buf.put_u8(Batch::FRAME_TAG);
+    buf.put_u32(msgs.len() as u32);
+    for m in msgs {
+        buf.put_u32(m.encoded_len() as u32);
+        m.encode_into(buf);
+    }
+}
+
+/// Decodes every member of a batch frame into `out` (cleared first),
+/// materializing payloads through `payload`. Shared core of
+/// [`Batch::decode`], [`Batch::decode_shared`] and
+/// [`Batch::decode_shared_into`].
+fn decode_members(
+    data: &[u8],
+    out: &mut Vec<WireMessage>,
+    payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
+) -> Result<(), CodecError> {
+    out.clear();
+    let mut pos = 0usize;
+    need(data, pos, 1)?;
+    let tag = read_u8(data, &mut pos);
+    if tag != Batch::FRAME_TAG {
+        return Err(CodecError::BadDiscriminant(tag));
+    }
+    need(data, pos, 4)?;
+    let count = read_u32(data, &mut pos) as usize;
+    for _ in 0..count {
+        need(data, pos, 4)?;
+        let len = read_u32(data, &mut pos) as usize;
+        need(data, pos, len)?;
+        // Each member must occupy exactly its declared length; decoding
+        // against the prefix slice keeps absolute offsets valid while
+        // bounding reads to the member.
+        let member_end = pos + len;
+        out.push(decode_message_at(&data[..member_end], &mut pos, payload)?);
+        if pos != member_end {
+            return Err(CodecError::TrailingBytes(member_end - pos));
+        }
+    }
+    if pos != data.len() {
+        return Err(CodecError::TrailingBytes(data.len() - pos));
+    }
+    Ok(())
+}
+
 impl fmt::Debug for WireMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -396,6 +500,14 @@ impl Batch {
         }
     }
 
+    /// Wraps an owned message vector — the [`crate::BatchPool`] entry
+    /// point: acquire a recycled vector, fill it, wrap it, and after the
+    /// batch is consumed hand the vector back via
+    /// [`crate::BatchPool::release`] (see [`Batch::into_messages`]).
+    pub fn from_vec(messages: Vec<WireMessage>) -> Self {
+        Batch { messages }
+    }
+
     /// Appends one message.
     pub fn push(&mut self, msg: WireMessage) {
         self.messages.push(msg);
@@ -437,50 +549,52 @@ impl Batch {
                 .sum::<usize>()
     }
 
-    /// Encodes the frame into a freshly allocated buffer.
+    /// Encodes the frame into a freshly allocated buffer — the **legacy
+    /// codec path** (one buffer allocation plus one freeze copy per
+    /// frame). The hot paths use [`Batch::encode_into`] over a pooled
+    /// buffer instead; `urb_bench::compare` replays both and asserts the
+    /// zero-copy path produces byte-identical frames, faster.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(Self::FRAME_TAG);
-        buf.put_u32(self.messages.len() as u32);
-        for m in &self.messages {
-            buf.put_u32(m.encoded_len() as u32);
-            m.encode_into(&mut buf);
-        }
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
-    /// Decodes a complete batch frame.
+    /// Appends the frame to an existing buffer — the zero-copy encode
+    /// path. With a warm (pooled or reused) buffer this allocates
+    /// nothing; see [`encode_frame_into`] for the free-function form the
+    /// engine uses to encode an outbox without constructing a `Batch`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        encode_frame_into(&self.messages, buf);
+    }
+
+    /// Decodes a complete batch frame, copying every payload into fresh
+    /// storage — the legacy path ([`Batch::decode_shared`] is the
+    /// zero-copy one).
     pub fn decode(data: &[u8]) -> Result<Batch, CodecError> {
-        let mut buf = data;
-        if buf.remaining() < 1 {
-            return Err(CodecError::Truncated);
-        }
-        let tag = buf.get_u8();
-        if tag != Self::FRAME_TAG {
-            return Err(CodecError::BadDiscriminant(tag));
-        }
-        if buf.remaining() < 4 {
-            return Err(CodecError::Truncated);
-        }
-        let count = buf.get_u32() as usize;
         let mut messages = Vec::new();
-        for _ in 0..count {
-            if buf.remaining() < 4 {
-                return Err(CodecError::Truncated);
-            }
-            let len = buf.get_u32() as usize;
-            if buf.remaining() < len {
-                return Err(CodecError::Truncated);
-            }
-            // Each member must occupy exactly its declared length;
-            // `WireMessage::decode` enforces the exactness.
-            messages.push(WireMessage::decode(&buf[..len])?);
-            buf.advance(len);
-        }
-        if !buf.is_empty() {
-            return Err(CodecError::TrailingBytes(buf.len()));
-        }
+        decode_members(data, &mut messages, &mut copy_payload)?;
         Ok(Batch { messages })
+    }
+
+    /// Decodes a complete batch frame **without copying payloads**: each
+    /// decoded [`Payload`] is a refcounted slice view of `frame` itself
+    /// ([`bytes::Bytes::slice`]), so the frame's storage is shared by
+    /// every message until the last reference drops. This is the receive
+    /// path of the runtime's wire plane.
+    pub fn decode_shared(frame: &Bytes) -> Result<Batch, CodecError> {
+        let mut messages = Vec::new();
+        Self::decode_shared_into(frame, &mut messages)?;
+        Ok(Batch { messages })
+    }
+
+    /// [`Batch::decode_shared`] into a caller-supplied vector (cleared
+    /// first, capacity retained) — pair with a [`crate::BatchPool`] for a
+    /// decode path with no per-frame vector allocation either.
+    pub fn decode_shared_into(frame: &Bytes, out: &mut Vec<WireMessage>) -> Result<(), CodecError> {
+        decode_members(frame, out, &mut |_, off, len| {
+            Payload::from_bytes(frame.slice(off..off + len))
+        })
     }
 }
 

@@ -1,0 +1,196 @@
+//! Codec-equivalence and pool-reuse property tests (DESIGN.md §10).
+//!
+//! The zero-copy batch codec is only a *performance* plane: it must be
+//! observationally identical to the legacy path. These properties pin
+//! that down — byte-identical frames, identical decodes (shared-payload
+//! or copied), and a frame-buffer pool that stops allocating once warm.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use urb_types::{
+    encode_frame_into, Batch, BatchPool, BufPool, Label, LabelSet, Payload, Tag, TagAck,
+    WireMessage,
+};
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Payload::from)
+}
+
+fn arb_labels() -> impl Strategy<Value = Option<LabelSet>> {
+    proptest::option::of(
+        proptest::collection::btree_set(any::<u64>(), 0..12)
+            .prop_map(|s| LabelSet::from_iter(s.into_iter().map(Label))),
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = WireMessage> {
+    prop_oneof![
+        (any::<u128>(), arb_payload()).prop_map(|(t, p)| WireMessage::Msg {
+            tag: Tag(t),
+            payload: p,
+        }),
+        (any::<u128>(), any::<u128>(), arb_payload(), arb_labels()).prop_map(|(t, ta, p, ls)| {
+            WireMessage::Ack {
+                tag: Tag(t),
+                tag_ack: TagAck(ta),
+                payload: p,
+                labels: ls,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(l, s)| WireMessage::Heartbeat {
+            label: Label(l),
+            seq: s,
+        }),
+    ]
+}
+
+proptest! {
+    /// The zero-copy encode path (`encode_into` over a reused buffer, and
+    /// the outbox-slice form `encode_frame_into`) produces frames
+    /// byte-identical to the legacy `encode()` for any member set.
+    #[test]
+    fn zero_copy_and_legacy_frames_are_byte_identical(
+        msgs in proptest::collection::vec(arb_message(), 0..24),
+    ) {
+        let batch: Batch = msgs.iter().cloned().collect();
+        let legacy = batch.encode();
+
+        let pool = BufPool::default();
+        let mut pooled = pool.acquire();
+        batch.encode_into(&mut pooled);
+        prop_assert_eq!(&pooled[..], &legacy[..]);
+
+        let mut from_slice = pool.acquire();
+        encode_frame_into(&msgs, &mut from_slice);
+        prop_assert_eq!(&from_slice[..], &legacy[..]);
+    }
+
+    /// Both decode paths accept the frame and agree on every message —
+    /// shared-payload decoding changes storage, never values. All
+    /// `WireMessage` variants round-trip (the generator covers MSG, ACK
+    /// with and without labels, and heartbeats).
+    #[test]
+    fn shared_and_copying_decodes_agree(
+        msgs in proptest::collection::vec(arb_message(), 0..24),
+    ) {
+        let batch: Batch = msgs.iter().cloned().collect();
+        let frame: Bytes = batch.encode();
+
+        let copied = Batch::decode(&frame).unwrap();
+        let shared = Batch::decode_shared(&frame).unwrap();
+        prop_assert_eq!(&copied, &shared);
+        prop_assert_eq!(shared.messages(), &msgs[..]);
+
+        // The pooled-vector decode form agrees too.
+        let mut out = vec![WireMessage::Heartbeat { label: Label(0), seq: 0 }];
+        Batch::decode_shared_into(&frame, &mut out).unwrap();
+        prop_assert_eq!(&out[..], &msgs[..]);
+    }
+
+    /// Malformed frames are rejected identically by both decode paths
+    /// (same error taxonomy at the same cut).
+    #[test]
+    fn decode_paths_reject_identically(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let batch: Batch = msgs.into_iter().collect();
+        let enc = batch.encode();
+        let cut = ((enc.len() - 1) as f64 * cut_frac) as usize;
+        let prefix = Bytes::copy_from_slice(&enc[..cut]);
+        prop_assert_eq!(
+            Batch::decode(&prefix).unwrap_err(),
+            Batch::decode_shared(&prefix).unwrap_err()
+        );
+    }
+
+    /// Steady-state encode over a warm pool performs zero buffer
+    /// allocations: after the first acquisition, every further frame is
+    /// served from the recycled buffer.
+    #[test]
+    fn warm_pool_stops_creating_buffers(
+        msgs in proptest::collection::vec(arb_message(), 1..16),
+    ) {
+        let pool = BufPool::new(4);
+        let batch: Batch = msgs.into_iter().collect();
+        for _ in 0..32 {
+            let mut frame = pool.acquire();
+            batch.encode_into(&mut frame);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.created, 1, "only the cold-start allocation");
+        prop_assert_eq!(s.recycled, 31);
+        prop_assert_eq!(s.discarded, 0);
+    }
+}
+
+/// Shared-payload decoding really does share: the decoded payloads alias
+/// the frame's storage (zero copies), while the legacy path's do not.
+#[test]
+fn decode_shared_payloads_alias_the_frame() {
+    let batch: Batch = vec![
+        WireMessage::Msg {
+            tag: Tag(1),
+            payload: Payload::from("first payload"),
+        },
+        WireMessage::Ack {
+            tag: Tag(1),
+            tag_ack: TagAck(2),
+            payload: Payload::from("second payload"),
+            labels: Some(LabelSet::from_iter([Label(9)])),
+        },
+    ]
+    .into_iter()
+    .collect();
+    let frame = batch.encode();
+    let shared = Batch::decode_shared(&frame).unwrap();
+    for (m, original) in shared.messages().iter().zip(batch.messages()) {
+        if let (
+            Some(WireMessage::Msg { payload, .. } | WireMessage::Ack { payload, .. }),
+            Some(WireMessage::Msg { payload: orig, .. } | WireMessage::Ack { payload: orig, .. }),
+        ) = (Some(m), Some(original))
+        {
+            assert_eq!(payload, orig, "values agree");
+            // Aliasing check: the shared payload's bytes live inside the
+            // frame's address range; a copied payload's do not.
+            let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+            let p = payload.as_slice().as_ptr() as usize;
+            assert!(
+                payload.is_empty() || frame_range.contains(&p),
+                "shared payload must alias the frame storage"
+            );
+            let copied = Batch::decode(&frame).unwrap();
+            if let WireMessage::Msg { payload: c, .. } | WireMessage::Ack { payload: c, .. } =
+                &copied.messages()[0]
+            {
+                let cp = c.as_slice().as_ptr() as usize;
+                assert!(
+                    c.is_empty() || !frame_range.contains(&cp),
+                    "copied payload must not alias the frame"
+                );
+            }
+        }
+    }
+}
+
+/// A `BatchPool`-backed decode loop reuses one vector for every frame.
+#[test]
+fn batch_pool_decode_loop_is_allocation_flat() {
+    let pool = BatchPool::new(2);
+    let batch: Batch = (0..8u128)
+        .map(|i| WireMessage::Msg {
+            tag: Tag(i),
+            payload: Payload::from("p"),
+        })
+        .collect();
+    let frame = batch.encode();
+    for _ in 0..50 {
+        let mut msgs = pool.acquire();
+        Batch::decode_shared_into(&frame, &mut msgs).unwrap();
+        assert_eq!(msgs.len(), 8);
+        pool.release(msgs);
+    }
+    let s = pool.stats();
+    assert_eq!(s.created, 1, "one vector serves the whole loop");
+    assert_eq!(s.recycled, 49);
+}

@@ -7,7 +7,8 @@
 //! (see `vendor/README.md`). This shim provides:
 //!
 //! * [`Bytes`] — cheaply clonable, immutable, reference-counted byte
-//!   storage;
+//!   storage, including zero-copy [`Bytes::slice`] sub-views (the wire
+//!   codec's shared-payload decode path relies on them);
 //! * [`BytesMut`] — an append-only growable buffer that freezes into
 //!   [`Bytes`];
 //! * [`Buf`] / [`BufMut`] — the cursor traits, implemented for `&[u8]` and
@@ -23,13 +24,16 @@
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable reference-counted bytes. Cloning is `O(1)`.
+/// Immutable reference-counted bytes. Cloning is `O(1)`, and so is
+/// [`Bytes::slice`]: a sub-view shares the same storage.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -37,74 +41,106 @@ impl Bytes {
     pub fn new() -> Self {
         Bytes {
             data: Arc::from(&[][..]),
+            offset: 0,
+            len: 0,
         }
     }
 
     /// Copies a slice into new storage.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        let len = data.len();
         Bytes {
             data: Arc::from(data),
+            offset: 0,
+            len,
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view: the returned `Bytes` shares this one's
+    /// storage (refcount bump, no byte is copied). Panics when the range
+    /// is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(begin <= end, "slice range reversed: {begin} > {end}");
+        assert!(end <= self.len, "slice out of bounds: {end} > {}", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + begin,
+            len: end - begin,
+        }
     }
 
     /// Copies into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice().iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -115,8 +151,11 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
         Bytes {
             data: Arc::from(v.into_boxed_slice()),
+            offset: 0,
+            len,
         }
     }
 }
@@ -173,6 +212,16 @@ impl BytesMut {
     /// Drops the contents, keeping the allocation.
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
     }
 
     /// Converts into immutable [`Bytes`].
@@ -329,5 +378,40 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(1);
         assert_eq!(&*buf, &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn slice_is_a_shared_view() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let hello = b.slice(0..5);
+        let world = b.slice(6..);
+        assert_eq!(&*hello, b"hello");
+        assert_eq!(&*world, b"world");
+        // Sub-views share storage with the parent (refcount, not copy).
+        assert_eq!(Arc::strong_count(&b.data), 3);
+        // Slicing a slice composes offsets.
+        let ell = hello.slice(1..=3);
+        assert_eq!(&*ell, b"ell");
+        assert_eq!(ell.len(), 3);
+        let empty = b.slice(4..4);
+        assert!(empty.is_empty());
+        assert_eq!(b.slice(..), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::copy_from_slice(b"abc").slice(1..5);
+    }
+
+    #[test]
+    fn bytes_mut_reserve_and_capacity() {
+        let mut buf = BytesMut::new();
+        buf.reserve(100);
+        assert!(buf.capacity() >= 100);
+        buf.put_slice(b"xy");
+        let cap = buf.capacity();
+        buf.clear();
+        assert_eq!(buf.capacity(), cap, "clear keeps the allocation");
     }
 }
