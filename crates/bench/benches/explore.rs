@@ -1,0 +1,79 @@
+//! Exploration-plane throughput (DESIGN.md §11): how many states per
+//! second the systematic checker materializes, and how much of the
+//! frontier the state-hash dedup absorbs.
+//!
+//! Two shapes, chosen to bracket the plane's two jobs:
+//!
+//! * `dfs_clean` — exhaustive bounded DFS over a clean two-process
+//!   scenario: the dedup-heavy workload (commuting deliveries collapse
+//!   onto shared states), where replay cost and hash pruning dominate;
+//! * `dfs_theorem2` — the violation hunt on the embedded Theorem-2
+//!   corpus spec: the early-exit workload CI's `check-smoke` runs.
+//!
+//! Besides the criterion timings, each run prints the checker's own
+//! states/sec and dedup hit-rate counters once, so the bench log doubles
+//! as the exploration-throughput record for the PR trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urb_check::{check_scenario, Strategy};
+use urb_core::Algorithm;
+use urb_sim::spec::corpus;
+use urb_sim::ScenarioSpec;
+
+fn clean_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("bench-explore-clean", 2, Algorithm::Majority);
+    spec.seed = 17;
+    spec.check.depth = 16;
+    spec.check.max_drops = 0;
+    spec
+}
+
+fn theorem2_spec() -> ScenarioSpec {
+    let (_, text) = corpus()
+        .into_iter()
+        .find(|(name, _)| *name == "theorem2_violation")
+        .unwrap();
+    ScenarioSpec::from_toml_str(text).unwrap()
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+
+    let spec = clean_spec();
+    let once = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    println!(
+        "explore/dfs_clean: {} states, {:.0} states/sec, dedup hit-rate {:.3}",
+        once.stats.states,
+        once.stats.states_per_sec(),
+        once.stats.dedup_hit_rate()
+    );
+    g.bench_function(BenchmarkId::from_parameter("dfs_clean"), |b| {
+        b.iter(|| {
+            let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+            assert!(outcome.passed());
+            black_box(outcome.stats.states)
+        })
+    });
+
+    let spec = theorem2_spec();
+    let once = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    println!(
+        "explore/dfs_theorem2: {} states to the witness, {:.0} states/sec",
+        once.stats.states,
+        once.stats.states_per_sec()
+    );
+    g.bench_function(BenchmarkId::from_parameter("dfs_theorem2"), |b| {
+        b.iter(|| {
+            let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+            assert!(outcome.counterexample.is_some());
+            black_box(outcome.stats.states)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

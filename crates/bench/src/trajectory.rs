@@ -614,6 +614,150 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     }
 }
 
+/// One exact-match failure on an overlapping grid point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointMismatch {
+    /// Experiment id.
+    pub id: String,
+    /// The deterministic count metric that diverged.
+    pub field: &'static str,
+    /// Value in the old file.
+    pub old: u64,
+    /// Value in the new file.
+    pub new: u64,
+}
+
+/// Result of diffing two trajectory files (`urb bench --diff`).
+///
+/// Grid points **overlap** when both files were collected with the same
+/// root seed and seeds-per-cell and share an experiment id; on
+/// overlapping points every deterministic count metric (runs, verdicts,
+/// traffic, latency percentiles, end times, trace fingerprints) must
+/// match *exactly* — the grids are pure functions of `(id, seed)`, so
+/// any divergence is a behaviour change, not noise. Derived float
+/// metrics are reported for context, never gated on.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Both files used the same `(seed, seeds_per_cell)` — without this
+    /// no point overlaps and the diff cannot gate anything.
+    pub comparable: bool,
+    /// Ids whose overlapping points matched exactly.
+    pub matched: Vec<String>,
+    /// Every exact-match failure (all fields of all points, so one diff
+    /// run names every problem).
+    pub mismatches: Vec<PointMismatch>,
+    /// Ids only present in the old file.
+    pub only_old: Vec<String>,
+    /// Ids only present in the new file.
+    pub only_new: Vec<String>,
+}
+
+impl DiffReport {
+    /// The gate: comparable, at least one overlapping point, no
+    /// mismatch.
+    pub fn is_clean(&self) -> bool {
+        self.comparable && self.mismatches.is_empty() && !self.matched.is_empty()
+    }
+
+    /// Human rendering (one line per finding).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.comparable {
+            out.push_str("not comparable: the files differ in seed or seeds_per_cell\n");
+            return out;
+        }
+        for id in &self.matched {
+            let _ = writeln!(out, "  {id}: OK (all count metrics identical)");
+        }
+        for m in &self.mismatches {
+            let _ = writeln!(
+                out,
+                "  {}: {} diverged — old {}, new {}",
+                m.id, m.field, m.old, m.new
+            );
+        }
+        for id in &self.only_old {
+            let _ = writeln!(out, "  {id}: only in old file (not compared)");
+        }
+        for id in &self.only_new {
+            let _ = writeln!(out, "  {id}: only in new file (not compared)");
+        }
+        if self.matched.is_empty() && self.mismatches.is_empty() {
+            out.push_str("  no overlapping grid points\n");
+        }
+        out
+    }
+}
+
+/// The deterministic count metrics gated by [`diff_json`].
+pub const COUNT_METRICS: [&str; 10] = [
+    "runs",
+    "urb_ok",
+    "deliveries",
+    "transmissions",
+    "dropped",
+    "latency_p50",
+    "latency_p90",
+    "latency_p99",
+    "mean_end_time",
+    "trace_fingerprint",
+];
+
+/// Diffs two trajectory files. Both must validate against the schema;
+/// see [`DiffReport`] for the comparison semantics.
+pub fn diff_json(old_text: &str, new_text: &str) -> Result<DiffReport, String> {
+    validate_json(old_text).map_err(|e| format!("old file: {e}"))?;
+    validate_json(new_text).map_err(|e| format!("new file: {e}"))?;
+    let old: serde_json::Value = serde_json::from_str(old_text).expect("validated above");
+    let new: serde_json::Value = serde_json::from_str(new_text).expect("validated above");
+    let mut report = DiffReport {
+        comparable: old["seed"].as_u64() == new["seed"].as_u64()
+            && old["data"]["seeds_per_cell"].as_u64() == new["data"]["seeds_per_cell"].as_u64(),
+        ..DiffReport::default()
+    };
+    if !report.comparable {
+        return Ok(report);
+    }
+    let points = |v: &serde_json::Value| -> Vec<serde_json::Value> {
+        v["data"]["points"].as_array().expect("validated").clone()
+    };
+    let old_points = points(&old);
+    let new_points = points(&new);
+    let find = |list: &[serde_json::Value], id: &str| -> Option<serde_json::Value> {
+        list.iter().find(|p| p["id"].as_str() == Some(id)).cloned()
+    };
+    for p in &old_points {
+        let id = p["id"].as_str().expect("validated").to_string();
+        let Some(q) = find(&new_points, &id) else {
+            report.only_old.push(id);
+            continue;
+        };
+        let mut clean = true;
+        for field in COUNT_METRICS {
+            let (a, b) = (p[field].as_u64(), q[field].as_u64());
+            if a != b {
+                clean = false;
+                report.mismatches.push(PointMismatch {
+                    id: id.clone(),
+                    field,
+                    old: a.unwrap_or(0),
+                    new: b.unwrap_or(0),
+                });
+            }
+        }
+        if clean {
+            report.matched.push(id);
+        }
+    }
+    for q in &new_points {
+        let id = q["id"].as_str().expect("validated");
+        if find(&old_points, id).is_none() {
+            report.only_new.push(id.to_string());
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +826,55 @@ mod tests {
         assert!(validate_json(&bad).unwrap_err().contains("kind"));
         let bad = good.replace("\"runs\":", "\"runs_gone\":");
         assert!(validate_json(&bad).unwrap_err().contains("runs"));
+    }
+
+    #[test]
+    fn diff_accepts_identical_and_overlapping_files() {
+        std::env::set_var("URB_GIT_REV", "diff-test");
+        let full = collect(&tiny()).to_json();
+        let narrow = collect(&TrajectoryConfig {
+            ids: vec!["e1".into()],
+            ..tiny()
+        })
+        .to_json();
+        std::env::remove_var("URB_GIT_REV");
+        let same = diff_json(&full, &full).unwrap();
+        assert!(same.is_clean(), "{}", same.render());
+        assert_eq!(same.matched, vec!["e1".to_string(), "e11".to_string()]);
+        // Subset grids still gate on the shared points.
+        let sub = diff_json(&full, &narrow).unwrap();
+        assert!(sub.is_clean(), "{}", sub.render());
+        assert_eq!(sub.matched, vec!["e1".to_string()]);
+        assert_eq!(sub.only_old, vec!["e11".to_string()]);
+    }
+
+    #[test]
+    fn diff_flags_count_metric_divergence() {
+        std::env::set_var("URB_GIT_REV", "diff-test");
+        let a = collect(&tiny()).to_json();
+        std::env::remove_var("URB_GIT_REV");
+        let needle = "\"transmissions\": ";
+        let start = a.find(needle).unwrap() + needle.len();
+        let end = a[start..].find(',').unwrap() + start;
+        let b = format!("{}{}{}", &a[..start], 123456789u64, &a[end..]);
+        let report = diff_json(&a, &b).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.mismatches[0].field, "transmissions");
+        assert!(report.render().contains("transmissions diverged"));
+    }
+
+    #[test]
+    fn diff_refuses_incomparable_grids_and_broken_files() {
+        std::env::set_var("URB_GIT_REV", "diff-test");
+        let a = collect(&tiny()).to_json();
+        let other = collect(&TrajectoryConfig { seed: 6, ..tiny() }).to_json();
+        std::env::remove_var("URB_GIT_REV");
+        let report = diff_json(&a, &other).unwrap();
+        assert!(!report.comparable);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("not comparable"));
+        assert!(diff_json("junk", &a).unwrap_err().contains("old file"));
+        assert!(diff_json(&a, "junk").unwrap_err().contains("new file"));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! The systematic explorer: strategies over the choice tree of a
+//! [`CheckModel`], with state-hash pruning, throughput counters and
+//! `[expect]`-aware verdicts.
+//!
+//! All three strategies are **stateless** (in the model-checking sense):
+//! a state is materialized by replaying its choice prefix from the
+//! initial state, because protocol instances are trait objects and
+//! cannot be cloned. That costs `O(depth)` engine steps per visited
+//! state and buys an exact, serializable witness for free — the path
+//! *is* the counterexample.
+//!
+//! * [`Strategy::Dfs`] — bounded depth-first search in canonical choice
+//!   order, pruning states whose [`CheckState::state_hash`] was already
+//!   visited;
+//! * [`Strategy::DporLite`] — delay-bounded search: diverging from the
+//!   canonical first choice costs its index in the enabled list, and an
+//!   execution may spend at most `check.delay_budget` in total. Explores
+//!   the neighbourhood of the causal schedule first, which is where
+//!   reordering bugs live (a partial-order-reduction-flavoured cut of
+//!   the full DFS, hence the name);
+//! * [`Strategy::Random`] — `check.walks` seeded random walks to the
+//!   depth bound: the fallback when the state space dwarfs the budget,
+//!   and the byte-determinism anchor (same seed ⇒ same walks ⇒ same
+//!   outcome, file for file).
+
+use crate::counterexample::Counterexample;
+use crate::model::{CheckModel, CheckState, Choice};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+use urb_sim::{Expectations, ScenarioSpec, SpecError};
+use urb_types::{RandomSource, SplitMix64};
+
+/// Which exploration strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Bounded DFS with state-hash pruning.
+    #[default]
+    Dfs,
+    /// Delay-bounded search around the canonical schedule.
+    DporLite,
+    /// Seeded random-walk fallback.
+    Random,
+}
+
+impl Strategy {
+    /// CLI/spec name of the strategy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Dfs => "dfs",
+            Strategy::DporLite => "dpor-lite",
+            Strategy::Random => "random",
+        }
+    }
+
+    /// Parses a strategy name (`dfs` | `dpor-lite` | `random`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "dfs" => Strategy::Dfs,
+            "dpor-lite" => Strategy::DporLite,
+            "random" => Strategy::Random,
+            other => {
+                return Err(format!(
+                    "unknown strategy {other:?} (dfs | dpor-lite | random)"
+                ))
+            }
+        })
+    }
+}
+
+/// Exploration throughput and coverage counters — the bench plane of the
+/// checker (`states/sec`, dedup hit-rate) and the honesty report of a
+/// bounded search (what was pruned, whether the cap truncated it).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExplorationStats {
+    /// States materialized (= full prefix replays).
+    pub states: u64,
+    /// Engine steps executed across all replays.
+    pub engine_steps: u64,
+    /// States pruned because their hash was already visited.
+    pub dedup_hits: u64,
+    /// Branches cut by the depth bound.
+    pub depth_prunes: u64,
+    /// Branches cut by the `dpor-lite` delay budget.
+    pub delay_prunes: u64,
+    /// Silent states where the eventual properties were evaluated.
+    pub silent_states: u64,
+    /// Violating executions that did not match the scenario's expected
+    /// violation shape (surfaced in the report, not as the witness).
+    pub mismatched_violations: u64,
+    /// Deepest execution reached.
+    pub max_depth: u64,
+    /// True when the state cap ended the search before the frontier was
+    /// exhausted (the verdict is then "not found within budget", never
+    /// "proven absent").
+    pub truncated: bool,
+    /// Wall-clock seconds spent exploring (throughput only — never part
+    /// of any deterministic artifact).
+    pub elapsed_secs: f64,
+}
+
+impl ExplorationStats {
+    /// States materialized per wall-clock second.
+    pub fn states_per_sec(&self) -> f64 {
+        self.states as f64 / self.elapsed_secs.max(1e-9)
+    }
+
+    /// Fraction of frontier pops answered by the visited-set.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        self.dedup_hits as f64 / (self.states + self.dedup_hits).max(1) as f64
+    }
+}
+
+/// Everything one `urb check` invocation produced.
+pub struct CheckOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// Effective depth bound.
+    pub depth: u32,
+    /// Seed (engines + random walks).
+    pub seed: u64,
+    /// Whether the spec's `[expect]` table demands a violation.
+    pub expects_violation: bool,
+    /// The witness, when one was found.
+    pub counterexample: Option<Counterexample>,
+    /// Throughput/coverage counters.
+    pub stats: ExplorationStats,
+}
+
+impl CheckOutcome {
+    /// The scenario-level verdict: an expected violation must be found;
+    /// a clean scenario must survive the explored schedules.
+    pub fn passed(&self) -> bool {
+        self.expects_violation == self.counterexample.is_some()
+    }
+
+    /// One-line human verdict.
+    pub fn verdict_line(&self) -> String {
+        match (self.expects_violation, &self.counterexample) {
+            (true, Some(cx)) => format!(
+                "PASS — expected violation found at depth {}: {}",
+                cx.choices.len(),
+                cx.violation.first().map(String::as_str).unwrap_or("?")
+            ),
+            (true, None) => "FAIL — expected violation not found within bounds".into(),
+            (false, Some(cx)) => format!(
+                "FAIL — violation found at depth {}: {}",
+                cx.choices.len(),
+                cx.violation.first().map(String::as_str).unwrap_or("?")
+            ),
+            (false, None) => "PASS — no violation within bounds".into(),
+        }
+    }
+}
+
+/// Hard cap on materialized states per exploration, so a CI-bounded
+/// check stays CI-bounded even on an adversarial spec. Hitting it sets
+/// [`ExplorationStats::truncated`].
+pub const MAX_STATES: u64 = 200_000;
+
+/// Does `expect` ask for a violation at all?
+fn expects_violation(e: &Expectations) -> bool {
+    [e.all_ok, e.validity, e.agreement, e.integrity].contains(&Some(false))
+}
+
+/// Does this violating execution match the scenario's expected shape?
+/// Every property the spec pins must agree with the execution's report
+/// (`validity = false` must actually be violated, `integrity = true`
+/// must actually hold), and `min_deliveries` binds the execution too.
+fn matches_expectation(spec: &ScenarioSpec, st: &CheckState<'_>) -> bool {
+    let report = st.report();
+    let e = &spec.expect;
+    let want = |expected: Option<bool>, got: bool| expected.is_none_or(|w| w == got);
+    want(e.all_ok, report.all_ok())
+        && want(e.validity, report.validity.ok())
+        && want(e.agreement, report.agreement.ok())
+        && want(e.integrity, report.integrity.ok())
+        && e.min_deliveries.is_none_or(|m| st.deliveries().len() >= m)
+}
+
+/// Explores `spec` and returns the outcome. `seed` overrides the spec's
+/// seed; `strategy`/`depth` override the spec's `[check]` table.
+pub fn check_scenario(
+    spec: &ScenarioSpec,
+    strategy: Option<Strategy>,
+    depth: Option<u32>,
+    seed: Option<u64>,
+) -> Result<CheckOutcome, SpecError> {
+    let model = CheckModel::from_spec(spec, seed)?;
+    let strategy = match strategy {
+        Some(s) => s,
+        None => match spec.check.strategy.as_deref() {
+            Some(name) => Strategy::parse(name).map_err(|message| SpecError { message })?,
+            None => Strategy::default(),
+        },
+    };
+    let depth = depth.unwrap_or(spec.check.depth);
+    let started = Instant::now();
+    let mut search = Search {
+        spec,
+        model: &model,
+        depth: depth as u64,
+        expects: expects_violation(&spec.expect),
+        stats: ExplorationStats::default(),
+        witness: None,
+    };
+    match strategy {
+        Strategy::Dfs => search.dfs(None),
+        Strategy::DporLite => search.dfs(Some(spec.check.delay_budget as u64)),
+        Strategy::Random => search.random_walks(spec.check.walks),
+    }
+    let mut stats = search.stats;
+    stats.elapsed_secs = started.elapsed().as_secs_f64();
+    Ok(CheckOutcome {
+        scenario: spec.name.clone(),
+        strategy,
+        depth,
+        seed: model.seed(),
+        expects_violation: search.expects,
+        counterexample: search
+            .witness
+            .map(|(path, st_violation, deliveries)| Counterexample {
+                scenario: spec.name.clone(),
+                strategy: strategy.as_str().into(),
+                seed: model.seed(),
+                depth_bound: depth,
+                spec_toml: spec.to_toml(),
+                violation: st_violation,
+                choices: path,
+                deliveries,
+            }),
+        stats,
+    })
+}
+
+/// Witness payload: the path, the violation strings, the delivery trace.
+type Witness = (
+    Vec<Choice>,
+    Vec<String>,
+    Vec<urb_sim::metrics::DeliveryRecord>,
+);
+
+struct Search<'a> {
+    spec: &'a ScenarioSpec,
+    model: &'a CheckModel,
+    depth: u64,
+    expects: bool,
+    stats: ExplorationStats,
+    witness: Option<Witness>,
+}
+
+impl<'a> Search<'a> {
+    /// Replays `path` from the initial state. Infallible by construction
+    /// (paths come from enabled-choice enumeration on the same model).
+    fn materialize(&mut self, path: &[Choice]) -> CheckState<'a> {
+        self.stats.states += 1;
+        self.stats.max_depth = self.stats.max_depth.max(path.len() as u64);
+        let mut st = self.model.initial();
+        for c in path {
+            st.apply_trusted(*c);
+            self.stats.engine_steps += 1;
+        }
+        st
+    }
+
+    /// Examines a materialized state: evaluates eventual properties at
+    /// silent states and captures the witness when a violation matches
+    /// the scenario's expectation shape (or any violation, for a clean
+    /// scenario). Returns true when the search should stop.
+    fn examine(&mut self, path: &[Choice], st: &mut CheckState<'_>) -> bool {
+        if st.is_silent() {
+            self.stats.silent_states += 1;
+            st.check_eventual();
+        }
+        let Some(violation) = st.violation() else {
+            return false;
+        };
+        let matches = !self.expects || matches_expectation(self.spec, st);
+        if matches {
+            self.witness = Some((path.to_vec(), violation.to_vec(), st.deliveries().to_vec()));
+            true
+        } else {
+            self.stats.mismatched_violations += 1;
+            false
+        }
+    }
+
+    /// Bounded DFS; `delay_budget = Some(b)` turns it into the
+    /// delay-bounded `dpor-lite` cut.
+    fn dfs(&mut self, delay_budget: Option<u64>) {
+        // Visited set keyed on the state hash, valued with the best
+        // (largest) remaining delay budget the state was expanded with:
+        // in `dpor-lite` mode the budget is part of what a state can
+        // still do, so a state first reached on a wasteful path must be
+        // re-expanded when a thriftier path arrives with budget to
+        // spend. Plain DFS carries budget 0 everywhere, where this
+        // degenerates to an ordinary visited set.
+        let mut visited: HashMap<u64, u64> = HashMap::new();
+        // Frontier of (path, remaining delay budget); pushed in reverse
+        // canonical order so the canonical child pops first.
+        let mut frontier: Vec<(Vec<Choice>, u64)> = vec![(Vec::new(), delay_budget.unwrap_or(0))];
+        while let Some((path, budget)) = frontier.pop() {
+            if self.stats.states >= MAX_STATES {
+                self.stats.truncated = true;
+                return;
+            }
+            let mut st = self.materialize(&path);
+            if self.examine(&path, &mut st) {
+                return;
+            }
+            if st.violation().is_some() {
+                continue; // mismatched violation: this branch is done
+            }
+            if path.len() as u64 >= self.depth {
+                self.stats.depth_prunes += 1;
+                continue;
+            }
+            match visited.entry(st.state_hash()) {
+                Entry::Occupied(seen) if *seen.get() >= budget => {
+                    self.stats.dedup_hits += 1;
+                    continue;
+                }
+                Entry::Occupied(mut seen) => {
+                    seen.insert(budget);
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(budget);
+                }
+            }
+            let enabled = st.enabled_choices();
+            for (i, c) in enabled.iter().enumerate().rev() {
+                let cost = if delay_budget.is_some() { i as u64 } else { 0 };
+                if delay_budget.is_some() && cost > budget {
+                    self.stats.delay_prunes += 1;
+                    continue;
+                }
+                let mut child = path.clone();
+                child.push(*c);
+                frontier.push((child, budget - cost));
+            }
+        }
+    }
+
+    /// `walks` seeded random walks to the depth bound. Walk `w` draws
+    /// from `SplitMix64(seed ^ w)` — fully deterministic, independent of
+    /// wall clock and of each other.
+    fn random_walks(&mut self, walks: u32) {
+        for walk in 0..walks {
+            if self.stats.states >= MAX_STATES {
+                self.stats.truncated = true;
+                return;
+            }
+            let mut rng =
+                SplitMix64::new(self.model.seed() ^ 0x3A1_D0E5_u64.wrapping_add(walk as u64));
+            let mut st = self.model.initial();
+            let mut path = Vec::new();
+            self.stats.states += 1;
+            loop {
+                if self.examine(&path, &mut st) {
+                    return;
+                }
+                if st.violation().is_some() || path.len() as u64 >= self.depth {
+                    break;
+                }
+                let enabled = st.enabled_choices();
+                if enabled.is_empty() {
+                    break;
+                }
+                let c = enabled[rng.gen_range(enabled.len() as u64) as usize];
+                st.apply_trusted(c);
+                self.stats.engine_steps += 1;
+                path.push(c);
+                self.stats.max_depth = self.stats.max_depth.max(path.len() as u64);
+            }
+        }
+    }
+}

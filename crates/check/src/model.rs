@@ -1,0 +1,678 @@
+//! The exploration state machine: a scenario's protocol state as a pure,
+//! replayable function of a **choice sequence**.
+//!
+//! The simulator resolves every source of nondeterminism — delivery
+//! order, message loss, crash instants — from its seed; the checker
+//! resolves the same nondeterminism from explicit [`Choice`]s instead,
+//! so a schedule becomes a first-class, enumerable, serializable value.
+//! A [`CheckModel`] is built from a [`ScenarioSpec`]; [`CheckState`]
+//! applies choices one at a time through the engine's choice-point hooks
+//! ([`urb_engine::drive_step_observed`] via
+//! [`NodeEngine::step_observed`]), checks the URB integrity invariants
+//! after every step, and evaluates the eventual properties (validity,
+//! agreement) at *silent* states — states where no choice is enabled and
+//! every surviving process is quiescent, so nothing can ever happen
+//! again and "eventually" is decided.
+//!
+//! What carries over from the compiled scenario, and what the explorer
+//! owns (DESIGN.md §11):
+//!
+//! * **carried over** — system size, algorithm, workload (in plan
+//!   order), the crash *rules* (which processes the adversary may kill,
+//!   and for `on_first_delivery` rules, when the choice arms), and
+//!   structurally severed links (`loss = "always"` overrides);
+//! * **replaced by choices** — probabilistic loss becomes the bounded
+//!   [`Choice::Drop`] budget, delay distributions and blackout windows
+//!   become [`Choice::Deliver`] *order*, tick phases become bounded
+//!   [`Choice::Tick`]s. Time itself is abstracted to the step index.
+
+use std::collections::BTreeSet;
+use urb_core::Algorithm;
+use urb_engine::{NodeEngine, StepBuffers, StepInput, StepObserver};
+use urb_sim::checker::{check_urb, CheckReport};
+use urb_sim::metrics::{BroadcastRecord, DeliveryRecord};
+use urb_sim::{CheckBounds, CrashRule, LossModel, PlannedBroadcast, ScenarioSpec, SpecError};
+use urb_types::{Delivery, FdPair, FdSnapshot, FdView, Label, SplitMix64, Tag, WireMessage};
+
+/// One resolved nondeterministic decision — the unit of exploration and
+/// of counterexample replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Issue the next planned `URB_broadcast` (plan order).
+    Broadcast,
+    /// Deliver the pending message at `slot` to its destination.
+    Deliver {
+        /// Index into the pending-message list at apply time.
+        slot: usize,
+    },
+    /// Adversarially drop the pending message at `slot` (batch thinning;
+    /// draws from the scenario's `check.max_drops` budget).
+    Drop {
+        /// Index into the pending-message list at apply time.
+        slot: usize,
+    },
+    /// Run one Task-1 sweep at `pid` (draws from `check.tick_budget`).
+    Tick {
+        /// The sweeping process.
+        pid: usize,
+    },
+    /// Crash `pid` (enabled only for processes the scenario's crash plan
+    /// marks crash-eligible; `on_first_delivery` rules arm after the
+    /// first URB-delivery at that process).
+    Crash {
+        /// The crashing process.
+        pid: usize,
+    },
+}
+
+/// One undelivered wire message — a pending deliver-or-drop choice.
+#[derive(Clone, Debug)]
+pub struct PendingMsg {
+    /// Sending process (provenance; drops are forbidden on self-links,
+    /// which the fair-lossy model keeps reliable).
+    pub from: usize,
+    /// Destination process.
+    pub to: usize,
+    /// The message itself.
+    pub msg: WireMessage,
+}
+
+/// The immutable part of an exploration: everything derived from the
+/// scenario spec once, shared by every replay.
+pub struct CheckModel {
+    n: usize,
+    algorithm: Algorithm,
+    seed: u64,
+    planned: Vec<PlannedBroadcast>,
+    crash_rules: Vec<CrashRule>,
+    severed: BTreeSet<(usize, usize)>,
+    bounds: CheckBounds,
+    needs_fd: bool,
+}
+
+impl CheckModel {
+    /// Builds the model from a spec (compiling it first, so every spec
+    /// validation error surfaces here). `seed` overrides the spec's seed
+    /// when given — it feeds the engines' tag RNG streams and the
+    /// random-walk strategy.
+    pub fn from_spec(spec: &ScenarioSpec, seed: Option<u64>) -> Result<Self, SpecError> {
+        let cfg = spec.compile()?;
+        let mut planned = cfg.broadcasts.clone();
+        planned.sort_by_key(|b| b.time);
+        let severed = cfg
+            .link_overrides
+            .iter()
+            .filter(|ov| matches!(ov.loss, LossModel::Always))
+            .map(|ov| (ov.from, ov.to))
+            .collect();
+        Ok(CheckModel {
+            n: cfg.n,
+            algorithm: cfg.algorithm,
+            seed: seed.unwrap_or(spec.seed),
+            planned,
+            crash_rules: (0..cfg.n).map(|i| cfg.crashes.rule(i)).collect(),
+            severed,
+            bounds: spec.check.clone(),
+            needs_fd: cfg.algorithm.needs_fd(),
+        })
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exploration bounds the spec shipped (`[check]` table).
+    pub fn bounds(&self) -> &CheckBounds {
+        &self.bounds
+    }
+
+    /// The seed the engines derive their tag streams from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh initial state (same engine seeding scheme as the
+    /// simulator, so the canonical FIFO exploration mirrors a seeded run).
+    pub fn initial(&self) -> CheckState<'_> {
+        let seed_mix = SplitMix64::new(self.seed ^ 0x5EED_0F00_D000_0001);
+        let engines = (0..self.n)
+            .map(|i| NodeEngine::new(self.algorithm.instantiate(self.n), seed_mix.split(i as u64)))
+            .collect();
+        CheckState {
+            model: self,
+            engines,
+            pending: Vec::new(),
+            crashed: vec![false; self.n],
+            delivered_once: vec![false; self.n],
+            next_broadcast: 0,
+            drops_used: 0,
+            ticks_used: vec![0; self.n],
+            steps: 0,
+            broadcasts: Vec::new(),
+            deliveries: Vec::new(),
+            violation: None,
+            scratch: StepBuffers::new(),
+        }
+    }
+}
+
+/// Effects of one engine step, captured through the choice-point hooks.
+#[derive(Default)]
+struct Effects {
+    emitted: Vec<WireMessage>,
+    delivered: Vec<Delivery>,
+}
+
+impl StepObserver for Effects {
+    fn on_emit(&mut self, msg: &WireMessage) {
+        self.emitted.push(msg.clone());
+    }
+    fn on_deliver(&mut self, delivery: &Delivery) {
+        self.delivered.push(delivery.clone());
+    }
+}
+
+/// One explored protocol state: the engines plus the explorer-owned
+/// network/adversary bookkeeping. Reconstructed by replaying a choice
+/// prefix from [`CheckModel::initial`] (states are not clonable — the
+/// protocol instances are trait objects — so the explorer is *stateless*
+/// in the model-checking sense).
+pub struct CheckState<'m> {
+    model: &'m CheckModel,
+    engines: Vec<NodeEngine>,
+    /// Pending messages, in routing order; `Choice::Deliver`/`Drop`
+    /// slots index this list at apply time.
+    pending: Vec<PendingMsg>,
+    crashed: Vec<bool>,
+    delivered_once: Vec<bool>,
+    next_broadcast: usize,
+    drops_used: u32,
+    ticks_used: Vec<u32>,
+    steps: u64,
+    broadcasts: Vec<BroadcastRecord>,
+    deliveries: Vec<DeliveryRecord>,
+    violation: Option<Vec<String>>,
+    scratch: StepBuffers,
+}
+
+impl<'m> CheckState<'m> {
+    /// The URB-deliveries this execution produced so far.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.deliveries
+    }
+
+    /// The first invariant violation this execution hit, if any
+    /// (stepwise integrity, or the eventual properties at a silent
+    /// state).
+    pub fn violation(&self) -> Option<&[String]> {
+        self.violation.as_deref()
+    }
+
+    /// Number of choices applied so far.
+    pub fn depth(&self) -> u64 {
+        self.steps
+    }
+
+    /// The perfect-detector snapshot the explorer hands every step of an
+    /// FD-using algorithm: one label per *currently alive* process
+    /// (crashed labels removed instantly), each attributed
+    /// `number = |alive ∧ crash-eligible| + 1`. That is the smallest
+    /// attribution that keeps the `AΘ` **accuracy** axiom true in every
+    /// completion the explorer can still choose: any `number`-sized
+    /// subset of the label's knowers (all alive processes) must contain
+    /// one the adversary can never crash, because at most
+    /// `|alive ∧ crash-eligible|` of them are killable. Over-counting is
+    /// the safe direction — the protocol never delivers or prunes on the
+    /// strength of processes a later [`Choice::Crash`] could erase, so a
+    /// violation found under this detector is the algorithm's, not the
+    /// model's (DESIGN.md §11).
+    fn fd_snapshot(&self) -> FdSnapshot {
+        if !self.model.needs_fd {
+            return FdSnapshot::none();
+        }
+        let crashable_alive = (0..self.model.n)
+            .filter(|&i| !self.crashed[i] && !matches!(self.model.crash_rules[i], CrashRule::Never))
+            .count() as u32;
+        let view: FdView = (0..self.model.n)
+            .filter(|&i| !self.crashed[i])
+            .map(|i| FdPair {
+                label: Label(i as u64 + 1),
+                number: crashable_alive + 1,
+            })
+            .collect();
+        FdSnapshot {
+            a_theta: view.clone(),
+            a_p_star: view,
+        }
+    }
+
+    /// Routes one emitted message to every destination: severed links
+    /// swallow their copy structurally (no budget), copies to crashed
+    /// processes vanish, everything else becomes a pending choice.
+    fn route(&mut self, from: usize, msg: &WireMessage) {
+        for to in 0..self.model.n {
+            if self.model.severed.contains(&(from, to)) || self.crashed[to] {
+                continue;
+            }
+            self.pending.push(PendingMsg {
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn record_deliveries(&mut self, pid: usize, delivered: &[Delivery]) {
+        for d in delivered {
+            self.delivered_once[pid] = true;
+            self.deliveries.push(DeliveryRecord {
+                pid,
+                tag: d.tag,
+                time: self.steps,
+                fast: d.fast,
+                payload: d.payload.clone(),
+            });
+        }
+        if !delivered.is_empty() {
+            self.check_integrity();
+        }
+    }
+
+    /// Stepwise invariant: uniform integrity (no duplicate, no phantom,
+    /// no garbled payload) must hold after *every* step, not just at the
+    /// end of an execution.
+    fn check_integrity(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
+        let correct: Vec<bool> = self.crashed.iter().map(|c| !c).collect();
+        let report = check_urb(self.model.n, &correct, &self.broadcasts, &self.deliveries);
+        if !report.integrity.ok() {
+            self.violation = Some(
+                report
+                    .violations()
+                    .iter()
+                    .filter(|v| v.starts_with("integrity"))
+                    .map(|v| v.to_string())
+                    .collect(),
+            );
+        }
+    }
+
+    /// Enumerates the enabled choices in **canonical order** — the order
+    /// the DFS dives along and the `dpor-lite` strategy charges
+    /// deviations against: broadcast, then deliveries FIFO, then armed
+    /// crashes, then ticks, then drops. The prefix of this order (always
+    /// index 0) is the causal "deliver everything, then let the
+    /// adversary act" schedule, which reaches the interesting
+    /// crash-after-delivery states at minimal depth.
+    pub fn enabled_choices(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        if self.violation.is_some() {
+            return out; // a violated execution stops here
+        }
+        if self.next_broadcast < self.model.planned.len() {
+            out.push(Choice::Broadcast);
+        }
+        for slot in 0..self.pending.len() {
+            out.push(Choice::Deliver { slot });
+        }
+        for pid in 0..self.model.n {
+            if self.crashed[pid] {
+                continue;
+            }
+            let armed = match self.model.crash_rules[pid] {
+                CrashRule::Never => false,
+                CrashRule::At(_) => true,
+                CrashRule::OnFirstDelivery { .. } => self.delivered_once[pid],
+            };
+            if armed {
+                out.push(Choice::Crash { pid });
+            }
+        }
+        for pid in 0..self.model.n {
+            if !self.crashed[pid]
+                && self.ticks_used[pid] < self.model.bounds.tick_budget
+                && !self.engines[pid].is_quiescent()
+            {
+                out.push(Choice::Tick { pid });
+            }
+        }
+        if self.drops_used < self.model.bounds.max_drops {
+            for (slot, p) in self.pending.iter().enumerate() {
+                if p.from != p.to {
+                    out.push(Choice::Drop { slot });
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one choice. Returns `Err` when the choice is not enabled
+    /// in this state — replays of a stale or hand-edited counterexample
+    /// fail loudly instead of diverging silently.
+    pub fn apply(&mut self, choice: Choice) -> Result<(), String> {
+        let enabled = self.enabled_choices();
+        if !enabled.contains(&choice) {
+            return Err(format!(
+                "choice {choice:?} not enabled at step {} (enabled: {enabled:?})",
+                self.steps
+            ));
+        }
+        self.apply_trusted(choice);
+        Ok(())
+    }
+
+    /// [`CheckState::apply`] without the enabled-check: the explorer's
+    /// hot path. Its choices come from [`CheckState::enabled_choices`]
+    /// on the deterministic same-prefix state, so re-validating each one
+    /// would re-enumerate the full choice list per replayed step.
+    /// Untrusted input (counterexample files) must go through
+    /// [`CheckState::apply`].
+    pub(crate) fn apply_trusted(&mut self, choice: Choice) {
+        self.steps += 1;
+        match choice {
+            Choice::Broadcast => {
+                let b = self.model.planned[self.next_broadcast].clone();
+                self.next_broadcast += 1;
+                if self.crashed[b.pid] {
+                    return; // invoking a crashed process is a no-op
+                }
+                let fd = self.fd_snapshot();
+                let mut effects = Effects::default();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let tag = self.engines[b.pid]
+                    .step_observed(
+                        StepInput::Broadcast(b.payload.clone()),
+                        &fd,
+                        &mut scratch,
+                        &mut effects,
+                    )
+                    .expect("urb_broadcast assigns a tag");
+                self.scratch = scratch;
+                self.broadcasts.push(BroadcastRecord {
+                    pid: b.pid,
+                    tag,
+                    time: self.steps,
+                    payload: b.payload,
+                });
+                self.finish_step(b.pid, effects);
+            }
+            Choice::Deliver { slot } => {
+                let p = self.pending.remove(slot);
+                let fd = self.fd_snapshot();
+                let mut effects = Effects::default();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.engines[p.to].step_observed(
+                    StepInput::Receive(p.msg),
+                    &fd,
+                    &mut scratch,
+                    &mut effects,
+                );
+                self.scratch = scratch;
+                self.finish_step(p.to, effects);
+            }
+            Choice::Drop { slot } => {
+                self.pending.remove(slot);
+                self.drops_used += 1;
+            }
+            Choice::Tick { pid } => {
+                self.ticks_used[pid] += 1;
+                let fd = self.fd_snapshot();
+                let mut effects = Effects::default();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.engines[pid].step_observed(StepInput::Tick, &fd, &mut scratch, &mut effects);
+                self.scratch = scratch;
+                self.finish_step(pid, effects);
+            }
+            Choice::Crash { pid } => {
+                self.crashed[pid] = true;
+                // Copies addressed to the dead process are gone; the
+                // slot renumbering is deterministic, so replay agrees.
+                self.pending.retain(|p| p.to != pid);
+            }
+        }
+    }
+
+    fn finish_step(&mut self, pid: usize, effects: Effects) {
+        for m in &effects.emitted {
+            self.route(pid, m);
+        }
+        self.record_deliveries(pid, &effects.delivered);
+    }
+
+    /// True when no choice is enabled *and* every surviving process is
+    /// quiescent: nothing can ever happen again, so the eventual URB
+    /// properties are decided. (A state that merely ran out of tick
+    /// budget while a process still holds retransmittable state is *not*
+    /// silent — exploring it further is inconclusive, never a verdict.)
+    pub fn is_silent(&self) -> bool {
+        self.violation.is_none()
+            && self.next_broadcast == self.model.planned.len()
+            && self.pending.is_empty()
+            && self
+                .engines
+                .iter()
+                .enumerate()
+                .all(|(i, e)| self.crashed[i] || e.is_quiescent())
+    }
+
+    /// The full URB report of this execution (integrity stepwise plus —
+    /// meaningful only at [`CheckState::is_silent`] states — validity
+    /// and agreement with `correct = never crashed here`).
+    pub fn report(&self) -> CheckReport {
+        let correct: Vec<bool> = self.crashed.iter().map(|c| !c).collect();
+        check_urb(self.model.n, &correct, &self.broadcasts, &self.deliveries)
+    }
+
+    /// Evaluates the eventual properties at a silent state, recording a
+    /// violation if any. Returns true when a new violation was recorded.
+    pub fn check_eventual(&mut self) -> bool {
+        if !self.is_silent() || self.violation.is_some() {
+            return false;
+        }
+        let report = self.report();
+        if report.all_ok() {
+            return false;
+        }
+        self.violation = Some(report.violations().iter().map(|v| v.to_string()).collect());
+        true
+    }
+
+    /// The pruning digest: per-node semantic fingerprints
+    /// ([`NodeEngine::fingerprint`]), the crash set, the pending-message
+    /// *multiset* of `(from, to, content)` triples (sorted, so slot
+    /// order — which is behaviourally irrelevant — does not split
+    /// states; `from` is kept because it decides droppability, so a
+    /// self-copy and a peer copy of the same message never collide), the
+    /// per-process delivered sets and the budget counters. Approximate
+    /// by construction:
+    /// distinct states may digest equally (pruning gets coarser, bounded
+    /// search was incomplete anyway); violations are checked *before*
+    /// pruning, so a collision never hides one (DESIGN.md §11).
+    pub fn state_hash(&self) -> u64 {
+        fn fold(h: &mut u64, word: u64) {
+            for b in word.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (i, e) in self.engines.iter().enumerate() {
+            fold(
+                &mut h,
+                if self.crashed[i] {
+                    0xDEAD
+                } else {
+                    e.fingerprint()
+                },
+            );
+        }
+        let mut pend: Vec<u64> = self
+            .pending
+            .iter()
+            .map(|p| {
+                (((p.from as u64) << 32) | p.to as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(p.msg.content_hash())
+            })
+            .collect();
+        pend.sort_unstable();
+        for x in pend {
+            fold(&mut h, x);
+        }
+        // Delivered (pid, tag) pairs, order-insensitively.
+        let mut delivered = 0u64;
+        for d in &self.deliveries {
+            let mut one = 0x100_0001u64;
+            fold(&mut one, d.pid as u64);
+            fold(&mut one, (d.tag.0 >> 64) as u64);
+            fold(&mut one, d.tag.0 as u64);
+            delivered ^= one;
+        }
+        fold(&mut h, delivered);
+        fold(&mut h, self.next_broadcast as u64);
+        fold(&mut h, self.drops_used as u64);
+        for t in &self.ticks_used {
+            fold(&mut h, *t as u64);
+        }
+        h
+    }
+
+    /// Tags delivered by `pid` (test helper).
+    pub fn delivered_set(&self, pid: usize) -> BTreeSet<Tag> {
+        self.deliveries
+            .iter()
+            .filter(|d| d.pid == pid)
+            .map(|d| d.tag)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_sim::ScenarioSpec;
+
+    fn majority_spec(n: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new("model-test", n, Algorithm::Majority);
+        spec.seed = 7;
+        spec
+    }
+
+    #[test]
+    fn canonical_path_delivers_everywhere() {
+        // Always taking the first enabled choice = the causal FIFO
+        // schedule: one broadcast, all copies delivered, everyone
+        // URB-delivers, no violation.
+        let model = CheckModel::from_spec(&majority_spec(3), None).unwrap();
+        let mut st = model.initial();
+        let mut guard = 0;
+        loop {
+            let en = st.enabled_choices();
+            let Some(&first) = en.first() else { break };
+            st.apply(first).unwrap();
+            guard += 1;
+            assert!(guard < 500, "canonical path must terminate");
+        }
+        assert!(st.violation().is_none());
+        for pid in 0..3 {
+            assert_eq!(st.delivered_set(pid).len(), 1, "pid {pid}");
+        }
+        assert!(st.report().all_ok());
+    }
+
+    #[test]
+    fn replaying_the_same_choices_is_deterministic() {
+        let model = CheckModel::from_spec(&majority_spec(3), None).unwrap();
+        let run = || {
+            let mut st = model.initial();
+            let mut path = Vec::new();
+            for _ in 0..25 {
+                let en = st.enabled_choices();
+                let Some(&c) = en.last() else { break };
+                st.apply(c).unwrap();
+                path.push(c);
+            }
+            (path, st.state_hash(), st.deliveries().len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drops_respect_budget_and_self_links() {
+        let mut spec = majority_spec(2);
+        spec.check.max_drops = 1;
+        let model = CheckModel::from_spec(&spec, None).unwrap();
+        let mut st = model.initial();
+        st.apply(Choice::Broadcast).unwrap();
+        // Pending: copies to self (0→0) and to 1. Only the cross copy is
+        // droppable.
+        let drops: Vec<Choice> = st
+            .enabled_choices()
+            .into_iter()
+            .filter(|c| matches!(c, Choice::Drop { .. }))
+            .collect();
+        assert_eq!(drops.len(), 1, "self-link copies are not droppable");
+        st.apply(drops[0]).unwrap();
+        assert!(
+            !st.enabled_choices()
+                .iter()
+                .any(|c| matches!(c, Choice::Drop { .. })),
+            "budget of 1 exhausted"
+        );
+    }
+
+    #[test]
+    fn crash_choices_arm_per_the_crash_rules() {
+        let mut spec = majority_spec(3);
+        spec.crashes = vec![
+            urb_sim::spec::CrashRuleSpec {
+                pid: 1,
+                rule: CrashRule::At(100),
+            },
+            urb_sim::spec::CrashRuleSpec {
+                pid: 2,
+                rule: CrashRule::OnFirstDelivery { delay: 0 },
+            },
+        ];
+        let model = CheckModel::from_spec(&spec, None).unwrap();
+        let st = model.initial();
+        let crashes: Vec<Choice> = st
+            .enabled_choices()
+            .into_iter()
+            .filter(|c| matches!(c, Choice::Crash { .. }))
+            .collect();
+        // pid 0 is plan-correct (never crashable); pid 2's rule arms only
+        // after its first delivery; pid 1 is crashable immediately.
+        assert_eq!(crashes, vec![Choice::Crash { pid: 1 }]);
+    }
+
+    #[test]
+    fn applying_a_disabled_choice_fails_loudly() {
+        let model = CheckModel::from_spec(&majority_spec(2), None).unwrap();
+        let mut st = model.initial();
+        assert!(st.apply(Choice::Deliver { slot: 0 }).is_err());
+        assert!(st.apply(Choice::Crash { pid: 0 }).is_err(), "plan-correct");
+    }
+
+    #[test]
+    fn silent_state_requires_quiescence() {
+        // Majority never quiesces while it holds a message, so a fully
+        // delivered state is not silent — no spurious eventual verdicts.
+        let model = CheckModel::from_spec(&majority_spec(2), None).unwrap();
+        let mut st = model.initial();
+        let mut guard = 0;
+        loop {
+            let en = st.enabled_choices();
+            let Some(&first) = en.first() else { break };
+            st.apply(first).unwrap();
+            guard += 1;
+            assert!(guard < 200);
+        }
+        assert!(!st.is_silent(), "alg1 processes still hold state");
+        assert!(!st.check_eventual());
+        assert!(st.violation().is_none());
+    }
+}

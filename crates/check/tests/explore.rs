@@ -1,0 +1,239 @@
+//! Whole-plane tests of the systematic schedule checker (DESIGN.md §11):
+//!
+//! * the **Theorem-2 corpus spec** — DFS and `dpor-lite` both find the
+//!   expected uniform-agreement violation within the spec's own
+//!   `[check]` bounds, and the counterexample replays
+//!   byte-deterministically;
+//! * **clean scenarios** — bounded exploration of correct algorithms
+//!   finds nothing, across all three strategies;
+//! * **property tests** — random-walk exploration at a given `(depth,
+//!   seed)` is byte-deterministic, and *every* emitted counterexample
+//!   replays to the same invariant violation (the exploration plane's
+//!   contract: a witness is a witness, forever).
+
+use proptest::prelude::*;
+use urb_check::{check_scenario, Counterexample, Strategy};
+use urb_core::Algorithm;
+use urb_sim::spec::{corpus, CrashRuleSpec};
+use urb_sim::{CrashRule, ScenarioSpec};
+
+fn corpus_spec(name: &str) -> ScenarioSpec {
+    let (_, text) = corpus()
+        .into_iter()
+        .find(|(stem, _)| *stem == name)
+        .unwrap_or_else(|| panic!("{name} not in corpus"));
+    ScenarioSpec::from_toml_str(text).unwrap()
+}
+
+/// A small uniformity trap: eager RB (deliver on first receipt, relay
+/// once, never retransmit) with a crash-on-first-delivery broadcaster.
+/// Some schedule delivers at the broadcaster, crashes it and drops the
+/// relays — uniform agreement breaks, exactly like experiment E11.
+fn eager_trap(n: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("eager-trap", n, Algorithm::EagerRb);
+    spec.seed = seed;
+    spec.crashes = vec![CrashRuleSpec {
+        pid: 0,
+        rule: CrashRule::OnFirstDelivery { delay: 0 },
+    }];
+    spec.expect.agreement = Some(false);
+    spec.check.max_drops = 2 * n as u32;
+    spec.check.depth = 64;
+    spec
+}
+
+#[test]
+fn dfs_finds_the_theorem2_violation_within_spec_bounds() {
+    let spec = corpus_spec("theorem2_violation");
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    assert!(outcome.passed(), "{}", outcome.verdict_line());
+    let cx = outcome.counterexample.expect("witness");
+    assert!(
+        cx.violation.iter().any(|v| v.starts_with("agreement")),
+        "{:?}",
+        cx.violation
+    );
+    assert!(
+        !cx.deliveries.is_empty(),
+        "S1 delivered before crashing (min_deliveries)"
+    );
+    assert!(outcome.stats.states > 0);
+    assert!(outcome.stats.states_per_sec() > 0.0);
+}
+
+#[test]
+fn dpor_lite_finds_it_near_the_canonical_schedule() {
+    let spec = corpus_spec("theorem2_violation");
+    let outcome = check_scenario(&spec, Some(Strategy::DporLite), None, None).unwrap();
+    assert!(outcome.passed(), "{}", outcome.verdict_line());
+    // The witness lives on (or right next to) the canonical dive, so the
+    // delay-bounded cut reaches it with almost no exploration overhead.
+    assert!(
+        outcome.stats.states < 5_000,
+        "dpor-lite should not need a large frontier: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn counterexamples_replay_and_survive_serialization() {
+    let spec = corpus_spec("theorem2_violation");
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    let cx = outcome.counterexample.expect("witness");
+    // Replay reproduces the recorded violation and delivery trace.
+    assert_eq!(cx.replay().unwrap(), cx.violation);
+    // The serialized body round-trips and the round-tripped file still
+    // replays — the `urb check --replay` contract, file for file.
+    let body = cx.body_json();
+    let parsed = Counterexample::parse(&body).unwrap();
+    assert_eq!(parsed.body_json(), body, "byte-stable");
+    assert_eq!(parsed.replay().unwrap(), cx.violation);
+}
+
+#[test]
+fn clean_scenarios_pass_every_strategy() {
+    // A correct algorithm under bounded exploration: nothing to find.
+    // (Small n keeps full DFS exhaustion fast in debug builds.)
+    let mut spec = ScenarioSpec::new("clean-explore", 3, Algorithm::Majority);
+    spec.seed = 11;
+    spec.check.depth = 24;
+    spec.check.max_drops = 1;
+    for strategy in [Strategy::Dfs, Strategy::DporLite, Strategy::Random] {
+        let outcome = check_scenario(&spec, Some(strategy), None, None).unwrap();
+        assert!(
+            outcome.passed() && outcome.counterexample.is_none(),
+            "{strategy:?}: {}",
+            outcome.verdict_line()
+        );
+        assert!(outcome.stats.states > 0, "{strategy:?} explored something");
+    }
+}
+
+#[test]
+fn dfs_prunes_via_state_hashes() {
+    // Commuting deliveries collapse onto shared states: on any nontrivial
+    // clean exploration the visited-set must answer a decent share of
+    // frontier pops.
+    let mut spec = ScenarioSpec::new("dedup", 3, Algorithm::Majority);
+    spec.seed = 3;
+    spec.check.depth = 16;
+    spec.check.max_drops = 0;
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    assert!(outcome.passed());
+    assert!(
+        outcome.stats.dedup_hits > 0,
+        "no dedup on a commuting schedule space: {:?}",
+        outcome.stats
+    );
+    assert!(outcome.stats.dedup_hit_rate() > 0.0);
+    assert!(outcome.stats.dedup_hit_rate() < 1.0);
+}
+
+#[test]
+fn eager_trap_yields_a_replayable_witness() {
+    let spec = eager_trap(3, 5);
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    assert!(outcome.passed(), "{}", outcome.verdict_line());
+    let cx = outcome.counterexample.expect("witness");
+    assert_eq!(cx.replay().unwrap(), cx.violation);
+}
+
+#[test]
+fn expected_violation_not_found_fails_the_check() {
+    // Forbid every adversarial move: no drops, and the crash rule never
+    // arms because nothing ever delivers at depth 0.
+    let mut spec = eager_trap(3, 5);
+    spec.check.max_drops = 0;
+    spec.check.depth = 2; // too shallow to even deliver
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    assert!(!outcome.passed(), "{}", outcome.verdict_line());
+    assert!(outcome.counterexample.is_none());
+    assert!(outcome.verdict_line().contains("not found"));
+}
+
+#[test]
+fn depth_and_strategy_overrides_beat_the_spec() {
+    let mut spec = corpus_spec("theorem2_violation");
+    spec.check.strategy = Some("random".into());
+    let outcome = check_scenario(&spec, None, Some(3), None).unwrap();
+    assert_eq!(outcome.strategy, Strategy::Random, "spec strategy honored");
+    assert_eq!(outcome.depth, 3, "CLI depth override wins");
+    assert!(!outcome.passed(), "depth 3 cannot reach the violation");
+    let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
+    assert_eq!(outcome.strategy, Strategy::Dfs, "explicit strategy wins");
+    assert!(outcome.passed());
+}
+
+#[test]
+fn quiescent_algorithm_explores_clean_under_crash_choices() {
+    // Algorithm 2 with a crash-eligible process: the explorer may kill
+    // it at any point, and agreement must still hold at every silent
+    // state (Theorem 3, explored rather than sampled).
+    let mut spec = ScenarioSpec::new("alg2-crashes", 3, Algorithm::Quiescent);
+    spec.seed = 13;
+    spec.crashes = vec![CrashRuleSpec {
+        pid: 1,
+        rule: CrashRule::At(50),
+    }];
+    spec.check.depth = 40;
+    spec.check.max_drops = 1;
+    let outcome = check_scenario(&spec, Some(Strategy::Random), None, None).unwrap();
+    assert!(outcome.passed(), "{}", outcome.verdict_line());
+    let outcome = check_scenario(&spec, Some(Strategy::DporLite), None, None).unwrap();
+    assert!(outcome.passed(), "{}", outcome.verdict_line());
+}
+
+// ------------------------------------------------------------------
+// Property tests (the PR's proptest satellite).
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random-walk exploration at depth `d` with seed `s` is
+    /// byte-deterministic: same inputs, same witness (or same absence),
+    /// byte for byte, and same coverage counters.
+    #[test]
+    fn random_walks_are_byte_deterministic(
+        seed in 0u64..10_000,
+        depth in 8u32..48,
+        n in 2usize..5,
+    ) {
+        let mut spec = eager_trap(n, seed);
+        spec.check.walks = 16;
+        let run = || check_scenario(&spec, Some(Strategy::Random), Some(depth), Some(seed)).unwrap();
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.stats.states, b.stats.states);
+        prop_assert_eq!(a.stats.engine_steps, b.stats.engine_steps);
+        prop_assert_eq!(a.stats.max_depth, b.stats.max_depth);
+        match (&a.counterexample, &b.counterexample) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert_eq!(x.body_json(), y.body_json()),
+            _ => prop_assert!(false, "witness presence must be deterministic"),
+        }
+    }
+
+    /// Every counterexample any strategy emits replays to the same
+    /// invariant violation — including after a serialization round trip.
+    #[test]
+    fn every_emitted_counterexample_replays(
+        seed in 0u64..10_000,
+        n in 2usize..5,
+        strategy_pick in 0u8..3,
+    ) {
+        let strategy = match strategy_pick {
+            0 => Strategy::Dfs,
+            1 => Strategy::DporLite,
+            _ => Strategy::Random,
+        };
+        let spec = eager_trap(n, seed);
+        let outcome = check_scenario(&spec, Some(strategy), None, Some(seed)).unwrap();
+        if let Some(cx) = &outcome.counterexample {
+            let replayed = cx.replay();
+            prop_assert!(replayed.is_ok(), "{:?}", replayed);
+            prop_assert_eq!(replayed.unwrap(), cx.violation.clone());
+            let parsed = Counterexample::parse(&cx.body_json()).unwrap();
+            prop_assert_eq!(parsed.replay().unwrap(), cx.violation.clone());
+        }
+    }
+}

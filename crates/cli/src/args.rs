@@ -13,11 +13,23 @@ USAGE:
     urb scenario FILE [--seed S] [--trace FILE] [--json]
                            replay a declarative scenario file (.toml/.json)
                            and check its [expect] verdict
+    urb check FILE [--strategy dfs|dpor-lite|random] [--depth N] [--seed S]
+                   [--trace FILE] [--json]
+                           systematically explore the scenario's schedule
+                           space and check URB invariants + the [expect]
+                           verdict on every explored execution (DESIGN.md §11)
+    urb check --replay FILE [--json]
+                           re-execute a recorded counterexample trace and
+                           verify it reproduces the same violation
     urb bench [--json FILE] [--seed S] [--seeds K] [--experiments e1,e4,...]
                            run the reduced experiment grids and emit the
                            machine-readable bench trajectory (DESIGN.md §10)
     urb bench --validate FILE
                            schema-check an existing BENCH_*.json file
+    urb bench --diff OLD NEW
+                           compare two trajectory files: deterministic count
+                           metrics must match exactly on overlapping grid
+                           points (the CI perf-regression gate)
     urb theorem2 [--n N] [--seed S]
                            execute the impossibility proof's adversary
     urb help               this text
@@ -28,9 +40,21 @@ FLAGS (scenario):
     --trace FILE      write a full JSON event trace to FILE
     --json            print the outcome summary as JSON
 
+FLAGS (check):
+    FILE              scenario spec; its [check] table sets the default
+                      bounds (depth, drop/tick budgets, walks, strategy)
+    --strategy S      dfs | dpor-lite | random     [default: spec or dfs]
+    --depth N         max choices per explored execution [default: spec]
+    --seed S          engine/walk seed override
+    --trace FILE      write the counterexample trace (replayable) to FILE
+    --replay FILE     replay a counterexample file instead of exploring
+    --json            print the check report as JSON
+
 FLAGS (bench):
     --json FILE       write the trajectory (enveloped JSON) to FILE
     --validate FILE   validate FILE against the trajectory schema and exit
+    --diff OLD NEW    diff two trajectory files and exit nonzero on any
+                      count-metric mismatch over overlapping points
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
     --experiments IDS comma-separated subset of e1..e17      [default: all]
@@ -59,6 +83,8 @@ pub enum Command {
     Sweep(RunArgs),
     /// `urb scenario <file>`.
     Scenario(ScenarioArgs),
+    /// `urb check <file>` / `urb check --replay <file>`.
+    Check(CheckArgs),
     /// `urb bench`.
     Bench(BenchArgs),
     /// `urb theorem2`.
@@ -85,6 +111,25 @@ pub struct ScenarioArgs {
     pub json: bool,
 }
 
+/// Flags of `urb check`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckArgs {
+    /// Path of the scenario spec file (empty in `--replay` mode).
+    pub path: Option<String>,
+    /// Replay this counterexample file instead of exploring.
+    pub replay: Option<String>,
+    /// Strategy override (`None` = the spec's `[check]` table, then dfs).
+    pub strategy: Option<String>,
+    /// Depth-bound override.
+    pub depth: Option<u32>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Counterexample trace output path.
+    pub trace: Option<String>,
+    /// Machine-readable output.
+    pub json: bool,
+}
+
 /// Flags of `urb bench`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -92,6 +137,8 @@ pub struct BenchArgs {
     pub json: Option<String>,
     /// Validate this existing file instead of collecting.
     pub validate: Option<String>,
+    /// Diff these two trajectory files instead of collecting.
+    pub diff: Option<(String, String)>,
     /// Root seed for the grids.
     pub seed: u64,
     /// Seeds per grid cell.
@@ -105,6 +152,7 @@ impl Default for BenchArgs {
         BenchArgs {
             json: None,
             validate: None,
+            diff: None,
             seed: 1,
             seeds: 3,
             experiments: None,
@@ -223,6 +271,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--json" => args.json = Some(value("--json")?),
                     "--validate" => args.validate = Some(value("--validate")?),
+                    "--diff" => {
+                        let old = value("--diff")?;
+                        let new = it
+                            .next()
+                            .cloned()
+                            .ok_or("--diff needs two files: OLD NEW")?;
+                        args.diff = Some((old, new));
+                    }
                     "--seed" => {
                         args.seed = value("--seed")?
                             .parse()
@@ -267,6 +323,64 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--seeds must be positive".into());
             }
             Ok(Command::Bench(args))
+        }
+        "check" => {
+            let mut path: Option<String> = None;
+            let mut args = CheckArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--replay" => args.replay = Some(value("--replay")?),
+                    "--strategy" => {
+                        let s = value("--strategy")?;
+                        if !matches!(s.as_str(), "dfs" | "dpor-lite" | "random") {
+                            return Err(format!(
+                                "unknown strategy {s:?} (dfs | dpor-lite | random)"
+                            ));
+                        }
+                        args.strategy = Some(s);
+                    }
+                    "--depth" => {
+                        let d: u32 = value("--depth")?
+                            .parse()
+                            .map_err(|e| format!("--depth: {e}"))?;
+                        if d == 0 {
+                            return Err("--depth must be positive".into());
+                        }
+                        args.depth = Some(d);
+                    }
+                    "--seed" => {
+                        args.seed = Some(
+                            value("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?,
+                        )
+                    }
+                    "--trace" => args.trace = Some(value("--trace")?),
+                    "--json" => args.json = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag {other:?}"))
+                    }
+                    file => {
+                        if path.replace(file.to_string()).is_some() {
+                            return Err("check takes exactly one FILE".into());
+                        }
+                    }
+                }
+            }
+            args.path = path;
+            match (&args.path, &args.replay) {
+                (None, None) => return Err("check needs a scenario FILE (or --replay FILE)".into()),
+                (Some(_), Some(_)) => {
+                    return Err("check takes either a scenario FILE or --replay, not both".into())
+                }
+                _ => {}
+            }
+            Ok(Command::Check(args))
         }
         "scenario" => {
             let mut path: Option<String> = None;
@@ -477,6 +591,54 @@ mod tests {
         assert!(parse(&argv("scenario")).is_err(), "FILE required");
         assert!(parse(&argv("scenario a.toml b.toml")).is_err(), "one FILE");
         assert!(parse(&argv("scenario a.toml --wat")).is_err());
+    }
+
+    #[test]
+    fn check_parses_flags_and_modes() {
+        match parse(&argv(
+            "check scenarios/theorem2_violation.toml --strategy dpor-lite \
+             --depth 40 --seed 5 --trace /tmp/cx.json --json",
+        ))
+        .unwrap()
+        {
+            Command::Check(a) => {
+                assert_eq!(a.path.as_deref(), Some("scenarios/theorem2_violation.toml"));
+                assert_eq!(a.strategy.as_deref(), Some("dpor-lite"));
+                assert_eq!(a.depth, Some(40));
+                assert_eq!(a.seed, Some(5));
+                assert_eq!(a.trace.as_deref(), Some("/tmp/cx.json"));
+                assert!(a.json);
+                assert!(a.replay.is_none());
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("check --replay ce.json")).unwrap() {
+            Command::Check(a) => {
+                assert_eq!(a.replay.as_deref(), Some("ce.json"));
+                assert!(a.path.is_none());
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("check")).is_err(), "FILE or --replay required");
+        assert!(
+            parse(&argv("check a.toml --replay b.json")).is_err(),
+            "mutually exclusive"
+        );
+        assert!(parse(&argv("check a.toml b.toml")).is_err(), "one FILE");
+        assert!(parse(&argv("check a.toml --strategy bfs")).is_err());
+        assert!(parse(&argv("check a.toml --depth 0")).is_err());
+        assert!(parse(&argv("check a.toml --wat")).is_err());
+    }
+
+    #[test]
+    fn bench_diff_takes_two_files() {
+        match parse(&argv("bench --diff old.json new.json")).unwrap() {
+            Command::Bench(a) => {
+                assert_eq!(a.diff, Some(("old.json".into(), "new.json".into())));
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("bench --diff only-one.json")).is_err());
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //! (`schema_version`/`kind`/`seed`/`git_rev` around a kind-specific
 //! `data` body), so scripts consume one shape (DESIGN.md §10).
 
-use crate::args::{BenchArgs, FdChoice, RunArgs, ScenarioArgs};
+use crate::args::{BenchArgs, CheckArgs, FdChoice, RunArgs, ScenarioArgs};
 use crate::summary::RunSummary;
 use urb_bench::report;
 use urb_bench::trajectory::{self, TrajectoryConfig};
+use urb_check::{check_scenario, CheckOutcome, Counterexample, Strategy};
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::{scenario, CrashPlan, FdKind, LossModel, ScenarioSpec, SimConfig, TraceConfig};
 
 /// Envelope kind of `urb run --json` / `urb scenario --json` bodies.
 pub const RUN_SUMMARY_KIND: &str = "run-summary";
+
+/// Envelope kind of `urb check --json` report bodies.
+pub const CHECK_REPORT_KIND: &str = "check-report";
 
 /// Builds a [`SimConfig`] from CLI flags.
 pub fn build_config(args: &RunArgs) -> SimConfig {
@@ -148,6 +152,206 @@ pub fn scenario_cmd(args: ScenarioArgs) {
     }
 }
 
+/// The JSON body of a check report (split out for tests). The optional
+/// counterexample body is inlined under `counterexample` so a `--json`
+/// consumer needs no second file.
+pub fn check_report_body(outcome: &CheckOutcome) -> String {
+    use std::fmt::Write as _;
+    let s = &outcome.stats;
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"scenario\": \"{}\",",
+        serde_json::escape(&outcome.scenario)
+    );
+    let _ = writeln!(out, "  \"strategy\": \"{}\",", outcome.strategy.as_str());
+    let _ = writeln!(out, "  \"depth\": {},", outcome.depth);
+    let _ = writeln!(
+        out,
+        "  \"expects_violation\": {},",
+        outcome.expects_violation
+    );
+    let _ = writeln!(out, "  \"passed\": {},", outcome.passed());
+    let _ = writeln!(out, "  \"stats\": {{");
+    let _ = writeln!(out, "    \"states\": {},", s.states);
+    let _ = writeln!(out, "    \"engine_steps\": {},", s.engine_steps);
+    let _ = writeln!(out, "    \"dedup_hits\": {},", s.dedup_hits);
+    let _ = writeln!(out, "    \"dedup_hit_rate\": {:?},", s.dedup_hit_rate());
+    let _ = writeln!(out, "    \"states_per_sec\": {:?},", s.states_per_sec());
+    let _ = writeln!(out, "    \"max_depth\": {},", s.max_depth);
+    let _ = writeln!(out, "    \"silent_states\": {},", s.silent_states);
+    let _ = writeln!(out, "    \"depth_prunes\": {},", s.depth_prunes);
+    let _ = writeln!(out, "    \"delay_prunes\": {},", s.delay_prunes);
+    let _ = writeln!(
+        out,
+        "    \"mismatched_violations\": {},",
+        s.mismatched_violations
+    );
+    let _ = writeln!(out, "    \"truncated\": {}", s.truncated);
+    let _ = writeln!(out, "  }},");
+    match &outcome.counterexample {
+        None => {
+            let _ = writeln!(out, "  \"counterexample\": null");
+        }
+        Some(cx) => {
+            let body = cx.body_json();
+            let mut indented = String::with_capacity(body.len() + 64);
+            for (i, line) in body.lines().enumerate() {
+                if i > 0 {
+                    indented.push_str("\n  ");
+                }
+                indented.push_str(line);
+            }
+            let _ = writeln!(out, "  \"counterexample\": {indented}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// `urb check --replay <file>`: re-execute a recorded counterexample and
+/// verify it reproduces the recorded violation and delivery trace.
+fn check_replay_cmd(path: &str, json: bool) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cx = match Counterexample::parse(&text) {
+        Ok(cx) => cx,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match cx.replay() {
+        Ok(violation) => {
+            if json {
+                let body = format!(
+                    "{{\n  \"scenario\": \"{}\",\n  \"reproduced\": true,\n  \
+                     \"violation\": [{}]\n}}",
+                    serde_json::escape(&cx.scenario),
+                    violation
+                        .iter()
+                        .map(|v| format!("\"{}\"", serde_json::escape(v)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                println!("{}", report::envelope("check-replay", cx.seed, &body));
+            } else {
+                println!(
+                    "replay: {} ({} choices) reproduced the recorded violation:",
+                    cx.scenario,
+                    cx.choices.len()
+                );
+                for v in &violation {
+                    println!("  {v}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("replay FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `urb check <scenario>`: systematic bounded exploration of the
+/// scenario's schedule space (DESIGN.md §11). Exit codes: 0 = the check
+/// passed (expected violation found, or clean scenario survived), 1 =
+/// check failed, 2 = usage/spec errors.
+pub fn check_cmd(args: CheckArgs) {
+    if let Some(path) = &args.replay {
+        check_replay_cmd(path, args.json);
+        return;
+    }
+    let path = args.path.as_deref().expect("parser enforces FILE");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match ScenarioSpec::from_named_str(path, &text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let strategy = args
+        .strategy
+        .as_deref()
+        .map(|s| Strategy::parse(s).expect("parser validated"));
+    let outcome = match check_scenario(&spec, strategy, args.depth, args.seed) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(trace_path) = &args.trace {
+        match &outcome.counterexample {
+            Some(cx) => {
+                let file = report::envelope(
+                    urb_check::counterexample::KIND,
+                    outcome.seed,
+                    &cx.body_json(),
+                );
+                if let Err(e) = std::fs::write(trace_path, file) {
+                    eprintln!("error writing counterexample to {trace_path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "counterexample: {} choices written to {trace_path}",
+                    cx.choices.len()
+                );
+            }
+            None => eprintln!("counterexample: none found, {trace_path} not written"),
+        }
+    }
+    if args.json {
+        println!(
+            "{}",
+            report::envelope(
+                CHECK_REPORT_KIND,
+                outcome.seed,
+                &check_report_body(&outcome)
+            )
+        );
+    } else {
+        let s = &outcome.stats;
+        println!("check: {} ({path})", outcome.scenario);
+        println!(
+            "  strategy {}, depth ≤ {}, seed {}",
+            outcome.strategy.as_str(),
+            outcome.depth,
+            outcome.seed
+        );
+        println!(
+            "  explored {} states ({} engine steps, {:.0} states/sec){}",
+            s.states,
+            s.engine_steps,
+            s.states_per_sec(),
+            if s.truncated { " [truncated]" } else { "" }
+        );
+        println!(
+            "  dedup hit-rate {:.3}, max depth {}, silent states {}",
+            s.dedup_hit_rate(),
+            s.max_depth,
+            s.silent_states
+        );
+        println!("check verdict: {}", outcome.verdict_line());
+    }
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
+}
+
 /// Builds the trajectory configuration from CLI flags (split out for
 /// tests).
 pub fn build_trajectory_config(args: &BenchArgs) -> TrajectoryConfig {
@@ -164,6 +368,35 @@ pub fn build_trajectory_config(args: &BenchArgs) -> TrajectoryConfig {
 /// summary plus the codec A/B footer, and — with `--json` — writes the
 /// schema-versioned trajectory file (DESIGN.md §10).
 pub fn bench_cmd(args: BenchArgs) {
+    if let Some((old, new)) = &args.diff {
+        let read = |path: &str| -> String {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let (old_text, new_text) = (read(old), read(new));
+        match trajectory::diff_json(&old_text, &new_text) {
+            Ok(diff) => {
+                println!("bench diff: {old} → {new}");
+                print!("{}", diff.render());
+                if diff.is_clean() {
+                    println!(
+                        "bench diff: OK ({} overlapping points identical)",
+                        diff.matched.len()
+                    );
+                } else {
+                    eprintln!("bench diff: FAIL");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = &args.validate {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,

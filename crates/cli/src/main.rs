@@ -4,7 +4,10 @@
 //! urb run --n 8 --alg quiescent --loss 0.3 --crashes 5 --msgs 3 --seed 7
 //! urb run --n 5 --alg majority --trace /tmp/run.json --json
 //! urb scenario scenarios/partition_heal.toml
+//! urb check scenarios/theorem2_violation.toml --trace cx.json
+//! urb check --replay cx.json
 //! urb bench --json BENCH_PR3.json
+//! urb bench --diff BENCH_PR3.json bench-smoke.json
 //! urb theorem2 --n 6
 //! urb sweep --n 8 --alg majority
 //! urb help
@@ -22,6 +25,7 @@ fn main() {
     match parse(&argv) {
         Ok(Command::Run(cfg)) => commands::run_cmd(cfg),
         Ok(Command::Scenario(args)) => commands::scenario_cmd(args),
+        Ok(Command::Check(args)) => commands::check_cmd(args),
         Ok(Command::Bench(args)) => commands::bench_cmd(args),
         Ok(Command::Theorem2 { n, seed }) => commands::theorem2_cmd(n, seed),
         Ok(Command::Sweep(cfg)) => commands::sweep_cmd(cfg),

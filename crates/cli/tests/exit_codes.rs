@@ -1,0 +1,207 @@
+//! Exit-code contract of the `urb` binary, exercised end to end on the
+//! real executable (`CARGO_BIN_EXE_urb`).
+//!
+//! CI gates on these codes: the corpus-replay loop distinguishes a
+//! scenario whose `[expect]` verdict failed (exit 1) from an unreadable
+//! or malformed spec (exit 2), `check-smoke` relies on `urb check`
+//! failing when an expected violation is not found, and the bench gate
+//! relies on `--diff` failing on any count-metric divergence. A silent
+//! regression here would turn every red gate green, hence this suite.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn urb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_urb"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn run(args: &[&str]) -> Output {
+    urb().args(args).output().expect("binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("urb_exit_codes_{}_{name}", std::process::id()))
+}
+
+// ------------------------------------------------------------------
+// `urb scenario` — verdict failures (1) vs unusable specs (2).
+
+#[test]
+fn scenario_pass_is_exit_zero() {
+    let spec = repo_root().join("scenarios/clean_smoke.toml");
+    let out = run(&["scenario", spec.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scenario verdict: PASS"), "{stdout}");
+}
+
+#[test]
+fn scenario_verdict_failure_is_exit_one() {
+    // A healthy run that cannot meet its own expectations: the exit code
+    // must be 1 (verdict failure), not 2 (unusable spec), and the reason
+    // must be printed — this is what lets the CI corpus loop tell "the
+    // protocol regressed" from "the file is broken".
+    let path = tmp("verdict_fail.toml");
+    std::fs::write(
+        &path,
+        "name = \"doomed-expectation\"\nn = 3\n[expect]\nmin_deliveries = 999\n",
+    )
+    .unwrap();
+    let out = run(&["scenario", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("scenario verdict: FAIL"), "{stderr}");
+    assert!(stderr.contains("999"), "names the failed expectation");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn scenario_unusable_spec_is_exit_two() {
+    let out = run(&["scenario", "/nonexistent/spec.toml"]);
+    assert_eq!(code(&out), 2, "missing file: {out:?}");
+    let path = tmp("bad_spec.toml");
+    std::fs::write(&path, "name = \"bad\"\nn = 3\nwat = 1\n").unwrap();
+    let out = run(&["scenario", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "malformed spec: {out:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+// ------------------------------------------------------------------
+// `urb check` — exploration verdicts and counterexample replay.
+
+#[test]
+fn check_finds_expected_violation_and_replays_it() {
+    let spec = repo_root().join("scenarios/theorem2_violation.toml");
+    let trace = tmp("theorem2_cx.json");
+    let out = run(&[
+        "check",
+        spec.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("PASS — expected violation found"),
+        "{stdout}"
+    );
+    // The emitted counterexample replays byte-deterministically.
+    let out = run(&["check", "--replay", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("reproduced the recorded violation"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn check_missed_expected_violation_is_exit_one() {
+    // Depth 2 cannot reach the Theorem-2 violation: the check must fail.
+    let spec = repo_root().join("scenarios/theorem2_violation.toml");
+    let out = run(&["check", spec.to_str().unwrap(), "--depth", "2"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn check_clean_scenario_passes_and_emits_json_envelope() {
+    let path = tmp("clean_check.toml");
+    std::fs::write(
+        &path,
+        "name = \"tiny-clean\"\nn = 2\nalgorithm = \"majority\"\n\
+         [check]\ndepth = 16\nmax_drops = 1\n",
+    )
+    .unwrap();
+    let out = run(&["check", path.to_str().unwrap(), "--json"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["kind"], "check-report");
+    assert_eq!(v["data"]["passed"], true);
+    assert_eq!(v["data"]["scenario"], "tiny-clean");
+    assert!(v["data"]["stats"]["states"].as_u64().unwrap() > 0);
+    assert!(v["data"]["counterexample"].is_null());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_unusable_input_is_exit_two() {
+    assert_eq!(code(&run(&["check", "/nonexistent.toml"])), 2);
+    assert_eq!(code(&run(&["check", "--replay", "/nonexistent.json"])), 2);
+    let path = tmp("not_a_cx.json");
+    std::fs::write(&path, "{\"hello\": 1}").unwrap();
+    assert_eq!(
+        code(&run(&["check", "--replay", path.to_str().unwrap()])),
+        2
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+// ------------------------------------------------------------------
+// `urb bench --diff` — the perf-regression gate.
+
+/// A minimal schema-valid trajectory file.
+fn trajectory_json(transmissions: u64) -> String {
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"kind\": \"bench-trajectory\",\n  \"seed\": 1,\n  \
+         \"git_rev\": \"test\",\n  \"data\": {{\n    \"seeds_per_cell\": 2,\n    \"points\": [\n      \
+         {{\"id\": \"e1\", \"runs\": 4, \"urb_ok\": 4, \"deliveries\": 40, \
+         \"transmissions\": {transmissions}, \"dropped\": 3, \"latency_p50\": 9, \
+         \"latency_p90\": 12, \"latency_p99\": 20, \"mean_end_time\": 100, \
+         \"throughput_per_ktick\": 1.5, \"pool_hit_rate\": 0.99, \"allocs_per_run\": null, \
+         \"trace_fingerprint\": 7}}\n    ]\n  }}\n}}"
+    )
+}
+
+#[test]
+fn bench_diff_gates_on_count_metrics() {
+    let a = tmp("traj_a.json");
+    let b = tmp("traj_b.json");
+    let c = tmp("traj_c.json");
+    std::fs::write(&a, trajectory_json(1000)).unwrap();
+    std::fs::write(&b, trajectory_json(1000)).unwrap();
+    std::fs::write(&c, trajectory_json(1001)).unwrap();
+    let out = run(&["bench", "--diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "identical files pass: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench diff: OK"));
+    let out = run(&["bench", "--diff", a.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "count divergence fails: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("transmissions diverged"));
+    let out = run(&["bench", "--diff", a.to_str().unwrap(), "/nonexistent.json"]);
+    assert_eq!(code(&out), 2, "unreadable input: {out:?}");
+    for p in [a, b, c] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[test]
+fn usage_errors_are_exit_two() {
+    assert_eq!(code(&run(&["frobnicate"])), 2);
+    assert_eq!(code(&run(&["check"])), 2);
+    assert_eq!(code(&run(&["bench", "--diff", "one.json"])), 2);
+}
+
+#[test]
+fn committed_baseline_diffs_cleanly_against_itself() {
+    // The exact invocation the CI gate runs, self-applied: the committed
+    // BENCH_PR3.json must be schema-valid and self-identical.
+    let baseline = repo_root().join("BENCH_PR3.json");
+    let b = baseline.to_str().unwrap();
+    let out = run(&["bench", "--validate", b]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let out = run(&["bench", "--diff", b, b]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}

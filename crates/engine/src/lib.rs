@@ -112,6 +112,23 @@ impl StepBuffers {
     }
 }
 
+/// Observer of the **choice points** one protocol step opens up.
+///
+/// Every effect a step produces is a point where a scheduler may later
+/// interpose nondeterministically: each emitted wire message becomes a
+/// future delivery (or adversarial-drop) decision, and each URB-delivery
+/// is where crash-on-delivery adversaries arm. Backends that merely
+/// *execute* a schedule (the simulator's event queue, the runtime's
+/// channels) drain [`StepBuffers`] wholesale and never need this; the
+/// systematic explorer (`urb-check`) hooks it to register every effect as
+/// an explorable choice the moment [`drive_step_observed`] surfaces it.
+pub trait StepObserver {
+    /// One message left the step's outbox (in emission order).
+    fn on_emit(&mut self, msg: &WireMessage);
+    /// One URB-delivery fired during the step (in delivery order).
+    fn on_deliver(&mut self, delivery: &Delivery);
+}
+
 /// Executes one protocol step. **The** shared implementation: every
 /// backend's step goes through this function.
 ///
@@ -142,6 +159,37 @@ pub fn drive_step(
             None
         }
         StepInput::Broadcast(payload) => Some(proc.urb_broadcast(payload, &mut ctx)),
+    }
+}
+
+/// [`drive_step`] with choice-point hooks: after the step executes, every
+/// emission and delivery it produced is surfaced to `obs`, in order,
+/// while the buffers still hold exactly this step's output. This is the
+/// engine-level entry point of the exploration plane (DESIGN.md §11):
+/// the explorer turns each observed emission into a pending
+/// deliver-or-drop choice and each observed delivery into a potential
+/// crash point.
+pub fn drive_step_observed(
+    proc: &mut dyn AnonProcess,
+    input: StepInput,
+    fd: &FdSnapshot,
+    rng: &mut dyn RandomSource,
+    buf: &mut StepBuffers,
+    obs: &mut dyn StepObserver,
+) -> Option<Tag> {
+    let tag = drive_step(proc, input, fd, rng, buf);
+    surface_effects(buf, obs);
+    tag
+}
+
+/// Surfaces one finished step's buffered effects to an observer, in
+/// order. The one definition both observed entry points share.
+fn surface_effects(buf: &StepBuffers, obs: &mut dyn StepObserver) {
+    for m in &buf.outbox {
+        obs.on_emit(m);
+    }
+    for d in &buf.deliveries {
+        obs.on_deliver(d);
     }
 }
 
@@ -206,6 +254,57 @@ impl NodeEngine {
         self.counters.messages_out += buf.outbox.len() as u64;
         self.counters.deliveries += buf.deliveries.len() as u64;
         tag
+    }
+
+    /// [`NodeEngine::step`] through the choice-point hooks of
+    /// [`drive_step_observed`]: counters update exactly as for `step`,
+    /// and every emission/delivery of the step is surfaced to `obs`.
+    pub fn step_observed(
+        &mut self,
+        input: StepInput,
+        fd: &FdSnapshot,
+        buf: &mut StepBuffers,
+        obs: &mut dyn StepObserver,
+    ) -> Option<Tag> {
+        let tag = self.step(input, fd, buf);
+        surface_effects(buf, obs);
+        tag
+    }
+
+    /// A deterministic digest of this engine's *semantic* state: the
+    /// protocol's state-size snapshot ([`ProcessStats`]), its quiescence
+    /// predicate and the algorithm name — deliberately **not** the
+    /// history counters, so two engines that converged to the same
+    /// protocol state through different schedules digest equally. The
+    /// exploration plane folds these per-node digests (plus its own
+    /// pending-message and crash-set hashes) into the state hash it
+    /// prunes on (DESIGN.md §11). The digest is approximate: distinct
+    /// internal states with equal sizes can collide, which makes pruning
+    /// coarser but never suppresses a violation checked before pruning.
+    pub fn fingerprint(&self) -> u64 {
+        fn fold(h: &mut u64, word: u64) {
+            for b in word.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let s = self.proc.stats();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.proc.algorithm_name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for field in [
+            s.msg_set,
+            s.my_acks,
+            s.all_ack_entries,
+            s.delivered,
+            s.label_counters,
+        ] {
+            fold(&mut h, field as u64);
+        }
+        fold(&mut h, u64::from(self.proc.is_quiescent()));
+        h
     }
 
     /// Feeds every message of a received batch through the engine,
@@ -508,6 +607,91 @@ mod tests {
         e.receive_frame(&frame, &mut buf, |_| FdSnapshot::none())
             .unwrap();
         assert_eq!(buf.deliveries.len(), 1);
+    }
+
+    /// Collects observed effects for the hook tests.
+    #[derive(Default)]
+    struct Log {
+        emits: Vec<WireMessage>,
+        delivers: usize,
+    }
+
+    impl StepObserver for Log {
+        fn on_emit(&mut self, msg: &WireMessage) {
+            self.emits.push(msg.clone());
+        }
+        fn on_deliver(&mut self, _d: &Delivery) {
+            self.delivers += 1;
+        }
+    }
+
+    #[test]
+    fn observed_step_surfaces_every_effect_in_order() {
+        let mut e = engine();
+        let fd = FdSnapshot::none();
+        let mut buf = StepBuffers::new();
+        let mut log = Log::default();
+        e.step_observed(
+            StepInput::Broadcast(Payload::from("m")),
+            &fd,
+            &mut buf,
+            &mut log,
+        );
+        e.step_observed(
+            StepInput::Receive(WireMessage::Msg {
+                tag: Tag(3),
+                payload: Payload::from("x"),
+            }),
+            &fd,
+            &mut buf,
+            &mut log,
+        );
+        assert_eq!(log.emits.len(), 2, "MSG then ACK observed");
+        assert_eq!(log.emits[0].kind(), WireKind::Msg);
+        assert_eq!(log.emits[1].kind(), WireKind::Ack);
+        assert_eq!(log.delivers, 1);
+        // The hook observes, it does not consume: the buffers still hold
+        // the last step's output for the backend to drain.
+        assert_eq!(buf.outbox.len(), 1);
+        assert_eq!(buf.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn observed_and_plain_steps_are_identical() {
+        let fd = FdSnapshot::none();
+        let mut plain = engine();
+        let mut observed = engine();
+        let mut a = StepBuffers::new();
+        let mut b = StepBuffers::new();
+        let mut log = Log::default();
+        plain.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut a);
+        observed.step_observed(
+            StepInput::Broadcast(Payload::from("m")),
+            &fd,
+            &mut b,
+            &mut log,
+        );
+        assert_eq!(a.outbox, b.outbox);
+        assert_eq!(plain.counters(), observed.counters());
+        assert_eq!(log.emits, b.outbox);
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_state_not_history() {
+        let fd = FdSnapshot::none();
+        let mut a = engine();
+        let mut b = engine();
+        let fresh = a.fingerprint();
+        assert_eq!(fresh, b.fingerprint(), "equal states digest equally");
+        let mut buf = StepBuffers::new();
+        a.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut buf);
+        assert_ne!(a.fingerprint(), fresh, "pending message changes the digest");
+        // History alone (a silent tick) leaves the digest unchanged even
+        // though the counters moved.
+        let before = b.fingerprint();
+        b.step(StepInput::Tick, &fd, &mut buf);
+        assert_eq!(b.fingerprint(), before);
+        assert_ne!(b.counters().steps, 0);
     }
 
     #[test]

@@ -65,10 +65,11 @@ pub use adversary::Schedule;
 pub use channel::{DelayModel, LossModel};
 pub use checker::{check_urb, CheckReport, PropertyVerdict};
 pub use crash::{CrashPlan, CrashRule};
+pub use event::SchedulerPolicy;
 pub use metrics::{BroadcastRecord, DeliveryRecord, Metrics};
 pub use parallel::{run_many, run_many_on};
 pub use sim::{
     run, Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
 };
-pub use spec::{Expectations, ScenarioSpec, SpecError};
+pub use spec::{CheckBounds, Expectations, ScenarioSpec, SpecError};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceKind};

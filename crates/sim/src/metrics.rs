@@ -8,7 +8,7 @@ use serde::Serialize;
 use urb_types::{Payload, ProcessStats, Tag, WireKind};
 
 /// One URB-broadcast invocation, as observed by the driver.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct BroadcastRecord {
     /// Broadcasting process.
     pub pid: usize,
@@ -21,7 +21,7 @@ pub struct BroadcastRecord {
 }
 
 /// One URB-delivery, as observed by the driver.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DeliveryRecord {
     /// Delivering process.
     pub pid: usize,

@@ -24,7 +24,7 @@
 use crate::channel::{ChannelMatrix, DelayModel, LossModel};
 use crate::checker::{check_urb, CheckReport};
 use crate::crash::{CrashPlan, CrashRule};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, SchedulerPolicy};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics, StatsSample};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use urb_core::Algorithm;
@@ -175,6 +175,11 @@ pub struct SimConfig {
     pub stop_on_full_delivery: bool,
     /// Event-trace recording policy (off by default).
     pub trace: TraceConfig,
+    /// How same-instant events are ordered (the scheduler injection point,
+    /// DESIGN.md §11). [`SchedulerPolicy::Fifo`] reproduces the classic
+    /// fixed event-queue order byte for byte; the exploration plane and
+    /// schedule-sensitivity tests swap in seeded tie shuffles.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl SimConfig {
@@ -209,7 +214,14 @@ impl SimConfig {
             stop_on_quiescence: true,
             stop_on_full_delivery: false,
             trace: TraceConfig::disabled(),
+            scheduler: SchedulerPolicy::Fifo,
         }
+    }
+
+    /// Sets the tie-order scheduler policy (builder style).
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
     }
 
     /// Sets the seed (builder style).
@@ -323,6 +335,8 @@ struct Runner {
     crash_times: Vec<Option<u64>>,
     crash_armed: Vec<bool>,
     queue: EventQueue,
+    /// Tie-breaking stream of the scheduler policy (`None` = FIFO).
+    tie_rng: Option<SplitMix64>,
     metrics: Metrics,
     /// Protocol (non-heartbeat) deliveries currently in flight.
     inflight_protocol: usize,
@@ -388,6 +402,7 @@ pub fn run(config: SimConfig) -> RunOutcome {
         crash_times: vec![None; n],
         crash_armed: vec![false; n],
         queue: EventQueue::new(),
+        tie_rng: config.scheduler.rng(),
         metrics: Metrics::new(config.window),
         inflight_protocol: 0,
         pending_broadcasts: config.broadcasts.len(),
@@ -428,7 +443,7 @@ impl Runner {
     }
 
     fn main_loop(&mut self) {
-        while let Some((t, ev)) = self.queue.pop() {
+        while let Some((t, ev)) = self.queue.pop_with(&mut self.tie_rng) {
             if t > self.config.max_time {
                 break;
             }
@@ -801,6 +816,38 @@ mod tests {
         assert_eq!(a.metrics.sent, b.metrics.sent);
         let c = run(SimConfig::new(4, Algorithm::Majority).seed(43));
         assert_ne!(a.metrics.trace_hash, c.metrics.trace_hash);
+    }
+
+    #[test]
+    fn seeded_tie_scheduler_changes_order_not_correctness() {
+        // Same config seed, different scheduler seeds: the runs replay
+        // different same-instant orders (distinct trace hashes) yet URB
+        // still holds on each — the schedule-sensitivity smoke the
+        // exploration plane generalizes (DESIGN.md §11).
+        let base = || {
+            SimConfig::new(5, Algorithm::Majority)
+                .seed(21)
+                .loss(LossModel::Bernoulli { p: 0.15 })
+                .workload(3, 50)
+                .max_time(40_000)
+        };
+        let fifo = run(base());
+        let shuffled = |s: u64| run(base().scheduler(SchedulerPolicy::SeededTies { seed: s }));
+        let a = shuffled(1);
+        let b = shuffled(1);
+        assert_eq!(
+            a.metrics.trace_hash, b.metrics.trace_hash,
+            "deterministic per scheduler seed"
+        );
+        let c = shuffled(2);
+        assert_ne!(a.metrics.trace_hash, c.metrics.trace_hash);
+        assert_ne!(
+            fifo.metrics.trace_hash, a.metrics.trace_hash,
+            "tie shuffle visits a schedule the seed alone never produces"
+        );
+        for out in [&fifo, &a, &c] {
+            assert!(out.report.all_ok(), "{:?}", out.report.violations());
+        }
     }
 
     #[test]

@@ -255,6 +255,42 @@ impl Expectations {
     }
 }
 
+/// The `[check]` table: per-scenario bounds for the systematic explorer
+/// (`urb-check`, DESIGN.md §11). A scenario ships the exploration budget
+/// that makes its interesting schedules reachable — depth of the choice
+/// tree, the adversarial loss budget, per-process Task-1 sweeps, the
+/// `dpor-lite` deviation budget and the random-walk count — so `urb check
+/// <file>` needs no hand-tuned flags. Absent table = library defaults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckBounds {
+    /// Maximum choices along one explored execution.
+    pub depth: u32,
+    /// Adversarial message-drop budget per execution (batch thinning).
+    pub max_drops: u32,
+    /// Task-1 sweeps the explorer may schedule per process.
+    pub tick_budget: u32,
+    /// Deviation budget of the `dpor-lite` delay-bounded strategy.
+    pub delay_budget: u32,
+    /// Number of walks of the seeded random-walk strategy.
+    pub walks: u32,
+    /// Default strategy for this scenario (`"dfs"`, `"dpor-lite"` or
+    /// `"random"`; `None` = the CLI default).
+    pub strategy: Option<String>,
+}
+
+impl Default for CheckBounds {
+    fn default() -> Self {
+        CheckBounds {
+            depth: 96,
+            max_drops: 2,
+            tick_budget: 1,
+            delay_budget: 4,
+            walks: 64,
+            strategy: None,
+        }
+    }
+}
+
 /// A complete declarative scenario. See the module docs for the pipeline
 /// and DESIGN.md §9 for the file schema.
 #[derive(Clone, Debug, PartialEq)]
@@ -302,6 +338,8 @@ pub struct ScenarioSpec {
     pub schedules: Vec<Schedule>,
     /// The scenario-level verdict.
     pub expect: Expectations,
+    /// Exploration bounds for `urb check` (DESIGN.md §11).
+    pub check: CheckBounds,
 }
 
 impl ScenarioSpec {
@@ -330,6 +368,7 @@ impl ScenarioSpec {
             crash_random: None,
             schedules: Vec::new(),
             expect: Expectations::default(),
+            check: CheckBounds::default(),
         }
     }
 
@@ -384,6 +423,7 @@ impl ScenarioSpec {
                 "crash_random",
                 "schedule",
                 "expect",
+                "check",
             ],
             "scenario",
         )?;
@@ -440,6 +480,9 @@ impl ScenarioSpec {
         }
         if let Some(v) = map.get("expect") {
             spec.expect = decode_expect(v)?;
+        }
+        if let Some(v) = map.get("check") {
+            spec.check = decode_check(v)?;
         }
         Ok(spec)
     }
@@ -552,6 +595,23 @@ impl ScenarioSpec {
             bool_line("quiescent", self.expect.quiescent);
             if let Some(m) = self.expect.min_deliveries {
                 let _ = writeln!(s, "min_deliveries = {m}");
+            }
+        }
+        if self.check != CheckBounds::default() {
+            let d = CheckBounds::default();
+            let _ = writeln!(s, "\n[check]");
+            let mut num_line = |key: &str, v: u32, default: u32| {
+                if v != default {
+                    let _ = writeln!(s, "{key} = {v}");
+                }
+            };
+            num_line("depth", self.check.depth, d.depth);
+            num_line("max_drops", self.check.max_drops, d.max_drops);
+            num_line("tick_budget", self.check.tick_budget, d.tick_budget);
+            num_line("delay_budget", self.check.delay_budget, d.delay_budget);
+            num_line("walks", self.check.walks, d.walks);
+            if let Some(st) = &self.check.strategy {
+                let _ = writeln!(s, "strategy = {}", toml_str(st));
             }
         }
         s
@@ -1412,6 +1472,50 @@ fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
     })
 }
 
+fn decode_check(v: &Value) -> Result<CheckBounds, SpecError> {
+    let map = as_table(v, "check")?;
+    check_keys(
+        map,
+        &[
+            "depth",
+            "max_drops",
+            "tick_budget",
+            "delay_budget",
+            "walks",
+            "strategy",
+        ],
+        "check",
+    )?;
+    let d = CheckBounds::default();
+    let strategy = match map.get("strategy") {
+        Some(v) => {
+            let s = as_str(v, "strategy")?;
+            if !matches!(s, "dfs" | "dpor-lite" | "random") {
+                return Err(SpecError::new(format!(
+                    "unknown check strategy {s:?} (dfs | dpor-lite | random)"
+                )));
+            }
+            Some(s.to_string())
+        }
+        None => None,
+    };
+    let bounds = CheckBounds {
+        depth: opt_u64(map, "depth", d.depth as u64)? as u32,
+        max_drops: opt_u64(map, "max_drops", d.max_drops as u64)? as u32,
+        tick_budget: opt_u64(map, "tick_budget", d.tick_budget as u64)? as u32,
+        delay_budget: opt_u64(map, "delay_budget", d.delay_budget as u64)? as u32,
+        walks: opt_u64(map, "walks", d.walks as u64)? as u32,
+        strategy,
+    };
+    if bounds.depth == 0 {
+        return Err(SpecError::new("check.depth must be positive"));
+    }
+    if bounds.walks == 0 {
+        return Err(SpecError::new("check.walks must be positive"));
+    }
+    Ok(bounds)
+}
+
 fn toml_str(s: &str) -> String {
     format!("\"{}\"", serde_json::escape(s))
 }
@@ -1545,6 +1649,14 @@ mod tests {
             min_deliveries: Some(4),
             ..Expectations::default()
         };
+        spec.check = CheckBounds {
+            depth: 40,
+            max_drops: 5,
+            tick_budget: 2,
+            delay_budget: 7,
+            walks: 9,
+            strategy: Some("dpor-lite".into()),
+        };
         let toml = spec.to_toml();
         let parsed = ScenarioSpec::from_toml_str(&toml).unwrap();
         assert_eq!(parsed, spec, "round trip through:\n{toml}");
@@ -1601,6 +1713,37 @@ mod tests {
         .unwrap();
         let cfg = spec.compile().unwrap();
         assert_eq!(cfg.crashes.rule(2), CrashRule::Never);
+    }
+
+    #[test]
+    fn check_bounds_decode_validate_and_default() {
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"c\"\nn = 4\n[check]\ndepth = 30\nstrategy = \"random\"\n",
+        )
+        .unwrap();
+        assert_eq!(spec.check.depth, 30);
+        assert_eq!(spec.check.strategy.as_deref(), Some("random"));
+        assert_eq!(
+            spec.check.max_drops,
+            CheckBounds::default().max_drops,
+            "unset keys keep library defaults"
+        );
+        let plain = ScenarioSpec::from_toml_str("name = \"c\"\nn = 4\n").unwrap();
+        assert_eq!(plain.check, CheckBounds::default());
+        assert!(
+            !plain.to_toml().contains("[check]"),
+            "default bounds stay implicit"
+        );
+        for (bad, needle) in [
+            ("[check]\ndepth = 0\n", "depth must be positive"),
+            ("[check]\nwalks = 0\n", "walks must be positive"),
+            ("[check]\nstrategy = \"bfs\"\n", "unknown check strategy"),
+            ("[check]\nwat = 1\n", "unknown key"),
+        ] {
+            let err =
+                ScenarioSpec::from_toml_str(&format!("name = \"c\"\nn = 4\n{bad}")).unwrap_err();
+            assert!(err.message.contains(needle), "{bad:?} → {err}");
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   channels, crash adversaries, URB property checker, scenarios and the
 //!   declarative scenario plane (`spec` + the adversarial schedule
 //!   library);
+//! * [`check`] ([`urb_check`]) — the exploration plane: a bounded
+//!   systematic schedule checker with replayable counterexamples;
 //! * [`runtime`] ([`urb_runtime`]) — a threaded deployment of the same
 //!   state machines;
 //! * [`types`] ([`urb_types`]) — shared identifiers, wire format and the
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use urb_apps as apps;
+pub use urb_check as check;
 pub use urb_core as core;
 pub use urb_fd as fd;
 pub use urb_runtime as runtime;
