@@ -330,6 +330,55 @@ mod tests {
     }
 
     #[test]
+    fn mux_codec_is_allocation_free_in_steady_state_when_counted() {
+        // The topic plane's zero-alloc claim (DESIGN.md §12): encoding a
+        // multiplexed frame into a warm pooled buffer and decoding it
+        // with shared payloads into warm scratch allocates nothing per
+        // frame or per message. MSG-only corpus — ACK label sets own
+        // their storage and legitimately allocate.
+        use urb_types::{encode_mux_frame_into, MuxBatch, TopicId};
+        let mut rng = SplitMix64::new(41);
+        let entries: Vec<(TopicId, WireMessage)> = (0..3u32)
+            .flat_map(|t| {
+                let tag = Tag(rng.next_u128());
+                (0..8).map(move |i| {
+                    (
+                        TopicId(t),
+                        WireMessage::Msg {
+                            tag: Tag(tag.0 ^ i),
+                            payload: Payload::from("steady-state payload"),
+                        },
+                    )
+                })
+            })
+            .collect();
+        let pool = BufPool::new(2);
+        let mut scratch: Vec<(TopicId, WireMessage)> = Vec::new();
+        // Warm-up: grow the pooled buffer and the scratch to capacity,
+        // and materialize the frame bytes once.
+        let frame = {
+            let mut buf = pool.acquire();
+            encode_mux_frame_into(&entries, &mut buf);
+            let frame = Bytes::copy_from_slice(&buf);
+            MuxBatch::decode_shared_into(&frame, &mut scratch).unwrap();
+            frame
+        };
+        let (_, allocs) = count_allocations(|| {
+            for _ in 0..64 {
+                let mut buf = pool.acquire();
+                encode_mux_frame_into(black_box(&entries), &mut buf);
+                black_box(&buf);
+                drop(buf);
+                MuxBatch::decode_shared_into(black_box(&frame), &mut scratch).unwrap();
+                black_box(&scratch);
+            }
+        });
+        if let Some(allocs) = allocs {
+            assert_eq!(allocs, 0, "warm mux encode+decode must not allocate");
+        }
+    }
+
+    #[test]
     fn shared_decode_scratch_is_allocation_free_when_counted() {
         let report = run(3, 3);
         if let Some(shared) = report.decode_shared.allocs_per_frame {

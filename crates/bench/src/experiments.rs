@@ -8,7 +8,9 @@
 //! ablation of our one substantive pseudocode repair (E12), the Task-1
 //! backoff extension (E13), partition-heal recovery (E14), and the
 //! scenario plane's own guarantees (E15 corpus replay, E16 adversarial
-//! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9).
+//! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9),
+//! and the topic plane's scaling story (E18 topic-count scaling, E19
+//! multiplexed-vs-separate frames A/B — DESIGN.md §12).
 //!
 //! All experiments are deterministic: same build, same tables. Every run's
 //! seed is a pure function of its grid cell and seed index, so the
@@ -27,7 +29,7 @@ use urb_sim::{scenario, CrashPlan, CrashRule, LossModel, RunOutcome, Schedule};
 /// minutes; bump for tighter confidence).
 pub const SEEDS: u64 = 10;
 
-/// Runs one experiment by id (`"e1"`..`"e17"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e19"`), returning its tables.
 pub fn run_experiment(id: &str) -> Vec<Table> {
     match id {
         "e1" => e1_alg1_correctness(),
@@ -47,14 +49,16 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e15" => e15_scenario_corpus(),
         "e16" => e16_ack_starvation_sweep(),
         "e17" => e17_spec_parity(),
-        other => panic!("unknown experiment id {other:?} (use e1..e17)"),
+        "e18" => e18_topic_scaling(),
+        "e19" => e19_mux_vs_separate(),
+        other => panic!("unknown experiment id {other:?} (use e1..e19)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18", "e19",
 ];
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -959,6 +963,123 @@ pub fn e17_spec_parity() -> Vec<Table> {
     vec![t]
 }
 
+// --------------------------------------------------------------- E18 ----
+
+/// E18 — topic-count scaling (DESIGN.md §12): the same total broadcast
+/// workload spread over 1, 2, 4 and 8 topics on one shared mesh.
+///
+/// Message complexity scales with the workload, not the topic count (one
+/// instance per topic, same per-message cost), while the multiplexed
+/// frame plane keeps routed frames *flat*: a node tick drains every
+/// topic's sweep into one frame. Reported per topic count: URB pass rate
+/// across all per-topic verdicts, protocol transmissions, frames sent
+/// and deliveries.
+pub fn e18_topic_scaling() -> Vec<Table> {
+    let mut t = Table::new(
+        "E18 — topic scaling: fixed workload over 1/2/4/8 topics (n=5, loss=0.1)",
+        &[
+            "topics",
+            "runs",
+            "URB ok (per topic)",
+            "transmissions",
+            "frames",
+            "deliveries",
+        ],
+    );
+    for &topics in &[1u32, 2, 4, 8] {
+        let outcomes = run_seeds(SEEDS, |seed| {
+            let mut cfg = SimConfig::new(5, Algorithm::Quiescent)
+                .topics(topics)
+                .seed(seed * 31 + 5)
+                .loss(LossModel::Bernoulli { p: 0.1 })
+                .workload_topics(8, 50)
+                .max_time(400_000);
+            cfg.stop_on_quiescence = true;
+            cfg
+        });
+        let verdicts: usize = outcomes.iter().map(|o| o.per_topic.len()).sum();
+        let ok: usize = outcomes
+            .iter()
+            .flat_map(|o| o.per_topic.iter())
+            .filter(|t| t.report.all_ok())
+            .count();
+        let tx: u64 = outcomes.iter().map(|o| o.metrics.protocol_sends()).sum();
+        let frames: u64 = outcomes.iter().map(|o| o.metrics.frames_sent).sum();
+        let deliveries: usize = outcomes.iter().map(|o| o.metrics.deliveries.len()).sum();
+        t.row(vec![
+            topics.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{verdicts}"),
+            tx.to_string(),
+            frames.to_string(),
+            deliveries.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------- E19 ----
+
+/// E19 — multiplexed frames vs. one-frame-per-topic A/B (DESIGN.md §12).
+///
+/// The identical multi-topic workload runs twice per seed: once with the
+/// mux plane (every step's topics share one frame per destination) and
+/// once with `mux_frames = false` (each topic pays its own frame). The
+/// deliveries and verdicts must agree — multiplexing is a pure routing
+/// optimization — while frames-sent must strictly favour the mux plane
+/// at equal message counts. This is the acceptance experiment of the
+/// topic plane's routing claim.
+pub fn e19_mux_vs_separate() -> Vec<Table> {
+    let mut t = Table::new(
+        "E19 — multiplexed vs separate frames (n=4, topics=4, 8 msgs)",
+        &[
+            "plane",
+            "runs",
+            "URB ok",
+            "messages",
+            "frames",
+            "frames/msg",
+            "deliveries",
+        ],
+    );
+    let build = |mux: bool| {
+        run_seeds(SEEDS, move |seed| {
+            let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+                .topics(4)
+                .seed(seed * 17 + 9)
+                .workload_topics(8, 20)
+                .max_time(400_000);
+            cfg.mux_frames = mux;
+            cfg
+        })
+    };
+    let arms = [("multiplexed", build(true)), ("separate", build(false))];
+    for (name, outcomes) in &arms {
+        let ok = outcomes.iter().filter(|o| o.all_topics_ok()).count() as u64;
+        let msgs: u64 = outcomes.iter().map(|o| o.metrics.protocol_sends()).sum();
+        let frames: u64 = outcomes.iter().map(|o| o.metrics.frames_sent).sum();
+        let deliveries: usize = outcomes.iter().map(|o| o.metrics.deliveries.len()).sum();
+        t.row(vec![
+            name.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{SEEDS}"),
+            msgs.to_string(),
+            frames.to_string(),
+            f3(frames as f64 / msgs.max(1) as f64),
+            deliveries.to_string(),
+        ]);
+    }
+    let (mux_frames, sep_frames) = (
+        arms[0].1.iter().map(|o| o.metrics.frames_sent).sum::<u64>(),
+        arms[1].1.iter().map(|o| o.metrics.frames_sent).sum::<u64>(),
+    );
+    assert!(
+        mux_frames < sep_frames,
+        "multiplexed frames must beat one-frame-per-topic: {mux_frames} vs {sep_frames}"
+    );
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -966,7 +1087,18 @@ mod tests {
     #[test]
     fn all_ids_resolve() {
         // Smoke-test the dispatcher without running the heavy grids.
-        assert_eq!(ALL_IDS.len(), 17);
+        assert_eq!(ALL_IDS.len(), 19);
+    }
+
+    #[test]
+    fn e19_mux_beats_separate_frames() {
+        // The topic plane's acceptance claim: the A/B harness itself
+        // asserts frames(mux) < frames(separate) at equal message counts
+        // — running it IS the test — and both arms stay correct.
+        let tables = e19_mux_vs_separate();
+        let rendered = tables[0].render();
+        assert!(rendered.contains("multiplexed"), "{rendered}");
+        assert!(!rendered.contains("false"), "{rendered}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The benchmark-trajectory subsystem: machine-readable perf history.
 //!
 //! `urb bench --json BENCH_PR<k>.json` runs a **reduced, fixed grid** for
-//! every experiment id (E1–E17) and emits one schema-versioned JSON file
+//! every experiment id (E1–E19) and emits one schema-versioned JSON file
 //! — the repo's perf trajectory. Each PR archives one such file; diffing
 //! two of them answers "what did this PR do to throughput, latency and
 //! allocation behaviour?" without re-running anything (DESIGN.md §10
@@ -37,7 +37,7 @@ pub struct TrajectoryConfig {
     /// Seeds per grid cell (3 keeps the full trajectory under a minute
     /// in release builds; bump for tighter numbers).
     pub seeds_per_cell: u64,
-    /// Experiment ids to cover (subset of `e1..e17`).
+    /// Experiment ids to cover (subset of `e1..e19`).
     pub ids: Vec<String>,
 }
 
@@ -58,7 +58,7 @@ impl TrajectoryConfig {
 /// One experiment's aggregated, deterministic measurements.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentPoint {
-    /// Experiment id (`"e1"`…`"e17"`).
+    /// Experiment id (`"e1"`…`"e19"`).
     pub id: String,
     /// Simulated runs aggregated into this point.
     pub runs: u64,
@@ -411,7 +411,25 @@ pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
         "e15" | "e17" => {
             // The scenario corpus; e15 varies seeds, e17 replays each spec
             // at its own seed (the parity/fingerprint sample).
-            for (cell, (name, text)) in spec::corpus().into_iter().enumerate() {
+            //
+            // Pinned to the corpus as of BENCH_PR3: trajectory grids are
+            // append-only — corpus *additions* (e.g. the topic-plane
+            // scenarios) get their own experiments (E18/E19), so existing
+            // grid points stay byte-comparable across PRs forever.
+            const PINNED: [&str; 8] = [
+                "clean_smoke",
+                "lossy_crashes",
+                "partition_heal",
+                "ack_starvation",
+                "churn",
+                "crash_storm",
+                "targeted_delay",
+                "theorem2_violation",
+            ];
+            let pinned = spec::corpus()
+                .into_iter()
+                .filter(|(name, _)| PINNED.contains(name));
+            for (cell, (name, text)) in pinned.enumerate() {
                 let base = ScenarioSpec::from_toml_str(text)
                     .unwrap_or_else(|e| panic!("corpus {name}: {e}"));
                 let reps = if id == "e15" { seeds } else { 1 };
@@ -447,7 +465,36 @@ pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
                 cfgs.push(sp.compile().expect("bench e16 spec compiles"));
             }
         }
-        other => panic!("unknown experiment id {other:?} (use e1..e17)"),
+        "e18" => {
+            // Topic-count scaling on the reduced grid (DESIGN.md §12).
+            for (cell, &topics) in [1u32, 2, 4].iter().enumerate() {
+                for s in 0..seeds {
+                    cfgs.push(
+                        SimConfig::new(4, Algorithm::Quiescent)
+                            .topics(topics)
+                            .seed(derive(cell as u64, s))
+                            .workload_topics(6, 50)
+                            .max_time(200_000),
+                    );
+                }
+            }
+        }
+        "e19" => {
+            // Mux-vs-separate frames A/B; both arms share the grid so the
+            // trajectory's count metrics cover both planes.
+            for (cell, &mux) in [true, false].iter().enumerate() {
+                for s in 0..seeds {
+                    let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+                        .topics(3)
+                        .seed(derive(cell as u64, s))
+                        .workload_topics(6, 20)
+                        .max_time(200_000);
+                    cfg.mux_frames = mux;
+                    cfgs.push(cfg);
+                }
+            }
+        }
+        other => panic!("unknown experiment id {other:?} (use e1..e19)"),
     }
     cfgs
 }

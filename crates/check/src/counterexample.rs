@@ -18,7 +18,7 @@ use serde_json::Value;
 use std::fmt::Write as _;
 use urb_sim::metrics::DeliveryRecord;
 use urb_sim::ScenarioSpec;
-use urb_types::{Payload, Tag};
+use urb_types::{Payload, Tag, TopicId};
 
 /// Envelope `kind` of a counterexample file.
 pub const KIND: &str = "urb-counterexample";
@@ -116,8 +116,9 @@ impl Counterexample {
             .iter()
             .map(|d| {
                 format!(
-                    "    {{\"pid\": {}, \"time\": {}, \"fast\": {}, \"tag\": \"{:#034x}\"}}",
-                    d.pid, d.time, d.fast, d.tag.0
+                    "    {{\"pid\": {}, \"topic\": {}, \"time\": {}, \"fast\": {}, \
+                     \"tag\": \"{:#034x}\"}}",
+                    d.pid, d.topic.0, d.time, d.fast, d.tag.0
                 )
             })
             .collect();
@@ -177,8 +178,20 @@ impl Counterexample {
                     .ok_or_else(|| "delivery without a tag".to_string())?;
                 let tag = u128::from_str_radix(tag_text.trim_start_matches("0x"), 16)
                     .map_err(|e| format!("bad tag {tag_text:?}: {e}"))?;
+                let topic = match &d["topic"] {
+                    // Absent on pre-topic artifacts: default to topic 0.
+                    v if v.is_null() => TopicId::ZERO,
+                    // Present must be a valid dense topic id; silent
+                    // coercion would replay against the wrong golden row.
+                    v => TopicId(
+                        v.as_u64()
+                            .and_then(|t| u32::try_from(t).ok())
+                            .ok_or("delivery topic must be a u32")?,
+                    ),
+                };
                 Ok(DeliveryRecord {
                     pid: d["pid"].as_u64().ok_or("delivery without a pid")? as usize,
+                    topic,
                     time: d["time"].as_u64().ok_or("delivery without a time")?,
                     fast: d["fast"].as_bool().ok_or("delivery without fast")?,
                     tag: Tag(tag),
@@ -272,6 +285,7 @@ mod tests {
             ],
             deliveries: vec![DeliveryRecord {
                 pid: 1,
+                topic: TopicId::ZERO,
                 time: 2,
                 fast: false,
                 tag: Tag(0xABCD),
@@ -316,11 +330,30 @@ mod tests {
     #[test]
     fn golden_trace_shape_is_preserved() {
         // The delivery rows must look exactly like tests/golden/*.json
-        // rows: pid/time/fast plus a 32-hex-digit 0x tag.
+        // rows: pid/topic/time/fast plus a 32-hex-digit 0x tag.
         let body = sample().body_json();
-        assert!(body.contains(
-            "{\"pid\": 1, \"time\": 2, \"fast\": false, \
-             \"tag\": \"0x0000000000000000000000000000abcd\"}"
-        ));
+        assert!(
+            body.contains(
+                "{\"pid\": 1, \"topic\": 0, \"time\": 2, \"fast\": false, \
+                 \"tag\": \"0x0000000000000000000000000000abcd\"}"
+            ),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn parse_defaults_missing_topic_to_zero() {
+        // Pre-topic counterexample artifacts carry no `topic` key in
+        // their delivery rows; they must still parse (as topic 0).
+        let body = sample().body_json();
+        let legacy = body.replace("\"topic\": 0, ", "");
+        let cx = Counterexample::parse(&legacy).unwrap();
+        assert_eq!(cx.deliveries[0].topic, TopicId::ZERO);
+        // A *present but malformed* topic is a hard error, not topic 0.
+        for bad in ["\"topic\": \"1\", ", "\"topic\": 4294967296, "] {
+            let corrupted = body.replace("\"topic\": 0, ", bad);
+            let err = Counterexample::parse(&corrupted).unwrap_err();
+            assert!(err.contains("topic"), "{bad:?} → {err}");
+        }
     }
 }

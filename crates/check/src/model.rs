@@ -8,7 +8,7 @@
 //! A [`CheckModel`] is built from a [`ScenarioSpec`]; [`CheckState`]
 //! applies choices one at a time through the engine's choice-point hooks
 //! ([`urb_engine::drive_step_observed`] via
-//! [`NodeEngine::step_observed`]), checks the URB integrity invariants
+//! [`TopicEngine::step_observed`]), checks the URB integrity invariants
 //! after every step, and evaluates the eventual properties (validity,
 //! agreement) at *silent* states — states where no choice is enabled and
 //! every surviving process is quiescent, so nothing can ever happen
@@ -28,11 +28,13 @@
 
 use std::collections::BTreeSet;
 use urb_core::Algorithm;
-use urb_engine::{NodeEngine, StepBuffers, StepInput, StepObserver};
+use urb_engine::{StepBuffers, StepInput, StepObserver, TopicEngine};
 use urb_sim::checker::{check_urb, CheckReport};
 use urb_sim::metrics::{BroadcastRecord, DeliveryRecord};
 use urb_sim::{CheckBounds, CrashRule, LossModel, PlannedBroadcast, ScenarioSpec, SpecError};
-use urb_types::{Delivery, FdPair, FdSnapshot, FdView, Label, SplitMix64, Tag, WireMessage};
+use urb_types::{
+    Delivery, FdPair, FdSnapshot, FdView, Label, SplitMix64, Tag, TopicId, WireMessage,
+};
 
 /// One resolved nondeterministic decision — the unit of exploration and
 /// of counterexample replay.
@@ -73,6 +75,9 @@ pub struct PendingMsg {
     pub from: usize,
     /// Destination process.
     pub to: usize,
+    /// The URB instance the message belongs to ([`TopicId::ZERO`] on
+    /// single-topic scenarios).
+    pub topic: TopicId,
     /// The message itself.
     pub msg: WireMessage,
 }
@@ -81,6 +86,7 @@ pub struct PendingMsg {
 /// scenario spec once, shared by every replay.
 pub struct CheckModel {
     n: usize,
+    topics: u32,
     algorithm: Algorithm,
     seed: u64,
     planned: Vec<PlannedBroadcast>,
@@ -107,6 +113,7 @@ impl CheckModel {
             .collect();
         Ok(CheckModel {
             n: cfg.n,
+            topics: cfg.topics.max(1),
             algorithm: cfg.algorithm,
             seed: seed.unwrap_or(spec.seed),
             planned,
@@ -133,11 +140,19 @@ impl CheckModel {
     }
 
     /// A fresh initial state (same engine seeding scheme as the
-    /// simulator, so the canonical FIFO exploration mirrors a seeded run).
+    /// simulator — one protocol instance per topic sharing the node's RNG
+    /// stream — so the canonical FIFO exploration mirrors a seeded run).
     pub fn initial(&self) -> CheckState<'_> {
         let seed_mix = SplitMix64::new(self.seed ^ 0x5EED_0F00_D000_0001);
         let engines = (0..self.n)
-            .map(|i| NodeEngine::new(self.algorithm.instantiate(self.n), seed_mix.split(i as u64)))
+            .map(|i| {
+                TopicEngine::new(
+                    (0..self.topics)
+                        .map(|_| self.algorithm.instantiate(self.n))
+                        .collect(),
+                    seed_mix.split(i as u64),
+                )
+            })
             .collect();
         CheckState {
             model: self,
@@ -180,7 +195,7 @@ impl StepObserver for Effects {
 /// in the model-checking sense).
 pub struct CheckState<'m> {
     model: &'m CheckModel,
-    engines: Vec<NodeEngine>,
+    engines: Vec<TopicEngine>,
     /// Pending messages, in routing order; `Choice::Deliver`/`Drop`
     /// slots index this list at apply time.
     pending: Vec<PendingMsg>,
@@ -250,7 +265,7 @@ impl<'m> CheckState<'m> {
     /// Routes one emitted message to every destination: severed links
     /// swallow their copy structurally (no budget), copies to crashed
     /// processes vanish, everything else becomes a pending choice.
-    fn route(&mut self, from: usize, msg: &WireMessage) {
+    fn route(&mut self, from: usize, topic: TopicId, msg: &WireMessage) {
         for to in 0..self.model.n {
             if self.model.severed.contains(&(from, to)) || self.crashed[to] {
                 continue;
@@ -258,16 +273,18 @@ impl<'m> CheckState<'m> {
             self.pending.push(PendingMsg {
                 from,
                 to,
+                topic,
                 msg: msg.clone(),
             });
         }
     }
 
-    fn record_deliveries(&mut self, pid: usize, delivered: &[Delivery]) {
+    fn record_deliveries(&mut self, pid: usize, topic: TopicId, delivered: &[Delivery]) {
         for d in delivered {
             self.delivered_once[pid] = true;
             self.deliveries.push(DeliveryRecord {
                 pid,
+                topic,
                 tag: d.tag,
                 time: self.steps,
                 fast: d.fast,
@@ -384,6 +401,7 @@ impl<'m> CheckState<'m> {
                 let mut scratch = std::mem::take(&mut self.scratch);
                 let tag = self.engines[b.pid]
                     .step_observed(
+                        b.topic,
                         StepInput::Broadcast(b.payload.clone()),
                         &fd,
                         &mut scratch,
@@ -393,11 +411,12 @@ impl<'m> CheckState<'m> {
                 self.scratch = scratch;
                 self.broadcasts.push(BroadcastRecord {
                     pid: b.pid,
+                    topic: b.topic,
                     tag,
                     time: self.steps,
                     payload: b.payload,
                 });
-                self.finish_step(b.pid, effects);
+                self.finish_step(b.pid, b.topic, effects);
             }
             Choice::Deliver { slot } => {
                 let p = self.pending.remove(slot);
@@ -405,26 +424,39 @@ impl<'m> CheckState<'m> {
                 let mut effects = Effects::default();
                 let mut scratch = std::mem::take(&mut self.scratch);
                 self.engines[p.to].step_observed(
+                    p.topic,
                     StepInput::Receive(p.msg),
                     &fd,
                     &mut scratch,
                     &mut effects,
                 );
                 self.scratch = scratch;
-                self.finish_step(p.to, effects);
+                self.finish_step(p.to, p.topic, effects);
             }
             Choice::Drop { slot } => {
                 self.pending.remove(slot);
                 self.drops_used += 1;
             }
             Choice::Tick { pid } => {
+                // One node tick sweeps Task 1 of *every* topic instance,
+                // matching the simulator's topic-plane semantics (one
+                // budget unit per node tick, however many topics it has).
                 self.ticks_used[pid] += 1;
                 let fd = self.fd_snapshot();
-                let mut effects = Effects::default();
-                let mut scratch = std::mem::take(&mut self.scratch);
-                self.engines[pid].step_observed(StepInput::Tick, &fd, &mut scratch, &mut effects);
-                self.scratch = scratch;
-                self.finish_step(pid, effects);
+                for t in 0..self.model.topics {
+                    let topic = TopicId(t);
+                    let mut effects = Effects::default();
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.engines[pid].step_observed(
+                        topic,
+                        StepInput::Tick,
+                        &fd,
+                        &mut scratch,
+                        &mut effects,
+                    );
+                    self.scratch = scratch;
+                    self.finish_step(pid, topic, effects);
+                }
             }
             Choice::Crash { pid } => {
                 self.crashed[pid] = true;
@@ -435,11 +467,11 @@ impl<'m> CheckState<'m> {
         }
     }
 
-    fn finish_step(&mut self, pid: usize, effects: Effects) {
+    fn finish_step(&mut self, pid: usize, topic: TopicId, effects: Effects) {
         for m in &effects.emitted {
-            self.route(pid, m);
+            self.route(pid, topic, m);
         }
-        self.record_deliveries(pid, &effects.delivered);
+        self.record_deliveries(pid, topic, &effects.delivered);
     }
 
     /// True when no choice is enabled *and* every surviving process is
@@ -481,7 +513,7 @@ impl<'m> CheckState<'m> {
     }
 
     /// The pruning digest: per-node semantic fingerprints
-    /// ([`NodeEngine::fingerprint`]), the crash set, the pending-message
+    /// ([`TopicEngine::fingerprint`]), the crash set, the pending-message
     /// *multiset* of `(from, to, content)` triples (sorted, so slot
     /// order — which is behaviourally irrelevant — does not split
     /// states; `from` is kept because it decides droppability, so a
@@ -515,7 +547,7 @@ impl<'m> CheckState<'m> {
             .map(|p| {
                 (((p.from as u64) << 32) | p.to as u64)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(p.msg.content_hash())
+                    .wrapping_add(p.topic.mix(p.msg.content_hash()))
             })
             .collect();
         pend.sort_unstable();

@@ -30,7 +30,7 @@ USAGE:
                            compare two trajectory files: deterministic count
                            metrics must match exactly on overlapping grid
                            points (the CI perf-regression gate)
-    urb theorem2 [--n N] [--seed S]
+    urb theorem2 [--n N] [--seed S] [--json]
                            execute the impossibility proof's adversary
     urb help               this text
 
@@ -57,10 +57,11 @@ FLAGS (bench):
                       count-metric mismatch over overlapping points
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
-    --experiments IDS comma-separated subset of e1..e17      [default: all]
+    --experiments IDS comma-separated subset of e1..e19      [default: all]
 
 FLAGS (run / sweep):
     --n N             system size                         [default: 5]
+    --topics K        concurrent URB instances (topics)   [default: 1]
     --alg NAME        majority | quiescent | quiescent-literal |
                       best-effort | eager-rb              [default: quiescent]
     --loss P          per-transmission loss probability   [default: 0.2]
@@ -93,6 +94,8 @@ pub enum Command {
         n: usize,
         /// RNG seed.
         seed: u64,
+        /// Machine-readable output (shared envelope).
+        json: bool,
     },
     /// `urb help`.
     Help,
@@ -165,6 +168,9 @@ impl Default for BenchArgs {
 pub struct RunArgs {
     /// System size.
     pub n: usize,
+    /// Concurrent URB instances (topics); broadcasts round-robin across
+    /// them (DESIGN.md §12).
+    pub topics: u32,
     /// Protocol.
     pub algorithm: Algorithm,
     /// Loss probability.
@@ -202,6 +208,7 @@ impl Default for RunArgs {
     fn default() -> Self {
         RunArgs {
             n: 5,
+            topics: 1,
             algorithm: Algorithm::Quiescent,
             loss: 0.2,
             burst: false,
@@ -239,6 +246,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "theorem2" => {
             let mut n = 6usize;
             let mut seed = 1u64;
+            let mut json = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next()
@@ -252,13 +260,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("--seed: {e}"))?
                     }
+                    "--json" => json = true,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
             if n < 2 {
                 return Err("--n must be at least 2".into());
             }
-            Ok(Command::Theorem2 { n, seed })
+            Ok(Command::Theorem2 { n, seed, json })
         }
         "bench" => {
             let mut args = BenchArgs::default();
@@ -301,13 +310,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 match lower.strip_prefix('e') {
                                     Some(digits) if digits.bytes().all(|b| b.is_ascii_digit()) => {
                                         match digits.parse::<u32>() {
-                                            Ok(n @ 1..=17) => Ok(format!("e{n}")),
+                                            Ok(n @ 1..=19) => Ok(format!("e{n}")),
                                             _ => Err(format!(
-                                                "unknown experiment id {id:?} (use e1..e17)"
+                                                "unknown experiment id {id:?} (use e1..e19)"
                                             )),
                                         }
                                     }
-                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e17)")),
+                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e19)")),
                                 }
                             })
                             .collect::<Result<_, _>>()?;
@@ -429,6 +438,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 };
                 match flag.as_str() {
                     "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+                    "--topics" => {
+                        args.topics = value("--topics")?
+                            .parse()
+                            .map_err(|e| format!("--topics: {e}"))?
+                    }
                     "--alg" => args.algorithm = parse_algorithm(&value("--alg")?)?,
                     "--loss" => {
                         args.loss = value("--loss")?
@@ -471,6 +485,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             if args.n == 0 {
                 return Err("--n must be positive".into());
+            }
+            if args.topics == 0 {
+                return Err("--topics must be positive".into());
             }
             if args.crashes >= args.n {
                 return Err("--crashes must leave at least one correct process (t <= n-1)".into());
@@ -518,13 +535,14 @@ mod tests {
     #[test]
     fn run_full_flags() {
         let cmd = parse(&argv(
-            "run --n 8 --alg majority --loss 0.35 --crashes 3 --msgs 4 --seed 99 \
+            "run --n 8 --topics 3 --alg majority --loss 0.35 --crashes 3 --msgs 4 --seed 99 \
              --horizon 5000 --fd none --trace /tmp/t.json --json --burst",
         ))
         .unwrap();
         match cmd {
             Command::Run(a) => {
                 assert_eq!(a.n, 8);
+                assert_eq!(a.topics, 3);
                 assert_eq!(a.algorithm, Algorithm::Majority);
                 assert_eq!(a.loss, 0.35);
                 assert_eq!(a.crashes, 3);
@@ -556,6 +574,7 @@ mod tests {
         assert!(parse(&argv("run --crashes 5 --n 5")).is_err(), "t <= n-1");
         assert!(parse(&argv("run --loss 1.5")).is_err());
         assert!(parse(&argv("run --n 0")).is_err());
+        assert!(parse(&argv("run --topics 0")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("run --alg")).is_err(), "missing value");
         assert!(parse(&argv("run --wat 3")).is_err());
@@ -563,10 +582,11 @@ mod tests {
 
     #[test]
     fn theorem2_flags() {
-        match parse(&argv("theorem2 --n 8 --seed 4")).unwrap() {
-            Command::Theorem2 { n, seed } => {
+        match parse(&argv("theorem2 --n 8 --seed 4 --json")).unwrap() {
+            Command::Theorem2 { n, seed, json } => {
                 assert_eq!(n, 8);
                 assert_eq!(seed, 4);
+                assert!(json);
             }
             _ => panic!(),
         }
@@ -669,6 +689,14 @@ mod tests {
             _ => panic!(),
         }
         assert!(parse(&argv("bench --experiments e99")).is_err());
+        match parse(&argv("bench --experiments e18,e19")).unwrap() {
+            Command::Bench(a) => assert_eq!(
+                a.experiments,
+                Some(vec!["e18".into(), "e19".into()]),
+                "topic-plane ids accepted"
+            ),
+            _ => panic!(),
+        }
         assert!(parse(&argv("bench --experiments e0")).is_err());
         assert!(parse(&argv("bench --experiments e+1")).is_err(), "no sign");
         match parse(&argv("bench --experiments e01")).unwrap() {

@@ -23,7 +23,8 @@ pub const CHECK_REPORT_KIND: &str = "check-report";
 pub fn build_config(args: &RunArgs) -> SimConfig {
     let mut cfg = SimConfig::new(args.n, args.algorithm)
         .seed(args.seed)
-        .workload(args.msgs, 100)
+        .topics(args.topics)
+        .workload_topics(args.msgs, 100)
         .max_time(args.horizon);
     cfg.loss = if args.loss <= 0.0 {
         LossModel::None
@@ -484,45 +485,86 @@ pub fn sweep_cmd(args: RunArgs) {
     }
 }
 
-/// `urb theorem2`: executes both horns of the impossibility proof.
-pub fn theorem2_cmd(n: usize, seed: u64) {
-    println!("Theorem 2 (impossibility of URB with t >= n/2), executable — n={n}\n");
+/// Envelope kind of `urb theorem2 --json` bodies.
+pub const THEOREM2_KIND: &str = "theorem2-report";
+
+/// The combined Theorem-2 verdict: arm 1 (weakened threshold) violated
+/// uniform agreement AND arm 2 (faithful majority) blocked. The single
+/// definition both the JSON body and the exit code gate on.
+pub fn theorem2_demonstrated(arm1: &urb_sim::RunOutcome, arm2: &urb_sim::RunOutcome) -> bool {
+    !arm1.report.agreement.ok() && arm2.metrics.deliveries.is_empty()
+}
+
+/// The JSON body of a theorem2 report (split out for tests): both horns'
+/// observations plus the combined `demonstrated` verdict the exit code
+/// gates on.
+pub fn theorem2_body(n: usize, arm1: &urb_sim::RunOutcome, arm2: &urb_sim::RunOutcome) -> String {
+    let demonstrated = theorem2_demonstrated(arm1, arm2);
+    format!(
+        "{{\n  \"n\": {n},\n  \"threshold\": {},\n  \"arm1_deliveries\": {},\n  \
+         \"arm1_agreement_ok\": {},\n  \"arm2_deliveries\": {},\n  \
+         \"arm2_blocked\": {},\n  \"demonstrated\": {demonstrated}\n}}",
+        n.div_ceil(2),
+        arm1.metrics.deliveries.len(),
+        arm1.report.agreement.ok(),
+        arm2.metrics.deliveries.len(),
+        arm2.metrics.deliveries.is_empty(),
+    )
+}
+
+/// `urb theorem2`: executes both horns of the impossibility proof. With
+/// `--json`, the observations wear the shared envelope
+/// (`schema_version`/`kind`/`seed`/`git_rev`/`data`) every other
+/// subcommand emits. Exit 1 when either horn fails to materialize (the
+/// adversary regressed).
+pub fn theorem2_cmd(n: usize, seed: u64, json: bool) {
     let s1 = n.div_ceil(2);
-    println!(
-        "adversary: S1 = processes 0..{s1} (deliver then crash, outbound links severed), \
-         S2 = the rest\n"
-    );
-
-    let out = urb_sim::run(scenario::theorem2_partition(n, seed));
-    println!("arm 1: delivery threshold ⌈n/2⌉ = {s1} (what any t ≥ n/2 algorithm needs)");
-    println!(
-        "  deliveries: {} (all inside S1), uniform agreement: {}",
-        out.metrics.deliveries.len(),
-        if out.report.agreement.ok() {
-            "holds"
-        } else {
-            "VIOLATED — S2 never delivers"
-        }
-    );
-
-    let out = urb_sim::run(scenario::theorem2_control(n, seed));
-    println!(
-        "\narm 2: faithful Algorithm 1 (strict majority = {})",
-        n / 2 + 1
-    );
-    println!(
-        "  deliveries: {} — {}",
-        out.metrics.deliveries.len(),
-        if out.metrics.deliveries.is_empty() {
-            "blocked forever (safe, but URB's liveness is lost)"
-        } else {
-            "unexpected delivery!"
-        }
-    );
-    println!(
-        "\nboth horns observed: deliver-and-violate or block — hence URB needs t < n/2 \
-         (or the AΘ/AP* detectors of Algorithm 2)."
-    );
+    let arm1 = urb_sim::run(scenario::theorem2_partition(n, seed));
+    let arm2 = urb_sim::run(scenario::theorem2_control(n, seed));
+    let demonstrated = theorem2_demonstrated(&arm1, &arm2);
+    if json {
+        println!(
+            "{}",
+            report::envelope(THEOREM2_KIND, seed, &theorem2_body(n, &arm1, &arm2))
+        );
+    } else {
+        println!("Theorem 2 (impossibility of URB with t >= n/2), executable — n={n}\n");
+        println!(
+            "adversary: S1 = processes 0..{s1} (deliver then crash, outbound links severed), \
+             S2 = the rest\n"
+        );
+        println!("arm 1: delivery threshold ⌈n/2⌉ = {s1} (what any t ≥ n/2 algorithm needs)");
+        println!(
+            "  deliveries: {} (all inside S1), uniform agreement: {}",
+            arm1.metrics.deliveries.len(),
+            if arm1.report.agreement.ok() {
+                "holds"
+            } else {
+                "VIOLATED — S2 never delivers"
+            }
+        );
+        println!(
+            "\narm 2: faithful Algorithm 1 (strict majority = {})",
+            n / 2 + 1
+        );
+        println!(
+            "  deliveries: {} — {}",
+            arm2.metrics.deliveries.len(),
+            if arm2.metrics.deliveries.is_empty() {
+                "blocked forever (safe, but URB's liveness is lost)"
+            } else {
+                "unexpected delivery!"
+            }
+        );
+        println!(
+            "\nboth horns observed: deliver-and-violate or block — hence URB needs t < n/2 \
+             (or the AΘ/AP* detectors of Algorithm 2)."
+        );
+    }
+    if !demonstrated {
+        eprintln!("theorem2: expected adversary behaviour not observed");
+        std::process::exit(1);
+    }
 }
 
 /// `urb run` used by tests: returns the summary instead of printing.
@@ -637,7 +679,7 @@ mod tests {
     #[test]
     fn bench_config_maps_flags() {
         let cfg = build_trajectory_config(&BenchArgs::default());
-        assert_eq!(cfg.ids.len(), 17, "all experiments by default");
+        assert_eq!(cfg.ids.len(), 19, "all experiments by default");
         assert_eq!(cfg.seeds_per_cell, 3);
         let cfg = build_trajectory_config(&BenchArgs {
             seed: 9,
@@ -665,6 +707,52 @@ mod tests {
         assert!(v["git_rev"].as_str().is_some());
         assert_eq!(v["data"]["n"], 3u64);
         assert_eq!(v["data"]["agreement_ok"], true);
+    }
+
+    #[test]
+    fn topics_flag_round_robins_workload_and_reports_per_topic_rows() {
+        let args = RunArgs {
+            n: 4,
+            topics: 2,
+            msgs: 4,
+            loss: 0.0,
+            ..RunArgs::default()
+        };
+        let cfg = build_config(&args);
+        assert_eq!(cfg.topics, 2);
+        let on_t1 = cfg
+            .broadcasts
+            .iter()
+            .filter(|b| b.topic == urb_types::TopicId(1))
+            .count();
+        assert_eq!(on_t1, 2, "4 msgs round-robin 2 topics");
+        let out = urb_sim::run(cfg);
+        let s = RunSummary::from_outcome(&out);
+        assert_eq!(s.per_topic.len(), 2);
+        assert!(s.per_topic.iter().all(|t| t.agreement_ok));
+        assert_eq!(s.per_topic[1].deliveries, 8, "2 msgs × 4 procs");
+        // The per-topic rows ride the shared envelope like everything else.
+        let json = report::envelope(RUN_SUMMARY_KIND, 1, &s.to_json());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["data"]["per_topic"].as_array().unwrap().len(), 2);
+        assert_eq!(v["data"]["per_topic"][1]["topic"], 1u64);
+        assert_eq!(v["data"]["per_topic"][1]["validity_ok"], true);
+        assert!(v["data"]["frames_sent"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn theorem2_body_wears_the_envelope() {
+        let arm1 = urb_sim::run(scenario::theorem2_partition(6, 42));
+        let arm2 = urb_sim::run(scenario::theorem2_control(6, 42));
+        let json = report::envelope(THEOREM2_KIND, 42, &theorem2_body(6, &arm1, &arm2));
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["kind"], THEOREM2_KIND);
+        assert_eq!(v["seed"], 42u64);
+        assert_eq!(v["data"]["n"], 6u64);
+        assert_eq!(v["data"]["threshold"], 3u64);
+        assert_eq!(v["data"]["arm1_agreement_ok"], false);
+        assert_eq!(v["data"]["arm2_blocked"], true);
+        assert_eq!(v["data"]["demonstrated"], true);
     }
 
     #[test]

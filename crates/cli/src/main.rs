@@ -27,7 +27,7 @@ fn main() {
         Ok(Command::Scenario(args)) => commands::scenario_cmd(args),
         Ok(Command::Check(args)) => commands::check_cmd(args),
         Ok(Command::Bench(args)) => commands::bench_cmd(args),
-        Ok(Command::Theorem2 { n, seed }) => commands::theorem2_cmd(n, seed),
+        Ok(Command::Theorem2 { n, seed, json }) => commands::theorem2_cmd(n, seed, json),
         Ok(Command::Sweep(cfg)) => commands::sweep_cmd(cfg),
         Ok(Command::Help) => {
             print!("{}", urb_cli::args::USAGE);

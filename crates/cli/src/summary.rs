@@ -3,6 +3,23 @@
 use serde::Serialize;
 use urb_sim::RunOutcome;
 
+/// One topic's verdict row inside a [`RunSummary`] (DESIGN.md §12).
+#[derive(Debug, Clone, Serialize)]
+pub struct TopicSummary {
+    /// Topic id.
+    pub topic: u32,
+    /// Broadcasts issued on this topic.
+    pub broadcasts: usize,
+    /// Deliveries produced on this topic.
+    pub deliveries: usize,
+    /// Validity verdict for this topic's instance.
+    pub validity_ok: bool,
+    /// Uniform-agreement verdict.
+    pub agreement_ok: bool,
+    /// Uniform-integrity verdict.
+    pub integrity_ok: bool,
+}
+
 /// Everything a script needs from one run, JSON-serializable.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunSummary {
@@ -44,6 +61,11 @@ pub struct RunSummary {
     pub ended_at: u64,
     /// Determinism hash of the full event sequence.
     pub trace_hash: u64,
+    /// Frames offered to channels (the mux plane's routing unit).
+    pub frames_sent: u64,
+    /// Per-topic verdict rows, ascending by topic (exactly one row on
+    /// single-topic runs).
+    pub per_topic: Vec<TopicSummary>,
 }
 
 impl RunSummary {
@@ -74,6 +96,19 @@ impl RunSummary {
             last_protocol_send: out.last_protocol_send,
             ended_at: out.metrics.ended_at,
             trace_hash: out.metrics.trace_hash,
+            frames_sent: out.metrics.frames_sent,
+            per_topic: out
+                .per_topic
+                .iter()
+                .map(|t| TopicSummary {
+                    topic: t.topic.0,
+                    broadcasts: t.broadcasts,
+                    deliveries: t.deliveries,
+                    validity_ok: t.report.validity.ok(),
+                    agreement_ok: t.report.agreement.ok(),
+                    integrity_ok: t.report.integrity.ok(),
+                })
+                .collect(),
         }
     }
 
@@ -137,7 +172,29 @@ impl RunSummary {
             self.last_protocol_send
         );
         let _ = writeln!(out, "  \"ended_at\": {},", self.ended_at);
-        let _ = writeln!(out, "  \"trace_hash\": {}", self.trace_hash);
+        let _ = writeln!(out, "  \"trace_hash\": {},", self.trace_hash);
+        let _ = writeln!(out, "  \"frames_sent\": {},", self.frames_sent);
+        let rows: Vec<String> = self
+            .per_topic
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"topic\": {}, \"broadcasts\": {}, \"deliveries\": {}, \
+                     \"validity_ok\": {}, \"agreement_ok\": {}, \"integrity_ok\": {}}}",
+                    t.topic,
+                    t.broadcasts,
+                    t.deliveries,
+                    t.validity_ok,
+                    t.agreement_ok,
+                    t.integrity_ok
+                )
+            })
+            .collect();
+        if rows.is_empty() {
+            out.push_str("  \"per_topic\": []\n");
+        } else {
+            let _ = writeln!(out, "  \"per_topic\": [\n{}\n  ]", rows.join(",\n"));
+        }
         out.push('}');
         out
     }
@@ -185,6 +242,20 @@ impl RunSummary {
             "quiescent: {} (last protocol send t={}, run ended t={})",
             self.quiescent, self.last_protocol_send, self.ended_at
         );
+        if self.per_topic.len() > 1 {
+            for t in &self.per_topic {
+                let _ = writeln!(
+                    s,
+                    "topic {}: {} broadcasts → {} deliveries, validity={} agreement={} integrity={}",
+                    t.topic,
+                    t.broadcasts,
+                    t.deliveries,
+                    t.validity_ok,
+                    t.agreement_ok,
+                    t.integrity_ok
+                );
+            }
+        }
         let _ = writeln!(s, "trace hash: {:#018x}", self.trace_hash);
         s
     }

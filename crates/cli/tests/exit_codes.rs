@@ -151,6 +151,52 @@ fn check_unusable_input_is_exit_two() {
 }
 
 // ------------------------------------------------------------------
+// `urb theorem2` — the impossibility demo wears the shared envelope.
+
+#[test]
+fn theorem2_emits_the_shared_json_envelope_and_exit_zero() {
+    let out = run(&["theorem2", "--n", "6", "--seed", "42", "--json"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(v["kind"], "theorem2-report");
+    assert_eq!(v["seed"], 42u64);
+    assert!(v["git_rev"].as_str().is_some());
+    assert_eq!(v["data"]["n"], 6u64);
+    assert_eq!(v["data"]["demonstrated"], true);
+    assert_eq!(v["data"]["arm1_agreement_ok"], false);
+    assert_eq!(v["data"]["arm2_blocked"], true);
+}
+
+#[test]
+fn theorem2_text_mode_still_works() {
+    let out = run(&["theorem2", "--n", "6"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("both horns observed"), "{stdout}");
+}
+
+// ------------------------------------------------------------------
+// `urb run --topics` — per-topic verdicts in the envelope.
+
+#[test]
+fn run_topics_flag_reports_per_topic_verdict_rows() {
+    let out = run(&[
+        "run", "--n", "3", "--topics", "2", "--msgs", "2", "--loss", "0", "--json",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["kind"], "run-summary");
+    let rows = v["data"]["per_topic"].as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row["topic"], i as u64);
+        assert_eq!(row["agreement_ok"], true);
+        assert_eq!(row["deliveries"], 3u64, "1 msg × 3 procs per topic");
+    }
+}
+
+// ------------------------------------------------------------------
 // `urb bench --diff` — the perf-regression gate.
 
 /// A minimal schema-valid trajectory file.
@@ -195,13 +241,30 @@ fn usage_errors_are_exit_two() {
 }
 
 #[test]
-fn committed_baseline_diffs_cleanly_against_itself() {
-    // The exact invocation the CI gate runs, self-applied: the committed
-    // BENCH_PR3.json must be schema-valid and self-identical.
-    let baseline = repo_root().join("BENCH_PR3.json");
-    let b = baseline.to_str().unwrap();
-    let out = run(&["bench", "--validate", b]);
-    assert_eq!(code(&out), 0, "{out:?}");
-    let out = run(&["bench", "--diff", b, b]);
-    assert_eq!(code(&out), 0, "{out:?}");
+fn committed_baselines_diff_cleanly() {
+    // The exact invocations the CI gate runs: both committed baselines
+    // must be schema-valid, self-identical, and — crucially — agree with
+    // each other on every overlapping grid point (the topic plane must
+    // not have disturbed a single pre-topic number).
+    let pr3 = repo_root().join("BENCH_PR3.json");
+    let pr5 = repo_root().join("BENCH_PR5.json");
+    let (p3, p5) = (pr3.to_str().unwrap(), pr5.to_str().unwrap());
+    for b in [p3, p5] {
+        let out = run(&["bench", "--validate", b]);
+        assert_eq!(code(&out), 0, "{out:?}");
+        let out = run(&["bench", "--diff", b, b]);
+        assert_eq!(code(&out), 0, "{out:?}");
+    }
+    let out = run(&["bench", "--diff", p3, p5]);
+    assert_eq!(
+        code(&out),
+        0,
+        "PR3 ↔ PR5 overlap must be identical: {out:?}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("17 overlapping points identical"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("e18: only in new file"), "{stdout}");
 }

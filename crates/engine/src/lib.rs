@@ -42,8 +42,9 @@
 
 use bytes::Bytes;
 use urb_types::{
-    encode_frame_into, AnonProcess, Batch, BufPool, CodecError, Context, Delivery, FdSnapshot,
-    Payload, PooledBuf, ProcessStats, RandomSource, SplitMix64, Tag, WireMessage,
+    encode_frame_into, encode_mux_frame_into, AnonProcess, Batch, BufPool, CodecError, Context,
+    Delivery, FdSnapshot, MuxBatch, Payload, PooledBuf, ProcessStats, RandomSource, SplitMix64,
+    Tag, TopicId, WireMessage,
 };
 
 /// One input to a protocol step — the three entry points of the paper's
@@ -210,36 +211,114 @@ pub struct EngineCounters {
     pub deliveries: u64,
 }
 
-/// The owning per-node engine used by the simulator and the runtime: one
-/// protocol instance, its deterministic RNG stream, and counters.
-pub struct NodeEngine {
-    proc: Box<dyn AnonProcess + Send>,
-    rng: SplitMix64,
-    counters: EngineCounters,
-    /// Persistent per-message scratch for [`NodeEngine::receive_batch`],
-    /// so batch processing allocates nothing in steady state.
-    batch_scratch: StepBuffers,
-    /// Persistent decoded-message scratch for
-    /// [`NodeEngine::receive_frame`] (same steady-state-zero-allocation
-    /// goal, for the wire-frame ingress path).
-    frame_scratch: Vec<WireMessage>,
+/// Reusable buffers for the **multiplexed topic plane** (DESIGN.md §12):
+/// what [`StepBuffers`] is to one protocol instance, `MuxBuffers` is to a
+/// whole [`TopicEngine`] — every emission and delivery carries the
+/// [`TopicId`] of the instance that produced it, and the outbox drains as
+/// one multiplexed frame regardless of how many topics contributed.
+#[derive(Debug, Default)]
+pub struct MuxBuffers {
+    /// Topic-tagged emissions, grouped in ascending topic order.
+    pub outbox: Vec<(TopicId, WireMessage)>,
+    /// Topic-tagged URB-deliveries, in production order.
+    pub deliveries: Vec<(TopicId, Delivery)>,
 }
 
-impl NodeEngine {
-    /// Wraps a protocol instance with its own seeded RNG stream.
-    pub fn new(proc: Box<dyn AnonProcess + Send>, rng: SplitMix64) -> Self {
-        NodeEngine {
-            proc,
+impl MuxBuffers {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        MuxBuffers::default()
+    }
+
+    /// Clears both buffers (capacity retained).
+    pub fn clear(&mut self) {
+        self.outbox.clear();
+        self.deliveries.clear();
+    }
+
+    /// True when nothing was emitted and nothing delivered.
+    pub fn is_silent(&self) -> bool {
+        self.outbox.is_empty() && self.deliveries.is_empty()
+    }
+
+    /// Encodes and drains the outbox as one **multiplexed wire frame**
+    /// through the zero-copy codec: acquires a recycled buffer from
+    /// `pool`, writes the topic-keyed sub-batches with no per-message
+    /// allocation ([`urb_types::encode_mux_frame_into`]) and clears the
+    /// outbox in place. Returns `None` when nothing was emitted. The
+    /// topic-plane twin of [`StepBuffers::take_wire_frame`]: however many
+    /// topics a node stepped, one frame leaves.
+    pub fn take_mux_frame(&mut self, pool: &BufPool) -> Option<PooledBuf> {
+        if self.outbox.is_empty() {
+            return None;
+        }
+        let mut frame = pool.acquire();
+        encode_mux_frame_into(&self.outbox, &mut frame);
+        self.outbox.clear();
+        Some(frame)
+    }
+}
+
+/// The owning per-node engine of the **topic plane**: one protocol
+/// instance per [`TopicId`], all sharing a single deterministic RNG
+/// stream and one failure-detector view, plus cumulative counters.
+///
+/// The paper's protocols are per-instance state machines; a node serving
+/// many topics runs one instance each and multiplexes their traffic over
+/// the shared links (DESIGN.md §12). `TopicEngine` owns that map. With
+/// exactly one topic it is bit-for-bit the old single-instance engine —
+/// same RNG consumption, same counters — which is what keeps every
+/// single-topic artifact byte-identical ([`NodeEngine`] is now a thin
+/// wrapper over a one-topic `TopicEngine`).
+pub struct TopicEngine {
+    /// Protocol instances, indexed by dense topic id (`topics[t]` serves
+    /// `TopicId(t as u32)`).
+    topics: Vec<Box<dyn AnonProcess + Send>>,
+    rng: SplitMix64,
+    counters: EngineCounters,
+    /// Persistent per-message scratch for the batch/frame ingress paths,
+    /// so receive loops allocate nothing in steady state.
+    batch_scratch: StepBuffers,
+    /// Persistent decoded-message scratch for [`NodeEngine::receive_frame`].
+    frame_scratch: Vec<WireMessage>,
+    /// Persistent decoded-entry scratch for
+    /// [`TopicEngine::receive_mux_frame`].
+    mux_scratch: Vec<(TopicId, WireMessage)>,
+}
+
+impl TopicEngine {
+    /// Builds an engine over `instances` (index = topic id), sharing one
+    /// RNG stream across every instance — the per-node randomness budget
+    /// does not grow with topic count, and a one-topic engine consumes
+    /// the stream exactly like the pre-topic [`NodeEngine`].
+    pub fn new(instances: Vec<Box<dyn AnonProcess + Send>>, rng: SplitMix64) -> Self {
+        assert!(!instances.is_empty(), "an engine needs at least one topic");
+        TopicEngine {
+            topics: instances,
             rng,
             counters: EngineCounters::default(),
             batch_scratch: StepBuffers::new(),
             frame_scratch: Vec::new(),
+            mux_scratch: Vec::new(),
         }
     }
 
-    /// Runs one step (see [`drive_step`]) and updates the counters.
+    /// Single-topic convenience constructor.
+    pub fn single(proc: Box<dyn AnonProcess + Send>, rng: SplitMix64) -> Self {
+        TopicEngine::new(vec![proc], rng)
+    }
+
+    /// Number of topic instances this engine serves.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Runs one step of `topic`'s instance (see [`drive_step`]) and
+    /// updates the counters. Panics when `topic` is out of range — topic
+    /// ids are dense configuration, not untrusted input.
     pub fn step(
         &mut self,
+        topic: TopicId,
         input: StepInput,
         fd: &FdSnapshot,
         buf: &mut StepBuffers,
@@ -250,10 +329,242 @@ impl NodeEngine {
             StepInput::Receive(_) => self.counters.receives += 1,
             StepInput::Broadcast(_) => self.counters.broadcasts += 1,
         }
-        let tag = drive_step(self.proc.as_mut(), input, fd, &mut self.rng, buf);
+        let proc = self.topics[topic.0 as usize].as_mut();
+        let tag = drive_step(proc, input, fd, &mut self.rng, buf);
         self.counters.messages_out += buf.outbox.len() as u64;
         self.counters.deliveries += buf.deliveries.len() as u64;
         tag
+    }
+
+    /// [`TopicEngine::step`] through the choice-point hooks of
+    /// [`drive_step_observed`]: counters update exactly as for `step`,
+    /// and every emission/delivery of the step is surfaced to `obs`.
+    pub fn step_observed(
+        &mut self,
+        topic: TopicId,
+        input: StepInput,
+        fd: &FdSnapshot,
+        buf: &mut StepBuffers,
+        obs: &mut dyn StepObserver,
+    ) -> Option<Tag> {
+        let tag = self.step(topic, input, fd, buf);
+        surface_effects(buf, obs);
+        tag
+    }
+
+    /// Steps `topic` and appends its tagged effects to `mux` (which is
+    /// *not* cleared — successive topic steps accumulate into one
+    /// multiplexed outbox, drained by [`MuxBuffers::take_mux_frame`]).
+    pub fn step_mux(
+        &mut self,
+        topic: TopicId,
+        input: StepInput,
+        fd: &FdSnapshot,
+        mux: &mut MuxBuffers,
+    ) -> Option<Tag> {
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        let tag = self.step(topic, input, fd, &mut scratch);
+        mux.outbox
+            .extend(scratch.outbox.drain(..).map(|m| (topic, m)));
+        mux.deliveries
+            .extend(scratch.deliveries.drain(..).map(|d| (topic, d)));
+        self.batch_scratch = scratch;
+        tag
+    }
+
+    /// One Task-1 sweep of **every** topic instance, ascending by topic,
+    /// all effects accumulated into `mux` (cleared first). This is "one
+    /// node tick" on the topic plane: however many instances swept, the
+    /// caller drains exactly one multiplexed frame.
+    pub fn tick_all(&mut self, fd: &FdSnapshot, mux: &mut MuxBuffers) {
+        mux.clear();
+        for t in 0..self.topics.len() {
+            self.step_mux(TopicId(t as u32), StepInput::Tick, fd, mux);
+        }
+    }
+
+    /// Feeds every entry of a received **multiplexed frame** through the
+    /// matching topic instance: decodes with shared payloads into a
+    /// persistent scratch (zero copies, zero steady-state allocation),
+    /// then steps per message. `before_each` runs before each step and
+    /// supplies the failure-detector snapshot it must observe. Effects
+    /// accumulate into `mux` (cleared first). An entry addressed to a
+    /// topic this engine does not serve is a routing bug, reported as
+    /// [`MuxIngressError::UnknownTopic`] before any message is stepped.
+    pub fn receive_mux_frame(
+        &mut self,
+        frame: &Bytes,
+        mux: &mut MuxBuffers,
+        mut before_each: impl FnMut(TopicId, &WireMessage) -> FdSnapshot,
+    ) -> Result<(), MuxIngressError> {
+        let mut entries = std::mem::take(&mut self.mux_scratch);
+        if let Err(e) = MuxBatch::decode_shared_into(frame, &mut entries) {
+            self.mux_scratch = entries;
+            return Err(MuxIngressError::Codec(e));
+        }
+        if let Some(&(topic, _)) = entries
+            .iter()
+            .find(|(t, _)| (t.0 as usize) >= self.topics.len())
+        {
+            self.mux_scratch = entries;
+            return Err(MuxIngressError::UnknownTopic(topic));
+        }
+        mux.clear();
+        for (topic, msg) in entries.drain(..) {
+            let fd = before_each(topic, &msg);
+            self.step_mux(topic, StepInput::Receive(msg), &fd, mux);
+        }
+        self.mux_scratch = entries;
+        Ok(())
+    }
+
+    /// True when **every** topic instance is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.topics.iter().all(|p| p.is_quiescent())
+    }
+
+    /// One topic's quiescence predicate.
+    pub fn topic_is_quiescent(&self, topic: TopicId) -> bool {
+        self.topics[topic.0 as usize].is_quiescent()
+    }
+
+    /// Aggregate state-size snapshot: the field-wise sum over every topic
+    /// instance (single topic: exactly that instance's stats).
+    pub fn stats(&self) -> ProcessStats {
+        let mut total = ProcessStats::default();
+        for p in &self.topics {
+            let s = p.stats();
+            total.msg_set += s.msg_set;
+            total.my_acks += s.my_acks;
+            total.all_ack_entries += s.all_ack_entries;
+            total.delivered += s.delivered;
+            total.label_counters += s.label_counters;
+        }
+        total
+    }
+
+    /// One topic instance's state-size snapshot.
+    pub fn stats_for(&self, topic: TopicId) -> ProcessStats {
+        self.topics[topic.0 as usize].stats()
+    }
+
+    /// The wrapped protocol's short name (all topics run the same
+    /// algorithm; topic 0 is representative).
+    pub fn algorithm_name(&self) -> &'static str {
+        self.topics[0].algorithm_name()
+    }
+
+    /// Cumulative activity counters, aggregated across topics.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Direct access to one topic's protocol instance (diagnostics only;
+    /// stepping must go through [`TopicEngine::step`]).
+    pub fn protocol(&self, topic: TopicId) -> &dyn AnonProcess {
+        self.topics[topic.0 as usize].as_ref()
+    }
+
+    /// A deterministic digest of this engine's *semantic* state across
+    /// every topic instance: per-topic [`ProcessStats`], quiescence and
+    /// the algorithm name — deliberately **not** the history counters, so
+    /// two engines that converged to the same protocol state through
+    /// different schedules digest equally. The exploration plane folds
+    /// these per-node digests (plus its own pending-message and crash-set
+    /// hashes) into the state hash it prunes on (DESIGN.md §11). The
+    /// digest is approximate: distinct internal states with equal sizes
+    /// can collide, which makes pruning coarser but never suppresses a
+    /// violation checked before pruning.
+    pub fn fingerprint(&self) -> u64 {
+        fn fold(h: &mut u64, word: u64) {
+            for b in word.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.algorithm_name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for (t, p) in self.topics.iter().enumerate() {
+            let s = p.stats();
+            fold(&mut h, t as u64);
+            for field in [
+                s.msg_set,
+                s.my_acks,
+                s.all_ack_entries,
+                s.delivered,
+                s.label_counters,
+            ] {
+                fold(&mut h, field as u64);
+            }
+            fold(&mut h, u64::from(p.is_quiescent()));
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for TopicEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopicEngine")
+            .field("algorithm", &self.algorithm_name())
+            .field("topics", &self.topics.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+/// Errors of the multiplexed ingress path
+/// ([`TopicEngine::receive_mux_frame`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxIngressError {
+    /// The frame bytes were malformed.
+    Codec(CodecError),
+    /// The frame addressed a topic this engine does not serve (a routing
+    /// bug — lanes are supposed to shard by topic).
+    UnknownTopic(TopicId),
+}
+
+impl std::fmt::Display for MuxIngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxIngressError::Codec(e) => write!(f, "mux frame codec error: {e}"),
+            MuxIngressError::UnknownTopic(t) => write!(f, "mux frame for unserved topic {t}"),
+        }
+    }
+}
+
+impl std::error::Error for MuxIngressError {}
+
+/// The owning per-node engine used by single-instance drivers: one
+/// protocol instance, its deterministic RNG stream, and counters.
+///
+/// Since the topic plane (DESIGN.md §12) this is a thin wrapper over a
+/// one-topic [`TopicEngine`] — there is exactly one stepping
+/// implementation — kept because most call sites (the test harness, the
+/// exploration plane's single-topic scenarios, the A/B codec harness)
+/// genuinely drive one instance and should not spell `TopicId::ZERO`.
+pub struct NodeEngine {
+    inner: TopicEngine,
+}
+
+impl NodeEngine {
+    /// Wraps a protocol instance with its own seeded RNG stream.
+    pub fn new(proc: Box<dyn AnonProcess + Send>, rng: SplitMix64) -> Self {
+        NodeEngine {
+            inner: TopicEngine::single(proc, rng),
+        }
+    }
+
+    /// Runs one step (see [`drive_step`]) and updates the counters.
+    pub fn step(
+        &mut self,
+        input: StepInput,
+        fd: &FdSnapshot,
+        buf: &mut StepBuffers,
+    ) -> Option<Tag> {
+        self.inner.step(TopicId::ZERO, input, fd, buf)
     }
 
     /// [`NodeEngine::step`] through the choice-point hooks of
@@ -266,45 +577,13 @@ impl NodeEngine {
         buf: &mut StepBuffers,
         obs: &mut dyn StepObserver,
     ) -> Option<Tag> {
-        let tag = self.step(input, fd, buf);
-        surface_effects(buf, obs);
-        tag
+        self.inner.step_observed(TopicId::ZERO, input, fd, buf, obs)
     }
 
-    /// A deterministic digest of this engine's *semantic* state: the
-    /// protocol's state-size snapshot ([`ProcessStats`]), its quiescence
-    /// predicate and the algorithm name — deliberately **not** the
-    /// history counters, so two engines that converged to the same
-    /// protocol state through different schedules digest equally. The
-    /// exploration plane folds these per-node digests (plus its own
-    /// pending-message and crash-set hashes) into the state hash it
-    /// prunes on (DESIGN.md §11). The digest is approximate: distinct
-    /// internal states with equal sizes can collide, which makes pruning
-    /// coarser but never suppresses a violation checked before pruning.
+    /// A deterministic digest of this engine's *semantic* state (see
+    /// [`TopicEngine::fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
-        fn fold(h: &mut u64, word: u64) {
-            for b in word.to_le_bytes() {
-                *h ^= b as u64;
-                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
-        let s = self.proc.stats();
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in self.proc.algorithm_name().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        for field in [
-            s.msg_set,
-            s.my_acks,
-            s.all_ack_entries,
-            s.delivered,
-            s.label_counters,
-        ] {
-            fold(&mut h, field as u64);
-        }
-        fold(&mut h, u64::from(self.proc.is_quiescent()));
-        h
+        self.inner.fingerprint()
     }
 
     /// Feeds every message of a received batch through the engine,
@@ -322,14 +601,14 @@ impl NodeEngine {
         buf.deliveries.clear();
         // Reuse the engine-owned scratch (moved out for the loop so `step`
         // can borrow `self` mutably, moved back after — capacity is kept).
-        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        let mut scratch = std::mem::take(&mut self.inner.batch_scratch);
         for msg in batch {
             let fd = before_each(&msg);
             self.step(StepInput::Receive(msg), &fd, &mut scratch);
             buf.outbox.append(&mut scratch.outbox);
             buf.deliveries.append(&mut scratch.deliveries);
         }
-        self.batch_scratch = scratch;
+        self.inner.batch_scratch = scratch;
     }
 
     /// Feeds every message of a received **wire frame** through the
@@ -350,57 +629,57 @@ impl NodeEngine {
         buf: &mut StepBuffers,
         mut before_each: impl FnMut(&WireMessage) -> FdSnapshot,
     ) -> Result<(), CodecError> {
-        let mut msgs = std::mem::take(&mut self.frame_scratch);
+        let mut msgs = std::mem::take(&mut self.inner.frame_scratch);
         if let Err(e) = Batch::decode_shared_into(frame, &mut msgs) {
-            self.frame_scratch = msgs;
+            self.inner.frame_scratch = msgs;
             return Err(e);
         }
         buf.outbox.clear();
         buf.deliveries.clear();
-        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        let mut scratch = std::mem::take(&mut self.inner.batch_scratch);
         for msg in msgs.drain(..) {
             let fd = before_each(&msg);
             self.step(StepInput::Receive(msg), &fd, &mut scratch);
             buf.outbox.append(&mut scratch.outbox);
             buf.deliveries.append(&mut scratch.deliveries);
         }
-        self.batch_scratch = scratch;
-        self.frame_scratch = msgs;
+        self.inner.batch_scratch = scratch;
+        self.inner.frame_scratch = msgs;
         Ok(())
     }
 
     /// The wrapped protocol's quiescence predicate.
     pub fn is_quiescent(&self) -> bool {
-        self.proc.is_quiescent()
+        self.inner.is_quiescent()
     }
 
     /// The wrapped protocol's state-size snapshot (experiment E9).
     pub fn stats(&self) -> ProcessStats {
-        self.proc.stats()
+        self.inner.stats()
     }
 
     /// The wrapped protocol's short name.
     pub fn algorithm_name(&self) -> &'static str {
-        self.proc.algorithm_name()
+        self.inner.algorithm_name()
     }
 
     /// Cumulative activity counters.
     pub fn counters(&self) -> EngineCounters {
-        self.counters
+        self.inner.counters()
     }
 
     /// Direct access to the protocol instance (diagnostics only; stepping
     /// must go through [`NodeEngine::step`]).
     pub fn protocol(&self) -> &dyn AnonProcess {
-        self.proc.as_ref()
+        self.inner.protocol(TopicId::ZERO)
     }
 }
 
 impl std::fmt::Debug for NodeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeEngine")
-            .field("algorithm", &self.proc.algorithm_name())
-            .field("counters", &self.counters)
+            .field("algorithm", &self.inner.algorithm_name())
+            .field("counters", &self.inner.counters)
             .finish()
     }
 }
@@ -692,6 +971,179 @@ mod tests {
         b.step(StepInput::Tick, &fd, &mut buf);
         assert_eq!(b.fingerprint(), before);
         assert_ne!(b.counters().steps, 0);
+    }
+
+    fn topic_engine(topics: usize, seed: u64) -> TopicEngine {
+        TopicEngine::new(
+            (0..topics)
+                .map(|_| {
+                    Box::new(Scripted {
+                        pending: Vec::new(),
+                    }) as Box<dyn AnonProcess + Send>
+                })
+                .collect(),
+            SplitMix64::new(seed),
+        )
+    }
+
+    #[test]
+    fn one_topic_engine_is_bit_identical_to_node_engine() {
+        // The byte-compatibility cornerstone: a single-topic TopicEngine
+        // consumes the RNG stream exactly like the wrapped NodeEngine.
+        let fd = FdSnapshot::none();
+        let mut node = engine();
+        let mut topic = topic_engine(1, 7);
+        let mut a = StepBuffers::new();
+        let mut b = StepBuffers::new();
+        for round in 0..4u32 {
+            let payload = Payload::from(format!("m{round}").as_str());
+            let ta = node.step(StepInput::Broadcast(payload.clone()), &fd, &mut a);
+            let tb = topic.step(TopicId::ZERO, StepInput::Broadcast(payload), &fd, &mut b);
+            assert_eq!(ta, tb, "round {round}");
+            assert_eq!(a.outbox, b.outbox);
+            node.step(StepInput::Tick, &fd, &mut a);
+            topic.step(TopicId::ZERO, StepInput::Tick, &fd, &mut b);
+            assert_eq!(a.outbox, b.outbox);
+        }
+        assert_eq!(node.counters(), topic.counters());
+        assert_eq!(node.fingerprint(), topic.fingerprint());
+    }
+
+    #[test]
+    fn topic_instances_are_isolated_but_share_the_rng() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(3, 9);
+        let mut mux = MuxBuffers::new();
+        let t1 = e
+            .step_mux(
+                TopicId(1),
+                StepInput::Broadcast(Payload::from("one")),
+                &fd,
+                &mut mux,
+            )
+            .expect("tag");
+        let t2 = e
+            .step_mux(
+                TopicId(2),
+                StepInput::Broadcast(Payload::from("two")),
+                &fd,
+                &mut mux,
+            )
+            .expect("tag");
+        assert_ne!(t1, t2, "shared stream, distinct draws");
+        assert_eq!(mux.outbox.len(), 2);
+        assert_eq!(mux.outbox[0].0, TopicId(1));
+        assert_eq!(mux.outbox[1].0, TopicId(2));
+        // Topic 0 never broadcast: it stays quiescent while 1 and 2 hold
+        // pending messages.
+        assert!(e.topic_is_quiescent(TopicId(0)));
+        assert!(!e.topic_is_quiescent(TopicId(1)));
+        assert!(!e.is_quiescent());
+        assert_eq!(e.stats().msg_set, 2, "aggregate across topics");
+        assert_eq!(e.stats_for(TopicId(1)).msg_set, 1);
+    }
+
+    #[test]
+    fn tick_all_sweeps_every_topic_into_one_frame() {
+        let fd = FdSnapshot::none();
+        let pool = BufPool::new(2);
+        let mut e = topic_engine(2, 11);
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("a")),
+            &fd,
+            &mut mux,
+        );
+        e.step_mux(
+            TopicId(1),
+            StepInput::Broadcast(Payload::from("b")),
+            &fd,
+            &mut mux,
+        );
+        mux.clear();
+        e.tick_all(&fd, &mut mux);
+        assert_eq!(mux.outbox.len(), 2, "each topic re-broadcasts one MSG");
+        let frame = mux.take_mux_frame(&pool).expect("emissions present");
+        let decoded = MuxBatch::decode_shared(&Bytes::copy_from_slice(&frame)).unwrap();
+        assert_eq!(decoded.topic_count(), 2);
+        assert!(mux.outbox.is_empty(), "frame drained the outbox");
+        assert!(mux.take_mux_frame(&pool).is_none());
+    }
+
+    #[test]
+    fn mux_frame_round_trip_delivers_to_matching_topics() {
+        let fd = FdSnapshot::none();
+        let pool = BufPool::new(2);
+        let mut sender = topic_engine(2, 5);
+        let mut receiver = topic_engine(2, 6);
+        let mut mux = MuxBuffers::new();
+        sender.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("t0")),
+            &fd,
+            &mut mux,
+        );
+        sender.step_mux(
+            TopicId(1),
+            StepInput::Broadcast(Payload::from("t1")),
+            &fd,
+            &mut mux,
+        );
+        let frame = mux.take_mux_frame(&pool).unwrap();
+        let bytes = Bytes::copy_from_slice(&frame);
+        drop(frame);
+        let mut observed = Vec::new();
+        let mut rx_mux = MuxBuffers::new();
+        receiver
+            .receive_mux_frame(&bytes, &mut rx_mux, |topic, msg| {
+                observed.push((topic, msg.kind()));
+                FdSnapshot::none()
+            })
+            .expect("well-formed frame");
+        assert_eq!(
+            observed,
+            vec![(TopicId(0), WireKind::Msg), (TopicId(1), WireKind::Msg)]
+        );
+        // The scripted protocol delivers + ACKs per received MSG, per topic.
+        assert_eq!(rx_mux.deliveries.len(), 2);
+        assert_eq!(rx_mux.deliveries[0].0, TopicId(0));
+        assert_eq!(rx_mux.deliveries[1].0, TopicId(1));
+        assert!(rx_mux.outbox.iter().all(|(_, m)| m.kind() == WireKind::Ack));
+    }
+
+    #[test]
+    fn mux_ingress_rejects_garbage_and_unknown_topics() {
+        let mut e = topic_engine(1, 3);
+        let mut mux = MuxBuffers::new();
+        let garbage = Bytes::copy_from_slice(&[0x42, 0, 1]);
+        assert!(matches!(
+            e.receive_mux_frame(&garbage, &mut mux, |_, _| FdSnapshot::none()),
+            Err(MuxIngressError::Codec(_))
+        ));
+        // A frame for topic 7 cannot land on a 1-topic engine.
+        let foreign = MuxBatch::from_entries(&[(
+            TopicId(7),
+            WireMessage::Msg {
+                tag: Tag(1),
+                payload: Payload::from("x"),
+            },
+        )]);
+        let err = e
+            .receive_mux_frame(&foreign.encode(), &mut mux, |_, _| FdSnapshot::none())
+            .unwrap_err();
+        assert_eq!(err, MuxIngressError::UnknownTopic(TopicId(7)));
+        // The engine stays usable.
+        let ok = MuxBatch::from_entries(&[(
+            TopicId::ZERO,
+            WireMessage::Msg {
+                tag: Tag(2),
+                payload: Payload::from("y"),
+            },
+        )]);
+        e.receive_mux_frame(&ok.encode(), &mut mux, |_, _| FdSnapshot::none())
+            .unwrap();
+        assert_eq!(mux.deliveries.len(), 1);
     }
 
     #[test]

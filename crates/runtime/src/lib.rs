@@ -1,12 +1,17 @@
 //! # `urb-runtime`
 //!
 //! A real concurrent deployment of the paper's protocols: one OS thread per
-//! anonymous process, an in-process router that implements the lossy
-//! broadcast medium over the batched message plane, explicit crash
-//! injection, and a registry-backed failure detector. Every protocol step
-//! runs through the shared `urb-engine` layer — the *same* code path the
-//! discrete-event simulator executes — so the runtime deploys byte-for-byte
-//! the state machines the simulator proves things about.
+//! anonymous process, an in-process router — sharded into one or more
+//! **lanes** with topics distributed `topic % lanes` (DESIGN.md §12) —
+//! that implements the lossy broadcast medium over the multiplexed
+//! message plane, explicit crash injection, and a registry-backed failure
+//! detector. Every protocol step runs through the shared `urb-engine`
+//! layer — the *same* code path the discrete-event simulator executes —
+//! so the runtime deploys byte-for-byte the state machines the simulator
+//! proves things about. Each node runs one protocol instance per topic
+//! ([`urb_engine::TopicEngine`]); deliveries carry their
+//! [`urb_types::TopicId`] and can be consumed per topic via
+//! [`UrbCluster::subscribe`].
 //!
 //! Where the simulator provides *provable* runs (deterministic, checked),
 //! the runtime provides *believable* ones: actual threads racing through
@@ -39,7 +44,11 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
-use urb_types::{Delivery, Payload, Tag};
+use urb_types::{Delivery, Payload, Tag, TopicId};
+
+/// One per-topic delivery subscription: the topic filter and the
+/// subscriber's channel (fed `(pid, delivery)` pairs).
+type TopicSubscriber = (TopicId, Sender<(usize, Delivery)>);
 
 /// Configuration of a local cluster.
 #[derive(Clone, Debug)]
@@ -60,6 +69,13 @@ pub struct ClusterConfig {
     /// per-node seeded streams, so runs are loss-pattern-reproducible even
     /// though thread interleaving is not).
     pub seed: u64,
+    /// Number of concurrent URB instances (topics) every node serves
+    /// (DESIGN.md §12). Defaults to 1.
+    pub topics: u32,
+    /// Number of router lanes the topics are sharded across
+    /// (`lane = topic % router_lanes`); each lane is its own thread.
+    /// Defaults to 1, the pre-topic single-router design.
+    pub router_lanes: usize,
 }
 
 impl ClusterConfig {
@@ -72,7 +88,21 @@ impl ClusterConfig {
             tick_interval: Duration::from_millis(20),
             detection_delay: Duration::from_millis(200),
             seed: 0x5EED,
+            topics: 1,
+            router_lanes: 1,
         }
+    }
+
+    /// Sets the number of topics per node.
+    pub fn topics(mut self, topics: u32) -> Self {
+        self.topics = topics.max(1);
+        self
+    }
+
+    /// Sets the number of router lanes.
+    pub fn router_lanes(mut self, lanes: usize) -> Self {
+        self.router_lanes = lanes.max(1);
+        self
     }
 
     /// Sets the per-copy loss probability.
@@ -90,8 +120,9 @@ impl ClusterConfig {
 
 /// Commands a node thread accepts.
 pub(crate) enum Command {
-    /// Invoke `URB_broadcast(payload)`; reply with the assigned tag.
-    Broadcast(Payload, Sender<Tag>),
+    /// Invoke `URB_broadcast(payload)` on one topic instance; reply with
+    /// the assigned tag.
+    Broadcast(TopicId, Payload, Sender<Tag>),
     /// Crash-stop immediately.
     Crash,
     /// Graceful shutdown (test teardown; not a crash).
@@ -102,8 +133,9 @@ pub(crate) enum Command {
 /// node loop blocks on a single receive with a tick deadline (network
 /// frames from the router, commands from the cluster handle).
 pub(crate) enum NodeInput {
-    /// A surviving sub-batch from the router, as an encoded wire frame
-    /// (decoded by the node with shared payloads — DESIGN.md §10).
+    /// A surviving sub-batch from a router lane, as an encoded
+    /// multiplexed wire frame (decoded by the node with shared payloads —
+    /// DESIGN.md §10/§12).
     Net(bytes::Bytes),
     /// A control command from the cluster handle.
     Cmd(Command),
@@ -119,10 +151,14 @@ pub struct UrbCluster {
     /// input FIFO holds a deep network backlog (a queued `Cmd` alone
     /// would only fire after the backlog drained).
     stop_flags: Vec<Arc<std::sync::atomic::AtomicBool>>,
-    delivery_rxs: Vec<Receiver<Delivery>>,
+    delivery_rxs: Vec<Receiver<(TopicId, Delivery)>>,
     /// Per-process delivery log: every delivery ever drained from a node's
-    /// stream lands here, so waiting for one tag never loses another.
-    delivery_log: Mutex<Vec<Vec<Delivery>>>,
+    /// stream lands here (with its topic), so waiting for one tag never
+    /// loses another.
+    delivery_log: Mutex<Vec<Vec<(TopicId, Delivery)>>>,
+    /// Per-topic delivery subscriptions: `(topic, sender)` pairs fed by
+    /// `pump_deliveries`. A dropped receiver is pruned on the next pump.
+    subscribers: Mutex<Vec<TopicSubscriber>>,
     registry: Arc<MembershipRegistry>,
     traffic: Arc<router::TrafficCounters>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -140,11 +176,12 @@ impl UrbCluster {
         ));
         let traffic = Arc::new(router::TrafficCounters::default());
 
-        // Wiring: nodes → router (ingress, encoded wire frames), router →
-        // nodes (the same funnelled input channel the cluster handle
-        // commands through). One frame-buffer pool serves every thread.
+        // Wiring: nodes → router lanes (ingress, encoded mux frames;
+        // lane = topic % lanes), lanes → nodes (the same funnelled input
+        // channel the cluster handle commands through). One frame-buffer
+        // pool serves every thread.
         let pool = urb_types::BufPool::default();
-        let (ingress_tx, ingress_rx) = unbounded::<(usize, bytes::Bytes)>();
+        let lanes = config.router_lanes.max(1);
         let mut input_txs = Vec::with_capacity(n);
         let mut input_rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -153,15 +190,21 @@ impl UrbCluster {
             input_rxs.push(rx);
         }
 
-        let mut threads = Vec::with_capacity(n + 1);
-        threads.push(router::spawn_router(
-            ingress_rx,
-            input_txs.clone(),
-            config.loss,
-            config.seed,
-            Arc::clone(&traffic),
-            pool.clone(),
-        ));
+        let mut threads = Vec::with_capacity(n + lanes);
+        let mut ingress_txs = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (ingress_tx, ingress_rx) = unbounded::<(usize, bytes::Bytes)>();
+            ingress_txs.push(ingress_tx);
+            threads.push(router::spawn_router_lane(
+                lane,
+                ingress_rx,
+                input_txs.clone(),
+                config.loss,
+                config.seed,
+                Arc::clone(&traffic),
+                pool.clone(),
+            ));
+        }
 
         let mut delivery_rxs = Vec::with_capacity(n);
         let mut stop_flags = Vec::with_capacity(n);
@@ -174,20 +217,22 @@ impl UrbCluster {
                 pid,
                 algorithm: config.algorithm,
                 n,
+                topics: config.topics,
                 seed: config.seed,
                 tick_interval: config.tick_interval,
                 inputs,
                 stop,
-                egress: ingress_tx.clone(),
+                egress: ingress_txs.clone(),
                 deliveries: del_tx,
                 registry: Arc::clone(&registry),
                 pool: pool.clone(),
             }));
         }
-        drop(ingress_tx); // router exits when every node sender is gone
+        drop(ingress_txs); // each lane exits when every node sender is gone
 
         UrbCluster {
             delivery_log: Mutex::new(vec![Vec::new(); n]),
+            subscribers: Mutex::new(Vec::new()),
             config,
             input_txs,
             stop_flags,
@@ -198,12 +243,16 @@ impl UrbCluster {
         }
     }
 
-    /// Drains every node's delivery stream into the persistent log.
+    /// Drains every node's delivery stream into the persistent log and
+    /// forwards each new delivery to matching per-topic subscribers
+    /// (dropped subscriber receivers are pruned).
     fn pump_deliveries(&self) {
         let mut log = self.delivery_log.lock();
+        let mut subs = self.subscribers.lock();
         for (pid, rx) in self.delivery_rxs.iter().enumerate() {
-            while let Ok(d) = rx.try_recv() {
-                log[pid].push(d);
+            while let Ok((topic, d)) = rx.try_recv() {
+                subs.retain(|(t, tx)| *t != topic || tx.send((pid, d.clone())).is_ok());
+                log[pid].push((topic, d));
             }
         }
     }
@@ -213,9 +262,22 @@ impl UrbCluster {
         self.config.n
     }
 
-    /// Invokes `URB_broadcast(payload)` at process `pid`. Returns the tag,
-    /// or `None` if the process is crashed/shut down.
+    /// Invokes `URB_broadcast(payload)` at process `pid` on topic 0.
+    /// Returns the tag, or `None` if the process is crashed/shut down.
     pub fn broadcast(&self, pid: usize, payload: Payload) -> Option<Tag> {
+        self.broadcast_on(pid, TopicId::ZERO, payload)
+    }
+
+    /// Invokes `URB_broadcast(payload)` at process `pid` on `topic`.
+    /// Returns the tag, or `None` if the process is crashed/shut down.
+    /// Panics when `topic` is out of range for the cluster's
+    /// configuration — topics are dense configured instances.
+    pub fn broadcast_on(&self, pid: usize, topic: TopicId, payload: Payload) -> Option<Tag> {
+        assert!(
+            topic.0 < self.config.topics.max(1),
+            "topic {topic} out of range for a {}-topic cluster",
+            self.config.topics.max(1)
+        );
         // A crashed/stopped process refuses immediately. Without this check
         // a broadcast racing the node's exit would sit in the dead input
         // queue and only fail via the reply timeout below.
@@ -224,15 +286,41 @@ impl UrbCluster {
         }
         let (tx, rx) = bounded(1);
         self.input_txs[pid]
-            .send(NodeInput::Cmd(Command::Broadcast(payload, tx)))
+            .send(NodeInput::Cmd(Command::Broadcast(topic, payload, tx)))
             .ok()?;
         rx.recv_timeout(Duration::from_secs(10)).ok()
     }
 
-    /// Everything process `pid` has URB-delivered so far, in order.
+    /// Everything process `pid` has URB-delivered so far, in order,
+    /// across every topic.
     pub fn delivery_log(&self, pid: usize) -> Vec<Delivery> {
         self.pump_deliveries();
-        self.delivery_log.lock()[pid].clone()
+        self.delivery_log.lock()[pid]
+            .iter()
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// Everything process `pid` has URB-delivered on `topic`, in order —
+    /// the pull side of the per-topic delivery plane.
+    pub fn delivery_log_on(&self, pid: usize, topic: TopicId) -> Vec<Delivery> {
+        self.pump_deliveries();
+        self.delivery_log.lock()[pid]
+            .iter()
+            .filter(|(t, _)| *t == topic)
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// Subscribes to every future delivery on `topic`, cluster-wide: the
+    /// returned receiver yields `(pid, delivery)` pairs as the cluster's
+    /// delivery pump observes them (i.e. whenever any log/await accessor
+    /// runs — subscriptions piggyback on the same drain). Dropping the
+    /// receiver unsubscribes.
+    pub fn subscribe(&self, topic: TopicId) -> Receiver<(usize, Delivery)> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push((topic, tx));
+        rx
     }
 
     /// Crash-stops process `pid` (idempotent) and informs the membership
@@ -260,7 +348,7 @@ impl UrbCluster {
             self.pump_deliveries();
             let log = self.delivery_log.lock();
             let mut out: Vec<usize> = (0..self.config.n)
-                .filter(|&pid| log[pid].iter().any(|d| d.tag == tag))
+                .filter(|&pid| log[pid].iter().any(|(_, d)| d.tag == tag))
                 .collect();
             let done = (0..self.config.n).all(|p| out.contains(&p) || self.registry.is_crashed(p));
             drop(log);
@@ -349,6 +437,52 @@ mod tests {
             .unwrap();
         let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(20));
         assert_eq!(who.len(), 4, "fairness beats 30% loss");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_topic_cluster_shards_lanes_and_subscriptions() {
+        // 3 topics over 2 router lanes: each topic's broadcast reaches
+        // everyone, the per-topic logs stay disjoint, and a subscription
+        // sees exactly its own topic's deliveries.
+        let cluster = UrbCluster::spawn(
+            ClusterConfig::new(3, Algorithm::Majority)
+                .topics(3)
+                .router_lanes(2),
+        );
+        let feed = cluster.subscribe(TopicId(2));
+        let mut tags = Vec::new();
+        for t in 0..3u32 {
+            let tag = cluster
+                .broadcast_on(
+                    t as usize % 3,
+                    TopicId(t),
+                    Payload::from(format!("t{t}").as_str()),
+                )
+                .expect("tag");
+            tags.push(tag);
+        }
+        for (t, tag) in tags.iter().enumerate() {
+            let who = cluster.await_delivery_everywhere(*tag, Duration::from_secs(10));
+            assert_eq!(who, vec![0, 1, 2], "topic {t}");
+        }
+        for pid in 0..3 {
+            for (t, tag) in tags.iter().enumerate() {
+                let log = cluster.delivery_log_on(pid, TopicId(t as u32));
+                assert_eq!(log.len(), 1, "pid {pid} topic {t}");
+                assert_eq!(log[0].tag, *tag);
+            }
+            assert_eq!(cluster.delivery_log(pid).len(), 3, "all topics combined");
+        }
+        // The topic-2 subscription saw exactly the 3 per-process
+        // deliveries of topic 2 and nothing else.
+        let mut seen: Vec<usize> = Vec::new();
+        while let Ok((pid, d)) = feed.try_recv() {
+            assert_eq!(d.tag, tags[2]);
+            seen.push(pid);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
         cluster.shutdown();
     }
 

@@ -1,23 +1,25 @@
-//! The per-process node thread — a thin adapter over [`urb_engine`].
+//! The per-process node thread — a thin adapter over [`urb_engine`]'s
+//! topic plane.
 //!
-//! Each node owns one [`NodeEngine`] (protocol state machine + RNG +
-//! counters) and loops over a single funnelled input channel carrying both
-//! network batches and control commands, plus a wall-clock tick deadline
-//! for Task-1 sweeps. The failure-detector snapshot is read from the
-//! shared [`MembershipRegistry`](crate::MembershipRegistry) immediately
-//! before every protocol step, matching the paper's read-only-variable
-//! semantics; the step itself is `urb_engine::drive_step` — the same code
-//! path the simulator and the test harness execute.
+//! Each node owns one [`TopicEngine`] (one protocol instance per topic,
+//! all sharing the node's RNG stream and counters) and loops over a
+//! single funnelled input channel carrying both network frames and
+//! control commands, plus a wall-clock tick deadline for Task-1 sweeps
+//! (one node tick sweeps **every** topic instance). The failure-detector
+//! snapshot is read from the shared
+//! [`MembershipRegistry`](crate::MembershipRegistry) immediately before
+//! every protocol step — detectors observe processes, not topics, so one
+//! snapshot serves a whole multi-topic sweep the same way the simulator
+//! takes one per step.
 //!
-//! Outbound traffic uses the **wire plane** (DESIGN.md §10): everything
-//! one step emitted leaves as a single encoded batch frame, produced
-//! through the zero-copy codec into a pooled buffer
-//! (`StepBuffers::take_wire_frame`) and decoded on arrival with shared
-//! payloads (`NodeEngine::receive_frame`). Router and channel costs scale
-//! with protocol steps rather than messages; encoding into the pooled
-//! scratch allocates nothing, and the one remaining allocation is
-//! per-*frame*, never per-message: sealing the scratch into the
-//! refcounted `Bytes` the frame must travel as (the copy below).
+//! Outbound traffic uses the **sharded wire plane** (DESIGN.md §12):
+//! everything one step emitted — across every topic — is partitioned by
+//! router lane (`lane = topic % lanes`) and leaves as one encoded
+//! multiplexed frame per lane with traffic, produced through the
+//! zero-copy codec into a pooled buffer and decoded on arrival with
+//! shared payloads (`TopicEngine::receive_mux_frame`). Router and
+//! channel costs scale with protocol steps and lanes, never with topic
+//! count times messages.
 
 use crate::registry::MembershipRegistry;
 use crate::{Command, NodeInput};
@@ -27,27 +29,30 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
-use urb_engine::{NodeEngine, StepBuffers, StepInput};
-use urb_types::{BufPool, Delivery, SplitMix64};
+use urb_engine::{MuxBuffers, StepInput, TopicEngine};
+use urb_types::{encode_mux_frame_into, BufPool, Delivery, SplitMix64, TopicId};
 
 /// Everything a node thread needs at spawn time.
 pub(crate) struct NodeSetup {
     pub pid: usize,
     pub algorithm: Algorithm,
     pub n: usize,
+    pub topics: u32,
     pub seed: u64,
     pub tick_interval: Duration,
-    /// Funnelled inputs: network batches from the router and commands from
-    /// the cluster handle share one FIFO (this is also what lets the node
-    /// block on a single receive with a tick deadline).
+    /// Funnelled inputs: network frames from the router lanes and
+    /// commands from the cluster handle share one FIFO (this is also what
+    /// lets the node block on a single receive with a tick deadline).
     pub inputs: Receiver<NodeInput>,
     /// Crash-stop flag, raised by the cluster handle *before* it enqueues
     /// the wake-up command. Checked on every loop iteration so a crash
     /// halts the node within one step even when `inputs` holds a deep
     /// network backlog.
     pub stop: Arc<AtomicBool>,
-    pub egress: Sender<(usize, Bytes)>,
-    pub deliveries: Sender<Delivery>,
+    /// One egress sender per router lane; a frame for topic `t` goes to
+    /// lane `t % lanes`.
+    pub egress: Vec<Sender<(usize, Bytes)>>,
+    pub deliveries: Sender<(TopicId, Delivery)>,
     pub registry: Arc<MembershipRegistry>,
     /// Cluster-shared frame-buffer pool (encode scratch returns here).
     pub pool: BufPool,
@@ -66,6 +71,7 @@ fn node_main(setup: NodeSetup) {
         pid,
         algorithm,
         n,
+        topics,
         seed,
         tick_interval,
         inputs,
@@ -75,11 +81,17 @@ fn node_main(setup: NodeSetup) {
         registry,
         pool,
     } = setup;
-    let mut engine = NodeEngine::new(
-        algorithm.instantiate(n),
+    let mut engine = TopicEngine::new(
+        (0..topics.max(1))
+            .map(|_| algorithm.instantiate(n))
+            .collect(),
         SplitMix64::new(seed ^ 0xB07B_0B00 ^ (pid as u64) << 32),
     );
-    let mut buf = StepBuffers::new();
+    let mut mux = MuxBuffers::new();
+    // Per-lane outbox partitions, reused across steps.
+    let lanes = egress.len().max(1);
+    let mut lane_outboxes: Vec<Vec<(TopicId, urb_types::WireMessage)>> =
+        (0..lanes).map(|_| Vec::new()).collect();
     let mut next_tick = Instant::now() + tick_interval;
 
     loop {
@@ -88,11 +100,13 @@ fn node_main(setup: NodeSetup) {
         if stop.load(Ordering::Acquire) {
             return;
         }
+        mux.clear();
         let timeout = next_tick.saturating_duration_since(Instant::now());
         match inputs.recv_timeout(timeout) {
-            Ok(NodeInput::Cmd(Command::Broadcast(payload, reply))) => {
+            Ok(NodeInput::Cmd(Command::Broadcast(topic, payload, reply))) => {
                 let snapshot = registry.snapshot(pid, Instant::now());
-                let tag = engine.step(StepInput::Broadcast(payload), &snapshot, &mut buf);
+                let tag =
+                    engine.step_mux(topic, StepInput::Broadcast(payload), &snapshot, &mut mux);
                 let _ = reply.send(tag.expect("urb_broadcast assigns a tag"));
             }
             Ok(NodeInput::Cmd(Command::Crash | Command::Shutdown)) => {
@@ -104,28 +118,54 @@ fn node_main(setup: NodeSetup) {
             Ok(NodeInput::Net(frame)) => {
                 let registry = &registry;
                 engine
-                    .receive_frame(&frame, &mut buf, |_| registry.snapshot(pid, Instant::now()))
+                    .receive_mux_frame(&frame, &mut mux, |_, _| {
+                        registry.snapshot(pid, Instant::now())
+                    })
                     .expect("malformed frame from router — codec bug");
             }
             Err(RecvTimeoutError::Timeout) => {
                 let snapshot = registry.snapshot(pid, Instant::now());
-                engine.step(StepInput::Tick, &snapshot, &mut buf);
+                engine.tick_all(&snapshot, &mut mux);
                 next_tick = Instant::now() + tick_interval;
             }
             Err(RecvTimeoutError::Disconnected) => return, // cluster gone
         }
 
-        // Flush what the step produced: one encoded wire frame out
-        // (pooled scratch, sealed into refcounted bytes), deliveries up.
-        if let Some(scratch) = buf.take_wire_frame(&pool) {
-            let frame = Bytes::copy_from_slice(&scratch);
-            drop(scratch); // encode buffer back to the pool
-            if egress.send((pid, frame)).is_err() {
-                return; // router gone — cluster shutting down
+        // Flush what the step produced: on a single-lane cluster the
+        // whole mux outbox drains as one frame through the engine's own
+        // zero-copy path; with several lanes it is partitioned by
+        // `topic % lanes` and sealed as one frame per lane with traffic
+        // (pooled scratch, refcounted bytes). Deliveries go up with
+        // their topic tags either way.
+        if lanes == 1 {
+            if let Some(scratch) = mux.take_mux_frame(&pool) {
+                let frame = Bytes::copy_from_slice(&scratch);
+                drop(scratch); // encode buffer back to the pool
+                if egress[0].send((pid, frame)).is_err() {
+                    return; // router gone — cluster shutting down
+                }
+            }
+        } else if !mux.outbox.is_empty() {
+            for entry in mux.outbox.drain(..) {
+                let lane = entry.0 .0 as usize % lanes;
+                lane_outboxes[lane].push(entry);
+            }
+            for (lane, outbox) in lane_outboxes.iter_mut().enumerate() {
+                if outbox.is_empty() {
+                    continue;
+                }
+                let mut scratch = pool.acquire();
+                encode_mux_frame_into(outbox, &mut scratch);
+                outbox.clear();
+                let frame = Bytes::copy_from_slice(&scratch);
+                drop(scratch); // encode buffer back to the pool
+                if egress[lane].send((pid, frame)).is_err() {
+                    return; // router gone — cluster shutting down
+                }
             }
         }
-        for d in buf.deliveries.drain(..) {
-            let _ = deliveries.send(d);
+        for (topic, d) in mux.deliveries.drain(..) {
+            let _ = deliveries.send((topic, d));
         }
     }
 }

@@ -1,27 +1,37 @@
-//! The lossy broadcast medium of the threaded runtime — the wire plane.
+//! The lossy broadcast medium of the threaded runtime — the sharded wire
+//! plane of the topic system (DESIGN.md §12).
 //!
-//! One router thread fans every node's outgoing **encoded frame** out to
-//! all `n` inboxes (sender included — the paper's `broadcast` primitive).
+//! One or more **router lanes** (threads) fan every node's outgoing
+//! **encoded multiplexed frame** out to all `n` inboxes (sender included
+//! — the paper's `broadcast` primitive). Topics are sharded across lanes
+//! (`lane = topic % lanes`): each node partitions its step's topic-tagged
+//! outbox by lane and sends one [`urb_types::MuxBatch`] frame per lane
+//! that has traffic, so independent topics ride independent router
+//! threads and the routing plane scales with cores, not with topic
+//! count. A single-lane single-topic cluster degenerates to the previous
+//! one-router design.
+//!
 //! Nodes and router exchange real wire bytes, not in-memory structs: a
-//! node encodes its step's outbox through the zero-copy batch codec
-//! (`StepBuffers::take_wire_frame`, DESIGN.md §10) and decodes incoming
-//! frames with shared payloads (`NodeEngine::receive_frame`), so the
-//! runtime exercises the exact serialization boundary a networked
-//! deployment would.
+//! node encodes its step's mux outbox through the zero-copy codec
+//! (`MuxBuffers::take_mux_frame` on single-lane clusters, its per-lane
+//! `encode_mux_frame_into` partition twin otherwise) and decodes
+//! incoming frames with shared payloads
+//! (`TopicEngine::receive_mux_frame`), so the runtime exercises the
+//! exact serialization boundary a networked deployment would.
 //!
 //! Loss is applied **per message copy**, exactly as in the unbatched
-//! design: the router decodes each ingress frame once (zero-copy — the
+//! design: each lane decodes its ingress frame once (zero-copy — the
 //! decoded payloads are refcounted views of the frame), drops each
 //! message independently per destination, and forwards
 //!
 //! * the **original frame** (a refcount bump, no bytes touched) to every
-//!   destination whose sub-batch survived intact — the self copy and the
-//!   whole mesh in lossless clusters;
-//! * a **re-encoded sub-batch** (built in a pooled buffer, no
+//!   destination whose sub-batch survived intact;
+//! * a **re-encoded thinned frame** (built in a pooled buffer, no
 //!   per-message allocation) when loss thinned the batch.
 //!
 //! Traffic counters count *messages*, not frames, so quiescence
-//! observation and statistics are unchanged by batching or encoding.
+//! observation and statistics are unchanged by batching, multiplexing or
+//! sharding — every lane writes the same shared counters.
 
 use crate::NodeInput;
 use bytes::Bytes;
@@ -31,17 +41,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use urb_types::{
-    encode_frame_into, Batch, BufPool, RandomSource, WireKind, WireMessage, Xoshiro256,
+    encode_mux_frame_into, BufPool, MuxBatch, RandomSource, TopicId, WireKind, WireMessage,
+    Xoshiro256,
 };
 
-/// Aggregate router statistics.
+/// Aggregate router statistics (summed across every lane).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// MSG + ACK messages routed (broadcast invocations, not copies).
     pub protocol_messages: u64,
     /// Heartbeats routed.
     pub heartbeats: u64,
-    /// Batch frames routed (one per producing protocol step).
+    /// Multiplexed frames routed (one per producing protocol step and
+    /// lane with traffic).
     pub batches: u64,
     /// Message copies dropped by loss injection.
     pub dropped_copies: u64,
@@ -55,7 +67,7 @@ pub struct TrafficStats {
     pub reencoded_frames: u64,
 }
 
-/// Shared counters written by the router thread.
+/// Shared counters written by every router lane.
 #[derive(Default)]
 pub struct TrafficCounters {
     protocol_messages: AtomicU64,
@@ -83,16 +95,19 @@ impl TrafficCounters {
         }
     }
 
-    /// When the last protocol message crossed the router.
+    /// When the last protocol message crossed any lane.
     pub fn last_protocol_activity(&self) -> Option<Instant> {
         *self.last_protocol.lock()
     }
 }
 
-/// Spawns the router thread. It exits when every node-side sender is gone.
-/// Frame buffers for thinned sub-batches come from `pool` (shared with
-/// the nodes), so the router allocates nothing per message.
-pub fn spawn_router(
+/// Spawns one router lane thread. It exits when every node-side sender
+/// for this lane is gone. Frame buffers for thinned sub-batches come
+/// from `pool` (shared with the nodes), so the lane allocates nothing
+/// per message. `lane` seeds the lane's own loss RNG stream, so
+/// different lanes drop independently.
+pub fn spawn_router_lane(
+    lane: usize,
     ingress: Receiver<(usize, Bytes)>,
     inboxes: Vec<Sender<NodeInput>>,
     loss: f64,
@@ -101,22 +116,23 @@ pub fn spawn_router(
     pool: BufPool,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
-        .name("urb-router".into())
+        .name(format!("urb-router-{lane}"))
         .spawn(move || {
-            let mut rng = Xoshiro256::new(seed ^ 0x4007_E4B0_5555_0001);
-            // Reusable scratch: the decoded ingress batch and the
+            let mut rng = Xoshiro256::new(seed ^ 0x4007_E4B0_5555_0001 ^ (lane as u64) << 40);
+            // Reusable scratch: the decoded ingress entries and the
             // per-destination survivor list.
-            let mut decoded: Vec<WireMessage> = Vec::new();
-            let mut survivors: Vec<WireMessage> = Vec::new();
+            let mut decoded: Vec<(TopicId, WireMessage)> = Vec::new();
+            let mut survivors: Vec<(TopicId, WireMessage)> = Vec::new();
             while let Ok((from, frame)) = ingress.recv() {
-                // In-process frames come from `take_wire_frame`; a decode
-                // failure is a codec bug, not a network condition.
-                Batch::decode_shared_into(&frame, &mut decoded)
+                // In-process frames come from the node's zero-copy mux
+                // encode; a decode failure is a codec bug, not a network
+                // condition.
+                MuxBatch::decode_shared_into(&frame, &mut decoded)
                     .expect("malformed frame from node — codec bug");
                 counters.batches.fetch_add(1, Ordering::Relaxed);
                 let mut protocol = 0u64;
                 let mut heartbeats = 0u64;
-                for msg in &decoded {
+                for (_, msg) in &decoded {
                     match msg.kind() {
                         WireKind::Heartbeat => heartbeats += 1,
                         _ => protocol += 1,
@@ -130,7 +146,7 @@ pub fn spawn_router(
                     *counters.last_protocol.lock() = Some(Instant::now());
                 }
                 for (to, inbox) in inboxes.iter().enumerate() {
-                    // Per-copy loss, per message inside the batch; the
+                    // Per-copy loss, per message inside the frame; the
                     // sender-to-self sub-batch is never thinned.
                     let thin = to != from && loss > 0.0;
                     let outgoing: Bytes = if thin {
@@ -149,7 +165,7 @@ pub fn spawn_router(
                             frame.clone()
                         } else {
                             let mut buf = pool.acquire();
-                            encode_frame_into(&survivors, &mut buf);
+                            encode_mux_frame_into(&survivors, &mut buf);
                             counters.reencoded_frames.fetch_add(1, Ordering::Relaxed);
                             Bytes::copy_from_slice(&buf)
                         }
@@ -168,7 +184,7 @@ pub fn spawn_router(
                 }
             }
         })
-        .expect("spawn router thread")
+        .expect("spawn router lane thread")
 }
 
 #[cfg(test)]
@@ -177,20 +193,27 @@ mod tests {
     use crossbeam_channel::unbounded;
     use urb_types::{Payload, Tag};
 
-    fn frame_of(tags: &[u128]) -> Bytes {
-        let batch: Batch = tags
-            .iter()
-            .map(|&t| WireMessage::Msg {
-                tag: Tag(t),
-                payload: Payload::from("m"),
-            })
-            .collect();
-        batch.encode()
+    fn frame_of(entries: &[(u32, u128)]) -> Bytes {
+        let mux = MuxBatch::from_entries(
+            &entries
+                .iter()
+                .map(|&(t, tag)| {
+                    (
+                        TopicId(t),
+                        WireMessage::Msg {
+                            tag: Tag(tag),
+                            payload: Payload::from("m"),
+                        },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        mux.encode()
     }
 
-    fn recv_batch(rx: &crossbeam_channel::Receiver<NodeInput>) -> Batch {
+    fn recv_mux(rx: &crossbeam_channel::Receiver<NodeInput>) -> MuxBatch {
         match rx.try_recv().expect("an input") {
-            NodeInput::Net(frame) => Batch::decode_shared(&frame).expect("valid frame"),
+            NodeInput::Net(frame) => MuxBatch::decode_shared(&frame).expect("valid frame"),
             NodeInput::Cmd(_) => panic!("router never sends commands"),
         }
     }
@@ -206,7 +229,8 @@ mod tests {
             inbox_rx.push(r);
         }
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(
+        let h = spawn_router_lane(
+            0,
             rx,
             inbox_tx,
             0.0,
@@ -214,11 +238,12 @@ mod tests {
             Arc::clone(&counters),
             BufPool::default(),
         );
-        tx.send((1, frame_of(&[7]))).unwrap();
+        tx.send((1, frame_of(&[(0, 7)]))).unwrap();
         drop(tx);
         h.join().unwrap();
         for r in &inbox_rx {
-            assert_eq!(recv_batch(r).messages()[0].tag(), Some(Tag(7)));
+            let mux = recv_mux(r);
+            assert_eq!(mux.sub_batches()[0].1[0].tag(), Some(Tag(7)));
         }
         let s = counters.snapshot();
         assert_eq!(s.protocol_messages, 1);
@@ -243,7 +268,8 @@ mod tests {
             inbox_rx.push(r);
         }
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(
+        let h = spawn_router_lane(
+            0,
             rx,
             inbox_tx,
             1.0,
@@ -251,26 +277,27 @@ mod tests {
             Arc::clone(&counters),
             BufPool::default(),
         );
-        tx.send((0, frame_of(&[9]))).unwrap();
+        tx.send((0, frame_of(&[(0, 9)]))).unwrap();
         drop(tx);
         h.join().unwrap();
-        assert_eq!(recv_batch(&inbox_rx[0]).len(), 1, "self copy delivered");
+        assert_eq!(recv_mux(&inbox_rx[0]).len(), 1, "self copy delivered");
         assert!(inbox_rx[1].try_recv().is_err(), "peer copy lost");
         assert_eq!(counters.snapshot().dropped_copies, 1);
     }
 
     #[test]
-    fn batch_members_are_dropped_independently() {
-        // With 50% loss over a 64-message batch, the surviving sub-batch is
-        // (with overwhelming probability) neither empty nor complete —
-        // i.e. loss applies per message, not per frame — and the thinned
-        // destination receives a re-encoded frame.
+    fn batch_members_are_dropped_independently_across_topics() {
+        // With 50% loss over a 64-message two-topic frame, the surviving
+        // sub-batch is (with overwhelming probability) neither empty nor
+        // complete — loss applies per message, not per frame or topic —
+        // and the thinned destination receives a re-encoded mux frame.
         let (tx, rx) = unbounded();
         let (peer_tx, peer_rx) = unbounded();
         let (self_tx, self_rx) = unbounded();
         let counters = Arc::new(TrafficCounters::default());
         let pool = BufPool::default();
-        let h = spawn_router(
+        let h = spawn_router_lane(
+            0,
             rx,
             vec![self_tx, peer_tx],
             0.5,
@@ -278,12 +305,13 @@ mod tests {
             Arc::clone(&counters),
             pool.clone(),
         );
-        let tags: Vec<u128> = (0..64).collect();
-        tx.send((0, frame_of(&tags))).unwrap();
+        let entries: Vec<(u32, u128)> = (0..64).map(|i| ((i / 32) as u32, i)).collect();
+        tx.send((0, frame_of(&entries))).unwrap();
         drop(tx);
         h.join().unwrap();
-        assert_eq!(recv_batch(&self_rx).len(), 64, "self sub-batch intact");
-        let survived = recv_batch(&peer_rx).len();
+        assert_eq!(recv_mux(&self_rx).len(), 64, "self sub-batch intact");
+        let survived_mux = recv_mux(&peer_rx);
+        let survived = survived_mux.len();
         assert!(survived > 0 && survived < 64, "got {survived}/64");
         let s = counters.snapshot();
         assert_eq!(s.delivered_copies as usize, 64 + survived);
@@ -297,7 +325,8 @@ mod tests {
         let (tx, rx) = unbounded();
         let (t, _r) = unbounded();
         let counters = Arc::new(TrafficCounters::default());
-        let h = spawn_router(
+        let h = spawn_router_lane(
+            0,
             rx,
             vec![t],
             0.0,
@@ -305,11 +334,13 @@ mod tests {
             Arc::clone(&counters),
             BufPool::default(),
         );
-        let hb: Batch = std::iter::once(WireMessage::Heartbeat {
-            label: urb_types::Label(1),
-            seq: 0,
-        })
-        .collect();
+        let hb = MuxBatch::from_entries(&[(
+            TopicId::ZERO,
+            WireMessage::Heartbeat {
+                label: urb_types::Label(1),
+                seq: 0,
+            },
+        )]);
         tx.send((0, hb.encode())).unwrap();
         drop(tx);
         h.join().unwrap();

@@ -28,7 +28,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use urb_types::{RandomSource, WireMessage, Xoshiro256};
+use urb_types::{RandomSource, TopicId, WireMessage, Xoshiro256};
 
 /// Per-transmission loss behaviour of a directed channel.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -197,12 +197,49 @@ impl Channel {
         }
     }
 
+    /// [`Channel::transmit_batch`] over the **multiplexed topic plane**:
+    /// the entries of one mux frame, each member's fairness identity
+    /// being its own `retransmit_key` decorrelated per topic via
+    /// [`TopicId::mix`] (topic 0 mixes to the legacy key, so single-topic
+    /// runs draw the identical RNG stream). Loss stays per message; the
+    /// surviving frame shares one arrival delay, exactly as for a
+    /// single-instance batch.
+    pub fn transmit_entries(
+        &mut self,
+        entries: &[(TopicId, WireMessage)],
+        verdicts: &mut Vec<bool>,
+    ) -> Option<u64> {
+        verdicts.clear();
+        let mut any = false;
+        for (topic, msg) in entries {
+            self.sent += 1;
+            let lost = self.decide_loss_keyed(msg, || topic.mix(msg.retransmit_key()));
+            if lost {
+                self.dropped += 1;
+            } else {
+                any = true;
+            }
+            verdicts.push(!lost);
+        }
+        if any {
+            Some(self.draw_delay())
+        } else {
+            None
+        }
+    }
+
     fn decide_loss(&mut self, msg: &WireMessage) -> bool {
+        self.decide_loss_keyed(msg, || msg.retransmit_key())
+    }
+
+    /// One loss decision; `key` supplies the fairness identity lazily (it
+    /// is only evaluated — and only matters — under `BoundedBernoulli`).
+    fn decide_loss_keyed(&mut self, _msg: &WireMessage, key: impl FnOnce() -> u64) -> bool {
         match self.loss {
             LossModel::None => false,
             LossModel::Bernoulli { p } => self.rng.gen_bool(p),
             LossModel::BoundedBernoulli { p, max_consecutive } => {
-                let key = msg.retransmit_key();
+                let key = key();
                 let run = self.consecutive.entry(key).or_insert(0);
                 if *run >= max_consecutive {
                     *run = 0;

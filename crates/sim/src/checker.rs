@@ -19,7 +19,7 @@
 use crate::metrics::{BroadcastRecord, DeliveryRecord};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use urb_types::Tag;
+use urb_types::{Tag, TopicId};
 
 /// Verdict of one property.
 #[derive(Clone, Debug, Serialize, PartialEq, Eq)]
@@ -157,6 +157,66 @@ pub fn check_urb(
     }
 }
 
+/// One topic's URB verdict on a multi-instance run (DESIGN.md §12).
+#[derive(Clone, Debug, Serialize)]
+pub struct TopicReport {
+    /// The URB instance this verdict covers.
+    pub topic: TopicId,
+    /// Broadcasts issued on this topic.
+    pub broadcasts: usize,
+    /// Deliveries produced on this topic (across all processes).
+    pub deliveries: usize,
+    /// The three URB property verdicts, restricted to this topic's
+    /// records.
+    pub report: CheckReport,
+}
+
+/// [`check_urb`] **per topic**: every URB instance is an independent
+/// state machine with its own correctness obligations, so the records
+/// are partitioned by [`TopicId`] and each partition is checked on its
+/// own. Topics are reported in ascending order. `configured` is the
+/// run's configured topic count: every topic in `0..configured` gets a
+/// report row **even when it produced no records at all** — a silent
+/// instance must still face `min_deliveries_per_topic`-style
+/// expectations, not vanish from the verdict (a starved topic is
+/// exactly what those keys exist to catch).
+pub fn check_urb_per_topic(
+    n: usize,
+    correct: &[bool],
+    configured: u32,
+    broadcasts: &[BroadcastRecord],
+    deliveries: &[DeliveryRecord],
+) -> Vec<TopicReport> {
+    let mut topics: Vec<TopicId> = (0..configured.max(1))
+        .map(TopicId)
+        .chain(broadcasts.iter().map(|b| b.topic))
+        .chain(deliveries.iter().map(|d| d.topic))
+        .collect();
+    topics.sort_unstable();
+    topics.dedup();
+    topics
+        .into_iter()
+        .map(|topic| {
+            let b: Vec<BroadcastRecord> = broadcasts
+                .iter()
+                .filter(|x| x.topic == topic)
+                .cloned()
+                .collect();
+            let d: Vec<DeliveryRecord> = deliveries
+                .iter()
+                .filter(|x| x.topic == topic)
+                .cloned()
+                .collect();
+            TopicReport {
+                topic,
+                broadcasts: b.len(),
+                deliveries: d.len(),
+                report: check_urb(n, correct, &b, &d),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +224,7 @@ mod tests {
     fn b(pid: usize, tag: u128, time: u64) -> BroadcastRecord {
         BroadcastRecord {
             pid,
+            topic: TopicId::ZERO,
             tag: Tag(tag),
             time,
             payload: urb_types::Payload::from("m"),
@@ -173,6 +234,7 @@ mod tests {
     fn d(pid: usize, tag: u128, time: u64) -> DeliveryRecord {
         DeliveryRecord {
             pid,
+            topic: TopicId::ZERO,
             tag: Tag(tag),
             time,
             fast: false,
@@ -267,6 +329,58 @@ mod tests {
         let broadcasts = vec![b(0, 1, 10)];
         let r = check_urb(2, &correct, &broadcasts, &[]);
         assert!(r.all_ok());
+    }
+
+    #[test]
+    fn per_topic_checker_partitions_verdicts() {
+        // Topic 0 is healthy; topic 1's agreement is broken (a crashed
+        // deliverer, correct processes starved). The per-topic checker
+        // must blame exactly topic 1, while the global checker (which
+        // sees the union) also fails.
+        let correct = vec![false, true];
+        let mut b0 = b(1, 1, 10);
+        b0.topic = TopicId(0);
+        let mut b1 = b(0, 2, 10);
+        b1.topic = TopicId(1);
+        let mut d0a = d(0, 1, 20);
+        d0a.topic = TopicId(0);
+        let mut d0b = d(1, 1, 21);
+        d0b.topic = TopicId(0);
+        let mut d1 = d(0, 2, 22);
+        d1.topic = TopicId(1);
+        let reports = check_urb_per_topic(2, &correct, 2, &[b0, b1], &[d0a, d0b, d1]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].topic, TopicId(0));
+        assert!(reports[0].report.all_ok(), "{:?}", reports[0].report);
+        assert_eq!(reports[0].deliveries, 2);
+        assert_eq!(reports[1].topic, TopicId(1));
+        assert!(!reports[1].report.agreement.ok());
+        assert_eq!(reports[1].broadcasts, 1);
+    }
+
+    #[test]
+    fn per_topic_checker_empty_run_reports_topic_zero() {
+        let reports = check_urb_per_topic(3, &[true; 3], 1, &[], &[]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].topic, TopicId::ZERO);
+        assert!(reports[0].report.all_ok());
+    }
+
+    #[test]
+    fn per_topic_checker_reports_silent_configured_topics() {
+        // A configured topic with no records must still get a row (with
+        // zero deliveries), so per-topic minimum-delivery expectations
+        // can fail it instead of passing vacuously.
+        let correct = vec![true, true];
+        let b0 = b(0, 1, 10); // topic 0 only
+        let d0 = d(0, 1, 20);
+        let d1 = d(1, 1, 21);
+        let reports = check_urb_per_topic(2, &correct, 3, &[b0], &[d0, d1]);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[1].topic, TopicId(1));
+        assert_eq!(reports[1].deliveries, 0, "silent topic visible");
+        assert_eq!(reports[2].deliveries, 0);
+        assert!(reports[1].report.all_ok(), "no records → vacuously clean");
     }
 
     #[test]

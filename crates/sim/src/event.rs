@@ -7,7 +7,7 @@
 //! broken by insertion sequence number, so two runs with the same seed
 //! produce byte-identical traces (verified by the determinism tests).
 
-use urb_types::{Batch, Payload, RandomSource, SplitMix64};
+use urb_types::{Payload, RandomSource, SplitMix64, TopicId, WireMessage};
 
 /// How the driver resolves *ties* — several events scheduled for the same
 /// instant — when popping the queue. This is the simulator's scheduler
@@ -45,19 +45,23 @@ impl SchedulerPolicy {
 /// What can happen in a simulated run.
 #[derive(Clone, Debug)]
 pub enum Event {
-    /// A batch of wire messages arrives at process `to` (the batched
-    /// message plane: everything one step emitted toward this destination
-    /// that survived the channel, arriving together). `from` is
-    /// simulator-side provenance (metrics/fairness only — never exposed to
-    /// protocol code).
+    /// A multiplexed batch of wire messages arrives at process `to` (the
+    /// topic plane, DESIGN.md §12: everything one step emitted toward
+    /// this destination — across every topic the node stepped — that
+    /// survived the channel, arriving together as one frame). `from` is
+    /// simulator-side provenance (metrics/fairness only — never exposed
+    /// to protocol code).
     Deliver {
         /// Destination process index.
         to: usize,
         /// Origin process index (bookkeeping only; anonymity is preserved
         /// because the protocol never sees this field).
         from: usize,
-        /// The surviving messages, in emission order.
-        batch: Batch,
+        /// The surviving topic-tagged messages, in emission order
+        /// (ascending topic groups — the wire shape of a
+        /// [`urb_types::MuxBatch`]). Single-topic runs carry
+        /// `(TopicId::ZERO, …)` entries exclusively.
+        entries: Vec<(TopicId, WireMessage)>,
     },
     /// Process `pid` runs one Task-1 sweep (and its failure detector ticks).
     Tick {
@@ -69,10 +73,13 @@ pub enum Event {
         /// The crashing process.
         pid: usize,
     },
-    /// The application at `pid` invokes `URB_broadcast(payload)`.
+    /// The application at `pid` invokes `URB_broadcast(payload)` on one
+    /// topic instance.
     ClientBroadcast {
         /// The broadcasting process.
         pid: usize,
+        /// The target URB instance.
+        topic: TopicId,
         /// The application message.
         payload: Payload,
     },

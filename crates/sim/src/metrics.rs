@@ -5,13 +5,16 @@
 //! one pass, while the simulation runs — no post-hoc trace scraping.
 
 use serde::Serialize;
-use urb_types::{Payload, ProcessStats, Tag, WireKind};
+use urb_types::{Payload, ProcessStats, Tag, TopicId, WireKind};
 
 /// One URB-broadcast invocation, as observed by the driver.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct BroadcastRecord {
     /// Broadcasting process.
     pub pid: usize,
+    /// The URB instance (topic) the broadcast went to ([`TopicId::ZERO`]
+    /// on single-topic runs).
+    pub topic: TopicId,
     /// Tag the protocol assigned.
     pub tag: Tag,
     /// Invocation time.
@@ -25,6 +28,9 @@ pub struct BroadcastRecord {
 pub struct DeliveryRecord {
     /// Delivering process.
     pub pid: usize,
+    /// The URB instance (topic) that delivered ([`TopicId::ZERO`] on
+    /// single-topic runs).
+    pub topic: TopicId,
     /// Tag of the delivered message.
     pub tag: Tag,
     /// Delivery time.
@@ -75,6 +81,13 @@ pub struct Metrics {
     pub quiescent_at_end: bool,
     /// FNV-1a hash over the full event sequence (determinism checks).
     pub trace_hash: u64,
+    /// Frames offered to channels: one per `(transmitting step,
+    /// destination)` pair. On the multiplexed topic plane a multi-topic
+    /// step still counts **one** frame per destination; with
+    /// `mux_frames = false` (the E19 A/B arm) each topic pays its own
+    /// frame. Message counts above are unaffected — this is the routing
+    /// overhead the mux plane amortizes (DESIGN.md §12).
+    pub frames_sent: u64,
 }
 
 impl Metrics {
@@ -107,6 +120,31 @@ impl Metrics {
     /// Records one channel drop.
     pub fn on_drop(&mut self, kind: WireKind) {
         self.dropped[kind.index()] += 1;
+    }
+
+    /// Records one frame offered to a channel (per destination).
+    pub fn on_frame(&mut self) {
+        self.frames_sent += 1;
+    }
+
+    /// Topics that appear in this run's broadcast/delivery records,
+    /// ascending and deduplicated ([`TopicId::ZERO`] alone on
+    /// single-topic runs with traffic).
+    pub fn topics(&self) -> Vec<TopicId> {
+        let mut topics: Vec<TopicId> = self
+            .broadcasts
+            .iter()
+            .map(|b| b.topic)
+            .chain(self.deliveries.iter().map(|d| d.topic))
+            .collect();
+        topics.sort_unstable();
+        topics.dedup();
+        topics
+    }
+
+    /// Number of URB-deliveries on one topic.
+    pub fn deliveries_for(&self, topic: TopicId) -> usize {
+        self.deliveries.iter().filter(|d| d.topic == topic).count()
     }
 
     /// Folds an event into the determinism hash.
@@ -197,6 +235,7 @@ mod tests {
         let mut m = Metrics::new(10);
         m.broadcasts.push(BroadcastRecord {
             pid: 0,
+            topic: TopicId::ZERO,
             tag: Tag(1),
             time: 100,
             payload: Payload::empty(),
@@ -204,6 +243,7 @@ mod tests {
         for (pid, t) in [(0usize, 120u64), (1, 150), (2, 130)] {
             m.deliveries.push(DeliveryRecord {
                 pid,
+                topic: TopicId::ZERO,
                 tag: Tag(1),
                 time: t,
                 fast: pid == 1,

@@ -76,6 +76,7 @@ pub fn theorem2_partition(n: usize, seed: u64) -> SimConfig {
     cfg.broadcasts = vec![PlannedBroadcast {
         time: 10,
         pid: 0,
+        topic: urb_types::TopicId::ZERO,
         payload: Payload::from("doomed"),
     }];
     cfg.crashes = CrashPlan::from_rules(

@@ -9,30 +9,32 @@
 //! only ever sees [`urb_types::WireMessage`]s and [`urb_types::FdSnapshot`]s,
 //! never process indices or the global clock.
 //!
-//! Protocol stepping itself lives in `urb-engine` ([`NodeEngine`] /
-//! `drive_step`): the simulator is an *adapter* that owns scheduling, the
-//! channel mesh, crash injection and measurement, and funnels every step
-//! through the same engine code the threaded runtime and the unit-test
-//! harness execute. Outbound traffic moves on the batched message plane:
-//! everything one step emits travels as a single [`Batch`] per
-//! destination, with loss still decided per message (DESIGN.md D8).
+//! Protocol stepping itself lives in `urb-engine`
+//! ([`urb_engine::TopicEngine`] / `drive_step`): the simulator is an
+//! *adapter* that owns scheduling, the channel mesh, crash injection and
+//! measurement, and funnels every step through the same engine code the
+//! threaded runtime and the unit-test harness execute. Each node runs one
+//! protocol instance per topic (DESIGN.md §12); outbound traffic moves on
+//! the multiplexed message plane — everything one step emits, across
+//! every topic, travels as a single topic-tagged frame per destination,
+//! with loss still decided per message (DESIGN.md D8).
 //!
 //! The outcome bundles the raw metrics, the URB property-checker report,
 //! the failure-detector audit (oracle runs) and quiescence information, so
 //! every experiment gets its full verdict from a single call to [`run`].
 
 use crate::channel::{ChannelMatrix, DelayModel, LossModel};
-use crate::checker::{check_urb, CheckReport};
+use crate::checker::{check_urb, check_urb_per_topic, CheckReport, TopicReport};
 use crate::crash::{CrashPlan, CrashRule};
 use crate::event::{Event, EventQueue, SchedulerPolicy};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics, StatsSample};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use urb_core::Algorithm;
-use urb_engine::{NodeEngine, StepBuffers, StepInput};
+use urb_engine::{StepBuffers, StepInput, TopicEngine};
 use urb_fd::{FdService, HeartbeatConfig, HeartbeatService, NoFd, OracleConfig, OracleFd};
 use urb_types::{
-    Batch, BatchPool, Delivery, Payload, ProcessStats, RandomSource, SplitMix64, Tag, WireKind,
-    Xoshiro256,
+    Delivery, MuxPool, Payload, ProcessStats, RandomSource, SplitMix64, Tag, TopicId, WireKind,
+    WireMessage, Xoshiro256,
 };
 
 /// Which failure-detector implementation a run uses.
@@ -53,6 +55,9 @@ pub struct PlannedBroadcast {
     pub time: u64,
     /// Invoking process.
     pub pid: usize,
+    /// Target URB instance ([`TopicId::ZERO`] on single-topic runs; must
+    /// be `< SimConfig::topics`).
+    pub topic: TopicId,
     /// The application message.
     pub payload: Payload,
 }
@@ -180,6 +185,19 @@ pub struct SimConfig {
     /// fixed event-queue order byte for byte; the exploration plane and
     /// schedule-sensitivity tests swap in seeded tie shuffles.
     pub scheduler: SchedulerPolicy,
+    /// Number of concurrent URB instances (topics) per node (DESIGN.md
+    /// §12). Every node runs one protocol instance per topic, all topics
+    /// share the channel mesh, and a node's step output travels as one
+    /// multiplexed frame. `1` (the default) is byte-identical to the
+    /// pre-topic simulator.
+    pub topics: u32,
+    /// Whether a multi-topic step's output travels as **one** multiplexed
+    /// frame (`true`, the default) or as one frame per topic (`false` —
+    /// the E19 A/B arm measuring what multiplexing saves). Message-level
+    /// behaviour (loss, ordering within a topic, verdicts) is identical
+    /// either way; only `Metrics::frames_sent` and event-queue granularity
+    /// differ.
+    pub mux_frames: bool,
 }
 
 impl SimConfig {
@@ -207,6 +225,7 @@ impl SimConfig {
             broadcasts: vec![PlannedBroadcast {
                 time: 10,
                 pid: 0,
+                topic: TopicId::ZERO,
                 payload: Payload::from("m0"),
             }],
             stats_interval: 0,
@@ -215,7 +234,15 @@ impl SimConfig {
             stop_on_full_delivery: false,
             trace: TraceConfig::disabled(),
             scheduler: SchedulerPolicy::Fifo,
+            topics: 1,
+            mux_frames: true,
         }
+    }
+
+    /// Sets the number of concurrent URB instances (builder style).
+    pub fn topics(mut self, topics: u32) -> Self {
+        self.topics = topics.max(1);
+        self
     }
 
     /// Sets the tie-order scheduler policy (builder style).
@@ -249,6 +276,30 @@ impl SimConfig {
             .map(|i| PlannedBroadcast {
                 time: 10 + i as u64 * spacing,
                 pid: i % self.n,
+                topic: TopicId::ZERO,
+                payload: Payload::from(format!("m{i}").as_str()),
+            })
+            .collect();
+        self
+    }
+
+    /// Replaces the workload with `k` broadcasts round-robined across both
+    /// senders **and** this config's topics, spaced `spacing` ticks apart
+    /// (the multi-topic twin of [`SimConfig::workload`]; with `topics = 1`
+    /// it is identical to it).
+    ///
+    /// Reads the **current** topic count, so call [`SimConfig::topics`]
+    /// *first* — `cfg.topics(4).workload_topics(8, 50)`, never the other
+    /// way around (the reversed order would silently plan a single-topic
+    /// workload next to three idle instances; [`run`] asserts against
+    /// out-of-range topics but cannot detect that inversion).
+    pub fn workload_topics(mut self, k: usize, spacing: u64) -> Self {
+        let topics = self.topics.max(1);
+        self.broadcasts = (0..k)
+            .map(|i| PlannedBroadcast {
+                time: 10 + i as u64 * spacing,
+                pid: i % self.n,
+                topic: TopicId(i as u32 % topics),
                 payload: Payload::from(format!("m{i}").as_str()),
             })
             .collect();
@@ -276,8 +327,14 @@ pub struct RunOutcome {
     pub correct: Vec<bool>,
     /// Raw measurements.
     pub metrics: Metrics,
-    /// URB property verdicts.
+    /// URB property verdicts over the whole run (tags are globally
+    /// unique, so the union of all topics is itself checkable; on a
+    /// single-topic run this is exactly the pre-topic report).
     pub report: CheckReport,
+    /// Per-topic URB verdicts (DESIGN.md §12): one entry per topic that
+    /// carried traffic, ascending; exactly one topic-0 entry on
+    /// single-topic runs.
+    pub per_topic: Vec<TopicReport>,
     /// Final per-process state sizes.
     pub final_stats: Vec<ProcessStats>,
     /// Oracle-audit result (`None` for non-oracle runs or when dynamic
@@ -306,6 +363,22 @@ impl RunOutcome {
             .collect()
     }
 
+    /// Tags delivered by process `pid` on one topic.
+    pub fn delivered_set_for(&self, pid: usize, topic: TopicId) -> std::collections::BTreeSet<Tag> {
+        self.metrics
+            .deliveries
+            .iter()
+            .filter(|d| d.pid == pid && d.topic == topic)
+            .map(|d| d.tag)
+            .collect()
+    }
+
+    /// Every per-topic verdict holds (and the global report, and the FD
+    /// audit where applicable).
+    pub fn all_topics_ok(&self) -> bool {
+        self.all_ok() && self.per_topic.iter().all(|t| t.report.all_ok())
+    }
+
     /// All URB properties hold and (for oracle runs) the detector audit
     /// passed.
     pub fn all_ok(&self) -> bool {
@@ -315,18 +388,23 @@ impl RunOutcome {
 
 struct Runner {
     config: SimConfig,
-    /// One engine per process: the shared per-node driving layer
-    /// (`urb-engine`) that the runtime and the harness also step through.
-    engines: Vec<NodeEngine>,
+    /// One topic engine per process: the shared per-node driving layer
+    /// (`urb-engine`) that the runtime and the harness also step through —
+    /// one protocol instance per topic, sharing the node's RNG stream.
+    engines: Vec<TopicEngine>,
     /// Reusable step buffers (cleared by every step; zero steady-state
     /// allocation on the hot path).
     scratch: StepBuffers,
     /// Reusable per-link batch verdicts.
     verdicts: Vec<bool>,
-    /// Recycled message vectors for routed sub-batches (DESIGN.md §10):
-    /// every `Deliver` event's batch is drawn from and returned to this
-    /// pool, so steady-state routing allocates no vectors.
-    batches: BatchPool,
+    /// Reusable failure-detector outbox (heartbeat traffic, topic-less —
+    /// tagged [`TopicId::ZERO`] on the wire).
+    fd_out: Vec<WireMessage>,
+    /// Recycled topic-tagged entry vectors for routed multiplexed
+    /// sub-batches (DESIGN.md §10/§12): every `Deliver` event's entry list
+    /// is drawn from and returned to this pool, so steady-state routing
+    /// allocates no vectors.
+    batches: MuxPool,
     tick_rng: SplitMix64,
     channels: ChannelMatrix,
     fd: Box<dyn FdService>,
@@ -353,6 +431,15 @@ pub fn run(config: SimConfig) -> RunOutcome {
     let n = config.n;
     assert!(n >= 1);
     assert_eq!(config.crashes.n(), n, "crash plan size mismatch");
+    let topics = config.topics.max(1);
+    for b in &config.broadcasts {
+        assert!(
+            b.topic.0 < topics,
+            "broadcast targets topic {} but the run has {} topic(s)",
+            b.topic,
+            topics
+        );
+    }
     let root = Xoshiro256::new(config.seed);
 
     let mut channels = ChannelMatrix::uniform(n, config.loss, config.delay, &root);
@@ -364,8 +451,15 @@ pub fn run(config: SimConfig) -> RunOutcome {
     }
 
     let seed_mix = SplitMix64::new(config.seed ^ 0x5EED_0F00_D000_0001);
-    let engines: Vec<NodeEngine> = (0..n)
-        .map(|i| NodeEngine::new(config.algorithm.instantiate(n), seed_mix.split(i as u64)))
+    let engines: Vec<TopicEngine> = (0..n)
+        .map(|i| {
+            TopicEngine::new(
+                (0..topics)
+                    .map(|_| config.algorithm.instantiate(n))
+                    .collect(),
+                seed_mix.split(i as u64),
+            )
+        })
         .collect();
     let tick_rng = seed_mix.split(0xFFFF);
 
@@ -389,11 +483,12 @@ pub fn run(config: SimConfig) -> RunOutcome {
         engines,
         scratch: StepBuffers::new(),
         verdicts: Vec::new(),
+        fd_out: Vec::new(),
         // Retention sized to in-flight peaks: every scheduled Deliver event
         // holds one pooled vector, and a lossy long-horizon run keeps
         // thousands of them in flight at once. (The default bound of 64
         // suits per-node pools, not a whole event queue.)
-        batches: BatchPool::new(1 << 16),
+        batches: MuxPool::new(1 << 16),
         tick_rng,
         channels,
         fd,
@@ -432,6 +527,7 @@ impl Runner {
                 b.time,
                 Event::ClientBroadcast {
                     pid: b.pid,
+                    topic: b.topic,
                     payload: b.payload,
                 },
             );
@@ -450,9 +546,13 @@ impl Runner {
             self.now = t;
             match ev {
                 Event::Tick { pid } => self.on_tick(pid),
-                Event::Deliver { to, from, batch } => self.on_deliver(to, from, batch),
+                Event::Deliver { to, from, entries } => self.on_deliver(to, from, entries),
                 Event::Crash { pid } => self.on_crash(pid),
-                Event::ClientBroadcast { pid, payload } => self.on_client_broadcast(pid, payload),
+                Event::ClientBroadcast {
+                    pid,
+                    topic,
+                    payload,
+                } => self.on_client_broadcast(pid, topic, payload),
                 Event::SampleStats => self.on_sample(),
             }
             if self.config.stop_on_quiescence && self.is_system_quiescent() {
@@ -497,14 +597,17 @@ impl Runner {
         })
     }
 
-    /// Runs one engine step for `pid` (the shared `urb-engine` code path),
-    /// records its deliveries, and returns leaving the step's emissions in
-    /// `self.scratch.outbox` for the caller to transmit.
-    fn engine_step(&mut self, pid: usize, input: StepInput) -> Option<Tag> {
+    /// Runs one engine step of `pid`'s `topic` instance (the shared
+    /// `urb-engine` code path), records its deliveries, and returns
+    /// leaving the step's emissions in `self.scratch.outbox` for the
+    /// caller to tag and transmit. One failure-detector snapshot per
+    /// step, shared by every topic instance — detectors observe
+    /// processes, not topics.
+    fn engine_step(&mut self, pid: usize, topic: TopicId, input: StepInput) -> Option<Tag> {
         let snapshot = self.fd.snapshot(pid, self.now);
-        let tag = self.engines[pid].step(input, &snapshot, &mut self.scratch);
+        let tag = self.engines[pid].step(topic, input, &snapshot, &mut self.scratch);
         let deliveries = std::mem::take(&mut self.scratch.deliveries);
-        self.handle_deliveries(pid, &deliveries);
+        self.handle_deliveries(pid, topic, &deliveries);
         self.scratch.deliveries = deliveries;
         tag
     }
@@ -514,16 +617,26 @@ impl Runner {
             return; // crash-stop: no further steps, no re-scheduling
         }
         self.metrics.hash_event(self.now, 1, pid as u64);
-        let mut fd_out = self.batches.acquire();
+        let mut entries = self.batches.acquire();
+        // Detector traffic first (preserving the unbatched order);
+        // heartbeats are per-node, not per-topic — they ride topic 0.
+        let mut fd_out = std::mem::take(&mut self.fd_out);
+        fd_out.clear();
         self.fd.on_tick(pid, self.now, &mut fd_out);
-        self.engine_step(pid, StepInput::Tick);
-        // Batched plane: detector traffic and the sweep's outbox leave as
-        // one frame (fd messages first, preserving the unbatched order).
-        fd_out.append(&mut self.scratch.outbox);
-        if fd_out.is_empty() {
-            self.batches.release(fd_out);
+        entries.extend(fd_out.drain(..).map(|m| (TopicId::ZERO, m)));
+        self.fd_out = fd_out;
+        // One Task-1 sweep per topic instance, ascending, all into the
+        // same multiplexed outbox — one frame per node tick (DESIGN.md
+        // §12). With one topic this is exactly the pre-topic sweep.
+        for t in 0..self.config.topics.max(1) {
+            let topic = TopicId(t);
+            self.engine_step(pid, topic, StepInput::Tick);
+            entries.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
+        }
+        if entries.is_empty() {
+            self.batches.release(entries);
         } else {
-            self.transmit(pid, Batch::from_vec(fd_out));
+            self.transmit(pid, entries);
         }
         // Schedule the next sweep.
         let jitter = if self.config.tick_jitter == 0 {
@@ -535,35 +648,36 @@ impl Runner {
         self.queue.push(next, Event::Tick { pid });
     }
 
-    fn on_deliver(&mut self, to: usize, _from: usize, batch: Batch) {
-        self.inflight_protocol -= batch
-            .messages()
+    fn on_deliver(&mut self, to: usize, _from: usize, entries: Vec<(TopicId, WireMessage)>) {
+        self.inflight_protocol -= entries
             .iter()
-            .filter(|m| m.kind() != WireKind::Heartbeat)
+            .filter(|(_, m)| m.kind() != WireKind::Heartbeat)
             .count();
-        let mut arrived = batch.into_messages();
+        let mut arrived = entries;
         if self.crashed[to] {
             // Arrived at a dead process: silently gone (vector recycled).
             self.batches.release(arrived);
             return;
         }
-        // Everything this batch's steps emit leaves as one frame again.
+        // Everything this frame's steps emit leaves as one frame again.
+        // Processing ascending topic groups in order keeps the emitted
+        // entries grouped ascending too.
         let mut emitted = self.batches.acquire();
-        for msg in arrived.drain(..) {
+        for (topic, msg) in arrived.drain(..) {
             self.metrics
                 .hash_event(self.now, 2, msg.content_hash() ^ to as u64);
             self.metrics.on_receive(msg.kind());
             self.tracer.receive(self.now, to, msg.kind(), msg.tag());
             self.fd.on_receive(to, self.now, &msg);
             // Snapshot taken per message, exactly as in unbatched delivery.
-            self.engine_step(to, StepInput::Receive(msg));
-            emitted.append(&mut self.scratch.outbox);
+            self.engine_step(to, topic, StepInput::Receive(msg));
+            emitted.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
         }
         self.batches.release(arrived);
         if emitted.is_empty() {
             self.batches.release(emitted);
         } else {
-            self.transmit(to, Batch::from_vec(emitted));
+            self.transmit(to, emitted);
         }
     }
 
@@ -578,17 +692,18 @@ impl Runner {
         self.fd.on_crash(pid, self.now);
     }
 
-    fn on_client_broadcast(&mut self, pid: usize, payload: Payload) {
+    fn on_client_broadcast(&mut self, pid: usize, topic: TopicId, payload: Payload) {
         self.pending_broadcasts -= 1;
         if self.crashed[pid] {
             return; // invoking a crashed process is a no-op
         }
         self.metrics.hash_event(self.now, 4, pid as u64);
         let tag = self
-            .engine_step(pid, StepInput::Broadcast(payload.clone()))
+            .engine_step(pid, topic, StepInput::Broadcast(payload.clone()))
             .expect("urb_broadcast assigns a tag");
         let rec = BroadcastRecord {
             pid,
+            topic,
             tag,
             time: self.now,
             payload,
@@ -597,8 +712,8 @@ impl Runner {
         self.metrics.broadcasts.push(rec);
         if !self.scratch.outbox.is_empty() {
             let mut out = self.batches.acquire();
-            out.append(&mut self.scratch.outbox);
-            self.transmit(pid, Batch::from_vec(out));
+            out.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
+            self.transmit(pid, out);
         }
     }
 
@@ -614,11 +729,12 @@ impl Runner {
         }
     }
 
-    fn handle_deliveries(&mut self, pid: usize, deliveries: &[Delivery]) {
+    fn handle_deliveries(&mut self, pid: usize, topic: TopicId, deliveries: &[Delivery]) {
         for d in deliveries {
             self.deliveries_per_pid[pid] += 1;
             let rec = DeliveryRecord {
                 pid,
+                topic,
                 tag: d.tag,
                 time: self.now,
                 fast: d.fast,
@@ -636,29 +752,63 @@ impl Runner {
         }
     }
 
-    /// The paper's `broadcast` primitive over the batched plane: one frame
-    /// per destination (self included), each member's fate decided by that
-    /// destination's own lossy channel, per message. One delivery event is
-    /// scheduled per destination instead of one per message, which is where
-    /// the routing overhead saving comes from; loss and metrics accounting
-    /// remain per message. Survivor sub-batches draw their vectors from
-    /// the batch pool, and the consumed input batch's vector returns to it
-    /// — steady-state routing allocates nothing (DESIGN.md §10).
-    fn transmit(&mut self, from: usize, batch: Batch) {
-        for m in batch.messages() {
+    /// The paper's `broadcast` primitive over the multiplexed topic plane
+    /// (DESIGN.md §12): one frame per destination (self included), each
+    /// member's fate decided by that destination's own lossy channel, per
+    /// message. One delivery event is scheduled per destination instead
+    /// of one per message — or one per topic — which is where the routing
+    /// overhead saving comes from; loss and metrics accounting remain per
+    /// message, with fairness identities decorrelated per topic
+    /// ([`TopicId::mix`]). Survivor sub-batches draw their vectors from
+    /// the entry pool, and the consumed input vector returns to it —
+    /// steady-state routing allocates nothing (DESIGN.md §10).
+    ///
+    /// With `mux_frames = false` (the E19 A/B arm) a multi-topic outbox is
+    /// split into one frame per topic before routing: message behaviour is
+    /// identical, but every topic pays its own per-destination frame.
+    fn transmit(&mut self, from: usize, entries: Vec<(TopicId, WireMessage)>) {
+        if !self.config.mux_frames {
+            if let Some(first_topic) = entries.first().map(|(t, _)| *t) {
+                if entries.iter().any(|(t, _)| *t != first_topic) {
+                    // Split into ascending per-topic frames (entries are
+                    // grouped ascending already) and route each alone.
+                    let mut rest = entries;
+                    while !rest.is_empty() {
+                        let topic = rest[0].0;
+                        let cut = rest
+                            .iter()
+                            .position(|(t, _)| *t != topic)
+                            .unwrap_or(rest.len());
+                        let mut group = self.batches.acquire();
+                        group.extend(rest.drain(..cut));
+                        self.transmit_frame(from, group);
+                    }
+                    self.batches.release(rest);
+                    return;
+                }
+            }
+        }
+        self.transmit_frame(from, entries);
+    }
+
+    /// Routes one frame's entries to every destination. See
+    /// [`Runner::transmit`].
+    fn transmit_frame(&mut self, from: usize, entries: Vec<(TopicId, WireMessage)>) {
+        for (_, m) in &entries {
             self.tracer.send(self.now, from, m.kind(), m.tag());
         }
         for to in 0..self.config.n {
-            for m in batch.messages() {
+            for (_, m) in &entries {
                 self.metrics.on_send(m.kind(), self.now);
             }
+            self.metrics.on_frame();
             if self
                 .config
                 .blackouts
                 .iter()
                 .any(|b| b.covers(from, to, self.now))
             {
-                for m in batch.messages() {
+                for (_, m) in &entries {
                     self.metrics.on_drop(m.kind());
                     self.tracer.drop_copy(self.now, from, to, m.kind(), m.tag());
                 }
@@ -668,8 +818,8 @@ impl Runner {
             let delay = self
                 .channels
                 .link_mut(from, to)
-                .transmit_batch(batch.messages(), &mut verdicts);
-            for (m, ok) in batch.messages().iter().zip(&verdicts) {
+                .transmit_entries(&entries, &mut verdicts);
+            for ((_, m), ok) in entries.iter().zip(&verdicts) {
                 if !ok {
                     self.metrics.on_drop(m.kind());
                     self.tracer.drop_copy(self.now, from, to, m.kind(), m.tag());
@@ -678,29 +828,28 @@ impl Runner {
             if let Some(delay) = delay {
                 let mut survivors = self.batches.acquire();
                 survivors.extend(
-                    batch
-                        .messages()
+                    entries
                         .iter()
                         .zip(&verdicts)
                         .filter(|&(_, ok)| *ok)
-                        .map(|(m, _)| m.clone()),
+                        .map(|(e, _)| e.clone()),
                 );
                 self.inflight_protocol += survivors
                     .iter()
-                    .filter(|m| m.kind() != WireKind::Heartbeat)
+                    .filter(|(_, m)| m.kind() != WireKind::Heartbeat)
                     .count();
                 self.queue.push(
                     self.now + delay,
                     Event::Deliver {
                         to,
                         from,
-                        batch: Batch::from_vec(survivors),
+                        entries: survivors,
                     },
                 );
             }
             self.verdicts = verdicts;
         }
-        self.batches.release(batch.into_messages());
+        self.batches.release(entries);
     }
 
     fn finish(self) -> RunOutcome {
@@ -711,6 +860,13 @@ impl Runner {
         let report = check_urb(
             n,
             &correct,
+            &self.metrics.broadcasts,
+            &self.metrics.deliveries,
+        );
+        let per_topic = check_urb_per_topic(
+            n,
+            &correct,
+            self.config.topics,
             &self.metrics.broadcasts,
             &self.metrics.deliveries,
         );
@@ -755,13 +911,14 @@ impl Runner {
             }
             _ => None,
         };
-        self.finish_with(correct, report, final_stats, fd_audit)
+        self.finish_with(correct, report, per_topic, final_stats, fd_audit)
     }
 
     fn finish_with(
         self,
         correct: Vec<bool>,
         report: CheckReport,
+        per_topic: Vec<TopicReport>,
         final_stats: Vec<ProcessStats>,
         fd_audit: Option<Result<(), String>>,
     ) -> RunOutcome {
@@ -774,6 +931,7 @@ impl Runner {
             trace: self.tracer.into_trace(),
             metrics: self.metrics,
             report,
+            per_topic,
             final_stats,
             fd_audit,
             batch_pool: self.batches.stats(),
@@ -871,6 +1029,91 @@ mod tests {
         );
         assert_eq!(s.discarded, 0, "retention bound must cover in-flight peaks");
         assert!(s.hit_rate() > 0.99, "{s:?}");
+    }
+
+    #[test]
+    fn multi_topic_run_delivers_per_topic_verdicts() {
+        // 3 topics × 6 broadcasts round-robined: every topic's instance
+        // delivers everywhere, the per-topic verdicts all hold, and the
+        // records partition exactly.
+        let cfg = SimConfig::new(4, Algorithm::Majority)
+            .topics(3)
+            .seed(19)
+            .workload_topics(6, 60);
+        let mut cfg = cfg;
+        cfg.stop_on_full_delivery = true;
+        let out = run(cfg);
+        assert!(out.report.all_ok(), "{:?}", out.report.violations());
+        assert!(out.all_topics_ok());
+        assert_eq!(out.per_topic.len(), 3);
+        for (i, t) in out.per_topic.iter().enumerate() {
+            assert_eq!(t.topic, TopicId(i as u32));
+            assert_eq!(t.broadcasts, 2, "6 broadcasts round-robin 3 topics");
+            assert_eq!(t.deliveries, 8, "2 msgs × 4 procs");
+            assert!(t.report.all_ok(), "topic {i}: {:?}", t.report.violations());
+        }
+        for pid in 0..4 {
+            assert_eq!(out.delivered_set(pid).len(), 6);
+            assert_eq!(out.delivered_set_for(pid, TopicId(1)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn multi_topic_runs_are_deterministic_and_seed_sensitive() {
+        let mk = |seed: u64| {
+            let mut cfg = SimConfig::new(4, Algorithm::Majority)
+                .topics(4)
+                .seed(seed)
+                .workload_topics(8, 40)
+                .loss(LossModel::Bernoulli { p: 0.15 });
+            cfg.stop_on_full_delivery = true;
+            run(cfg)
+        };
+        let a = mk(5);
+        let b = mk(5);
+        assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
+        assert_eq!(a.metrics.frames_sent, b.metrics.frames_sent);
+        assert_ne!(a.metrics.trace_hash, mk(6).metrics.trace_hash);
+    }
+
+    #[test]
+    fn mux_frames_beat_separate_frames_on_frames_sent() {
+        // The E19 claim in miniature: identical multi-topic workload, one
+        // run multiplexing every step's topics into one frame, the other
+        // paying one frame per topic. Message counts and verdicts agree;
+        // the multiplexed run sends strictly fewer frames.
+        let base = |mux: bool| {
+            let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+                .topics(4)
+                .seed(23)
+                .workload_topics(8, 10)
+                .max_time(400_000);
+            cfg.mux_frames = mux;
+            run(cfg)
+        };
+        let muxed = base(true);
+        let separate = base(false);
+        assert!(muxed.all_topics_ok(), "{:?}", muxed.report.violations());
+        assert!(separate.all_topics_ok());
+        assert_eq!(
+            muxed.metrics.deliveries.len(),
+            separate.metrics.deliveries.len(),
+            "same workload delivered either way"
+        );
+        assert!(
+            muxed.metrics.frames_sent < separate.metrics.frames_sent,
+            "multiplexing must amortize frames: {} vs {}",
+            muxed.metrics.frames_sent,
+            separate.metrics.frames_sent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "targets topic")]
+    fn broadcast_to_unconfigured_topic_panics() {
+        let mut cfg = SimConfig::new(2, Algorithm::Majority);
+        cfg.broadcasts[0].topic = TopicId(3); // only 1 topic configured
+        let _ = run(cfg);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
-use urb_types::Payload;
+use urb_types::{Payload, TopicId};
 
 /// A scenario-file error: what went wrong, in words a spec author acts on.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -123,7 +123,8 @@ pub enum FdSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
     /// `count` broadcasts from round-robin senders, `spacing` ticks apart,
-    /// starting at `start`.
+    /// starting at `start` (all on topic 0 — the single-table `[workload]`
+    /// form).
     Generated {
         /// Number of URB broadcasts.
         count: usize,
@@ -132,8 +133,27 @@ pub enum WorkloadSpec {
         /// Invocation time of the first broadcast.
         start: u64,
     },
-    /// Explicit `[[workload.explicit]]` entries.
+    /// One generated workload **per topic** — the `[[workload]]`
+    /// array-of-tables form of the topic plane (DESIGN.md §12): each entry
+    /// names its topic and contributes its own round-robin broadcast
+    /// stream, so skewed topic loads (one hot topic, many cold ones) are
+    /// a few lines of TOML.
+    PerTopic(Vec<TopicWorkload>),
+    /// Explicit `[[workload.explicit]]` entries (each may name a topic).
     Explicit(Vec<BroadcastSpec>),
+}
+
+/// One topic's generated workload (`[[workload]]` entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopicWorkload {
+    /// The topic this stream broadcasts on (must be `< [topics].count`).
+    pub topic: u32,
+    /// Number of URB broadcasts.
+    pub count: usize,
+    /// Ticks between consecutive broadcasts.
+    pub spacing: u64,
+    /// Invocation time of the first broadcast.
+    pub start: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -153,6 +173,8 @@ pub struct BroadcastSpec {
     pub time: u64,
     /// Invoking process.
     pub pid: usize,
+    /// Target URB instance (`0` when omitted; must be `< [topics].count`).
+    pub topic: u32,
     /// The application message (UTF-8).
     pub payload: String,
 }
@@ -211,6 +233,12 @@ pub struct Expectations {
     pub quiescent: Option<bool>,
     /// Minimum number of URB deliveries across all processes.
     pub min_deliveries: Option<usize>,
+    /// Every per-topic URB verdict must hold (DESIGN.md §12). `all_ok`
+    /// checks the global union of records; this key additionally demands
+    /// each instance's own partitioned verdict.
+    pub topics_all_ok: Option<bool>,
+    /// Minimum URB deliveries on **each** topic that appears in the run.
+    pub min_deliveries_per_topic: Option<usize>,
 }
 
 impl Expectations {
@@ -243,12 +271,27 @@ impl Expectations {
         want("agreement", eff.agreement, out.report.agreement.ok());
         want("integrity", eff.integrity, out.report.integrity.ok());
         want("quiescent", eff.quiescent, out.quiescent);
+        want(
+            "topics_all_ok",
+            eff.topics_all_ok,
+            out.per_topic.iter().all(|t| t.report.all_ok()),
+        );
         if let Some(min) = eff.min_deliveries {
             let got = out.metrics.deliveries.len();
             if got < min {
                 fails.push(format!(
                     "expected at least {min} deliveries, run produced {got}"
                 ));
+            }
+        }
+        if let Some(min) = eff.min_deliveries_per_topic {
+            for t in &out.per_topic {
+                if t.deliveries < min {
+                    fails.push(format!(
+                        "expected at least {min} deliveries on topic {}, run produced {}",
+                        t.topic, t.deliveries
+                    ));
+                }
             }
         }
         fails
@@ -303,6 +346,9 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// System size `n`.
     pub n: usize,
+    /// Number of concurrent URB instances (topics); `1` when the
+    /// `[topics]` table is absent (DESIGN.md §12).
+    pub topics: u32,
     /// Protocol under test.
     pub algorithm: Algorithm,
     /// Hard horizon in ticks.
@@ -351,6 +397,7 @@ impl ScenarioSpec {
             description: String::new(),
             seed: 1,
             n,
+            topics: 1,
             algorithm,
             horizon: 100_000,
             tick_interval: 10,
@@ -406,6 +453,7 @@ impl ScenarioSpec {
                 "description",
                 "seed",
                 "n",
+                "topics",
                 "algorithm",
                 "horizon",
                 "tick_interval",
@@ -429,6 +477,11 @@ impl ScenarioSpec {
         )?;
         let n = req_usize(map, "n")?;
         let mut spec = ScenarioSpec::new(&req_str(map, "name")?, n, Algorithm::Quiescent);
+        if let Some(v) = map.get("topics") {
+            let t = as_table(v, "topics")?;
+            check_keys(t, &["count"], "topics")?;
+            spec.topics = req_u64(t, "count")? as u32;
+        }
         spec.algorithm = match map.get("algorithm") {
             Some(v) => parse_algorithm(as_str(v, "algorithm")?)?,
             None => Algorithm::Quiescent,
@@ -515,6 +568,10 @@ impl ScenarioSpec {
         if let Some(fd) = &self.fd {
             s.push_str(&encode_fd(fd));
         }
+        if self.topics != 1 {
+            let _ = writeln!(s, "\n[topics]");
+            let _ = writeln!(s, "count = {}", self.topics);
+        }
         match &self.workload {
             WorkloadSpec::Generated {
                 count,
@@ -526,11 +583,23 @@ impl ScenarioSpec {
                 let _ = writeln!(s, "spacing = {spacing}");
                 let _ = writeln!(s, "start = {start}");
             }
+            WorkloadSpec::PerTopic(list) => {
+                for w in list {
+                    let _ = writeln!(s, "\n[[workload]]");
+                    let _ = writeln!(s, "topic = {}", w.topic);
+                    let _ = writeln!(s, "count = {}", w.count);
+                    let _ = writeln!(s, "spacing = {}", w.spacing);
+                    let _ = writeln!(s, "start = {}", w.start);
+                }
+            }
             WorkloadSpec::Explicit(list) => {
                 for b in list {
                     let _ = writeln!(s, "\n[[workload.explicit]]");
                     let _ = writeln!(s, "time = {}", b.time);
                     let _ = writeln!(s, "pid = {}", b.pid);
+                    if b.topic != 0 {
+                        let _ = writeln!(s, "topic = {}", b.topic);
+                    }
                     let _ = writeln!(s, "payload = {}", toml_str(&b.payload));
                 }
             }
@@ -593,8 +662,12 @@ impl ScenarioSpec {
             bool_line("agreement", self.expect.agreement);
             bool_line("integrity", self.expect.integrity);
             bool_line("quiescent", self.expect.quiescent);
+            bool_line("topics_all_ok", self.expect.topics_all_ok);
             if let Some(m) = self.expect.min_deliveries {
                 let _ = writeln!(s, "min_deliveries = {m}");
+            }
+            if let Some(m) = self.expect.min_deliveries_per_topic {
+                let _ = writeln!(s, "min_deliveries_per_topic = {m}");
             }
         }
         if self.check != CheckBounds::default() {
@@ -625,9 +698,13 @@ impl ScenarioSpec {
         if n == 0 {
             return Err(SpecError::new("n must be positive"));
         }
+        if self.topics == 0 {
+            return Err(SpecError::new("topics.count must be positive"));
+        }
         let mut cfg = SimConfig::new(n, self.algorithm)
             .seed(self.seed)
             .max_time(self.horizon);
+        cfg.topics = self.topics;
         cfg.tick_interval = self.tick_interval;
         cfg.tick_jitter = self.tick_jitter;
         cfg.stats_interval = self.stats_interval;
@@ -648,6 +725,16 @@ impl ScenarioSpec {
             };
         }
 
+        let check_topic = |topic: u32, what: &str| -> Result<(), SpecError> {
+            if topic >= self.topics {
+                Err(SpecError::new(format!(
+                    "{what} {topic} out of range for topics.count = {}",
+                    self.topics
+                )))
+            } else {
+                Ok(())
+            }
+        };
         cfg.broadcasts = match &self.workload {
             WorkloadSpec::Generated {
                 count,
@@ -657,16 +744,37 @@ impl ScenarioSpec {
                 .map(|i| PlannedBroadcast {
                     time: start + i as u64 * spacing,
                     pid: i % n,
+                    topic: TopicId::ZERO,
                     payload: Payload::from(format!("m{i}").as_str()),
                 })
                 .collect(),
+            WorkloadSpec::PerTopic(list) => {
+                let mut planned = Vec::new();
+                for w in list {
+                    check_topic(w.topic, "workload topic")?;
+                    for i in 0..w.count {
+                        planned.push(PlannedBroadcast {
+                            time: w.start + i as u64 * w.spacing,
+                            pid: i % n,
+                            topic: TopicId(w.topic),
+                            payload: Payload::from(format!("t{}m{i}", w.topic).as_str()),
+                        });
+                    }
+                }
+                // Deterministic event-queue order: by time, then topic,
+                // then the stream's own index order (already stable).
+                planned.sort_by_key(|b| (b.time, b.topic));
+                planned
+            }
             WorkloadSpec::Explicit(list) => list
                 .iter()
                 .map(|b| {
                     check_pid(n, b.pid, "workload pid")?;
+                    check_topic(b.topic, "workload topic")?;
                     Ok(PlannedBroadcast {
                         time: b.time,
                         pid: b.pid,
+                        topic: TopicId(b.topic),
                         payload: Payload::from(b.payload.as_str()),
                     })
                 })
@@ -791,6 +899,14 @@ pub fn corpus() -> Vec<(&'static str, &'static str)> {
         (
             "theorem2_violation",
             include_str!("../../../scenarios/theorem2_violation.toml"),
+        ),
+        (
+            "two_topics_smoke",
+            include_str!("../../../scenarios/two_topics_smoke.toml"),
+        ),
+        (
+            "cross_topic_storm",
+            include_str!("../../../scenarios/cross_topic_storm.toml"),
         ),
     ]
 }
@@ -1190,6 +1306,26 @@ fn decode_blackout(v: &Value) -> Result<Blackout, SpecError> {
 }
 
 fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
+    // `[[workload]]` array form: one generated stream per topic.
+    if let Some(items) = v.as_array() {
+        let list = items
+            .iter()
+            .map(|item| {
+                let map = as_table(item, "workload")?;
+                check_keys(map, &["topic", "count", "spacing", "start"], "workload")?;
+                Ok(TopicWorkload {
+                    topic: opt_u64(map, "topic", 0)? as u32,
+                    count: req_usize(map, "count")?,
+                    spacing: opt_u64(map, "spacing", 100)?,
+                    start: opt_u64(map, "start", 10)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        if list.is_empty() {
+            return Err(SpecError::new("[[workload]] must not be empty"));
+        }
+        return Ok(WorkloadSpec::PerTopic(list));
+    }
     let map = as_table(v, "workload")?;
     check_keys(map, &["count", "spacing", "start", "explicit"], "workload")?;
     if let Some(list) = map.get("explicit") {
@@ -1202,10 +1338,15 @@ fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
             .iter()
             .map(|item| {
                 let map = as_table(item, "workload.explicit")?;
-                check_keys(map, &["time", "pid", "payload"], "workload.explicit")?;
+                check_keys(
+                    map,
+                    &["time", "pid", "topic", "payload"],
+                    "workload.explicit",
+                )?;
                 Ok(BroadcastSpec {
                     time: req_u64(map, "time")?,
                     pid: req_usize(map, "pid")?,
+                    topic: opt_u64(map, "topic", 0)? as u32,
                     payload: req_str(map, "payload")?,
                 })
             })
@@ -1453,6 +1594,8 @@ fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
             "integrity",
             "quiescent",
             "min_deliveries",
+            "topics_all_ok",
+            "min_deliveries_per_topic",
         ],
         "expect",
     )?;
@@ -1465,9 +1608,14 @@ fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
         agreement: get_bool("agreement")?,
         integrity: get_bool("integrity")?,
         quiescent: get_bool("quiescent")?,
+        topics_all_ok: get_bool("topics_all_ok")?,
         min_deliveries: map
             .get("min_deliveries")
             .map(|v| Ok::<usize, SpecError>(as_u64(v, "min_deliveries")? as usize))
+            .transpose()?,
+        min_deliveries_per_topic: map
+            .get("min_deliveries_per_topic")
+            .map(|v| Ok::<usize, SpecError>(as_u64(v, "min_deliveries_per_topic")? as usize))
             .transpose()?,
     })
 }
@@ -1607,6 +1755,7 @@ mod tests {
         spec.workload = WorkloadSpec::Explicit(vec![BroadcastSpec {
             time: 10,
             pid: 1,
+            topic: 0,
             payload: "hello \"world\"".into(),
         }]);
         spec.crashes = vec![
@@ -1743,6 +1892,75 @@ mod tests {
             let err =
                 ScenarioSpec::from_toml_str(&format!("name = \"c\"\nn = 4\n{bad}")).unwrap_err();
             assert!(err.message.contains(needle), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn topics_table_and_per_topic_workloads_decode_and_run() {
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"twotopics\"\nn = 4\nalgorithm = \"majority\"\nstop = \"full-delivery\"\n\
+             [topics]\ncount = 2\n\
+             [[workload]]\ntopic = 0\ncount = 2\nspacing = 50\nstart = 10\n\
+             [[workload]]\ntopic = 1\ncount = 1\nspacing = 50\nstart = 30\n\
+             [expect]\ntopics_all_ok = true\nmin_deliveries_per_topic = 4\n",
+        )
+        .unwrap();
+        assert_eq!(spec.topics, 2);
+        match &spec.workload {
+            WorkloadSpec::PerTopic(list) => {
+                assert_eq!(list.len(), 2);
+                assert_eq!(list[0].topic, 0);
+                assert_eq!(list[1].count, 1);
+            }
+            other => panic!("wrong workload form: {other:?}"),
+        }
+        let cfg = spec.compile().unwrap();
+        assert_eq!(cfg.topics, 2);
+        assert_eq!(cfg.broadcasts.len(), 3);
+        let (out, fails) = spec.run().unwrap();
+        assert!(fails.is_empty(), "{fails:?}");
+        assert_eq!(out.per_topic.len(), 2);
+        assert!(out.all_topics_ok());
+        // Round trip: the emitted TOML re-parses to the same spec.
+        let parsed = ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(parsed, spec, "round trip through:\n{}", spec.to_toml());
+    }
+
+    #[test]
+    fn explicit_workload_entries_may_name_topics() {
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"xt\"\nn = 2\nalgorithm = \"majority\"\n[topics]\ncount = 3\n\
+             [[workload.explicit]]\ntime = 10\npid = 0\ntopic = 2\npayload = \"late\"\n\
+             [[workload.explicit]]\ntime = 5\npid = 1\npayload = \"default-topic\"\n",
+        )
+        .unwrap();
+        let cfg = spec.compile().unwrap();
+        assert_eq!(cfg.broadcasts[0].topic, urb_types::TopicId(2));
+        assert_eq!(cfg.broadcasts[1].topic, urb_types::TopicId(0));
+        let parsed = ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn topic_validation_rejects_out_of_range_and_zero() {
+        for (toml, needle) in [
+            (
+                "name = \"v\"\nn = 2\n[topics]\ncount = 2\n\
+                 [[workload]]\ntopic = 5\ncount = 1\n",
+                "out of range",
+            ),
+            (
+                "name = \"v\"\nn = 2\n\
+                 [[workload.explicit]]\ntime = 1\npid = 0\ntopic = 1\npayload = \"x\"\n",
+                "out of range",
+            ),
+            ("name = \"v\"\nn = 2\n[topics]\ncount = 0\n", "positive"),
+            ("name = \"v\"\nn = 2\n[topics]\nwat = 1\n", "unknown key"),
+        ] {
+            let err = ScenarioSpec::from_toml_str(toml)
+                .and_then(|s| s.compile().map(|_| ()))
+                .unwrap_err();
+            assert!(err.message.contains(needle), "{toml:?} → {err}");
         }
     }
 

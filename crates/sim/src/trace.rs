@@ -348,6 +348,7 @@ mod tests {
         r.crash(3, 2);
         r.urb_deliver(&DeliveryRecord {
             pid: 0,
+            topic: urb_types::TopicId::ZERO,
             tag: Tag(1),
             time: 4,
             fast: false,
@@ -388,6 +389,7 @@ mod tests {
         let mut r = recorder(TraceConfig::full(10));
         r.urb_broadcast(&BroadcastRecord {
             pid: 2,
+            topic: urb_types::TopicId::ZERO,
             tag: Tag(9),
             time: 7,
             payload: urb_types::Payload::empty(),

@@ -20,6 +20,7 @@ fn arb_history(
         v.into_iter()
             .map(|(pid, tag, time)| BroadcastRecord {
                 pid,
+                topic: urb_types::TopicId::ZERO,
                 tag: Tag(tag as u128),
                 time,
                 payload: body(),
@@ -30,6 +31,7 @@ fn arb_history(
         v.into_iter()
             .map(|(pid, tag, time)| DeliveryRecord {
                 pid,
+                topic: urb_types::TopicId::ZERO,
                 tag: Tag(tag as u128),
                 time,
                 fast: false,

@@ -21,6 +21,46 @@ use crate::rng::RandomSource;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Identifier of one URB *instance* (a "topic"): an independent broadcast
+/// group multiplexed over the shared channel mesh.
+///
+/// The paper specifies a single per-instance state machine; a production
+/// deployment runs **many** concurrent instances — one per topic, channel
+/// or tenant — over the same links. A `TopicId` names one such instance.
+/// Unlike [`Tag`]/[`TagAck`]/[`Label`] it is *not* random: topics are
+/// small dense indices (`0 .. topic_count`) assigned by configuration,
+/// because every layer keys per-topic state by it (protocol-instance
+/// maps, router lanes, per-topic verdicts). Topic `0` is the implicit
+/// default everywhere, which keeps every single-topic artifact
+/// byte-identical to the pre-topic system (DESIGN.md §12).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The default topic every single-instance deployment runs on.
+    pub const ZERO: TopicId = TopicId(0);
+
+    /// Mixes this topic into a per-message identity hash. Topic `0`
+    /// contributes nothing, so single-topic retransmission keys (the
+    /// fair-lossy bookkeeping unit) are bit-identical to the pre-topic
+    /// system; distinct topics decorrelate otherwise-equal keys.
+    pub fn mix(self, key: u64) -> u64 {
+        key ^ (self.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl fmt::Debug for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Topic({})", self.0)
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// Unique random identifier of a URB-broadcast message (the paper's `tag`).
 ///
 /// Drawn by the broadcasting process in `URB_broadcast` (Algorithm 1/2,
@@ -265,6 +305,19 @@ mod tests {
         a.union_with(&b);
         let v: Vec<Label> = a.iter().collect();
         assert_eq!(v, vec![Label(1), Label(2), Label(3)]);
+    }
+
+    #[test]
+    fn topic_zero_mix_is_the_identity() {
+        for key in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(TopicId::ZERO.mix(key), key, "topic 0 must not disturb keys");
+        }
+        let k = 0xCAFE_F00Du64;
+        assert_ne!(TopicId(1).mix(k), k);
+        assert_ne!(TopicId(1).mix(k), TopicId(2).mix(k));
+        assert_eq!(TopicId::default(), TopicId::ZERO);
+        assert_eq!(format!("{}", TopicId(3)), "3");
+        assert_eq!(format!("{:?}", TopicId(3)), "Topic(3)");
     }
 
     #[test]

@@ -42,9 +42,11 @@ pub mod rng;
 pub mod wire;
 
 pub use fd::{FdPair, FdSnapshot, FdView};
-pub use ids::{Label, LabelSet, Tag, TagAck};
+pub use ids::{Label, LabelSet, Tag, TagAck, TopicId};
 pub use payload::Payload;
-pub use pool::{BatchPool, BufPool, PoolStats, PooledBuf};
+pub use pool::{BatchPool, BufPool, MuxPool, PoolStats, PooledBuf, VecPool};
 pub use protocol::{AnonProcess, Context, Delivery, ProcessStats};
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
-pub use wire::{encode_frame_into, Batch, CodecError, WireKind, WireMessage};
+pub use wire::{
+    encode_frame_into, encode_mux_frame_into, Batch, CodecError, MuxBatch, WireKind, WireMessage,
+};

@@ -246,39 +246,60 @@ impl std::fmt::Debug for PooledBuf {
     }
 }
 
-/// A pool of recycled message vectors for routed sub-batches.
+/// A pool of recycled vectors of `T` for routed sub-batches.
 ///
-/// Unlike [`BufPool`] this hands out plain `Vec<WireMessage>` values
-/// (they typically move *into* a [`Batch`](crate::Batch) or an event and
-/// come back much later via [`BatchPool::release`]), so recycling is
-/// explicit rather than RAII; dropping a vector instead of releasing it
-/// is safe and merely forfeits the reuse.
-#[derive(Clone)]
-pub struct BatchPool {
-    shelf: Arc<Shelf<Vec<WireMessage>>>,
+/// Unlike [`BufPool`] this hands out plain `Vec<T>` values (they
+/// typically move *into* a [`Batch`](crate::Batch) or an event and come
+/// back much later via [`VecPool::release`]), so recycling is explicit
+/// rather than RAII; dropping a vector instead of releasing it is safe
+/// and merely forfeits the reuse.
+///
+/// Two instantiations cover the message plane: [`BatchPool`]
+/// (`Vec<WireMessage>` — single-instance sub-batches) and [`MuxPool`]
+/// (`Vec<(TopicId, WireMessage)>` — topic-tagged entries of the
+/// multiplexed frame plane, DESIGN.md §12).
+pub struct VecPool<T> {
+    shelf: Arc<Shelf<Vec<T>>>,
 }
 
-impl Default for BatchPool {
-    fn default() -> Self {
-        BatchPool::new(DEFAULT_MAX_RETAINED)
+// Derived `Clone` would demand `T: Clone`; the handle only clones the Arc.
+impl<T> Clone for VecPool<T> {
+    fn clone(&self) -> Self {
+        VecPool {
+            shelf: Arc::clone(&self.shelf),
+        }
     }
 }
 
-impl BatchPool {
+/// Recycled `Vec<WireMessage>` sub-batch vectors (the single-instance
+/// batch plane).
+pub type BatchPool = VecPool<WireMessage>;
+
+/// Recycled `Vec<(TopicId, WireMessage)>` entry vectors (the multiplexed
+/// topic plane).
+pub type MuxPool = VecPool<(crate::ids::TopicId, WireMessage)>;
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        VecPool::new(DEFAULT_MAX_RETAINED)
+    }
+}
+
+impl<T> VecPool<T> {
     /// A pool retaining at most `max_retained` idle vectors.
     pub fn new(max_retained: usize) -> Self {
-        BatchPool {
+        VecPool {
             shelf: Arc::new(Shelf::new(max_retained)),
         }
     }
 
-    /// Acquires an empty message vector (recycled when possible).
-    pub fn acquire(&self) -> Vec<WireMessage> {
+    /// Acquires an empty vector (recycled when possible).
+    pub fn acquire(&self) -> Vec<T> {
         self.shelf.take(Vec::new)
     }
 
     /// Returns a vector to the pool (cleared here; capacity retained).
-    pub fn release(&self, mut v: Vec<WireMessage>) {
+    pub fn release(&self, mut v: Vec<T>) {
         v.clear();
         self.shelf.put(v);
     }
@@ -294,9 +315,9 @@ impl BatchPool {
     }
 }
 
-impl std::fmt::Debug for BatchPool {
+impl<T> std::fmt::Debug for VecPool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BatchPool")
+        f.debug_struct("VecPool")
             .field("idle", &self.idle())
             .field("stats", &self.stats())
             .finish()
@@ -372,6 +393,25 @@ mod tests {
         pool.release(v);
         let v2 = pool.acquire();
         assert!(v2.is_empty(), "released vectors are cleared");
+        assert!(v2.capacity() >= 1);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn mux_pool_recycles_tagged_entry_vectors() {
+        use crate::ids::TopicId;
+        let pool: crate::pool::MuxPool = crate::pool::MuxPool::new(4);
+        let mut v = pool.acquire();
+        v.push((
+            TopicId(1),
+            WireMessage::Msg {
+                tag: Tag(1),
+                payload: Payload::from("m"),
+            },
+        ));
+        pool.release(v);
+        let v2 = pool.acquire();
+        assert!(v2.is_empty());
         assert!(v2.capacity() >= 1);
         assert_eq!(pool.stats().recycled, 1);
     }

@@ -34,7 +34,7 @@
 //! byte-identical frames; `urb_bench::compare` replays the same seeded
 //! corpus through both and asserts it.
 
-use crate::ids::{Label, LabelSet, Tag, TagAck};
+use crate::ids::{Label, LabelSet, Tag, TagAck, TopicId};
 use crate::payload::Payload;
 use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -622,6 +622,254 @@ impl<'a> IntoIterator for &'a Batch {
     }
 }
 
+/// A **multiplexed** batch frame: one topic-keyed sub-batch per URB
+/// instance, moved as a single unit of routing (DESIGN.md §12).
+///
+/// Where [`Batch`] carries one instance's step output, a `MuxBatch`
+/// carries the output of *every* topic instance a node stepped, so a
+/// multi-topic node still schedules **one** routing event (one frame
+/// send) per step instead of one per topic. Loss, metrics and fairness
+/// bookkeeping stay per message — each member keeps its own
+/// [`WireMessage::retransmit_key`], decorrelated across topics via
+/// [`TopicId::mix`].
+///
+/// Frame layout: `0x04` (frame tag, disjoint from message discriminants
+/// 0–2 and the [`Batch`] tag `0x03`), a `u32` sub-batch count, then per
+/// sub-batch a `u32` topic id, a `u32` message count and the messages in
+/// [`Batch`] member encoding (`u32` byte length + message bytes). The
+/// zero-copy properties of the batch codec carry over: encoding appends
+/// into a caller buffer with no per-message allocation
+/// ([`MuxBatch::encode_into`]), and [`MuxBatch::decode_shared_into`]
+/// decodes payloads as refcounted slice views of the frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxBatch {
+    /// `(topic, messages)` sub-batches, in emission order. Kept sorted by
+    /// topic by [`MuxBatch::push`] (topics are stepped in ascending order,
+    /// so pushes arrive sorted; the invariant is asserted in debug).
+    subs: Vec<(TopicId, Vec<WireMessage>)>,
+}
+
+impl MuxBatch {
+    /// Frame-tag byte distinguishing a multiplexed frame from a [`Batch`]
+    /// (`0x03`) and from bare messages (0–2).
+    pub const FRAME_TAG: u8 = 4;
+
+    /// An empty multiplexed batch.
+    pub fn new() -> Self {
+        MuxBatch { subs: Vec::new() }
+    }
+
+    /// Appends one message to `topic`'s sub-batch, creating it on first
+    /// use. Messages for one topic must arrive contiguously in ascending
+    /// topic order (how every driver steps its topics).
+    pub fn push(&mut self, topic: TopicId, msg: WireMessage) {
+        match self.subs.last_mut() {
+            Some((t, sub)) if *t == topic => sub.push(msg),
+            _ => {
+                debug_assert!(
+                    self.subs.iter().all(|(t, _)| *t < topic),
+                    "topics must be pushed in ascending order"
+                );
+                self.subs.push((topic, vec![msg]));
+            }
+        }
+    }
+
+    /// Builds a multiplexed batch from topic-tagged messages in ascending
+    /// topic order (the shape the engine's mux outbox drains into).
+    pub fn from_entries<'a, I: IntoIterator<Item = &'a (TopicId, WireMessage)>>(
+        entries: I,
+    ) -> Self {
+        let mut mux = MuxBatch::new();
+        for (topic, msg) in entries {
+            mux.push(*topic, msg.clone());
+        }
+        mux
+    }
+
+    /// The `(topic, messages)` sub-batches, ascending by topic.
+    pub fn sub_batches(&self) -> &[(TopicId, Vec<WireMessage>)] {
+        &self.subs
+    }
+
+    /// Number of sub-batches (distinct topics) in the frame.
+    pub fn topic_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Total messages across all sub-batches.
+    pub fn len(&self) -> usize {
+        self.subs.iter().map(|(_, sub)| sub.len()).sum()
+    }
+
+    /// True when no sub-batch carries anything.
+    pub fn is_empty(&self) -> bool {
+        self.subs.iter().all(|(_, sub)| sub.is_empty())
+    }
+
+    /// Iterates `(topic, &message)` pairs in frame order.
+    pub fn iter(&self) -> impl Iterator<Item = (TopicId, &WireMessage)> + '_ {
+        self.subs
+            .iter()
+            .flat_map(|(t, sub)| sub.iter().map(move |m| (*t, m)))
+    }
+
+    /// Serialized size in bytes (what [`MuxBatch::encode`] produces).
+    pub fn encoded_len(&self) -> usize {
+        1 + 4
+            + self
+                .subs
+                .iter()
+                .map(|(_, sub)| 4 + 4 + sub.iter().map(|m| 4 + m.encoded_len()).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Encodes the frame into a freshly allocated buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the frame to an existing buffer — the zero-copy encode
+    /// path (with a warm pooled buffer this allocates nothing, per
+    /// message or per frame; pinned by the mux codec property tests).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(MuxBatch::FRAME_TAG);
+        buf.put_u32(self.subs.len() as u32);
+        for (topic, sub) in &self.subs {
+            buf.put_u32(topic.0);
+            buf.put_u32(sub.len() as u32);
+            for m in sub {
+                buf.put_u32(m.encoded_len() as u32);
+                m.encode_into(buf);
+            }
+        }
+    }
+
+    /// Decodes a complete multiplexed frame, copying payloads into fresh
+    /// storage (the legacy path; [`MuxBatch::decode_shared`] is the
+    /// zero-copy one).
+    pub fn decode(data: &[u8]) -> Result<MuxBatch, CodecError> {
+        decode_mux(data, &mut copy_payload)
+    }
+
+    /// Decodes a complete multiplexed frame **without copying payloads**:
+    /// every decoded [`Payload`] is a refcounted slice view of `frame`
+    /// itself — the receive path of the runtime's sharded wire plane.
+    pub fn decode_shared(frame: &Bytes) -> Result<MuxBatch, CodecError> {
+        decode_mux(frame, &mut |_, off, len| {
+            Payload::from_bytes(frame.slice(off..off + len))
+        })
+    }
+
+    /// [`MuxBatch::decode_shared`] into a caller-supplied entry vector
+    /// (cleared first, capacity retained) — the steady-state-zero-
+    /// allocation ingress path: pair with a recycled
+    /// [`crate::MuxPool`] vector and nothing is allocated per frame.
+    pub fn decode_shared_into(
+        frame: &Bytes,
+        out: &mut Vec<(TopicId, WireMessage)>,
+    ) -> Result<(), CodecError> {
+        decode_mux_entries(frame, out, &mut |_, off, len| {
+            Payload::from_bytes(frame.slice(off..off + len))
+        })
+    }
+}
+
+/// Encodes topic-tagged messages (ascending topic order) as one
+/// multiplexed frame appended to `buf` — the free-function twin of
+/// [`MuxBatch::encode_into`] for callers holding a flat entry slice (the
+/// engine's mux outbox) rather than a built [`MuxBatch`]. Byte-identical
+/// to building the `MuxBatch` and encoding it.
+pub fn encode_mux_frame_into(entries: &[(TopicId, WireMessage)], buf: &mut BytesMut) {
+    buf.put_u8(MuxBatch::FRAME_TAG);
+    // First pass: count sub-batch boundaries (entries are grouped in
+    // ascending topic order, so a boundary is any topic change).
+    let sub_count = entries
+        .iter()
+        .zip(entries.iter().skip(1))
+        .filter(|((a, _), (b, _))| a != b)
+        .count() as u32
+        + u32::from(!entries.is_empty());
+    buf.put_u32(sub_count);
+    let mut i = 0;
+    while i < entries.len() {
+        let topic = entries[i].0;
+        let end = entries[i..]
+            .iter()
+            .position(|(t, _)| *t != topic)
+            .map_or(entries.len(), |p| i + p);
+        debug_assert!(
+            entries[end..].iter().all(|(t, _)| *t > topic),
+            "entries must be grouped in ascending topic order"
+        );
+        buf.put_u32(topic.0);
+        buf.put_u32((end - i) as u32);
+        for (_, m) in &entries[i..end] {
+            buf.put_u32(m.encoded_len() as u32);
+            m.encode_into(buf);
+        }
+        i = end;
+    }
+}
+
+/// Shared mux decode core (structured form).
+fn decode_mux(
+    data: &[u8],
+    payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
+) -> Result<MuxBatch, CodecError> {
+    let mut entries = Vec::new();
+    decode_mux_entries(data, &mut entries, payload)?;
+    let mut mux = MuxBatch::new();
+    for (t, m) in entries {
+        mux.push(t, m);
+    }
+    Ok(mux)
+}
+
+/// Shared mux decode core (flat-entry form; `out` is cleared first).
+fn decode_mux_entries(
+    data: &[u8],
+    out: &mut Vec<(TopicId, WireMessage)>,
+    payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
+) -> Result<(), CodecError> {
+    out.clear();
+    let mut pos = 0usize;
+    need(data, pos, 1)?;
+    let tag = read_u8(data, &mut pos);
+    if tag != MuxBatch::FRAME_TAG {
+        return Err(CodecError::BadDiscriminant(tag));
+    }
+    need(data, pos, 4)?;
+    let sub_count = read_u32(data, &mut pos) as usize;
+    let mut last_topic: Option<u32> = None;
+    for _ in 0..sub_count {
+        need(data, pos, 4 + 4)?;
+        let topic = read_u32(data, &mut pos);
+        if last_topic.is_some_and(|prev| topic <= prev) {
+            return Err(CodecError::UnorderedTopics);
+        }
+        last_topic = Some(topic);
+        let count = read_u32(data, &mut pos) as usize;
+        for _ in 0..count {
+            need(data, pos, 4)?;
+            let len = read_u32(data, &mut pos) as usize;
+            need(data, pos, len)?;
+            let member_end = pos + len;
+            let msg = decode_message_at(&data[..member_end], &mut pos, payload)?;
+            if pos != member_end {
+                return Err(CodecError::TrailingBytes(member_end - pos));
+            }
+            out.push((TopicId(topic), msg));
+        }
+    }
+    if pos != data.len() {
+        return Err(CodecError::TrailingBytes(data.len() - pos));
+    }
+    Ok(())
+}
+
 /// Errors produced by [`WireMessage::decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodecError {
@@ -631,6 +879,9 @@ pub enum CodecError {
     BadDiscriminant(u8),
     /// The frame contained bytes after a complete message.
     TrailingBytes(usize),
+    /// A multiplexed frame's sub-batches were not in strictly ascending
+    /// topic order (every consumer indexes per-topic state by it).
+    UnorderedTopics,
 }
 
 impl fmt::Display for CodecError {
@@ -639,6 +890,9 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "frame truncated"),
             CodecError::BadDiscriminant(b) => write!(f, "unknown discriminant byte {b:#x}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::UnorderedTopics => {
+                write!(f, "mux frame sub-batches not in ascending topic order")
+            }
         }
     }
 }
@@ -835,6 +1089,108 @@ mod tests {
         let mut frame = vec![Batch::FRAME_TAG, 0, 0, 0, 1];
         frame.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(Batch::decode(&frame), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn mux_roundtrip_and_entry_encoding_agree() {
+        let entries = vec![
+            (TopicId(0), msg(1, "a")),
+            (TopicId(0), ack(1, 2, "a", Some(&[3]))),
+            (TopicId(2), msg(9, "topic two")),
+            (
+                TopicId(2),
+                WireMessage::Heartbeat {
+                    label: Label(7),
+                    seq: 1,
+                },
+            ),
+            (TopicId(5), msg(11, "")),
+        ];
+        let mux = MuxBatch::from_entries(&entries);
+        assert_eq!(mux.topic_count(), 3);
+        assert_eq!(mux.len(), 5);
+        let enc = mux.encode();
+        assert_eq!(enc.len(), mux.encoded_len());
+        // Structured and flat-entry encoders produce identical bytes.
+        let mut flat = BytesMut::new();
+        encode_frame_via_entries(&entries, &mut flat);
+        assert_eq!(&enc[..], &flat[..]);
+        // Both decode paths reproduce the original.
+        assert_eq!(MuxBatch::decode(&enc).unwrap(), mux);
+        let shared = MuxBatch::decode_shared(&enc).unwrap();
+        assert_eq!(shared, mux);
+        let mut out = Vec::new();
+        MuxBatch::decode_shared_into(&enc, &mut out).unwrap();
+        assert_eq!(out, entries);
+    }
+
+    fn encode_frame_via_entries(entries: &[(TopicId, WireMessage)], buf: &mut BytesMut) {
+        encode_mux_frame_into(entries, buf);
+    }
+
+    #[test]
+    fn mux_single_topic_zero_is_the_degenerate_frame() {
+        let mux = MuxBatch::from_entries(&[(TopicId::ZERO, msg(3, "only"))]);
+        let enc = mux.encode();
+        assert_eq!(enc[0], MuxBatch::FRAME_TAG);
+        let back = MuxBatch::decode(&enc).unwrap();
+        assert_eq!(back.sub_batches().len(), 1);
+        assert_eq!(back.sub_batches()[0].0, TopicId::ZERO);
+        // A mux frame is NOT a batch frame and vice versa — the tags are
+        // disjoint, so a receiver can dispatch on the first byte.
+        assert!(matches!(
+            Batch::decode(&enc),
+            Err(CodecError::BadDiscriminant(4))
+        ));
+        let batch: Batch = vec![msg(3, "only")].into_iter().collect();
+        assert!(matches!(
+            MuxBatch::decode(&batch.encode()),
+            Err(CodecError::BadDiscriminant(3))
+        ));
+    }
+
+    #[test]
+    fn mux_decode_rejects_malformed_frames() {
+        let mux = MuxBatch::from_entries(&[
+            (TopicId(1), msg(1, "x")),
+            (TopicId(3), ack(1, 2, "x", None)),
+        ]);
+        let enc = mux.encode();
+        for cut in 0..enc.len() {
+            assert!(
+                matches!(MuxBatch::decode(&enc[..cut]), Err(CodecError::Truncated)),
+                "prefix {cut}"
+            );
+        }
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert!(matches!(
+            MuxBatch::decode(&long),
+            Err(CodecError::TrailingBytes(1))
+        ));
+        // Duplicate / descending topics are rejected.
+        let dup = MuxBatch::from_entries(&[(TopicId(2), msg(1, "a"))]);
+        let mut bytes = dup.encode().to_vec();
+        // Patch the sub-count to 2 and append a second sub-batch with a
+        // smaller topic id.
+        bytes[1..5].copy_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // topic 1 < 2
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // empty sub-batch
+        assert!(matches!(
+            MuxBatch::decode(&bytes),
+            Err(CodecError::UnorderedTopics)
+        ));
+    }
+
+    #[test]
+    fn mux_preserves_per_message_identity_across_topics() {
+        // The same wire message on two topics keeps distinct fairness
+        // identities once the topic is mixed in — and topic 0 mixes to
+        // the legacy key exactly.
+        let m = msg(42, "same");
+        let k = m.retransmit_key();
+        assert_eq!(TopicId::ZERO.mix(k), k);
+        assert_ne!(TopicId(1).mix(k), TopicId(2).mix(k));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! every valid message bit-exactly.
 
 use proptest::prelude::*;
-use urb_types::{Batch, CodecError, Label, LabelSet, Payload, Tag, TagAck, WireMessage};
+use urb_types::{
+    Batch, CodecError, Label, LabelSet, MuxBatch, Payload, Tag, TagAck, TopicId, WireMessage,
+};
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
     proptest::collection::vec(any::<u8>(), 0..512).prop_map(Payload::from)
@@ -109,6 +111,57 @@ proptest! {
     #[test]
     fn batch_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
         let _ = Batch::decode(&bytes); // must not panic
+    }
+
+    /// Multiplexed frames round-trip bit-exactly for any topic-grouped
+    /// entry set: structured and flat decode paths agree, the encoded
+    /// length is reported correctly, and the ascending topic grouping
+    /// survives (DESIGN.md §12).
+    #[test]
+    fn mux_roundtrip_any_entries(
+        groups in proptest::collection::vec(
+            (0u32..9, proptest::collection::vec(arb_message(), 1..6)),
+            0..5,
+        ),
+    ) {
+        // Deduplicate and sort topics to satisfy the ascending-grouping
+        // wire invariant (the shape every engine outbox has).
+        let mut by_topic: std::collections::BTreeMap<u32, Vec<WireMessage>> = Default::default();
+        for (t, msgs) in groups {
+            by_topic.entry(t).or_default().extend(msgs);
+        }
+        let entries: Vec<(TopicId, WireMessage)> = by_topic
+            .into_iter()
+            .flat_map(|(t, msgs)| msgs.into_iter().map(move |m| (TopicId(t), m)))
+            .collect();
+        let mux = MuxBatch::from_entries(&entries);
+        let enc = mux.encode();
+        prop_assert_eq!(enc.len(), mux.encoded_len());
+        let back = MuxBatch::decode(&enc).unwrap();
+        prop_assert_eq!(&back, &mux);
+        let mut flat = Vec::new();
+        MuxBatch::decode_shared_into(&enc, &mut flat).unwrap();
+        prop_assert_eq!(flat, entries);
+    }
+
+    /// Decoding arbitrary bytes as a mux frame never panics.
+    #[test]
+    fn mux_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = MuxBatch::decode(&bytes); // must not panic
+    }
+
+    /// Every strict prefix of a valid mux frame is rejected.
+    #[test]
+    fn mux_prefixes_are_rejected(
+        msgs in proptest::collection::vec(arb_message(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let entries: Vec<(TopicId, WireMessage)> =
+            msgs.into_iter().map(|m| (TopicId(1), m)).collect();
+        let mux = MuxBatch::from_entries(&entries);
+        let enc = mux.encode();
+        let cut = ((enc.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(MuxBatch::decode(&enc[..cut]).is_err());
     }
 
     /// Every strict prefix of a valid batch frame is rejected (with

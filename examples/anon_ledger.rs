@@ -33,6 +33,7 @@ fn main() {
     .map(|(i, &(pid, text))| PlannedBroadcast {
         time: 10 + i as u64 * 60,
         pid,
+        topic: urb_types::TopicId::ZERO,
         payload: Payload::from(text),
     })
     .collect();

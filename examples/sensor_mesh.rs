@@ -34,6 +34,7 @@ fn main() {
         .map(|pid| urb_sim::PlannedBroadcast {
             time: 10 + 40 * pid as u64,
             pid,
+            topic: urb_types::TopicId::ZERO,
             payload: Payload::from(
                 format!("reading: sensor-slot={pid} value={}", 20 + pid).as_str(),
             ),

@@ -62,11 +62,13 @@ fn payload_size_extremes() {
         urb_sim::PlannedBroadcast {
             time: 10,
             pid: 0,
+            topic: urb_types::TopicId::ZERO,
             payload: Payload::empty(),
         },
         urb_sim::PlannedBroadcast {
             time: 20,
             pid: 1,
+            topic: urb_types::TopicId::ZERO,
             payload: Payload::from(vec![0xAB; 64 * 1024]),
         },
     ];
@@ -143,6 +145,7 @@ fn simultaneous_broadcast_burst() {
         .map(|pid| urb_sim::PlannedBroadcast {
             time: 10, // all at once
             pid,
+            topic: urb_types::TopicId::ZERO,
             payload: Payload::from(format!("burst-{pid}").as_str()),
         })
         .collect();

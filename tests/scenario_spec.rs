@@ -116,6 +116,7 @@ fn build_spec(raw: RawSpec) -> ScenarioSpec {
         WorkloadSpec::Explicit(vec![BroadcastSpec {
             time: start + 1,
             pid,
+            topic: 0,
             payload: format!("payload \"{pid}\"\twith escapes"),
         }])
     } else {
