@@ -1,22 +1,30 @@
 //! Exploration-plane throughput (DESIGN.md §11): how many states per
-//! second the systematic checker materializes, and how much of the
-//! frontier the state-hash dedup absorbs.
+//! second the systematic checker materializes, how much of the frontier
+//! the state-hash dedup absorbs, and how the epoch-synchronous parallel
+//! frontier scales with `--jobs`.
 //!
-//! Two shapes, chosen to bracket the plane's two jobs:
+//! One command — `cargo bench -p urb-bench --bench explore` — prints
+//! three records on top of the criterion timings:
 //!
-//! * `dfs_clean` — exhaustive bounded DFS over a clean two-process
-//!   scenario: the dedup-heavy workload (commuting deliveries collapse
-//!   onto shared states), where replay cost and hash pruning dominate;
-//! * `dfs_theorem2` — the violation hunt on the embedded Theorem-2
-//!   corpus spec: the early-exit workload CI's `check-smoke` runs.
+//! * **per-strategy throughput** — states/sec for `dfs`, `dpor-lite`
+//!   and `random` on the same clean scenario, so the strategies'
+//!   relative cost stays on the record;
+//! * **parallel speedup** — the same DFS workload at 1, 2 and 4
+//!   workers, with the determinism contract *asserted*: every worker
+//!   count must produce the identical verdict, state count and witness
+//!   (byte for byte) before its timing is allowed onto the record;
+//! * the two criterion workloads carried since PR 4: `dfs_clean` (the
+//!   dedup-heavy exhaustive shape) and `dfs_theorem2` (the early-exit
+//!   violation hunt CI's `check-smoke` runs).
 //!
-//! Besides the criterion timings, each run prints the checker's own
-//! states/sec and dedup hit-rate counters once, so the bench log doubles
-//! as the exploration-throughput record for the PR trajectory.
+//! Speedup is printed, not asserted — CI runners share cores and a
+//! loaded machine must not turn a perf log into a red build. The
+//! byte-identity assertions are the part that may never flake.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use urb_check::{check_scenario, Strategy};
+use std::time::Instant;
+use urb_check::{check_scenario, check_scenario_with, CheckOutcome, ExploreOptions, Strategy};
 use urb_core::Algorithm;
 use urb_sim::spec::corpus;
 use urb_sim::ScenarioSpec;
@@ -29,26 +37,80 @@ fn clean_spec() -> ScenarioSpec {
     spec
 }
 
-fn theorem2_spec() -> ScenarioSpec {
+fn corpus_spec(name: &str) -> ScenarioSpec {
     let (_, text) = corpus()
         .into_iter()
-        .find(|(name, _)| *name == "theorem2_violation")
+        .find(|(stem, _)| *stem == name)
         .unwrap();
     ScenarioSpec::from_toml_str(text).unwrap()
 }
 
+/// The parallel workload: the two-topic corpus scenario driven by plain
+/// DFS to a fixed depth — a wide frontier of a couple hundred thousand
+/// states whose per-state replay cost is what the worker pool amortizes.
+fn wide_spec() -> ScenarioSpec {
+    corpus_spec("two_topics_smoke")
+}
+
+fn throughput_per_strategy() {
+    let spec = clean_spec();
+    for strategy in [Strategy::Dfs, Strategy::DporLite, Strategy::Random] {
+        let outcome = check_scenario(&spec, Some(strategy), None, None).unwrap();
+        assert!(outcome.passed());
+        println!(
+            "explore/strategy {:>9}: {:>6} states, {:>9.0} states/sec, dedup hit-rate {:.3}",
+            strategy.as_str(),
+            outcome.stats.states,
+            outcome.stats.states_per_sec(),
+            outcome.stats.dedup_hit_rate()
+        );
+    }
+}
+
+fn parallel_speedup() {
+    let spec = wide_spec();
+    let run = |jobs: usize| -> (f64, CheckOutcome) {
+        let opts = ExploreOptions {
+            strategy: Some(Strategy::Dfs),
+            depth: Some(7),
+            jobs,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let outcome = check_scenario_with(&spec, &opts, None).unwrap();
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let (serial_secs, serial) = run(1);
+    assert!(serial.passed(), "{}", serial.verdict_line());
+    for jobs in [2usize, 4] {
+        let (secs, outcome) = run(jobs);
+        // The determinism contract, asserted before the timing counts:
+        // identical verdict, identical state count, identical witness.
+        assert_eq!(outcome.verdict_line(), serial.verdict_line());
+        assert_eq!(outcome.stats.states, serial.stats.states);
+        assert_eq!(
+            outcome.counterexample.as_ref().map(|cx| cx.body_json()),
+            serial.counterexample.as_ref().map(|cx| cx.body_json()),
+            "witness must not depend on worker count"
+        );
+        println!(
+            "explore/parallel jobs={jobs}: {:>6} states, {:>9.0} states/sec, speedup {:.2}x vs serial ({:>9.0} states/sec)",
+            outcome.stats.states,
+            outcome.stats.states as f64 / secs,
+            serial_secs / secs,
+            serial.stats.states as f64 / serial_secs,
+        );
+    }
+}
+
 fn bench_exploration(c: &mut Criterion) {
+    throughput_per_strategy();
+    parallel_speedup();
+
     let mut g = c.benchmark_group("explore");
     g.sample_size(10);
 
     let spec = clean_spec();
-    let once = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
-    println!(
-        "explore/dfs_clean: {} states, {:.0} states/sec, dedup hit-rate {:.3}",
-        once.stats.states,
-        once.stats.states_per_sec(),
-        once.stats.dedup_hit_rate()
-    );
     g.bench_function(BenchmarkId::from_parameter("dfs_clean"), |b| {
         b.iter(|| {
             let outcome = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
@@ -57,7 +119,7 @@ fn bench_exploration(c: &mut Criterion) {
         })
     });
 
-    let spec = theorem2_spec();
+    let spec = corpus_spec("theorem2_violation");
     let once = check_scenario(&spec, Some(Strategy::Dfs), None, None).unwrap();
     println!(
         "explore/dfs_theorem2: {} states to the witness, {:.0} states/sec",

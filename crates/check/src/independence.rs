@@ -1,0 +1,148 @@
+//! The explicit independence relation behind the `dpor-lite` strategy's
+//! sleep sets: which pairs of delivery choices *commute* — executing
+//! them in either order reaches the same [`state_hash`] and enables the
+//! same future behaviour — so exploring both orders is redundant.
+//!
+//! [`state_hash`]: crate::model::CheckState::state_hash
+//! [`Choice::Deliver`]: crate::model::Choice::Deliver
+//! [`Choice::Crash`]: crate::model::Choice::Crash
+//!
+//! # Why deliveries commute
+//!
+//! A [`Choice::Deliver`] steps exactly one node's
+//! [`TopicEngine`](urb_engine::TopicEngine). Two deliveries `a` and `b`
+//! are declared independent when they target **different nodes**: the
+//! two engines are fully disjoint — per-topic instance state *and* the
+//! node's tag RNG stream — and neither delivery affects the other's
+//! pending entry. A delivery only *appends* to the pending list (relay
+//! and ack copies), never removes or reorders another message; the
+//! emitted batches are the same either way because each depends only on
+//! its own engine's state; and the state digest treats pending as a
+//! multiset, so append order is invisible. Both orders land on the same
+//! [`state_hash`].
+//!
+//! Note what is **not** sufficient: two deliveries to the *same* node in
+//! *different topics*. Topic instances inside one node isolate their
+//! protocol state, but they share the node's tag RNG stream, and the
+//! quiescent algorithm draws a fresh random `TagAck` on every receive —
+//! so the order of two same-node deliveries is observable in the RNG
+//! cursor (and in the drawn tags) even across topics. Topic-awareness
+//! instead lives one level down: [`DeliveryId`] carries the topic, so
+//! sleep sets distinguish copies of one payload fanned out across
+//! instances, and cross-topic schedules still collapse wherever the
+//! destinations differ.
+//!
+//! # The crash caveat
+//!
+//! The commutation argument reasons about the two adjacent schedules
+//! `…·a·b·…` and `…·b·a·…`. It stays sound for the *whole subtree* only
+//! if no interleaved [`Choice::Crash`] can erase one of the two
+//! messages: crashing `a.to` between `b` and `a` kills `a`'s copy in one
+//! order but not the other. Rather than model that interaction, the
+//! relation is conservative: deliveries are independent only when
+//! **neither destination is crash-eligible**
+//! ([`CheckModel::crash_eligible`]). Crash-free scenarios (and the
+//! crash-free majority of nodes in crashy ones) get the full reduction;
+//! deliveries to killable nodes are always treated as dependent.
+//!
+//! Conservatism is the safe direction: declaring a commuting pair
+//! dependent merely re-explores an equivalent interleaving (the
+//! state-hash table then prunes it one step later); declaring a
+//! non-commuting pair independent would silently skip reachable states.
+//! The DPOR soundness tests pin the reachable-fingerprint set at the
+//! bound with the reduction on and off.
+
+use crate::model::{CheckModel, PendingMsg};
+use urb_types::TopicId;
+
+/// A pending message named by *identity* instead of by its pending-list
+/// slot. Slots shift as `Vec::remove` compacts the list, so sleep-set
+/// entries must survive renumbering; `(from, to, topic, content)` is
+/// exactly the quadruple the state digest uses per pending entry, so two
+/// ids are equal iff the digest cannot tell the messages apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryId {
+    /// Sending process.
+    pub from: usize,
+    /// Destination process — the node whose engine the delivery steps.
+    pub to: usize,
+    /// The URB instance the message belongs to.
+    pub topic: TopicId,
+    /// Content digest of the wire message.
+    pub content: u64,
+}
+
+impl DeliveryId {
+    /// The identity of one pending message.
+    pub fn of(p: &PendingMsg) -> Self {
+        DeliveryId {
+            from: p.from,
+            to: p.to,
+            topic: p.topic,
+            content: p.msg.content_hash(),
+        }
+    }
+}
+
+/// True when delivering `a` and delivering `b` commute in every
+/// completion the explorer can still schedule (see the module docs for
+/// the argument): different destination nodes, neither of them
+/// crash-eligible.
+pub fn independent(model: &CheckModel, a: DeliveryId, b: DeliveryId) -> bool {
+    if a.to == b.to {
+        // Same engine, or same tag-RNG stream across that node's topic
+        // instances: order is observable.
+        return false;
+    }
+    !model.crash_eligible(a.to) && !model.crash_eligible(b.to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_core::Algorithm;
+    use urb_sim::{CrashRule, ScenarioSpec};
+
+    fn id(from: usize, to: usize, topic: u32, content: u64) -> DeliveryId {
+        DeliveryId {
+            from,
+            to,
+            topic: TopicId(topic),
+            content,
+        }
+    }
+
+    #[test]
+    fn relation_is_symmetric_and_topic_aware() {
+        let spec = ScenarioSpec::new("ind", 3, Algorithm::Quiescent);
+        let model = CheckModel::from_spec(&spec, None).unwrap();
+        let a = id(0, 1, 0, 10);
+        let b = id(0, 2, 0, 10);
+        let c = id(0, 1, 1, 11);
+        // Different nodes, no crash rules: commute.
+        assert!(independent(&model, a, b));
+        assert!(independent(&model, b, a));
+        // Same node, different topics: the shared tag-RNG stream makes
+        // the order observable — never independent.
+        assert!(!independent(&model, a, c));
+        // Same node, same topic: never.
+        assert!(!independent(&model, a, id(2, 1, 0, 12)));
+    }
+
+    #[test]
+    fn crash_eligible_destinations_break_independence() {
+        let mut spec = ScenarioSpec::new("ind-crash", 3, Algorithm::Quiescent);
+        spec.crashes = vec![urb_sim::spec::CrashRuleSpec {
+            pid: 1,
+            rule: CrashRule::At(5),
+        }];
+        let model = CheckModel::from_spec(&spec, None).unwrap();
+        assert!(model.crash_eligible(1));
+        assert!(!model.crash_eligible(2));
+        // A killable destination makes the pair dependent even across
+        // nodes — an interleaved crash distinguishes the two orders.
+        assert!(!independent(&model, id(0, 1, 0, 1), id(0, 2, 0, 2)));
+        // Both destinations safe: the reduction applies.
+        assert!(independent(&model, id(1, 0, 0, 1), id(1, 2, 0, 2)));
+    }
+}

@@ -16,7 +16,15 @@
 //!   [`model::Choice`]s through the engine's choice-point hooks;
 //! * [`explorer`] — the strategies (bounded DFS with state-hash
 //!   pruning, delay-bounded `dpor-lite`, seeded random walks), the
-//!   throughput counters and the `[expect]`-aware verdict;
+//!   epoch-synchronous parallel frontier (`--jobs`, byte-identical for
+//!   any worker count), the throughput counters and the
+//!   `[expect]`-aware verdict;
+//! * [`independence`] — the explicit commutation relation between
+//!   delivery choices that powers the sleep-set partial-order
+//!   reduction;
+//! * [`cache`] — the persistent, schema-versioned state-hash/depth
+//!   table (`urb check --cache FILE`) that lets bounded CI searches
+//!   deepen monotonically across runs;
 //! * [`counterexample`] — self-contained, byte-deterministically
 //!   replayable violation traces (`urb check --replay`), with delivery
 //!   rows in the PR 2 golden-trace shape.
@@ -44,10 +52,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod counterexample;
 pub mod explorer;
+pub mod independence;
 pub mod model;
 
+pub use cache::{CacheBinding, CacheError, CacheSession, CacheStats};
 pub use counterexample::Counterexample;
-pub use explorer::{check_scenario, CheckOutcome, ExplorationStats, Strategy};
+pub use explorer::{
+    check_scenario, check_scenario_with, CheckOutcome, ExplorationStats, ExploreOptions, Strategy,
+};
 pub use model::{CheckModel, CheckState, Choice};

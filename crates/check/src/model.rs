@@ -139,6 +139,15 @@ impl CheckModel {
         self.seed
     }
 
+    /// True when the scenario's crash plan can ever kill `pid` — i.e. its
+    /// rule is anything but [`CrashRule::Never`]. The independence
+    /// relation uses this: deliveries whose destinations the adversary
+    /// can never crash commute freely, because no [`Choice::Crash`] can
+    /// be interleaved between them to erase one of the two.
+    pub fn crash_eligible(&self, pid: usize) -> bool {
+        !matches!(self.crash_rules[pid], CrashRule::Never)
+    }
+
     /// A fresh initial state (same engine seeding scheme as the
     /// simulator — one protocol instance per topic sharing the node's RNG
     /// stream — so the canonical FIFO exploration mirrors a seeded run).
@@ -215,6 +224,15 @@ impl<'m> CheckState<'m> {
     /// The URB-deliveries this execution produced so far.
     pub fn deliveries(&self) -> &[DeliveryRecord] {
         &self.deliveries
+    }
+
+    /// The pending messages, in routing order — the list
+    /// [`Choice::Deliver`]/[`Choice::Drop`] slots index at apply time.
+    /// The explorer reads it to name a slot's message by *identity*
+    /// (`from`, `to`, topic, content) rather than by its shifting index,
+    /// which is what the DPOR sleep sets key on.
+    pub fn pending(&self) -> &[PendingMsg] {
+        &self.pending
     }
 
     /// The first invariant violation this execution hit, if any

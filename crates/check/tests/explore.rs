@@ -12,7 +12,10 @@
 //!   contract: a witness is a witness, forever).
 
 use proptest::prelude::*;
-use urb_check::{check_scenario, Counterexample, Strategy};
+use urb_check::{
+    check_scenario, check_scenario_with, CacheBinding, CacheSession, CheckOutcome, Counterexample,
+    ExploreOptions, Strategy,
+};
 use urb_core::Algorithm;
 use urb_sim::spec::{corpus, CrashRuleSpec};
 use urb_sim::{CrashRule, ScenarioSpec};
@@ -181,6 +184,146 @@ fn quiescent_algorithm_explores_clean_under_crash_choices() {
     assert!(outcome.passed(), "{}", outcome.verdict_line());
     let outcome = check_scenario(&spec, Some(Strategy::DporLite), None, None).unwrap();
     assert!(outcome.passed(), "{}", outcome.verdict_line());
+}
+
+// ------------------------------------------------------------------
+// Parallel frontier, persistent cache and sleep-set DPOR (DESIGN.md
+// §11, "Parallel exploration & cache format").
+
+/// The determinism matrix: jobs ∈ {1, 2, 4} × cache {cold, warm}.
+///
+/// The witness half runs the Theorem-2 hunt at every worker count and
+/// demands the *same* counterexample, byte for byte. The cache half
+/// explores a clean two-topic scenario cold and warm at every worker
+/// count: every cold run agrees with every other cold run, every warm
+/// run with every other warm run, and warm is strictly cheaper.
+#[test]
+fn determinism_matrix_jobs_times_cache() {
+    let spec = corpus_spec("theorem2_violation");
+    let runs: Vec<CheckOutcome> = [1usize, 2, 4]
+        .into_iter()
+        .map(|jobs| {
+            let opts = ExploreOptions {
+                jobs,
+                ..Default::default()
+            };
+            check_scenario_with(&spec, &opts, None).unwrap()
+        })
+        .collect();
+    for run in &runs[1..] {
+        assert_eq!(run.stats.states, runs[0].stats.states, "state count");
+        assert_eq!(run.verdict_line(), runs[0].verdict_line(), "verdict");
+    }
+    let first = runs[0]
+        .counterexample
+        .as_ref()
+        .expect("witness")
+        .body_json();
+    for run in &runs {
+        let cx = run.counterexample.as_ref().expect("witness");
+        assert_eq!(cx.body_json(), first, "same witness at jobs {}", run.jobs);
+        assert_eq!(cx.replay().unwrap(), cx.violation, "replays");
+    }
+
+    let spec = corpus_spec("two_topics_smoke");
+    let strategy = Strategy::resolve(&spec, None).unwrap();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let path = std::env::temp_dir().join(format!(
+            "urb-determinism-matrix-{}-{jobs}.cache",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        for bucket in [&mut cold, &mut warm] {
+            let binding = CacheBinding::new(&spec, strategy, true, spec.seed);
+            let mut session = CacheSession::open(&path_str, binding).unwrap();
+            let opts = ExploreOptions {
+                jobs,
+                ..Default::default()
+            };
+            let outcome = check_scenario_with(&spec, &opts, Some(&mut session)).unwrap();
+            session.save().unwrap();
+            assert!(outcome.passed(), "{}", outcome.verdict_line());
+            bucket.push(outcome);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    for bucket in [&cold, &warm] {
+        for run in &bucket[1..] {
+            assert_eq!(run.stats.states, bucket[0].stats.states, "state count");
+            assert_eq!(run.verdict_line(), bucket[0].verdict_line(), "verdict");
+        }
+    }
+    assert!(
+        warm[0].stats.states < cold[0].stats.states,
+        "warm rerun must explore strictly fewer new states: {} vs {}",
+        warm[0].stats.states,
+        cold[0].stats.states
+    );
+    let stats = warm[0].cache.as_ref().expect("cache session attached");
+    assert!(stats.hits > 0, "warm run answered from the cache");
+    assert!(stats.hit_rate() > 0.0);
+}
+
+fn dpor_on_off(spec: &ScenarioSpec, depth: u32) -> (CheckOutcome, CheckOutcome) {
+    let run = |dpor: bool| {
+        let opts = ExploreOptions {
+            strategy: Some(Strategy::Dfs),
+            depth: Some(depth),
+            dpor: Some(dpor),
+            collect_fingerprints: true,
+            ..Default::default()
+        };
+        check_scenario_with(spec, &opts, None).unwrap()
+    };
+    (run(true), run(false))
+}
+
+/// DPOR soundness on the corpus topic scenarios: the sleep-set cut
+/// must not change the set of reachable state fingerprints at the
+/// bound — only how many interleavings get materialized to reach it.
+#[test]
+fn dpor_preserves_fingerprints_while_pruning_two_topics_smoke() {
+    let spec = corpus_spec("two_topics_smoke");
+    let (on, off) = dpor_on_off(&spec, 6);
+    assert!(on.passed() && off.passed());
+    assert!(
+        !off.stats.truncated,
+        "bound too wide for a sound comparison"
+    );
+    assert_eq!(on.fingerprints, off.fingerprints, "reachable set unchanged");
+    assert!(
+        on.stats.states < off.stats.states,
+        "dpor must strictly reduce explored states: {} vs {}",
+        on.stats.states,
+        off.stats.states
+    );
+    assert!(on.stats.dpor_pruned > 0);
+}
+
+/// Same contract under crash pressure: `cross_topic_storm` keeps a
+/// majority of processes crash-free, so deliveries fanned out to
+/// distinct safe destinations still commute even though crash-eligible
+/// destinations never do.
+#[test]
+fn dpor_preserves_fingerprints_while_pruning_cross_topic_storm() {
+    let spec = corpus_spec("cross_topic_storm");
+    let (on, off) = dpor_on_off(&spec, 5);
+    assert!(on.passed() && off.passed());
+    assert!(
+        !off.stats.truncated,
+        "bound too wide for a sound comparison"
+    );
+    assert_eq!(on.fingerprints, off.fingerprints, "reachable set unchanged");
+    assert!(
+        on.stats.states < off.stats.states,
+        "dpor must strictly reduce explored states: {} vs {}",
+        on.stats.states,
+        off.stats.states
+    );
+    assert!(on.stats.dpor_pruned > 0);
 }
 
 // ------------------------------------------------------------------

@@ -14,7 +14,7 @@ USAGE:
                            replay a declarative scenario file (.toml/.json)
                            and check its [expect] verdict
     urb check FILE [--strategy dfs|dpor-lite|random] [--depth N] [--seed S]
-                   [--trace FILE] [--json]
+                   [--jobs N] [--cache FILE] [--trace FILE] [--json]
                            systematically explore the scenario's schedule
                            space and check URB invariants + the [expect]
                            verdict on every explored execution (DESIGN.md §11)
@@ -46,6 +46,11 @@ FLAGS (check):
     --strategy S      dfs | dpor-lite | random     [default: spec or dfs]
     --depth N         max choices per explored execution [default: spec]
     --seed S          engine/walk seed override
+    --jobs N          exploration worker threads; results are
+                      byte-identical for every N           [default: 1]
+    --cache FILE      persistent state-hash cache: probe it to skip
+                      already-proven subtrees, extend it after a clean
+                      complete run (schema-versioned; DESIGN.md §11)
     --trace FILE      write the counterexample trace (replayable) to FILE
     --replay FILE     replay a counterexample file instead of exploring
     --json            print the check report as JSON
@@ -127,6 +132,11 @@ pub struct CheckArgs {
     pub depth: Option<u32>,
     /// Seed override.
     pub seed: Option<u64>,
+    /// Exploration worker threads (`None` = 1; byte-identical results
+    /// for every value).
+    pub jobs: Option<usize>,
+    /// Persistent state-hash cache file.
+    pub cache: Option<String>,
     /// Counterexample trace output path.
     pub trace: Option<String>,
     /// Machine-readable output.
@@ -369,6 +379,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .map_err(|e| format!("--seed: {e}"))?,
                         )
                     }
+                    "--jobs" => {
+                        let jobs: usize = value("--jobs")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?;
+                        if jobs == 0 {
+                            return Err("--jobs must be positive".into());
+                        }
+                        args.jobs = Some(jobs);
+                    }
+                    "--cache" => args.cache = Some(value("--cache")?),
                     "--trace" => args.trace = Some(value("--trace")?),
                     "--json" => args.json = true,
                     other if other.starts_with("--") => {
@@ -617,7 +637,7 @@ mod tests {
     fn check_parses_flags_and_modes() {
         match parse(&argv(
             "check scenarios/theorem2_violation.toml --strategy dpor-lite \
-             --depth 40 --seed 5 --trace /tmp/cx.json --json",
+             --depth 40 --seed 5 --jobs 4 --cache /tmp/urb.cache --trace /tmp/cx.json --json",
         ))
         .unwrap()
         {
@@ -626,6 +646,8 @@ mod tests {
                 assert_eq!(a.strategy.as_deref(), Some("dpor-lite"));
                 assert_eq!(a.depth, Some(40));
                 assert_eq!(a.seed, Some(5));
+                assert_eq!(a.jobs, Some(4));
+                assert_eq!(a.cache.as_deref(), Some("/tmp/urb.cache"));
                 assert_eq!(a.trace.as_deref(), Some("/tmp/cx.json"));
                 assert!(a.json);
                 assert!(a.replay.is_none());
@@ -647,6 +669,15 @@ mod tests {
         assert!(parse(&argv("check a.toml b.toml")).is_err(), "one FILE");
         assert!(parse(&argv("check a.toml --strategy bfs")).is_err());
         assert!(parse(&argv("check a.toml --depth 0")).is_err());
+        assert!(parse(&argv("check a.toml --jobs 0")).is_err());
+        assert!(
+            parse(&argv("check a.toml --jobs")).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse(&argv("check a.toml --cache")).is_err(),
+            "missing value"
+        );
         assert!(parse(&argv("check a.toml --wat")).is_err());
     }
 

@@ -9,7 +9,10 @@ use crate::args::{BenchArgs, CheckArgs, FdChoice, RunArgs, ScenarioArgs};
 use crate::summary::RunSummary;
 use urb_bench::report;
 use urb_bench::trajectory::{self, TrajectoryConfig};
-use urb_check::{check_scenario, CheckOutcome, Counterexample, Strategy};
+use urb_check::{
+    check_scenario_with, CacheBinding, CacheSession, CheckOutcome, Counterexample, ExploreOptions,
+    Strategy,
+};
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::{scenario, CrashPlan, FdKind, LossModel, ScenarioSpec, SimConfig, TraceConfig};
 
@@ -168,6 +171,7 @@ pub fn check_report_body(outcome: &CheckOutcome) -> String {
     );
     let _ = writeln!(out, "  \"strategy\": \"{}\",", outcome.strategy.as_str());
     let _ = writeln!(out, "  \"depth\": {},", outcome.depth);
+    let _ = writeln!(out, "  \"jobs\": {},", outcome.jobs);
     let _ = writeln!(
         out,
         "  \"expects_violation\": {},",
@@ -184,6 +188,7 @@ pub fn check_report_body(outcome: &CheckOutcome) -> String {
     let _ = writeln!(out, "    \"silent_states\": {},", s.silent_states);
     let _ = writeln!(out, "    \"depth_prunes\": {},", s.depth_prunes);
     let _ = writeln!(out, "    \"delay_prunes\": {},", s.delay_prunes);
+    let _ = writeln!(out, "    \"dpor_pruned\": {},", s.dpor_pruned);
     let _ = writeln!(
         out,
         "    \"mismatched_violations\": {},",
@@ -191,6 +196,20 @@ pub fn check_report_body(outcome: &CheckOutcome) -> String {
     );
     let _ = writeln!(out, "    \"truncated\": {}", s.truncated);
     let _ = writeln!(out, "  }},");
+    match &outcome.cache {
+        None => {
+            let _ = writeln!(out, "  \"cache\": null,");
+        }
+        Some(c) => {
+            let _ = writeln!(out, "  \"cache\": {{");
+            let _ = writeln!(out, "    \"hits\": {},", c.hits);
+            let _ = writeln!(out, "    \"misses\": {},", c.misses);
+            let _ = writeln!(out, "    \"hit_rate\": {:?},", c.hit_rate());
+            let _ = writeln!(out, "    \"loaded\": {},", c.loaded);
+            let _ = writeln!(out, "    \"persisted\": {}", c.persisted);
+            let _ = writeln!(out, "  }},");
+        }
+    }
     match &outcome.counterexample {
         None => {
             let _ = writeln!(out, "  \"counterexample\": null");
@@ -284,17 +303,71 @@ pub fn check_cmd(args: CheckArgs) {
             std::process::exit(2);
         }
     };
-    let strategy = args
+    let strategy_override = args
         .strategy
         .as_deref()
         .map(|s| Strategy::parse(s).expect("parser validated"));
-    let outcome = match check_scenario(&spec, strategy, args.depth, args.seed) {
+    // Resolve the strategy up front: the cache binding must name the
+    // mode the run will actually use.
+    let strategy = match Strategy::resolve(&spec, strategy_override) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut session = match &args.cache {
+        None => None,
+        Some(cache_path) => {
+            let dpor = strategy == Strategy::DporLite;
+            let seed = args.seed.unwrap_or(spec.seed);
+            let binding = CacheBinding::new(&spec, strategy, dpor, seed);
+            match CacheSession::open(cache_path, binding) {
+                Ok(s) => {
+                    if let Some(reason) = s.stale() {
+                        eprintln!("cache: ignoring {cache_path} ({reason})");
+                    }
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("error: {cache_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let opts = ExploreOptions {
+        strategy: Some(strategy),
+        depth: args.depth,
+        seed: args.seed,
+        jobs: args.jobs.unwrap_or(1),
+        ..ExploreOptions::default()
+    };
+    let mut outcome = match check_scenario_with(&spec, &opts, session.as_mut()) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {path}: {e}");
             std::process::exit(2);
         }
     };
+    if let Some(session) = &session {
+        // A failed save degrades the next run to a cold start — warn,
+        // don't fail the verdict.
+        match session.save() {
+            Ok(persisted) => {
+                if let Some(cache) = &mut outcome.cache {
+                    cache.persisted = persisted;
+                }
+                if persisted > 0 {
+                    eprintln!(
+                        "cache: {persisted} subtree rows persisted to {}",
+                        args.cache.as_deref().unwrap_or("?")
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cache not persisted: {e}"),
+        }
+    }
     if let Some(trace_path) = &args.trace {
         match &outcome.counterexample {
             Some(cx) => {
@@ -328,10 +401,11 @@ pub fn check_cmd(args: CheckArgs) {
         let s = &outcome.stats;
         println!("check: {} ({path})", outcome.scenario);
         println!(
-            "  strategy {}, depth ≤ {}, seed {}",
+            "  strategy {}, depth ≤ {}, seed {}, jobs {}",
             outcome.strategy.as_str(),
             outcome.depth,
-            outcome.seed
+            outcome.seed,
+            outcome.jobs
         );
         println!(
             "  explored {} states ({} engine steps, {:.0} states/sec){}",
@@ -341,11 +415,22 @@ pub fn check_cmd(args: CheckArgs) {
             if s.truncated { " [truncated]" } else { "" }
         );
         println!(
-            "  dedup hit-rate {:.3}, max depth {}, silent states {}",
+            "  dedup hit-rate {:.3}, max depth {}, silent states {}, dpor pruned {}",
             s.dedup_hit_rate(),
             s.max_depth,
-            s.silent_states
+            s.silent_states,
+            s.dpor_pruned
         );
+        if let Some(c) = &outcome.cache {
+            println!(
+                "  cache: {} hits / {} misses (rate {:.3}), {} loaded, {} persisted",
+                c.hits,
+                c.misses,
+                c.hit_rate(),
+                c.loaded,
+                c.persisted
+            );
+        }
         println!("check verdict: {}", outcome.verdict_line());
     }
     if !outcome.passed() {

@@ -151,6 +151,127 @@ fn check_unusable_input_is_exit_two() {
 }
 
 // ------------------------------------------------------------------
+// `urb check --jobs / --cache` — parallel frontier and persistent
+// state cache, exercised end to end on the binary.
+
+/// Drop the fields that legitimately vary with `--jobs`: the requested
+/// worker count itself and the wall-clock throughput figure.
+fn scrub_volatile(v: &mut serde_json::Value) {
+    use serde_json::Value;
+    if let Value::Object(top) = v {
+        if let Some(Value::Object(data)) = top.get_mut("data") {
+            data.remove("jobs");
+            if let Some(Value::Object(stats)) = data.get_mut("stats") {
+                stats.remove("states_per_sec");
+            }
+        }
+    }
+}
+
+#[test]
+fn check_jobs_is_deterministic_and_reported_in_the_envelope() {
+    let spec = repo_root().join("scenarios/theorem2_violation.toml");
+    let report = |jobs: &str| {
+        let out = run(&["check", spec.to_str().unwrap(), "--jobs", jobs, "--json"]);
+        assert_eq!(code(&out), 0, "{out:?}");
+        let v: serde_json::Value =
+            serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+        v
+    };
+    let mut serial = report("1");
+    let mut wide = report("4");
+    assert_eq!(serial["data"]["jobs"], 1u64);
+    assert_eq!(wide["data"]["jobs"], 4u64);
+    // Everything else must match, field for field — including the witness.
+    scrub_volatile(&mut serial);
+    scrub_volatile(&mut wide);
+    assert_eq!(serial, wide, "exploration must not depend on --jobs");
+}
+
+#[test]
+fn check_jobs_zero_is_exit_two() {
+    let spec = repo_root().join("scenarios/theorem2_violation.toml");
+    let out = run(&["check", spec.to_str().unwrap(), "--jobs", "0"]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn check_cache_cold_then_warm_shrinks_the_search() {
+    let spec = repo_root().join("scenarios/two_topics_smoke.toml");
+    let cache = tmp("warm.cache");
+    std::fs::remove_file(&cache).ok();
+    let report = || {
+        let out = run(&[
+            "check",
+            spec.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+            "--json",
+        ]);
+        assert_eq!(code(&out), 0, "{out:?}");
+        let v: serde_json::Value =
+            serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+        v
+    };
+    let cold = report();
+    assert_eq!(cold["data"]["cache"]["hits"], 0u64, "cold start");
+    assert!(
+        cold["data"]["cache"]["persisted"].as_u64().unwrap() > 0,
+        "completed clean run persists its table: {cold:?}"
+    );
+    let warm = report();
+    assert!(
+        warm["data"]["cache"]["hits"].as_u64().unwrap() > 0,
+        "warm rerun answers from the cache: {warm:?}"
+    );
+    assert!(warm["data"]["cache"]["hit_rate"].as_f64().unwrap() > 0.0);
+    let (cold_states, warm_states) = (
+        cold["data"]["stats"]["states"].as_u64().unwrap(),
+        warm["data"]["stats"]["states"].as_u64().unwrap(),
+    );
+    assert!(
+        warm_states < cold_states,
+        "warm rerun explores strictly fewer new states: {warm_states} vs {cold_states}"
+    );
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn check_corrupt_or_version_mismatched_cache_is_exit_two() {
+    let spec = repo_root().join("scenarios/two_topics_smoke.toml");
+    let garbage = tmp("garbage.cache");
+    std::fs::write(&garbage, "not a cache header\n").unwrap();
+    let out = run(&[
+        "check",
+        spec.to_str().unwrap(),
+        "--cache",
+        garbage.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "corrupt cache: {out:?}");
+    let future = tmp("future.cache");
+    std::fs::write(
+        &future,
+        "{\"schema_version\":99,\"kind\":\"check-cache\",\"scenario\":\"x\",\
+         \"seed\":0,\"mode\":\"dfs\",\"spec_digest\":\"0\"}\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "check",
+        spec.to_str().unwrap(),
+        "--cache",
+        future.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "version mismatch: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema"), "{stderr}");
+    for p in [garbage, future] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+// ------------------------------------------------------------------
 // `urb theorem2` — the impossibility demo wears the shared envelope.
 
 #[test]

@@ -25,6 +25,49 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Generic work-stealing map: applies `f` to every item on at most
+/// `threads` workers and returns the outputs **in input order**. This is
+/// the deterministic-executor template the whole workspace shares — the
+/// multi-run grids wrap it below, and `urb-check`'s parallel frontier
+/// drives each exploration epoch through it — so "parallel == serial,
+/// result for result" is proved in one place. `threads <= 1` degenerates
+/// to a plain inline loop with no thread spawning at all.
+pub fn map_indexed_on<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let total = items.len();
+    let jobs = Mutex::new(items.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the job lock only for the pop, never during work.
+                let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).next();
+                let Some((index, item)) = job else { break };
+                let output = f(index, item);
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((index, output));
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    results.sort_unstable_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, output)| output).collect()
+}
+
 /// Executes every configuration, using all available cores. Outcomes come
 /// back in input order. Equivalent to `configs.into_iter().map(run)` in
 /// results, faster in wall-clock.
@@ -36,30 +79,7 @@ pub fn run_many(configs: Vec<SimConfig>) -> Vec<RunOutcome> {
 /// at least 1). `threads == 1` degenerates to a plain serial loop with no
 /// thread spawning at all.
 pub fn run_many_on(configs: Vec<SimConfig>, threads: usize) -> Vec<RunOutcome> {
-    let workers = threads.max(1).min(configs.len().max(1));
-    if workers <= 1 {
-        return configs.into_iter().map(run).collect();
-    }
-    let total = configs.len();
-    let jobs = Mutex::new(configs.into_iter().enumerate());
-    let results: Mutex<Vec<(usize, RunOutcome)>> = Mutex::new(Vec::with_capacity(total));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Hold the job lock only for the pop, never during a run.
-                let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).next();
-                let Some((index, config)) = job else { break };
-                let outcome = run(config);
-                results
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((index, outcome));
-            });
-        }
-    });
-    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
-    results.sort_unstable_by_key(|(index, _)| *index);
-    results.into_iter().map(|(_, outcome)| outcome).collect()
+    map_indexed_on(configs, threads, &|_, config| run(config))
 }
 
 #[cfg(test)]
