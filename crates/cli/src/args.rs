@@ -32,6 +32,12 @@ USAGE:
                            points (the CI perf-regression gate)
     urb theorem2 [--n N] [--seed S] [--json]
                            execute the impossibility proof's adversary
+    urb node  [flags]      run ONE node of a socket cluster as this OS
+                           process: TCP transport under the same sans-io
+                           engine (DESIGN.md §13)
+    urb cluster --local N [flags]
+                           spawn an N-process loopback cluster, wait for
+                           it, and report per-topic delivery verdicts
     urb help               this text
 
 FLAGS (scenario):
@@ -63,6 +69,30 @@ FLAGS (bench):
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
     --experiments IDS comma-separated subset of e1..e19      [default: all]
+
+FLAGS (node):
+    --id I            this node's id (0-based)            [required]
+    --addrs A,B,...   listen addresses of ALL nodes, in id
+                      order (node I listens on the I-th)   [required]
+    --listen ADDR     listen-address override              [default: addrs[I]]
+    --alg NAME        protocol (see run flags)             [default: majority]
+    --topics K        concurrent URB instances             [default: 1]
+    --msgs K          broadcasts per topic by this node    [default: 1]
+    --seed S          cluster-wide seed                    [default: 0x5EED]
+    --expect K        deliveries per topic to wait for;
+                      unmet by the deadline = exit 1       [default: none]
+    --run-ms T        wall-clock budget                    [default: 20000]
+    --linger-ms T     serve this long after --expect is met [default: 500]
+    --json            print the node report as enveloped JSON
+
+FLAGS (cluster):
+    --local N         number of loopback node processes    [required]
+    --alg NAME        protocol                             [default: majority]
+    --topics K        concurrent URB instances             [default: 1]
+    --msgs K          broadcasts per topic per node        [default: 1]
+    --seed S          cluster-wide seed                    [default: 0x5EED]
+    --run-ms T        per-node wall-clock budget           [default: 20000]
+    --json            print the cluster verdict as enveloped JSON
 
 FLAGS (run / sweep):
     --n N             system size                         [default: 5]
@@ -102,8 +132,58 @@ pub enum Command {
         /// Machine-readable output (shared envelope).
         json: bool,
     },
+    /// `urb node`.
+    Node(NodeArgs),
+    /// `urb cluster`.
+    Cluster(ClusterArgs),
     /// `urb help`.
     Help,
+}
+
+/// Flags of `urb node` (one OS process of a socket cluster).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeArgs {
+    /// This node's id, `0 <= id < addrs.len()`.
+    pub id: usize,
+    /// Listen addresses of every node, in id order.
+    pub addrs: Vec<String>,
+    /// Listen-address override (`None` = `addrs[id]`).
+    pub listen: Option<String>,
+    /// Protocol.
+    pub algorithm: Algorithm,
+    /// Concurrent URB instances (topics).
+    pub topics: u32,
+    /// Broadcasts this node performs per topic.
+    pub msgs: usize,
+    /// Cluster-wide seed.
+    pub seed: u64,
+    /// Deliveries per topic to wait for (`None` = run the full budget).
+    pub expect: Option<usize>,
+    /// Wall-clock budget, milliseconds.
+    pub run_ms: u64,
+    /// Post-expectation serve time, milliseconds.
+    pub linger_ms: u64,
+    /// Machine-readable output.
+    pub json: bool,
+}
+
+/// Flags of `urb cluster` (loopback launcher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterArgs {
+    /// Number of loopback node processes.
+    pub local: usize,
+    /// Protocol.
+    pub algorithm: Algorithm,
+    /// Concurrent URB instances (topics).
+    pub topics: u32,
+    /// Broadcasts per topic per node.
+    pub msgs: usize,
+    /// Cluster-wide seed.
+    pub seed: u64,
+    /// Per-node wall-clock budget, milliseconds.
+    pub run_ms: u64,
+    /// Machine-readable output.
+    pub json: bool,
 }
 
 /// Flags of `urb scenario`.
@@ -521,6 +601,163 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Ok(Command::Sweep(args))
             }
         }
+        "node" => {
+            let mut id: Option<usize> = None;
+            let mut addrs: Vec<String> = Vec::new();
+            let mut listen: Option<String> = None;
+            let mut algorithm = Algorithm::Majority;
+            let mut topics = 1u32;
+            let mut msgs = 1usize;
+            let mut seed = 0x5EEDu64;
+            let mut expect: Option<usize> = None;
+            let mut run_ms = 20_000u64;
+            let mut linger_ms = 500u64;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--id" => id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?),
+                    "--addrs" => {
+                        addrs = value("--addrs")?
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(String::from)
+                            .collect();
+                    }
+                    "--listen" => listen = Some(value("--listen")?),
+                    "--alg" => algorithm = parse_algorithm(&value("--alg")?)?,
+                    "--topics" => {
+                        topics = value("--topics")?
+                            .parse()
+                            .map_err(|e| format!("--topics: {e}"))?
+                    }
+                    "--msgs" => {
+                        msgs = value("--msgs")?
+                            .parse()
+                            .map_err(|e| format!("--msgs: {e}"))?
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--expect" => {
+                        expect = Some(
+                            value("--expect")?
+                                .parse()
+                                .map_err(|e| format!("--expect: {e}"))?,
+                        )
+                    }
+                    "--run-ms" => {
+                        run_ms = value("--run-ms")?
+                            .parse()
+                            .map_err(|e| format!("--run-ms: {e}"))?
+                    }
+                    "--linger-ms" => {
+                        linger_ms = value("--linger-ms")?
+                            .parse()
+                            .map_err(|e| format!("--linger-ms: {e}"))?
+                    }
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let id = id.ok_or("node needs --id")?;
+            if addrs.is_empty() {
+                return Err("node needs --addrs (one listen address per node)".into());
+            }
+            if id >= addrs.len() {
+                return Err(format!(
+                    "--id {id} out of range for {} --addrs entries",
+                    addrs.len()
+                ));
+            }
+            if topics == 0 {
+                return Err("--topics must be positive".into());
+            }
+            Ok(Command::Node(NodeArgs {
+                id,
+                addrs,
+                listen,
+                algorithm,
+                topics,
+                msgs,
+                seed,
+                expect,
+                run_ms,
+                linger_ms,
+                json,
+            }))
+        }
+        "cluster" => {
+            let mut local: Option<usize> = None;
+            let mut algorithm = Algorithm::Majority;
+            let mut topics = 1u32;
+            let mut msgs = 1usize;
+            let mut seed = 0x5EEDu64;
+            let mut run_ms = 20_000u64;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--local" => {
+                        local = Some(
+                            value("--local")?
+                                .parse()
+                                .map_err(|e| format!("--local: {e}"))?,
+                        )
+                    }
+                    "--alg" => algorithm = parse_algorithm(&value("--alg")?)?,
+                    "--topics" => {
+                        topics = value("--topics")?
+                            .parse()
+                            .map_err(|e| format!("--topics: {e}"))?
+                    }
+                    "--msgs" => {
+                        msgs = value("--msgs")?
+                            .parse()
+                            .map_err(|e| format!("--msgs: {e}"))?
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--run-ms" => {
+                        run_ms = value("--run-ms")?
+                            .parse()
+                            .map_err(|e| format!("--run-ms: {e}"))?
+                    }
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let local = local.ok_or("cluster needs --local N")?;
+            if local == 0 {
+                return Err("--local must be at least 1".into());
+            }
+            if topics == 0 {
+                return Err("--topics must be positive".into());
+            }
+            Ok(Command::Cluster(ClusterArgs {
+                local,
+                algorithm,
+                topics,
+                msgs,
+                seed,
+                run_ms,
+                json,
+            }))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -740,6 +977,70 @@ mod tests {
         }
         assert!(parse(&argv("bench --seeds 0")).is_err());
         assert!(parse(&argv("bench --wat")).is_err());
+    }
+
+    #[test]
+    fn node_parses_flags_and_validates() {
+        match parse(&argv(
+            "node --id 1 --addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+             --alg quiescent --topics 2 --msgs 3 --seed 9 --expect 9 --run-ms 5000 \
+             --linger-ms 100 --json",
+        ))
+        .unwrap()
+        {
+            Command::Node(a) => {
+                assert_eq!(a.id, 1);
+                assert_eq!(a.addrs.len(), 3);
+                assert_eq!(a.algorithm, Algorithm::Quiescent);
+                assert_eq!(a.topics, 2);
+                assert_eq!(a.msgs, 3);
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.expect, Some(9));
+                assert_eq!(a.run_ms, 5000);
+                assert_eq!(a.linger_ms, 100);
+                assert!(a.listen.is_none());
+                assert!(a.json);
+            }
+            _ => panic!(),
+        }
+        match parse(&argv(
+            "node --id 0 --addrs 127.0.0.1:7001 --listen 0.0.0.0:7001",
+        ))
+        .unwrap()
+        {
+            Command::Node(a) => {
+                assert_eq!(a.listen.as_deref(), Some("0.0.0.0:7001"));
+                assert_eq!(a.algorithm, Algorithm::Majority, "default");
+                assert!(a.expect.is_none());
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("node")).is_err(), "--id required");
+        assert!(parse(&argv("node --id 0")).is_err(), "--addrs required");
+        assert!(
+            parse(&argv("node --id 3 --addrs a:1,b:2")).is_err(),
+            "id out of range"
+        );
+        assert!(parse(&argv("node --id 0 --addrs a:1 --topics 0")).is_err());
+        assert!(parse(&argv("node --id 0 --addrs a:1 --wat")).is_err());
+    }
+
+    #[test]
+    fn cluster_parses_flags_and_validates() {
+        match parse(&argv("cluster --local 3 --msgs 2 --seed 5 --json")).unwrap() {
+            Command::Cluster(a) => {
+                assert_eq!(a.local, 3);
+                assert_eq!(a.msgs, 2);
+                assert_eq!(a.seed, 5);
+                assert_eq!(a.run_ms, 20_000, "default");
+                assert!(a.json);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("cluster")).is_err(), "--local required");
+        assert!(parse(&argv("cluster --local 0")).is_err());
+        assert!(parse(&argv("cluster --local 3 --topics 0")).is_err());
+        assert!(parse(&argv("cluster --local 3 --wat")).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! (`schema_version`/`kind`/`seed`/`git_rev` around a kind-specific
 //! `data` body), so scripts consume one shape (DESIGN.md §10).
 
-use crate::args::{BenchArgs, CheckArgs, FdChoice, RunArgs, ScenarioArgs};
+use crate::args::{BenchArgs, CheckArgs, ClusterArgs, FdChoice, NodeArgs, RunArgs, ScenarioArgs};
 use crate::summary::RunSummary;
 use urb_bench::report;
 use urb_bench::trajectory::{self, TrajectoryConfig};
@@ -14,6 +14,7 @@ use urb_check::{
     Strategy,
 };
 use urb_fd::{HeartbeatConfig, OracleConfig};
+use urb_runtime::NodeReport;
 use urb_sim::{scenario, CrashPlan, FdKind, LossModel, ScenarioSpec, SimConfig, TraceConfig};
 
 /// Envelope kind of `urb run --json` / `urb scenario --json` bodies.
@@ -648,6 +649,336 @@ pub fn theorem2_cmd(n: usize, seed: u64, json: bool) {
     }
     if !demonstrated {
         eprintln!("theorem2: expected adversary behaviour not observed");
+        std::process::exit(1);
+    }
+}
+
+/// Envelope kind of `urb node --json` bodies.
+pub const NODE_REPORT_KIND: &str = "node-report";
+
+/// Envelope kind of `urb cluster --json` bodies.
+pub const CLUSTER_REPORT_KIND: &str = "cluster-report";
+
+/// The CLI token for `--alg` that parses back to `alg` (the launcher
+/// spawns `urb node` children with it; `Algorithm::name()` strings are
+/// report labels, not flag values).
+fn alg_flag(alg: urb_core::Algorithm) -> &'static str {
+    use urb_core::Algorithm;
+    match alg {
+        Algorithm::Majority => "majority",
+        Algorithm::Quiescent => "quiescent",
+        Algorithm::QuiescentLiteral => "quiescent-literal",
+        Algorithm::BestEffort => "best-effort",
+        Algorithm::EagerRb => "eager-rb",
+        // Parameterized variants are sim-only; the node parser never
+        // produces them.
+        other => unreachable!("{} has no CLI flag token", other.name()),
+    }
+}
+
+/// The JSON body of a node report (split out for tests; the cluster
+/// launcher parses it back out of each child's envelope).
+pub fn node_report_body(n: usize, alg: urb_core::Algorithm, report: &NodeReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"id\": {},", report.id);
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"algorithm\": \"{}\",", alg.name());
+    let _ = writeln!(out, "  \"complete\": {},", report.complete);
+    out.push_str("  \"per_topic\": [\n");
+    for (i, t) in report.per_topic.iter().enumerate() {
+        let payloads = t
+            .payloads
+            .iter()
+            .map(|p| format!("\"{}\"", serde_json::escape(p)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "    {{\"topic\": {}, \"deliveries\": {}, \"payloads\": [{payloads}]}}",
+            t.topic.0,
+            t.payloads.len()
+        );
+        out.push_str(if i + 1 < report.per_topic.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let s = &report.net;
+    let _ = writeln!(out, "  \"net\": {{");
+    let _ = writeln!(out, "    \"accepted\": {},", s.accepted);
+    let _ = writeln!(out, "    \"dials_ok\": {},", s.dials_ok);
+    let _ = writeln!(out, "    \"dials_failed\": {},", s.dials_failed);
+    let _ = writeln!(out, "    \"reconnects\": {},", s.reconnects);
+    let _ = writeln!(out, "    \"frames_sent\": {},", s.frames_sent);
+    let _ = writeln!(out, "    \"frames_recv\": {},", s.frames_recv);
+    let _ = writeln!(out, "    \"bytes_sent\": {},", s.bytes_sent);
+    let _ = writeln!(out, "    \"bytes_recv\": {},", s.bytes_recv);
+    let _ = writeln!(
+        out,
+        "    \"dropped_backpressure\": {},",
+        s.dropped_backpressure
+    );
+    let _ = writeln!(out, "    \"send_failures\": {},", s.send_failures);
+    let _ = writeln!(out, "    \"frame_errors\": {}", s.frame_errors);
+    out.push_str("  }\n}");
+    out
+}
+
+/// `urb node`: run one OS process of a socket cluster (DESIGN.md §13).
+/// Exit codes: 0 = ran to completion (expectation met or none set),
+/// 1 = `--expect` unmet at the deadline, 2 = bad config / bind failure.
+pub fn node_cmd(args: NodeArgs) {
+    let n = args.addrs.len();
+    let mut cfg = urb_runtime::NodeConfig::new(args.id, n, args.algorithm, args.addrs.clone());
+    cfg.topics = args.topics;
+    cfg.seed = args.seed;
+    cfg.msgs = args.msgs;
+    cfg.listen = args.listen.clone();
+    cfg.run_for = std::time::Duration::from_millis(args.run_ms);
+    cfg.linger = std::time::Duration::from_millis(args.linger_ms);
+    cfg.expect = args.expect;
+    let report = match urb_runtime::run_node(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.json {
+        println!(
+            "{}",
+            report::envelope(
+                NODE_REPORT_KIND,
+                args.seed,
+                &node_report_body(n, args.algorithm, &report)
+            )
+        );
+    } else {
+        println!(
+            "node {}/{} ({}): {}",
+            report.id,
+            n,
+            args.algorithm.name(),
+            if report.complete {
+                "complete"
+            } else {
+                "INCOMPLETE"
+            }
+        );
+        for t in &report.per_topic {
+            println!("  topic {}: {} deliveries", t.topic.0, t.payloads.len());
+        }
+        let s = &report.net;
+        println!(
+            "  net: {} frames out / {} in, {} accepted, {} reconnects, {} dropped",
+            s.frames_sent, s.frames_recv, s.accepted, s.reconnects, s.dropped_backpressure
+        );
+    }
+    if !report.complete {
+        eprintln!(
+            "node {}: --expect {} not met within {} ms",
+            args.id,
+            args.expect.unwrap_or(0),
+            args.run_ms
+        );
+        std::process::exit(1);
+    }
+}
+
+/// One child's contribution to the cluster verdict.
+struct ChildVerdict {
+    id: usize,
+    exit_ok: bool,
+    complete: bool,
+    /// Per-topic delivered payload sets parsed from the child's report.
+    per_topic: Vec<std::collections::BTreeSet<String>>,
+}
+
+/// `urb cluster --local N`: reserve N loopback ports, spawn N `urb node`
+/// children on them, wait for all, and check every node delivered the
+/// full expected payload set on every topic. Exit codes: 0 = all
+/// verdicts pass, 1 = a node failed or a delivery set diverged, 2 = bad
+/// config / spawn failure.
+pub fn cluster_cmd(args: ClusterArgs) {
+    let n = args.local;
+    // Reserve concrete loopback ports by binding ephemeral listeners,
+    // recording their addresses, then releasing them for the children.
+    // (The standard reserve-then-rebind pattern; the race window is
+    // harmless on a workstation/CI loopback.)
+    let addrs: Vec<String> = {
+        let listeners: Vec<std::net::TcpListener> = (0..n)
+            .map(|_| {
+                std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+                    eprintln!("error: cannot reserve a loopback port: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        listeners
+            .iter()
+            .map(|l| {
+                l.local_addr()
+                    .expect("bound listener has an address")
+                    .to_string()
+            })
+            .collect()
+    };
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate the urb binary: {e}");
+        std::process::exit(2);
+    });
+    let expect = n * args.msgs;
+    let addr_list = addrs.join(",");
+    let mut children = Vec::with_capacity(n);
+    for id in 0..n {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "node",
+                "--id",
+                &id.to_string(),
+                "--addrs",
+                &addr_list,
+                "--alg",
+                alg_flag(args.algorithm),
+                "--topics",
+                &args.topics.to_string(),
+                "--msgs",
+                &args.msgs.to_string(),
+                "--seed",
+                &args.seed.to_string(),
+                "--expect",
+                &expect.to_string(),
+                "--run-ms",
+                &args.run_ms.to_string(),
+                "--json",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot spawn node {id}: {e}");
+                std::process::exit(2);
+            });
+        children.push(child);
+    }
+    // Every child self-terminates by its --run-ms deadline, so a plain
+    // wait is already bounded.
+    let mut verdicts = Vec::with_capacity(n);
+    for (id, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().unwrap_or_else(|e| {
+            eprintln!("error: node {id} did not exit cleanly: {e}");
+            std::process::exit(2);
+        });
+        let text = String::from_utf8_lossy(&out.stdout);
+        let mut verdict = ChildVerdict {
+            id,
+            exit_ok: out.status.success(),
+            complete: false,
+            per_topic: vec![std::collections::BTreeSet::new(); args.topics as usize],
+        };
+        if let Ok(v) = serde_json::from_str(text.trim()) {
+            verdict.complete = v["data"]["complete"].as_bool().unwrap_or(false);
+            if let Some(rows) = v["data"]["per_topic"].as_array() {
+                for row in rows {
+                    let topic = row["topic"].as_u64().unwrap_or(u64::MAX) as usize;
+                    if topic >= verdict.per_topic.len() {
+                        continue;
+                    }
+                    if let Some(payloads) = row["payloads"].as_array() {
+                        verdict.per_topic[topic] = payloads
+                            .iter()
+                            .filter_map(|p| p.as_str().map(String::from))
+                            .collect();
+                    }
+                }
+            }
+        }
+        verdicts.push(verdict);
+    }
+
+    // Per-topic verdict: every node's delivered set equals the full
+    // expected workload set — URB validity + uniform agreement, observed
+    // over real sockets.
+    let mut topic_ok = Vec::with_capacity(args.topics as usize);
+    for topic in 0..args.topics {
+        let want = urb_runtime::expected_payloads(n, urb_types::TopicId(topic), args.msgs);
+        let ok = verdicts.iter().all(|v| v.per_topic[topic as usize] == want);
+        topic_ok.push(ok);
+    }
+    let nodes_ok = verdicts.iter().all(|v| v.exit_ok && v.complete);
+    let parity_ok = nodes_ok && topic_ok.iter().all(|&ok| ok);
+
+    if args.json {
+        use std::fmt::Write as _;
+        let mut body = String::with_capacity(512);
+        body.push_str("{\n");
+        let _ = writeln!(body, "  \"n\": {n},");
+        let _ = writeln!(body, "  \"algorithm\": \"{}\",", args.algorithm.name());
+        let _ = writeln!(body, "  \"topics\": {},", args.topics);
+        let _ = writeln!(body, "  \"msgs_per_node\": {},", args.msgs);
+        let _ = writeln!(body, "  \"expected_per_topic\": {expect},");
+        body.push_str("  \"nodes\": [\n");
+        for (i, v) in verdicts.iter().enumerate() {
+            let _ = write!(
+                body,
+                "    {{\"id\": {}, \"exit_ok\": {}, \"complete\": {}}}",
+                v.id, v.exit_ok, v.complete
+            );
+            body.push_str(if i + 1 < verdicts.len() { ",\n" } else { "\n" });
+        }
+        body.push_str("  ],\n");
+        body.push_str("  \"per_topic\": [\n");
+        for (topic, ok) in topic_ok.iter().enumerate() {
+            let _ = write!(body, "    {{\"topic\": {topic}, \"ok\": {ok}}}");
+            body.push_str(if topic + 1 < topic_ok.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        body.push_str("  ],\n");
+        let _ = writeln!(body, "  \"verdict\": {parity_ok}");
+        body.push('}');
+        println!(
+            "{}",
+            report::envelope(CLUSTER_REPORT_KIND, args.seed, &body)
+        );
+    } else {
+        println!(
+            "cluster: {} loopback nodes ({}), {} topics × {} msgs/node",
+            n,
+            args.algorithm.name(),
+            args.topics,
+            args.msgs
+        );
+        for v in &verdicts {
+            println!(
+                "  node {}: exit {}, {}",
+                v.id,
+                if v.exit_ok { "ok" } else { "FAIL" },
+                if v.complete { "complete" } else { "INCOMPLETE" }
+            );
+        }
+        for (topic, ok) in topic_ok.iter().enumerate() {
+            println!(
+                "  topic {topic}: {}",
+                if *ok {
+                    "all nodes delivered the full set"
+                } else {
+                    "DELIVERY SETS DIVERGED"
+                }
+            );
+        }
+        println!(
+            "cluster verdict: {}",
+            if parity_ok { "PASS" } else { "FAIL" }
+        );
+    }
+    if !parity_ok {
         std::process::exit(1);
     }
 }

@@ -9,6 +9,8 @@
 //! urb bench --json BENCH_PR3.json
 //! urb bench --diff BENCH_PR3.json bench-smoke.json
 //! urb theorem2 --n 6
+//! urb node --id 0 --addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//! urb cluster --local 3 --json
 //! urb sweep --n 8 --alg majority
 //! urb help
 //! ```
@@ -29,6 +31,8 @@ fn main() {
         Ok(Command::Bench(args)) => commands::bench_cmd(args),
         Ok(Command::Theorem2 { n, seed, json }) => commands::theorem2_cmd(n, seed, json),
         Ok(Command::Sweep(cfg)) => commands::sweep_cmd(cfg),
+        Ok(Command::Node(args)) => commands::node_cmd(args),
+        Ok(Command::Cluster(args)) => commands::cluster_cmd(args),
         Ok(Command::Help) => {
             print!("{}", urb_cli::args::USAGE);
         }

@@ -1,0 +1,256 @@
+//! Loopback-cluster integration suite: the payoff test plane of the
+//! sans-io boundary (DESIGN.md §13).
+//!
+//! The same seeded workload runs through the **in-process** threaded
+//! runtime (threads + channels) and through a **socket cluster** of
+//! `urb node` OS processes (TCP + stream framing), and the per-topic
+//! delivery sets must be identical — the engine cannot tell which
+//! transport it is behind, and URB's guarantees survive real sockets.
+//! A second test kills and restarts one process mid-run and asserts the
+//! survivors' URB properties hold and the backoff path re-attaches the
+//! restarted peer.
+//!
+//! Every test here binds loopback sockets and spawns real OS processes,
+//! so the suite is `#[ignore]`-gated for minimal local environments;
+//! CI's cluster-smoke job runs it with `--ignored`.
+
+use std::collections::BTreeSet;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn urb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_urb"))
+}
+
+/// Reserves `n` concrete loopback addresses by binding ephemeral
+/// listeners, recording them, and releasing them for the node processes.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// Spawns one `urb node` process with the shared workload flags.
+#[allow(clippy::too_many_arguments)]
+fn spawn_node(
+    id: usize,
+    addrs: &[String],
+    topics: u32,
+    msgs: usize,
+    seed: u64,
+    expect: usize,
+    linger_ms: u64,
+    stdout: Stdio,
+) -> Child {
+    urb()
+        .args([
+            "node",
+            "--id",
+            &id.to_string(),
+            "--addrs",
+            &addrs.join(","),
+            "--alg",
+            "majority",
+            "--topics",
+            &topics.to_string(),
+            "--msgs",
+            &msgs.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--expect",
+            &expect.to_string(),
+            "--run-ms",
+            "30000",
+            "--linger-ms",
+            &linger_ms.to_string(),
+            "--json",
+        ])
+        .stdout(stdout)
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn urb node")
+}
+
+/// Parses a node-report envelope into per-topic delivered payload sets.
+fn payload_sets(report: &serde_json::Value, topics: u32) -> Vec<BTreeSet<String>> {
+    let mut sets = vec![BTreeSet::new(); topics as usize];
+    for row in report["data"]["per_topic"].as_array().expect("per_topic") {
+        let topic = row["topic"].as_u64().expect("topic id") as usize;
+        sets[topic] = row["payloads"]
+            .as_array()
+            .expect("payloads")
+            .iter()
+            .map(|p| p.as_str().expect("payload string").to_string())
+            .collect();
+    }
+    sets
+}
+
+/// The headline parity check: identical per-topic delivery sets between
+/// the in-process runtime and a 3-process socket cluster on the same
+/// seeded workload.
+#[test]
+#[ignore = "spawns OS processes on loopback sockets; run via CI cluster-smoke or --ignored"]
+fn loopback_parity_with_in_process_runtime() {
+    let (n, topics, msgs, seed) = (3usize, 2u32, 2usize, 42u64);
+    let expect = n * msgs;
+
+    // Socket side: three real OS processes over TCP.
+    let addrs = reserve_addrs(n);
+    let children: Vec<Child> = (0..n)
+        .map(|id| spawn_node(id, &addrs, topics, msgs, seed, expect, 500, Stdio::piped()))
+        .collect();
+    let mut socket_sets: Vec<Vec<BTreeSet<String>>> = Vec::with_capacity(n);
+    for (id, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("node exits");
+        assert!(
+            out.status.success(),
+            "node {id} failed: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let v: serde_json::Value =
+            serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim())
+                .expect("node report is valid JSON");
+        assert_eq!(v["kind"].as_str(), Some("node-report"));
+        assert_eq!(v["data"]["complete"].as_bool(), Some(true));
+        socket_sets.push(payload_sets(&v, topics));
+    }
+
+    // Reference side: the identical workload through threads + channels.
+    let reference = urb_runtime::run_reference(
+        n,
+        urb_core::Algorithm::Majority,
+        topics,
+        msgs,
+        seed,
+        Duration::from_secs(30),
+    );
+
+    // Parity, node by node, topic by topic — and both stacks match the
+    // closed-form expected workload set.
+    for topic in 0..topics {
+        let want = urb_runtime::expected_payloads(n, urb_types::TopicId(topic), msgs);
+        for pid in 0..n {
+            assert_eq!(
+                socket_sets[pid][topic as usize], reference[topic as usize][pid],
+                "socket vs in-process delivery sets diverged (pid {pid}, topic {topic})"
+            );
+            assert_eq!(
+                socket_sets[pid][topic as usize], want,
+                "delivery set incomplete (pid {pid}, topic {topic})"
+            );
+        }
+    }
+}
+
+/// Fault injection: SIGKILL one node mid-run, let the survivors keep
+/// serving, restart the victim on the same address, and require all
+/// three — including the restarted peer, re-attached by the writers'
+/// backoff path — to finish with the full delivery set.
+#[test]
+#[ignore = "spawns OS processes on loopback sockets; run via CI cluster-smoke or --ignored"]
+fn killed_node_survivors_hold_and_restart_reattaches() {
+    let (n, topics, msgs, seed) = (3usize, 1u32, 1usize, 7u64);
+    let expect = n * msgs;
+    let addrs = reserve_addrs(n);
+
+    // Survivors get a long post-completion linger so they are still
+    // retransmitting when the victim comes back.
+    let survivors: Vec<Child> = (0..2)
+        .map(|id| {
+            spawn_node(
+                id,
+                &addrs,
+                topics,
+                msgs,
+                seed,
+                expect,
+                10_000,
+                Stdio::piped(),
+            )
+        })
+        .collect();
+    let mut victim = spawn_node(2, &addrs, topics, msgs, seed, expect, 500, Stdio::null());
+
+    // Let the cluster form and the victim broadcast, then crash it hard.
+    std::thread::sleep(Duration::from_millis(600));
+    victim.kill().expect("SIGKILL node 2");
+    victim.wait().expect("reap node 2");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Restart on the same address with the same config: the seed-derived
+    // tag stream makes its re-broadcast a retransmission of the same
+    // message, and the survivors' writers redial it with backoff.
+    let restarted = spawn_node(2, &addrs, topics, msgs, seed, expect, 500, Stdio::piped());
+
+    let mut reconnects_seen = 0u64;
+    for (id, child) in survivors.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("survivor exits");
+        assert!(
+            out.status.success(),
+            "survivor {id} lost URB properties: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let v: serde_json::Value =
+            serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+        assert_eq!(v["data"]["complete"].as_bool(), Some(true), "survivor {id}");
+        let sets = payload_sets(&v, topics);
+        let want = urb_runtime::expected_payloads(n, urb_types::TopicId(0), msgs);
+        assert_eq!(sets[0], want, "survivor {id} delivered the full set");
+        reconnects_seen += v["data"]["net"]["reconnects"].as_u64().unwrap_or(0);
+    }
+    assert!(
+        reconnects_seen >= 1,
+        "at least one survivor re-established its connection via backoff"
+    );
+
+    let out = restarted.wait_with_output().expect("restarted node exits");
+    assert!(
+        out.status.success(),
+        "restarted node never caught up: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(v["data"]["complete"].as_bool(), Some(true));
+    let sets = payload_sets(&v, topics);
+    assert_eq!(
+        sets[0],
+        urb_runtime::expected_payloads(n, urb_types::TopicId(0), msgs),
+        "restarted peer converged on the full delivery set"
+    );
+}
+
+/// The `urb cluster --local N` launcher end to end: spawns the cluster,
+/// aggregates the node reports, and emits a passing verdict in the
+/// shared JSON envelope.
+#[test]
+#[ignore = "spawns OS processes on loopback sockets; run via CI cluster-smoke or --ignored"]
+fn cluster_launcher_reports_pass_verdict() {
+    let out = urb()
+        .args([
+            "cluster", "--local", "3", "--topics", "2", "--msgs", "2", "--seed", "42", "--run-ms",
+            "30000", "--json",
+        ])
+        .output()
+        .expect("launcher runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let v: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(v["schema_version"].as_u64(), Some(1));
+    assert_eq!(v["kind"].as_str(), Some("cluster-report"));
+    assert_eq!(v["seed"].as_u64(), Some(42));
+    assert_eq!(v["data"]["n"].as_u64(), Some(3));
+    assert_eq!(v["data"]["verdict"].as_bool(), Some(true));
+    for row in v["data"]["per_topic"].as_array().unwrap() {
+        assert_eq!(row["ok"].as_bool(), Some(true));
+    }
+    for node in v["data"]["nodes"].as_array().unwrap() {
+        assert_eq!(node["exit_ok"].as_bool(), Some(true));
+        assert_eq!(node["complete"].as_bool(), Some(true));
+    }
+}

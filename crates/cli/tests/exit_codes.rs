@@ -354,6 +354,112 @@ fn bench_diff_gates_on_count_metrics() {
     }
 }
 
+// ------------------------------------------------------------------
+// `urb node` / `urb cluster` — the socket plane's exit-code contract
+// (DESIGN.md §13). These bind only loopback listeners in this process
+// or run a single self-contained node, so they stay un-ignored; the
+// multi-process suite lives in tests/cluster.rs behind `--ignored`.
+
+#[test]
+fn node_bad_config_is_exit_two() {
+    // Parse-level config errors.
+    assert_eq!(code(&run(&["node"])), 2, "--id required");
+    assert_eq!(code(&run(&["node", "--id", "0"])), 2, "--addrs required");
+    assert_eq!(
+        code(&run(&[
+            "node",
+            "--id",
+            "5",
+            "--addrs",
+            "127.0.0.1:1,127.0.0.1:2"
+        ])),
+        2,
+        "id out of range"
+    );
+    // Unresolvable listen address: rejected at bind time, still exit 2.
+    let out = run(&["node", "--id", "0", "--addrs", "not-an-address"]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot listen"), "{stderr}");
+}
+
+#[test]
+fn node_port_in_use_is_exit_two() {
+    // Occupy a loopback port in this process, then point a node at it.
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind holder");
+    let addr = holder.local_addr().unwrap().to_string();
+    let out = run(&["node", "--id", "0", "--addrs", &addr]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot listen"), "{stderr}");
+    drop(holder);
+}
+
+#[test]
+fn node_clean_run_is_exit_zero_with_envelope() {
+    // A single-node cluster delivers its own broadcasts immediately:
+    // expectation met, exit 0, report in the shared envelope.
+    let out = run(&[
+        "node",
+        "--id",
+        "0",
+        "--addrs",
+        "127.0.0.1:0",
+        "--msgs",
+        "2",
+        "--seed",
+        "3",
+        "--expect",
+        "2",
+        "--run-ms",
+        "10000",
+        "--linger-ms",
+        "50",
+        "--json",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(v["kind"], "node-report");
+    assert_eq!(v["seed"], 3u64);
+    assert_eq!(v["data"]["complete"], true);
+    assert_eq!(
+        v["data"]["per_topic"][0]["deliveries"], 2u64,
+        "both own broadcasts delivered"
+    );
+}
+
+#[test]
+fn node_unmet_expectation_is_exit_one() {
+    // A lone node can never see payloads from peers that don't exist:
+    // the deadline passes with the expectation unmet — verdict failure.
+    let out = run(&[
+        "node",
+        "--id",
+        "0",
+        "--addrs",
+        "127.0.0.1:0",
+        "--msgs",
+        "1",
+        "--expect",
+        "5",
+        "--run-ms",
+        "300",
+        "--linger-ms",
+        "50",
+    ]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not met"), "{stderr}");
+}
+
+#[test]
+fn cluster_bad_config_is_exit_two() {
+    assert_eq!(code(&run(&["cluster"])), 2, "--local required");
+    assert_eq!(code(&run(&["cluster", "--local", "0"])), 2);
+    assert_eq!(code(&run(&["cluster", "--local", "3", "--topics", "0"])), 2);
+}
+
 #[test]
 fn usage_errors_are_exit_two() {
     assert_eq!(code(&run(&["frobnicate"])), 2);

@@ -1,0 +1,355 @@
+//! The `urb node` daemon: one OS process running one node of a
+//! socket-distributed URB cluster (DESIGN.md §13).
+//!
+//! A daemon node is the [`crate::transport::TcpMesh`] socket plane
+//! composed with the **same sans-io engine** every other driver uses
+//! ([`urb_engine::TopicEngine`]): the node loop here is the threaded
+//! runtime's node loop with the in-process router lanes swapped for real
+//! sockets — protocol logic, codec and tick cadence are untouched, which
+//! is exactly what the `drive_step` boundary was built to allow. The
+//! loopback-parity suite (`crates/cli/tests/cluster.rs`) asserts the
+//! payoff mechanically: the same seeded workload produces identical
+//! per-topic delivery sets through [`crate::UrbCluster`] (threads +
+//! channels) and through a cluster of these daemons (processes +
+//! sockets).
+//!
+//! Determinism note: over real sockets, arrival order, timing and loss
+//! are *not* reproducible — what stays deterministic given the config is
+//! the workload (payload strings, per-node tag streams, FD labels) and,
+//! because URB guarantees exactly-once delivery of every broadcast, the
+//! resulting per-topic delivery **sets**. Those sets are the unit the
+//! parity and fault-injection suites assert on.
+
+use crate::transport::{MeshConfig, NetError, NetStats, TcpMesh};
+use crate::MembershipRegistry;
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, RecvTimeoutError};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+use urb_core::Algorithm;
+use urb_engine::{MuxBuffers, StepInput, TopicEngine};
+use urb_types::{BufPool, Payload, SplitMix64, TopicId};
+
+/// Configuration of one daemon node (the `urb node` subcommand's flags).
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's id, `0 <= id < n`.
+    pub id: usize,
+    /// Cluster size.
+    pub n: usize,
+    /// Protocol to run (shared by the whole cluster).
+    pub algorithm: Algorithm,
+    /// Concurrent URB instances (topics) per node.
+    pub topics: u32,
+    /// Cluster-wide seed: derives per-node tag streams, FD labels and
+    /// the workload payloads, so every process agrees without talking.
+    pub seed: u64,
+    /// Broadcasts this node performs per topic at startup.
+    pub msgs: usize,
+    /// Listen addresses of **all** `n` nodes, in id order (node `i`
+    /// listens on `addrs[i]` and dials the rest).
+    pub addrs: Vec<String>,
+    /// Optional listen-address override (defaults to `addrs[id]`; the
+    /// port-in-use CLI tests point it at an occupied port).
+    pub listen: Option<String>,
+    /// Task-1 sweep period.
+    pub tick_interval: Duration,
+    /// Wall-clock budget for the whole run.
+    pub run_for: Duration,
+    /// How long to keep serving after meeting [`NodeConfig::expect`]
+    /// (retransmissions for straggling peers).
+    pub linger: Duration,
+    /// Expected deliveries per topic; when set, the node exits complete
+    /// once every topic reached it (plus linger), and incomplete at the
+    /// deadline otherwise. `None` = run the full budget, always complete.
+    pub expect: Option<usize>,
+}
+
+impl NodeConfig {
+    /// A config with the defaults the CLI uses: 20 ms ticks, 20 s budget,
+    /// 500 ms linger, 1 broadcast per topic, 1 topic, no expectation.
+    pub fn new(id: usize, n: usize, algorithm: Algorithm, addrs: Vec<String>) -> Self {
+        NodeConfig {
+            id,
+            n,
+            algorithm,
+            topics: 1,
+            seed: 0x5EED,
+            msgs: 1,
+            addrs,
+            listen: None,
+            tick_interval: Duration::from_millis(20),
+            run_for: Duration::from_secs(20),
+            linger: Duration::from_millis(500),
+            expect: None,
+        }
+    }
+
+    /// Checks internal consistency (id in range, one address per node).
+    pub fn validate(&self) -> Result<(), NetError> {
+        if self.n == 0 {
+            return Err(NetError::Config("n must be at least 1".into()));
+        }
+        if self.id >= self.n {
+            return Err(NetError::Config(format!(
+                "id {} out of range for n = {}",
+                self.id, self.n
+            )));
+        }
+        if self.addrs.len() != self.n {
+            return Err(NetError::Config(format!(
+                "{} peer addresses for n = {} nodes",
+                self.addrs.len(),
+                self.n
+            )));
+        }
+        if self.topics == 0 {
+            return Err(NetError::Config("topics must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// What one topic instance delivered over a daemon run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopicDeliveries {
+    /// The topic.
+    pub topic: TopicId,
+    /// Delivered payloads as text, sorted (URB integrity makes this a
+    /// set; sorting makes reports comparable across nodes and stacks).
+    pub payloads: Vec<String>,
+}
+
+/// A daemon node's end-of-run report.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The reporting node's id.
+    pub id: usize,
+    /// True when the node met its expectation (or had none).
+    pub complete: bool,
+    /// Per-topic delivery sets, ascending by topic.
+    pub per_topic: Vec<TopicDeliveries>,
+    /// Socket-plane traffic counters.
+    pub net: NetStats,
+}
+
+/// The payload node `node` broadcasts as its `i`-th message on `topic` —
+/// one deterministic naming scheme shared by the daemons, the in-process
+/// reference runs and the parity assertions, so delivery sets can be
+/// compared across stacks as plain strings.
+pub fn workload_payload(node: usize, topic: TopicId, i: usize) -> Payload {
+    Payload::from(format!("n{node}.t{}.m{i}", topic.0).as_str())
+}
+
+/// The full per-topic payload set an `n`-node cluster broadcasting
+/// `msgs` messages per node per topic is expected to deliver everywhere.
+pub fn expected_payloads(n: usize, topic: TopicId, msgs: usize) -> BTreeSet<String> {
+    (0..n)
+        .flat_map(|node| (0..msgs).map(move |i| workload_payload(node, topic, i).as_text()))
+        .collect()
+}
+
+/// Runs one daemon node to completion. Fails only on config/bind errors
+/// ([`NetError`], CLI exit 2); network conditions during the run are
+/// absorbed by the transport's retry/loss semantics and show up in the
+/// report instead.
+pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
+    cfg.validate()?;
+    let listen = cfg
+        .listen
+        .clone()
+        .unwrap_or_else(|| cfg.addrs[cfg.id].clone());
+    let peers: Vec<String> = cfg
+        .addrs
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != cfg.id)
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    // Ingress funnel: socket readers and the node's own loopback copy
+    // share one FIFO, the same `NodeInput::Net` shape the in-process
+    // router feeds (commands don't exist here — a daemon's workload is
+    // config, not RPC).
+    let (ingress_tx, ingress_rx) = unbounded::<Bytes>();
+    let mut mesh = TcpMesh::start(MeshConfig::new(listen, peers), ingress_tx.clone())?;
+
+    // Same engine construction as the threaded runtime's node thread:
+    // same per-node RNG stream derivation, so a daemon node and an
+    // in-process node with the same (seed, id) draw identical tags. The
+    // registry is local but seed-derived, so every process in the
+    // cluster serves identical all-alive FD views without coordination.
+    let registry = MembershipRegistry::new(cfg.n, cfg.seed, Duration::from_millis(500));
+    let mut engine = TopicEngine::new(
+        (0..cfg.topics.max(1))
+            .map(|_| cfg.algorithm.instantiate(cfg.n))
+            .collect(),
+        SplitMix64::new(cfg.seed ^ 0xB07B_0B00 ^ (cfg.id as u64) << 32),
+    );
+    let mut mux = MuxBuffers::new();
+    let pool = BufPool::default();
+    let mut delivered: Vec<BTreeSet<String>> = vec![BTreeSet::new(); cfg.topics.max(1) as usize];
+
+    // Flush one step's mux outbox: peers get the frame over sockets,
+    // the node itself gets it through its own ingress FIFO — the
+    // never-lost self-copy of the broadcast primitive, without a socket.
+    let flush = |mux: &mut MuxBuffers, mesh: &TcpMesh| {
+        if let Some(scratch) = mux.take_mux_frame(&pool) {
+            let frame = Bytes::copy_from_slice(&scratch);
+            drop(scratch); // encode buffer back to the pool
+            mesh.broadcast(&frame);
+            let _ = ingress_tx.send(frame);
+        }
+    };
+
+    // Startup workload: all broadcasts happen before any ingress is
+    // consumed, so the node's tag draws are a deterministic RNG prefix —
+    // a restarted node re-broadcasts the *identical* (tag, payload)
+    // messages, which URB integrity treats as retransmissions.
+    for topic in 0..cfg.topics.max(1) {
+        for i in 0..cfg.msgs {
+            mux.clear();
+            let snapshot = registry.snapshot(cfg.id, Instant::now());
+            engine.step_mux(
+                TopicId(topic),
+                StepInput::Broadcast(workload_payload(cfg.id, TopicId(topic), i)),
+                &snapshot,
+                &mut mux,
+            );
+            for (t, d) in mux.deliveries.drain(..) {
+                delivered[t.0 as usize].insert(d.payload.as_text());
+            }
+            flush(&mut mux, &mesh);
+        }
+    }
+
+    let deadline = Instant::now() + cfg.run_for;
+    let mut next_tick = Instant::now() + cfg.tick_interval;
+    // Set once every topic meets the expectation; the node keeps
+    // serving (acks, retransmissions) until it passes.
+    let mut linger_until: Option<Instant> = None;
+    let mut complete = cfg.expect.is_none();
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if let Some(t) = linger_until {
+            if now >= t {
+                complete = true;
+                break;
+            }
+        }
+        mux.clear();
+        let timeout = next_tick
+            .min(deadline)
+            .saturating_duration_since(now)
+            .min(Duration::from_millis(50));
+        match ingress_rx.recv_timeout(timeout) {
+            Ok(frame) => {
+                let registry = &registry;
+                let id = cfg.id;
+                if engine
+                    .receive_mux_frame(&frame, &mut mux, |_, _| {
+                        registry.snapshot(id, Instant::now())
+                    })
+                    .is_err()
+                {
+                    // A peer sent a frame our codec rejects: drop it like
+                    // a lost message (never panic on network input).
+                    continue;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if Instant::now() >= next_tick {
+                    let snapshot = registry.snapshot(cfg.id, Instant::now());
+                    engine.tick_all(&snapshot, &mut mux);
+                    next_tick = Instant::now() + cfg.tick_interval;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break, // cannot happen: we hold a sender
+        }
+        for (t, d) in mux.deliveries.drain(..) {
+            delivered[t.0 as usize].insert(d.payload.as_text());
+        }
+        flush(&mut mux, &mesh);
+        if let Some(expect) = cfg.expect {
+            if linger_until.is_none() && delivered.iter().all(|set| set.len() >= expect) {
+                linger_until = Some(Instant::now() + cfg.linger);
+            }
+        }
+    }
+
+    mesh.shutdown();
+    Ok(NodeReport {
+        id: cfg.id,
+        complete,
+        per_topic: delivered
+            .into_iter()
+            .enumerate()
+            .map(|(t, set)| TopicDeliveries {
+                topic: TopicId(t as u32),
+                payloads: set.into_iter().collect(),
+            })
+            .collect(),
+        net: mesh_stats_of(&mesh),
+    })
+}
+
+/// Reads the final counters (after shutdown, so nothing is in flight).
+fn mesh_stats_of(mesh: &TcpMesh) -> NetStats {
+    mesh.stats()
+}
+
+/// Runs the identical workload through the **in-process** threaded
+/// runtime ([`crate::UrbCluster`]) and returns the per-topic delivery
+/// sets of every node: `sets[topic][pid]`. This is the reference side of
+/// the loopback-parity check — same engine, same seeds, same workload,
+/// channels instead of sockets.
+pub fn run_reference(
+    n: usize,
+    algorithm: Algorithm,
+    topics: u32,
+    msgs: usize,
+    seed: u64,
+    timeout: Duration,
+) -> Vec<Vec<BTreeSet<String>>> {
+    let cluster = crate::UrbCluster::spawn(
+        crate::ClusterConfig::new(n, algorithm)
+            .topics(topics)
+            .seed(seed),
+    );
+    let mut tags = Vec::new();
+    for topic in 0..topics.max(1) {
+        for i in 0..msgs {
+            for pid in 0..n {
+                if let Some(tag) = cluster.broadcast_on(
+                    pid,
+                    TopicId(topic),
+                    workload_payload(pid, TopicId(topic), i),
+                ) {
+                    tags.push(tag);
+                }
+            }
+        }
+    }
+    for tag in tags {
+        cluster.await_delivery_everywhere(tag, timeout);
+    }
+    let sets = (0..topics.max(1))
+        .map(|topic| {
+            (0..n)
+                .map(|pid| {
+                    cluster
+                        .delivery_log_on(pid, TopicId(topic))
+                        .into_iter()
+                        .map(|d| d.payload.as_text())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    cluster.shutdown();
+    sets
+}

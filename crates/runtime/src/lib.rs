@@ -32,12 +32,19 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod daemon;
 mod node;
 mod registry;
 mod router;
+pub mod transport;
 
+pub use daemon::{
+    expected_payloads, run_node, run_reference, workload_payload, NodeConfig, NodeReport,
+    TopicDeliveries,
+};
 pub use registry::MembershipRegistry;
 pub use router::TrafficStats;
+pub use transport::{MeshConfig, NetError, NetStats, TcpMesh};
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;

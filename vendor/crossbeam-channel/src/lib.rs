@@ -5,7 +5,8 @@
 //! A multi-producer multi-consumer FIFO channel built on
 //! `Mutex<VecDeque>` + `Condvar`. The subset covers what the workspace
 //! uses: [`unbounded`], [`bounded`], clonable [`Sender`]/[`Receiver`],
-//! blocking `recv`, `try_recv`, `recv_timeout`, and disconnection
+//! blocking `recv`, non-blocking `try_send`, `try_recv`, `recv_timeout`,
+//! and disconnection
 //! semantics (recv fails once all senders are gone *and* the queue is
 //! drained; send fails once all receivers are gone). The `select!` macro
 //! is deliberately not provided — the runtime's node loop multiplexes by
@@ -53,6 +54,25 @@ pub struct SendError<T>(pub T);
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`]. The unsent message is returned
+/// inside either variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is full right now.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
     }
 }
 
@@ -142,6 +162,24 @@ impl<T> Sender<T> {
                         .unwrap_or_else(|e| e.into_inner());
                 }
                 _ => break,
+            }
+        }
+        shared.items.push_back(value);
+        drop(shared);
+        self.inner.readable.notify_one();
+        Ok(())
+    }
+
+    /// Sends a message without blocking: a full bounded channel returns
+    /// [`TrySendError::Full`] instead of waiting for a pop.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut shared = lock(&self.inner);
+        if shared.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.inner.capacity {
+            if shared.items.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         shared.items.push_back(value);
@@ -307,6 +345,17 @@ mod tests {
         let mut got = [a, b];
         got.sort_unstable();
         assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
