@@ -1,4 +1,4 @@
-//! The experiment suite E1–E17 (see DESIGN.md §5 for the index).
+//! The experiment suite E1–E20 (see DESIGN.md §5 for the index).
 //!
 //! The paper proves; we measure. Each function reproduces one claim as a
 //! table: the pass-rate grids for the two theorems about the algorithms
@@ -9,8 +9,9 @@
 //! backoff extension (E13), partition-heal recovery (E14), and the
 //! scenario plane's own guarantees (E15 corpus replay, E16 adversarial
 //! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9),
-//! and the topic plane's scaling story (E18 topic-count scaling, E19
-//! multiplexed-vs-separate frames A/B — DESIGN.md §12).
+//! the topic plane's scaling story (E18 topic-count scaling, E19
+//! multiplexed-vs-separate frames A/B — DESIGN.md §12), and the memory
+//! plane's plateau claim (E20 bounded-memory soak — DESIGN.md §14).
 //!
 //! All experiments are deterministic: same build, same tables. Every run's
 //! seed is a pure function of its grid cell and seed index, so the
@@ -23,7 +24,8 @@ use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::sim::{FdKind, LinkOverride, SimConfig};
 use urb_sim::spec::{self, ScenarioSpec, StopRule};
-use urb_sim::{scenario, CrashPlan, CrashRule, LossModel, RunOutcome, Schedule};
+use urb_sim::{scenario, soak, CrashPlan, CrashRule, LossModel, RunOutcome, Schedule, SoakConfig};
+use urb_types::MemoryConfig;
 
 /// Number of seeds per grid cell (kept moderate so the full suite runs in
 /// minutes; bump for tighter confidence).
@@ -51,14 +53,15 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e17" => e17_spec_parity(),
         "e18" => e18_topic_scaling(),
         "e19" => e19_mux_vs_separate(),
-        other => panic!("unknown experiment id {other:?} (use e1..e19)"),
+        "e20" => e20_bounded_memory_soak(),
+        other => panic!("unknown experiment id {other:?} (use e1..e20)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -1080,6 +1083,74 @@ pub fn e19_mux_vs_separate() -> Vec<Table> {
     vec![t]
 }
 
+// --------------------------------------------------------------- E20 ----
+
+/// E20 — bounded-memory soak (DESIGN.md §14): resident state vs messages
+/// with ack-prefix compaction on and off.
+///
+/// Each grid row runs the same seeded workload twice on the soak plane
+/// (`urb_sim::soak` — direct engine stepping, instant lossless flooding):
+/// once unbounded and once with a [`MemoryConfig`]. The harness itself is
+/// the acceptance gate: both arms must produce identical per-process
+/// delivery sequences (compaction is delivery-invisible), the unbounded
+/// arm's resident state must grow with the message count, and the bounded
+/// arm's **peak** resident state must plateau — the peak at the largest
+/// message count stays within 2× of the peak at the smallest even as the
+/// workload grows 8×. The million-message version of this table is the
+/// `soak_one_million_plateaus_with_identical_deliveries` soak test.
+pub fn e20_bounded_memory_soak() -> Vec<Table> {
+    let mut t = Table::new(
+        "E20 — bounded-memory soak: resident state vs messages (n=3, Alg 2)",
+        &[
+            "messages",
+            "plane",
+            "deliveries/proc",
+            "peak resident",
+            "final resident",
+            "reclaimed",
+            "tombstoned",
+            "same deliveries",
+        ],
+    );
+    let mem = MemoryConfig {
+        ceiling: Some(600),
+        ..MemoryConfig::default()
+    };
+    let mut bounded_peaks = Vec::new();
+    for &msgs in &[1_000u64, 4_000, 8_000] {
+        let unbounded = soak(SoakConfig::new(msgs).seed(0xE20));
+        let bounded = soak(SoakConfig::new(msgs).seed(0xE20).memory(mem));
+        let same = bounded.same_deliveries(&unbounded);
+        assert!(
+            same,
+            "compaction must be delivery-invisible at {msgs} messages"
+        );
+        assert!(
+            bounded.reclaimed > 0,
+            "the bounded arm must actually compact at {msgs} messages"
+        );
+        for (plane, out) in [("unbounded", &unbounded), ("bounded", &bounded)] {
+            t.row(vec![
+                msgs.to_string(),
+                plane.to_string(),
+                (out.delivered.iter().sum::<u64>() / out.delivered.len() as u64).to_string(),
+                out.peak_resident.to_string(),
+                out.final_resident.to_string(),
+                out.reclaimed.to_string(),
+                out.tombstoned.to_string(),
+                same.to_string(),
+            ]);
+        }
+        bounded_peaks.push(bounded.peak_resident);
+    }
+    let (first, last) = (bounded_peaks[0], *bounded_peaks.last().unwrap());
+    assert!(
+        last <= first.saturating_mul(2),
+        "bounded peak resident must plateau: {first} @1k vs {last} @8k"
+    );
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1087,7 +1158,7 @@ mod tests {
     #[test]
     fn all_ids_resolve() {
         // Smoke-test the dispatcher without running the heavy grids.
-        assert_eq!(ALL_IDS.len(), 19);
+        assert_eq!(ALL_IDS.len(), 20);
     }
 
     #[test]

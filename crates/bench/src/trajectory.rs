@@ -1,7 +1,7 @@
 //! The benchmark-trajectory subsystem: machine-readable perf history.
 //!
 //! `urb bench --json BENCH_PR<k>.json` runs a **reduced, fixed grid** for
-//! every experiment id (E1–E19) and emits one schema-versioned JSON file
+//! every experiment id (E1–E20) and emits one schema-versioned JSON file
 //! — the repo's perf trajectory. Each PR archives one such file; diffing
 //! two of them answers "what did this PR do to throughput, latency and
 //! allocation behaviour?" without re-running anything (DESIGN.md §10
@@ -24,6 +24,7 @@ use urb_fd::HeartbeatConfig;
 use urb_sim::sim::FdKind;
 use urb_sim::spec::{self, ScenarioSpec};
 use urb_sim::{scenario, Blackout, LossModel, RunOutcome, SimConfig};
+use urb_types::MemoryConfig;
 
 /// Envelope `kind` of a trajectory file.
 pub const KIND: &str = "bench-trajectory";
@@ -37,7 +38,7 @@ pub struct TrajectoryConfig {
     /// Seeds per grid cell (3 keeps the full trajectory under a minute
     /// in release builds; bump for tighter numbers).
     pub seeds_per_cell: u64,
-    /// Experiment ids to cover (subset of `e1..e19`).
+    /// Experiment ids to cover (subset of `e1..e20`).
     pub ids: Vec<String>,
 }
 
@@ -58,7 +59,7 @@ impl TrajectoryConfig {
 /// One experiment's aggregated, deterministic measurements.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentPoint {
-    /// Experiment id (`"e1"`…`"e19"`).
+    /// Experiment id (`"e1"`…`"e20"`).
     pub id: String,
     /// Simulated runs aggregated into this point.
     pub runs: u64,
@@ -494,7 +495,31 @@ pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
                 }
             }
         }
-        other => panic!("unknown experiment id {other:?} (use e1..e19)"),
+        "e20" => {
+            // Bounded-memory plane (DESIGN.md §14): the identical lossy
+            // workload with compaction off (cell 0) and on (cell 1). New
+            // in this PR — e20 points have no counterpart in earlier
+            // trajectory files, so existing diff overlaps are untouched.
+            let bounded = MemoryConfig {
+                ceiling: Some(600),
+                ..MemoryConfig::default()
+            };
+            for (cell, mem) in [None, Some(bounded)].into_iter().enumerate() {
+                for s in 0..seeds {
+                    let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+                        .seed(derive(cell as u64, s))
+                        .loss(LossModel::Bernoulli { p: 0.1 })
+                        .workload(3, 50)
+                        .max_time(200_000);
+                    if let Some(m) = mem {
+                        cfg = cfg.memory(m);
+                    }
+                    cfg.stop_on_quiescence = true;
+                    cfgs.push(cfg);
+                }
+            }
+        }
+        other => panic!("unknown experiment id {other:?} (use e1..e20)"),
     }
     cfgs
 }

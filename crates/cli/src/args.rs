@@ -68,7 +68,7 @@ FLAGS (bench):
                       count-metric mismatch over overlapping points
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
-    --experiments IDS comma-separated subset of e1..e19      [default: all]
+    --experiments IDS comma-separated subset of e1..e20      [default: all]
 
 FLAGS (node):
     --id I            this node's id (0-based)            [required]
@@ -83,6 +83,8 @@ FLAGS (node):
                       unmet by the deadline = exit 1       [default: none]
     --run-ms T        wall-clock budget                    [default: 20000]
     --linger-ms T     serve this long after --expect is met [default: 500]
+    --state-dir DIR   durable snapshot + journal dir; a restart
+                      recovers from it (unreadable = exit 2) [default: none]
     --json            print the node report as enveloped JSON
 
 FLAGS (cluster):
@@ -165,6 +167,8 @@ pub struct NodeArgs {
     pub linger_ms: u64,
     /// Machine-readable output.
     pub json: bool,
+    /// Durable state directory for crash recovery (`None` = stateless).
+    pub state_dir: Option<String>,
 }
 
 /// Flags of `urb cluster` (loopback launcher).
@@ -236,7 +240,7 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Seeds per grid cell.
     pub seeds: u64,
-    /// Experiment ids to cover (`None` = all of e1..e17).
+    /// Experiment ids to cover (`None` = all of e1..e20).
     pub experiments: Option<Vec<String>>,
 }
 
@@ -400,13 +404,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 match lower.strip_prefix('e') {
                                     Some(digits) if digits.bytes().all(|b| b.is_ascii_digit()) => {
                                         match digits.parse::<u32>() {
-                                            Ok(n @ 1..=19) => Ok(format!("e{n}")),
+                                            Ok(n @ 1..=20) => Ok(format!("e{n}")),
                                             _ => Err(format!(
-                                                "unknown experiment id {id:?} (use e1..e19)"
+                                                "unknown experiment id {id:?} (use e1..e20)"
                                             )),
                                         }
                                     }
-                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e19)")),
+                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e20)")),
                                 }
                             })
                             .collect::<Result<_, _>>()?;
@@ -613,6 +617,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut run_ms = 20_000u64;
             let mut linger_ms = 500u64;
             let mut json = false;
+            let mut state_dir: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next()
@@ -664,6 +669,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--linger-ms: {e}"))?
                     }
                     "--json" => json = true,
+                    "--state-dir" => state_dir = Some(value("--state-dir")?),
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -692,6 +698,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 run_ms,
                 linger_ms,
                 json,
+                state_dir,
             }))
         }
         "cluster" => {

@@ -741,6 +741,7 @@ pub fn node_cmd(args: NodeArgs) {
     cfg.run_for = std::time::Duration::from_millis(args.run_ms);
     cfg.linger = std::time::Duration::from_millis(args.linger_ms);
     cfg.expect = args.expect;
+    cfg.state_dir = args.state_dir.as_ref().map(std::path::PathBuf::from);
     let report = match urb_runtime::run_node(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -1095,7 +1096,7 @@ mod tests {
     #[test]
     fn bench_config_maps_flags() {
         let cfg = build_trajectory_config(&BenchArgs::default());
-        assert_eq!(cfg.ids.len(), 19, "all experiments by default");
+        assert_eq!(cfg.ids.len(), 20, "all experiments by default");
         assert_eq!(cfg.seeds_per_cell, 3);
         let cfg = build_trajectory_config(&BenchArgs {
             seed: 9,

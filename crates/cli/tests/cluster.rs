@@ -46,6 +46,32 @@ fn spawn_node(
     linger_ms: u64,
     stdout: Stdio,
 ) -> Child {
+    spawn_node_with(
+        id,
+        addrs,
+        topics,
+        msgs,
+        seed,
+        expect,
+        linger_ms,
+        stdout,
+        &[],
+    )
+}
+
+/// [`spawn_node`] plus extra trailing flags (e.g. `--state-dir`).
+#[allow(clippy::too_many_arguments)]
+fn spawn_node_with(
+    id: usize,
+    addrs: &[String],
+    topics: u32,
+    msgs: usize,
+    seed: u64,
+    expect: usize,
+    linger_ms: u64,
+    stdout: Stdio,
+    extra: &[&str],
+) -> Child {
     urb()
         .args([
             "node",
@@ -69,6 +95,7 @@ fn spawn_node(
             &linger_ms.to_string(),
             "--json",
         ])
+        .args(extra)
         .stdout(stdout)
         .stderr(Stdio::null())
         .spawn()
@@ -223,6 +250,108 @@ fn killed_node_survivors_hold_and_restart_reattaches() {
         urb_runtime::expected_payloads(n, urb_types::TopicId(0), msgs),
         "restarted peer converged on the full delivery set"
     );
+}
+
+/// Crash recovery (DESIGN.md §14): SIGKILL a node running with
+/// `--state-dir` mid-run, restart it from its snapshot + journal, and
+/// require the recovered process — and the untouched survivors — to
+/// converge on the exact delivery sets of an in-process reference run
+/// of the same seeded workload.
+#[test]
+#[ignore = "spawns OS processes on loopback sockets; run via CI cluster-smoke or --ignored"]
+fn killed_node_recovers_from_state_dir() {
+    let (n, topics, msgs, seed) = (3usize, 1u32, 2usize, 11u64);
+    let expect = n * msgs;
+    let addrs = reserve_addrs(n);
+    let state_dir = std::env::temp_dir().join(format!("urb-cluster-state-{}", std::process::id()));
+    std::fs::remove_dir_all(&state_dir).ok();
+    let state_flag = state_dir.to_str().unwrap().to_string();
+
+    let survivors: Vec<Child> = (0..2)
+        .map(|id| {
+            spawn_node(
+                id,
+                &addrs,
+                topics,
+                msgs,
+                seed,
+                expect,
+                10_000,
+                Stdio::piped(),
+            )
+        })
+        .collect();
+    let mut victim = spawn_node_with(
+        2,
+        &addrs,
+        topics,
+        msgs,
+        seed,
+        expect,
+        500,
+        Stdio::null(),
+        &["--state-dir", &state_flag],
+    );
+
+    // Give the victim time to broadcast, deliver, journal, and write at
+    // least one periodic recovery point (500 ms interval), then kill -9.
+    std::thread::sleep(Duration::from_millis(1_300));
+    victim.kill().expect("SIGKILL node 2");
+    victim.wait().expect("reap node 2");
+    assert!(
+        state_dir.join("snapshot.bin").exists(),
+        "victim persisted a recovery point before dying"
+    );
+
+    // Restart from the state dir: the engine restores its snapshot, the
+    // journal replay refills the delivered set, and the startup workload
+    // skips payloads the recovered set already holds.
+    let restarted = spawn_node_with(
+        2,
+        &addrs,
+        topics,
+        msgs,
+        seed,
+        expect,
+        500,
+        Stdio::piped(),
+        &["--state-dir", &state_flag],
+    );
+
+    for (id, child) in survivors.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("survivor exits");
+        assert!(out.status.success(), "survivor {id}: {out:?}");
+    }
+    let out = restarted.wait_with_output().expect("restarted node exits");
+    assert!(
+        out.status.success(),
+        "recovered node never completed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(v["data"]["complete"].as_bool(), Some(true));
+    let sets = payload_sets(&v, topics);
+
+    // Reference: the same workload through the in-process runtime.
+    let reference = urb_runtime::run_reference(
+        n,
+        urb_core::Algorithm::Majority,
+        topics,
+        msgs,
+        seed,
+        Duration::from_secs(30),
+    );
+    assert_eq!(
+        sets[0], reference[0][2],
+        "recovered node's delivery set diverged from the reference run"
+    );
+    assert_eq!(
+        sets[0],
+        urb_runtime::expected_payloads(n, urb_types::TopicId(0), msgs),
+        "recovered node converged on the full delivery set"
+    );
+    std::fs::remove_dir_all(&state_dir).ok();
 }
 
 /// The `urb cluster --local N` launcher end to end: spawns the cluster,

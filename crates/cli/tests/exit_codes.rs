@@ -454,6 +454,91 @@ fn node_unmet_expectation_is_exit_one() {
 }
 
 #[test]
+fn node_corrupt_state_dir_is_exit_two() {
+    // A snapshot that fails its envelope checks must refuse to start —
+    // unusable input, never a silent fresh start over salvageable state.
+    let dir = tmp("corrupt_state");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("snapshot.bin"), b"not a snapshot").unwrap();
+    let out = run(&[
+        "node",
+        "--id",
+        "0",
+        "--addrs",
+        "127.0.0.1:0",
+        "--run-ms",
+        "200",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("snapshot.bin"), "{stderr}");
+
+    // A journal ending mid-record (length prefix promises more bytes
+    // than the file holds) is equally fatal, and typed as such.
+    std::fs::remove_file(dir.join("snapshot.bin")).unwrap();
+    std::fs::write(dir.join("journal.bin"), [64u8, 0, 0, 0, 1, 2, 3]).unwrap();
+    let out = run(&[
+        "node",
+        "--id",
+        "0",
+        "--addrs",
+        "127.0.0.1:0",
+        "--run-ms",
+        "200",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated record"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn node_state_dir_survives_a_clean_restart() {
+    // A single-node run with --state-dir exits 0; rerunning against the
+    // same directory recovers (engine snapshot + delivered sets) instead
+    // of starting over, and reports the same completed delivery count.
+    let dir = tmp("state_roundtrip");
+    std::fs::remove_dir_all(&dir).ok();
+    let node = |label: &str| {
+        let out = run(&[
+            "node",
+            "--id",
+            "0",
+            "--addrs",
+            "127.0.0.1:0",
+            "--msgs",
+            "2",
+            "--seed",
+            "3",
+            "--expect",
+            "2",
+            "--run-ms",
+            "10000",
+            "--linger-ms",
+            "50",
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--json",
+        ]);
+        assert_eq!(code(&out), 0, "{label}: {out:?}");
+        let v: serde_json::Value =
+            serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+        assert_eq!(v["data"]["complete"], true, "{label}");
+        assert_eq!(v["data"]["per_topic"][0]["deliveries"], 2u64, "{label}");
+        v
+    };
+    node("first run");
+    assert!(dir.join("snapshot.bin").exists(), "exit snapshot written");
+    node("recovered run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cluster_bad_config_is_exit_two() {
     assert_eq!(code(&run(&["cluster"])), 2, "--local required");
     assert_eq!(code(&run(&["cluster", "--local", "0"])), 2);

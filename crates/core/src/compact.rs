@@ -1,0 +1,200 @@
+//! Shared machinery of the bounded-memory mode (DESIGN.md §14).
+//!
+//! Both paper algorithms compact the same way: a tag whose entries have
+//! become *stable* — provably present at every correct process under the
+//! per-algorithm stability rule — survives a grace period of consecutive
+//! stable sweeps, then its `MSG`/`MY_ACK`/`ALL_ACK`/`URB_DELIVERED` entries
+//! are reclaimed and the tag moves into a bounded [`TombstoneRing`]. A late
+//! copy of a tombstoned tag is dropped on receipt: it is never acknowledged
+//! again (re-minting a `tag_ack` would break the distinct-ACK counting) and
+//! never re-enters state (re-entering `URB_DELIVERED` empty would permit a
+//! duplicate delivery).
+
+use serde::Serialize;
+use std::collections::{BTreeSet, VecDeque};
+use urb_types::snapshot::{fnv1a, SnapshotError, SnapshotReader, SnapshotWriter};
+use urb_types::{FdSnapshot, Tag};
+
+/// Bounded FIFO memory of compacted tags.
+///
+/// Oldest tags are evicted first once the ring is full; an evicted tag that
+/// still has copies in flight could re-enter state as a fresh message, so
+/// the capacity (with the grace period) bounds how old a duplicate the
+/// suppression can still catch — the trade-off DESIGN.md §14 spells out.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TombstoneRing {
+    ring: VecDeque<Tag>,
+    set: BTreeSet<Tag>,
+    cap: usize,
+}
+
+impl TombstoneRing {
+    /// An empty ring holding at most `cap` tags (`cap == 0` disables
+    /// tombstoning entirely).
+    pub fn new(cap: usize) -> Self {
+        TombstoneRing {
+            ring: VecDeque::new(),
+            set: BTreeSet::new(),
+            cap,
+        }
+    }
+
+    /// True when `tag` was compacted and is still remembered.
+    pub fn contains(&self, tag: Tag) -> bool {
+        self.set.contains(&tag)
+    }
+
+    /// Remembers a compacted tag, evicting the oldest when full.
+    pub fn push(&mut self, tag: Tag) {
+        if self.cap == 0 || !self.set.insert(tag) {
+            return;
+        }
+        self.ring.push_back(tag);
+        while self.ring.len() > self.cap {
+            if let Some(old) = self.ring.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+    }
+
+    /// Number of tags currently remembered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no tags are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Evicts the oldest half of the ring (the [`SpillPolicy::Tombstones`]
+    /// response to memory pressure). Returns how many tags went.
+    ///
+    /// [`SpillPolicy::Tombstones`]: urb_types::SpillPolicy::Tombstones
+    pub fn shed_half(&mut self) -> usize {
+        let drop = self.ring.len() / 2;
+        for _ in 0..drop {
+            if let Some(old) = self.ring.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        drop
+    }
+
+    /// Serializes the ring (oldest-first order preserved).
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.ring.len() as u64);
+        for tag in &self.ring {
+            w.put_u128(tag.0);
+        }
+    }
+
+    /// Restores a ring saved by [`TombstoneRing::save`]. The capacity is
+    /// `cap`, raised if needed so no restored tag is evicted on load.
+    pub fn restore(r: &mut SnapshotReader<'_>, cap: usize) -> Result<Self, SnapshotError> {
+        let len = r.get_u64()? as usize;
+        let mut ring = TombstoneRing::new(cap.max(len));
+        for _ in 0..len {
+            ring.push(Tag(r.get_u128()?));
+        }
+        Ok(ring)
+    }
+}
+
+/// Order-stable fingerprint of a failure-detector snapshot, used by the
+/// conservative mode to notice "the view changed" and reset grace clocks.
+pub fn fd_signature(fd: &FdSnapshot) -> u64 {
+    let mut w = SnapshotWriter::new();
+    for view in [&fd.a_theta, &fd.a_p_star] {
+        w.put_u64(view.len() as u64);
+        for pair in view.iter() {
+            w.put_u64(pair.label.0);
+            w.put_u32(pair.number);
+        }
+    }
+    fnv1a(w.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_types::{FdPair, FdView, Label};
+
+    #[test]
+    fn ring_remembers_then_evicts_oldest() {
+        let mut r = TombstoneRing::new(2);
+        r.push(Tag(1));
+        r.push(Tag(2));
+        assert!(r.contains(Tag(1)) && r.contains(Tag(2)));
+        r.push(Tag(3));
+        assert!(!r.contains(Tag(1)), "oldest evicted");
+        assert!(r.contains(Tag(2)) && r.contains(Tag(3)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_push_is_idempotent() {
+        let mut r = TombstoneRing::new(3);
+        r.push(Tag(1));
+        r.push(Tag(1));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut r = TombstoneRing::new(0);
+        r.push(Tag(1));
+        assert!(!r.contains(Tag(1)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shed_half_drops_oldest() {
+        let mut r = TombstoneRing::new(8);
+        for t in 0..4u128 {
+            r.push(Tag(t));
+        }
+        assert_eq!(r.shed_half(), 2);
+        assert!(!r.contains(Tag(0)) && !r.contains(Tag(1)));
+        assert!(r.contains(Tag(2)) && r.contains(Tag(3)));
+    }
+
+    #[test]
+    fn ring_snapshot_round_trip() {
+        let mut r = TombstoneRing::new(4);
+        for t in [9u128, 5, 7] {
+            r.push(Tag(t));
+        }
+        let mut w = SnapshotWriter::new();
+        r.save(&mut w);
+        let body = w.into_body();
+        let mut reader = SnapshotReader::new(&body);
+        let back = TombstoneRing::restore(&mut reader, 4).unwrap();
+        reader.finish().unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back.contains(Tag(9)) && back.contains(Tag(5)) && back.contains(Tag(7)));
+        // Eviction order survives: pushing two more drops 9 then 5.
+        let mut back = back;
+        back.push(Tag(1));
+        back.push(Tag(2));
+        assert!(!back.contains(Tag(9)));
+        assert!(back.contains(Tag(5)));
+    }
+
+    #[test]
+    fn fd_signature_tracks_view_changes() {
+        let v1 = FdView::from_pairs([FdPair {
+            label: Label(1),
+            number: 2,
+        }]);
+        let v2 = FdView::from_pairs([FdPair {
+            label: Label(1),
+            number: 3,
+        }]);
+        let a = fd_signature(&FdSnapshot::new(v1.clone(), v1.clone()));
+        let b = fd_signature(&FdSnapshot::new(v1.clone(), v2));
+        let c = fd_signature(&FdSnapshot::new(v1.clone(), v1));
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+}

@@ -31,12 +31,14 @@
 
 pub mod backoff;
 pub mod baseline;
+pub mod compact;
 pub mod harness;
 pub mod majority;
 pub mod quiescent;
 
 pub use backoff::BackoffUrb;
 pub use baseline::{BestEffortBroadcast, EagerReliableBroadcast};
+pub use compact::TombstoneRing;
 pub use majority::MajorityUrb;
 pub use quiescent::{PruneRule, QuiescentUrb};
 

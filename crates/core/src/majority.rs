@@ -16,9 +16,14 @@
 //! failure detector a process can never learn that everyone has the message.
 //! Experiment E4 measures this directly.
 
+use crate::compact::TombstoneRing;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
-use urb_types::{AnonProcess, Context, Payload, ProcessStats, Tag, TagAck, WireMessage};
+use urb_types::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+use urb_types::{
+    AnonProcess, CompactionReport, Context, FdSnapshot, MemoryConfig, Payload, ProcessStats,
+    SpillPolicy, Tag, TagAck, WireMessage,
+};
 
 /// Per-tag acknowledgment bookkeeping (the `ALL_ACK_i` slice for one tag).
 #[derive(Clone, Debug, Serialize)]
@@ -60,7 +65,7 @@ struct AckRecord {
 ///
 /// All collections are ordered (`BTreeMap`/`BTreeSet`) so iteration — and
 /// therefore the whole protocol — is deterministic for a given seed.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MajorityUrb {
     n: usize,
     /// Deliver when `|distinct tag_acks| >= threshold`. For the faithful
@@ -72,6 +77,15 @@ pub struct MajorityUrb {
     all_acks: BTreeMap<Tag, AckRecord>,
     delivered: BTreeSet<Tag>,
     weakened: bool,
+    /// Bounded-memory mode (DESIGN.md §14); `None` = compaction off and
+    /// behavior byte-identical to the unbounded algorithm.
+    mem: Option<MemoryConfig>,
+    /// Grace clocks: consecutive stable compaction sweeps per candidate tag.
+    grace: BTreeMap<Tag, u32>,
+    /// Tags already compacted; late copies are dropped on receipt.
+    tombs: TombstoneRing,
+    /// Count of tags compacted so far, for diagnostics.
+    compacted: u64,
 }
 
 impl MajorityUrb {
@@ -87,7 +101,43 @@ impl MajorityUrb {
             all_acks: BTreeMap::new(),
             delivered: BTreeSet::new(),
             weakened: false,
+            mem: None,
+            grace: BTreeMap::new(),
+            tombs: TombstoneRing::new(0),
+            compacted: 0,
         }
+    }
+
+    /// Number of tags reclaimed by the bounded-memory mode so far.
+    pub fn compacted_count(&self) -> u64 {
+        self.compacted
+    }
+
+    /// True when `tag` was compacted and is still tombstoned.
+    pub fn is_tombstoned(&self, tag: Tag) -> bool {
+        self.tombs.contains(tag)
+    }
+
+    /// Reclaims every entry held for `tag` and tombstones it. Returns the
+    /// number of state entries dropped (in [`ProcessStats::total`] units).
+    fn reclaim(&mut self, tag: Tag) -> usize {
+        let mut freed = 0;
+        if self.msgs.remove(&tag).is_some() {
+            freed += 1;
+        }
+        if self.my_acks.remove(&tag).is_some() {
+            freed += 1;
+        }
+        if let Some(rec) = self.all_acks.remove(&tag) {
+            freed += rec.acks.len();
+        }
+        if self.delivered.remove(&tag) {
+            freed += 1;
+        }
+        self.grace.remove(&tag);
+        self.tombs.push(tag);
+        self.compacted += 1;
+        freed
     }
 
     /// Algorithm 1 with an explicit delivery threshold.
@@ -126,6 +176,12 @@ impl MajorityUrb {
 
     /// Lines 7–17: handle `(MSG, m, tag)`.
     fn handle_msg(&mut self, tag: Tag, payload: Payload, ctx: &mut Context<'_>) {
+        // DESIGN.md §14: a compacted tag's late copies are dropped whole —
+        // re-acknowledging would mint a second tag_ack for the same process
+        // and break the distinct-ACK majority count.
+        if self.tombs.contains(tag) {
+            return;
+        }
         // Lines 8–10: record the message for Task-1 retransmission.
         self.msgs.entry(tag).or_insert_with(|| payload.clone());
         // Lines 11–17: acknowledge with a *stable* tag_ack. First reception
@@ -149,6 +205,10 @@ impl MajorityUrb {
 
     /// Lines 18–27: handle `(ACK, m, tag, tag_ack)`.
     fn handle_ack(&mut self, tag: Tag, tag_ack: TagAck, payload: Payload, ctx: &mut Context<'_>) {
+        // DESIGN.md §14: ignore ACKs for compacted (already delivered) tags.
+        if self.tombs.contains(tag) {
+            return;
+        }
         let rec = self.all_acks.entry(tag).or_insert_with(|| AckRecord {
             acks: BTreeSet::new(),
             payload,
@@ -228,6 +288,157 @@ impl AnonProcess for MajorityUrb {
         } else {
             "alg1-majority"
         }
+    }
+
+    fn configure_memory(&mut self, cfg: MemoryConfig) {
+        self.tombs = TombstoneRing::new(cfg.tombstones);
+        self.mem = Some(cfg);
+    }
+
+    /// Algorithm 1 stability rule (DESIGN.md §14): with no failure detector,
+    /// the only proof that *every* correct process holds a message is `n`
+    /// distinct `tag_ack`s — each process re-uses one stable tag_ack per
+    /// tag, so `n` distinct ones mean all `n` processes acknowledged. After
+    /// the grace period the tag's entries (including its `MSG` entry) are
+    /// reclaimed; Task 1 stops rebroadcasting it, a deliberate deviation
+    /// from the rebroadcast-forever loop that is active only in
+    /// bounded-memory mode. With crashed processes `n` ACKs never arrive
+    /// and those tags are never reclaimed — Algorithm 1 has no way to rule
+    /// out a slow correct process, which is exactly why the paper needs
+    /// `AP*` for quiescence.
+    fn compact(&mut self, _fd: &FdSnapshot) -> CompactionReport {
+        let Some(cfg) = self.mem else {
+            return CompactionReport::default();
+        };
+        let mut report = CompactionReport::default();
+        // No detector exists to signal suspicion, so conservative mode
+        // simply doubles the grace period.
+        let need = if cfg.conservative {
+            cfg.grace_ticks.saturating_mul(2)
+        } else {
+            cfg.grace_ticks
+        };
+        let over = cfg.ceiling.is_some_and(|c| self.stats().total() > c);
+        let candidates: Vec<Tag> = self.delivered.iter().copied().collect();
+        for tag in candidates {
+            let stable = self
+                .all_acks
+                .get(&tag)
+                .is_some_and(|r| r.acks.len() >= self.n);
+            if !stable {
+                self.grace.remove(&tag);
+                continue;
+            }
+            let clock = self.grace.entry(tag).or_insert(0);
+            *clock += 1;
+            if *clock > need || over {
+                report.reclaimed += self.reclaim(tag);
+                report.tombstoned += 1;
+            }
+        }
+        if over && cfg.spill == SpillPolicy::Tombstones {
+            self.tombs.shed_half();
+        }
+        report
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.n as u64);
+        w.put_u64(self.threshold as u64);
+        w.put_u8(self.weakened as u8);
+        w.put_u64(self.compacted);
+        w.put_u64(self.msgs.len() as u64);
+        for (tag, payload) in &self.msgs {
+            w.put_u128(tag.0);
+            w.put_bytes(payload.as_slice());
+        }
+        w.put_u64(self.my_acks.len() as u64);
+        for (tag, ta) in &self.my_acks {
+            w.put_u128(tag.0);
+            w.put_u128(ta.0);
+        }
+        w.put_u64(self.all_acks.len() as u64);
+        for (tag, rec) in &self.all_acks {
+            w.put_u128(tag.0);
+            w.put_bytes(rec.payload.as_slice());
+            w.put_u64(rec.acks.len() as u64);
+            for ta in &rec.acks {
+                w.put_u128(ta.0);
+            }
+        }
+        w.put_u64(self.delivered.len() as u64);
+        for tag in &self.delivered {
+            w.put_u128(tag.0);
+        }
+        self.tombs.save(&mut w);
+        w.put_u64(self.grace.len() as u64);
+        for (tag, clock) in &self.grace {
+            w.put_u128(tag.0);
+            w.put_u32(*clock);
+        }
+        Some(w.into_body())
+    }
+
+    fn restore_state(&mut self, body: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(body);
+        let n = r.get_u64()? as usize;
+        let threshold = r.get_u64()? as usize;
+        if n != self.n || threshold != self.threshold {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot is for n={n} threshold={threshold}, instance has n={} threshold={}",
+                self.n, self.threshold
+            )));
+        }
+        let weakened = r.get_u8()?;
+        if weakened > 1 {
+            return Err(SnapshotError::Malformed(format!(
+                "weakened flag byte {weakened} is not a bool"
+            )));
+        }
+        if (weakened == 1) != self.weakened {
+            return Err(SnapshotError::Malformed(
+                "snapshot weakened flag does not match instance".to_string(),
+            ));
+        }
+        self.compacted = r.get_u64()?;
+        self.msgs.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let payload = Payload::copy_from_slice(r.get_bytes()?);
+            self.msgs.insert(tag, payload);
+        }
+        self.my_acks.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let ta = TagAck(r.get_u128()?);
+            self.my_acks.insert(tag, ta);
+        }
+        self.all_acks.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let payload = Payload::copy_from_slice(r.get_bytes()?);
+            let mut rec = AckRecord {
+                acks: BTreeSet::new(),
+                payload,
+            };
+            for _ in 0..r.get_u64()? {
+                rec.acks.insert(TagAck(r.get_u128()?));
+            }
+            self.all_acks.insert(tag, rec);
+        }
+        self.delivered.clear();
+        for _ in 0..r.get_u64()? {
+            self.delivered.insert(Tag(r.get_u128()?));
+        }
+        self.tombs = TombstoneRing::restore(&mut r, self.mem.map_or(0, |m| m.tombstones))?;
+        self.grace.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let clock = r.get_u32()?;
+            self.grace.insert(tag, clock);
+        }
+        r.finish()
     }
 }
 
@@ -468,6 +679,105 @@ mod tests {
         assert_eq!(s.all_ack_entries, 2);
         assert_eq!(s.delivered, 1);
         assert_eq!(s.label_counters, 0);
+    }
+
+    // ---- bounded-memory mode (DESIGN.md §14) ----------------------------
+
+    use urb_types::{FdSnapshot, MemoryConfig};
+
+    fn mem(grace: u32) -> MemoryConfig {
+        MemoryConfig {
+            grace_ticks: grace,
+            conservative: false,
+            tombstones: 16,
+            ceiling: None,
+            spill: urb_types::SpillPolicy::StableOnly,
+        }
+    }
+
+    /// n=3 process with tag 9 delivered and acked by all three processes.
+    fn fully_acked(h: &mut StepHarness) -> MajorityUrb {
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, msg(9, "m"));
+        for ta in [1, 2, 3] {
+            h.receive(&mut p, ack(9, ta, "m"));
+        }
+        assert!(p.has_delivered(Tag(9)));
+        assert_eq!(p.ack_count(Tag(9)), 3);
+        p
+    }
+
+    #[test]
+    fn compact_waits_for_all_n_acks() {
+        let mut h = StepHarness::new(50);
+        let mut p = MajorityUrb::new(3);
+        h.receive(&mut p, msg(9, "m"));
+        h.receive(&mut p, ack(9, 1, "m"));
+        h.receive(&mut p, ack(9, 2, "m")); // delivers (majority) — but 2 < n
+        p.configure_memory(mem(0));
+        let fd = FdSnapshot::none();
+        for _ in 0..5 {
+            assert_eq!(p.compact(&fd).tombstoned, 0, "majority is not stability");
+        }
+        // The third ACK completes the stability evidence.
+        h.receive(&mut p, ack(9, 3, "m"));
+        assert_eq!(p.compact(&fd).tombstoned, 1);
+        assert_eq!(p.stats().total(), 0, "MSG included: Task 1 goes silent");
+        assert!(
+            p.is_quiescent(),
+            "bounded-memory Alg 1 quiesces on stability"
+        );
+    }
+
+    #[test]
+    fn compacted_tag_is_ignored_and_never_reacked() {
+        let mut h = StepHarness::new(51);
+        let mut p = fully_acked(&mut h);
+        p.configure_memory(mem(0));
+        p.compact(&FdSnapshot::none());
+        assert!(p.is_tombstoned(Tag(9)));
+        let out = h.receive(&mut p, msg(9, "m"));
+        assert!(out.is_silent(), "no second tag_ack for a compacted tag");
+        let out = h.receive(&mut p, ack(9, 4, "m"));
+        assert!(out.deliveries.is_empty());
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn grace_clock_counts_consecutive_stable_sweeps() {
+        let mut h = StepHarness::new(52);
+        let mut p = fully_acked(&mut h);
+        p.configure_memory(mem(2));
+        let fd = FdSnapshot::none();
+        assert_eq!(p.compact(&fd).tombstoned, 0); // clock 1
+        assert_eq!(p.compact(&fd).tombstoned, 0); // clock 2
+        assert_eq!(p.compact(&fd).tombstoned, 1); // clock 3 > 2
+        assert_eq!(p.compacted_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_deterministic() {
+        let mut h = StepHarness::new(53);
+        let p = fully_acked(&mut h);
+        let body = p.save_state().expect("alg1 snapshots");
+        let mut q = MajorityUrb::new(3);
+        q.restore_state(&body).unwrap();
+        assert_eq!(q.stats(), p.stats());
+        assert_eq!(q.ack_count(Tag(9)), 3);
+        assert!(q.has_delivered(Tag(9)));
+        assert_eq!(q.save_state().unwrap(), body);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let p = MajorityUrb::new(3);
+        let body = p.save_state().unwrap();
+        let mut wrong_n = MajorityUrb::new(5);
+        assert!(wrong_n.restore_state(&body).is_err());
+        let mut weak = MajorityUrb::with_threshold(3, 1);
+        assert!(weak.restore_state(&body).is_err());
+        let mut ok = MajorityUrb::new(3);
+        ok.restore_state(&body).unwrap();
     }
 
     // ---- property tests -------------------------------------------------

@@ -38,10 +38,13 @@
 //! condition; [`PruneRule::Literal`] keeps the paper's literal condition for
 //! the E12 ablation, which demonstrates the blockage empirically.
 
+use crate::compact::{fd_signature, TombstoneRing};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+use urb_types::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use urb_types::{
-    AnonProcess, Context, FdView, Label, LabelSet, Payload, ProcessStats, Tag, TagAck, WireMessage,
+    AnonProcess, CompactionReport, Context, FdSnapshot, FdView, Label, LabelSet, MemoryConfig,
+    Payload, ProcessStats, SpillPolicy, Tag, TagAck, WireMessage,
 };
 
 /// How the Task-1 prune condition (line 55) treats stale state.
@@ -199,7 +202,7 @@ impl AckTable {
 /// | `MY_ACK_i`                     | `my_acks`    |
 /// | `ALL_ACK_i` + `all_labels_i` + `label_counter_i` | `acks` (per-tag ACK tables) |
 /// | `URB_DELIVERED_i`              | `delivered`  |
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct QuiescentUrb {
     msgs: BTreeMap<Tag, Payload>,
     my_acks: BTreeMap<Tag, TagAck>,
@@ -208,6 +211,17 @@ pub struct QuiescentUrb {
     rule: PruneRule,
     /// Count of prune events (messages removed from `MSG`), for diagnostics.
     pruned: u64,
+    /// Bounded-memory mode (DESIGN.md §14); `None` = compaction off, state
+    /// and behavior byte-identical to the unbounded engine.
+    mem: Option<MemoryConfig>,
+    /// Grace clocks: consecutive stable compaction sweeps per candidate tag.
+    grace: BTreeMap<Tag, u32>,
+    /// Tags already compacted; late copies are dropped on receipt.
+    tombs: TombstoneRing,
+    /// Detector-view fingerprint at the last sweep (conservative mode).
+    fd_sig: u64,
+    /// Count of tags compacted so far, for diagnostics.
+    compacted: u64,
 }
 
 impl QuiescentUrb {
@@ -226,7 +240,22 @@ impl QuiescentUrb {
             delivered: BTreeSet::new(),
             rule,
             pruned: 0,
+            mem: None,
+            grace: BTreeMap::new(),
+            tombs: TombstoneRing::new(0),
+            fd_sig: 0,
+            compacted: 0,
         }
+    }
+
+    /// Number of tags reclaimed by the bounded-memory mode so far.
+    pub fn compacted_count(&self) -> u64 {
+        self.compacted
+    }
+
+    /// True when `tag` was compacted and is still tombstoned.
+    pub fn is_tombstoned(&self, tag: Tag) -> bool {
+        self.tombs.contains(tag)
     }
 
     /// True when this process has URB-delivered `tag`.
@@ -246,6 +275,12 @@ impl QuiescentUrb {
 
     /// Lines 7–21: handle `(MSG, m, tag)`.
     fn handle_msg(&mut self, tag: Tag, payload: Payload, ctx: &mut Context<'_>) {
+        // DESIGN.md §14: a compacted tag's late copies are dropped whole.
+        // Re-acknowledging would need MY_ACK back (gone), and re-entering
+        // MSG would resurrect a message every correct process already has.
+        if self.tombs.contains(tag) {
+            return;
+        }
         // Lines 8–12: enter MSG only if neither tracked nor already
         // delivered (a pruned message must not re-enter the rebroadcast set,
         // or quiescence would be lost).
@@ -281,6 +316,12 @@ impl QuiescentUrb {
         labels: Option<LabelSet>,
         ctx: &mut Context<'_>,
     ) {
+        // DESIGN.md §14: ignore ACKs for compacted tags — the tag was
+        // already delivered here, and rebuilding its ACK table would undo
+        // the reclamation for no protocol benefit.
+        if self.tombs.contains(tag) {
+            return;
+        }
         // Lines 23–26: lazily allocate the per-tag table.
         let table = self
             .acks
@@ -353,15 +394,26 @@ impl QuiescentUrb {
     /// Testing hook used by the simulator's diagnostics: evaluates the prune
     /// condition without mutating (clone-based; cheap at protocol scale).
     pub fn would_prune(&self, tag: Tag, a_p_star: &FdView) -> bool {
-        let mut clone = QuiescentUrb {
-            msgs: self.msgs.clone(),
-            my_acks: self.my_acks.clone(),
-            acks: self.acks.clone(),
-            delivered: self.delivered.clone(),
-            rule: self.rule,
-            pruned: self.pruned,
-        };
-        clone.prune_ready(tag, a_p_star)
+        self.clone().prune_ready(tag, a_p_star)
+    }
+
+    /// Reclaims every entry held for `tag` and tombstones it. Returns the
+    /// number of state entries dropped (in [`ProcessStats::total`] units).
+    fn reclaim(&mut self, tag: Tag) -> usize {
+        let mut freed = 0;
+        if self.my_acks.remove(&tag).is_some() {
+            freed += 1;
+        }
+        if let Some(table) = self.acks.remove(&tag) {
+            freed += table.entries.len() + table.counters.len();
+        }
+        if self.delivered.remove(&tag) {
+            freed += 1;
+        }
+        self.grace.remove(&tag);
+        self.tombs.push(tag);
+        self.compacted += 1;
+        freed
     }
 }
 
@@ -434,6 +486,162 @@ impl AnonProcess for QuiescentUrb {
             PruneRule::Purge => "alg2-quiescent",
             PruneRule::Literal => "alg2-literal",
         }
+    }
+
+    fn configure_memory(&mut self, cfg: MemoryConfig) {
+        self.tombs = TombstoneRing::new(cfg.tombstones);
+        self.mem = Some(cfg);
+    }
+
+    /// Algorithm 2 stability rule (DESIGN.md §14): a tag may be reclaimed
+    /// once it is delivered, already line-57 pruned out of `MSG`, and the
+    /// line-55 coverage (`a_p*` counters exact, label union equal) still
+    /// holds — i.e. every correct process provably URB-delivered it — for
+    /// `grace_ticks` consecutive sweeps.
+    fn compact(&mut self, fd: &FdSnapshot) -> CompactionReport {
+        let Some(cfg) = self.mem else {
+            return CompactionReport::default();
+        };
+        let mut report = CompactionReport::default();
+        // Conservative mode: any detector movement is treated as suspicion
+        // and restarts every grace clock.
+        if cfg.conservative {
+            let sig = fd_signature(fd);
+            if sig != self.fd_sig {
+                self.fd_sig = sig;
+                self.grace.clear();
+            }
+        }
+        let over = cfg.ceiling.is_some_and(|c| self.stats().total() > c);
+        let candidates: Vec<Tag> = self.delivered.iter().copied().collect();
+        for tag in candidates {
+            let stable = !self.msgs.contains_key(&tag) && self.prune_ready(tag, &fd.a_p_star);
+            if !stable {
+                self.grace.remove(&tag);
+                continue;
+            }
+            let clock = self.grace.entry(tag).or_insert(0);
+            *clock += 1;
+            // Over the ceiling the grace period is waived for stable tags
+            // (the SpillPolicy::StableOnly floor: unstable state is never
+            // touched, no matter the pressure).
+            if *clock > cfg.grace_ticks || over {
+                report.reclaimed += self.reclaim(tag);
+                report.tombstoned += 1;
+            }
+        }
+        if over && cfg.spill == SpillPolicy::Tombstones {
+            self.tombs.shed_half();
+        }
+        report
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(match self.rule {
+            PruneRule::Purge => 0,
+            PruneRule::Literal => 1,
+        });
+        w.put_u64(self.pruned);
+        w.put_u64(self.compacted);
+        w.put_u64(self.fd_sig);
+        w.put_u64(self.msgs.len() as u64);
+        for (tag, payload) in &self.msgs {
+            w.put_u128(tag.0);
+            w.put_bytes(payload.as_slice());
+        }
+        w.put_u64(self.my_acks.len() as u64);
+        for (tag, ta) in &self.my_acks {
+            w.put_u128(tag.0);
+            w.put_u128(ta.0);
+        }
+        w.put_u64(self.acks.len() as u64);
+        for (tag, table) in &self.acks {
+            w.put_u128(tag.0);
+            w.put_bytes(table.payload.as_slice());
+            w.put_u64(table.entries.len() as u64);
+            for (ta, labels) in &table.entries {
+                w.put_u128(ta.0);
+                w.put_u64(labels.len() as u64);
+                for label in labels.iter() {
+                    w.put_u64(label.0);
+                }
+            }
+        }
+        w.put_u64(self.delivered.len() as u64);
+        for tag in &self.delivered {
+            w.put_u128(tag.0);
+        }
+        self.tombs.save(&mut w);
+        w.put_u64(self.grace.len() as u64);
+        for (tag, clock) in &self.grace {
+            w.put_u128(tag.0);
+            w.put_u32(*clock);
+        }
+        Some(w.into_body())
+    }
+
+    fn restore_state(&mut self, body: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(body);
+        let rule = match r.get_u8()? {
+            0 => PruneRule::Purge,
+            1 => PruneRule::Literal,
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown prune rule byte {other}"
+                )))
+            }
+        };
+        if rule != self.rule {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot prune rule {rule:?} does not match instance rule {:?}",
+                self.rule
+            )));
+        }
+        self.pruned = r.get_u64()?;
+        self.compacted = r.get_u64()?;
+        self.fd_sig = r.get_u64()?;
+        self.msgs.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let payload = Payload::copy_from_slice(r.get_bytes()?);
+            self.msgs.insert(tag, payload);
+        }
+        self.my_acks.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let ta = TagAck(r.get_u128()?);
+            self.my_acks.insert(tag, ta);
+        }
+        self.acks.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let payload = Payload::copy_from_slice(r.get_bytes()?);
+            let mut table = AckTable::new(payload);
+            for _ in 0..r.get_u64()? {
+                let ta = TagAck(r.get_u128()?);
+                let mut labels = LabelSet::new();
+                for _ in 0..r.get_u64()? {
+                    labels.insert(Label(r.get_u64()?));
+                }
+                // Rebuild through reconcile so the counter invariant is
+                // re-derived, never trusted from the file.
+                table.reconcile(ta, labels);
+            }
+            self.acks.insert(tag, table);
+        }
+        self.delivered.clear();
+        for _ in 0..r.get_u64()? {
+            self.delivered.insert(Tag(r.get_u128()?));
+        }
+        self.tombs = TombstoneRing::restore(&mut r, self.mem.map_or(0, |m| m.tombstones))?;
+        self.grace.clear();
+        for _ in 0..r.get_u64()? {
+            let tag = Tag(r.get_u128()?);
+            let clock = r.get_u32()?;
+            self.grace.insert(tag, clock);
+        }
+        r.finish()
     }
 }
 
@@ -829,6 +1037,152 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.all_ack_entries, 2);
         assert_eq!(s.label_counters, 3); // {10,20} for tag 7, {10} for tag 8
+    }
+
+    // ---- bounded-memory mode (DESIGN.md §14) ------------------------------
+
+    use urb_types::MemoryConfig;
+
+    fn mem(grace: u32, conservative: bool) -> MemoryConfig {
+        MemoryConfig {
+            grace_ticks: grace,
+            conservative,
+            tombstones: 16,
+            ceiling: None,
+            spill: urb_types::SpillPolicy::StableOnly,
+        }
+    }
+
+    /// Drives one tag to delivered + line-57 pruned state.
+    fn settled_process(h: &mut StepHarness) -> QuiescentUrb {
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10])); // delivers
+        h.tick(&mut p); // line-57 prune
+        assert!(p.is_quiescent() && p.has_delivered(Tag(7)));
+        p
+    }
+
+    #[test]
+    fn compact_reclaims_after_grace_and_tombstones() {
+        let mut h = fd_harness(40, &[(10, 1)]);
+        let mut p = settled_process(&mut h);
+        p.configure_memory(mem(1, false));
+        let fd = h.fd.clone();
+        assert_eq!(p.compact(&fd).tombstoned, 0, "sweep 1 arms the clock");
+        let rep = p.compact(&fd);
+        assert_eq!(rep.tombstoned, 1, "sweep 2 passes the grace period");
+        assert!(
+            rep.reclaimed >= 3,
+            "MY_ACK + ALL_ACK entries + URB_DELIVERED"
+        );
+        let s = p.stats();
+        assert_eq!(s.total(), 0, "every entry for tag 7 reclaimed");
+        assert!(p.is_tombstoned(Tag(7)));
+        assert_eq!(p.compacted_count(), 1);
+    }
+
+    #[test]
+    fn compacted_tag_ignores_late_copies_entirely() {
+        let mut h = fd_harness(41, &[(10, 1)]);
+        let mut p = settled_process(&mut h);
+        p.configure_memory(mem(0, false));
+        let fd = h.fd.clone();
+        p.compact(&fd);
+        assert!(p.is_tombstoned(Tag(7)));
+        // Late MSG copy: no ACK (would re-mint MY_ACK), no MSG re-entry.
+        let out = h.receive(&mut p, msg(7, "m"));
+        assert!(out.is_silent(), "late MSG of a tombstoned tag is dropped");
+        // Late ACK: no table rebuild, and crucially no re-delivery.
+        let out = h.receive(&mut p, ack(7, 101, "m", &[10]));
+        assert!(out.deliveries.is_empty() && p.stats().total() == 0);
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn compaction_off_is_inert() {
+        let mut h = fd_harness(42, &[(10, 1)]);
+        let mut p = settled_process(&mut h);
+        let fd = h.fd.clone();
+        let before = p.stats();
+        assert_eq!(p.compact(&fd), urb_types::CompactionReport::default());
+        assert_eq!(p.stats(), before, "no MemoryConfig, no reclamation");
+    }
+
+    #[test]
+    fn undelivered_or_uncovered_tags_are_never_reclaimed() {
+        let mut h = fd_harness(43, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10])); // counter 1 < number 2
+        p.configure_memory(mem(0, false));
+        let fd = h.fd.clone();
+        for _ in 0..5 {
+            assert_eq!(p.compact(&fd).tombstoned, 0);
+        }
+        assert!(!p.is_tombstoned(Tag(7)), "unstable state is untouchable");
+    }
+
+    #[test]
+    fn conservative_mode_restarts_clock_on_view_change() {
+        let mut h = fd_harness(44, &[(10, 1)]);
+        let mut p = settled_process(&mut h);
+        p.configure_memory(mem(2, true));
+        let fd = h.fd.clone();
+        p.compact(&fd); // clock 1 (and records the view signature)
+        p.compact(&fd); // clock 2
+                        // Detector wobbles: a new label appears — suspicion resets clocks.
+        h.fd = FdSnapshot::new(theta(&[(10, 1), (20, 1)]), theta(&[(10, 1)]));
+        assert_eq!(p.compact(&h.fd).tombstoned, 0, "clock restarted at 1");
+        assert_eq!(p.compact(&h.fd).tombstoned, 0); // clock 2
+        assert_eq!(p.compact(&h.fd).tombstoned, 1, "stable stretch completes");
+    }
+
+    #[test]
+    fn ceiling_waives_grace_for_stable_tags() {
+        let mut h = fd_harness(45, &[(10, 1)]);
+        let mut p = settled_process(&mut h);
+        p.configure_memory(MemoryConfig {
+            grace_ticks: 1000,
+            ceiling: Some(0),
+            ..mem(0, false)
+        });
+        let fd = h.fd.clone();
+        assert_eq!(p.compact(&fd).tombstoned, 1, "over ceiling: no waiting");
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behavior() {
+        let mut h = fd_harness(46, &[(10, 2)]);
+        let mut p = QuiescentUrb::new();
+        h.receive(&mut p, msg(7, "m"));
+        h.receive(&mut p, ack(7, 100, "m", &[10]));
+        h.receive(&mut p, ack(8, 101, "x", &[10]));
+        let body = p.save_state().expect("alg2 snapshots");
+        let mut q = QuiescentUrb::new();
+        q.restore_state(&body).unwrap();
+        assert_eq!(q.stats(), p.stats());
+        assert_eq!(q.save_state().unwrap(), body, "byte-deterministic");
+        // The restored process completes delivery exactly like the original.
+        let a = h.receive(&mut p, ack(7, 101, "m", &[10]));
+        let mut h2 = fd_harness(46, &[(10, 2)]);
+        let b = h2.receive(&mut q, ack(7, 101, "m", &[10]));
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_rule_and_garbage() {
+        let p = QuiescentUrb::new();
+        let body = p.save_state().unwrap();
+        let mut literal = QuiescentUrb::with_rule(PruneRule::Literal);
+        assert!(matches!(
+            literal.restore_state(&body),
+            Err(urb_types::SnapshotError::Malformed(_))
+        ));
+        let mut q = QuiescentUrb::new();
+        assert!(q.restore_state(&body[..body.len() - 1]).is_err());
     }
 
     // ---- property tests ---------------------------------------------------

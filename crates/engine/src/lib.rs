@@ -41,10 +41,12 @@
 #![deny(missing_docs)]
 
 use bytes::Bytes;
+use urb_types::snapshot::unseal;
 use urb_types::{
-    encode_frame_into, encode_mux_frame_into, AnonProcess, Batch, BufPool, CodecError, Context,
-    Delivery, FdSnapshot, MuxBatch, Payload, PooledBuf, ProcessStats, RandomSource, SplitMix64,
-    Tag, TopicId, WireMessage,
+    encode_frame_into, encode_mux_frame_into, AnonProcess, Batch, BufPool, CodecError,
+    CompactionReport, Context, Delivery, FdSnapshot, MemoryConfig, MuxBatch, Payload, PooledBuf,
+    ProcessStats, RandomSource, SnapshotError, SnapshotReader, SnapshotWriter, SplitMix64, Tag,
+    TopicId, WireMessage,
 };
 
 /// One input to a protocol step — the three entry points of the paper's
@@ -209,6 +211,13 @@ pub struct EngineCounters {
     pub messages_out: u64,
     /// URB-deliveries produced across all steps.
     pub deliveries: u64,
+    /// Compaction sweeps executed ([`TopicEngine::compact_all`] calls).
+    pub compactions: u64,
+    /// State entries reclaimed by compaction, in [`ProcessStats::total`]
+    /// units (summed over every sweep and topic).
+    pub reclaimed: u64,
+    /// Tags moved into tombstone rings by compaction.
+    pub tombstoned: u64,
 }
 
 /// Reusable buffers for the **multiplexed topic plane** (DESIGN.md §12):
@@ -503,6 +512,123 @@ impl TopicEngine {
         }
         h
     }
+
+    /// Switches **every** topic instance into bounded-memory mode
+    /// (DESIGN.md §14). Call before stepping begins; with no call, the
+    /// engine never compacts and behaves byte-identically to the
+    /// pre-memory-plane engine.
+    pub fn configure_memory(&mut self, cfg: MemoryConfig) {
+        for p in &mut self.topics {
+            p.configure_memory(cfg);
+        }
+    }
+
+    /// One compaction sweep over every topic instance, under the caller's
+    /// current failure-detector snapshot. Drivers call this after their
+    /// per-topic Task-1 sweeps; an engine whose memory mode was never
+    /// configured reports an all-zero sweep and changes nothing. Totals
+    /// accumulate into [`EngineCounters::reclaimed`] /
+    /// [`EngineCounters::tombstoned`].
+    pub fn compact_all(&mut self, fd: &FdSnapshot) -> CompactionReport {
+        let mut total = CompactionReport::default();
+        for p in &mut self.topics {
+            total.absorb(p.compact(fd));
+        }
+        self.counters.compactions += 1;
+        self.counters.reclaimed += total.reclaimed as u64;
+        self.counters.tombstoned += total.tombstoned as u64;
+        total
+    }
+
+    /// Serializes the whole engine — algorithm, per-topic protocol state,
+    /// the shared RNG stream position and the cumulative counters — into a
+    /// sealed snapshot envelope (DESIGN.md §14). Byte-deterministic: two
+    /// engines with equal state produce identical bytes.
+    ///
+    /// Errors with [`SnapshotError::Malformed`] when the wrapped algorithm
+    /// does not support snapshots (the baseline broadcasts keep no
+    /// reconstructible state).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        w.put_str(self.algorithm_name());
+        w.put_u64(self.topics.len() as u64);
+        w.put_u64(self.rng.state());
+        let c = self.counters;
+        for v in [
+            c.steps,
+            c.ticks,
+            c.receives,
+            c.broadcasts,
+            c.messages_out,
+            c.deliveries,
+            c.compactions,
+            c.reclaimed,
+            c.tombstoned,
+        ] {
+            w.put_u64(v);
+        }
+        for (t, p) in self.topics.iter().enumerate() {
+            let body = p.save_state().ok_or_else(|| {
+                SnapshotError::Malformed(format!(
+                    "algorithm {:?} (topic {t}) does not support snapshots",
+                    self.algorithm_name()
+                ))
+            })?;
+            w.put_bytes(&body);
+        }
+        Ok(w.into_envelope())
+    }
+
+    /// Restores a snapshot written by [`TopicEngine::save_snapshot`] into
+    /// this engine, which must have been **freshly built with the same
+    /// configuration** (same algorithm, same topic count, same
+    /// [`TopicEngine::configure_memory`] call if any — the memory config
+    /// is deployment configuration, not persisted state). The RNG resumes
+    /// at the exact saved stream position, so a restored engine draws the
+    /// same randomness the crashed one would have.
+    ///
+    /// On error the engine may be partially overwritten and must be
+    /// discarded — drivers always restore into a throwaway fresh engine.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let body = unseal(bytes)?;
+        let mut r = SnapshotReader::new(body);
+        let alg = r.get_str()?;
+        if alg != self.algorithm_name() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot is for algorithm {alg:?}, engine runs {:?}",
+                self.algorithm_name()
+            )));
+        }
+        let topics = r.get_u64()? as usize;
+        if topics != self.topics.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {topics} topics, engine serves {}",
+                self.topics.len()
+            )));
+        }
+        let rng_state = r.get_u64()?;
+        let mut counters = EngineCounters::default();
+        for slot in [
+            &mut counters.steps,
+            &mut counters.ticks,
+            &mut counters.receives,
+            &mut counters.broadcasts,
+            &mut counters.messages_out,
+            &mut counters.deliveries,
+            &mut counters.compactions,
+            &mut counters.reclaimed,
+            &mut counters.tombstoned,
+        ] {
+            *slot = r.get_u64()?;
+        }
+        for p in &mut self.topics {
+            p.restore_state(r.get_bytes()?)?;
+        }
+        r.finish()?;
+        self.rng = SplitMix64::from_state(rng_state);
+        self.counters = counters;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for TopicEngine {
@@ -673,6 +799,28 @@ impl NodeEngine {
     pub fn protocol(&self) -> &dyn AnonProcess {
         self.inner.protocol(TopicId::ZERO)
     }
+
+    /// Switches the instance into bounded-memory mode (see
+    /// [`TopicEngine::configure_memory`]).
+    pub fn configure_memory(&mut self, cfg: MemoryConfig) {
+        self.inner.configure_memory(cfg);
+    }
+
+    /// One compaction sweep (see [`TopicEngine::compact_all`]).
+    pub fn compact(&mut self, fd: &FdSnapshot) -> CompactionReport {
+        self.inner.compact_all(fd)
+    }
+
+    /// Serializes the engine (see [`TopicEngine::save_snapshot`]).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.inner.save_snapshot()
+    }
+
+    /// Restores a snapshot into this freshly-built engine (see
+    /// [`TopicEngine::restore_snapshot`]).
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.inner.restore_snapshot(bytes)
+    }
 }
 
 impl std::fmt::Debug for NodeEngine {
@@ -735,6 +883,60 @@ mod tests {
 
         fn algorithm_name(&self) -> &'static str {
             "scripted"
+        }
+
+        fn compact(&mut self, _fd: &FdSnapshot) -> CompactionReport {
+            // Scripted "stability": every pending message is reclaimable.
+            let reclaimed = self.pending.len();
+            self.pending.clear();
+            CompactionReport {
+                reclaimed,
+                tombstoned: reclaimed,
+            }
+        }
+
+        fn save_state(&self) -> Option<Vec<u8>> {
+            let mut w = SnapshotWriter::new();
+            w.put_u64(self.pending.len() as u64);
+            for m in &self.pending {
+                if let WireMessage::Msg { tag, payload } = m {
+                    w.put_u128(tag.0);
+                    w.put_bytes(payload.as_slice());
+                }
+            }
+            Some(w.into_body())
+        }
+
+        fn restore_state(&mut self, body: &[u8]) -> Result<(), SnapshotError> {
+            let mut r = SnapshotReader::new(body);
+            let len = r.get_u64()? as usize;
+            self.pending.clear();
+            for _ in 0..len {
+                let tag = Tag(r.get_u128()?);
+                let payload = Payload::copy_from_slice(r.get_bytes()?);
+                self.pending.push(WireMessage::Msg { tag, payload });
+            }
+            r.finish()
+        }
+    }
+
+    /// A protocol with no snapshot support (keeps the trait defaults).
+    struct Opaque;
+
+    impl AnonProcess for Opaque {
+        fn urb_broadcast(&mut self, _payload: Payload, ctx: &mut Context<'_>) -> Tag {
+            Tag::random(ctx.rng)
+        }
+        fn on_receive(&mut self, _msg: WireMessage, _ctx: &mut Context<'_>) {}
+        fn on_tick(&mut self, _ctx: &mut Context<'_>) {}
+        fn is_quiescent(&self) -> bool {
+            true
+        }
+        fn stats(&self) -> ProcessStats {
+            ProcessStats::default()
+        }
+        fn algorithm_name(&self) -> &'static str {
+            "opaque"
         }
     }
 
@@ -1171,5 +1373,156 @@ mod tests {
         assert!(!e.is_quiescent());
         assert_eq!(e.stats().msg_set, 1);
         assert_eq!(e.algorithm_name(), "scripted");
+    }
+
+    // ---- memory plane (DESIGN.md §14) ----------------------------------
+
+    #[test]
+    fn compact_all_sweeps_every_topic_and_accumulates_counters() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 13);
+        let mut mux = MuxBuffers::new();
+        for t in 0..2u32 {
+            e.step_mux(
+                TopicId(t),
+                StepInput::Broadcast(Payload::from("m")),
+                &fd,
+                &mut mux,
+            );
+        }
+        assert_eq!(e.stats().msg_set, 2);
+        let report = e.compact_all(&fd);
+        assert_eq!(report.reclaimed, 2, "one pending message per topic");
+        assert_eq!(report.tombstoned, 2);
+        assert_eq!(e.stats().msg_set, 0);
+        let c = e.counters();
+        assert_eq!(c.compactions, 1);
+        assert_eq!(c.reclaimed, 2);
+        assert_eq!(c.tombstoned, 2);
+        // A second sweep finds nothing but still counts as a sweep.
+        let empty = e.compact_all(&fd);
+        assert_eq!(empty.reclaimed, 0);
+        assert_eq!(e.counters().compactions, 2);
+        assert_eq!(e.counters().reclaimed, 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_state_counters_and_rng() {
+        let fd = FdSnapshot::none();
+        let mut original = topic_engine(2, 21);
+        let mut mux = MuxBuffers::new();
+        original.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("alpha")),
+            &fd,
+            &mut mux,
+        );
+        original.step_mux(
+            TopicId(1),
+            StepInput::Broadcast(Payload::from("beta")),
+            &fd,
+            &mut mux,
+        );
+        original.tick_all(&fd, &mut mux);
+        let bytes = original
+            .save_snapshot()
+            .expect("scripted supports snapshots");
+        assert_eq!(
+            bytes,
+            original.save_snapshot().unwrap(),
+            "byte-deterministic serialization"
+        );
+        // Restore into a fresh engine built with a *different* seed: the
+        // snapshot carries the exact RNG stream position.
+        let mut restored = topic_engine(2, 999);
+        restored.restore_snapshot(&bytes).expect("round trip");
+        assert_eq!(restored.fingerprint(), original.fingerprint());
+        assert_eq!(restored.counters(), original.counters());
+        assert_eq!(restored.stats().msg_set, 2);
+        // Both engines continue identically — same draws, same emissions.
+        let ta = original.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("next")),
+            &fd,
+            &mut mux,
+        );
+        let mut mux2 = MuxBuffers::new();
+        let tb = restored.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("next")),
+            &fd,
+            &mut mux2,
+        );
+        assert_eq!(ta, tb, "restored RNG resumes the exact stream");
+    }
+
+    #[test]
+    fn restore_rejects_mismatch_and_corruption() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 3);
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("x")),
+            &fd,
+            &mut mux,
+        );
+        let bytes = e.save_snapshot().unwrap();
+        // Topic-count mismatch.
+        let mut narrow = topic_engine(1, 3);
+        assert!(matches!(
+            narrow.restore_snapshot(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Algorithm mismatch.
+        let mut other = TopicEngine::new(
+            vec![
+                Box::new(Opaque) as Box<dyn AnonProcess + Send>,
+                Box::new(Opaque),
+            ],
+            SplitMix64::new(3),
+        );
+        assert!(matches!(
+            other.restore_snapshot(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Bit-flip in the body fails the checksum before any decoding.
+        let mut flipped = bytes.clone();
+        let mid = 16 + (flipped.len() - 24) / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            topic_engine(2, 3).restore_snapshot(&flipped),
+            Err(SnapshotError::Checksum { .. })
+        ));
+        // Garbage is not a snapshot at all.
+        assert!(matches!(
+            topic_engine(2, 3).restore_snapshot(b"nope"),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn save_snapshot_errors_for_unsupported_algorithms() {
+        let e = TopicEngine::single(Box::new(Opaque), SplitMix64::new(1));
+        assert!(matches!(
+            e.save_snapshot(),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn node_engine_forwards_the_memory_plane() {
+        let fd = FdSnapshot::none();
+        let mut node = engine();
+        node.configure_memory(MemoryConfig::default());
+        let mut buf = StepBuffers::new();
+        node.step(StepInput::Broadcast(Payload::from("m")), &fd, &mut buf);
+        let bytes = node.save_snapshot().unwrap();
+        let report = node.compact(&fd);
+        assert_eq!(report.reclaimed, 1);
+        assert_eq!(node.counters().compactions, 1);
+        let mut back = engine();
+        back.restore_snapshot(&bytes).unwrap();
+        assert_eq!(back.stats().msg_set, 1, "snapshot predates the sweep");
     }
 }

@@ -20,6 +20,7 @@
 //! resulting per-topic delivery **sets**. Those sets are the unit the
 //! parity and fault-injection suites assert on.
 
+use crate::state::StateDir;
 use crate::transport::{MeshConfig, NetError, NetStats, TcpMesh};
 use crate::MembershipRegistry;
 use bytes::Bytes;
@@ -63,6 +64,15 @@ pub struct NodeConfig {
     /// once every topic reached it (plus linger), and incomplete at the
     /// deadline otherwise. `None` = run the full budget, always complete.
     pub expect: Option<usize>,
+    /// Durable state directory (DESIGN.md §14). When set, every delivery
+    /// is journaled, snapshots land periodically and at exit, and a
+    /// restart recovers from disk: the engine restores its last snapshot
+    /// (peers' retransmissions cover the gap), delivered sets lose
+    /// nothing, and already-delivered own broadcasts are not re-issued.
+    /// Unreadable state is a [`NetError::State`] (CLI exit 2).
+    pub state_dir: Option<std::path::PathBuf>,
+    /// How often to write a recovery point when `state_dir` is set.
+    pub snapshot_interval: Duration,
 }
 
 impl NodeConfig {
@@ -82,6 +92,8 @@ impl NodeConfig {
             run_for: Duration::from_secs(20),
             linger: Duration::from_millis(500),
             expect: None,
+            state_dir: None,
+            snapshot_interval: Duration::from_millis(500),
         }
     }
 
@@ -190,6 +202,52 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
     let pool = BufPool::default();
     let mut delivered: Vec<BTreeSet<String>> = vec![BTreeSet::new(); cfg.topics.max(1) as usize];
 
+    // Durable state (DESIGN.md §14): recover before the first broadcast.
+    // The engine restarts from its last recovery point — URB's fair-lossy
+    // foundation makes a stale engine indistinguishable from lost
+    // messages, so peers' retransmissions refill the gap — while the
+    // delivered sets (snapshot + journal replay) lose nothing.
+    let state_err = |e: crate::state::StateError| NetError::State(e.to_string());
+    let state_err_snapshot =
+        |e: urb_types::snapshot::SnapshotError| NetError::State(format!("snapshot: {e}"));
+    let mut state = match &cfg.state_dir {
+        Some(dir) => {
+            let (state, recovered) = StateDir::open(dir).map_err(state_err)?;
+            if let Some(blob) = &recovered.engine {
+                engine
+                    .restore_snapshot(blob)
+                    .map_err(|e| NetError::State(format!("snapshot.bin does not restore: {e}")))?;
+            }
+            for (t, set) in recovered.delivered.into_iter().enumerate() {
+                if let Some(slot) = delivered.get_mut(t) {
+                    *slot = set;
+                }
+            }
+            Some(state)
+        }
+        None => None,
+    };
+
+    // Drains one step's deliveries into the per-topic sets, journaling
+    // each *new* payload before it is reported anywhere (the journal
+    // must never lag the sets).
+    fn record_deliveries(
+        mux: &mut MuxBuffers,
+        delivered: &mut [BTreeSet<String>],
+        state: &mut Option<StateDir>,
+    ) -> Result<(), NetError> {
+        for (t, d) in mux.deliveries.drain(..) {
+            let text = d.payload.as_text();
+            if delivered[t.0 as usize].insert(text.clone()) {
+                if let Some(s) = state.as_mut() {
+                    s.append_delivery(t, &text)
+                        .map_err(|e| NetError::State(e.to_string()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     // Flush one step's mux outbox: peers get the frame over sockets,
     // the node itself gets it through its own ingress FIFO — the
     // never-lost self-copy of the broadcast primitive, without a socket.
@@ -208,23 +266,30 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
     // messages, which URB integrity treats as retransmissions.
     for topic in 0..cfg.topics.max(1) {
         for i in 0..cfg.msgs {
+            let payload = workload_payload(cfg.id, TopicId(topic), i);
+            // A recovered node does not re-issue broadcasts it already
+            // delivered: its restored engine (and its peers) still hold
+            // and retransmit them, and a fresh tag draw here would
+            // duplicate the message under a second identity.
+            if delivered[topic as usize].contains(&payload.as_text()) {
+                continue;
+            }
             mux.clear();
             let snapshot = registry.snapshot(cfg.id, Instant::now());
             engine.step_mux(
                 TopicId(topic),
-                StepInput::Broadcast(workload_payload(cfg.id, TopicId(topic), i)),
+                StepInput::Broadcast(payload),
                 &snapshot,
                 &mut mux,
             );
-            for (t, d) in mux.deliveries.drain(..) {
-                delivered[t.0 as usize].insert(d.payload.as_text());
-            }
+            record_deliveries(&mut mux, &mut delivered, &mut state)?;
             flush(&mut mux, &mesh);
         }
     }
 
     let deadline = Instant::now() + cfg.run_for;
     let mut next_tick = Instant::now() + cfg.tick_interval;
+    let mut next_snapshot = Instant::now() + cfg.snapshot_interval;
     // Set once every topic meets the expectation; the node keeps
     // serving (acks, retransmissions) until it passes.
     let mut linger_until: Option<Instant> = None;
@@ -270,15 +335,27 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
             }
             Err(RecvTimeoutError::Disconnected) => break, // cannot happen: we hold a sender
         }
-        for (t, d) in mux.deliveries.drain(..) {
-            delivered[t.0 as usize].insert(d.payload.as_text());
-        }
+        record_deliveries(&mut mux, &mut delivered, &mut state)?;
         flush(&mut mux, &mesh);
+        if let Some(s) = state.as_mut() {
+            if Instant::now() >= next_snapshot {
+                let blob = engine.save_snapshot().map_err(state_err_snapshot)?;
+                s.write_snapshot(&blob, &delivered).map_err(state_err)?;
+                next_snapshot = Instant::now() + cfg.snapshot_interval;
+            }
+        }
         if let Some(expect) = cfg.expect {
             if linger_until.is_none() && delivered.iter().all(|set| set.len() >= expect) {
                 linger_until = Some(Instant::now() + cfg.linger);
             }
         }
+    }
+
+    // Final recovery point so a clean exit restarts exactly where it
+    // stopped (no journal replay needed).
+    if let Some(s) = state.as_mut() {
+        let blob = engine.save_snapshot().map_err(state_err_snapshot)?;
+        s.write_snapshot(&blob, &delivered).map_err(state_err)?;
     }
 
     mesh.shutdown();

@@ -36,6 +36,7 @@ pub mod daemon;
 mod node;
 mod registry;
 mod router;
+pub mod state;
 pub mod transport;
 
 pub use daemon::{
@@ -44,6 +45,7 @@ pub use daemon::{
 };
 pub use registry::MembershipRegistry;
 pub use router::TrafficStats;
+pub use state::{RecoveredState, StateDir, StateError};
 pub use transport::{MeshConfig, NetError, NetStats, TcpMesh};
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};

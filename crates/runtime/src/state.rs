@@ -1,0 +1,400 @@
+//! Durable node state: atomic snapshots plus an append-only delivery
+//! journal (DESIGN.md §14).
+//!
+//! A [`StateDir`] holds exactly two files:
+//!
+//! * `snapshot.bin` — the node's full recovery point: the engine's
+//!   schema-versioned snapshot ([`urb_engine::TopicEngine::save_snapshot`])
+//!   plus the per-topic delivered payload sets, wrapped in one more
+//!   sealed envelope (magic + version + checksum — the same
+//!   [`urb_types::snapshot`] framing end to end). Written via temp
+//!   file, `fsync`, atomic rename — a crash mid-write leaves the
+//!   previous snapshot intact.
+//! * `journal.bin` — deliveries since the last snapshot, one
+//!   length-prefixed checksummed record per delivery, appended with a
+//!   single `write` each. The journal is truncated every time a new
+//!   snapshot lands (the snapshot subsumes it).
+//!
+//! Recovery is snapshot + journal replay: the engine restarts from its
+//! last snapshot (peers' retransmissions refill anything newer — URB is
+//! built on fair-lossy channels, so "my state is a little stale" is
+//! indistinguishable from "some messages were lost"), while the
+//! delivered *sets* lose nothing because every delivery was journaled
+//! before being reported. Corrupt or torn state is never guessed at:
+//! every failure is a typed [`StateError`] and the daemon refuses to
+//! start (CLI exit 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use urb_types::snapshot::{fnv1a, seal, unseal, SnapshotError, SnapshotReader, SnapshotWriter};
+use urb_types::TopicId;
+
+/// File name of the atomic recovery point inside a state dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// File name of the append-only delivery journal inside a state dir.
+pub const JOURNAL_FILE: &str = "journal.bin";
+
+/// Why durable state could not be read or written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// An OS-level file operation failed.
+    Io {
+        /// The file (or directory) involved.
+        path: String,
+        /// The OS error text.
+        reason: String,
+    },
+    /// `snapshot.bin` exists but does not decode (bad magic, version,
+    /// checksum, or malformed body).
+    Snapshot(SnapshotError),
+    /// `journal.bin` ends mid-record: the length prefix promises more
+    /// bytes than the file holds.
+    JournalTruncated {
+        /// Byte offset of the torn record.
+        offset: u64,
+    },
+    /// A journal record's checksum does not match its body.
+    JournalCorrupt {
+        /// Byte offset of the bad record.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Io { path, reason } => write!(f, "state io error on {path}: {reason}"),
+            StateError::Snapshot(e) => write!(f, "snapshot.bin: {e}"),
+            StateError::JournalTruncated { offset } => {
+                write!(f, "journal.bin: truncated record at byte {offset}")
+            }
+            StateError::JournalCorrupt { offset } => {
+                write!(f, "journal.bin: corrupt record at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<SnapshotError> for StateError {
+    fn from(e: SnapshotError) -> Self {
+        StateError::Snapshot(e)
+    }
+}
+
+/// What [`StateDir::open`] recovered from disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// The engine's sealed snapshot bytes from the last recovery point
+    /// (`None` on a fresh dir): feed to
+    /// [`urb_engine::TopicEngine::restore_snapshot`] on a freshly built
+    /// same-config engine.
+    pub engine: Option<Vec<u8>>,
+    /// Per-topic delivered payload sets: the snapshot's sets plus every
+    /// journaled delivery since. Indexed by `TopicId`.
+    pub delivered: Vec<BTreeSet<String>>,
+}
+
+/// A node's durable state directory (see the module docs for the
+/// layout). One instance owns the open journal handle; drop it before
+/// reopening the same directory.
+#[derive(Debug)]
+pub struct StateDir {
+    dir: PathBuf,
+    journal: File,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StateError {
+    StateError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+impl StateDir {
+    /// Opens (creating if needed) `dir` and recovers whatever state it
+    /// holds. Any undecodable snapshot or journal is a hard error —
+    /// never silently discarded.
+    pub fn open(dir: &Path) -> Result<(StateDir, RecoveredState), StateError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let recovered = Self::recover(dir)?;
+        let journal_path = dir.join(JOURNAL_FILE);
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| io_err(&journal_path, e))?;
+        Ok((
+            StateDir {
+                dir: dir.to_path_buf(),
+                journal,
+            },
+            recovered,
+        ))
+    }
+
+    /// Reads and validates a state directory without opening it for
+    /// writing (the pure recovery half of [`StateDir::open`]).
+    pub fn recover(dir: &Path) -> Result<RecoveredState, StateError> {
+        let mut state = RecoveredState::default();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        match fs::read(&snap_path) {
+            Ok(bytes) => {
+                let body = unseal(&bytes)?;
+                let mut r = SnapshotReader::new(body);
+                state.engine = Some(r.get_bytes()?.to_vec());
+                let topics = r.get_u64()? as usize;
+                if topics > u32::MAX as usize {
+                    return Err(SnapshotError::Malformed(format!(
+                        "snapshot claims {topics} topics"
+                    ))
+                    .into());
+                }
+                for _ in 0..topics {
+                    let count = r.get_u64()? as usize;
+                    let mut set = BTreeSet::new();
+                    for _ in 0..count {
+                        set.insert(r.get_str()?.to_string());
+                    }
+                    state.delivered.push(set);
+                }
+                r.finish()?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&snap_path, e)),
+        }
+        let journal_path = dir.join(JOURNAL_FILE);
+        match fs::read(&journal_path) {
+            Ok(bytes) => Self::replay_journal(&bytes, &mut state.delivered)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&journal_path, e)),
+        }
+        Ok(state)
+    }
+
+    /// Replays journal bytes into the delivered sets. Record layout:
+    /// `len: u32 LE` | `body` | `fnv1a(body): u64 LE`, body =
+    /// `topic: u32 LE` | `payload len: u32 LE` | payload bytes.
+    fn replay_journal(
+        bytes: &[u8],
+        delivered: &mut Vec<BTreeSet<String>>,
+    ) -> Result<(), StateError> {
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let torn = |offset: usize| StateError::JournalTruncated {
+                offset: offset as u64,
+            };
+            let rest = &bytes[offset..];
+            if rest.len() < 4 {
+                return Err(torn(offset));
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            if rest.len() < 4 + len + 8 {
+                return Err(torn(offset));
+            }
+            let body = &rest[4..4 + len];
+            let sum = u64::from_le_bytes(rest[4 + len..4 + len + 8].try_into().unwrap());
+            if fnv1a(body) != sum {
+                return Err(StateError::JournalCorrupt {
+                    offset: offset as u64,
+                });
+            }
+            let mut r = SnapshotReader::new(body);
+            let topic = r.get_u32()? as usize;
+            let payload = r.get_str()?.to_string();
+            r.finish()?;
+            if delivered.len() <= topic {
+                delivered.resize_with(topic + 1, BTreeSet::new);
+            }
+            delivered[topic].insert(payload);
+            offset += 4 + len + 8;
+        }
+        Ok(())
+    }
+
+    /// Appends one delivery record to the journal (a single `write`, so
+    /// a killed process leaves whole records behind). Call *before*
+    /// acting on the delivery: the journal must never lag the sets.
+    pub fn append_delivery(&mut self, topic: TopicId, payload: &str) -> Result<(), StateError> {
+        let mut body = SnapshotWriter::new();
+        body.put_u32(topic.0);
+        body.put_str(payload);
+        let body = body.into_body();
+        let mut record = Vec::with_capacity(4 + body.len() + 8);
+        record.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        record.extend_from_slice(&body);
+        record.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        let journal_path = self.dir.join(JOURNAL_FILE);
+        self.journal
+            .write_all(&record)
+            .and_then(|()| self.journal.flush())
+            .map_err(|e| io_err(&journal_path, e))
+    }
+
+    /// Writes a new recovery point atomically (temp file + `fsync` +
+    /// rename) and truncates the journal it subsumes. `engine` is the
+    /// sealed blob from [`urb_engine::TopicEngine::save_snapshot`].
+    pub fn write_snapshot(
+        &mut self,
+        engine: &[u8],
+        delivered: &[BTreeSet<String>],
+    ) -> Result<(), StateError> {
+        let mut w = SnapshotWriter::new();
+        w.put_bytes(engine);
+        w.put_u64(delivered.len() as u64);
+        for set in delivered {
+            w.put_u64(set.len() as u64);
+            for payload in set {
+                w.put_str(payload);
+            }
+        }
+        let sealed = seal(w.as_slice());
+
+        let tmp_path = self.dir.join("snapshot.bin.tmp");
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        let mut tmp = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        tmp.write_all(&sealed)
+            .and_then(|()| tmp.sync_all())
+            .map_err(|e| io_err(&tmp_path, e))?;
+        drop(tmp);
+        fs::rename(&tmp_path, &snap_path).map_err(|e| io_err(&snap_path, e))?;
+
+        // The snapshot covers everything journaled so far: reset the
+        // journal to empty (a crash between rename and set_len just
+        // replays deliveries the snapshot already holds — inserts into
+        // sets are idempotent).
+        let journal_path = self.dir.join(JOURNAL_FILE);
+        self.journal
+            .set_len(0)
+            .map_err(|e| io_err(&journal_path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urb_core::Algorithm;
+    use urb_engine::TopicEngine;
+    use urb_types::SplitMix64;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("urb-state-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine() -> TopicEngine {
+        TopicEngine::new(
+            (0..2)
+                .map(|_| Algorithm::Quiescent.instantiate(3))
+                .collect(),
+            SplitMix64::new(7),
+        )
+    }
+
+    #[test]
+    fn fresh_dir_recovers_empty_then_round_trips() {
+        let dir = tmpdir("round");
+        let (mut state, recovered) = StateDir::open(&dir).unwrap();
+        assert_eq!(recovered, RecoveredState::default());
+
+        state.append_delivery(TopicId(0), "n0.t0.m0").unwrap();
+        state.append_delivery(TopicId(1), "n2.t1.m0").unwrap();
+        let blob = engine().save_snapshot().unwrap();
+        let sets = vec![
+            BTreeSet::from(["n0.t0.m0".to_string()]),
+            BTreeSet::from(["n2.t1.m0".to_string()]),
+        ];
+        state.write_snapshot(&blob, &sets).unwrap();
+        state.append_delivery(TopicId(1), "n1.t1.m0").unwrap();
+        drop(state);
+
+        let (_, recovered) = StateDir::open(&dir).unwrap();
+        assert_eq!(recovered.engine.as_deref(), Some(blob.as_slice()));
+        assert_eq!(recovered.delivered[0], sets[0]);
+        assert_eq!(
+            recovered.delivered[1],
+            BTreeSet::from(["n1.t1.m0".to_string(), "n2.t1.m0".to_string()])
+        );
+        // The recovered blob restores into a fresh same-config engine.
+        let mut restored = engine();
+        restored
+            .restore_snapshot(recovered.engine.as_deref().unwrap())
+            .unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_the_journal() {
+        let dir = tmpdir("trunc");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        state.append_delivery(TopicId(0), "early").unwrap();
+        state
+            .write_snapshot(&engine().save_snapshot().unwrap(), &[BTreeSet::new()])
+            .unwrap();
+        assert_eq!(fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        // Journaling keeps working through the truncated handle.
+        state.append_delivery(TopicId(0), "late").unwrap();
+        drop(state);
+        let recovered = StateDir::recover(&dir).unwrap();
+        assert_eq!(recovered.delivered[0], BTreeSet::from(["late".to_string()]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = tmpdir("badsnap");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        state
+            .write_snapshot(&engine().save_snapshot().unwrap(), &[])
+            .unwrap();
+        drop(state);
+        let mut bytes = fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
+        match StateDir::open(&dir) {
+            Err(StateError::Snapshot(_)) => {}
+            other => panic!("expected Snapshot error, got {other:?}"),
+        }
+        fs::write(dir.join(SNAPSHOT_FILE), b"junk").unwrap();
+        assert_eq!(
+            StateDir::recover(&dir),
+            Err(StateError::Snapshot(SnapshotError::BadMagic))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_corrupt_journal_records_are_typed_errors() {
+        let dir = tmpdir("badjournal");
+        let (mut state, _) = StateDir::open(&dir).unwrap();
+        state.append_delivery(TopicId(0), "whole").unwrap();
+        drop(state);
+        let good = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+
+        // Mid-record EOF: chop the trailing checksum.
+        fs::write(dir.join(JOURNAL_FILE), &good[..good.len() - 3]).unwrap();
+        assert_eq!(
+            StateDir::recover(&dir),
+            Err(StateError::JournalTruncated { offset: 0 })
+        );
+
+        // Bit flip in the second record's body.
+        let mut two = good.clone();
+        two.extend_from_slice(&good);
+        two[good.len() + 8] ^= 0x01;
+        fs::write(dir.join(JOURNAL_FILE), &two).unwrap();
+        assert_eq!(
+            StateDir::recover(&dir),
+            Err(StateError::JournalCorrupt {
+                offset: good.len() as u64
+            })
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

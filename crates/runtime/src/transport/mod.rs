@@ -53,6 +53,9 @@ pub enum NetError {
     /// The node configuration is inconsistent (id out of range, wrong
     /// peer count, …).
     Config(String),
+    /// The durable state directory could not be read or written
+    /// (see [`crate::state::StateError`]).
+    State(String),
 }
 
 impl fmt::Display for NetError {
@@ -61,6 +64,7 @@ impl fmt::Display for NetError {
             NetError::Bind { addr, reason } => write!(f, "cannot listen on {addr}: {reason}"),
             NetError::Addr { addr, reason } => write!(f, "bad peer address {addr:?}: {reason}"),
             NetError::Config(msg) => write!(f, "invalid node config: {msg}"),
+            NetError::State(msg) => write!(f, "durable state: {msg}"),
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod minitoml;
 pub mod parallel;
 pub mod scenario;
 pub mod sim;
+pub mod soak;
 pub mod spec;
 pub mod trace;
 
@@ -71,5 +72,6 @@ pub use parallel::{run_many, run_many_on};
 pub use sim::{
     run, Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
 };
+pub use soak::{soak, SoakConfig, SoakOutcome, SoakSample};
 pub use spec::{CheckBounds, Expectations, ScenarioSpec, SpecError};
 pub use trace::{Trace, TraceConfig, TraceEvent, TraceKind};

@@ -30,11 +30,11 @@ use crate::event::{Event, EventQueue, SchedulerPolicy};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics, StatsSample};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use urb_core::Algorithm;
-use urb_engine::{StepBuffers, StepInput, TopicEngine};
+use urb_engine::{EngineCounters, StepBuffers, StepInput, TopicEngine};
 use urb_fd::{FdService, HeartbeatConfig, HeartbeatService, NoFd, OracleConfig, OracleFd};
 use urb_types::{
-    Delivery, MuxPool, Payload, ProcessStats, RandomSource, SplitMix64, Tag, TopicId, WireKind,
-    WireMessage, Xoshiro256,
+    Delivery, MemoryConfig, MuxPool, Payload, ProcessStats, RandomSource, SplitMix64, Tag, TopicId,
+    WireKind, WireMessage, Xoshiro256,
 };
 
 /// Which failure-detector implementation a run uses.
@@ -198,6 +198,12 @@ pub struct SimConfig {
     /// either way; only `Metrics::frames_sent` and event-queue granularity
     /// differ.
     pub mux_frames: bool,
+    /// Bounded-memory mode (DESIGN.md §14): when set, every engine runs
+    /// with this compaction configuration and one compaction sweep fires
+    /// after each node tick. `None` (the default) keeps the simulator
+    /// byte-identical to the pre-memory-plane driver — no extra RNG
+    /// draws, no state reclaim, no counter movement.
+    pub memory: Option<MemoryConfig>,
 }
 
 impl SimConfig {
@@ -236,7 +242,14 @@ impl SimConfig {
             scheduler: SchedulerPolicy::Fifo,
             topics: 1,
             mux_frames: true,
+            memory: None,
         }
+    }
+
+    /// Switches the run into bounded-memory mode (builder style).
+    pub fn memory(mut self, cfg: MemoryConfig) -> Self {
+        self.memory = Some(cfg);
+        self
     }
 
     /// Sets the number of concurrent URB instances (builder style).
@@ -337,6 +350,9 @@ pub struct RunOutcome {
     pub per_topic: Vec<TopicReport>,
     /// Final per-process state sizes.
     pub final_stats: Vec<ProcessStats>,
+    /// Final per-process engine counters (steps, deliveries, compaction
+    /// totals — all zero compactions unless [`SimConfig::memory`] was set).
+    pub counters: Vec<EngineCounters>,
     /// Oracle-audit result (`None` for non-oracle runs or when dynamic
     /// crash triggers never resolved).
     pub fd_audit: Option<Result<(), String>>,
@@ -451,7 +467,7 @@ pub fn run(config: SimConfig) -> RunOutcome {
     }
 
     let seed_mix = SplitMix64::new(config.seed ^ 0x5EED_0F00_D000_0001);
-    let engines: Vec<TopicEngine> = (0..n)
+    let mut engines: Vec<TopicEngine> = (0..n)
         .map(|i| {
             TopicEngine::new(
                 (0..topics)
@@ -461,6 +477,11 @@ pub fn run(config: SimConfig) -> RunOutcome {
             )
         })
         .collect();
+    if let Some(mem) = config.memory {
+        for e in &mut engines {
+            e.configure_memory(mem);
+        }
+    }
     let tick_rng = seed_mix.split(0xFFFF);
 
     let (fd, oracle_audit_handle): (Box<dyn FdService>, bool) = match config.fd {
@@ -632,6 +653,13 @@ impl Runner {
             let topic = TopicId(t);
             self.engine_step(pid, topic, StepInput::Tick);
             entries.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
+        }
+        // Bounded-memory mode: one compaction sweep per node tick, under
+        // the same detector the sweeps just observed. Draws no randomness
+        // and emits nothing, so the gated path stays byte-identical.
+        if self.config.memory.is_some() {
+            let snapshot = self.fd.snapshot(pid, self.now);
+            self.engines[pid].compact_all(&snapshot);
         }
         if entries.is_empty() {
             self.batches.release(entries);
@@ -925,6 +953,7 @@ impl Runner {
         RunOutcome {
             n: self.config.n,
             algorithm: self.config.algorithm.name(),
+            counters: self.engines.iter().map(|e| e.counters()).collect(),
             correct,
             quiescent: self.metrics.quiescent_at_end,
             last_protocol_send: self.metrics.last_protocol_send,

@@ -44,7 +44,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
-use urb_types::{Payload, TopicId};
+use urb_types::{MemoryConfig, Payload, SpillPolicy, TopicId};
 
 /// A scenario-file error: what went wrong, in words a spec author acts on.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -386,6 +386,9 @@ pub struct ScenarioSpec {
     pub expect: Expectations,
     /// Exploration bounds for `urb check` (DESIGN.md §11).
     pub check: CheckBounds,
+    /// Bounded-memory mode (`[memory]` table, DESIGN.md §14); absent =
+    /// unbounded, byte-identical to the pre-memory-plane simulator.
+    pub memory: Option<MemoryConfig>,
 }
 
 impl ScenarioSpec {
@@ -416,6 +419,7 @@ impl ScenarioSpec {
             schedules: Vec::new(),
             expect: Expectations::default(),
             check: CheckBounds::default(),
+            memory: None,
         }
     }
 
@@ -472,6 +476,7 @@ impl ScenarioSpec {
                 "schedule",
                 "expect",
                 "check",
+                "memory",
             ],
             "scenario",
         )?;
@@ -536,6 +541,9 @@ impl ScenarioSpec {
         }
         if let Some(v) = map.get("check") {
             spec.check = decode_check(v)?;
+        }
+        if let Some(v) = map.get("memory") {
+            spec.memory = Some(decode_memory(v)?);
         }
         Ok(spec)
     }
@@ -687,6 +695,23 @@ impl ScenarioSpec {
                 let _ = writeln!(s, "strategy = {}", toml_str(st));
             }
         }
+        if let Some(m) = &self.memory {
+            let _ = writeln!(s, "\n[memory]");
+            let _ = writeln!(s, "grace_ticks = {}", m.grace_ticks);
+            let _ = writeln!(s, "conservative = {}", m.conservative);
+            let _ = writeln!(s, "tombstones = {}", m.tombstones);
+            if let Some(c) = m.ceiling {
+                let _ = writeln!(s, "ceiling = {c}");
+            }
+            let _ = writeln!(
+                s,
+                "spill = {}",
+                toml_str(match m.spill {
+                    SpillPolicy::StableOnly => "stable-only",
+                    SpillPolicy::Tombstones => "tombstones",
+                })
+            );
+        }
         s
     }
 
@@ -711,6 +736,7 @@ impl ScenarioSpec {
         cfg.window = self.window.max(1);
         cfg.loss = self.loss;
         cfg.delay = self.delay;
+        cfg.memory = self.memory;
         check_loss(&self.loss)?;
         (cfg.stop_on_quiescence, cfg.stop_on_full_delivery) = match self.stop {
             StopRule::Quiescence => (true, false),
@@ -907,6 +933,10 @@ pub fn corpus() -> Vec<(&'static str, &'static str)> {
         (
             "cross_topic_storm",
             include_str!("../../../scenarios/cross_topic_storm.toml"),
+        ),
+        (
+            "bounded_memory",
+            include_str!("../../../scenarios/bounded_memory.toml"),
         ),
     ]
 }
@@ -1662,6 +1692,47 @@ fn decode_check(v: &Value) -> Result<CheckBounds, SpecError> {
         return Err(SpecError::new("check.walks must be positive"));
     }
     Ok(bounds)
+}
+
+fn decode_memory(v: &Value) -> Result<MemoryConfig, SpecError> {
+    let map = as_table(v, "memory")?;
+    check_keys(
+        map,
+        &[
+            "grace_ticks",
+            "conservative",
+            "tombstones",
+            "ceiling",
+            "spill",
+        ],
+        "memory",
+    )?;
+    let d = MemoryConfig::default();
+    let spill = match map.get("spill") {
+        Some(v) => match as_str(v, "spill")? {
+            "stable-only" => SpillPolicy::StableOnly,
+            "tombstones" => SpillPolicy::Tombstones,
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown memory spill policy {other:?} (stable-only | tombstones)"
+                )))
+            }
+        },
+        None => d.spill,
+    };
+    Ok(MemoryConfig {
+        grace_ticks: opt_u64(map, "grace_ticks", d.grace_ticks as u64)? as u32,
+        conservative: match map.get("conservative") {
+            Some(v) => as_bool(v, "memory.conservative")?,
+            None => d.conservative,
+        },
+        tombstones: opt_u64(map, "tombstones", d.tombstones as u64)? as usize,
+        ceiling: match map.get("ceiling") {
+            Some(v) => Some(as_u64(v, "memory.ceiling")? as usize),
+            None => None,
+        },
+        spill,
+    })
 }
 
 fn toml_str(s: &str) -> String {

@@ -39,14 +39,18 @@ pub mod payload;
 pub mod pool;
 pub mod protocol;
 pub mod rng;
+pub mod snapshot;
 pub mod wire;
 
 pub use fd::{FdPair, FdSnapshot, FdView};
 pub use ids::{Label, LabelSet, Tag, TagAck, TopicId};
 pub use payload::Payload;
 pub use pool::{BatchPool, BufPool, MuxPool, PoolStats, PooledBuf, VecPool};
-pub use protocol::{AnonProcess, Context, Delivery, ProcessStats};
+pub use protocol::{
+    AnonProcess, CompactionReport, Context, Delivery, MemoryConfig, ProcessStats, SpillPolicy,
+};
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use wire::{
     encode_frame_into, encode_mux_frame_into, Batch, CodecError, MuxBatch, WireKind, WireMessage,
 };

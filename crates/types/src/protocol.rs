@@ -24,6 +24,7 @@ use crate::fd::FdSnapshot;
 use crate::ids::Tag;
 use crate::payload::Payload;
 use crate::rng::RandomSource;
+use crate::snapshot::SnapshotError;
 use crate::wire::WireMessage;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,83 @@ impl ProcessStats {
     }
 }
 
+/// What a forced (over-ceiling) compaction sweep may reclaim beyond the
+/// stable prefix (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpillPolicy {
+    /// Only entries that already satisfy the stability rule may go; the
+    /// grace period is waived under pressure but unstable state is never
+    /// touched. Over-ceiling residency is reported, not forced down.
+    #[default]
+    StableOnly,
+    /// Additionally halve the tombstone ring under pressure, trading
+    /// duplicate-suppression coverage of very old tags for space.
+    Tombstones,
+}
+
+/// Configuration of the bounded-memory mode (DESIGN.md §14).
+///
+/// When a process runs with a `MemoryConfig`, the driver calls
+/// [`AnonProcess::compact`] once per tick sweep and the process may drop
+/// `MSG`/`MY_ACK`/`ALL_ACK`/`URB_DELIVERED` entries for tags that are
+/// *stable* — acknowledged at every correct process per the per-algorithm
+/// stability rule — after [`MemoryConfig::grace_ticks`] consecutive stable
+/// sweeps. Compacted tags move to a bounded tombstone ring so late copies
+/// are ignored instead of re-entering state. Without a `MemoryConfig`
+/// (the default everywhere) compaction never runs and behavior is
+/// byte-identical to the unbounded engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Consecutive stable tick sweeps a tag must survive before its
+    /// entries are reclaimed. Higher values keep state longer but shrug
+    /// off transient detector wobble.
+    pub grace_ticks: u32,
+    /// Conservative mode ("under suspicion"): reset every grace clock
+    /// whenever the failure-detector view changes, so compaction only
+    /// proceeds through a stretch of detector stability.
+    pub conservative: bool,
+    /// Capacity of the tombstone ring remembering compacted tags (oldest
+    /// evicted first). A late copy of a tombstoned tag is dropped without
+    /// being acknowledged or re-entering state.
+    pub tombstones: usize,
+    /// Soft ceiling on [`ProcessStats::total`]. While residency exceeds
+    /// it, compaction waives the grace period for already-stable tags and
+    /// applies the [`SpillPolicy`]. `None` = compact on the grace
+    /// schedule only.
+    pub ceiling: Option<usize>,
+    /// What an over-ceiling sweep may reclaim.
+    pub spill: SpillPolicy,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            grace_ticks: 2,
+            conservative: false,
+            tombstones: 4096,
+            ceiling: None,
+            spill: SpillPolicy::StableOnly,
+        }
+    }
+}
+
+/// What one [`AnonProcess::compact`] sweep reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionReport {
+    /// State entries dropped (summed in [`ProcessStats::total`] units).
+    pub reclaimed: usize,
+    /// Tags moved into the tombstone ring this sweep.
+    pub tombstoned: usize,
+}
+
+impl CompactionReport {
+    /// Merges another sweep's counts into this one.
+    pub fn absorb(&mut self, other: CompactionReport) {
+        self.reclaimed += other.reclaimed;
+        self.tombstoned += other.tombstoned;
+    }
+}
+
 /// A broadcast protocol instance at one anonymous process.
 ///
 /// Implementations must be deterministic: identical call sequences with
@@ -130,6 +208,34 @@ pub trait AnonProcess {
 
     /// Short algorithm name, for tables and traces.
     fn algorithm_name(&self) -> &'static str;
+
+    /// Arms the bounded-memory mode (DESIGN.md §14). The default does
+    /// nothing: algorithms without a compaction strategy simply keep
+    /// their unbounded behavior.
+    fn configure_memory(&mut self, _cfg: MemoryConfig) {}
+
+    /// One compaction sweep, called by the driver alongside each tick
+    /// sweep when a [`MemoryConfig`] is armed. `fd` is the same snapshot
+    /// the tick saw. The default reclaims nothing.
+    fn compact(&mut self, _fd: &FdSnapshot) -> CompactionReport {
+        CompactionReport::default()
+    }
+
+    /// Serializes this process's full protocol state as a deterministic
+    /// snapshot body (no envelope), or `None` when the algorithm does not
+    /// support snapshotting (the baselines).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by [`AnonProcess::save_state`]
+    /// on a freshly instantiated process of the same configuration.
+    fn restore_state(&mut self, _body: &[u8]) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Malformed(format!(
+            "algorithm {:?} does not support snapshot restore",
+            self.algorithm_name()
+        )))
+    }
 }
 
 #[cfg(test)]

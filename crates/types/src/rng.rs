@@ -87,6 +87,20 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state word. Together with
+    /// [`SplitMix64::from_state`] this lets a snapshot capture and resume
+    /// the stream exactly where it stopped (DESIGN.md §14).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at an exact state captured by
+    /// [`SplitMix64::state`]. Unlike [`SplitMix64::new`], no mixing or
+    /// burn-in happens: the next draw continues the original stream.
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Derives an independent child seed stream for component `index`.
     ///
     /// Splitting is position-based (not draw-based) so adding components to a
