@@ -1,4 +1,4 @@
-//! The experiment suite E1–E20 (see DESIGN.md §5 for the index).
+//! The experiment suite E1–E21 (see DESIGN.md §5 for the index).
 //!
 //! The paper proves; we measure. Each function reproduces one claim as a
 //! table: the pass-rate grids for the two theorems about the algorithms
@@ -11,7 +11,8 @@
 //! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9),
 //! the topic plane's scaling story (E18 topic-count scaling, E19
 //! multiplexed-vs-separate frames A/B — DESIGN.md §12), and the memory
-//! plane's plateau claim (E20 bounded-memory soak — DESIGN.md §14).
+//! plane's plateau claim (E20 bounded-memory soak — DESIGN.md §14), and
+//! the dynamic topic control plane's churn story (E21 — DESIGN.md §15).
 //!
 //! All experiments are deterministic: same build, same tables. Every run's
 //! seed is a pure function of its grid cell and seed index, so the
@@ -31,7 +32,7 @@ use urb_types::MemoryConfig;
 /// minutes; bump for tighter confidence).
 pub const SEEDS: u64 = 10;
 
-/// Runs one experiment by id (`"e1"`..`"e19"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e21"`), returning its tables.
 pub fn run_experiment(id: &str) -> Vec<Table> {
     match id {
         "e1" => e1_alg1_correctness(),
@@ -54,14 +55,15 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e18" => e18_topic_scaling(),
         "e19" => e19_mux_vs_separate(),
         "e20" => e20_bounded_memory_soak(),
-        other => panic!("unknown experiment id {other:?} (use e1..e20)"),
+        "e21" => e21_dynamic_topic_churn(),
+        other => panic!("unknown experiment id {other:?} (use e1..e21)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -1151,6 +1153,100 @@ pub fn e20_bounded_memory_soak() -> Vec<Table> {
     vec![t]
 }
 
+/// One E21 churn grid cell (DESIGN.md §15): a static topic plus `gens`
+/// sequential create → two-broadcast workload → retire generations on
+/// dynamic topic ids. Shared by the standalone experiment table and the
+/// trajectory grid so both sample exactly the same plane.
+pub fn churn_config(n: usize, gens: u32, seed: u64) -> SimConfig {
+    use urb_sim::sim::TopicAction;
+    use urb_sim::PlannedBroadcast;
+    use urb_types::{Payload, TopicId};
+    let mut cfg = SimConfig::new(n, Algorithm::Quiescent)
+        .seed(seed)
+        .max_time(400_000);
+    cfg.stop_on_quiescence = true;
+    cfg.broadcasts = vec![PlannedBroadcast {
+        time: 10,
+        pid: 0,
+        topic: TopicId::ZERO,
+        payload: Payload::from("static"),
+    }];
+    for g in 0..gens {
+        let topic = TopicId(1 + g);
+        let base = 200 + g as u64 * 3_000;
+        // Each generation retires 2_000 ticks after its create — well
+        // past its two-broadcast workload's quiescence, so retirement
+        // preserves every URB obligation (the quiescence rule) and the
+        // per-topic verdicts must hold across the whole churn.
+        cfg = cfg
+            .topic_event(
+                base,
+                TopicAction::Create {
+                    topic,
+                    algorithm: None,
+                },
+            )
+            .topic_event(base + 2_000, TopicAction::Retire { topic });
+        for m in 0..2u64 {
+            cfg.broadcasts.push(PlannedBroadcast {
+                time: base + 100 + m * 100,
+                pid: ((g as u64 + m) % n as u64) as usize,
+                topic,
+                payload: Payload::from(format!("g{g}.m{m}").as_str()),
+            });
+        }
+    }
+    cfg
+}
+
+/// E21 — dynamic-topic churn (DESIGN.md §15): generations of
+/// create → workload → retire next to a static topic. Measures that the
+/// per-topic verdicts hold across churn, every retired generation is
+/// reclaimed at every process, and the run still ends quiescent.
+pub fn e21_dynamic_topic_churn() -> Vec<Table> {
+    let mut t = Table::new(
+        "E21 — dynamic-topic churn: create → workload → retire generations (n=4, Alg 2)",
+        &[
+            "generations",
+            "runs",
+            "URB ok (per topic)",
+            "reclaimed",
+            "transmissions",
+            "deliveries",
+            "quiescent",
+        ],
+    );
+    for &gens in &[1u32, 3, 6] {
+        let outcomes = run_seeds(SEEDS, |seed| churn_config(4, gens, seed * 47 + 21));
+        let verdicts: usize = outcomes.iter().map(|o| o.per_topic.len()).sum();
+        let ok: usize = outcomes
+            .iter()
+            .flat_map(|o| o.per_topic.iter())
+            .filter(|t| t.report.all_ok())
+            .count();
+        let reclaimed: u64 = outcomes.iter().map(|o| o.topics_reclaimed()).sum();
+        assert_eq!(
+            reclaimed,
+            SEEDS * gens as u64 * 4,
+            "every retired generation must be reclaimed at every process ({gens} gens)"
+        );
+        assert_eq!(ok, verdicts, "churn must not cost a single verdict");
+        let tx: u64 = outcomes.iter().map(|o| o.metrics.protocol_sends()).sum();
+        let deliveries: usize = outcomes.iter().map(|o| o.metrics.deliveries.len()).sum();
+        let quiescent = outcomes.iter().filter(|o| o.quiescent).count();
+        t.row(vec![
+            gens.to_string(),
+            SEEDS.to_string(),
+            format!("{ok}/{verdicts}"),
+            reclaimed.to_string(),
+            tx.to_string(),
+            deliveries.to_string(),
+            format!("{quiescent}/{SEEDS}"),
+        ]);
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1158,7 +1254,7 @@ mod tests {
     #[test]
     fn all_ids_resolve() {
         // Smoke-test the dispatcher without running the heavy grids.
-        assert_eq!(ALL_IDS.len(), 20);
+        assert_eq!(ALL_IDS.len(), 21);
     }
 
     #[test]

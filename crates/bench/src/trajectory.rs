@@ -38,7 +38,7 @@ pub struct TrajectoryConfig {
     /// Seeds per grid cell (3 keeps the full trajectory under a minute
     /// in release builds; bump for tighter numbers).
     pub seeds_per_cell: u64,
-    /// Experiment ids to cover (subset of `e1..e20`).
+    /// Experiment ids to cover (subset of `e1..e21`).
     pub ids: Vec<String>,
 }
 
@@ -59,7 +59,7 @@ impl TrajectoryConfig {
 /// One experiment's aggregated, deterministic measurements.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentPoint {
-    /// Experiment id (`"e1"`…`"e20"`).
+    /// Experiment id (`"e1"`…`"e21"`).
     pub id: String,
     /// Simulated runs aggregated into this point.
     pub runs: u64,
@@ -519,7 +519,22 @@ pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
                 }
             }
         }
-        other => panic!("unknown experiment id {other:?} (use e1..e20)"),
+        "e21" => {
+            // Dynamic-topic churn (DESIGN.md §15): one create/retire
+            // generation per cell-0 run, three per cell-1 run. New in this
+            // PR — e21 points have no counterpart in earlier trajectory
+            // files, so existing diff overlaps are untouched.
+            for (cell, &gens) in [1u32, 3].iter().enumerate() {
+                for s in 0..seeds {
+                    cfgs.push(crate::experiments::churn_config(
+                        4,
+                        gens,
+                        derive(cell as u64, s),
+                    ));
+                }
+            }
+        }
+        other => panic!("unknown experiment id {other:?} (use e1..e21)"),
     }
     cfgs
 }

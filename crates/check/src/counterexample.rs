@@ -52,6 +52,7 @@ fn choice_json(c: &Choice) -> String {
         Choice::Drop { slot } => format!("{{\"kind\": \"drop\", \"slot\": {slot}}}"),
         Choice::Tick { pid } => format!("{{\"kind\": \"tick\", \"pid\": {pid}}}"),
         Choice::Crash { pid } => format!("{{\"kind\": \"crash\", \"pid\": {pid}}}"),
+        Choice::TopicEvent => "{\"kind\": \"topic-event\"}".into(),
     }
 }
 
@@ -75,6 +76,7 @@ fn choice_from_value(v: &Value) -> Result<Choice, String> {
         },
         "tick" => Choice::Tick { pid: field("pid")? },
         "crash" => Choice::Crash { pid: field("pid")? },
+        "topic-event" => Choice::TopicEvent,
         other => return Err(format!("unknown choice kind {other:?}")),
     })
 }
@@ -282,6 +284,7 @@ mod tests {
                 Choice::Drop { slot: 0 },
                 Choice::Tick { pid: 1 },
                 Choice::Crash { pid: 0 },
+                Choice::TopicEvent,
             ],
             deliveries: vec![DeliveryRecord {
                 pid: 1,

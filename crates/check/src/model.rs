@@ -31,7 +31,10 @@ use urb_core::Algorithm;
 use urb_engine::{StepBuffers, StepInput, StepObserver, TopicEngine};
 use urb_sim::checker::{check_urb, CheckReport};
 use urb_sim::metrics::{BroadcastRecord, DeliveryRecord};
-use urb_sim::{CheckBounds, CrashRule, LossModel, PlannedBroadcast, ScenarioSpec, SpecError};
+use urb_sim::{
+    CheckBounds, CrashRule, LossModel, PlannedBroadcast, ScenarioSpec, SpecError, TopicAction,
+    TopicEventCfg,
+};
 use urb_types::{
     Delivery, FdPair, FdSnapshot, FdView, Label, SplitMix64, Tag, TopicId, WireMessage,
 };
@@ -65,6 +68,16 @@ pub enum Choice {
         /// The crashing process.
         pid: usize,
     },
+    /// Apply the next planned topic-lifecycle event (DESIGN.md §15):
+    /// create or retire the plan's topic at every surviving process
+    /// atomically, exactly like the simulator's global lifecycle plane.
+    /// The plan interleaves with broadcasts in compiled-time order (the
+    /// cursor is implicit, like [`Choice::Broadcast`]'s), but the event
+    /// itself is a first-class choice point: the explorer schedules it
+    /// before or after any pending delivery, tick or crash, checking —
+    /// among everything else — that no schedule delivers into a
+    /// reclaimed instance.
+    TopicEvent,
 }
 
 /// One undelivered wire message — a pending deliver-or-drop choice.
@@ -90,6 +103,8 @@ pub struct CheckModel {
     algorithm: Algorithm,
     seed: u64,
     planned: Vec<PlannedBroadcast>,
+    topic_events: Vec<TopicEventCfg>,
+    drain_ticks: u32,
     crash_rules: Vec<CrashRule>,
     severed: BTreeSet<(usize, usize)>,
     bounds: CheckBounds,
@@ -117,6 +132,8 @@ impl CheckModel {
             algorithm: cfg.algorithm,
             seed: seed.unwrap_or(spec.seed),
             planned,
+            topic_events: cfg.topic_events.clone(),
+            drain_ticks: cfg.drain_ticks,
             crash_rules: (0..cfg.n).map(|i| cfg.crashes.rule(i)).collect(),
             severed,
             bounds: spec.check.clone(),
@@ -155,12 +172,14 @@ impl CheckModel {
         let seed_mix = SplitMix64::new(self.seed ^ 0x5EED_0F00_D000_0001);
         let engines = (0..self.n)
             .map(|i| {
-                TopicEngine::new(
+                let mut e = TopicEngine::new(
                     (0..self.topics)
                         .map(|_| self.algorithm.instantiate(self.n))
                         .collect(),
                     seed_mix.split(i as u64),
-                )
+                );
+                e.set_drain_limit(self.drain_ticks);
+                e
             })
             .collect();
         CheckState {
@@ -170,6 +189,7 @@ impl CheckModel {
             crashed: vec![false; self.n],
             delivered_once: vec![false; self.n],
             next_broadcast: 0,
+            next_topic_event: 0,
             drops_used: 0,
             ticks_used: vec![0; self.n],
             steps: 0,
@@ -211,6 +231,7 @@ pub struct CheckState<'m> {
     crashed: Vec<bool>,
     delivered_once: Vec<bool>,
     next_broadcast: usize,
+    next_topic_event: usize,
     drops_used: u32,
     ticks_used: Vec<u32>,
     steps: u64,
@@ -347,8 +368,18 @@ impl<'m> CheckState<'m> {
         if self.violation.is_some() {
             return out; // a violated execution stops here
         }
-        if self.next_broadcast < self.model.planned.len() {
-            out.push(Choice::Broadcast);
+        // The two plan cursors — broadcasts and lifecycle events — fire
+        // in compiled-time order (ties: broadcast first), so at most one
+        // of them is enabled in any state; each is still a free choice
+        // point against deliveries, ticks and crashes.
+        match (
+            self.model.planned.get(self.next_broadcast),
+            self.model.topic_events.get(self.next_topic_event),
+        ) {
+            (Some(b), Some(e)) if e.time < b.time => out.push(Choice::TopicEvent),
+            (Some(_), _) => out.push(Choice::Broadcast),
+            (None, Some(_)) => out.push(Choice::TopicEvent),
+            (None, None) => {}
         }
         for slot in 0..self.pending.len() {
             out.push(Choice::Deliver { slot });
@@ -414,6 +445,12 @@ impl<'m> CheckState<'m> {
                 if self.crashed[b.pid] {
                     return; // invoking a crashed process is a no-op
                 }
+                if !self.engines[b.pid].is_live(b.topic) {
+                    // Refused invocation (DESIGN.md §15): the target
+                    // topic is not live at this process — same inert
+                    // outcome as the simulator's out-of-window guard.
+                    return;
+                }
                 let fd = self.fd_snapshot();
                 let mut effects = Effects::default();
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -438,6 +475,13 @@ impl<'m> CheckState<'m> {
             }
             Choice::Deliver { slot } => {
                 let p = self.pending.remove(slot);
+                if !self.engines[p.to].has_instance(p.topic) {
+                    // Delivery into a retired (reclaimed) instance is
+                    // inert: the copy is consumed, no engine steps —
+                    // the model-level statement of "retirement frees
+                    // state without reviving it".
+                    return;
+                }
                 let fd = self.fd_snapshot();
                 let mut effects = Effects::default();
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -461,8 +505,8 @@ impl<'m> CheckState<'m> {
                 // budget unit per node tick, however many topics it has).
                 self.ticks_used[pid] += 1;
                 let fd = self.fd_snapshot();
-                for t in 0..self.model.topics {
-                    let topic = TopicId(t);
+                let topics: Vec<TopicId> = self.engines[pid].instance_topics().collect();
+                for topic in topics {
                     let mut effects = Effects::default();
                     let mut scratch = std::mem::take(&mut self.scratch);
                     self.engines[pid].step_observed(
@@ -475,12 +519,40 @@ impl<'m> CheckState<'m> {
                     self.scratch = scratch;
                     self.finish_step(pid, topic, effects);
                 }
+                // The tick is also the reap point (the simulator's
+                // quiescence rule): drained instances free their state
+                // here, never mid-delivery.
+                if !self.model.topic_events.is_empty() {
+                    self.engines[pid].reap_drained(&fd);
+                }
             }
             Choice::Crash { pid } => {
                 self.crashed[pid] = true;
                 // Copies addressed to the dead process are gone; the
                 // slot renumbering is deterministic, so replay agrees.
                 self.pending.retain(|p| p.to != pid);
+            }
+            Choice::TopicEvent => {
+                let e = self.model.topic_events[self.next_topic_event].clone();
+                self.next_topic_event += 1;
+                match e.action {
+                    TopicAction::Create { topic, algorithm } => {
+                        let alg = algorithm.unwrap_or(self.model.algorithm);
+                        for pid in 0..self.model.n {
+                            if !self.crashed[pid] {
+                                self.engines[pid]
+                                    .create_topic(topic, alg.instantiate(self.model.n));
+                            }
+                        }
+                    }
+                    TopicAction::Retire { topic } => {
+                        for pid in 0..self.model.n {
+                            if !self.crashed[pid] {
+                                self.engines[pid].retire_topic(topic);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -500,6 +572,7 @@ impl<'m> CheckState<'m> {
     pub fn is_silent(&self) -> bool {
         self.violation.is_none()
             && self.next_broadcast == self.model.planned.len()
+            && self.next_topic_event == self.model.topic_events.len()
             && self.pending.is_empty()
             && self
                 .engines
@@ -583,11 +656,26 @@ impl<'m> CheckState<'m> {
         }
         fold(&mut h, delivered);
         fold(&mut h, self.next_broadcast as u64);
+        // Folded only on lifecycle scenarios, so static digests (and the
+        // persistent state-hash caches built from them) are unchanged.
+        if !self.model.topic_events.is_empty() {
+            fold(&mut h, self.next_topic_event as u64);
+        }
         fold(&mut h, self.drops_used as u64);
         for t in &self.ticks_used {
             fold(&mut h, *t as u64);
         }
         h
+    }
+
+    /// Topic instances reclaimed so far, summed over every engine — the
+    /// model-checker's view of the lifecycle counters
+    /// ([`urb_engine::EngineCounters::topics_reclaimed`]).
+    pub fn topics_reclaimed(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.counters().topics_reclaimed)
+            .sum()
     }
 
     /// Tags delivered by `pid` (test helper).
@@ -705,6 +793,114 @@ mod tests {
         let mut st = model.initial();
         assert!(st.apply(Choice::Deliver { slot: 0 }).is_err());
         assert!(st.apply(Choice::Crash { pid: 0 }).is_err(), "plan-correct");
+    }
+
+    fn lifecycle_spec() -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(
+            "name = \"check-lifecycle\"\nn = 3\nalgorithm = \"quiescent\"\nseed = 11\n\
+             [topics]\ncount = 1\ndrain_ticks = 4\n\
+             [[topics.events]]\nat = 100\ncreate = 1\n\
+             [[topics.events]]\nat = 900\nretire = 1\n\
+             [[workload.explicit]]\ntime = 150\npid = 0\ntopic = 1\npayload = \"dyn\"\n\
+             [check]\ntick_budget = 8\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lifecycle_canonical_path_delivers_retires_and_reclaims() {
+        // Plan order: create (t=100) → broadcast (t=150) → retire
+        // (t=900); the canonical walk interleaves deliveries and ticks,
+        // ends silent, and every engine has reclaimed the instance.
+        let model = CheckModel::from_spec(&lifecycle_spec(), None).unwrap();
+        let mut st = model.initial();
+        let mut guard = 0;
+        loop {
+            let en = st.enabled_choices();
+            let Some(&first) = en.first() else { break };
+            st.apply(first).unwrap();
+            guard += 1;
+            assert!(guard < 1000, "canonical lifecycle path must terminate");
+        }
+        assert!(st.violation().is_none());
+        for pid in 0..3 {
+            assert_eq!(st.delivered_set(pid).len(), 1, "pid {pid}");
+        }
+        st.check_eventual();
+        assert!(st.is_silent(), "retired state must not block silence");
+        assert!(st.report().all_ok());
+        assert_eq!(st.topics_reclaimed(), 3, "every engine freed the instance");
+    }
+
+    #[test]
+    fn lifecycle_events_gate_on_plan_order_and_replay_deterministically() {
+        let model = CheckModel::from_spec(&lifecycle_spec(), None).unwrap();
+        let st = model.initial();
+        let en = st.enabled_choices();
+        // The create (t=100) precedes the broadcast (t=150), so only the
+        // lifecycle cursor is enabled among the plan choices.
+        assert!(en.contains(&Choice::TopicEvent));
+        assert!(!en.contains(&Choice::Broadcast));
+        let run = || {
+            let mut st = model.initial();
+            let mut path = Vec::new();
+            for _ in 0..60 {
+                let en = st.enabled_choices();
+                let Some(&c) = en.last() else { break };
+                st.apply(c).unwrap();
+                path.push(c);
+            }
+            (path, st.state_hash(), st.deliveries().len())
+        };
+        assert_eq!(run(), run(), "lifecycle choices replay byte-identically");
+    }
+
+    #[test]
+    fn delivery_into_a_reclaimed_instance_is_inert() {
+        // Create, broadcast, then retire + reap *before* delivering the
+        // relay copies: every pending delivery must be consumed without
+        // stepping a reclaimed engine, and the run stays violation-free
+        // (retirement truncates "eventually"; it never corrupts).
+        let model = CheckModel::from_spec(&lifecycle_spec(), None).unwrap();
+        let mut st = model.initial();
+        st.apply(Choice::TopicEvent).unwrap(); // create everywhere
+        st.apply(Choice::Broadcast).unwrap(); // pid 0 seeds topic 1
+        assert!(!st.pending().is_empty());
+        st.apply(Choice::TopicEvent).unwrap(); // retire everywhere
+                                               // Drain ticks until every engine reaped (budget 4 per instance).
+        for _ in 0..6 {
+            for pid in 0..3 {
+                if st.enabled_choices().contains(&Choice::Tick { pid }) {
+                    st.apply(Choice::Tick { pid }).unwrap();
+                }
+            }
+        }
+        assert_eq!(st.topics_reclaimed(), 3);
+        while let Some(&c) = st
+            .enabled_choices()
+            .iter()
+            .find(|c| matches!(c, Choice::Deliver { .. }))
+        {
+            st.apply(c).unwrap();
+        }
+        assert!(st.pending().is_empty());
+        assert_eq!(
+            st.topics_reclaimed(),
+            3,
+            "inert deliveries never revive a reclaimed instance"
+        );
+        // Retiring *before* the topic quiesced forfeits "eventually":
+        // the checker still judges the obligation incurred while live,
+        // so this schedule surfaces a validity violation — exactly the
+        // quiescence rule DESIGN.md §15 documents. Integrity (no
+        // phantom, no duplicate) survives: inert drops corrupt nothing.
+        st.check_eventual();
+        let violation = st.violation().expect("early retire loses validity");
+        assert!(
+            violation.iter().all(|v| v.starts_with("validity")),
+            "{violation:?}"
+        );
+        assert!(st.report().integrity.ok());
     }
 
     #[test]

@@ -38,6 +38,10 @@ USAGE:
     urb cluster --local N [flags]
                            spawn an N-process loopback cluster, wait for
                            it, and report per-topic delivery verdicts
+    urb topic OP [flags]   send one lifecycle control operation (create |
+                           retire | subscribe | unsubscribe) to a running
+                           `urb node`, which applies it and gossips it to
+                           the rest of the cluster (DESIGN.md §15)
     urb help               this text
 
 FLAGS (scenario):
@@ -68,7 +72,7 @@ FLAGS (bench):
                       count-metric mismatch over overlapping points
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
-    --experiments IDS comma-separated subset of e1..e20      [default: all]
+    --experiments IDS comma-separated subset of e1..e21      [default: all]
 
 FLAGS (node):
     --id I            this node's id (0-based)            [required]
@@ -86,6 +90,13 @@ FLAGS (node):
     --state-dir DIR   durable snapshot + journal dir; a restart
                       recovers from it (unreadable = exit 2) [default: none]
     --json            print the node report as enveloped JSON
+
+FLAGS (topic):
+    OP                create | retire | subscribe | unsubscribe
+    --addr HOST:PORT  listen address of any running node   [required]
+    --topic N         the topic id                         [required]
+    --alg NAME        protocol of a created topic (see run
+                      flags; create only)                  [default: majority]
 
 FLAGS (cluster):
     --local N         number of loopback node processes    [required]
@@ -138,8 +149,37 @@ pub enum Command {
     Node(NodeArgs),
     /// `urb cluster`.
     Cluster(ClusterArgs),
+    /// `urb topic <op>`.
+    Topic(TopicArgs),
     /// `urb help`.
     Help,
+}
+
+/// The lifecycle operation of `urb topic` (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopicOp {
+    /// Create (and go live on) a topic.
+    Create,
+    /// Retire a topic: drain, then reclaim.
+    Retire,
+    /// Record engine-level delivery interest.
+    Subscribe,
+    /// Clear engine-level delivery interest.
+    Unsubscribe,
+}
+
+/// Flags of `urb topic` (one-shot control client).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicArgs {
+    /// Which lifecycle operation to send.
+    pub op: TopicOp,
+    /// Listen address of the target node (any cluster member; the
+    /// control gossips from there).
+    pub addr: String,
+    /// The topic id.
+    pub topic: u32,
+    /// Protocol a created topic runs (`Create` only).
+    pub algorithm: Algorithm,
 }
 
 /// Flags of `urb node` (one OS process of a socket cluster).
@@ -404,13 +444,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 match lower.strip_prefix('e') {
                                     Some(digits) if digits.bytes().all(|b| b.is_ascii_digit()) => {
                                         match digits.parse::<u32>() {
-                                            Ok(n @ 1..=20) => Ok(format!("e{n}")),
+                                            Ok(n @ 1..=21) => Ok(format!("e{n}")),
                                             _ => Err(format!(
-                                                "unknown experiment id {id:?} (use e1..e20)"
+                                                "unknown experiment id {id:?} (use e1..e21)"
                                             )),
                                         }
                                     }
-                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e20)")),
+                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e21)")),
                                 }
                             })
                             .collect::<Result<_, _>>()?;
@@ -765,6 +805,55 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 json,
             }))
         }
+        "topic" => {
+            let op = match it.next().map(String::as_str) {
+                Some("create") => TopicOp::Create,
+                Some("retire") => TopicOp::Retire,
+                Some("subscribe") => TopicOp::Subscribe,
+                Some("unsubscribe") => TopicOp::Unsubscribe,
+                Some(other) => {
+                    let ops = "create | retire | subscribe | unsubscribe";
+                    return Err(format!("unknown topic operation {other:?} ({ops})"));
+                }
+                None => {
+                    return Err(
+                        "topic needs an operation (create | retire | subscribe | unsubscribe)"
+                            .into(),
+                    )
+                }
+            };
+            let mut addr: Option<String> = None;
+            let mut topic: Option<u32> = None;
+            let mut algorithm: Option<Algorithm> = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--addr" => addr = Some(value("--addr")?),
+                    "--topic" => {
+                        topic = Some(
+                            value("--topic")?
+                                .parse()
+                                .map_err(|e| format!("--topic: {e}"))?,
+                        )
+                    }
+                    "--alg" => algorithm = Some(parse_algorithm(&value("--alg")?)?),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if algorithm.is_some() && op != TopicOp::Create {
+                return Err("--alg only applies to `topic create`".into());
+            }
+            Ok(Command::Topic(TopicArgs {
+                op,
+                addr: addr.ok_or("topic needs --addr (a running node's listen address)")?,
+                topic: topic.ok_or("topic needs --topic N")?,
+                algorithm: algorithm.unwrap_or(Algorithm::Majority),
+            }))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -1048,6 +1137,56 @@ mod tests {
         assert!(parse(&argv("cluster --local 0")).is_err());
         assert!(parse(&argv("cluster --local 3 --topics 0")).is_err());
         assert!(parse(&argv("cluster --local 3 --wat")).is_err());
+    }
+
+    #[test]
+    fn topic_parses_ops_and_validates() {
+        match parse(&argv(
+            "topic create --addr 127.0.0.1:7001 --topic 7 --alg quiescent",
+        ))
+        .unwrap()
+        {
+            Command::Topic(a) => {
+                assert_eq!(a.op, TopicOp::Create);
+                assert_eq!(a.addr, "127.0.0.1:7001");
+                assert_eq!(a.topic, 7);
+                assert_eq!(a.algorithm, Algorithm::Quiescent);
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("topic retire --addr h:1 --topic 2")).unwrap() {
+            Command::Topic(a) => {
+                assert_eq!(a.op, TopicOp::Retire);
+                assert_eq!(a.algorithm, Algorithm::Majority, "default unused");
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("topic subscribe --addr h:1 --topic 0")).unwrap() {
+            Command::Topic(a) => assert_eq!(a.op, TopicOp::Subscribe),
+            _ => panic!(),
+        }
+        match parse(&argv("topic unsubscribe --addr h:1 --topic 0")).unwrap() {
+            Command::Topic(a) => assert_eq!(a.op, TopicOp::Unsubscribe),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("topic")).is_err(), "operation required");
+        assert!(parse(&argv("topic destroy --addr h:1 --topic 1")).is_err());
+        assert!(parse(&argv("topic create --topic 1")).is_err(), "--addr");
+        assert!(parse(&argv("topic create --addr h:1")).is_err(), "--topic");
+        assert!(
+            parse(&argv("topic retire --addr h:1 --topic 1 --alg majority")).is_err(),
+            "--alg is create-only"
+        );
+        assert!(parse(&argv("topic create --addr h:1 --topic 1 --wat")).is_err());
+    }
+
+    #[test]
+    fn bench_accepts_e21() {
+        match parse(&argv("bench --experiments e21")).unwrap() {
+            Command::Bench(a) => assert_eq!(a.experiments, Some(vec!["e21".into()])),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("bench --experiments e22")).is_err());
     }
 
     #[test]

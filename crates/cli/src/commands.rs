@@ -686,6 +686,8 @@ pub fn node_report_body(n: usize, alg: urb_core::Algorithm, report: &NodeReport)
     let _ = writeln!(out, "  \"n\": {n},");
     let _ = writeln!(out, "  \"algorithm\": \"{}\",", alg.name());
     let _ = writeln!(out, "  \"complete\": {},", report.complete);
+    let _ = writeln!(out, "  \"topics_live\": {},", report.topics_live);
+    let _ = writeln!(out, "  \"topics_reclaimed\": {},", report.topics_reclaimed);
     out.push_str("  \"per_topic\": [\n");
     for (i, t) in report.per_topic.iter().enumerate() {
         let payloads = t
@@ -773,6 +775,10 @@ pub fn node_cmd(args: NodeArgs) {
         for t in &report.per_topic {
             println!("  topic {}: {} deliveries", t.topic.0, t.payloads.len());
         }
+        println!(
+            "  topics: {} live, {} reclaimed",
+            report.topics_live, report.topics_reclaimed
+        );
         let s = &report.net;
         println!(
             "  net: {} frames out / {} in, {} accepted, {} reconnects, {} dropped",
@@ -787,6 +793,45 @@ pub fn node_cmd(args: NodeArgs) {
             args.run_ms
         );
         std::process::exit(1);
+    }
+}
+
+/// `urb topic <op>`: one-shot lifecycle control client (DESIGN.md §15).
+/// Connects to a running `urb node` at `--addr`, sends one control-only
+/// frame, and exits. The node applies the operation and gossips it to
+/// the rest of the cluster. Exit codes: 0 = sent, 2 = connect/send
+/// failure (the daemon's config-error convention).
+pub fn topic_cmd(args: crate::args::TopicArgs) {
+    use crate::args::TopicOp;
+    use urb_types::{TopicControl, TopicId};
+    let topic = TopicId(args.topic);
+    let ctl = match args.op {
+        TopicOp::Create => {
+            let (algorithm, param) = args.algorithm.to_wire();
+            TopicControl::Create {
+                topic,
+                algorithm,
+                param,
+            }
+        }
+        TopicOp::Retire => TopicControl::Retire { topic },
+        TopicOp::Subscribe => TopicControl::Subscribe { topic },
+        TopicOp::Unsubscribe => TopicControl::Unsubscribe { topic },
+    };
+    match urb_runtime::send_control(&args.addr, ctl) {
+        Ok(()) => {
+            let verb = match args.op {
+                TopicOp::Create => "create",
+                TopicOp::Retire => "retire",
+                TopicOp::Subscribe => "subscribe",
+                TopicOp::Unsubscribe => "unsubscribe",
+            };
+            println!("topic {}: {verb} sent to {}", args.topic, args.addr);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -1096,7 +1141,7 @@ mod tests {
     #[test]
     fn bench_config_maps_flags() {
         let cfg = build_trajectory_config(&BenchArgs::default());
-        assert_eq!(cfg.ids.len(), 20, "all experiments by default");
+        assert_eq!(cfg.ids.len(), 21, "all experiments by default");
         assert_eq!(cfg.seeds_per_cell, 3);
         let cfg = build_trajectory_config(&BenchArgs {
             seed: 9,

@@ -33,6 +33,7 @@ fn main() {
         Ok(Command::Sweep(cfg)) => commands::sweep_cmd(cfg),
         Ok(Command::Node(args)) => commands::node_cmd(args),
         Ok(Command::Cluster(args)) => commands::cluster_cmd(args),
+        Ok(Command::Topic(args)) => commands::topic_cmd(args),
         Ok(Command::Help) => {
             print!("{}", urb_cli::args::USAGE);
         }

@@ -383,3 +383,90 @@ fn cluster_launcher_reports_pass_verdict() {
         assert_eq!(node["complete"].as_bool(), Some(true));
     }
 }
+
+/// The dynamic topic control plane over real daemons (DESIGN.md §15):
+/// `urb topic create` against one node's listen address goes live
+/// cluster-wide through the control gossip, and `urb topic retire` sent
+/// to the *other* node — proof the create actually gossiped — drains and
+/// reclaims the instance on both, which the node reports count.
+#[test]
+#[ignore = "spawns OS processes on loopback sockets; run via CI cluster-smoke or --ignored"]
+fn urb_topic_create_and_retire_drive_running_daemons() {
+    let (n, topics, msgs, seed) = (2usize, 1u32, 1usize, 17u64);
+    let expect = n * msgs;
+    let addrs = reserve_addrs(n);
+    // A long linger keeps both daemons serving while the one-shot
+    // lifecycle clients run against them.
+    let children: Vec<Child> = (0..n)
+        .map(|id| {
+            spawn_node(
+                id,
+                &addrs,
+                topics,
+                msgs,
+                seed,
+                expect,
+                8_000,
+                Stdio::piped(),
+            )
+        })
+        .collect();
+
+    // `urb topic create` against node 0, retried until its socket is up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let out = urb()
+            .args([
+                "topic", "create", "--addr", &addrs[0], "--topic", "5", "--alg", "majority",
+            ])
+            .output()
+            .expect("topic client runs");
+        if out.status.success() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "node 0 never accepted the create: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Give the create a moment to gossip from node 0 to node 1, then
+    // retire through node 1 — which only has the topic via the gossip.
+    std::thread::sleep(Duration::from_millis(1500));
+    let out = urb()
+        .args(["topic", "retire", "--addr", &addrs[1], "--topic", "5"])
+        .output()
+        .expect("topic client runs");
+    assert!(
+        out.status.success(),
+        "retire failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Both daemons finish their linger and report: the configured topic
+    // still live, the dynamic one retired, drained and reclaimed.
+    for (id, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("node exits");
+        assert!(
+            out.status.success(),
+            "node {id} failed: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let v: serde_json::Value =
+            serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim())
+                .expect("node report is valid JSON");
+        assert_eq!(v["data"]["complete"].as_bool(), Some(true), "node {id}");
+        assert_eq!(
+            v["data"]["topics_live"].as_u64(),
+            Some(1),
+            "node {id}: only the configured topic survives"
+        );
+        assert_eq!(
+            v["data"]["topics_reclaimed"].as_u64(),
+            Some(1),
+            "node {id}: the retired dynamic topic was reclaimed"
+        );
+    }
+}

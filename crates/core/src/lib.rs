@@ -95,6 +95,40 @@ impl Algorithm {
         matches!(self, Algorithm::Quiescent | Algorithm::QuiescentLiteral)
     }
 
+    /// Wire code for this algorithm as an `(algorithm, param)` pair — the
+    /// payload of a `TopicControl::Create` control message (DESIGN.md §15).
+    /// `param` carries the threshold / backoff cap for the parameterized
+    /// variants and is `0` otherwise. Round-trips through
+    /// [`Algorithm::from_wire`].
+    pub fn to_wire(self) -> (u8, u32) {
+        match self {
+            Algorithm::Majority => (0, 0),
+            Algorithm::WeakenedMajority { threshold } => (1, threshold),
+            Algorithm::Quiescent => (2, 0),
+            Algorithm::QuiescentLiteral => (3, 0),
+            Algorithm::MajorityBackoff { cap } => (4, cap),
+            Algorithm::BestEffort => (5, 0),
+            Algorithm::EagerRb => (6, 0),
+        }
+    }
+
+    /// Decodes an `(algorithm, param)` wire pair produced by
+    /// [`Algorithm::to_wire`]. Returns `None` for unknown codes — a
+    /// receiver drops the create rather than instantiating something it
+    /// does not understand.
+    pub fn from_wire(code: u8, param: u32) -> Option<Algorithm> {
+        match code {
+            0 => Some(Algorithm::Majority),
+            1 => Some(Algorithm::WeakenedMajority { threshold: param }),
+            2 => Some(Algorithm::Quiescent),
+            3 => Some(Algorithm::QuiescentLiteral),
+            4 => Some(Algorithm::MajorityBackoff { cap: param }),
+            5 => Some(Algorithm::BestEffort),
+            6 => Some(Algorithm::EagerRb),
+            _ => None,
+        }
+    }
+
     /// Short name used in experiment tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -125,6 +159,23 @@ mod tests {
             let p = alg.instantiate(5);
             assert!(!p.algorithm_name().is_empty());
         }
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for alg in [
+            Algorithm::Majority,
+            Algorithm::WeakenedMajority { threshold: 2 },
+            Algorithm::Quiescent,
+            Algorithm::QuiescentLiteral,
+            Algorithm::MajorityBackoff { cap: 8 },
+            Algorithm::BestEffort,
+            Algorithm::EagerRb,
+        ] {
+            let (code, param) = alg.to_wire();
+            assert_eq!(Algorithm::from_wire(code, param), Some(alg));
+        }
+        assert_eq!(Algorithm::from_wire(200, 0), None);
     }
 
     #[test]

@@ -41,12 +41,13 @@
 #![deny(missing_docs)]
 
 use bytes::Bytes;
+use std::collections::BTreeSet;
 use urb_types::snapshot::unseal;
 use urb_types::{
-    encode_frame_into, encode_mux_frame_into, AnonProcess, Batch, BufPool, CodecError,
-    CompactionReport, Context, Delivery, FdSnapshot, MemoryConfig, MuxBatch, Payload, PooledBuf,
-    ProcessStats, RandomSource, SnapshotError, SnapshotReader, SnapshotWriter, SplitMix64, Tag,
-    TopicId, WireMessage,
+    encode_frame_into, encode_mux_frame_with_controls_into, AnonProcess, Batch, BufPool,
+    CodecError, CompactionReport, Context, Delivery, FdSnapshot, MemoryConfig, MuxBatch, Payload,
+    PooledBuf, ProcessStats, RandomSource, SnapshotError, SnapshotReader, SnapshotWriter,
+    SplitMix64, Tag, TopicControl, TopicId, WireMessage,
 };
 
 /// One input to a protocol step — the three entry points of the paper's
@@ -218,6 +219,16 @@ pub struct EngineCounters {
     pub reclaimed: u64,
     /// Tags moved into tombstone rings by compaction.
     pub tombstoned: u64,
+    /// Topic instances brought live at runtime
+    /// ([`TopicEngine::create_topic`] successes; the statically configured
+    /// instances are not counted).
+    pub topics_created: u64,
+    /// Topics whose retirement drain was initiated
+    /// ([`TopicEngine::retire_topic`] successes).
+    pub topics_retired: u64,
+    /// Retired topic instances whose state was fully reclaimed after the
+    /// drain (DESIGN.md §15: every reclaimed instance was retired first).
+    pub topics_reclaimed: u64,
 }
 
 /// Reusable buffers for the **multiplexed topic plane** (DESIGN.md §12):
@@ -231,6 +242,13 @@ pub struct MuxBuffers {
     pub outbox: Vec<(TopicId, WireMessage)>,
     /// Topic-tagged URB-deliveries, in production order.
     pub deliveries: Vec<(TopicId, Delivery)>,
+    /// Lifecycle control operations (DESIGN.md §15). On egress, a driver
+    /// pushes the controls it wants to gossip here and
+    /// [`MuxBuffers::take_mux_frame`] rides them on the next frame; on
+    /// ingress, [`TopicEngine::receive_mux_frame`] surfaces the received
+    /// frame's control section here for the driver to apply (the engine
+    /// itself cannot instantiate algorithms — that is driver policy).
+    pub controls: Vec<TopicControl>,
 }
 
 impl MuxBuffers {
@@ -239,31 +257,39 @@ impl MuxBuffers {
         MuxBuffers::default()
     }
 
-    /// Clears both buffers (capacity retained).
+    /// Clears all buffers (capacity retained).
     pub fn clear(&mut self) {
         self.outbox.clear();
         self.deliveries.clear();
+        self.controls.clear();
     }
 
-    /// True when nothing was emitted and nothing delivered.
+    /// True when nothing was emitted and nothing delivered. (Pending
+    /// controls do not count: lifecycle operations are driver intent, not
+    /// protocol activity — but [`MuxBuffers::take_mux_frame`] still sends
+    /// a control-only frame.)
     pub fn is_silent(&self) -> bool {
         self.outbox.is_empty() && self.deliveries.is_empty()
     }
 
-    /// Encodes and drains the outbox as one **multiplexed wire frame**
-    /// through the zero-copy codec: acquires a recycled buffer from
-    /// `pool`, writes the topic-keyed sub-batches with no per-message
-    /// allocation ([`urb_types::encode_mux_frame_into`]) and clears the
-    /// outbox in place. Returns `None` when nothing was emitted. The
-    /// topic-plane twin of [`StepBuffers::take_wire_frame`]: however many
-    /// topics a node stepped, one frame leaves.
+    /// Encodes and drains the outbox (plus any pending controls) as one
+    /// **multiplexed wire frame** through the zero-copy codec: acquires a
+    /// recycled buffer from `pool`, writes the topic-keyed sub-batches
+    /// with no per-message allocation
+    /// ([`urb_types::encode_mux_frame_with_controls_into`]) and clears the
+    /// outbox in place. Returns `None` when nothing was emitted and no
+    /// control is pending. With no controls the frame bytes are identical
+    /// to the pre-lifecycle format — the static-topic byte-compat
+    /// guarantee. The topic-plane twin of [`StepBuffers::take_wire_frame`]:
+    /// however many topics a node stepped, one frame leaves.
     pub fn take_mux_frame(&mut self, pool: &BufPool) -> Option<PooledBuf> {
-        if self.outbox.is_empty() {
+        if self.outbox.is_empty() && self.controls.is_empty() {
             return None;
         }
         let mut frame = pool.acquire();
-        encode_mux_frame_into(&self.outbox, &mut frame);
+        encode_mux_frame_with_controls_into(&self.outbox, &self.controls, &mut frame);
         self.outbox.clear();
+        self.controls.clear();
         Some(frame)
     }
 }
@@ -279,10 +305,40 @@ impl MuxBuffers {
 /// same RNG consumption, same counters — which is what keeps every
 /// single-topic artifact byte-identical ([`NodeEngine`] is now a thin
 /// wrapper over a one-topic `TopicEngine`).
+///
+/// Since the dynamic topic control plane (DESIGN.md §15) the map is an
+/// interned **slot map**: a sorted directory of `TopicId → slot` entries
+/// instead of a dense `Vec` indexed by id. Statically configured engines
+/// still get dense ids `0..n` and behave identically; at runtime a driver
+/// may [`create_topic`](TopicEngine::create_topic) new instances lazily
+/// and [`retire_topic`](TopicEngine::retire_topic) old ones. Retirement is
+/// graceful: the slot enters a **draining** state in which it no longer
+/// accepts broadcasts but keeps retransmitting (Task 1) until it is
+/// quiescent — or a drain budget expires — at which point
+/// [`reap_drained`](TopicEngine::reap_drained) pushes its remaining state
+/// through the PR-8 compaction path and frees the slot, leaving only a
+/// retired-id tombstone.
 pub struct TopicEngine {
-    /// Protocol instances, indexed by dense topic id (`topics[t]` serves
-    /// `TopicId(t as u32)`).
-    topics: Vec<Box<dyn AnonProcess + Send>>,
+    /// Live and draining topic instances, sorted ascending by topic id —
+    /// the interned slot directory. Statically configured engines hold
+    /// dense ids `0..n` here.
+    slots: Vec<TopicSlot>,
+    /// Tombstones of reaped topics: traffic addressed to these ids is
+    /// dropped inert instead of erroring as unknown.
+    retired: BTreeSet<TopicId>,
+    /// Topics this node has subscribed to (delivery-interest bookkeeping
+    /// for drivers; the engine itself delivers per instance regardless).
+    subscriptions: BTreeSet<TopicId>,
+    /// Remembered memory configuration, applied to late-created instances
+    /// so they compact like the statically configured ones.
+    memory: Option<MemoryConfig>,
+    /// Drain budget: a draining slot that is still not quiescent after
+    /// this many [`reap_drained`](TopicEngine::reap_drained) sweeps is
+    /// reaped anyway (DESIGN.md §15 quiescence rule).
+    drain_limit: u32,
+    /// The algorithm name, captured at construction (stable even after
+    /// every slot is reaped).
+    alg_name: &'static str,
     rng: SplitMix64,
     counters: EngineCounters,
     /// Persistent per-message scratch for the batch/frame ingress paths,
@@ -293,7 +349,28 @@ pub struct TopicEngine {
     /// Persistent decoded-entry scratch for
     /// [`TopicEngine::receive_mux_frame`].
     mux_scratch: Vec<(TopicId, WireMessage)>,
+    /// Persistent decoded-control scratch for
+    /// [`TopicEngine::receive_mux_frame`].
+    control_scratch: Vec<TopicControl>,
 }
+
+/// One entry of the interned topic directory.
+struct TopicSlot {
+    /// The topic this slot serves.
+    topic: TopicId,
+    /// The protocol instance.
+    proc: Box<dyn AnonProcess + Send>,
+    /// True once retirement was requested: no new broadcasts, keep
+    /// retransmitting until quiescent or the drain budget expires.
+    draining: bool,
+    /// Drain sweeps survived so far (compared against
+    /// [`TopicEngine::drain_limit`]).
+    drain_ticks: u32,
+}
+
+/// Default drain budget: a draining topic gets this many reap sweeps to
+/// reach quiescence before its state is reclaimed regardless.
+pub const DEFAULT_DRAIN_LIMIT: u32 = 32;
 
 impl TopicEngine {
     /// Builds an engine over `instances` (index = topic id), sharing one
@@ -302,13 +379,29 @@ impl TopicEngine {
     /// the stream exactly like the pre-topic [`NodeEngine`].
     pub fn new(instances: Vec<Box<dyn AnonProcess + Send>>, rng: SplitMix64) -> Self {
         assert!(!instances.is_empty(), "an engine needs at least one topic");
+        let alg_name = instances[0].algorithm_name();
         TopicEngine {
-            topics: instances,
+            slots: instances
+                .into_iter()
+                .enumerate()
+                .map(|(t, proc)| TopicSlot {
+                    topic: TopicId(t as u32),
+                    proc,
+                    draining: false,
+                    drain_ticks: 0,
+                })
+                .collect(),
+            retired: BTreeSet::new(),
+            subscriptions: BTreeSet::new(),
+            memory: None,
+            drain_limit: DEFAULT_DRAIN_LIMIT,
+            alg_name,
             rng,
             counters: EngineCounters::default(),
             batch_scratch: StepBuffers::new(),
             frame_scratch: Vec::new(),
             mux_scratch: Vec::new(),
+            control_scratch: Vec::new(),
         }
     }
 
@@ -317,14 +410,181 @@ impl TopicEngine {
         TopicEngine::new(vec![proc], rng)
     }
 
-    /// Number of topic instances this engine serves.
+    /// Number of topic instances this engine currently holds (live plus
+    /// draining; reaped topics no longer count).
     pub fn topic_count(&self) -> usize {
-        self.topics.len()
+        self.slots.len()
+    }
+
+    /// Slot index of `topic`, if an instance (live or draining) exists.
+    fn slot_index(&self, topic: TopicId) -> Option<usize> {
+        self.slots.binary_search_by_key(&topic, |s| s.topic).ok()
+    }
+
+    /// Slot index of `topic`, panicking when absent — the contract of the
+    /// stepping APIs: drivers route only to topics they know are present.
+    fn slot_index_or_panic(&self, topic: TopicId) -> usize {
+        self.slot_index(topic).unwrap_or_else(|| {
+            panic!("engine serves no instance for {topic} (not created, or already reclaimed)")
+        })
+    }
+
+    // ---- dynamic lifecycle (DESIGN.md §15) --------------------------
+
+    /// True when `topic` has a **live** instance: created (statically or
+    /// dynamically), not retired. Draining topics are no longer live —
+    /// they accept no new broadcasts.
+    pub fn is_live(&self, topic: TopicId) -> bool {
+        self.slot_index(topic)
+            .is_some_and(|i| !self.slots[i].draining)
+    }
+
+    /// True when `topic` holds an instance at all — live or draining.
+    /// Draining instances still receive and retransmit (that is the point
+    /// of the drain), they just refuse new broadcasts.
+    pub fn has_instance(&self, topic: TopicId) -> bool {
+        self.slot_index(topic).is_some()
+    }
+
+    /// True when `topic` was retired and its instance reclaimed (the
+    /// tombstone state; cleared if the id is later re-created).
+    pub fn is_retired(&self, topic: TopicId) -> bool {
+        self.retired.contains(&topic)
+    }
+
+    /// The live topic ids, ascending (draining topics excluded).
+    pub fn live_topics(&self) -> impl Iterator<Item = TopicId> + '_ {
+        self.slots.iter().filter(|s| !s.draining).map(|s| s.topic)
+    }
+
+    /// Every topic currently holding an instance — live **and** draining —
+    /// ascending. This is the driver's sweep directory: Task-1 ticks must
+    /// cover draining instances too (retransmission is what drains them),
+    /// so sweeping `live_topics` alone would starve the drain.
+    pub fn instance_topics(&self) -> impl Iterator<Item = TopicId> + '_ {
+        self.slots.iter().map(|s| s.topic)
+    }
+
+    /// Sets the drain budget (sweeps a draining topic may survive without
+    /// reaching quiescence before it is reaped anyway).
+    pub fn set_drain_limit(&mut self, limit: u32) {
+        self.drain_limit = limit;
+    }
+
+    /// Brings `topic` live with the given protocol instance — the lazy
+    /// instantiation entry point of the control plane. Returns `false`
+    /// (and drops `proc`) when an instance already exists, live or
+    /// draining: creates are idempotent. A previously retired id is
+    /// **re-created clean**: the tombstone is cleared and the fresh
+    /// instance starts with empty state. The engine's remembered memory
+    /// configuration (if any) is applied so late instances compact like
+    /// static ones.
+    pub fn create_topic(&mut self, topic: TopicId, proc: Box<dyn AnonProcess + Send>) -> bool {
+        match self.slots.binary_search_by_key(&topic, |s| s.topic) {
+            Ok(_) => false,
+            Err(at) => {
+                let mut proc = proc;
+                if let Some(cfg) = self.memory {
+                    proc.configure_memory(cfg);
+                }
+                self.retired.remove(&topic);
+                self.slots.insert(
+                    at,
+                    TopicSlot {
+                        topic,
+                        proc,
+                        draining: false,
+                        drain_ticks: 0,
+                    },
+                );
+                self.counters.topics_created += 1;
+                true
+            }
+        }
+    }
+
+    /// Initiates `topic`'s retirement: the instance stops accepting
+    /// broadcasts and enters the **draining** state, in which it keeps
+    /// retransmitting (Task 1 still sweeps it) until it is quiescent or
+    /// the drain budget expires; [`reap_drained`](TopicEngine::reap_drained)
+    /// then reclaims its state. Returns `false` when `topic` has no live
+    /// instance (absent, already draining, or already reclaimed).
+    pub fn retire_topic(&mut self, topic: TopicId) -> bool {
+        match self.slot_index(topic) {
+            Some(i) if !self.slots[i].draining => {
+                self.slots[i].draining = true;
+                self.slots[i].drain_ticks = 0;
+                self.counters.topics_retired += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reaps every draining slot that is quiescent — or has exhausted the
+    /// drain budget — under the caller's failure-detector snapshot: the
+    /// instance's remaining state is pushed through the PR-8 compaction
+    /// path ([`AnonProcess::compact`]), whatever survives is counted as
+    /// reclaimed, and the slot is freed, leaving a retired-id tombstone.
+    /// Returns the number of instances reclaimed. Called automatically at
+    /// the end of every [`tick_all`](TopicEngine::tick_all); a no-op (and
+    /// zero cost) for engines with nothing draining.
+    pub fn reap_drained(&mut self, fd: &FdSnapshot) -> usize {
+        if self.slots.iter().all(|s| !s.draining) {
+            return 0;
+        }
+        let drain_limit = self.drain_limit;
+        let mut reaped = 0usize;
+        let mut i = 0usize;
+        while i < self.slots.len() {
+            if !self.slots[i].draining {
+                i += 1;
+                continue;
+            }
+            let slot = &mut self.slots[i];
+            slot.drain_ticks += 1;
+            if !slot.proc.is_quiescent() && slot.drain_ticks <= drain_limit {
+                i += 1;
+                continue;
+            }
+            // Quiescent (the drain succeeded) or out of budget: compact,
+            // count what is left, free the slot.
+            let report = slot.proc.compact(fd);
+            let remaining = slot.proc.stats().total();
+            self.counters.reclaimed += (report.reclaimed + remaining) as u64;
+            self.counters.tombstoned += report.tombstoned as u64;
+            self.counters.topics_reclaimed += 1;
+            let slot = self.slots.remove(i);
+            self.retired.insert(slot.topic);
+            self.subscriptions.remove(&slot.topic);
+            reaped += 1;
+        }
+        reaped
+    }
+
+    /// Records this node's delivery interest in `topic`. Pure
+    /// bookkeeping at the engine level (drivers decide what subscription
+    /// means for routing); returns `false` when already subscribed.
+    pub fn subscribe(&mut self, topic: TopicId) -> bool {
+        self.subscriptions.insert(topic)
+    }
+
+    /// Drops this node's delivery interest in `topic`; returns `false`
+    /// when there was no subscription.
+    pub fn unsubscribe(&mut self, topic: TopicId) -> bool {
+        self.subscriptions.remove(&topic)
+    }
+
+    /// True when this node recorded delivery interest in `topic`.
+    pub fn is_subscribed(&self, topic: TopicId) -> bool {
+        self.subscriptions.contains(&topic)
     }
 
     /// Runs one step of `topic`'s instance (see [`drive_step`]) and
-    /// updates the counters. Panics when `topic` is out of range — topic
-    /// ids are dense configuration, not untrusted input.
+    /// updates the counters. Panics when `topic` has no instance — the
+    /// stepping APIs are for topics the driver knows are present
+    /// (lifecycle-aware drivers consult [`TopicEngine::is_live`] /
+    /// [`TopicEngine::has_instance`] first).
     pub fn step(
         &mut self,
         topic: TopicId,
@@ -332,13 +592,14 @@ impl TopicEngine {
         fd: &FdSnapshot,
         buf: &mut StepBuffers,
     ) -> Option<Tag> {
+        let i = self.slot_index_or_panic(topic);
         self.counters.steps += 1;
         match &input {
             StepInput::Tick => self.counters.ticks += 1,
             StepInput::Receive(_) => self.counters.receives += 1,
             StepInput::Broadcast(_) => self.counters.broadcasts += 1,
         }
-        let proc = self.topics[topic.0 as usize].as_mut();
+        let proc = self.slots[i].proc.as_mut();
         let tag = drive_step(proc, input, fd, &mut self.rng, buf);
         self.counters.messages_out += buf.outbox.len() as u64;
         self.counters.deliveries += buf.deliveries.len() as u64;
@@ -381,15 +642,22 @@ impl TopicEngine {
         tag
     }
 
-    /// One Task-1 sweep of **every** topic instance, ascending by topic,
-    /// all effects accumulated into `mux` (cleared first). This is "one
-    /// node tick" on the topic plane: however many instances swept, the
-    /// caller drains exactly one multiplexed frame.
+    /// One Task-1 sweep of **every** topic instance — live *and* draining
+    /// (a draining instance keeps retransmitting; that is what drains it)
+    /// — ascending by topic, all effects accumulated into `mux` (cleared
+    /// first). This is "one node tick" on the topic plane: however many
+    /// instances swept, the caller drains exactly one multiplexed frame.
+    /// Finishes with a [`reap_drained`](TopicEngine::reap_drained) sweep,
+    /// which is free when nothing is draining.
     pub fn tick_all(&mut self, fd: &FdSnapshot, mux: &mut MuxBuffers) {
         mux.clear();
-        for t in 0..self.topics.len() {
-            self.step_mux(TopicId(t as u32), StepInput::Tick, fd, mux);
+        let mut i = 0;
+        while i < self.slots.len() {
+            let topic = self.slots[i].topic;
+            self.step_mux(topic, StepInput::Tick, fd, mux);
+            i += 1;
         }
+        self.reap_drained(fd);
     }
 
     /// Feeds every entry of a received **multiplexed frame** through the
@@ -397,9 +665,21 @@ impl TopicEngine {
     /// persistent scratch (zero copies, zero steady-state allocation),
     /// then steps per message. `before_each` runs before each step and
     /// supplies the failure-detector snapshot it must observe. Effects
-    /// accumulate into `mux` (cleared first). An entry addressed to a
-    /// topic this engine does not serve is a routing bug, reported as
-    /// [`MuxIngressError::UnknownTopic`] before any message is stepped.
+    /// accumulate into `mux` (cleared first).
+    ///
+    /// Lifecycle interplay (DESIGN.md §15):
+    /// * entries addressed to a **retired** topic are dropped inert — a
+    ///   reclaimed instance has no state to consult, and late
+    ///   retransmissions from slower peers are expected;
+    /// * entries addressed to a topic this engine has **never known** are
+    ///   a routing bug (or a create that has not landed yet), reported as
+    ///   [`MuxIngressError::UnknownTopic`] before any message is stepped —
+    ///   lossy-tolerant drivers treat the whole frame like a lost message
+    ///   and rely on retransmission;
+    /// * the frame's [`TopicControl`] section is surfaced into
+    ///   [`MuxBuffers::controls`] for the driver to apply — instantiation
+    ///   policy (which `Algorithm`, whether to honor a create) lives in
+    ///   the driver, not the engine.
     pub fn receive_mux_frame(
         &mut self,
         frame: &Bytes,
@@ -407,42 +687,61 @@ impl TopicEngine {
         mut before_each: impl FnMut(TopicId, &WireMessage) -> FdSnapshot,
     ) -> Result<(), MuxIngressError> {
         let mut entries = std::mem::take(&mut self.mux_scratch);
-        if let Err(e) = MuxBatch::decode_shared_into(frame, &mut entries) {
+        let mut controls = std::mem::take(&mut self.control_scratch);
+        if let Err(e) =
+            MuxBatch::decode_shared_with_controls_into(frame, &mut entries, &mut controls)
+        {
             self.mux_scratch = entries;
+            self.control_scratch = controls;
             return Err(MuxIngressError::Codec(e));
         }
         if let Some(&(topic, _)) = entries
             .iter()
-            .find(|(t, _)| (t.0 as usize) >= self.topics.len())
+            .find(|(t, _)| self.slot_index(*t).is_none() && !self.retired.contains(t))
         {
             self.mux_scratch = entries;
+            self.control_scratch = controls;
             return Err(MuxIngressError::UnknownTopic(topic));
         }
         mux.clear();
         for (topic, msg) in entries.drain(..) {
+            if self.slot_index(topic).is_none() {
+                // Retired: drop inert.
+                continue;
+            }
             let fd = before_each(topic, &msg);
             self.step_mux(topic, StepInput::Receive(msg), &fd, mux);
         }
+        mux.controls.append(&mut controls);
         self.mux_scratch = entries;
+        self.control_scratch = controls;
         Ok(())
     }
 
-    /// True when **every** topic instance is quiescent.
+    /// True when **every** topic instance is quiescent. A draining,
+    /// not-yet-reaped instance blocks quiescence exactly like a live one
+    /// (the drain is bounded by the drain budget, so this resolves).
     pub fn is_quiescent(&self) -> bool {
-        self.topics.iter().all(|p| p.is_quiescent())
+        self.slots
+            .iter()
+            .all(|s| !s.draining && s.proc.is_quiescent())
     }
 
-    /// One topic's quiescence predicate.
+    /// One topic's quiescence predicate (panics when `topic` has no
+    /// instance).
     pub fn topic_is_quiescent(&self, topic: TopicId) -> bool {
-        self.topics[topic.0 as usize].is_quiescent()
+        self.slots[self.slot_index_or_panic(topic)]
+            .proc
+            .is_quiescent()
     }
 
     /// Aggregate state-size snapshot: the field-wise sum over every topic
-    /// instance (single topic: exactly that instance's stats).
+    /// instance (single topic: exactly that instance's stats). Reclaimed
+    /// instances contribute nothing — that is the point of reclamation.
     pub fn stats(&self) -> ProcessStats {
         let mut total = ProcessStats::default();
-        for p in &self.topics {
-            let s = p.stats();
+        for slot in &self.slots {
+            let s = slot.proc.stats();
             total.msg_set += s.msg_set;
             total.my_acks += s.my_acks;
             total.all_ack_entries += s.all_ack_entries;
@@ -452,15 +751,16 @@ impl TopicEngine {
         total
     }
 
-    /// One topic instance's state-size snapshot.
+    /// One topic instance's state-size snapshot (panics when `topic` has
+    /// no instance).
     pub fn stats_for(&self, topic: TopicId) -> ProcessStats {
-        self.topics[topic.0 as usize].stats()
+        self.slots[self.slot_index_or_panic(topic)].proc.stats()
     }
 
     /// The wrapped protocol's short name (all topics run the same
-    /// algorithm; topic 0 is representative).
+    /// algorithm; captured at construction, stable under reclamation).
     pub fn algorithm_name(&self) -> &'static str {
-        self.topics[0].algorithm_name()
+        self.alg_name
     }
 
     /// Cumulative activity counters, aggregated across topics.
@@ -469,9 +769,10 @@ impl TopicEngine {
     }
 
     /// Direct access to one topic's protocol instance (diagnostics only;
-    /// stepping must go through [`TopicEngine::step`]).
+    /// stepping must go through [`TopicEngine::step`]). Panics when
+    /// `topic` has no instance.
     pub fn protocol(&self, topic: TopicId) -> &dyn AnonProcess {
-        self.topics[topic.0 as usize].as_ref()
+        self.slots[self.slot_index_or_panic(topic)].proc.as_ref()
     }
 
     /// A deterministic digest of this engine's *semantic* state across
@@ -496,9 +797,13 @@ impl TopicEngine {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        for (t, p) in self.topics.iter().enumerate() {
-            let s = p.stats();
-            fold(&mut h, t as u64);
+        for slot in &self.slots {
+            let s = slot.proc.stats();
+            // For a statically configured engine the topic ids are dense
+            // (slot.topic.0 == index), so this folds exactly the bytes
+            // the pre-lifecycle digest folded — static digests (and the
+            // explorer's persistent state-hash caches) are unchanged.
+            fold(&mut h, slot.topic.0 as u64);
             for field in [
                 s.msg_set,
                 s.my_acks,
@@ -508,7 +813,17 @@ impl TopicEngine {
             ] {
                 fold(&mut h, field as u64);
             }
-            fold(&mut h, u64::from(p.is_quiescent()));
+            fold(&mut h, u64::from(slot.proc.is_quiescent()));
+            if slot.draining {
+                // Folded only for draining slots, so static engines (and
+                // dynamic ones before any retirement) digest as before.
+                fold(&mut h, 0xD12A_113B_u64);
+                fold(&mut h, slot.drain_ticks as u64);
+            }
+        }
+        for t in &self.retired {
+            fold(&mut h, 0x2E71_12ED_u64);
+            fold(&mut h, t.0 as u64);
         }
         h
     }
@@ -518,8 +833,9 @@ impl TopicEngine {
     /// engine never compacts and behaves byte-identically to the
     /// pre-memory-plane engine.
     pub fn configure_memory(&mut self, cfg: MemoryConfig) {
-        for p in &mut self.topics {
-            p.configure_memory(cfg);
+        self.memory = Some(cfg);
+        for slot in &mut self.slots {
+            slot.proc.configure_memory(cfg);
         }
     }
 
@@ -531,8 +847,8 @@ impl TopicEngine {
     /// [`EngineCounters::tombstoned`].
     pub fn compact_all(&mut self, fd: &FdSnapshot) -> CompactionReport {
         let mut total = CompactionReport::default();
-        for p in &mut self.topics {
-            total.absorb(p.compact(fd));
+        for slot in &mut self.slots {
+            total.absorb(slot.proc.compact(fd));
         }
         self.counters.compactions += 1;
         self.counters.reclaimed += total.reclaimed as u64;
@@ -551,7 +867,7 @@ impl TopicEngine {
     pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         let mut w = SnapshotWriter::new();
         w.put_str(self.algorithm_name());
-        w.put_u64(self.topics.len() as u64);
+        w.put_u64(self.slots.len() as u64);
         w.put_u64(self.rng.state());
         let c = self.counters;
         for v in [
@@ -564,17 +880,32 @@ impl TopicEngine {
             c.compactions,
             c.reclaimed,
             c.tombstoned,
+            c.topics_created,
+            c.topics_retired,
+            c.topics_reclaimed,
         ] {
             w.put_u64(v);
         }
-        for (t, p) in self.topics.iter().enumerate() {
-            let body = p.save_state().ok_or_else(|| {
+        for slot in &self.slots {
+            let body = slot.proc.save_state().ok_or_else(|| {
                 SnapshotError::Malformed(format!(
-                    "algorithm {:?} (topic {t}) does not support snapshots",
-                    self.algorithm_name()
+                    "algorithm {:?} (topic {}) does not support snapshots",
+                    self.algorithm_name(),
+                    slot.topic
                 ))
             })?;
+            w.put_u64(slot.topic.0 as u64);
+            w.put_u64(u64::from(slot.draining));
+            w.put_u64(slot.drain_ticks as u64);
             w.put_bytes(&body);
+        }
+        w.put_u64(self.retired.len() as u64);
+        for t in &self.retired {
+            w.put_u64(t.0 as u64);
+        }
+        w.put_u64(self.subscriptions.len() as u64);
+        for t in &self.subscriptions {
+            w.put_u64(t.0 as u64);
         }
         Ok(w.into_envelope())
     }
@@ -600,10 +931,10 @@ impl TopicEngine {
             )));
         }
         let topics = r.get_u64()? as usize;
-        if topics != self.topics.len() {
+        if topics != self.slots.len() {
             return Err(SnapshotError::Malformed(format!(
                 "snapshot has {topics} topics, engine serves {}",
-                self.topics.len()
+                self.slots.len()
             )));
         }
         let rng_state = r.get_u64()?;
@@ -618,15 +949,44 @@ impl TopicEngine {
             &mut counters.compactions,
             &mut counters.reclaimed,
             &mut counters.tombstoned,
+            &mut counters.topics_created,
+            &mut counters.topics_retired,
+            &mut counters.topics_reclaimed,
         ] {
             *slot = r.get_u64()?;
         }
-        for p in &mut self.topics {
-            p.restore_state(r.get_bytes()?)?;
+        for i in 0..self.slots.len() {
+            let topic = TopicId(r.get_u64()? as u32);
+            if self.slots[i].topic != topic {
+                // The engine must be rebuilt with the snapshot's exact
+                // topic directory; drivers reconstruct dynamic instances
+                // (via the control journal) before restoring.
+                return Err(SnapshotError::Malformed(format!(
+                    "snapshot slot {i} is {topic}, engine has {}",
+                    self.slots[i].topic
+                )));
+            }
+            let draining = r.get_u64()? != 0;
+            let drain_ticks = r.get_u64()? as u32;
+            self.slots[i].proc.restore_state(r.get_bytes()?)?;
+            self.slots[i].draining = draining;
+            self.slots[i].drain_ticks = drain_ticks;
+        }
+        let retired = r.get_u64()? as usize;
+        let mut retired_set = BTreeSet::new();
+        for _ in 0..retired {
+            retired_set.insert(TopicId(r.get_u64()? as u32));
+        }
+        let subs = r.get_u64()? as usize;
+        let mut sub_set = BTreeSet::new();
+        for _ in 0..subs {
+            sub_set.insert(TopicId(r.get_u64()? as u32));
         }
         r.finish()?;
         self.rng = SplitMix64::from_state(rng_state);
         self.counters = counters;
+        self.retired = retired_set;
+        self.subscriptions = sub_set;
         Ok(())
     }
 }
@@ -635,7 +995,8 @@ impl std::fmt::Debug for TopicEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TopicEngine")
             .field("algorithm", &self.algorithm_name())
-            .field("topics", &self.topics.len())
+            .field("topics", &self.slots.len())
+            .field("retired", &self.retired.len())
             .field("counters", &self.counters)
             .finish()
     }
@@ -1373,6 +1734,252 @@ mod tests {
         assert!(!e.is_quiescent());
         assert_eq!(e.stats().msg_set, 1);
         assert_eq!(e.algorithm_name(), "scripted");
+    }
+
+    // ---- dynamic topic control plane (DESIGN.md §15) -------------------
+
+    fn scripted() -> Box<dyn AnonProcess + Send> {
+        Box::new(Scripted {
+            pending: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn create_is_lazy_idempotent_and_inherits_memory_config() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(1, 40);
+        e.configure_memory(MemoryConfig::default());
+        assert!(!e.has_instance(TopicId(5)));
+        assert!(e.create_topic(TopicId(5), scripted()));
+        assert!(!e.create_topic(TopicId(5), scripted()), "idempotent");
+        assert!(e.is_live(TopicId(5)));
+        assert_eq!(e.topic_count(), 2);
+        assert_eq!(e.counters().topics_created, 1);
+        // The late instance participates in ticks and compaction sweeps.
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(5),
+            StepInput::Broadcast(Payload::from("dyn")),
+            &fd,
+            &mut mux,
+        );
+        assert_eq!(e.stats_for(TopicId(5)).msg_set, 1);
+        let report = e.compact_all(&fd);
+        assert_eq!(report.reclaimed, 1, "memory config reached the instance");
+    }
+
+    #[test]
+    fn retire_drains_then_reaps_and_counts_reclaimed() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 41);
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(1),
+            StepInput::Broadcast(Payload::from("pending")),
+            &fd,
+            &mut mux,
+        );
+        assert!(e.retire_topic(TopicId(1)));
+        assert!(!e.retire_topic(TopicId(1)), "already draining");
+        assert!(!e.is_live(TopicId(1)), "draining topics take no broadcasts");
+        assert!(e.has_instance(TopicId(1)), "but the instance still exists");
+        assert!(!e.is_quiescent(), "draining state blocks quiescence");
+        // Scripted never becomes quiescent on its own (pending retained),
+        // so the drain budget decides.
+        e.set_drain_limit(2);
+        e.tick_all(&fd, &mut mux); // drain sweep 1
+        assert!(e.has_instance(TopicId(1)));
+        e.tick_all(&fd, &mut mux); // drain sweep 2
+        e.tick_all(&fd, &mut mux); // budget exceeded: reaped
+        assert!(!e.has_instance(TopicId(1)));
+        assert!(e.is_retired(TopicId(1)));
+        assert_eq!(e.topic_count(), 1);
+        let c = e.counters();
+        assert_eq!(c.topics_retired, 1);
+        assert_eq!(c.topics_reclaimed, 1);
+        assert!(c.reclaimed >= 1, "the pending entry was reclaimed");
+        assert_eq!(e.live_topics().collect::<Vec<_>>(), vec![TopicId(0)]);
+    }
+
+    #[test]
+    fn retired_topic_traffic_is_dropped_inert_and_recreate_starts_clean() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(1, 42);
+        assert!(e.create_topic(TopicId(3), scripted()));
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(3),
+            StepInput::Broadcast(Payload::from("old-life")),
+            &fd,
+            &mut mux,
+        );
+        e.retire_topic(TopicId(3));
+        e.set_drain_limit(0);
+        e.tick_all(&fd, &mut mux);
+        assert!(e.is_retired(TopicId(3)));
+        // A late retransmission for the retired topic is dropped inert —
+        // not an error, no step, no delivery.
+        let late = MuxBatch::from_entries(&[(
+            TopicId(3),
+            WireMessage::Msg {
+                tag: Tag(77),
+                payload: Payload::from("late"),
+            },
+        )]);
+        let receives_before = e.counters().receives;
+        e.receive_mux_frame(&late.encode(), &mut mux, |_, _| FdSnapshot::none())
+            .expect("retired traffic is inert, not an error");
+        assert!(mux.deliveries.is_empty());
+        assert_eq!(e.counters().receives, receives_before, "no step ran");
+        // A never-known topic still errors.
+        let foreign = MuxBatch::from_entries(&[(
+            TopicId(9),
+            WireMessage::Msg {
+                tag: Tag(1),
+                payload: Payload::from("x"),
+            },
+        )]);
+        assert_eq!(
+            e.receive_mux_frame(&foreign.encode(), &mut mux, |_, _| FdSnapshot::none())
+                .unwrap_err(),
+            MuxIngressError::UnknownTopic(TopicId(9))
+        );
+        // Re-creating the retired id clears the tombstone and starts clean.
+        assert!(e.create_topic(TopicId(3), scripted()));
+        assert!(!e.is_retired(TopicId(3)));
+        assert!(e.is_live(TopicId(3)));
+        assert_eq!(e.stats_for(TopicId(3)).msg_set, 0, "no state carried over");
+    }
+
+    #[test]
+    fn quiescent_drain_reaps_before_the_budget() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 43);
+        // Topic 1 never broadcast: it is quiescent, so retirement reaps it
+        // on the very next sweep regardless of the (large) budget.
+        assert!(e.retire_topic(TopicId(1)));
+        let mut mux = MuxBuffers::new();
+        e.tick_all(&fd, &mut mux);
+        assert!(!e.has_instance(TopicId(1)));
+        assert_eq!(e.counters().topics_reclaimed, 1);
+    }
+
+    #[test]
+    fn controls_surface_on_ingress_and_ride_on_egress() {
+        let fd = FdSnapshot::none();
+        let pool = BufPool::new(2);
+        let mut sender = topic_engine(1, 44);
+        let mut mux = MuxBuffers::new();
+        sender.step_mux(
+            TopicId(0),
+            StepInput::Broadcast(Payload::from("payload")),
+            &fd,
+            &mut mux,
+        );
+        let ctl = TopicControl::Create {
+            topic: TopicId(2),
+            algorithm: 0,
+            param: 0,
+        };
+        mux.controls.push(ctl);
+        let frame = mux.take_mux_frame(&pool).expect("payload + control");
+        let bytes = Bytes::copy_from_slice(&frame);
+        drop(frame);
+        assert!(mux.controls.is_empty(), "controls drained with the frame");
+        let mut receiver = topic_engine(1, 45);
+        let mut rx = MuxBuffers::new();
+        receiver
+            .receive_mux_frame(&bytes, &mut rx, |_, _| FdSnapshot::none())
+            .unwrap();
+        assert_eq!(rx.controls, vec![ctl], "driver sees the control section");
+        assert_eq!(rx.deliveries.len(), 1, "payload stepped as usual");
+        // Control-only frame: no payload entries at all.
+        mux.clear();
+        mux.controls
+            .push(TopicControl::Retire { topic: TopicId(0) });
+        let frame = mux.take_mux_frame(&pool).expect("control-only frame");
+        let bytes = Bytes::copy_from_slice(&frame);
+        drop(frame);
+        receiver
+            .receive_mux_frame(&bytes, &mut rx, |_, _| FdSnapshot::none())
+            .unwrap();
+        assert_eq!(
+            rx.controls,
+            vec![TopicControl::Retire { topic: TopicId(0) }]
+        );
+        assert!(rx.is_silent());
+    }
+
+    #[test]
+    fn subscriptions_are_bookkeeping() {
+        let mut e = topic_engine(1, 46);
+        assert!(!e.is_subscribed(TopicId(0)));
+        assert!(e.subscribe(TopicId(0)));
+        assert!(!e.subscribe(TopicId(0)), "second subscribe is a no-op");
+        assert!(e.is_subscribed(TopicId(0)));
+        assert!(e.unsubscribe(TopicId(0)));
+        assert!(!e.unsubscribe(TopicId(0)));
+    }
+
+    #[test]
+    fn lifecycle_changes_the_fingerprint_but_static_engines_digest_stably() {
+        let fd = FdSnapshot::none();
+        let a = topic_engine(2, 47);
+        let b = topic_engine(2, 48);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "digest covers state, not seed"
+        );
+        let mut c = topic_engine(2, 47);
+        let base = c.fingerprint();
+        c.create_topic(TopicId(7), scripted());
+        let created = c.fingerprint();
+        assert_ne!(base, created, "a live instance is semantic state");
+        c.retire_topic(TopicId(7));
+        let draining = c.fingerprint();
+        assert_ne!(created, draining, "draining is semantic state");
+        let mut mux = MuxBuffers::new();
+        c.set_drain_limit(0);
+        c.tick_all(&fd, &mut mux);
+        let retired = c.fingerprint();
+        assert_ne!(draining, retired, "the tombstone is semantic state");
+        assert_ne!(base, retired, "retired ≠ never-created");
+    }
+
+    #[test]
+    fn snapshot_round_trips_lifecycle_state() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 49);
+        e.create_topic(TopicId(4), scripted());
+        e.subscribe(TopicId(4));
+        let mut mux = MuxBuffers::new();
+        e.step_mux(
+            TopicId(4),
+            StepInput::Broadcast(Payload::from("dyn")),
+            &fd,
+            &mut mux,
+        );
+        e.retire_topic(TopicId(1));
+        e.set_drain_limit(0);
+        e.tick_all(&fd, &mut mux);
+        assert!(e.is_retired(TopicId(1)));
+        let bytes = e.save_snapshot().unwrap();
+        // The restore target must present the same topic directory.
+        let mut back = topic_engine(2, 50);
+        back.set_drain_limit(0);
+        assert!(matches!(
+            back.restore_snapshot(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let mut back = topic_engine(1, 50);
+        back.create_topic(TopicId(4), scripted());
+        back.restore_snapshot(&bytes).unwrap();
+        assert_eq!(back.fingerprint(), e.fingerprint());
+        assert_eq!(back.counters(), e.counters());
+        assert!(back.is_retired(TopicId(1)));
+        assert!(back.is_subscribed(TopicId(4)));
+        assert_eq!(back.stats_for(TopicId(4)).msg_set, 1);
     }
 
     // ---- memory plane (DESIGN.md §14) ----------------------------------

@@ -29,7 +29,7 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
 use urb_engine::{MuxBuffers, StepInput, TopicEngine};
-use urb_types::{BufPool, Payload, SplitMix64, TopicId};
+use urb_types::{BufPool, Payload, SplitMix64, TopicControl, TopicId};
 
 /// Configuration of one daemon node (the `urb node` subcommand's flags).
 #[derive(Clone, Debug)]
@@ -141,8 +141,33 @@ pub struct NodeReport {
     pub complete: bool,
     /// Per-topic delivery sets, ascending by topic.
     pub per_topic: Vec<TopicDeliveries>,
+    /// Topics live at exit (dynamic control plane — DESIGN.md §15).
+    pub topics_live: usize,
+    /// Retired topic instances whose state was fully reclaimed.
+    pub topics_reclaimed: u64,
     /// Socket-plane traffic counters.
     pub net: NetStats,
+}
+
+/// Sends one lifecycle control operation to a running daemon node at
+/// `addr` (its listen address) as a one-shot client: connect, write one
+/// length-prefixed control-only frame, close. The daemon applies the
+/// control and gossips it to the rest of the cluster exactly like a
+/// control received from a peer (idempotent flood — DESIGN.md §15).
+/// This is what `urb topic create|retire|subscribe|unsubscribe` runs.
+pub fn send_control(addr: &str, ctl: TopicControl) -> Result<(), NetError> {
+    use std::io::Write;
+    let mut frame = bytes::BytesMut::new();
+    urb_types::encode_mux_frame_with_controls_into(&[], &[ctl], &mut frame);
+    let mut wire = Vec::with_capacity(frame.len() + 4);
+    crate::transport::write_stream_frame(&frame, &mut wire);
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| NetError::Config(format!("connect {addr}: {e}")))?;
+    stream
+        .write_all(&wire)
+        .and_then(|()| stream.flush())
+        .map_err(|e| NetError::Config(format!("send control to {addr}: {e}")))?;
+    Ok(())
 }
 
 /// The payload node `node` broadcasts as its `i`-th message on `topic` —
@@ -200,6 +225,7 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
     );
     let mut mux = MuxBuffers::new();
     let pool = BufPool::default();
+    let mut control_scratch: Vec<TopicControl> = Vec::new();
     let mut delivered: Vec<BTreeSet<String>> = vec![BTreeSet::new(); cfg.topics.max(1) as usize];
 
     // Durable state (DESIGN.md §14): recover before the first broadcast.
@@ -230,14 +256,19 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
 
     // Drains one step's deliveries into the per-topic sets, journaling
     // each *new* payload before it is reported anywhere (the journal
-    // must never lag the sets).
+    // must never lag the sets). The sets grow on demand: dynamically
+    // created topics (DESIGN.md §15) deliver under ids beyond the dense
+    // configured range.
     fn record_deliveries(
         mux: &mut MuxBuffers,
-        delivered: &mut [BTreeSet<String>],
+        delivered: &mut Vec<BTreeSet<String>>,
         state: &mut Option<StateDir>,
     ) -> Result<(), NetError> {
         for (t, d) in mux.deliveries.drain(..) {
             let text = d.payload.as_text();
+            if delivered.len() <= t.0 as usize {
+                delivered.resize(t.0 as usize + 1, BTreeSet::new());
+            }
             if delivered[t.0 as usize].insert(text.clone()) {
                 if let Some(s) = state.as_mut() {
                     s.append_delivery(t, &text)
@@ -325,11 +356,24 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
                     // a lost message (never panic on network input).
                     continue;
                 }
+                // Lifecycle gossip (DESIGN.md §15): apply what the
+                // frame's control section carried — peer gossip or a
+                // one-shot `urb topic` client — and push back exactly
+                // what changed state, which the flush below forwards.
+                crate::node::apply_surfaced_controls(
+                    &mut engine,
+                    cfg.n,
+                    &mut mux,
+                    &mut control_scratch,
+                );
             }
             Err(RecvTimeoutError::Timeout) => {
                 if Instant::now() >= next_tick {
                     let snapshot = registry.snapshot(cfg.id, Instant::now());
                     engine.tick_all(&snapshot, &mut mux);
+                    // Ticks are the reap points (the quiescence rule):
+                    // draining instances free their state here.
+                    engine.reap_drained(&snapshot);
                     next_tick = Instant::now() + cfg.tick_interval;
                 }
             }
@@ -359,9 +403,13 @@ pub fn run_node(cfg: &NodeConfig) -> Result<NodeReport, NetError> {
     }
 
     mesh.shutdown();
+    let topics_live = engine.live_topics().count();
+    let topics_reclaimed = engine.counters().topics_reclaimed;
     Ok(NodeReport {
         id: cfg.id,
         complete,
+        topics_live,
+        topics_reclaimed,
         per_topic: delivered
             .into_iter()
             .enumerate()

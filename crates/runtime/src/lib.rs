@@ -40,8 +40,8 @@ pub mod state;
 pub mod transport;
 
 pub use daemon::{
-    expected_payloads, run_node, run_reference, workload_payload, NodeConfig, NodeReport,
-    TopicDeliveries,
+    expected_payloads, run_node, run_reference, send_control, workload_payload, NodeConfig,
+    NodeReport, TopicDeliveries,
 };
 pub use registry::MembershipRegistry;
 pub use router::TrafficStats;
@@ -53,7 +53,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
-use urb_types::{Delivery, Payload, Tag, TopicId};
+use urb_types::{Delivery, Payload, Tag, TopicControl, TopicId};
 
 /// One per-topic delivery subscription: the topic filter and the
 /// subscriber's channel (fed `(pid, delivery)` pairs).
@@ -130,8 +130,13 @@ impl ClusterConfig {
 /// Commands a node thread accepts.
 pub(crate) enum Command {
     /// Invoke `URB_broadcast(payload)` on one topic instance; reply with
-    /// the assigned tag.
-    Broadcast(TopicId, Payload, Sender<Tag>),
+    /// the assigned tag, or `None` when the topic is not live at that
+    /// node (refused invocation — DESIGN.md §15).
+    Broadcast(TopicId, Payload, Sender<Option<Tag>>),
+    /// Apply one lifecycle control operation (create/retire/subscribe/
+    /// unsubscribe — DESIGN.md §15) and gossip it to the rest of the
+    /// cluster if it changed state; reply with whether it did.
+    Control(TopicControl, Sender<bool>),
     /// Crash-stop immediately.
     Crash,
     /// Graceful shutdown (test teardown; not a crash).
@@ -278,15 +283,13 @@ impl UrbCluster {
     }
 
     /// Invokes `URB_broadcast(payload)` at process `pid` on `topic`.
-    /// Returns the tag, or `None` if the process is crashed/shut down.
-    /// Panics when `topic` is out of range for the cluster's
-    /// configuration — topics are dense configured instances.
+    /// Returns the tag, or `None` if the process is crashed/shut down —
+    /// or if `topic` is not **live** at that node (never configured, not
+    /// yet created, retired): a refused invocation, DESIGN.md §15.
+    /// Dynamically created topics (see [`UrbCluster::create_topic`]) are
+    /// broadcastable the moment the create reaches the node, so ids at or
+    /// above the configured dense range are legal here.
     pub fn broadcast_on(&self, pid: usize, topic: TopicId, payload: Payload) -> Option<Tag> {
-        assert!(
-            topic.0 < self.config.topics.max(1),
-            "topic {topic} out of range for a {}-topic cluster",
-            self.config.topics.max(1)
-        );
         // A crashed/stopped process refuses immediately. Without this check
         // a broadcast racing the node's exit would sit in the dead input
         // queue and only fail via the reply timeout below.
@@ -297,7 +300,64 @@ impl UrbCluster {
         self.input_txs[pid]
             .send(NodeInput::Cmd(Command::Broadcast(topic, payload, tx)))
             .ok()?;
-        rx.recv_timeout(Duration::from_secs(10)).ok()
+        rx.recv_timeout(Duration::from_secs(10)).ok().flatten()
+    }
+
+    /// Sends one lifecycle control operation to process `pid`, which
+    /// applies it locally and gossips it to the rest of the cluster when
+    /// it changed state (idempotent flood — DESIGN.md §15). Returns
+    /// whether the operation changed that node's state (`false` also
+    /// covers a crashed/stopped target).
+    fn control(&self, pid: usize, ctl: TopicControl) -> bool {
+        if self.stop_flags[pid].load(std::sync::atomic::Ordering::Acquire) {
+            return false;
+        }
+        let (tx, rx) = bounded(1);
+        if self.input_txs[pid]
+            .send(NodeInput::Cmd(Command::Control(ctl, tx)))
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv_timeout(Duration::from_secs(10)).unwrap_or(false)
+    }
+
+    /// Creates `topic` cluster-wide, entering it at process `pid` and
+    /// letting the control gossip carry it to every other node (lazy
+    /// instantiation: each node materialises the instance when the create
+    /// reaches it). Returns `false` when the entry node already had the
+    /// topic live (the operation is idempotent).
+    pub fn create_topic(&self, pid: usize, topic: TopicId, algorithm: Algorithm) -> bool {
+        let (code, param) = algorithm.to_wire();
+        self.control(
+            pid,
+            TopicControl::Create {
+                topic,
+                algorithm: code,
+                param,
+            },
+        )
+    }
+
+    /// Retires `topic` cluster-wide, entering at process `pid`: the
+    /// instance stops accepting broadcasts immediately and drains its
+    /// in-flight tags before its state is reclaimed on a later tick
+    /// (DESIGN.md §15). Returns `false` when the entry node had no live
+    /// instance to retire.
+    pub fn retire_topic(&self, pid: usize, topic: TopicId) -> bool {
+        self.control(pid, TopicControl::Retire { topic })
+    }
+
+    /// Marks process `pid` as interested in `topic`'s deliveries at the
+    /// engine layer (engine-level subscription bookkeeping; delivery
+    /// routing to [`UrbCluster::subscribe`] channels is unaffected).
+    pub fn subscribe_topic(&self, pid: usize, topic: TopicId) -> bool {
+        self.control(pid, TopicControl::Subscribe { topic })
+    }
+
+    /// Clears process `pid`'s engine-level interest in `topic`.
+    pub fn unsubscribe_topic(&self, pid: usize, topic: TopicId) -> bool {
+        self.control(pid, TopicControl::Unsubscribe { topic })
     }
 
     /// Everything process `pid` has URB-delivered so far, in order,
@@ -492,6 +552,61 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dynamic_topic_create_broadcast_retire_roundtrip() {
+        // DESIGN.md §15 end to end on real threads: create a topic at
+        // runtime through one node, let the control gossip carry it to
+        // the others, run a broadcast over it, then retire it and watch
+        // broadcasts get refused.
+        let cluster = UrbCluster::spawn(ClusterConfig::new(3, Algorithm::Quiescent));
+        let dyn_topic = TopicId(7);
+
+        // Before the create, the topic is refused everywhere.
+        assert!(cluster.broadcast_on(0, dyn_topic, "early".into()).is_none());
+
+        assert!(cluster.create_topic(0, dyn_topic, Algorithm::Majority));
+        // Idempotent at the entry node: a second create changes nothing.
+        assert!(!cluster.create_topic(0, dyn_topic, Algorithm::Majority));
+
+        // The create gossips to nodes 1 and 2 on node 0's next outgoing
+        // frame; a broadcast from node 0 forces one immediately. Nodes
+        // that see the MSG before the create drop it inertly, so poll
+        // from a non-entry node until the topic is live there.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let tag = loop {
+            if let Some(tag) = cluster.broadcast_on(1, dyn_topic, "dyn".into()) {
+                break tag;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "create gossip never reached node 1"
+            );
+            // Nudge traffic so the control rides a frame even if node 0
+            // is otherwise idle between ticks.
+            let _ = cluster.broadcast_on(0, TopicId::ZERO, "nudge".into());
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let who = cluster.await_delivery_everywhere(tag, Duration::from_secs(10));
+        assert_eq!(who, vec![0, 1, 2], "dynamic topic delivers everywhere");
+
+        // Retire: the entry node refuses broadcasts immediately.
+        assert!(cluster.retire_topic(1, dyn_topic));
+        assert!(cluster.broadcast_on(1, dyn_topic, "late".into()).is_none());
+        // And the retire gossips: eventually every node refuses.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if cluster.broadcast_on(2, dyn_topic, "late2".into()).is_none() {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "retire gossip never reached node 2"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
         cluster.shutdown();
     }
 

@@ -30,7 +30,53 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urb_core::Algorithm;
 use urb_engine::{MuxBuffers, StepInput, TopicEngine};
-use urb_types::{encode_mux_frame_into, BufPool, Delivery, SplitMix64, TopicId};
+use urb_types::{encode_mux_frame_into, BufPool, Delivery, SplitMix64, TopicControl, TopicId};
+
+/// Applies one lifecycle control operation to a node's engine (DESIGN.md
+/// §15). Returns `true` when the engine's state actually changed — the
+/// gossip-forwarding predicate: every driver (threaded node, daemon)
+/// re-gossips a control exactly when applying it changed something, so
+/// the flood over an idempotent operation terminates at the first node
+/// that already knew.
+pub(crate) fn apply_control(engine: &mut TopicEngine, n: usize, ctl: TopicControl) -> bool {
+    match ctl {
+        TopicControl::Create {
+            topic,
+            algorithm,
+            param,
+        } => match Algorithm::from_wire(algorithm, param) {
+            Some(alg) => engine.create_topic(topic, alg.instantiate(n)),
+            // Unknown algorithm code (newer peer): refuse locally and do
+            // not forward — never instantiate state we cannot run.
+            None => false,
+        },
+        TopicControl::Retire { topic } => engine.retire_topic(topic),
+        TopicControl::Subscribe { topic } => engine.subscribe(topic),
+        TopicControl::Unsubscribe { topic } => engine.unsubscribe(topic),
+    }
+}
+
+/// Drains the controls a received frame surfaced into `mux.controls`,
+/// applies each, and pushes back exactly those that changed local state —
+/// which [`MuxBuffers::take_mux_frame`] then rides on the next outgoing
+/// frame (gossip onward). Returns how many controls changed state.
+pub(crate) fn apply_surfaced_controls(
+    engine: &mut TopicEngine,
+    n: usize,
+    mux: &mut MuxBuffers,
+    scratch: &mut Vec<TopicControl>,
+) -> usize {
+    scratch.clear();
+    scratch.append(&mut mux.controls);
+    let mut changed = 0;
+    for &ctl in scratch.iter() {
+        if apply_control(engine, n, ctl) {
+            mux.controls.push(ctl);
+            changed += 1;
+        }
+    }
+    changed
+}
 
 /// Everything a node thread needs at spawn time.
 pub(crate) struct NodeSetup {
@@ -92,6 +138,7 @@ fn node_main(setup: NodeSetup) {
     let lanes = egress.len().max(1);
     let mut lane_outboxes: Vec<Vec<(TopicId, urb_types::WireMessage)>> =
         (0..lanes).map(|_| Vec::new()).collect();
+    let mut control_scratch: Vec<TopicControl> = Vec::new();
     let mut next_tick = Instant::now() + tick_interval;
 
     loop {
@@ -104,10 +151,28 @@ fn node_main(setup: NodeSetup) {
         let timeout = next_tick.saturating_duration_since(Instant::now());
         match inputs.recv_timeout(timeout) {
             Ok(NodeInput::Cmd(Command::Broadcast(topic, payload, reply))) => {
-                let snapshot = registry.snapshot(pid, Instant::now());
-                let tag =
-                    engine.step_mux(topic, StepInput::Broadcast(payload), &snapshot, &mut mux);
-                let _ = reply.send(tag.expect("urb_broadcast assigns a tag"));
+                // Refused invocation (DESIGN.md §15): broadcasts land
+                // only on live instances. A retired, draining or
+                // never-created topic answers `None` instead of
+                // panicking — the client decides what that means.
+                if engine.is_live(topic) {
+                    let snapshot = registry.snapshot(pid, Instant::now());
+                    let tag =
+                        engine.step_mux(topic, StepInput::Broadcast(payload), &snapshot, &mut mux);
+                    let _ = reply.send(Some(tag.expect("urb_broadcast assigns a tag")));
+                } else {
+                    let _ = reply.send(None);
+                }
+            }
+            Ok(NodeInput::Cmd(Command::Control(ctl, reply))) => {
+                // Apply locally; on change, ride the control on the next
+                // outgoing frame so the rest of the cluster converges
+                // (idempotent flood — see `apply_control`).
+                let changed = apply_control(&mut engine, n, ctl);
+                if changed {
+                    mux.controls.push(ctl);
+                }
+                let _ = reply.send(changed);
             }
             Ok(NodeInput::Cmd(Command::Crash | Command::Shutdown)) => {
                 // Crash-stop: drop everything on the floor and exit. (The
@@ -122,10 +187,17 @@ fn node_main(setup: NodeSetup) {
                         registry.snapshot(pid, Instant::now())
                     })
                     .expect("malformed frame from router — codec bug");
+                // Lifecycle gossip: apply what the frame's control
+                // section carried; whatever changed state is pushed back
+                // into `mux.controls` and forwarded on the flush below.
+                apply_surfaced_controls(&mut engine, n, &mut mux, &mut control_scratch);
             }
             Err(RecvTimeoutError::Timeout) => {
                 let snapshot = registry.snapshot(pid, Instant::now());
                 engine.tick_all(&snapshot, &mut mux);
+                // Ticks are the reap points (the quiescence rule):
+                // draining instances free their state here.
+                engine.reap_drained(&snapshot);
                 next_tick = Instant::now() + tick_interval;
             }
             Err(RecvTimeoutError::Disconnected) => return, // cluster gone
@@ -145,17 +217,33 @@ fn node_main(setup: NodeSetup) {
                     return; // router gone — cluster shutting down
                 }
             }
-        } else if !mux.outbox.is_empty() {
+        } else if !mux.outbox.is_empty() || !mux.controls.is_empty() {
             for entry in mux.outbox.drain(..) {
                 let lane = entry.0 .0 as usize % lanes;
                 lane_outboxes[lane].push(entry);
             }
+            // Controls shard like payload traffic: lane = topic % lanes.
+            control_scratch.clear();
+            control_scratch.append(&mut mux.controls);
             for (lane, outbox) in lane_outboxes.iter_mut().enumerate() {
-                if outbox.is_empty() {
+                let lane_controls: Vec<TopicControl> = control_scratch
+                    .iter()
+                    .copied()
+                    .filter(|c| c.topic().0 as usize % lanes == lane)
+                    .collect();
+                if outbox.is_empty() && lane_controls.is_empty() {
                     continue;
                 }
                 let mut scratch = pool.acquire();
-                encode_mux_frame_into(outbox, &mut scratch);
+                if lane_controls.is_empty() {
+                    encode_mux_frame_into(outbox, &mut scratch);
+                } else {
+                    urb_types::encode_mux_frame_with_controls_into(
+                        outbox,
+                        &lane_controls,
+                        &mut scratch,
+                    );
+                }
                 outbox.clear();
                 let frame = Bytes::copy_from_slice(&scratch);
                 drop(scratch); // encode buffer back to the pool

@@ -187,8 +187,28 @@ pub fn check_urb_per_topic(
     broadcasts: &[BroadcastRecord],
     deliveries: &[DeliveryRecord],
 ) -> Vec<TopicReport> {
-    let mut topics: Vec<TopicId> = (0..configured.max(1))
-        .map(TopicId)
+    let known: Vec<TopicId> = (0..configured.max(1)).map(TopicId).collect();
+    check_urb_per_topics(n, correct, &known, broadcasts, deliveries)
+}
+
+/// [`check_urb_per_topic`] over an **explicit** topic directory — the
+/// dynamic-lifecycle entry point (DESIGN.md §15). `known` is every topic
+/// that was ever live in the run (static config ∪ `[[topics.events]]`
+/// creates); each gets a report row even when silent, and a *retired*
+/// topic is still judged on its pre-retirement records — retirement
+/// truncates "eventually", it does not erase obligations already
+/// incurred. Topics appearing only in the records (defensive) are
+/// included too.
+pub fn check_urb_per_topics(
+    n: usize,
+    correct: &[bool],
+    known: &[TopicId],
+    broadcasts: &[BroadcastRecord],
+    deliveries: &[DeliveryRecord],
+) -> Vec<TopicReport> {
+    let mut topics: Vec<TopicId> = known
+        .iter()
+        .copied()
         .chain(broadcasts.iter().map(|b| b.topic))
         .chain(deliveries.iter().map(|d| d.topic))
         .collect();
@@ -381,6 +401,40 @@ mod tests {
         assert_eq!(reports[1].deliveries, 0, "silent topic visible");
         assert_eq!(reports[2].deliveries, 0);
         assert!(reports[1].report.all_ok(), "no records → vacuously clean");
+    }
+
+    #[test]
+    fn explicit_topic_directory_drives_the_report_rows() {
+        // Dynamic-lifecycle entry point: the directory lists topics 0 and
+        // 7 (a dynamically created id); records mention only 7. Both get
+        // rows, and a record-only topic outside the directory still
+        // surfaces defensively.
+        let correct = vec![true, true];
+        let mut b7 = b(0, 1, 10);
+        b7.topic = TopicId(7);
+        let mut d7a = d(0, 1, 20);
+        d7a.topic = TopicId(7);
+        let mut d7b = d(1, 1, 21);
+        d7b.topic = TopicId(7);
+        let mut d9 = d(0, 2, 5);
+        d9.topic = TopicId(9);
+        let mut b9 = b(0, 2, 1);
+        b9.topic = TopicId(9);
+        let mut d9b = d(1, 2, 6);
+        d9b.topic = TopicId(9);
+        let reports = check_urb_per_topics(
+            2,
+            &correct,
+            &[TopicId(0), TopicId(7)],
+            &[b7, b9],
+            &[d7a, d7b, d9, d9b],
+        );
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].topic, TopicId(0));
+        assert_eq!(reports[0].deliveries, 0, "silent directory entry kept");
+        assert_eq!(reports[1].topic, TopicId(7));
+        assert!(reports[1].report.all_ok(), "{:?}", reports[1].report);
+        assert_eq!(reports[2].topic, TopicId(9), "record-only topic surfaces");
     }
 
     #[test]

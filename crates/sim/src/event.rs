@@ -85,6 +85,16 @@ pub enum Event {
     },
     /// Periodic state-size sampling (experiment E9).
     SampleStats,
+    /// A planned topic-lifecycle event fires (DESIGN.md §15): the driver
+    /// applies entry `index` of the run's `[[topics.events]]` plan —
+    /// create or retire — at **every** live process at this instant.
+    /// Lifecycle is deterministic global configuration in the simulator
+    /// (like crash plans); the wire-level `TopicControl` gossip is
+    /// exercised by the engine tests and the runtime/daemon plane.
+    TopicEvent {
+        /// Index into the configured lifecycle plan.
+        index: usize,
+    },
 }
 
 /// A scheduled event.

@@ -71,6 +71,7 @@ pub use metrics::{BroadcastRecord, DeliveryRecord, Metrics};
 pub use parallel::{run_many, run_many_on};
 pub use sim::{
     run, Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
+    TopicAction, TopicEventCfg,
 };
 pub use soak::{soak, SoakConfig, SoakOutcome, SoakSample};
 pub use spec::{CheckBounds, Expectations, ScenarioSpec, SpecError};

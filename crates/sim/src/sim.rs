@@ -24,7 +24,7 @@
 //! every experiment gets its full verdict from a single call to [`run`].
 
 use crate::channel::{ChannelMatrix, DelayModel, LossModel};
-use crate::checker::{check_urb, check_urb_per_topic, CheckReport, TopicReport};
+use crate::checker::{check_urb, check_urb_per_topics, CheckReport, TopicReport};
 use crate::crash::{CrashPlan, CrashRule};
 use crate::event::{Event, EventQueue, SchedulerPolicy};
 use crate::metrics::{BroadcastRecord, DeliveryRecord, Metrics, StatsSample};
@@ -56,10 +56,60 @@ pub struct PlannedBroadcast {
     /// Invoking process.
     pub pid: usize,
     /// Target URB instance ([`TopicId::ZERO`] on single-topic runs; must
-    /// be `< SimConfig::topics`).
+    /// be `< SimConfig::topics` or created by a [`TopicEventCfg`] — the
+    /// invocation is refused unless the topic is live at `time`).
     pub topic: TopicId,
     /// The application message.
     pub payload: Payload,
+}
+
+/// A planned topic-lifecycle change (DESIGN.md §15). In the simulator,
+/// lifecycle is deterministic **global configuration** — like crash plans:
+/// the event applies at every non-crashed process at `time`, atomically
+/// from the run's point of view. The wire-level [`urb_types::TopicControl`]
+/// gossip (where nodes learn lifecycle from each other's frames, with
+/// races) is exercised by the engine tests and the runtime/daemon plane;
+/// keeping the simulator's plan global costs no randomness, which is what
+/// pins static runs byte-identical.
+#[derive(Clone, Debug)]
+pub struct TopicEventCfg {
+    /// Instant the change applies.
+    pub time: u64,
+    /// What changes.
+    pub action: TopicAction,
+}
+
+/// The two lifecycle transitions a plan can schedule.
+#[derive(Clone, Copy, Debug)]
+pub enum TopicAction {
+    /// Bring a topic live (lazy instantiation): every process creates a
+    /// fresh protocol instance for `topic`. Idempotent — creating an
+    /// already-live topic is a no-op. A previously retired id is
+    /// re-created clean.
+    Create {
+        /// The topic to instantiate.
+        topic: TopicId,
+        /// Algorithm for the new instance; `None` inherits the run's
+        /// [`SimConfig::algorithm`].
+        algorithm: Option<Algorithm>,
+    },
+    /// Retire a live topic: it stops accepting broadcasts, drains
+    /// in-flight tags (retransmitting as usual) until quiescent or the
+    /// drain budget expires, then its state is compacted and freed
+    /// ([`urb_engine::TopicEngine::reap_drained`]).
+    Retire {
+        /// The topic to retire.
+        topic: TopicId,
+    },
+}
+
+impl TopicAction {
+    /// The topic this action touches.
+    pub fn topic(&self) -> TopicId {
+        match *self {
+            TopicAction::Create { topic, .. } | TopicAction::Retire { topic } => topic,
+        }
+    }
 }
 
 /// A directed-link loss override (partition adversaries).
@@ -198,6 +248,17 @@ pub struct SimConfig {
     /// either way; only `Metrics::frames_sent` and event-queue granularity
     /// differ.
     pub mux_frames: bool,
+    /// Planned topic-lifecycle events (DESIGN.md §15), applied in time
+    /// order at every non-crashed process. Empty (the default) keeps the
+    /// run byte-identical to the static-topic simulator: the tick sweep
+    /// visits exactly the configured `0..topics` directory, no drain
+    /// bookkeeping runs, and no extra randomness is drawn.
+    pub topic_events: Vec<TopicEventCfg>,
+    /// Drain budget for retiring topics: how many Task-1 sweeps a draining
+    /// instance may survive without reaching quiescence before it is
+    /// reaped anyway (state compacted and freed). Only consulted when
+    /// `topic_events` is non-empty.
+    pub drain_ticks: u32,
     /// Bounded-memory mode (DESIGN.md §14): when set, every engine runs
     /// with this compaction configuration and one compaction sweep fires
     /// after each node tick. `None` (the default) keeps the simulator
@@ -242,8 +303,22 @@ impl SimConfig {
             scheduler: SchedulerPolicy::Fifo,
             topics: 1,
             mux_frames: true,
+            topic_events: Vec::new(),
+            drain_ticks: urb_engine::DEFAULT_DRAIN_LIMIT,
             memory: None,
         }
+    }
+
+    /// Schedules a topic-lifecycle event (builder style).
+    pub fn topic_event(mut self, time: u64, action: TopicAction) -> Self {
+        self.topic_events.push(TopicEventCfg { time, action });
+        self
+    }
+
+    /// Sets the drain budget for retiring topics (builder style).
+    pub fn drain_ticks(mut self, ticks: u32) -> Self {
+        self.drain_ticks = ticks;
+        self
     }
 
     /// Switches the run into bounded-memory mode (builder style).
@@ -400,6 +475,14 @@ impl RunOutcome {
     pub fn all_ok(&self) -> bool {
         self.report.all_ok() && !matches!(&self.fd_audit, Some(Err(_)))
     }
+
+    /// Total topic instances reclaimed across all processes (the
+    /// lifecycle plane's state-reclamation proof, DESIGN.md §15): a
+    /// retire applied at `k` live processes eventually counts `k` here.
+    /// Zero on static runs.
+    pub fn topics_reclaimed(&self) -> u64 {
+        self.counters.iter().map(|c| c.topics_reclaimed).sum()
+    }
 }
 
 struct Runner {
@@ -436,6 +519,12 @@ struct Runner {
     inflight_protocol: usize,
     /// Client broadcasts not yet executed.
     pending_broadcasts: usize,
+    /// Topic-lifecycle events not yet applied (quiescence must wait for
+    /// them — a pending retire is work the run still owes).
+    pending_topic_events: usize,
+    /// Reusable per-tick sweep directory (the node's current instance
+    /// topics — zero steady-state allocation, like the other scratch).
+    sweep: Vec<TopicId>,
     /// Distinct-tag delivery count per process (stop_on_full_delivery).
     deliveries_per_pid: Vec<usize>,
     tracer: TraceRecorder,
@@ -448,10 +537,18 @@ pub fn run(config: SimConfig) -> RunOutcome {
     assert!(n >= 1);
     assert_eq!(config.crashes.n(), n, "crash plan size mismatch");
     let topics = config.topics.max(1);
+    let dynamic: std::collections::BTreeSet<TopicId> = config
+        .topic_events
+        .iter()
+        .filter_map(|e| match e.action {
+            TopicAction::Create { topic, .. } => Some(topic),
+            TopicAction::Retire { .. } => None,
+        })
+        .collect();
     for b in &config.broadcasts {
         assert!(
-            b.topic.0 < topics,
-            "broadcast targets topic {} but the run has {} topic(s)",
+            b.topic.0 < topics || dynamic.contains(&b.topic),
+            "broadcast targets topic {} but the run has {} topic(s) and no create event for it",
             b.topic,
             topics
         );
@@ -481,6 +578,9 @@ pub fn run(config: SimConfig) -> RunOutcome {
         for e in &mut engines {
             e.configure_memory(mem);
         }
+    }
+    for e in &mut engines {
+        e.set_drain_limit(config.drain_ticks);
     }
     let tick_rng = seed_mix.split(0xFFFF);
 
@@ -522,6 +622,8 @@ pub fn run(config: SimConfig) -> RunOutcome {
         metrics: Metrics::new(config.window),
         inflight_protocol: 0,
         pending_broadcasts: config.broadcasts.len(),
+        pending_topic_events: config.topic_events.len(),
+        sweep: Vec::new(),
         deliveries_per_pid: vec![0; n],
         tracer: TraceRecorder::new(config.trace),
         now: 0,
@@ -553,6 +655,9 @@ impl Runner {
                 },
             );
         }
+        for (index, ev) in self.config.topic_events.iter().enumerate() {
+            self.queue.push(ev.time, Event::TopicEvent { index });
+        }
         if self.config.stats_interval > 0 {
             self.queue
                 .push(self.config.stats_interval, Event::SampleStats);
@@ -575,6 +680,7 @@ impl Runner {
                     payload,
                 } => self.on_client_broadcast(pid, topic, payload),
                 Event::SampleStats => self.on_sample(),
+                Event::TopicEvent { index } => self.on_topic_event(index),
             }
             if self.config.stop_on_quiescence && self.is_system_quiescent() {
                 self.metrics.quiescent_at_end = true;
@@ -596,6 +702,7 @@ impl Runner {
     /// nothing to retransmit, and no protocol message is in flight.
     fn is_system_quiescent(&self) -> bool {
         self.pending_broadcasts == 0
+            && self.pending_topic_events == 0
             && self.inflight_protocol == 0
             && self
                 .engines
@@ -608,7 +715,7 @@ impl Runner {
     /// tag per issued broadcast. (Tags are unique and correct protocols
     /// deliver each at most once, so counting suffices.)
     fn is_fully_delivered(&self) -> bool {
-        if self.pending_broadcasts > 0 {
+        if self.pending_broadcasts > 0 || self.pending_topic_events > 0 {
             return false;
         }
         let k = self.metrics.broadcasts.len();
@@ -646,13 +753,29 @@ impl Runner {
         self.fd.on_tick(pid, self.now, &mut fd_out);
         entries.extend(fd_out.drain(..).map(|m| (TopicId::ZERO, m)));
         self.fd_out = fd_out;
-        // One Task-1 sweep per topic instance, ascending, all into the
-        // same multiplexed outbox — one frame per node tick (DESIGN.md
-        // §12). With one topic this is exactly the pre-topic sweep.
-        for t in 0..self.config.topics.max(1) {
-            let topic = TopicId(t);
+        // One Task-1 sweep per topic instance — live *and* draining
+        // (retransmission is what drains a retiring topic) — ascending,
+        // all into the same multiplexed outbox: one frame per node tick
+        // (DESIGN.md §12). Without lifecycle events the instance
+        // directory is exactly the configured `0..topics`, so this is
+        // byte-identical to the fixed-range sweep (and with one topic,
+        // to the pre-topic sweep).
+        let mut sweep = std::mem::take(&mut self.sweep);
+        sweep.clear();
+        sweep.extend(self.engines[pid].instance_topics());
+        for &topic in &sweep {
             self.engine_step(pid, topic, StepInput::Tick);
             entries.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
+        }
+        self.sweep = sweep;
+        // Reap draining instances that went quiescent or exhausted the
+        // drain budget — compacting their state through the memory plane
+        // and freeing the slot (DESIGN.md §15). Gated on the lifecycle
+        // plane being in use at all: static runs take no detector
+        // snapshot here and stay byte-identical.
+        if !self.config.topic_events.is_empty() {
+            let snapshot = self.fd.snapshot(pid, self.now);
+            self.engines[pid].reap_drained(&snapshot);
         }
         // Bounded-memory mode: one compaction sweep per node tick, under
         // the same detector the sweeps just observed. Draws no randomness
@@ -697,6 +820,14 @@ impl Runner {
             self.metrics.on_receive(msg.kind());
             self.tracer.receive(self.now, to, msg.kind(), msg.tag());
             self.fd.on_receive(to, self.now, &msg);
+            // In-flight traffic for a topic holding no instance here —
+            // reclaimed after retirement, or never created — is dropped
+            // inert *after* detector processing: the channel delivered
+            // it, the protocol just has nobody to hand it to (DESIGN.md
+            // §15). Static runs always hold every configured instance.
+            if !self.engines[to].has_instance(topic) {
+                continue;
+            }
             // Snapshot taken per message, exactly as in unbatched delivery.
             self.engine_step(to, topic, StepInput::Receive(msg));
             emitted.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
@@ -725,6 +856,14 @@ impl Runner {
         if self.crashed[pid] {
             return; // invoking a crashed process is a no-op
         }
+        if !self.engines[pid].is_live(topic) {
+            // The instance is not live at this process — not yet created,
+            // draining, or retired. The invocation is refused: a retiring
+            // topic accepts no new broadcasts (the quiescence rule,
+            // DESIGN.md §15). Unreachable without lifecycle events, where
+            // every configured topic is live for the whole run.
+            return;
+        }
         self.metrics.hash_event(self.now, 4, pid as u64);
         let tag = self
             .engine_step(pid, topic, StepInput::Broadcast(payload.clone()))
@@ -742,6 +881,35 @@ impl Runner {
             let mut out = self.batches.acquire();
             out.extend(self.scratch.outbox.drain(..).map(|m| (topic, m)));
             self.transmit(pid, out);
+        }
+    }
+
+    /// Applies lifecycle plan entry `index` at every non-crashed process
+    /// (DESIGN.md §15). Crashed processes execute nothing — their stale
+    /// instances are unreachable state, exactly like the rest of a dead
+    /// process's memory.
+    fn on_topic_event(&mut self, index: usize) {
+        self.pending_topic_events -= 1;
+        let action = self.config.topic_events[index].action;
+        let n = self.config.n;
+        match action {
+            TopicAction::Create { topic, algorithm } => {
+                self.metrics.hash_event(self.now, 5, topic.0 as u64);
+                let alg = algorithm.unwrap_or(self.config.algorithm);
+                for pid in 0..n {
+                    if !self.crashed[pid] {
+                        self.engines[pid].create_topic(topic, alg.instantiate(n));
+                    }
+                }
+            }
+            TopicAction::Retire { topic } => {
+                self.metrics.hash_event(self.now, 6, topic.0 as u64);
+                for pid in 0..n {
+                    if !self.crashed[pid] {
+                        self.engines[pid].retire_topic(topic);
+                    }
+                }
+            }
         }
     }
 
@@ -891,10 +1059,26 @@ impl Runner {
             &self.metrics.broadcasts,
             &self.metrics.deliveries,
         );
-        let per_topic = check_urb_per_topic(
+        // The verdict directory: every statically configured topic plus
+        // every dynamically created one. A retired topic keeps its row —
+        // retirement truncates "eventually", it does not erase
+        // obligations incurred while live (DESIGN.md §15).
+        let mut known: Vec<TopicId> = (0..self.config.topics.max(1)).map(TopicId).collect();
+        known.extend(
+            self.config
+                .topic_events
+                .iter()
+                .filter_map(|e| match e.action {
+                    TopicAction::Create { topic, .. } => Some(topic),
+                    TopicAction::Retire { .. } => None,
+                }),
+        );
+        known.sort_unstable();
+        known.dedup();
+        let per_topic = check_urb_per_topics(
             n,
             &correct,
-            self.config.topics,
+            &known,
             &self.metrics.broadcasts,
             &self.metrics.deliveries,
         );
@@ -1143,6 +1327,230 @@ mod tests {
         let mut cfg = SimConfig::new(2, Algorithm::Majority);
         cfg.broadcasts[0].topic = TopicId(3); // only 1 topic configured
         let _ = run(cfg);
+    }
+
+    /// The ISSUE acceptance scenario in miniature: create a topic at tick
+    /// T, run a workload on it, retire it at T'. Per-topic URB verdicts
+    /// hold, the counters show every process reclaimed the instance, and
+    /// the run is deterministic.
+    #[test]
+    fn dynamic_topic_create_workload_retire_reclaims() {
+        let mk = || {
+            let mut cfg = SimConfig::new(4, Algorithm::Quiescent)
+                .seed(31)
+                .max_time(500_000)
+                .topic_event(
+                    100,
+                    TopicAction::Create {
+                        topic: TopicId(1),
+                        algorithm: None,
+                    },
+                )
+                .topic_event(4_000, TopicAction::Retire { topic: TopicId(1) });
+            cfg.broadcasts = vec![
+                PlannedBroadcast {
+                    time: 10,
+                    pid: 0,
+                    topic: TopicId::ZERO,
+                    payload: Payload::from("static"),
+                },
+                PlannedBroadcast {
+                    time: 150,
+                    pid: 1,
+                    topic: TopicId(1),
+                    payload: Payload::from("dyn-a"),
+                },
+                PlannedBroadcast {
+                    time: 300,
+                    pid: 2,
+                    topic: TopicId(1),
+                    payload: Payload::from("dyn-b"),
+                },
+            ];
+            run(cfg)
+        };
+        let out = mk();
+        assert!(out.all_topics_ok(), "{:?}", out.report.violations());
+        assert_eq!(out.per_topic.len(), 2, "static topic 0 + dynamic topic 1");
+        assert_eq!(out.per_topic[1].topic, TopicId(1));
+        assert_eq!(out.per_topic[1].broadcasts, 2);
+        assert_eq!(out.per_topic[1].deliveries, 8, "2 msgs × 4 procs");
+        assert_eq!(
+            out.topics_reclaimed(),
+            4,
+            "every process reclaimed the retired instance"
+        );
+        assert!(out.quiescent, "retired state cannot block quiescence");
+        // The per-process stats no longer include topic 1's state.
+        for c in &out.counters {
+            assert_eq!(c.topics_created, 1);
+            assert_eq!(c.topics_retired, 1);
+            assert_eq!(c.topics_reclaimed, 1);
+        }
+        let again = mk();
+        assert_eq!(
+            out.metrics.trace_hash, again.metrics.trace_hash,
+            "lifecycle runs replay byte-deterministically"
+        );
+    }
+
+    /// Broadcasts outside a topic's live window are refused — before the
+    /// create, and after the retire (a draining topic accepts no new
+    /// broadcasts, DESIGN.md §15). Refusals leave no records, so the
+    /// verdicts still hold.
+    #[test]
+    fn broadcasts_outside_the_live_window_are_refused() {
+        let mut cfg = SimConfig::new(3, Algorithm::Quiescent)
+            .seed(33)
+            .max_time(500_000)
+            .topic_event(
+                200,
+                TopicAction::Create {
+                    topic: TopicId(1),
+                    algorithm: None,
+                },
+            )
+            .topic_event(2_000, TopicAction::Retire { topic: TopicId(1) });
+        cfg.broadcasts = vec![
+            PlannedBroadcast {
+                time: 50, // before the create: refused
+                pid: 0,
+                topic: TopicId(1),
+                payload: Payload::from("early"),
+            },
+            PlannedBroadcast {
+                time: 400, // live window: accepted
+                pid: 1,
+                topic: TopicId(1),
+                payload: Payload::from("live"),
+            },
+            PlannedBroadcast {
+                time: 9_000, // after the retire: refused
+                pid: 2,
+                topic: TopicId(1),
+                payload: Payload::from("late"),
+            },
+        ];
+        let out = run(cfg);
+        assert!(out.all_topics_ok(), "{:?}", out.report.violations());
+        assert_eq!(out.metrics.broadcasts.len(), 1, "only the live one lands");
+        assert_eq!(&out.metrics.broadcasts[0].payload.bytes()[..], b"live");
+        assert_eq!(out.topics_reclaimed(), 3);
+    }
+
+    /// A retired id re-created later starts clean and serves a second
+    /// generation of traffic; a dynamic topic may run a *different*
+    /// algorithm than the static plane.
+    #[test]
+    fn recreated_topic_serves_a_second_generation() {
+        let mut cfg = SimConfig::new(3, Algorithm::Quiescent)
+            .seed(37)
+            .max_time(800_000)
+            .topic_event(
+                100,
+                TopicAction::Create {
+                    topic: TopicId(7),
+                    algorithm: Some(Algorithm::Quiescent),
+                },
+            )
+            .topic_event(3_000, TopicAction::Retire { topic: TopicId(7) })
+            .topic_event(
+                6_000,
+                TopicAction::Create {
+                    topic: TopicId(7),
+                    algorithm: None,
+                },
+            )
+            .topic_event(10_000, TopicAction::Retire { topic: TopicId(7) });
+        cfg.broadcasts = vec![
+            PlannedBroadcast {
+                time: 10,
+                pid: 0,
+                topic: TopicId::ZERO,
+                payload: Payload::from("m0"),
+            },
+            PlannedBroadcast {
+                time: 500,
+                pid: 1,
+                topic: TopicId(7),
+                payload: Payload::from("gen1"),
+            },
+            PlannedBroadcast {
+                time: 6_500,
+                pid: 2,
+                topic: TopicId(7),
+                payload: Payload::from("gen2"),
+            },
+        ];
+        let out = run(cfg);
+        assert!(out.all_topics_ok(), "{:?}", out.report.violations());
+        let t7 = out
+            .per_topic
+            .iter()
+            .find(|t| t.topic == TopicId(7))
+            .expect("dynamic topic reported");
+        assert_eq!(t7.broadcasts, 2, "one broadcast per generation");
+        assert_eq!(t7.deliveries, 6, "2 msgs × 3 procs across generations");
+        assert_eq!(out.topics_reclaimed(), 6, "both generations reclaimed");
+        for c in &out.counters {
+            assert_eq!(c.topics_created, 2);
+            assert_eq!(c.topics_retired, 2);
+            assert_eq!(c.topics_reclaimed, 2);
+        }
+    }
+
+    /// Retiring under Algorithm 1 (which never quiesces) exercises the
+    /// drain *budget*: the instance cannot drain to quiescence, so the
+    /// reap fires when the budget expires — retirement must not hang on
+    /// a chatty protocol.
+    #[test]
+    fn drain_budget_reaps_non_quiescent_algorithms() {
+        let mut cfg = SimConfig::new(3, Algorithm::Majority)
+            .seed(41)
+            .max_time(30_000)
+            .drain_ticks(5)
+            .topic_event(
+                100,
+                TopicAction::Create {
+                    topic: TopicId(1),
+                    algorithm: None,
+                },
+            )
+            .topic_event(5_000, TopicAction::Retire { topic: TopicId(1) });
+        cfg.broadcasts = vec![
+            PlannedBroadcast {
+                time: 10,
+                pid: 0,
+                topic: TopicId::ZERO,
+                payload: Payload::from("m0"),
+            },
+            PlannedBroadcast {
+                time: 200,
+                pid: 1,
+                topic: TopicId(1),
+                payload: Payload::from("m1"),
+            },
+        ];
+        cfg.stop_on_quiescence = false;
+        // Control arm: identical run, except the topic is never retired.
+        let mut control = cfg.clone();
+        control.topic_events.truncate(1);
+        let out = run(cfg);
+        let kept = run(control);
+        assert!(out.all_topics_ok(), "{:?}", out.report.violations());
+        assert_eq!(out.topics_reclaimed(), 3, "budget-expiry reap fired");
+        assert_eq!(kept.topics_reclaimed(), 0);
+        // Reclaimed means reclaimed: with the instance freed, every
+        // process ends the run holding strictly less protocol state than
+        // the control arm that kept the topic alive.
+        for pid in 0..3 {
+            assert!(
+                out.final_stats[pid].total() < kept.final_stats[pid].total(),
+                "pid {pid}: {} vs control {}",
+                out.final_stats[pid].total(),
+                kept.final_stats[pid].total()
+            );
+        }
     }
 
     #[test]

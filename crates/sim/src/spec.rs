@@ -37,6 +37,7 @@ use crate::crash::{CrashPlan, CrashRule};
 use crate::minitoml;
 use crate::sim::{
     Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
+    TopicAction,
 };
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -156,6 +157,48 @@ pub struct TopicWorkload {
     pub start: u64,
 }
 
+/// One `[[topics.events]]` entry: a planned topic-lifecycle change
+/// (DESIGN.md §15, schema in §9). Events compile to
+/// [`crate::sim::TopicEventCfg`]s applied at every non-crashed process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopicEventSpec {
+    /// Instant the change applies.
+    pub at: u64,
+    /// What changes.
+    pub action: TopicActionSpec,
+}
+
+/// The lifecycle transition of one `[[topics.events]]` entry — exactly one
+/// of the `create` / `retire` keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopicActionSpec {
+    /// `create = <topic>`: bring a dynamic topic live. The id must lie
+    /// outside the static `[topics].count` range and must not already be
+    /// live at `at`.
+    Create {
+        /// The topic to instantiate.
+        topic: u32,
+        /// Optional `algorithm` key: the new instance's protocol; absent
+        /// inherits the scenario's algorithm.
+        algorithm: Option<Algorithm>,
+    },
+    /// `retire = <topic>`: drain and reclaim a live topic (static or
+    /// dynamic).
+    Retire {
+        /// The topic to retire.
+        topic: u32,
+    },
+}
+
+impl TopicActionSpec {
+    /// The topic this action touches.
+    pub fn topic(&self) -> u32 {
+        match *self {
+            TopicActionSpec::Create { topic, .. } | TopicActionSpec::Retire { topic } => topic,
+        }
+    }
+}
+
 impl Default for WorkloadSpec {
     fn default() -> Self {
         WorkloadSpec::Generated {
@@ -239,6 +282,12 @@ pub struct Expectations {
     pub topics_all_ok: Option<bool>,
     /// Minimum URB deliveries on **each** topic that appears in the run.
     pub min_deliveries_per_topic: Option<usize>,
+    /// Minimum total topic instances reclaimed across all processes
+    /// (DESIGN.md §15): a retire applied at `k` live processes counts `k`
+    /// once drained and freed. The state-reclamation proof of the
+    /// lifecycle plane — `topics_all_ok` says retirement kept URB sound,
+    /// this key says it actually freed the memory.
+    pub min_reclaimed_topics: Option<u64>,
 }
 
 impl Expectations {
@@ -292,6 +341,14 @@ impl Expectations {
                         t.topic, t.deliveries
                     ));
                 }
+            }
+        }
+        if let Some(min) = eff.min_reclaimed_topics {
+            let got = out.topics_reclaimed();
+            if got < min {
+                fails.push(format!(
+                    "expected at least {min} reclaimed topic instances, run produced {got}"
+                ));
             }
         }
         fails
@@ -349,6 +406,12 @@ pub struct ScenarioSpec {
     /// Number of concurrent URB instances (topics); `1` when the
     /// `[topics]` table is absent (DESIGN.md §12).
     pub topics: u32,
+    /// Planned topic-lifecycle events (`[[topics.events]]`, DESIGN.md
+    /// §15), in file order; compiled sorted by time.
+    pub topic_events: Vec<TopicEventSpec>,
+    /// `[topics].drain_ticks`: the drain budget for retiring topics
+    /// (absent = the engine default).
+    pub drain_ticks: Option<u32>,
     /// Protocol under test.
     pub algorithm: Algorithm,
     /// Hard horizon in ticks.
@@ -401,6 +464,8 @@ impl ScenarioSpec {
             seed: 1,
             n,
             topics: 1,
+            topic_events: Vec::new(),
+            drain_ticks: None,
             algorithm,
             horizon: 100_000,
             tick_interval: 10,
@@ -484,8 +549,16 @@ impl ScenarioSpec {
         let mut spec = ScenarioSpec::new(&req_str(map, "name")?, n, Algorithm::Quiescent);
         if let Some(v) = map.get("topics") {
             let t = as_table(v, "topics")?;
-            check_keys(t, &["count"], "topics")?;
+            check_keys(t, &["count", "drain_ticks", "events"], "topics")?;
             spec.topics = req_u64(t, "count")? as u32;
+            if let Some(d) = t.get("drain_ticks") {
+                spec.drain_ticks = Some(as_u64(d, "topics.drain_ticks")? as u32);
+            }
+            if let Some(evs) = t.get("events") {
+                for item in as_array(evs, "topics.events")? {
+                    spec.topic_events.push(decode_topic_event(item)?);
+                }
+            }
         }
         spec.algorithm = match map.get("algorithm") {
             Some(v) => parse_algorithm(as_str(v, "algorithm")?)?,
@@ -576,9 +649,27 @@ impl ScenarioSpec {
         if let Some(fd) = &self.fd {
             s.push_str(&encode_fd(fd));
         }
-        if self.topics != 1 {
+        if self.topics != 1 || self.drain_ticks.is_some() || !self.topic_events.is_empty() {
             let _ = writeln!(s, "\n[topics]");
             let _ = writeln!(s, "count = {}", self.topics);
+            if let Some(d) = self.drain_ticks {
+                let _ = writeln!(s, "drain_ticks = {d}");
+            }
+            for e in &self.topic_events {
+                let _ = writeln!(s, "\n[[topics.events]]");
+                let _ = writeln!(s, "at = {}", e.at);
+                match e.action {
+                    TopicActionSpec::Create { topic, algorithm } => {
+                        let _ = writeln!(s, "create = {topic}");
+                        if let Some(a) = algorithm {
+                            let _ = writeln!(s, "algorithm = {}", toml_str(&format_algorithm(a)));
+                        }
+                    }
+                    TopicActionSpec::Retire { topic } => {
+                        let _ = writeln!(s, "retire = {topic}");
+                    }
+                }
+            }
         }
         match &self.workload {
             WorkloadSpec::Generated {
@@ -677,6 +768,9 @@ impl ScenarioSpec {
             if let Some(m) = self.expect.min_deliveries_per_topic {
                 let _ = writeln!(s, "min_deliveries_per_topic = {m}");
             }
+            if let Some(m) = self.expect.min_reclaimed_topics {
+                let _ = writeln!(s, "min_reclaimed_topics = {m}");
+            }
         }
         if self.check != CheckBounds::default() {
             let d = CheckBounds::default();
@@ -751,10 +845,69 @@ impl ScenarioSpec {
             };
         }
 
+        // Lifecycle plan (DESIGN.md §15): events apply in time order
+        // (file order among equal times). Validation walks the plan with
+        // a live-set: creates must target ids outside the static range
+        // that are not currently live; retires must target something
+        // live at that instant.
+        let mut events = self.topic_events.clone();
+        events.sort_by_key(|e| e.at);
+        let mut live: std::collections::BTreeSet<u32> = (0..self.topics).collect();
+        let mut dynamic: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for e in &events {
+            match e.action {
+                TopicActionSpec::Create { topic, .. } => {
+                    if topic < self.topics {
+                        return Err(SpecError::new(format!(
+                            "topics.events: create of topic {topic} which is statically \
+                             configured (topics.count = {})",
+                            self.topics
+                        )));
+                    }
+                    if !live.insert(topic) {
+                        return Err(SpecError::new(format!(
+                            "topics.events: create of topic {topic} at t={} while it is \
+                             already live",
+                            e.at
+                        )));
+                    }
+                    dynamic.insert(topic);
+                }
+                TopicActionSpec::Retire { topic } => {
+                    if !live.remove(&topic) {
+                        return Err(SpecError::new(format!(
+                            "topics.events: retire of topic {topic} at t={} while it is \
+                             not live",
+                            e.at
+                        )));
+                    }
+                }
+            }
+        }
+        cfg.topic_events = events
+            .iter()
+            .map(|e| crate::sim::TopicEventCfg {
+                time: e.at,
+                action: match e.action {
+                    TopicActionSpec::Create { topic, algorithm } => TopicAction::Create {
+                        topic: TopicId(topic),
+                        algorithm,
+                    },
+                    TopicActionSpec::Retire { topic } => TopicAction::Retire {
+                        topic: TopicId(topic),
+                    },
+                },
+            })
+            .collect();
+        if let Some(d) = self.drain_ticks {
+            cfg.drain_ticks = d;
+        }
+
         let check_topic = |topic: u32, what: &str| -> Result<(), SpecError> {
-            if topic >= self.topics {
+            if topic >= self.topics && !dynamic.contains(&topic) {
                 Err(SpecError::new(format!(
-                    "{what} {topic} out of range for topics.count = {}",
+                    "{what} {topic} out of range for topics.count = {} (and no \
+                     [[topics.events]] create for it)",
                     self.topics
                 )))
             } else {
@@ -937,6 +1090,10 @@ pub fn corpus() -> Vec<(&'static str, &'static str)> {
         (
             "bounded_memory",
             include_str!("../../../scenarios/bounded_memory.toml"),
+        ),
+        (
+            "dynamic_topics",
+            include_str!("../../../scenarios/dynamic_topics.toml"),
         ),
     ]
 }
@@ -1613,6 +1770,41 @@ fn encode_schedule(s: &Schedule) -> String {
     out
 }
 
+fn decode_topic_event(v: &Value) -> Result<TopicEventSpec, SpecError> {
+    let map = as_table(v, "topics.events")?;
+    check_keys(
+        map,
+        &["at", "create", "retire", "algorithm"],
+        "topics.events",
+    )?;
+    let at = req_u64(map, "at")?;
+    let action = match (map.get("create"), map.get("retire")) {
+        (Some(c), None) => TopicActionSpec::Create {
+            topic: as_u64(c, "topics.events.create")? as u32,
+            algorithm: map
+                .get("algorithm")
+                .map(|a| parse_algorithm(as_str(a, "topics.events.algorithm")?))
+                .transpose()?,
+        },
+        (None, Some(r)) => {
+            if map.contains_key("algorithm") {
+                return Err(SpecError::new(
+                    "topics.events: `algorithm` only applies to `create` entries",
+                ));
+            }
+            TopicActionSpec::Retire {
+                topic: as_u64(r, "topics.events.retire")? as u32,
+            }
+        }
+        _ => {
+            return Err(SpecError::new(
+                "topics.events entry needs exactly one of `create` / `retire`",
+            ))
+        }
+    };
+    Ok(TopicEventSpec { at, action })
+}
+
 fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
     let map = as_table(v, "expect")?;
     check_keys(
@@ -1626,6 +1818,7 @@ fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
             "min_deliveries",
             "topics_all_ok",
             "min_deliveries_per_topic",
+            "min_reclaimed_topics",
         ],
         "expect",
     )?;
@@ -1646,6 +1839,10 @@ fn decode_expect(v: &Value) -> Result<Expectations, SpecError> {
         min_deliveries_per_topic: map
             .get("min_deliveries_per_topic")
             .map(|v| Ok::<usize, SpecError>(as_u64(v, "min_deliveries_per_topic")? as usize))
+            .transpose()?,
+        min_reclaimed_topics: map
+            .get("min_reclaimed_topics")
+            .map(|v| as_u64(v, "min_reclaimed_topics"))
             .transpose()?,
     })
 }
@@ -2033,6 +2230,110 @@ mod tests {
                 .unwrap_err();
             assert!(err.message.contains(needle), "{toml:?} → {err}");
         }
+    }
+
+    #[test]
+    fn topic_lifecycle_events_decode_compile_and_round_trip() {
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"dyn\"\nn = 4\nalgorithm = \"quiescent\"\n\
+             [topics]\ncount = 1\ndrain_ticks = 8\n\
+             [[topics.events]]\nat = 100\ncreate = 1\nalgorithm = \"majority\"\n\
+             [[topics.events]]\nat = 200\ncreate = 2\n\
+             [[topics.events]]\nat = 900\nretire = 1\n\
+             [[workload.explicit]]\ntime = 150\npid = 0\ntopic = 1\npayload = \"d\"\n\
+             [expect]\nmin_reclaimed_topics = 4\n",
+        )
+        .unwrap();
+        assert_eq!(spec.drain_ticks, Some(8));
+        assert_eq!(spec.expect.min_reclaimed_topics, Some(4));
+        assert_eq!(spec.topic_events.len(), 3);
+        assert_eq!(
+            spec.topic_events[0],
+            TopicEventSpec {
+                at: 100,
+                action: TopicActionSpec::Create {
+                    topic: 1,
+                    algorithm: Some(Algorithm::Majority),
+                },
+            }
+        );
+        assert_eq!(
+            spec.topic_events[1].action,
+            TopicActionSpec::Create {
+                topic: 2,
+                algorithm: None,
+            },
+            "omitted algorithm defaults to the run's at compile time"
+        );
+        assert_eq!(
+            spec.topic_events[2].action,
+            TopicActionSpec::Retire { topic: 1 }
+        );
+        let cfg = spec.compile().unwrap();
+        assert_eq!(cfg.topic_events.len(), 3);
+        assert_eq!(cfg.drain_ticks, 8);
+        assert_eq!(cfg.broadcasts[0].topic, urb_types::TopicId(1));
+        // Round trip: the emitted TOML re-parses to the same spec.
+        let parsed = ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(parsed, spec, "round trip through:\n{}", spec.to_toml());
+    }
+
+    #[test]
+    fn topic_lifecycle_validation_rejects_inconsistent_plans() {
+        // Schema errors surface at parse time.
+        for (bad, needle) in [
+            (
+                "[[topics.events]]\nat = 1\ncreate = 1\nretire = 2\n",
+                "exactly one of",
+            ),
+            ("[[topics.events]]\nat = 1\n", "exactly one of"),
+            (
+                "[[topics.events]]\nat = 1\nretire = 1\nalgorithm = \"majority\"\n",
+                "only applies to `create`",
+            ),
+            (
+                "[[topics.events]]\nat = 1\ncreate = 1\nwat = 2\n",
+                "unknown key",
+            ),
+        ] {
+            let toml = format!("name = \"v\"\nn = 2\n[topics]\ncount = 1\n{bad}");
+            let err = ScenarioSpec::from_toml_str(&toml).unwrap_err();
+            assert!(err.message.contains(needle), "{bad:?} → {err}");
+        }
+        // Plan-consistency errors surface when the live-set walk compiles.
+        for (bad, needle) in [
+            (
+                "[[topics.events]]\nat = 5\ncreate = 0\n",
+                "statically configured",
+            ),
+            (
+                "[[topics.events]]\nat = 5\ncreate = 1\n\
+                 [[topics.events]]\nat = 9\ncreate = 1\n",
+                "already live",
+            ),
+            ("[[topics.events]]\nat = 5\nretire = 3\n", "not live"),
+            (
+                "[[workload.explicit]]\ntime = 1\npid = 0\ntopic = 4\npayload = \"x\"\n",
+                "no [[topics.events]] create",
+            ),
+        ] {
+            let toml = format!("name = \"v\"\nn = 2\n[topics]\ncount = 1\n{bad}");
+            let err = ScenarioSpec::from_toml_str(&toml)
+                .unwrap()
+                .compile()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(err.message.contains(needle), "{bad:?} → {err}");
+        }
+        // Retire-then-recreate of the same id is a legal second generation.
+        let spec = ScenarioSpec::from_toml_str(
+            "name = \"v\"\nn = 2\n[topics]\ncount = 1\n\
+             [[topics.events]]\nat = 5\ncreate = 1\n\
+             [[topics.events]]\nat = 50\nretire = 1\n\
+             [[topics.events]]\nat = 90\ncreate = 1\n",
+        )
+        .unwrap();
+        assert!(spec.compile().is_ok());
     }
 
     #[test]

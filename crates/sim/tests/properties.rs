@@ -143,3 +143,170 @@ proptest! {
         prop_assert_eq!(plan.faulty_count(), t);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Topic-lifecycle interleavings (DESIGN.md §15). Model-based: an arbitrary
+// sequence of create / retire / subscribe / unsubscribe / broadcast / tick
+// operations is applied to a `TopicEngine` next to a trivial reference
+// model of the lifecycle state machine, and the two must agree after every
+// step — in particular, no instance ever serves traffic after retirement
+// and a re-created `TopicId` always starts clean.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum LifecycleOp {
+    Create(u32),
+    Retire(u32),
+    Subscribe(u32),
+    Unsubscribe(u32),
+    Broadcast(u32),
+    Tick,
+}
+
+fn arb_lifecycle_ops() -> impl Strategy<Value = Vec<LifecycleOp>> {
+    let op = prop_oneof![
+        (1u32..5).prop_map(LifecycleOp::Create),
+        (0u32..5).prop_map(LifecycleOp::Retire),
+        (0u32..5).prop_map(LifecycleOp::Subscribe),
+        (0u32..5).prop_map(LifecycleOp::Unsubscribe),
+        (0u32..5).prop_map(LifecycleOp::Broadcast),
+        (0u32..1).prop_map(|_| LifecycleOp::Tick),
+    ];
+    proptest::collection::vec(op, 1..60)
+}
+
+proptest! {
+    #[test]
+    fn lifecycle_interleavings_respect_the_state_machine(ops in arb_lifecycle_ops()) {
+        use std::collections::BTreeSet;
+        use urb_core::Algorithm;
+        use urb_engine::{MuxBuffers, StepBuffers, StepInput, TopicEngine};
+        use urb_types::{FdSnapshot, SplitMix64, TopicId};
+
+        let n = 3;
+        // Topic 0 is the static plane; 1..5 are dynamic. A short drain
+        // budget keeps retirement resolving within a few ticks even for
+        // the never-quiescent majority algorithm.
+        let mut engine = TopicEngine::new(
+            vec![Algorithm::Majority.instantiate(n)],
+            SplitMix64::new(7),
+        );
+        engine.set_drain_limit(2);
+        let fd = FdSnapshot::none();
+        let mut scratch = StepBuffers::new();
+        let mut mux = MuxBuffers::new();
+
+        // Reference model: the slot map is `live ∪ draining`; `retired`
+        // holds reaped tombstones; `ever_retired` drives the
+        // starts-clean check on re-creation.
+        let mut live: BTreeSet<TopicId> = [TopicId::ZERO].into();
+        let mut draining: BTreeSet<TopicId> = BTreeSet::new();
+        let mut subs: BTreeSet<TopicId> = BTreeSet::new();
+        let mut broadcasts_on_live = 0u64;
+
+        for op in ops {
+            match op {
+                LifecycleOp::Create(t) => {
+                    let t = TopicId(t);
+                    let fresh = engine.create_topic(t, Algorithm::Majority.instantiate(n));
+                    let expect_fresh = !live.contains(&t) && !draining.contains(&t);
+                    prop_assert_eq!(fresh, expect_fresh, "create idempotency on {}", t);
+                    if expect_fresh {
+                        prop_assert_eq!(
+                            engine.stats_for(t).total(), 0,
+                            "(re-)created topic {} must start clean", t
+                        );
+                        live.insert(t);
+                    }
+                }
+                LifecycleOp::Retire(t) => {
+                    let t = TopicId(t);
+                    let did = engine.retire_topic(t);
+                    prop_assert_eq!(did, live.contains(&t), "retire gating on {}", t);
+                    if live.remove(&t) {
+                        draining.insert(t);
+                    }
+                }
+                LifecycleOp::Subscribe(t) => {
+                    let t = TopicId(t);
+                    engine.subscribe(t);
+                    subs.insert(t);
+                }
+                LifecycleOp::Unsubscribe(t) => {
+                    let t = TopicId(t);
+                    engine.unsubscribe(t);
+                    subs.remove(&t);
+                }
+                LifecycleOp::Broadcast(t) => {
+                    let t = TopicId(t);
+                    if live.contains(&t) {
+                        // Only live topics accept broadcasts (the driver
+                        // contract: it checks `is_live` first).
+                        prop_assert!(engine.is_live(t));
+                        let tag = engine.step(
+                            t,
+                            StepInput::Broadcast(Payload::from("p")),
+                            &fd,
+                            &mut scratch,
+                        );
+                        prop_assert!(tag.is_some());
+                        broadcasts_on_live += 1;
+                        scratch.outbox.clear();
+                        scratch.deliveries.clear();
+                    } else {
+                        prop_assert!(!engine.is_live(t), "{} must not be live", t);
+                    }
+                }
+                LifecycleOp::Tick => {
+                    engine.tick_all(&fd, &mut mux);
+                    // tick_all reaps: every draining topic with an expired
+                    // budget (limit 2) disappears within 3 ticks; model
+                    // conservatively — after each tick a draining topic
+                    // either still holds an instance or is tombstoned.
+                    let reaped: Vec<TopicId> = draining
+                        .iter()
+                        .copied()
+                        .filter(|&t| !engine.has_instance(t))
+                        .collect();
+                    for t in reaped {
+                        draining.remove(&t);
+                        // Reaping also drops the subscription: a
+                        // reclaimed instance has no readers.
+                        subs.remove(&t);
+                    }
+                    mux.clear();
+                }
+            }
+
+            // Engine and model agree on the lifecycle state machine.
+            for t in 0..5u32 {
+                let t = TopicId(t);
+                prop_assert_eq!(engine.is_live(t), live.contains(&t), "liveness of {}", t);
+                prop_assert_eq!(
+                    engine.has_instance(t),
+                    live.contains(&t) || draining.contains(&t),
+                    "instance map of {}", t
+                );
+                prop_assert_eq!(engine.is_subscribed(t), subs.contains(&t));
+                if engine.is_retired(t) {
+                    // Reaped means gone: a retired topic holds no state
+                    // and serves no traffic until re-created.
+                    prop_assert!(!engine.has_instance(t));
+                }
+            }
+        }
+
+        // Drain every remaining retirement: within drain-limit + 1 ticks
+        // every draining instance must be reaped and counted.
+        for _ in 0..4 {
+            engine.tick_all(&fd, &mut mux);
+            mux.clear();
+        }
+        let c = engine.counters();
+        prop_assert_eq!(
+            c.topics_retired, c.topics_reclaimed,
+            "every retirement resolves to a reclaim within the budget"
+        );
+        prop_assert!(c.broadcasts >= broadcasts_on_live);
+    }
+}

@@ -52,5 +52,6 @@ pub use protocol::{
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use wire::{
-    encode_frame_into, encode_mux_frame_into, Batch, CodecError, MuxBatch, WireKind, WireMessage,
+    encode_frame_into, encode_mux_frame_into, encode_mux_frame_with_controls_into, Batch,
+    CodecError, MuxBatch, TopicControl, WireKind, WireMessage,
 };

@@ -622,6 +622,129 @@ impl<'a> IntoIterator for &'a Batch {
     }
 }
 
+/// A topic-lifecycle control operation, carried in the optional control
+/// section of a [`MuxBatch`] frame (DESIGN.md §15).
+///
+/// Control operations ride the existing multiplexed wire format — a node
+/// that wants to create, retire, subscribe to or unsubscribe from a topic
+/// appends `TopicControl` entries to the frame it was going to send anyway
+/// (or sends a control-only frame). The payload sub-batches and the control
+/// section are independent: a frame may carry either, both, or (vacuously)
+/// neither.
+///
+/// `Create` carries the algorithm to instantiate as an `(algorithm, param)`
+/// code pair so receivers can materialize the correct protocol state
+/// machine; the codes are assigned by `urb_core::Algorithm::to_wire` and
+/// are opaque at this layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopicControl {
+    /// Create `topic`, instantiating algorithm `(algorithm, param)` lazily
+    /// on first receipt.
+    Create {
+        /// The topic to bring live.
+        topic: TopicId,
+        /// Algorithm code (see `urb_core::Algorithm::to_wire`).
+        algorithm: u8,
+        /// Algorithm parameter (threshold / backoff cap; 0 when unused).
+        param: u32,
+    },
+    /// Retire `topic`: stop accepting broadcasts, drain in-flight tags,
+    /// then reclaim the instance's state.
+    Retire {
+        /// The topic to retire.
+        topic: TopicId,
+    },
+    /// Subscribe the sender to `topic`'s deliveries.
+    Subscribe {
+        /// The topic to subscribe to.
+        topic: TopicId,
+    },
+    /// Drop the sender's subscription to `topic`.
+    Unsubscribe {
+        /// The topic to unsubscribe from.
+        topic: TopicId,
+    },
+}
+
+impl TopicControl {
+    /// The topic this control operation concerns.
+    pub fn topic(self) -> TopicId {
+        match self {
+            TopicControl::Create { topic, .. }
+            | TopicControl::Retire { topic }
+            | TopicControl::Subscribe { topic }
+            | TopicControl::Unsubscribe { topic } => topic,
+        }
+    }
+
+    /// Operation discriminant byte (codec order).
+    fn op(self) -> u8 {
+        match self {
+            TopicControl::Create { .. } => 0,
+            TopicControl::Retire { .. } => 1,
+            TopicControl::Subscribe { .. } => 2,
+            TopicControl::Unsubscribe { .. } => 3,
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(self) -> usize {
+        match self {
+            TopicControl::Create { .. } => 1 + 4 + 1 + 4,
+            _ => 1 + 4,
+        }
+    }
+
+    fn encode_into(self, buf: &mut BytesMut) {
+        buf.put_u8(self.op());
+        buf.put_u32(self.topic().0);
+        if let TopicControl::Create {
+            algorithm, param, ..
+        } = self
+        {
+            buf.put_u8(algorithm);
+            buf.put_u32(param);
+        }
+    }
+
+    fn decode_at(data: &[u8], pos: &mut usize) -> Result<TopicControl, CodecError> {
+        need(data, *pos, 1 + 4)?;
+        let op = read_u8(data, pos);
+        let topic = TopicId(read_u32(data, pos));
+        match op {
+            0 => {
+                need(data, *pos, 1 + 4)?;
+                let algorithm = read_u8(data, pos);
+                let param = read_u32(data, pos);
+                Ok(TopicControl::Create {
+                    topic,
+                    algorithm,
+                    param,
+                })
+            }
+            1 => Ok(TopicControl::Retire { topic }),
+            2 => Ok(TopicControl::Subscribe { topic }),
+            3 => Ok(TopicControl::Unsubscribe { topic }),
+            b => Err(CodecError::BadDiscriminant(b)),
+        }
+    }
+}
+
+impl fmt::Display for TopicControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicControl::Create {
+                topic,
+                algorithm,
+                param,
+            } => write!(f, "create({}, alg={algorithm}/{param})", topic.0),
+            TopicControl::Retire { topic } => write!(f, "retire({})", topic.0),
+            TopicControl::Subscribe { topic } => write!(f, "subscribe({})", topic.0),
+            TopicControl::Unsubscribe { topic } => write!(f, "unsubscribe({})", topic.0),
+        }
+    }
+}
+
 /// A **multiplexed** batch frame: one topic-keyed sub-batch per URB
 /// instance, moved as a single unit of routing (DESIGN.md §12).
 ///
@@ -636,17 +759,25 @@ impl<'a> IntoIterator for &'a Batch {
 /// Frame layout: `0x04` (frame tag, disjoint from message discriminants
 /// 0–2 and the [`Batch`] tag `0x03`), a `u32` sub-batch count, then per
 /// sub-batch a `u32` topic id, a `u32` message count and the messages in
-/// [`Batch`] member encoding (`u32` byte length + message bytes). The
-/// zero-copy properties of the batch codec carry over: encoding appends
-/// into a caller buffer with no per-message allocation
-/// ([`MuxBatch::encode_into`]), and [`MuxBatch::decode_shared_into`]
-/// decodes payloads as refcounted slice views of the frame.
+/// [`Batch`] member encoding (`u32` byte length + message bytes). A frame
+/// may end with an **optional control section** (DESIGN.md §15): the
+/// section tag [`MuxBatch::CONTROL_TAG`] (`0x05`), a `u32` control count,
+/// then the [`TopicControl`] entries. The section is written only when at
+/// least one control is present, so control-free frames are byte-identical
+/// to the pre-lifecycle format. The zero-copy properties of the batch
+/// codec carry over: encoding appends into a caller buffer with no
+/// per-message allocation ([`MuxBatch::encode_into`]), and
+/// [`MuxBatch::decode_shared_into`] decodes payloads as refcounted slice
+/// views of the frame.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MuxBatch {
     /// `(topic, messages)` sub-batches, in emission order. Kept sorted by
     /// topic by [`MuxBatch::push`] (topics are stepped in ascending order,
     /// so pushes arrive sorted; the invariant is asserted in debug).
     subs: Vec<(TopicId, Vec<WireMessage>)>,
+    /// Lifecycle control operations riding this frame, in emission order.
+    /// Empty for pure payload frames (the static-topic byte-compat case).
+    controls: Vec<TopicControl>,
 }
 
 impl MuxBatch {
@@ -654,9 +785,16 @@ impl MuxBatch {
     /// (`0x03`) and from bare messages (0–2).
     pub const FRAME_TAG: u8 = 4;
 
+    /// Section-tag byte introducing the optional trailing [`TopicControl`]
+    /// section of a multiplexed frame (disjoint from every other tag).
+    pub const CONTROL_TAG: u8 = 5;
+
     /// An empty multiplexed batch.
     pub fn new() -> Self {
-        MuxBatch { subs: Vec::new() }
+        MuxBatch {
+            subs: Vec::new(),
+            controls: Vec::new(),
+        }
     }
 
     /// Appends one message to `topic`'s sub-batch, creating it on first
@@ -687,6 +825,18 @@ impl MuxBatch {
         mux
     }
 
+    /// Appends one lifecycle control operation to the frame's control
+    /// section.
+    pub fn push_control(&mut self, ctl: TopicControl) {
+        self.controls.push(ctl);
+    }
+
+    /// The lifecycle control operations riding this frame, in emission
+    /// order (empty for pure payload frames).
+    pub fn controls(&self) -> &[TopicControl] {
+        &self.controls
+    }
+
     /// The `(topic, messages)` sub-batches, ascending by topic.
     pub fn sub_batches(&self) -> &[(TopicId, Vec<WireMessage>)] {
         &self.subs
@@ -702,9 +852,10 @@ impl MuxBatch {
         self.subs.iter().map(|(_, sub)| sub.len()).sum()
     }
 
-    /// True when no sub-batch carries anything.
+    /// True when no sub-batch carries anything **and** the control section
+    /// is empty — a frame a driver can skip sending entirely.
     pub fn is_empty(&self) -> bool {
-        self.subs.iter().all(|(_, sub)| sub.is_empty())
+        self.subs.iter().all(|(_, sub)| sub.is_empty()) && self.controls.is_empty()
     }
 
     /// Iterates `(topic, &message)` pairs in frame order.
@@ -716,12 +867,18 @@ impl MuxBatch {
 
     /// Serialized size in bytes (what [`MuxBatch::encode`] produces).
     pub fn encoded_len(&self) -> usize {
+        let controls = if self.controls.is_empty() {
+            0
+        } else {
+            1 + 4 + self.controls.iter().map(|c| c.encoded_len()).sum::<usize>()
+        };
         1 + 4
             + self
                 .subs
                 .iter()
                 .map(|(_, sub)| 4 + 4 + sub.iter().map(|m| 4 + m.encoded_len()).sum::<usize>())
                 .sum::<usize>()
+            + controls
     }
 
     /// Encodes the frame into a freshly allocated buffer.
@@ -745,6 +902,7 @@ impl MuxBatch {
                 m.encode_into(buf);
             }
         }
+        encode_control_section_into(&self.controls, buf);
     }
 
     /// Decodes a complete multiplexed frame, copying payloads into fresh
@@ -767,11 +925,28 @@ impl MuxBatch {
     /// (cleared first, capacity retained) — the steady-state-zero-
     /// allocation ingress path: pair with a recycled
     /// [`crate::MuxPool`] vector and nothing is allocated per frame.
+    ///
+    /// A trailing control section, if present, is validated and then
+    /// **discarded**; callers that act on lifecycle controls use
+    /// [`MuxBatch::decode_shared_with_controls_into`].
     pub fn decode_shared_into(
         frame: &Bytes,
         out: &mut Vec<(TopicId, WireMessage)>,
     ) -> Result<(), CodecError> {
-        decode_mux_entries(frame, out, &mut |_, off, len| {
+        let mut controls = Vec::new();
+        Self::decode_shared_with_controls_into(frame, out, &mut controls)
+    }
+
+    /// [`MuxBatch::decode_shared_into`] that additionally surfaces the
+    /// frame's [`TopicControl`] section into `controls` (cleared first;
+    /// left empty for control-free frames) — the ingress path of drivers
+    /// that implement the dynamic topic lifecycle (DESIGN.md §15).
+    pub fn decode_shared_with_controls_into(
+        frame: &Bytes,
+        out: &mut Vec<(TopicId, WireMessage)>,
+        controls: &mut Vec<TopicControl>,
+    ) -> Result<(), CodecError> {
+        decode_mux_entries_and_controls(frame, out, controls, &mut |_, off, len| {
             Payload::from_bytes(frame.slice(off..off + len))
         })
     }
@@ -783,6 +958,18 @@ impl MuxBatch {
 /// engine's mux outbox) rather than a built [`MuxBatch`]. Byte-identical
 /// to building the `MuxBatch` and encoding it.
 pub fn encode_mux_frame_into(entries: &[(TopicId, WireMessage)], buf: &mut BytesMut) {
+    encode_mux_frame_with_controls_into(entries, &[], buf);
+}
+
+/// [`encode_mux_frame_into`] with a [`TopicControl`] section appended when
+/// `controls` is non-empty. With `controls` empty the output is
+/// byte-identical to [`encode_mux_frame_into`] — the static-topic
+/// byte-compat guarantee (DESIGN.md §15).
+pub fn encode_mux_frame_with_controls_into(
+    entries: &[(TopicId, WireMessage)],
+    controls: &[TopicControl],
+    buf: &mut BytesMut,
+) {
     buf.put_u8(MuxBatch::FRAME_TAG);
     // First pass: count sub-batch boundaries (entries are grouped in
     // ascending topic order, so a boundary is any topic change).
@@ -812,6 +999,20 @@ pub fn encode_mux_frame_into(entries: &[(TopicId, WireMessage)], buf: &mut Bytes
         }
         i = end;
     }
+    encode_control_section_into(controls, buf);
+}
+
+/// Appends the optional control section: written only when `controls` is
+/// non-empty, so control-free frames keep the pre-lifecycle byte layout.
+fn encode_control_section_into(controls: &[TopicControl], buf: &mut BytesMut) {
+    if controls.is_empty() {
+        return;
+    }
+    buf.put_u8(MuxBatch::CONTROL_TAG);
+    buf.put_u32(controls.len() as u32);
+    for c in controls {
+        c.encode_into(buf);
+    }
 }
 
 /// Shared mux decode core (structured form).
@@ -820,21 +1021,26 @@ fn decode_mux(
     payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
 ) -> Result<MuxBatch, CodecError> {
     let mut entries = Vec::new();
-    decode_mux_entries(data, &mut entries, payload)?;
+    let mut controls = Vec::new();
+    decode_mux_entries_and_controls(data, &mut entries, &mut controls, payload)?;
     let mut mux = MuxBatch::new();
     for (t, m) in entries {
         mux.push(t, m);
     }
+    mux.controls = controls;
     Ok(mux)
 }
 
-/// Shared mux decode core (flat-entry form; `out` is cleared first).
-fn decode_mux_entries(
+/// Shared mux decode core (flat-entry form; `out` and `controls` are
+/// cleared first).
+fn decode_mux_entries_and_controls(
     data: &[u8],
     out: &mut Vec<(TopicId, WireMessage)>,
+    controls: &mut Vec<TopicControl>,
     payload: &mut dyn FnMut(&[u8], usize, usize) -> Payload,
 ) -> Result<(), CodecError> {
     out.clear();
+    controls.clear();
     let mut pos = 0usize;
     need(data, pos, 1)?;
     let tag = read_u8(data, &mut pos);
@@ -862,6 +1068,15 @@ fn decode_mux_entries(
                 return Err(CodecError::TrailingBytes(member_end - pos));
             }
             out.push((TopicId(topic), msg));
+        }
+    }
+    // Optional trailing control section (DESIGN.md §15).
+    if pos < data.len() && data[pos] == MuxBatch::CONTROL_TAG {
+        pos += 1;
+        need(data, pos, 4)?;
+        let n = read_u32(data, &mut pos) as usize;
+        for _ in 0..n {
+            controls.push(TopicControl::decode_at(data, &mut pos)?);
         }
     }
     if pos != data.len() {
@@ -1191,6 +1406,96 @@ mod tests {
         let k = m.retransmit_key();
         assert_eq!(TopicId::ZERO.mix(k), k);
         assert_ne!(TopicId(1).mix(k), TopicId(2).mix(k));
+    }
+
+    #[test]
+    fn mux_control_section_roundtrips_and_is_absent_when_empty() {
+        let controls = [
+            TopicControl::Create {
+                topic: TopicId(7),
+                algorithm: 2,
+                param: 0,
+            },
+            TopicControl::Subscribe { topic: TopicId(7) },
+            TopicControl::Retire { topic: TopicId(3) },
+            TopicControl::Unsubscribe { topic: TopicId(1) },
+        ];
+        // Payload + control frame.
+        let entries = vec![(TopicId(0), msg(1, "a")), (TopicId(7), msg(2, "b"))];
+        let mut mux = MuxBatch::from_entries(&entries);
+        for c in controls {
+            mux.push_control(c);
+        }
+        let enc = mux.encode();
+        assert_eq!(enc.len(), mux.encoded_len());
+        let back = MuxBatch::decode(&enc).unwrap();
+        assert_eq!(back, mux);
+        assert_eq!(back.controls(), &controls);
+        // Entry decode surfaces the controls...
+        let shared = Bytes::from(enc.to_vec());
+        let (mut out, mut ctl) = (Vec::new(), Vec::new());
+        MuxBatch::decode_shared_with_controls_into(&shared, &mut out, &mut ctl).unwrap();
+        assert_eq!(out, entries);
+        assert_eq!(ctl, controls);
+        // ...and the control-blind path validates but discards them.
+        MuxBatch::decode_shared_into(&shared, &mut out).unwrap();
+        assert_eq!(out, entries);
+        // Free-function encoder with controls is byte-identical.
+        let mut flat = BytesMut::new();
+        encode_mux_frame_with_controls_into(&entries, &controls, &mut flat);
+        assert_eq!(&enc[..], &flat[..]);
+        // Control-only frame: non-empty, sendable, decodes.
+        let mut only = MuxBatch::new();
+        only.push_control(controls[0]);
+        assert!(!only.is_empty());
+        assert_eq!(only.len(), 0);
+        let back = MuxBatch::decode(&only.encode()).unwrap();
+        assert_eq!(back.controls(), &controls[..1]);
+        // Static-topic byte-compat: no controls → no section byte.
+        let plain = MuxBatch::from_entries(&entries);
+        let mut with_empty = BytesMut::new();
+        encode_mux_frame_with_controls_into(&entries, &[], &mut with_empty);
+        assert_eq!(&plain.encode()[..], &with_empty[..]);
+    }
+
+    #[test]
+    fn mux_control_section_rejects_truncation_and_bad_ops() {
+        let mut mux = MuxBatch::new();
+        mux.push(TopicId(0), msg(1, "x"));
+        mux.push_control(TopicControl::Create {
+            topic: TopicId(4),
+            algorithm: 0,
+            param: 3,
+        });
+        let enc = mux.encode();
+        let ctl = TopicControl::Create {
+            topic: TopicId(4),
+            algorithm: 0,
+            param: 3,
+        };
+        let section_len = 1 + 4 + ctl.encoded_len();
+        for cut in 0..enc.len() {
+            let decoded = MuxBatch::decode(&enc[..cut]);
+            if cut == enc.len() - section_len {
+                // Cutting the whole control section cleanly yields a valid
+                // (control-free) frame — the section is optional.
+                assert_eq!(decoded.unwrap().controls(), &[]);
+                continue;
+            }
+            let err = decoded.unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::TrailingBytes(_)),
+                "prefix {cut} gave {err:?}"
+            );
+        }
+        // An unknown control op byte is rejected.
+        let mut bad = enc.to_vec();
+        let op_pos = enc.len() - ctl.encoded_len();
+        bad[op_pos] = 9;
+        assert!(matches!(
+            MuxBatch::decode(&bad),
+            Err(CodecError::BadDiscriminant(9))
+        ));
     }
 
     #[test]

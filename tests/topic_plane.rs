@@ -109,6 +109,67 @@ fn golden_two_topics_delivery_trace() {
 }
 
 #[test]
+fn golden_dynamic_topics_delivery_trace() {
+    // The dynamic topic control plane's golden file (DESIGN.md §15): the
+    // `dynamic_topics` corpus scenario — create topic 1 at t=100, run a
+    // workload over it, retire it at t=4000 — replays to exactly the
+    // recorded topic-tagged delivery trace, serial and parallel executors
+    // agree bit for bit, and every process reclaims the retired instance.
+    let spec = corpus_spec("dynamic_topics");
+    let serial = urb_sim::run(spec.compile().unwrap());
+    let parallel = urb_sim::run_many(vec![spec.compile().unwrap(); 3]);
+    for out in &parallel {
+        assert_eq!(out.metrics.trace_hash, serial.metrics.trace_hash);
+        assert_eq!(
+            out.metrics.deliveries.len(),
+            serial.metrics.deliveries.len()
+        );
+    }
+
+    // Both topics delivered and judged independently; the dynamic one
+    // was reclaimed at all 4 processes after retirement.
+    assert_eq!(serial.per_topic.len(), 2);
+    for t in &serial.per_topic {
+        assert!(t.report.all_ok(), "topic {}: {:?}", t.topic, t.report);
+    }
+    assert_eq!(
+        serial.topics_reclaimed(),
+        4,
+        "4 processes × 1 retired topic"
+    );
+
+    let mut rendered = render_topic_trace("dynamic_topics", &serial);
+    // The lifecycle counters are part of the pinned trace: a regression
+    // that stops reclaiming (or reclaims the wrong number of instances)
+    // must fail the golden comparison, not just the unit tests.
+    rendered = rendered.replacen(
+        "  \"deliveries\": [",
+        &format!(
+            "  \"topics_reclaimed\": {},\n  \"deliveries\": [",
+            serial.topics_reclaimed()
+        ),
+        1,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/dynamic_topics.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &rendered).expect("write golden");
+        eprintln!("golden updated: {path}");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    let got: serde_json::Value = serde_json::from_str(&rendered).unwrap();
+    let want: serde_json::Value = serde_json::from_str(&golden).unwrap();
+    assert_eq!(
+        got, want,
+        "dynamic_topics no longer replays to the recorded lifecycle trace; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
 fn sim_and_runtime_agree_on_a_multi_topic_run() {
     // The same 2-topic, 4-process, 4-broadcast workload on both backends.
     // Wall-clock scheduling differs, so parity is semantic: every process
