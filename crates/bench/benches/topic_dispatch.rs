@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the topic-dispatch plane (DESIGN.md §16): the
+//! per-message cost of resolving a topic id to its slot at 1 / 1k / 100k
+//! live topics, old lookup (binary search over the sorted slot ids plus
+//! a retired-set probe) vs. new ([`TopicEngine::resolve`], one directory
+//! probe) — and the mux-ingress run-length rule on/off: one frame of
+//! ascending sub-batch runs received through `receive_mux_frame` (slot
+//! resolved once per run) vs. the same messages stepped one
+//! `step_mux` call each (slot resolved per entry).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use urb_core::Algorithm;
+use urb_engine::{MuxBuffers, StepInput, TopicEngine, TopicState};
+use urb_types::{
+    encode_mux_frame_into, BufPool, FdSnapshot, Payload, RandomSource, SplitMix64, TopicId,
+    WireMessage,
+};
+
+const TOPIC_COUNTS: [u32; 3] = [1, 1_000, 100_000];
+
+fn engine(topics: u32) -> TopicEngine {
+    TopicEngine::new(
+        (0..topics)
+            .map(|_| Algorithm::Majority.instantiate(3))
+            .collect(),
+        SplitMix64::new(0x70B1C),
+    )
+}
+
+/// A seeded probe stream spanning live and absent ids.
+fn probes(topics: u32, len: usize) -> Vec<u32> {
+    let mut rng = SplitMix64::new(0xBE7C4);
+    let span = topics as u64 + (topics as u64 / 2).max(1);
+    (0..len).map(|_| (rng.next_u64() % span) as u32).collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_lookup");
+    for &topics in &TOPIC_COUNTS {
+        let eng = engine(topics);
+        let slots: Vec<u32> = (0..topics).collect();
+        let retired: BTreeSet<u32> = BTreeSet::new();
+        let keys = probes(topics, 4_096);
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", topics),
+            &topics,
+            |b, _| {
+                b.iter(|| {
+                    keys.iter().fold(0u64, |acc, &id| {
+                        let v = match slots.binary_search(black_box(&id)) {
+                            Ok(i) => i as u64,
+                            Err(_) if retired.contains(&id) => u64::MAX - 1,
+                            Err(_) => u64::MAX,
+                        };
+                        acc.rotate_left(7) ^ v
+                    })
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("directory", topics), &topics, |b, _| {
+            b.iter(|| {
+                keys.iter().fold(0u64, |acc, &id| {
+                    let v = match eng.resolve(TopicId(black_box(id))) {
+                        TopicState::Live(i) | TopicState::Draining(i) => i as u64,
+                        TopicState::Retired => u64::MAX - 1,
+                        TopicState::Unknown => u64::MAX,
+                    };
+                    acc.rotate_left(7) ^ v
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One frame of duplicate-MSG runs (8 messages per topic, 3 topics) —
+/// the steady-state ingress shape. "run_length" receives it through the
+/// mux path (one directory probe per run); "per_entry" steps the same
+/// messages individually (one probe per message).
+fn bench_mux_ingress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mux_ingress");
+    for &topics in &TOPIC_COUNTS {
+        let mut eng = engine(topics);
+        let fd = FdSnapshot::none();
+        let mut mux = MuxBuffers::new();
+        let spread: Vec<u32> = [0u32, topics / 2, topics - 1]
+            .into_iter()
+            .collect::<BTreeSet<_>>() // dedup for the topics=1 case
+            .into_iter()
+            .collect();
+        let mut entries: Vec<(TopicId, WireMessage)> = Vec::new();
+        for &t in &spread {
+            let tag = eng
+                .step_mux(
+                    TopicId(t),
+                    StepInput::Broadcast(Payload::from("m")),
+                    &fd,
+                    &mut mux,
+                )
+                .expect("broadcast assigns a tag");
+            for _ in 0..8 {
+                entries.push((
+                    TopicId(t),
+                    WireMessage::Msg {
+                        tag,
+                        payload: Payload::from("m"),
+                    },
+                ));
+            }
+        }
+        let pool = BufPool::new(2);
+        let frame = {
+            let mut buf = pool.acquire();
+            encode_mux_frame_into(&entries, &mut buf);
+            bytes::Bytes::copy_from_slice(&buf)
+        };
+        group.bench_with_input(BenchmarkId::new("run_length", topics), &topics, |b, _| {
+            b.iter(|| {
+                mux.clear();
+                eng.receive_mux_frame(black_box(&frame), &mut mux, |_, _| FdSnapshot::none())
+                    .expect("well-formed frame");
+                black_box(mux.outbox.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("per_entry", topics), &topics, |b, _| {
+            b.iter(|| {
+                mux.clear();
+                for (t, m) in &entries {
+                    eng.step_mux(*t, StepInput::Receive(m.clone()), &fd, &mut mux);
+                }
+                black_box(mux.outbox.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lookup, bench_mux_ingress
+);
+criterion_main!(benches);

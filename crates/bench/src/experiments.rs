@@ -11,8 +11,10 @@
 //! schedule sweep, E17 spec round-trip + executor parity — DESIGN.md §9),
 //! the topic plane's scaling story (E18 topic-count scaling, E19
 //! multiplexed-vs-separate frames A/B — DESIGN.md §12), and the memory
-//! plane's plateau claim (E20 bounded-memory soak — DESIGN.md §14), and
-//! the dynamic topic control plane's churn story (E21 — DESIGN.md §15).
+//! plane's plateau claim (E20 bounded-memory soak — DESIGN.md §14), the
+//! dynamic topic control plane's churn story (E21 — DESIGN.md §15), and
+//! the open-loop load plane (E22 flat dispatch cost at 100k topics, E23
+//! the offered-load knee — DESIGN.md §16).
 //!
 //! All experiments are deterministic: same build, same tables. Every run's
 //! seed is a pure function of its grid cell and seed index, so the
@@ -25,14 +27,17 @@ use urb_core::Algorithm;
 use urb_fd::{HeartbeatConfig, OracleConfig};
 use urb_sim::sim::{FdKind, LinkOverride, SimConfig};
 use urb_sim::spec::{self, ScenarioSpec, StopRule};
-use urb_sim::{scenario, soak, CrashPlan, CrashRule, LossModel, RunOutcome, Schedule, SoakConfig};
+use urb_sim::{
+    open_loop, scenario, soak, CrashPlan, CrashRule, LossModel, OpenLoopConfig, OpenLoopOutcome,
+    RunOutcome, Schedule, SoakConfig,
+};
 use urb_types::MemoryConfig;
 
 /// Number of seeds per grid cell (kept moderate so the full suite runs in
 /// minutes; bump for tighter confidence).
 pub const SEEDS: u64 = 10;
 
-/// Runs one experiment by id (`"e1"`..`"e21"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e23"`), returning its tables.
 pub fn run_experiment(id: &str) -> Vec<Table> {
     match id {
         "e1" => e1_alg1_correctness(),
@@ -56,14 +61,16 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e19" => e19_mux_vs_separate(),
         "e20" => e20_bounded_memory_soak(),
         "e21" => e21_dynamic_topic_churn(),
-        other => panic!("unknown experiment id {other:?} (use e1..e21)"),
+        "e22" => e22_topic_scaling_open_loop(),
+        "e23" => e23_offered_load_knee(),
+        other => panic!("unknown experiment id {other:?} (use e1..e23)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -1247,6 +1254,192 @@ pub fn e21_dynamic_topic_churn() -> Vec<Table> {
     vec![t]
 }
 
+/// The open-loop grids for E22/E23 (DESIGN.md §16) — one
+/// [`OpenLoopConfig`] per `(cell, seed)` pair, a pure function of the
+/// arguments. Shared by the standalone experiment tables and the
+/// trajectory collector so both sample exactly the same plane; the CLI's
+/// `--load-topics` / `--rates` overrides arrive through the two `Option`
+/// parameters (`None` = the pinned default grid the committed trajectory
+/// files use).
+///
+/// E22 deliberately derives the **same** seed for every topic-count cell:
+/// dispatch is O(1), so the per-seed outcomes must be byte-identical from
+/// 1 to 100k topics — the flat-cost pin is baked into the grid itself.
+/// E23 sweeps the offered load across the cluster's service capacity
+/// (n=3 × 1/tick = 3000 arrivals/ktick), so the latency tail crosses the
+/// knee inside the default grid.
+pub fn open_loop_grid(
+    id: &str,
+    seed: u64,
+    seeds: u64,
+    load_topics: Option<&[u32]>,
+    rates: Option<&[u64]>,
+) -> Vec<OpenLoopConfig> {
+    let derive = |cell: u64, s: u64| {
+        seed.wrapping_mul(9973)
+            .wrapping_add(cell.wrapping_mul(131))
+            .wrapping_add(s)
+    };
+    let mut cfgs = Vec::new();
+    match id {
+        "e22" => {
+            for &topics in load_topics.unwrap_or(&[1, 1_000, 100_000]) {
+                for s in 0..seeds {
+                    // Same derived seed across topic cells — see above.
+                    cfgs.push(OpenLoopConfig::new(4_000).topics(topics).seed(derive(0, s)));
+                }
+            }
+        }
+        "e23" => {
+            for (cell, &rate) in rates
+                .unwrap_or(&[500, 1_500, 2_500, 4_000, 8_000])
+                .iter()
+                .enumerate()
+            {
+                for s in 0..seeds {
+                    cfgs.push(
+                        OpenLoopConfig::new(rate)
+                            .topics(8)
+                            .seed(derive(cell as u64, s)),
+                    );
+                }
+            }
+        }
+        other => panic!("unknown open-loop experiment id {other:?} (use e22/e23)"),
+    }
+    cfgs
+}
+
+/// E22 — open-loop topic-count scaling (DESIGN.md §16): the identical
+/// offered load from 1 to 100 000 live topics per node.
+///
+/// With O(1) topic dispatch the topic count changes *where* broadcasts
+/// land but nothing else: arrivals, service, RNG draws, latencies and
+/// per-process delivery hashes are byte-identical across the sweep. The
+/// harness asserts full-outcome equality against the 1-topic baseline —
+/// per-message cost is flat not "within noise" but exactly.
+pub fn e22_topic_scaling_open_loop() -> Vec<Table> {
+    let mut t = Table::new(
+        "E22 — open-loop topic scaling: 1 → 100k topics (n=3, 4000 arrivals/ktick)",
+        &[
+            "topics",
+            "runs",
+            "offered",
+            "completed",
+            "p50",
+            "p99",
+            "p999",
+            "identical to 1 topic",
+        ],
+    );
+    let cells = [1u32, 1_000, 100_000];
+    let mut baseline: Vec<OpenLoopOutcome> = Vec::new();
+    for &topics in &cells {
+        let outcomes: Vec<OpenLoopOutcome> =
+            open_loop_grid("e22", 0xE22, SEEDS, Some(&[topics]), None)
+                .into_iter()
+                .map(open_loop)
+                .collect();
+        if baseline.is_empty() {
+            baseline = outcomes.clone();
+        }
+        let identical = outcomes == baseline;
+        assert!(
+            identical,
+            "dispatch must be O(1): outcomes diverged at {topics} topics"
+        );
+        let offered: u64 = outcomes.iter().map(|o| o.offered).sum();
+        let completed: u64 = outcomes.iter().map(|o| o.completed).sum();
+        let max = |f: fn(&OpenLoopOutcome) -> u64| outcomes.iter().map(f).max().unwrap_or(0);
+        t.row(vec![
+            topics.to_string(),
+            SEEDS.to_string(),
+            offered.to_string(),
+            completed.to_string(),
+            max(|o| o.latency_p50).to_string(),
+            max(|o| o.latency_p99).to_string(),
+            max(|o| o.latency_p999).to_string(),
+            identical.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E23 — the offered-load sweep (DESIGN.md §16): p50/p90/p99/p999
+/// delivery latency vs arrivals per kilotick, locating the saturation
+/// knee at the cluster's service capacity (3000/ktick for n=3 at one
+/// broadcast per node per tick).
+///
+/// Below capacity every arrival is served the tick it lands and the
+/// whole latency distribution sits at the protocol floor; past capacity
+/// the ingress queues — and therefore the p999 tail and the post-horizon
+/// drain — grow with the backlog while achieved throughput flattens.
+/// Both sides of the knee are asserted, not just tabulated.
+pub fn e23_offered_load_knee() -> Vec<Table> {
+    let mut t = Table::new(
+        "E23 — offered load vs latency: the knee at capacity 3000/ktick (n=3, 8 topics)",
+        &[
+            "rate/ktick",
+            "runs",
+            "offered",
+            "achieved in horizon",
+            "p50",
+            "p90",
+            "p99",
+            "p999",
+            "peak queue",
+            "drain ticks",
+        ],
+    );
+    let rates = [500u64, 1_500, 2_500, 4_000, 8_000];
+    let mut rows: Vec<(u64, Vec<OpenLoopOutcome>)> = Vec::new();
+    for (cell, &rate) in rates.iter().enumerate() {
+        let cfgs = open_loop_grid("e23", 0xE23, SEEDS, None, Some(&rates));
+        let outcomes: Vec<OpenLoopOutcome> = cfgs
+            .into_iter()
+            .skip(cell * SEEDS as usize)
+            .take(SEEDS as usize)
+            .map(open_loop)
+            .collect();
+        rows.push((rate, outcomes));
+    }
+    for (rate, outcomes) in &rows {
+        let offered: u64 = outcomes.iter().map(|o| o.offered).sum();
+        let achieved: u64 = outcomes.iter().map(|o| o.completed_in_horizon).sum();
+        let max = |f: fn(&OpenLoopOutcome) -> u64| outcomes.iter().map(f).max().unwrap_or(0);
+        t.row(vec![
+            rate.to_string(),
+            SEEDS.to_string(),
+            offered.to_string(),
+            achieved.to_string(),
+            max(|o| o.latency_p50).to_string(),
+            max(|o| o.latency_p90).to_string(),
+            max(|o| o.latency_p99).to_string(),
+            max(|o| o.latency_p999).to_string(),
+            max(|o| o.peak_queue_depth as u64).to_string(),
+            max(|o| o.drain_ticks).to_string(),
+        ]);
+    }
+    let below = &rows.first().expect("rate grid non-empty").1;
+    let above = &rows.last().expect("rate grid non-empty").1;
+    assert!(
+        below.iter().all(|o| o.latency_p999 == 0),
+        "below capacity every arrival must be served the tick it lands"
+    );
+    assert!(
+        above
+            .iter()
+            .all(|o| o.latency_p999 > 50 && o.drain_ticks > 0),
+        "past capacity the tail and the backlog must grow without bound"
+    );
+    assert!(
+        above.iter().map(|o| o.completed_in_horizon).sum::<u64>() * 2
+            < above.iter().map(|o| o.offered).sum::<u64>(),
+        "past capacity achieved throughput must flatten while offered climbs"
+    );
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1254,7 +1447,7 @@ mod tests {
     #[test]
     fn all_ids_resolve() {
         // Smoke-test the dispatcher without running the heavy grids.
-        assert_eq!(ALL_IDS.len(), 21);
+        assert_eq!(ALL_IDS.len(), 23);
     }
 
     #[test]
@@ -1283,6 +1476,36 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         let _ = run_experiment("e99");
+    }
+
+    #[test]
+    fn open_loop_grid_shapes_and_seed_sharing() {
+        // E22: topic cells share their derived seeds (the flat-cost pin
+        // needs identical arrival streams across cells).
+        let g = open_loop_grid("e22", 7, 2, None, None);
+        assert_eq!(g.len(), 6, "3 topic cells × 2 seeds");
+        assert_eq!(g[0].seed, g[2].seed, "cells share seeds");
+        assert_eq!(g[0].seed, g[4].seed);
+        assert_ne!(g[0].seed, g[1].seed, "seed index still varies");
+        assert_eq!(g[4].topics, 100_000);
+        // E23: rate cells get distinct seeds (independent sweep points).
+        let g = open_loop_grid("e23", 7, 2, None, None);
+        assert_eq!(g.len(), 10, "5 rate cells × 2 seeds");
+        assert_ne!(g[0].seed, g[2].seed);
+        assert_eq!(g[8].rate_per_ktick, 8_000);
+        // Overrides replace the default grids.
+        let g = open_loop_grid("e23", 7, 1, None, Some(&[123]));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].rate_per_ktick, 123);
+        let g = open_loop_grid("e22", 7, 1, Some(&[5]), None);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].topics, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown open-loop experiment")]
+    fn open_loop_grid_rejects_sim_ids() {
+        let _ = open_loop_grid("e21", 1, 1, None, None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The benchmark-trajectory subsystem: machine-readable perf history.
 //!
 //! `urb bench --json BENCH_PR<k>.json` runs a **reduced, fixed grid** for
-//! every experiment id (E1–E20) and emits one schema-versioned JSON file
+//! every experiment id (E1–E23) and emits one schema-versioned JSON file
 //! — the repo's perf trajectory. Each PR archives one such file; diffing
 //! two of them answers "what did this PR do to throughput, latency and
 //! allocation behaviour?" without re-running anything (DESIGN.md §10
@@ -38,12 +38,19 @@ pub struct TrajectoryConfig {
     /// Seeds per grid cell (3 keeps the full trajectory under a minute
     /// in release builds; bump for tighter numbers).
     pub seeds_per_cell: u64,
-    /// Experiment ids to cover (subset of `e1..e21`).
+    /// Experiment ids to cover (subset of `e1..e23`).
     pub ids: Vec<String>,
+    /// Override of E22's topic-count grid (`None` = the pinned default
+    /// `[1, 1k, 100k]` the committed trajectory files use).
+    pub load_topics: Option<Vec<u32>>,
+    /// Override of E23's offered-load grid in arrivals per kilotick
+    /// (`None` = the pinned default sweep across the capacity knee).
+    pub rates: Option<Vec<u64>>,
 }
 
 impl TrajectoryConfig {
-    /// The full trajectory: every experiment id, 3 seeds per cell.
+    /// The full trajectory: every experiment id, 3 seeds per cell, the
+    /// pinned open-loop grids.
     pub fn full(seed: u64) -> Self {
         TrajectoryConfig {
             seed,
@@ -52,6 +59,8 @@ impl TrajectoryConfig {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            load_topics: None,
+            rates: None,
         }
     }
 }
@@ -128,6 +137,9 @@ pub fn collect_with(cfg: &TrajectoryConfig, mode: ExecMode) -> Trajectory {
         .ids
         .iter()
         .map(|id| {
+            if id == "e22" || id == "e23" {
+                return open_loop_point(id, cfg);
+            }
             let configs = grid(id, cfg.seed, cfg.seeds_per_cell);
             let runs = configs.len() as u64;
             let (outcomes, allocs) = count_allocations(|| match mode {
@@ -141,6 +153,74 @@ pub fn collect_with(cfg: &TrajectoryConfig, mode: ExecMode) -> Trajectory {
         seed: cfg.seed,
         seeds_per_cell: cfg.seeds_per_cell,
         points,
+    }
+}
+
+/// Collects one open-loop point (E22/E23 — DESIGN.md §16). Open-loop
+/// runs step engines directly (no event-queue `SimConfig`), so they
+/// bypass the sim executor; `open_loop` is a pure function of its
+/// config, which makes the serial and parallel collectors trivially
+/// identical here and keeps the whole-trajectory parity pin intact.
+/// Every emitted number reuses the existing point schema — the
+/// append-only guarantee: no new required fields, new ids only.
+fn open_loop_point(id: &str, cfg: &TrajectoryConfig) -> ExperimentPoint {
+    let cells = crate::experiments::open_loop_grid(
+        id,
+        cfg.seed,
+        cfg.seeds_per_cell,
+        cfg.load_topics.as_deref(),
+        cfg.rates.as_deref(),
+    );
+    let runs = cells.len() as u64;
+    let horizons: Vec<u64> = cells.iter().map(|c| c.ticks).collect();
+    let (outcomes, allocs) = count_allocations(|| {
+        cells
+            .into_iter()
+            .map(urb_sim::open_loop)
+            .collect::<Vec<_>>()
+    });
+    // `urb_ok` here means the open-loop contract held: every offered
+    // arrival was injected and completed (URB validity observed at the
+    // origin, with the drain phase guaranteeing termination).
+    let urb_ok = outcomes
+        .iter()
+        .filter(|o| o.offered == o.injected && o.offered == o.completed)
+        .count() as u64;
+    let deliveries: u64 = outcomes.iter().map(|o| o.deliveries).sum();
+    let transmissions: u64 = outcomes.iter().map(|o| o.transmissions).sum();
+    // Percentiles are worst-across-cells: each cell's distribution is
+    // exact (simulated ticks), and the max is the deterministic scalar
+    // that moves first when a load point crosses the knee.
+    let max = |f: fn(&urb_sim::OpenLoopOutcome) -> u64| outcomes.iter().map(f).max().unwrap_or(0);
+    let total_ticks: u64 = outcomes
+        .iter()
+        .zip(&horizons)
+        .map(|(o, h)| h + o.drain_ticks)
+        .sum();
+    let mut fingerprint = 0u64;
+    for o in &outcomes {
+        for &h in &o.delivery_hashes {
+            fingerprint = fingerprint.rotate_left(7) ^ h;
+        }
+        fingerprint = fingerprint.rotate_left(11) ^ o.latency_p999 ^ (o.drain_ticks << 32);
+    }
+    ExperimentPoint {
+        id: id.to_string(),
+        runs,
+        urb_ok,
+        deliveries,
+        transmissions,
+        dropped: 0, // the open-loop network is lossless by construction
+        latency_p50: max(|o| o.latency_p50),
+        latency_p90: max(|o| o.latency_p90),
+        latency_p99: max(|o| o.latency_p99),
+        mean_end_time: total_ticks / runs.max(1),
+        throughput_per_ktick: transmissions as f64 * 1000.0 / total_ticks.max(1) as f64,
+        // No pooled batch plane in the direct-stepping harness; 0 keeps
+        // the field honest rather than vacuously perfect.
+        pool_hit_rate: 0.0,
+        allocs_per_run: allocs.map(|a| a as f64 / runs.max(1) as f64),
+        trace_fingerprint: fingerprint,
     }
 }
 
@@ -534,7 +614,11 @@ pub fn grid(id: &str, seed: u64, seeds: u64) -> Vec<SimConfig> {
                 }
             }
         }
-        other => panic!("unknown experiment id {other:?} (use e1..e21)"),
+        "e22" | "e23" => panic!(
+            "{id} is an open-loop experiment: it has no SimConfig grid — \
+             cells come from crate::experiments::open_loop_grid"
+        ),
+        other => panic!("unknown experiment id {other:?} (use e1..e23)"),
     }
     cfgs
 }
@@ -854,6 +938,8 @@ mod tests {
             seed: 5,
             seeds_per_cell: 1,
             ids: vec!["e1".into(), "e11".into()],
+            load_topics: None,
+            rates: None,
         }
     }
 
@@ -967,15 +1053,66 @@ mod tests {
     #[test]
     fn every_experiment_id_has_a_grid() {
         for id in crate::experiments::ALL_IDS {
+            if id == "e22" || id == "e23" {
+                let cells = crate::experiments::open_loop_grid(id, 1, 1, None, None);
+                assert!(!cells.is_empty(), "{id} open-loop grid empty");
+                continue;
+            }
             let g = grid(id, 1, 1);
             assert!(!g.is_empty(), "{id} grid empty");
         }
     }
 
     #[test]
+    #[should_panic(expected = "open-loop experiment")]
+    fn sim_grid_refuses_open_loop_ids() {
+        let _ = grid("e22", 1, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         let _ = grid("e99", 1, 1);
+    }
+
+    #[test]
+    fn open_loop_points_collect_with_parity_and_validate() {
+        // Scaled-down open-loop grids (override flags) so the debug test
+        // stays fast; the committed trajectory uses the pinned defaults.
+        let cfg = TrajectoryConfig {
+            seed: 5,
+            seeds_per_cell: 1,
+            ids: vec!["e22".into(), "e23".into()],
+            load_topics: Some(vec![1, 64]),
+            rates: Some(vec![500, 9_000]),
+        };
+        let t = collect(&cfg);
+        assert_eq!(t.points.len(), 2);
+        let e22 = &t.points[0];
+        assert_eq!(e22.id, "e22");
+        assert_eq!(e22.runs, 2, "two topic cells × one seed");
+        assert_eq!(e22.urb_ok, 2, "every offered arrival completes");
+        assert_eq!(e22.dropped, 0, "the open-loop network is lossless");
+        assert!(e22.deliveries > 0);
+        let e23 = &t.points[1];
+        assert_eq!(e23.id, "e23");
+        assert!(
+            e23.latency_p99 > 0,
+            "the past-capacity cell must push the tail off the floor"
+        );
+        // Serial/parallel parity extends to the open-loop branch.
+        let scrub = |mut t: Trajectory| {
+            for p in &mut t.points {
+                p.allocs_per_run = None;
+            }
+            t
+        };
+        assert_eq!(
+            scrub(collect_with(&cfg, ExecMode::Serial)),
+            scrub(collect_with(&cfg, ExecMode::Parallel))
+        );
+        // The new points ride the existing schema unchanged.
+        validate_json(&t.to_json()).expect("open-loop points conform to the point schema");
     }
 
     #[test]

@@ -72,7 +72,11 @@ FLAGS (bench):
                       count-metric mismatch over overlapping points
     --seed S          root seed for the grids                [default: 1]
     --seeds K         seeds per grid cell                    [default: 3]
-    --experiments IDS comma-separated subset of e1..e21      [default: all]
+    --experiments IDS comma-separated subset of e1..e23      [default: all]
+    --load-topics T,… topic-count cells of the e22 open-loop grid
+                      (positive ints)        [default: 1,1000,100000]
+    --rates R,...     offered-load cells of the e23 open-loop grid,
+                      msgs/ktick (positive)  [default: 500,1500,2500,4000,8000]
 
 FLAGS (node):
     --id I            this node's id (0-based)            [required]
@@ -280,8 +284,14 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Seeds per grid cell.
     pub seeds: u64,
-    /// Experiment ids to cover (`None` = all of e1..e20).
+    /// Experiment ids to cover (`None` = all of e1..e23).
     pub experiments: Option<Vec<String>>,
+    /// Topic-count cells of the e22 open-loop grid (`None` = the pinned
+    /// defaults the committed trajectory files use).
+    pub load_topics: Option<Vec<u32>>,
+    /// Offered-load cells of the e23 open-loop grid, in messages per
+    /// kilotick (`None` = pinned defaults).
+    pub rates: Option<Vec<u64>>,
 }
 
 impl Default for BenchArgs {
@@ -293,6 +303,8 @@ impl Default for BenchArgs {
             seed: 1,
             seeds: 3,
             experiments: None,
+            load_topics: None,
+            rates: None,
         }
     }
 }
@@ -366,6 +378,29 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "eager-rb" | "rb" => Algorithm::EagerRb,
         other => return Err(format!("unknown algorithm {other:?}")),
     })
+}
+
+/// Parses a comma-separated list of strictly positive integers (the
+/// open-loop grid cells of `urb bench`). Empty list, a non-numeric
+/// value, or a zero is a usage error.
+fn positive_list<T>(raw: &str, name: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr + PartialEq + From<u8>,
+    T::Err: std::fmt::Display,
+{
+    let vals: Vec<T> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<T>().map_err(|e| format!("{name}: {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if vals.is_empty() {
+        return Err(format!("{name} needs at least one value"));
+    }
+    if vals.contains(&T::from(0u8)) {
+        return Err(format!("{name} values must be positive"));
+    }
+    Ok(vals)
 }
 
 /// Parses an argv (without the program name).
@@ -444,13 +479,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 match lower.strip_prefix('e') {
                                     Some(digits) if digits.bytes().all(|b| b.is_ascii_digit()) => {
                                         match digits.parse::<u32>() {
-                                            Ok(n @ 1..=21) => Ok(format!("e{n}")),
+                                            Ok(n @ 1..=23) => Ok(format!("e{n}")),
                                             _ => Err(format!(
-                                                "unknown experiment id {id:?} (use e1..e21)"
+                                                "unknown experiment id {id:?} (use e1..e23)"
                                             )),
                                         }
                                     }
-                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e21)")),
+                                    _ => Err(format!("unknown experiment id {id:?} (use e1..e23)")),
                                 }
                             })
                             .collect::<Result<_, _>>()?;
@@ -458,6 +493,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             return Err("--experiments needs at least one id".into());
                         }
                         args.experiments = Some(ids);
+                    }
+                    "--load-topics" => {
+                        args.load_topics =
+                            Some(positive_list(&value("--load-topics")?, "--load-topics")?);
+                    }
+                    "--rates" => {
+                        args.rates = Some(positive_list(&value("--rates")?, "--rates")?);
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
@@ -1181,12 +1223,45 @@ mod tests {
     }
 
     #[test]
-    fn bench_accepts_e21() {
-        match parse(&argv("bench --experiments e21")).unwrap() {
-            Command::Bench(a) => assert_eq!(a.experiments, Some(vec!["e21".into()])),
+    fn bench_accepts_e23() {
+        match parse(&argv("bench --experiments e21,e22,e23")).unwrap() {
+            Command::Bench(a) => assert_eq!(
+                a.experiments,
+                Some(vec!["e21".into(), "e22".into(), "e23".into()])
+            ),
             _ => panic!(),
         }
-        assert!(parse(&argv("bench --experiments e22")).is_err());
+        assert!(parse(&argv("bench --experiments e24")).is_err());
+    }
+
+    #[test]
+    fn bench_open_loop_grid_flags() {
+        match parse(&argv("bench --load-topics 1,64 --rates 500,9000")).unwrap() {
+            Command::Bench(a) => {
+                assert_eq!(a.load_topics, Some(vec![1, 64]));
+                assert_eq!(a.rates, Some(vec![500, 9_000]));
+            }
+            _ => panic!(),
+        }
+        // Defaults stay None: the committed trajectory files pin them.
+        match parse(&argv("bench")).unwrap() {
+            Command::Bench(a) => {
+                assert_eq!(a.load_topics, None);
+                assert_eq!(a.rates, None);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("bench --rates 0")).is_err(), "zero rate");
+        assert!(parse(&argv("bench --rates abc")).is_err(), "non-numeric");
+        assert!(parse(&argv("bench --rates ,")).is_err(), "empty list");
+        assert!(
+            parse(&argv("bench --load-topics 0,5")).is_err(),
+            "zero cell"
+        );
+        assert!(
+            parse(&argv("bench --load-topics")).is_err(),
+            "missing value"
+        );
     }
 
     #[test]

@@ -447,6 +447,8 @@ pub fn build_trajectory_config(args: &BenchArgs) -> TrajectoryConfig {
     if let Some(ids) = &args.experiments {
         cfg.ids = ids.clone();
     }
+    cfg.load_topics = args.load_topics.clone();
+    cfg.rates = args.rates.clone();
     cfg
 }
 
@@ -517,6 +519,10 @@ pub fn bench_cmd(args: BenchArgs) {
     traj.summary_table().print();
     println!();
     print!("{}", urb_bench::compare::run(args.seed, 5).render_text());
+    print!(
+        "{}",
+        urb_bench::compare::run_dispatch(args.seed, 1 << 14, 3).render_text()
+    );
     if let Some(path) = &args.json {
         let json = traj.to_json();
         trajectory::validate_json(&json).expect("fresh trajectory conforms to its schema");
@@ -836,12 +842,73 @@ pub fn topic_cmd(args: crate::args::TopicArgs) {
 }
 
 /// One child's contribution to the cluster verdict.
-struct ChildVerdict {
-    id: usize,
-    exit_ok: bool,
-    complete: bool,
+pub struct ChildVerdict {
+    /// Node id (the child's `--id`).
+    pub id: usize,
+    /// Child process exited 0.
+    pub exit_ok: bool,
+    /// The child reported its `--expect` deliveries met.
+    pub complete: bool,
+    /// Live topic instances at report time, from the child's
+    /// `topics_live` field (the dynamic control plane, DESIGN.md §15).
+    pub topics_live: u64,
+    /// Retired-and-reclaimed instances, from `topics_reclaimed`.
+    pub topics_reclaimed: u64,
     /// Per-topic delivered payload sets parsed from the child's report.
-    per_topic: Vec<std::collections::BTreeSet<String>>,
+    pub per_topic: Vec<std::collections::BTreeSet<String>>,
+}
+
+/// The JSON body of the cluster report (split out for tests). Rolls the
+/// per-node topic-lifecycle counters — `topics_live` / `topics_reclaimed`
+/// from each child's node report, which earlier envelopes silently
+/// dropped — into per-node rows AND cluster-wide sums.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_report_body(
+    n: usize,
+    algorithm: urb_core::Algorithm,
+    topics: u32,
+    msgs: usize,
+    expect: usize,
+    verdicts: &[ChildVerdict],
+    topic_ok: &[bool],
+    parity_ok: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let live: u64 = verdicts.iter().map(|v| v.topics_live).sum();
+    let reclaimed: u64 = verdicts.iter().map(|v| v.topics_reclaimed).sum();
+    let mut body = String::with_capacity(512);
+    body.push_str("{\n");
+    let _ = writeln!(body, "  \"n\": {n},");
+    let _ = writeln!(body, "  \"algorithm\": \"{}\",", algorithm.name());
+    let _ = writeln!(body, "  \"topics\": {topics},");
+    let _ = writeln!(body, "  \"msgs_per_node\": {msgs},");
+    let _ = writeln!(body, "  \"expected_per_topic\": {expect},");
+    let _ = writeln!(body, "  \"topics_live\": {live},");
+    let _ = writeln!(body, "  \"topics_reclaimed\": {reclaimed},");
+    body.push_str("  \"nodes\": [\n");
+    for (i, v) in verdicts.iter().enumerate() {
+        let _ = write!(
+            body,
+            "    {{\"id\": {}, \"exit_ok\": {}, \"complete\": {}, \
+             \"topics_live\": {}, \"topics_reclaimed\": {}}}",
+            v.id, v.exit_ok, v.complete, v.topics_live, v.topics_reclaimed
+        );
+        body.push_str(if i + 1 < verdicts.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"per_topic\": [\n");
+    for (topic, ok) in topic_ok.iter().enumerate() {
+        let _ = write!(body, "    {{\"topic\": {topic}, \"ok\": {ok}}}");
+        body.push_str(if topic + 1 < topic_ok.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    body.push_str("  ],\n");
+    let _ = writeln!(body, "  \"verdict\": {parity_ok}");
+    body.push('}');
+    body
 }
 
 /// `urb cluster --local N`: reserve N loopback ports, spawn N `urb node`
@@ -924,10 +991,14 @@ pub fn cluster_cmd(args: ClusterArgs) {
             id,
             exit_ok: out.status.success(),
             complete: false,
+            topics_live: 0,
+            topics_reclaimed: 0,
             per_topic: vec![std::collections::BTreeSet::new(); args.topics as usize],
         };
         if let Ok(v) = serde_json::from_str(text.trim()) {
             verdict.complete = v["data"]["complete"].as_bool().unwrap_or(false);
+            verdict.topics_live = v["data"]["topics_live"].as_u64().unwrap_or(0);
+            verdict.topics_reclaimed = v["data"]["topics_reclaimed"].as_u64().unwrap_or(0);
             if let Some(rows) = v["data"]["per_topic"].as_array() {
                 for row in rows {
                     let topic = row["topic"].as_u64().unwrap_or(u64::MAX) as usize;
@@ -959,36 +1030,16 @@ pub fn cluster_cmd(args: ClusterArgs) {
     let parity_ok = nodes_ok && topic_ok.iter().all(|&ok| ok);
 
     if args.json {
-        use std::fmt::Write as _;
-        let mut body = String::with_capacity(512);
-        body.push_str("{\n");
-        let _ = writeln!(body, "  \"n\": {n},");
-        let _ = writeln!(body, "  \"algorithm\": \"{}\",", args.algorithm.name());
-        let _ = writeln!(body, "  \"topics\": {},", args.topics);
-        let _ = writeln!(body, "  \"msgs_per_node\": {},", args.msgs);
-        let _ = writeln!(body, "  \"expected_per_topic\": {expect},");
-        body.push_str("  \"nodes\": [\n");
-        for (i, v) in verdicts.iter().enumerate() {
-            let _ = write!(
-                body,
-                "    {{\"id\": {}, \"exit_ok\": {}, \"complete\": {}}}",
-                v.id, v.exit_ok, v.complete
-            );
-            body.push_str(if i + 1 < verdicts.len() { ",\n" } else { "\n" });
-        }
-        body.push_str("  ],\n");
-        body.push_str("  \"per_topic\": [\n");
-        for (topic, ok) in topic_ok.iter().enumerate() {
-            let _ = write!(body, "    {{\"topic\": {topic}, \"ok\": {ok}}}");
-            body.push_str(if topic + 1 < topic_ok.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        body.push_str("  ],\n");
-        let _ = writeln!(body, "  \"verdict\": {parity_ok}");
-        body.push('}');
+        let body = cluster_report_body(
+            n,
+            args.algorithm,
+            args.topics,
+            args.msgs,
+            expect,
+            &verdicts,
+            &topic_ok,
+            parity_ok,
+        );
         println!(
             "{}",
             report::envelope(CLUSTER_REPORT_KIND, args.seed, &body)
@@ -1003,10 +1054,12 @@ pub fn cluster_cmd(args: ClusterArgs) {
         );
         for v in &verdicts {
             println!(
-                "  node {}: exit {}, {}",
+                "  node {}: exit {}, {}, {} live / {} reclaimed topics",
                 v.id,
                 if v.exit_ok { "ok" } else { "FAIL" },
-                if v.complete { "complete" } else { "INCOMPLETE" }
+                if v.complete { "complete" } else { "INCOMPLETE" },
+                v.topics_live,
+                v.topics_reclaimed
             );
         }
         for (topic, ok) in topic_ok.iter().enumerate() {
@@ -1141,17 +1194,70 @@ mod tests {
     #[test]
     fn bench_config_maps_flags() {
         let cfg = build_trajectory_config(&BenchArgs::default());
-        assert_eq!(cfg.ids.len(), 21, "all experiments by default");
+        assert_eq!(cfg.ids.len(), 23, "all experiments by default");
         assert_eq!(cfg.seeds_per_cell, 3);
+        assert_eq!(cfg.load_topics, None, "pinned open-loop defaults");
+        assert_eq!(cfg.rates, None);
         let cfg = build_trajectory_config(&BenchArgs {
             seed: 9,
             seeds: 2,
             experiments: Some(vec!["e1".into(), "e4".into()]),
+            load_topics: Some(vec![1, 64]),
+            rates: Some(vec![500, 9_000]),
             ..BenchArgs::default()
         });
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.seeds_per_cell, 2);
         assert_eq!(cfg.ids, vec!["e1".to_string(), "e4".to_string()]);
+        assert_eq!(cfg.load_topics, Some(vec![1, 64]));
+        assert_eq!(cfg.rates, Some(vec![500, 9_000]));
+    }
+
+    #[test]
+    fn cluster_report_rolls_up_topic_lifecycle_counters() {
+        // The fix pinned here: the cluster envelope used to drop the
+        // node reports' topics_live / topics_reclaimed on the floor.
+        // Both must now surface per node AND as cluster-wide sums.
+        let verdicts = vec![
+            ChildVerdict {
+                id: 0,
+                exit_ok: true,
+                complete: true,
+                topics_live: 3,
+                topics_reclaimed: 1,
+                per_topic: vec![],
+            },
+            ChildVerdict {
+                id: 1,
+                exit_ok: true,
+                complete: true,
+                topics_live: 3,
+                topics_reclaimed: 2,
+                per_topic: vec![],
+            },
+        ];
+        let body = cluster_report_body(
+            2,
+            urb_core::Algorithm::Majority,
+            3,
+            1,
+            2,
+            &verdicts,
+            &[true, true, true],
+            true,
+        );
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["topics_live"].as_u64(), Some(6), "sum across nodes");
+        assert_eq!(v["topics_reclaimed"].as_u64(), Some(3));
+        let nodes = v["nodes"].as_array().unwrap();
+        assert_eq!(nodes[0]["topics_live"].as_u64(), Some(3));
+        assert_eq!(nodes[0]["topics_reclaimed"].as_u64(), Some(1));
+        assert_eq!(nodes[1]["topics_reclaimed"].as_u64(), Some(2));
+        assert_eq!(v["verdict"].as_bool(), Some(true));
+        // The body still nests cleanly inside the shared envelope.
+        let wrapped = report::envelope(CLUSTER_REPORT_KIND, 7, &body);
+        let w: serde_json::Value = serde_json::from_str(&wrapped).unwrap();
+        assert_eq!(w["data"]["topics_live"].as_u64(), Some(6));
     }
 
     #[test]

@@ -381,7 +381,14 @@ fn cluster_launcher_reports_pass_verdict() {
     for node in v["data"]["nodes"].as_array().unwrap() {
         assert_eq!(node["exit_ok"].as_bool(), Some(true));
         assert_eq!(node["complete"].as_bool(), Some(true));
+        // Each node report's lifecycle counters survive aggregation:
+        // all 2 static topics stay live, none were retired.
+        assert_eq!(node["topics_live"].as_u64(), Some(2));
+        assert_eq!(node["topics_reclaimed"].as_u64(), Some(0));
     }
+    // …and the envelope rolls them up cluster-wide (3 nodes × 2 topics).
+    assert_eq!(v["data"]["topics_live"].as_u64(), Some(6));
+    assert_eq!(v["data"]["topics_reclaimed"].as_u64(), Some(0));
 }
 
 /// The dynamic topic control plane over real daemons (DESIGN.md §15):

@@ -553,6 +553,39 @@ fn usage_errors_are_exit_two() {
 }
 
 #[test]
+fn bench_open_loop_ids_and_grid_flags() {
+    // The open-loop experiments are addressable ids; past the new top
+    // of the range is still a usage error.
+    assert_eq!(code(&run(&["bench", "--experiments", "e24"])), 2);
+    // Malformed open-loop grid flags are usage errors, not collections.
+    assert_eq!(code(&run(&["bench", "--rates", "0"])), 2, "zero rate");
+    assert_eq!(code(&run(&["bench", "--rates", "abc"])), 2, "non-numeric");
+    assert_eq!(code(&run(&["bench", "--rates", ","])), 2, "empty list");
+    assert_eq!(code(&run(&["bench", "--load-topics", "0,4"])), 2);
+    assert_eq!(code(&run(&["bench", "--load-topics"])), 2, "missing value");
+    // e22 + e23 collect on a tiny override grid and the resulting
+    // trajectory is schema-valid.
+    let out_path = tmp("open_loop_traj.json");
+    let out = run(&[
+        "bench",
+        "--experiments",
+        "e22,e23",
+        "--seeds",
+        "1",
+        "--load-topics",
+        "2",
+        "--rates",
+        "700",
+        "--json",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let out = run(&["bench", "--validate", out_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
 fn committed_baselines_diff_cleanly() {
     // The exact invocations the CI gate runs: both committed baselines
     // must be schema-valid, self-identical, and — crucially — agree with

@@ -41,7 +41,7 @@
 #![deny(missing_docs)]
 
 use bytes::Bytes;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use urb_types::snapshot::unseal;
 use urb_types::{
     encode_frame_into, encode_mux_frame_with_controls_into, AnonProcess, Batch, BufPool,
@@ -320,9 +320,14 @@ impl MuxBuffers {
 /// retired-id tombstone.
 pub struct TopicEngine {
     /// Live and draining topic instances, sorted ascending by topic id —
-    /// the interned slot directory. Statically configured engines hold
-    /// dense ids `0..n` here.
+    /// the interned slot map. Statically configured engines hold dense
+    /// ids `0..n` here. Ordered traversals (ticks, fingerprints,
+    /// snapshots, mux encoding) walk this vector; point lookups go
+    /// through `directory`.
     slots: Vec<TopicSlot>,
+    /// The O(1) id → slot/tombstone directory (DESIGN.md §16), maintained
+    /// incrementally by create/retire/reap and rebuilt on restore.
+    directory: TopicDirectory,
     /// Tombstones of reaped topics: traffic addressed to these ids is
     /// dropped inert instead of erroring as unknown.
     retired: BTreeSet<TopicId>,
@@ -372,6 +377,123 @@ struct TopicSlot {
 /// reach quiescence before its state is reclaimed regardless.
 pub const DEFAULT_DRAIN_LIMIT: u32 = 32;
 
+/// Directory entry sentinel: the id was never created (or was created and
+/// later re-created — entries always reflect the *current* lifecycle).
+const DIR_ABSENT: u32 = u32::MAX;
+/// Directory entry sentinel: the id was retired and its instance
+/// reclaimed — traffic drops inert (the tombstone verdict, one probe).
+const DIR_RETIRED: u32 = u32::MAX - 1;
+/// How far past the current dense range a new id may land while still
+/// growing the dense array instead of falling into the hash-map lane.
+/// Ascending creation (the 100k-topics pattern) therefore stays dense
+/// end to end; a genuinely sparse id (say `0xDEAD_BEEF` on a 10-topic
+/// node) costs one hash probe instead of 4 GiB of array.
+const DENSE_DIRECTORY_SLACK: u32 = 4096;
+
+/// The O(1) topic directory (DESIGN.md §16): one entry per known topic
+/// id, mapping straight to the slot index — with the retired-tombstone
+/// verdict folded into the *same* entry, so the dispatch hot path does
+/// exactly one probe where it used to do a binary search over the slot
+/// vector plus a `BTreeSet` probe for tombstones (~17 probes at the
+/// ROADMAP's 100k-topic target).
+///
+/// Layout: ids below `dense.len()` live in a dense array (statically
+/// configured engines and ascending runtime creation both land here);
+/// larger ids fall back to a hash map. Entries are slot indices, or the
+/// [`DIR_ABSENT`]/[`DIR_RETIRED`] sentinels. The sorted slot vector
+/// remains the source of truth for everything *ordered* — ticks,
+/// fingerprints, snapshots, mux encoding — the directory only answers
+/// point lookups, and create/retire/reap maintain it incrementally.
+struct TopicDirectory {
+    /// Entries for the dense id range `0..dense.len()`.
+    dense: Vec<u32>,
+    /// Fallback entries for ids beyond the dense range. Never iterated —
+    /// all ordered traversal goes over the slot vector — so map order
+    /// cannot leak into any deterministic artifact.
+    sparse: HashMap<u32, u32>,
+}
+
+impl TopicDirectory {
+    /// Directory for a statically configured engine: dense ids `0..n`,
+    /// each mapped to its own slot index.
+    fn with_dense(n: usize) -> Self {
+        TopicDirectory {
+            dense: (0..n as u32).collect(),
+            sparse: HashMap::new(),
+        }
+    }
+
+    /// The single hot-path probe: slot index, [`DIR_RETIRED`] or
+    /// [`DIR_ABSENT`].
+    #[inline]
+    fn entry(&self, id: u32) -> u32 {
+        match self.dense.get(id as usize) {
+            Some(&e) => e,
+            None => self.sparse.get(&id).copied().unwrap_or(DIR_ABSENT),
+        }
+    }
+
+    /// Writes one entry, growing the dense range when `id` lands within
+    /// [`DENSE_DIRECTORY_SLACK`] of it (migrating any hash-map entries the
+    /// growth swallows). Control-plane only — the hot path never writes.
+    fn set(&mut self, id: u32, entry: u32) {
+        if (id as usize) < self.dense.len() {
+            self.dense[id as usize] = entry;
+        } else if entry == DIR_ABSENT {
+            self.sparse.remove(&id);
+        } else if (id as u64) < self.dense.len() as u64 + DENSE_DIRECTORY_SLACK as u64 {
+            let new_len = id as usize + 1;
+            self.dense.resize(new_len, DIR_ABSENT);
+            if !self.sparse.is_empty() {
+                let swallowed: Vec<u32> = self
+                    .sparse
+                    .keys()
+                    .copied()
+                    .filter(|k| (*k as usize) < new_len)
+                    .collect();
+                for k in swallowed {
+                    let v = self.sparse.remove(&k).expect("key just listed");
+                    self.dense[k as usize] = v;
+                }
+            }
+            self.dense[id as usize] = entry;
+        } else {
+            self.sparse.insert(id, entry);
+        }
+    }
+
+    /// Rebuilds the directory from scratch — the snapshot-restore path,
+    /// where the retired set is replaced wholesale.
+    fn rebuild(slots: &[TopicSlot], retired: &BTreeSet<TopicId>) -> Self {
+        let mut dir = TopicDirectory {
+            dense: Vec::new(),
+            sparse: HashMap::new(),
+        };
+        for (i, s) in slots.iter().enumerate() {
+            dir.set(s.topic.0, i as u32);
+        }
+        for t in retired {
+            dir.set(t.0, DIR_RETIRED);
+        }
+        dir
+    }
+}
+
+/// What one directory probe says about a topic id — the four lifecycle
+/// verdicts of DESIGN.md §15, resolved in O(1) (DESIGN.md §16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopicState {
+    /// A live instance exists at this slot index (accepts broadcasts).
+    Live(usize),
+    /// A draining instance exists at this slot index (still receives and
+    /// retransmits, refuses new broadcasts).
+    Draining(usize),
+    /// The id was retired and reclaimed: traffic drops inert.
+    Retired,
+    /// The engine has never known this id.
+    Unknown,
+}
+
 impl TopicEngine {
     /// Builds an engine over `instances` (index = topic id), sharing one
     /// RNG stream across every instance — the per-node randomness budget
@@ -380,7 +502,9 @@ impl TopicEngine {
     pub fn new(instances: Vec<Box<dyn AnonProcess + Send>>, rng: SplitMix64) -> Self {
         assert!(!instances.is_empty(), "an engine needs at least one topic");
         let alg_name = instances[0].algorithm_name();
+        let directory = TopicDirectory::with_dense(instances.len());
         TopicEngine {
+            directory,
             slots: instances
                 .into_iter()
                 .enumerate()
@@ -417,8 +541,37 @@ impl TopicEngine {
     }
 
     /// Slot index of `topic`, if an instance (live or draining) exists.
+    /// One directory probe (DESIGN.md §16) — this used to be a binary
+    /// search over the slot vector.
+    #[inline]
     fn slot_index(&self, topic: TopicId) -> Option<usize> {
-        self.slots.binary_search_by_key(&topic, |s| s.topic).ok()
+        let e = self.directory.entry(topic.0);
+        if e < DIR_RETIRED {
+            Some(e as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Resolves `topic`'s full lifecycle verdict in one directory probe:
+    /// live/draining (with the slot index), retired tombstone, or never
+    /// known. This is the dispatch hot path's entire lookup — and the
+    /// surface the equivalence tests and A/B benches compare against a
+    /// binary-search model.
+    #[inline]
+    pub fn resolve(&self, topic: TopicId) -> TopicState {
+        match self.directory.entry(topic.0) {
+            DIR_ABSENT => TopicState::Unknown,
+            DIR_RETIRED => TopicState::Retired,
+            i => {
+                let i = i as usize;
+                if self.slots[i].draining {
+                    TopicState::Draining(i)
+                } else {
+                    TopicState::Live(i)
+                }
+            }
+        }
     }
 
     /// Slot index of `topic`, panicking when absent — the contract of the
@@ -447,9 +600,11 @@ impl TopicEngine {
     }
 
     /// True when `topic` was retired and its instance reclaimed (the
-    /// tombstone state; cleared if the id is later re-created).
+    /// tombstone state; cleared if the id is later re-created). One
+    /// directory probe — the ordered `retired` set is kept only for
+    /// fingerprints and snapshots, which need ascending iteration.
     pub fn is_retired(&self, topic: TopicId) -> bool {
-        self.retired.contains(&topic)
+        self.directory.entry(topic.0) == DIR_RETIRED
     }
 
     /// The live topic ids, ascending (draining topics excluded).
@@ -497,6 +652,15 @@ impl TopicEngine {
                         drain_ticks: 0,
                     },
                 );
+                // Incremental directory maintenance: the new id maps to
+                // its slot (clearing any tombstone entry), and every slot
+                // the insertion shifted right is re-pointed. Ascending
+                // creation inserts at the end, so the fix-up loop is
+                // empty on the 100k-topics growth pattern.
+                self.directory.set(topic.0, at as u32);
+                for j in (at + 1)..self.slots.len() {
+                    self.directory.set(self.slots[j].topic.0, j as u32);
+                }
                 self.counters.topics_created += 1;
                 true
             }
@@ -557,6 +721,13 @@ impl TopicEngine {
             let slot = self.slots.remove(i);
             self.retired.insert(slot.topic);
             self.subscriptions.remove(&slot.topic);
+            // Incremental directory maintenance: the reaped id becomes a
+            // tombstone entry and every slot the removal shifted left is
+            // re-pointed.
+            self.directory.set(slot.topic.0, DIR_RETIRED);
+            for j in i..self.slots.len() {
+                self.directory.set(self.slots[j].topic.0, j as u32);
+            }
             reaped += 1;
         }
         reaped
@@ -593,6 +764,20 @@ impl TopicEngine {
         buf: &mut StepBuffers,
     ) -> Option<Tag> {
         let i = self.slot_index_or_panic(topic);
+        self.step_slot(i, input, fd, buf)
+    }
+
+    /// [`TopicEngine::step`] with the slot already resolved — the
+    /// directory-bypassing core every batched path funnels through once
+    /// it has probed (or run-length-cached) the slot index. Counter and
+    /// RNG behavior are exactly `step`'s.
+    fn step_slot(
+        &mut self,
+        i: usize,
+        input: StepInput,
+        fd: &FdSnapshot,
+        buf: &mut StepBuffers,
+    ) -> Option<Tag> {
         self.counters.steps += 1;
         match &input {
             StepInput::Tick => self.counters.ticks += 1,
@@ -632,8 +817,22 @@ impl TopicEngine {
         fd: &FdSnapshot,
         mux: &mut MuxBuffers,
     ) -> Option<Tag> {
+        let i = self.slot_index_or_panic(topic);
+        self.step_mux_slot(i, topic, input, fd, mux)
+    }
+
+    /// [`TopicEngine::step_mux`] with the slot already resolved (see
+    /// [`TopicEngine::step_slot`]).
+    fn step_mux_slot(
+        &mut self,
+        i: usize,
+        topic: TopicId,
+        input: StepInput,
+        fd: &FdSnapshot,
+        mux: &mut MuxBuffers,
+    ) -> Option<Tag> {
         let mut scratch = std::mem::take(&mut self.batch_scratch);
-        let tag = self.step(topic, input, fd, &mut scratch);
+        let tag = self.step_slot(i, input, fd, &mut scratch);
         mux.outbox
             .extend(scratch.outbox.drain(..).map(|m| (topic, m)));
         mux.deliveries
@@ -651,10 +850,13 @@ impl TopicEngine {
     /// which is free when nothing is draining.
     pub fn tick_all(&mut self, fd: &FdSnapshot, mux: &mut MuxBuffers) {
         mux.clear();
+        // Slots are walked by index — the sweep *is* the directory, no
+        // per-topic lookup needed (nothing reshapes the slot vector
+        // mid-sweep; the reap below runs after).
         let mut i = 0;
         while i < self.slots.len() {
             let topic = self.slots[i].topic;
-            self.step_mux(topic, StepInput::Tick, fd, mux);
+            self.step_mux_slot(i, topic, StepInput::Tick, fd, mux);
             i += 1;
         }
         self.reap_drained(fd);
@@ -695,22 +897,45 @@ impl TopicEngine {
             self.control_scratch = controls;
             return Err(MuxIngressError::Codec(e));
         }
-        if let Some(&(topic, _)) = entries
-            .iter()
-            .find(|(t, _)| self.slot_index(*t).is_none() && !self.retired.contains(t))
-        {
-            self.mux_scratch = entries;
-            self.control_scratch = controls;
-            return Err(MuxIngressError::UnknownTopic(topic));
+        // Pre-pass: reject a frame addressing a never-known topic before
+        // any message is stepped. MuxBatch sub-batches are ascending by
+        // topic, so consecutive entries share their topic in runs — one
+        // directory probe per run, not per entry (DESIGN.md §16).
+        let mut run: Option<(TopicId, u32)> = None;
+        for &(topic, _) in entries.iter() {
+            let entry = match run {
+                Some((t, e)) if t == topic => e,
+                _ => {
+                    let e = self.directory.entry(topic.0);
+                    run = Some((topic, e));
+                    e
+                }
+            };
+            if entry == DIR_ABSENT {
+                self.mux_scratch = entries;
+                self.control_scratch = controls;
+                return Err(MuxIngressError::UnknownTopic(topic));
+            }
         }
         mux.clear();
+        // Stepping loop: the same run-length rule resolves each
+        // sub-batch's slot once; retired runs drop inert without a step.
+        let mut run: Option<(TopicId, u32)> = None;
         for (topic, msg) in entries.drain(..) {
-            if self.slot_index(topic).is_none() {
+            let entry = match run {
+                Some((t, e)) if t == topic => e,
+                _ => {
+                    let e = self.directory.entry(topic.0);
+                    run = Some((topic, e));
+                    e
+                }
+            };
+            if entry >= DIR_RETIRED {
                 // Retired: drop inert.
                 continue;
             }
             let fd = before_each(topic, &msg);
-            self.step_mux(topic, StepInput::Receive(msg), &fd, mux);
+            self.step_mux_slot(entry as usize, topic, StepInput::Receive(msg), &fd, mux);
         }
         mux.controls.append(&mut controls);
         self.mux_scratch = entries;
@@ -985,6 +1210,9 @@ impl TopicEngine {
         r.finish()?;
         self.rng = SplitMix64::from_state(rng_state);
         self.counters = counters;
+        // The retired set was replaced wholesale: rebuild the O(1)
+        // directory so every tombstone (and every slot) resolves again.
+        self.directory = TopicDirectory::rebuild(&self.slots, &retired_set);
         self.retired = retired_set;
         self.subscriptions = sub_set;
         Ok(())
@@ -1908,6 +2136,94 @@ mod tests {
             vec![TopicControl::Retire { topic: TopicId(0) }]
         );
         assert!(rx.is_silent());
+    }
+
+    // ---- O(1) topic directory (DESIGN.md §16) --------------------------
+
+    #[test]
+    fn resolve_reports_the_full_lifecycle_in_one_probe() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 60);
+        assert_eq!(e.resolve(TopicId(0)), TopicState::Live(0));
+        assert_eq!(e.resolve(TopicId(1)), TopicState::Live(1));
+        assert_eq!(e.resolve(TopicId(9)), TopicState::Unknown);
+        e.retire_topic(TopicId(0));
+        assert_eq!(e.resolve(TopicId(0)), TopicState::Draining(0));
+        let mut mux = MuxBuffers::new();
+        e.set_drain_limit(0);
+        e.tick_all(&fd, &mut mux);
+        assert_eq!(e.resolve(TopicId(0)), TopicState::Retired);
+        // The survivor shifted left; the directory followed.
+        assert_eq!(e.resolve(TopicId(1)), TopicState::Live(0));
+        // Re-creation clears the tombstone entry.
+        assert!(e.create_topic(TopicId(0), scripted()));
+        assert_eq!(e.resolve(TopicId(0)), TopicState::Live(0));
+        assert_eq!(e.resolve(TopicId(1)), TopicState::Live(1));
+    }
+
+    #[test]
+    fn directory_handles_sparse_ids_and_dense_growth_migration() {
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(1, 61);
+        // Far beyond the dense slack: lands in the hash-map lane.
+        let sparse = TopicId(0x00FF_0000);
+        assert!(e.create_topic(sparse, scripted()));
+        assert_eq!(e.resolve(sparse), TopicState::Live(1));
+        assert!(e.is_live(sparse));
+        // Ascending creation grows the dense range; when it eventually
+        // swallows a sparse id the entry must migrate, not vanish. Force
+        // that with an id just past the slack boundary, then fill up to it.
+        let edge = TopicId(DENSE_DIRECTORY_SLACK + 2);
+        assert!(e.create_topic(edge, scripted()));
+        for t in 1..=DENSE_DIRECTORY_SLACK + 1 {
+            assert!(e.create_topic(TopicId(t), scripted()));
+        }
+        assert!(e.is_live(edge), "sparse entry survived dense growth");
+        assert!(e.is_live(sparse));
+        // Retire + reap a sparse id: the tombstone verdict also lives in
+        // the hash lane.
+        assert!(e.retire_topic(sparse));
+        let mut mux = MuxBuffers::new();
+        e.set_drain_limit(0);
+        e.tick_all(&fd, &mut mux);
+        assert_eq!(e.resolve(sparse), TopicState::Retired);
+        assert!(e.is_retired(sparse));
+        assert!(!e.has_instance(sparse));
+    }
+
+    #[test]
+    fn mux_ingress_resolves_once_per_run_with_identical_verdicts() {
+        // Three entries on one topic arrive as one ascending run: the
+        // directory is probed once per run but every message still steps
+        // (and the retired-run drop stays per-entry inert).
+        let fd = FdSnapshot::none();
+        let mut e = topic_engine(2, 62);
+        let entries: Vec<(TopicId, WireMessage)> = (0..3u128)
+            .map(|i| {
+                (
+                    TopicId(1),
+                    WireMessage::Msg {
+                        tag: Tag(i),
+                        payload: Payload::from("run"),
+                    },
+                )
+            })
+            .collect();
+        let frame = MuxBatch::from_entries(&entries).encode();
+        let mut mux = MuxBuffers::new();
+        e.receive_mux_frame(&frame, &mut mux, |_, _| FdSnapshot::none())
+            .unwrap();
+        assert_eq!(mux.deliveries.len(), 3, "every entry of the run stepped");
+        assert_eq!(e.counters().receives, 3);
+        // Retire topic 1 and reap it: the same run now drops inert.
+        e.retire_topic(TopicId(1));
+        e.set_drain_limit(0);
+        e.tick_all(&fd, &mut mux);
+        let receives_before = e.counters().receives;
+        e.receive_mux_frame(&frame, &mut mux, |_, _| FdSnapshot::none())
+            .unwrap();
+        assert!(mux.deliveries.is_empty());
+        assert_eq!(e.counters().receives, receives_before);
     }
 
     #[test]

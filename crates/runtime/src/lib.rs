@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod daemon;
+pub mod lanes;
 mod node;
 mod registry;
 mod router;
@@ -43,6 +44,7 @@ pub use daemon::{
     expected_payloads, run_node, run_reference, send_control, workload_payload, NodeConfig,
     NodeReport, TopicDeliveries,
 };
+pub use lanes::LaneDirectory;
 pub use registry::MembershipRegistry;
 pub use router::TrafficStats;
 pub use state::{RecoveredState, StateDir, StateError};

@@ -134,10 +134,10 @@ fn node_main(setup: NodeSetup) {
         SplitMix64::new(seed ^ 0xB07B_0B00 ^ (pid as u64) << 32),
     );
     let mut mux = MuxBuffers::new();
-    // Per-lane outbox partitions, reused across steps.
+    // Per-lane topic directory: precomputed `topic → lane` map plus
+    // reusable per-lane egress partitions (DESIGN.md §16).
     let lanes = egress.len().max(1);
-    let mut lane_outboxes: Vec<Vec<(TopicId, urb_types::WireMessage)>> =
-        (0..lanes).map(|_| Vec::new()).collect();
+    let mut lane_dir = crate::lanes::LaneDirectory::new(lanes);
     let mut control_scratch: Vec<TopicControl> = Vec::new();
     let mut next_tick = Instant::now() + tick_interval;
 
@@ -218,19 +218,13 @@ fn node_main(setup: NodeSetup) {
                 }
             }
         } else if !mux.outbox.is_empty() || !mux.controls.is_empty() {
-            for entry in mux.outbox.drain(..) {
-                let lane = entry.0 .0 as usize % lanes;
-                lane_outboxes[lane].push(entry);
-            }
-            // Controls shard like payload traffic: lane = topic % lanes.
-            control_scratch.clear();
-            control_scratch.append(&mut mux.controls);
-            for (lane, outbox) in lane_outboxes.iter_mut().enumerate() {
-                let lane_controls: Vec<TopicControl> = control_scratch
-                    .iter()
-                    .copied()
-                    .filter(|c| c.topic().0 as usize % lanes == lane)
-                    .collect();
+            // One pass over the outbox and one over the controls: the
+            // lane directory's precomputed map answers ownership per
+            // entry (the old flush rescanned the control list per lane
+            // and allocated a fresh Vec each time).
+            lane_dir.partition(&mut mux.outbox, &mut mux.controls);
+            for (lane, lane_tx) in egress.iter().enumerate() {
+                let (outbox, lane_controls) = lane_dir.lane_parts_mut(lane);
                 if outbox.is_empty() && lane_controls.is_empty() {
                     continue;
                 }
@@ -240,14 +234,15 @@ fn node_main(setup: NodeSetup) {
                 } else {
                     urb_types::encode_mux_frame_with_controls_into(
                         outbox,
-                        &lane_controls,
+                        lane_controls,
                         &mut scratch,
                     );
                 }
                 outbox.clear();
+                lane_controls.clear();
                 let frame = Bytes::copy_from_slice(&scratch);
                 drop(scratch); // encode buffer back to the pool
-                if egress[lane].send((pid, frame)).is_err() {
+                if lane_tx.send((pid, frame)).is_err() {
                     return; // router gone — cluster shutting down
                 }
             }

@@ -55,6 +55,7 @@ pub mod crash;
 pub mod event;
 pub mod metrics;
 pub mod minitoml;
+pub mod openloop;
 pub mod parallel;
 pub mod scenario;
 pub mod sim;
@@ -68,6 +69,7 @@ pub use checker::{check_urb, CheckReport, PropertyVerdict};
 pub use crash::{CrashPlan, CrashRule};
 pub use event::SchedulerPolicy;
 pub use metrics::{BroadcastRecord, DeliveryRecord, Metrics};
+pub use openloop::{open_loop, OpenLoopConfig, OpenLoopOutcome};
 pub use parallel::{run_many, run_many_on};
 pub use sim::{
     run, Blackout, DelayOverride, FdKind, LinkOverride, PlannedBroadcast, RunOutcome, SimConfig,
